@@ -1,0 +1,464 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/avg"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/xrand"
+)
+
+// Benchmarks regenerate every figure of the paper at bench scale (sizes
+// reduced ~10× so `go test -bench .` completes in minutes; run
+// `cmd/figures -scale paper` for the full-size sweeps). Custom metrics
+// carry the reproduction numbers:
+//
+//	reduction     one-cycle variance reduction σ₁²/σ₀² (Figure 3a)
+//	rate          geometric-mean per-cycle reduction (Figure 3b)
+//	theory-delta  |measured − closed form|
+//	relerr        mean relative error of the size estimate (Figure 4)
+//	cycles        cycles to reach the §5 accuracy target
+
+// benchGaussian returns a fresh iid standard normal vector.
+func benchGaussian(n int, rng *xrand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+// BenchmarkFig3a measures the one-cycle variance reduction for each
+// selector × topology combination the paper plots in Figure 3(a).
+func BenchmarkFig3a(b *testing.B) {
+	const n, view = 10000, 20
+	for _, sel := range []string{"rand", "seq"} {
+		for _, topo := range []experiments.TopologyKind{experiments.Complete, experiments.KRegular} {
+			b.Run(fmt.Sprintf("selector=%s/topology=%s/n=%d", sel, topo, n), func(b *testing.B) {
+				rng := xrand.New(42)
+				// One overlay per sub-bench: graph construction is the
+				// dominant setup cost and does not affect the measured
+				// reduction statistics.
+				g, err := experiments.BuildTopology(topo, n, view, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var acc stats.Running
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					selector, err := avg.NewSelector(sel)
+					if err != nil {
+						b.Fatal(err)
+					}
+					runner, err := avg.NewRunner(g, selector, benchGaussian(n, rng), rng)
+					if err != nil {
+						b.Fatal(err)
+					}
+					before := runner.Variance()
+					b.StartTimer()
+					after := runner.Cycle()
+					acc.Add(after / before)
+				}
+				b.ReportMetric(acc.Mean(), "reduction")
+				if theory, ok := avg.TheoreticalRate(sel); ok {
+					b.ReportMetric(math.Abs(acc.Mean()-theory), "theory-delta")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig3b measures the geometric-mean per-cycle reduction while
+// iterating AVG for 30 cycles (Figure 3(b); bench n = 20000, paper
+// n = 100000 via cmd/figures).
+func BenchmarkFig3b(b *testing.B) {
+	const n, view, cycles = 20000, 20, 30
+	for _, sel := range []string{"rand", "seq"} {
+		for _, topo := range []experiments.TopologyKind{experiments.Complete, experiments.KRegular} {
+			b.Run(fmt.Sprintf("selector=%s/topology=%s/n=%d", sel, topo, n), func(b *testing.B) {
+				rng := xrand.New(43)
+				g, err := experiments.BuildTopology(topo, n, view, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var acc stats.Running
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					selector, err := avg.NewSelector(sel)
+					if err != nil {
+						b.Fatal(err)
+					}
+					runner, err := avg.NewRunner(g, selector, benchGaussian(n, rng), rng)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					variances := runner.Run(cycles)
+					first, last := variances[0], variances[len(variances)-1]
+					if first > 0 && last > 0 {
+						acc.Add(math.Pow(last/first, 1/float64(cycles)))
+					}
+				}
+				b.ReportMetric(acc.Mean(), "rate")
+			})
+		}
+	}
+}
+
+// BenchmarkFig4 runs the size-estimation-under-churn scenario (Figure 4)
+// at bench scale (9k–11k oscillation; paper runs 90k–110k).
+func BenchmarkFig4(b *testing.B) {
+	cfg := SizeEstimationConfig{
+		MinSize:           9000,
+		MaxSize:           11000,
+		OscillationPeriod: 400,
+		Fluctuation:       10,
+		EpochCycles:       30,
+		TotalCycles:       300,
+		Instances:         1,
+	}
+	var relErr stats.Running
+	lostEpochs := 0
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		reports, err := EstimateSizeUnderChurn(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range reports {
+			if math.IsNaN(r.EstimateMean) {
+				// The single leader crashed before spreading any
+				// indicator mass — the known single-instance failure
+				// mode (§4); count it rather than poison the mean.
+				lostEpochs++
+				continue
+			}
+			relErr.Add(math.Abs(r.EstimateMean-float64(r.SizeAtStart)) / float64(r.SizeAtStart))
+		}
+	}
+	b.ReportMetric(relErr.Mean(), "relerr")
+	b.ReportMetric(float64(lostEpochs), "lost-epochs")
+}
+
+// BenchmarkRates reproduces the §3.3 closed-form table (E4): measured
+// one-cycle reduction per selector on the complete graph versus theory.
+func BenchmarkRates(b *testing.B) {
+	const n = 10000
+	for _, sel := range []string{"pm", "rand", "seq", "pmrand"} {
+		b.Run("selector="+sel, func(b *testing.B) {
+			rng := xrand.New(44)
+			var acc stats.Running
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g, err := topology.NewComplete(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				selector, err := avg.NewSelector(sel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runner, err := avg.NewRunner(g, selector, benchGaussian(n, rng), rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				before := runner.Variance()
+				b.StartTimer()
+				acc.Add(runner.Cycle() / before)
+			}
+			theory, _ := avg.TheoreticalRate(sel)
+			b.ReportMetric(acc.Mean(), "reduction")
+			b.ReportMetric(theory, "theory")
+			b.ReportMetric(math.Abs(acc.Mean()-theory), "theory-delta")
+		})
+	}
+}
+
+// BenchmarkFig5Claim verifies the §5 efficiency claim (E5): the variance
+// drops 99.9 % within ≈ ln(1000) ≈ 7 cycles even with getPair_rand.
+func BenchmarkFig5Claim(b *testing.B) {
+	const n = 10000
+	for _, sel := range []string{"pm", "rand", "seq"} {
+		b.Run("selector="+sel, func(b *testing.B) {
+			rng := xrand.New(45)
+			var cyclesAcc stats.Running
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g, err := topology.NewComplete(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				selector, err := avg.NewSelector(sel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runner, err := avg.NewRunner(g, selector, benchGaussian(n, rng), rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				initial := runner.Variance()
+				b.StartTimer()
+				cycles := 0
+				for runner.Variance() > 1e-3*initial && cycles < 50 {
+					runner.Cycle()
+					cycles++
+				}
+				cyclesAcc.Add(float64(cycles))
+			}
+			b.ReportMetric(cyclesAcc.Mean(), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationLoss sweeps message-loss probabilities (E6): rate and
+// mean drift per loss level.
+func BenchmarkAblationLoss(b *testing.B) {
+	const n, cycles = 5000, 15
+	for _, p := range []float64{0, 0.1, 0.2, 0.4} {
+		b.Run(fmt.Sprintf("loss=%.2f", p), func(b *testing.B) {
+			rng := xrand.New(46)
+			var rate, drift stats.Running
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g, err := topology.NewComplete(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				values := benchGaussian(n, rng)
+				trueMean := stats.Mean(values)
+				sd := math.Sqrt(stats.Variance(values))
+				var opts []avg.Option
+				if p > 0 {
+					opts = append(opts, avg.WithLossProbability(p))
+				}
+				runner, err := avg.NewRunner(g, avg.NewSeq(), values, rng, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				variances := runner.Run(cycles)
+				first, last := variances[0], variances[len(variances)-1]
+				if first > 0 && last > 0 {
+					rate.Add(math.Pow(last/first, 1/float64(cycles)))
+				}
+				drift.Add(math.Abs(runner.Mean()-trueMean) / sd)
+			}
+			b.ReportMetric(rate.Mean(), "rate")
+			b.ReportMetric(drift.Mean(), "drift-sd")
+		})
+	}
+}
+
+// BenchmarkAblationCrash sweeps crash fractions (E6): survivors converge
+// to a shifted mean; the metric is the shift in initial-stddev units.
+func BenchmarkAblationCrash(b *testing.B) {
+	const n, cycles = 5000, 15
+	for _, f := range []float64{0, 0.1, 0.5} {
+		b.Run(fmt.Sprintf("crash=%.2f", f), func(b *testing.B) {
+			rng := xrand.New(47)
+			var errAcc stats.Running
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				values := benchGaussian(n, rng)
+				trueMean := stats.Mean(values)
+				sd := math.Sqrt(stats.Variance(values))
+				survivors := n - int(f*float64(n))
+				perm := rng.Perm(n)
+				kept := make([]float64, survivors)
+				for k := 0; k < survivors; k++ {
+					kept[k] = values[perm[k]]
+				}
+				g, err := topology.NewComplete(survivors)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runner, err := avg.NewRunner(g, avg.NewSeq(), kept, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				runner.Run(cycles)
+				errAcc.Add(math.Abs(runner.Mean()-trueMean) / sd)
+			}
+			b.ReportMetric(errAcc.Mean(), "error-sd")
+		})
+	}
+}
+
+// BenchmarkAblationTopology compares the per-cycle rate across overlays —
+// the sensitivity study for the paper's "random enough" assumption.
+func BenchmarkAblationTopology(b *testing.B) {
+	const n, view, cycles = 5000, 20, 15
+	kinds := []experiments.TopologyKind{
+		experiments.Complete, experiments.KRegular, experiments.RandomView,
+		experiments.SmallWorld, experiments.ScaleFree, experiments.Ring,
+	}
+	for _, kind := range kinds {
+		b.Run("topology="+string(kind), func(b *testing.B) {
+			rng := xrand.New(48)
+			g, err := experiments.BuildTopology(kind, n, view, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rate stats.Running
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				runner, err := avg.NewRunner(g, avg.NewSeq(), benchGaussian(n, rng), rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				variances := runner.Run(cycles)
+				first, last := variances[0], variances[len(variances)-1]
+				if first > 0 && last > 0 {
+					rate.Add(math.Pow(last/first, 1/float64(cycles)))
+				}
+			}
+			b.ReportMetric(rate.Mean(), "rate")
+		})
+	}
+}
+
+// BenchmarkAblationViewSize sweeps the k-regular view size — how small
+// the paper's fixed view of 20 could have been.
+func BenchmarkAblationViewSize(b *testing.B) {
+	const n, cycles = 5000, 15
+	for _, k := range []int{2, 4, 8, 20, 40} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rng := xrand.New(49)
+			g, err := topology.NewKRegular(n, k, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rate stats.Running
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				runner, err := avg.NewRunner(g, avg.NewSeq(), benchGaussian(n, rng), rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				variances := runner.Run(cycles)
+				first, last := variances[0], variances[len(variances)-1]
+				if first > 0 && last > 0 {
+					rate.Add(math.Pow(last/first, 1/float64(cycles)))
+				}
+			}
+			b.ReportMetric(rate.Mean(), "rate")
+		})
+	}
+}
+
+// BenchmarkWaitingPolicy is DESIGN.md ablation 2 at event-simulator
+// scale: the waiting-time distribution maps onto the paper's selector
+// regimes (constant ≈ seq's 1/(2√e), exponential ≈ rand's 1/e).
+func BenchmarkWaitingPolicy(b *testing.B) {
+	const n, cycles = 20000, 10
+	for _, exp := range []bool{false, true} {
+		name := "wait=constant"
+		if exp {
+			name = "wait=exponential"
+		}
+		b.Run(name, func(b *testing.B) {
+			var rate stats.Running
+			for i := 0; i < b.N; i++ {
+				res, err := SimulateAsync(AsyncSimulationConfig{
+					Size:        n,
+					Exponential: exp,
+					Cycles:      cycles,
+					Seed:        uint64(52 + i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				first, last := res.Variances[0], res.Variances[len(res.Variances)-1]
+				if first > 0 && last > 0 {
+					rate.Add(math.Pow(last/first, 1/float64(cycles)))
+				}
+			}
+			b.ReportMetric(rate.Mean(), "rate")
+		})
+	}
+}
+
+// BenchmarkCycleThroughput is the simulator's hot path: elementary
+// variance-reduction steps per second at N = 100000 (one b.N unit = one
+// full AVG cycle = N steps).
+func BenchmarkCycleThroughput(b *testing.B) {
+	const n = 100000
+	rng := xrand.New(50)
+	g, err := topology.NewComplete(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner, err := avg.NewRunner(g, avg.NewSeq(), benchGaussian(n, rng), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.Cycle()
+	}
+	b.ReportMetric(float64(n), "steps/cycle")
+}
+
+// BenchmarkSchemaMerge is the node-state hot path: one five-field
+// summary merge.
+func BenchmarkSchemaMerge(b *testing.B) {
+	schema := core.SummarySchema()
+	x := schema.InitState(3)
+	y := schema.InitState(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		schema.MergeInto(x, y)
+	}
+}
+
+// BenchmarkMessageCodec measures wire encode+decode of a typical
+// five-field protocol message.
+func BenchmarkMessageCodec(b *testing.B) {
+	msg := transport.Message{
+		Kind:   transport.KindPush,
+		Epoch:  9,
+		Seq:    12345,
+		From:   "127.0.0.1:54321",
+		Fields: []float64{1, 2, 3, 4, 5},
+		Gossip: []string{"127.0.0.1:1111", "127.0.0.1:2222", "127.0.0.1:3333"},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := msg.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out transport.Message
+		if err := out.UnmarshalBinary(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKRegularGeneration measures overlay construction at the
+// paper's parameters (k = 20), the setup cost of every experiment run.
+func BenchmarkKRegularGeneration(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := xrand.New(51)
+			for i := 0; i < b.N; i++ {
+				if _, err := topology.NewKRegular(n, 20, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,129 @@
+// Command aggnode runs one live aggregation node over TCP — the
+// deployable shape of the protocol. Start several on one machine (or
+// many) and each continuously prints its approximation of the
+// network-wide summary.
+//
+//	# terminal 1 (seed node)
+//	aggnode -listen 127.0.0.1:7001 -value 10
+//	# terminal 2..n
+//	aggnode -listen 127.0.0.1:7002 -peers 127.0.0.1:7001 -value 20
+//	aggnode -listen 127.0.0.1:7003 -peers 127.0.0.1:7001 -value 30
+//
+// Membership beyond the seed peers is discovered via piggybacked gossip;
+// with -epoch the protocol restarts periodically so changing -value
+// inputs (or SIGHUP-style reconfiguration in a real deployment) are
+// picked up (§4 adaptivity).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/epoch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aggnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
+	peers := flag.String("peers", "", "comma-separated seed peer addresses (empty: wait to be contacted)")
+	value := flag.Float64("value", 0, "this node's local value a_i")
+	cycle := flag.Duration("cycle", 500*time.Millisecond, "cycle length Δt")
+	epochLen := flag.Duration("epoch", 0, "epoch length for periodic restarts (0 disables)")
+	view := flag.Int("view", 8, "membership view capacity")
+	report := flag.Duration("report", 2*time.Second, "interval between printed estimates")
+	flag.Parse()
+
+	endpoint, err := repro.NewTCPEndpoint(*listen)
+	if err != nil {
+		return err
+	}
+	self := endpoint.Addr()
+
+	var sampler repro.Sampler
+	seedList := splitPeers(*peers)
+	if len(seedList) > 0 {
+		sampler, err = repro.NewGossipSampler(self, *view, seedList)
+	} else {
+		// No seeds: start with an empty-ish view that fills as peers
+		// contact us. A single self-seed is rejected, so use a gossip
+		// sampler seeded with a placeholder that is forgotten on first
+		// contact failure.
+		sampler, err = repro.NewGossipSampler(self, *view, []string{self + "#boot"})
+	}
+	if err != nil {
+		return err
+	}
+
+	cfg := repro.NodeConfig{
+		Schema:      repro.NewSummarySchema(),
+		Endpoint:    endpoint,
+		Sampler:     sampler,
+		Value:       *value,
+		CycleLength: *cycle,
+		Seed:        uint64(time.Now().UnixNano()),
+	}
+	if *epochLen > 0 {
+		clock, err := epoch.NewClock(time.Unix(0, 0), *epochLen)
+		if err != nil {
+			return err
+		}
+		cfg.Clock = clock
+	}
+
+	node, err := repro.NewNode(cfg)
+	if err != nil {
+		return err
+	}
+	node.Start()
+	defer node.Stop()
+	fmt.Printf("aggnode listening on %s (value %g, Δt %v)\n", self, *value, *cycle)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(*report)
+	defer ticker.Stop()
+	schema := cfg.Schema
+	for {
+		select {
+		case <-sigCh:
+			fmt.Println("\nshutting down")
+			return nil
+		case <-ticker.C:
+			summary, err := repro.DecodeSummary(schema, node.State())
+			if err != nil {
+				return err
+			}
+			s := node.Stats()
+			fmt.Printf("epoch=%d avg=%.4f min=%.4f max=%.4f exchanges=%d/%d timeouts=%d\n",
+				node.Epoch(), summary.Mean, summary.Min, summary.Max,
+				s.Replies, s.Initiated, s.Timeouts)
+		}
+	}
+}
+
+// splitPeers parses the -peers flag.
+func splitPeers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

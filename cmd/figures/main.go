@@ -1,0 +1,251 @@
+// Command figures regenerates every evaluation artifact of the paper
+// (Figures 3(a), 3(b) and 4) plus the repository's ablation studies,
+// printing gnuplot-friendly TSV to stdout.
+//
+// Usage:
+//
+//	figures -fig 3a [-scale paper|quick] [-seed N]
+//	figures -fig 3b
+//	figures -fig 4
+//	figures -fig rates          # §3.3 closed-form vs measured rates
+//	figures -fig cycles         # §5 cycles-to-99.9% claim
+//	figures -fig loss           # E6 message-loss ablation
+//	figures -fig crash          # E6 crash ablation
+//	figures -fig topology       # overlay-sensitivity ablation
+//	figures -fig viewsize       # k-sweep ablation
+//
+// The paper scale runs the exact parameters of the publication (N up to
+// 100 000, 50 runs) and takes minutes; quick scale shrinks sizes ~10× for
+// a fast smoke pass with the same shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/avg"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func main() {
+	fig := flag.String("fig", "3a", "artifact to regenerate: 3a, 3b, 4, rates, cycles, loss, crash, topology, viewsize")
+	scale := flag.String("scale", "paper", "paper (full-size) or quick (~10x smaller)")
+	seed := flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+	flag.Parse()
+	if err := run(*fig, *scale, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, scale string, seed uint64) error {
+	quick := scale == "quick"
+	if !quick && scale != "paper" {
+		return fmt.Errorf("unknown scale %q (want paper or quick)", scale)
+	}
+	switch fig {
+	case "3a":
+		cfg := experiments.DefaultFig3a()
+		if quick {
+			cfg.Sizes = []int{100, 300, 1000, 3000, 10000}
+			cfg.Runs = 10
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		series, err := experiments.Fig3a(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("# Figure 3(a): variance reduction after one AVG cycle vs network size")
+		printRateReferences()
+		printSeries(series)
+	case "3b":
+		cfg := experiments.DefaultFig3b()
+		if quick {
+			cfg.Size = 10000
+			cfg.Runs = 10
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		series, err := experiments.Fig3b(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# Figure 3(b): per-cycle variance reduction while iterating AVG, N = %d\n", cfg.Size)
+		printRateReferences()
+		printSeries(series)
+	case "4":
+		cfg := experiments.DefaultFig4()
+		if quick {
+			cfg.MinSize, cfg.MaxSize = 9000, 11000
+			cfg.Fluctuation = 10
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		reports, err := experiments.Fig4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Fig4TSV(reports))
+	case "rates":
+		return printRatesTable(quick, seed)
+	case "cycles":
+		cfg := experiments.DefaultCyclesToAccuracy()
+		if quick {
+			cfg.Size = 2000
+			cfg.Runs = 10
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		series, err := experiments.CyclesToAccuracy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# E5: cycles until variance ratio ≤ %g (paper §5: ln(1000) ≈ 7 for rand)\n", cfg.Target)
+		printSeries(series)
+	case "loss":
+		cfg := experiments.DefaultLossAblation()
+		if quick {
+			cfg.Size = 2000
+			cfg.Runs = 8
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		res, err := experiments.LossAblation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("# E6 (loss): getPair_seq under message loss")
+		fmt.Println("# loss_prob\treduction_rate\tmean_drift_sd_units")
+		for _, r := range res {
+			fmt.Printf("%.2f\t%.4f\t%.5f\n", r.LossProb, r.ReductionRate, r.MeanDrift)
+		}
+	case "crash":
+		cfg := experiments.DefaultCrashAblation()
+		if quick {
+			cfg.Size = 2000
+			cfg.Runs = 8
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		res, err := experiments.CrashAblation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("# E6 (crash): estimate error after crashing a fraction of nodes at cycle 0")
+		fmt.Println("# crash_fraction\tmean_error_sd_units\tfinal_variance_ratio")
+		for _, r := range res {
+			fmt.Printf("%.2f\t%.5f\t%.3g\n", r.Fraction, r.MeanError, r.FinalVarianceRatio)
+		}
+	case "topology":
+		cfg := experiments.DefaultTopologySweep()
+		if quick {
+			cfg.Size = 2000
+			cfg.Runs = 8
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		series, err := experiments.TopologySweep(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# Overlay ablation: geometric-mean per-cycle rate over %d cycles (lower = faster)\n", cfg.Cycles)
+		printSeries(series)
+	case "viewsize":
+		cfg := experiments.DefaultViewSizeSweep()
+		if quick {
+			cfg.Size = 2000
+			cfg.Runs = 5
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		series, err := experiments.ViewSizeSweep(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("# View-size ablation: per-cycle rate on k-regular overlays")
+		fmt.Print(series.TSV())
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+// printSeries renders each series as a TSV block separated by blank
+// lines (gnuplot index-style).
+func printSeries(series []*stats.Series) {
+	for _, s := range series {
+		fmt.Println()
+		fmt.Print(s.TSV())
+	}
+}
+
+// printRateReferences echoes the dotted reference lines of Figure 3.
+func printRateReferences() {
+	randRate, _ := avg.TheoreticalRate("rand")
+	seqRate, _ := avg.TheoreticalRate("seq")
+	fmt.Printf("# theory: 1/e = %.4f (rand), 1/(2*sqrt(e)) = %.4f (seq)\n", randRate, seqRate)
+}
+
+// printRatesTable measures the one-cycle reduction of every selector on
+// the complete graph and prints it against the closed forms of §3.3.
+func printRatesTable(quick bool, seed uint64) error {
+	n, runs := 20000, 20
+	if quick {
+		n, runs = 4000, 10
+	}
+	if seed == 0 {
+		seed = 99
+	}
+	fmt.Println("# E4: measured one-cycle variance reduction vs theory (complete graph)")
+	fmt.Printf("# selector\ttheory\tmeasured\tstderr\truns (N=%d)\n", n)
+	for _, sel := range []string{"pm", "rand", "seq", "pmrand"} {
+		theory, _ := avg.TheoreticalRate(sel)
+		var acc stats.Running
+		for run := 0; run < runs; run++ {
+			rng := xrand.New(seed + uint64(run)*7919)
+			ratio, err := measureOnce(sel, n, rng)
+			if err != nil {
+				return err
+			}
+			acc.Add(ratio)
+		}
+		fmt.Printf("%s\t%.4f\t%.4f\t%.4f\t%d\n", sel, theory, acc.Mean(), acc.StdErr(), runs)
+	}
+	return nil
+}
+
+// measureOnce runs one AVG cycle with the named selector on a fresh
+// complete graph and Gaussian vector.
+func measureOnce(sel string, n int, rng *xrand.Rand) (float64, error) {
+	g, err := experiments.BuildTopology(experiments.Complete, n, 0, rng)
+	if err != nil {
+		return 0, err
+	}
+	selector, err := avg.NewSelector(sel)
+	if err != nil {
+		return 0, err
+	}
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = rng.NormFloat64()
+	}
+	runner, err := avg.NewRunner(g, selector, values, rng)
+	if err != nil {
+		return 0, err
+	}
+	before := runner.Variance()
+	after := runner.Cycle()
+	return after / before, nil
+}

@@ -1,0 +1,68 @@
+// Adaptive tracking: the "all nodes know the value of some aggregate
+// continuously, in an adaptive fashion" promise from the paper's
+// introduction. Nodes' local values drift over time (a simulated daily
+// load pattern); the protocol restarts every epoch, so every node's
+// estimate follows the moving global average with one-epoch delay —
+// without any node ever asking a coordinator.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		size        = 2000
+		epochCycles = 20
+		epochs      = 12
+	)
+
+	// Per-node load: a shared daily sinusoid plus a node-specific
+	// offset. The global average moves with the sinusoid.
+	baseLoad := func(epochIdx, node int) float64 {
+		daily := 50 + 30*math.Sin(2*math.Pi*float64(epochIdx)/8)
+		return daily + float64(node%10) - 4.5
+	}
+
+	fmt.Println("epoch  true-average  estimate@node0  |error|")
+	for e := 0; e < epochs; e++ {
+		// Snapshot this epoch's local values (in a live deployment
+		// nodes call SetValue and the next restart picks it up; here we
+		// run each epoch through the simulation API for determinism).
+		values := make([]float64, size)
+		sum := 0.0
+		for i := range values {
+			values[i] = baseLoad(e, i)
+			sum += values[i]
+		}
+		trueAvg := sum / size
+
+		res, err := repro.Simulate(repro.SimulationConfig{
+			Size:     size,
+			Selector: "seq",
+			Values:   values,
+			Cycles:   epochCycles,
+			Seed:     uint64(1000 + e),
+		})
+		if err != nil {
+			return err
+		}
+		est := res.Values[0] // every node holds ≈ the same estimate
+		fmt.Printf("%5d  %12.4f  %14.4f  %.2e\n", e, trueAvg, est, math.Abs(est-trueAvg))
+	}
+	fmt.Println("\nEach epoch restarts from fresh local values, so the estimate tracks")
+	fmt.Println("the drifting global average (paper §4: restart mechanism).")
+	return nil
+}

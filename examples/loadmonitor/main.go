@@ -1,0 +1,83 @@
+// Load monitor: the grid-monitoring workload the paper's introduction
+// motivates ("the identity of the most powerful peer in a grid or the
+// total amount of free space in a distributed storage"). Every node
+// gossips a five-field summary — mean, variance, min, max and a size
+// indicator — so each node continuously knows the cluster-wide load
+// picture without any coordinator.
+//
+//	go run ./examples/loadmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	schema := repro.NewSummarySchema()
+	sizeIdx := 4 // "size" field position in the summary schema
+
+	// Synthetic load profile: most nodes lightly loaded, a few hot.
+	load := func(i int) float64 {
+		if i%10 == 0 {
+			return 90 + float64(i%7) // hot spots
+		}
+		return 10 + float64(i%25)
+	}
+
+	const clusterSize = 40
+	cluster, err := repro.NewCluster(repro.ClusterConfig{
+		Size:        clusterSize,
+		Schema:      schema,
+		Value:       load,
+		CycleLength: 5 * time.Millisecond,
+		Seed:        7,
+		// Node 0 leads the size-estimation instance: its indicator
+		// starts at 1, everyone else's at 0 (§4).
+		InitState: func(i int) func(uint64, float64) repro.State {
+			return func(_ uint64, value float64) repro.State {
+				st := schema.InitState(value)
+				if i == 0 {
+					st[sizeIdx] = 1
+				}
+				return st
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	if _, ok, err := cluster.WaitConverged("avg", 1e-6, 10*time.Second); err != nil || !ok {
+		return fmt.Errorf("cluster did not converge (err=%v)", err)
+	}
+	// Give the min/max and size fields a few more cycles to settle too.
+	time.Sleep(100 * time.Millisecond)
+
+	// Ask an arbitrary node — every node has the global picture.
+	probe := cluster.Nodes()[13]
+	summary, err := repro.DecodeSummary(schema, probe.State())
+	if err != nil {
+		return err
+	}
+	fmt.Println("cluster-wide load summary, as known by node 13:")
+	fmt.Printf("  mean load     : %8.2f\n", summary.Mean)
+	fmt.Printf("  load stddev   : %8.2f\n", math.Sqrt(summary.Variance))
+	fmt.Printf("  min load      : %8.2f\n", summary.Min)
+	fmt.Printf("  max load      : %8.2f  (the hottest peer)\n", summary.Max)
+	fmt.Printf("  network size  : %8.1f  (true: %d)\n", summary.Size, clusterSize)
+	fmt.Printf("  total load    : %8.1f  (mean × size)\n", summary.Sum)
+	return nil
+}

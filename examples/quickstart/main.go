@@ -1,0 +1,56 @@
+// Quickstart: run a live in-memory cluster of gossiping nodes and watch
+// every node's approximation of the global average converge.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 32 nodes, node i holding local value i (true average 15.5).
+	cluster, err := repro.NewCluster(repro.ClusterConfig{
+		Size:        32,
+		Schema:      repro.NewAverageSchema(),
+		Value:       func(i int) float64 { return float64(i) },
+		CycleLength: 10 * time.Millisecond, // Δt
+		Seed:        1,
+	})
+	if err != nil {
+		return err
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	fmt.Println("cycle  variance-across-nodes   node0-estimate")
+	for tick := 0; tick <= 10; tick++ {
+		variance, err := cluster.Variance("avg")
+		if err != nil {
+			return err
+		}
+		est, err := cluster.Nodes()[0].Estimate("avg")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%5d  %22.6g   %.6f\n", tick, variance, est)
+		time.Sleep(10 * time.Millisecond) // one cycle length
+	}
+
+	final, converged, err := cluster.WaitConverged("avg", 1e-9, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nconverged=%v final variance=%.3g (true average is 15.5)\n", converged, final)
+	return nil
+}

@@ -1,0 +1,47 @@
+// Size estimation under churn: the paper's §4 application. A network
+// whose size oscillates (day/night) with constant node turnover runs the
+// epoch-restarted counting protocol; every epoch each node learns a fresh
+// estimate of how many peers are out there.
+//
+//	go run ./examples/sizeestimate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := repro.SizeEstimationConfig{
+		MinSize:           9000,
+		MaxSize:           11000,
+		OscillationPeriod: 240, // cycles per day/night swing
+		Fluctuation:       10,  // nodes leaving and joining every cycle
+		EpochCycles:       30,  // protocol restarts every 30 cycles
+		TotalCycles:       480,
+		Instances:         4, // concurrent estimation instances per epoch
+		Seed:              2026,
+	}
+	reports, err := repro.EstimateSizeUnderChurn(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("epoch  cycle  actual-size  estimate (min..max across nodes)")
+	for _, r := range reports {
+		fmt.Printf("%5d  %5d  %11d  %8.0f (%.0f..%.0f)\n",
+			r.Epoch, r.EndCycle, r.SizeAtStart, r.EstimateMean, r.EstimateMin, r.EstimateMax)
+	}
+	fmt.Println("\nNote the one-epoch lag: an epoch's estimate describes the network")
+	fmt.Println("as it was when the epoch started, because joiners wait for the next")
+	fmt.Println("restart (paper §4, Figure 4).")
+	return nil
+}

@@ -1,0 +1,115 @@
+// TCP cluster: the same protocol over real sockets. Ten nodes listen on
+// loopback ports, bootstrap their membership from a single seed peer via
+// piggybacked gossip, and converge on the average of their values — the
+// deployment shape a real P2P network would use.
+//
+//	go run ./examples/tcpcluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro"
+)
+
+const (
+	clusterSize = 10
+	cycleLength = 20 * time.Millisecond
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	schema := repro.NewAverageSchema()
+
+	// Listen first so every node has a routable address.
+	endpoints := make([]repro.Endpoint, 0, clusterSize)
+	for i := 0; i < clusterSize; i++ {
+		ep, err := repro.NewTCPEndpoint("127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("listen node %d: %w", i, err)
+		}
+		endpoints = append(endpoints, ep)
+	}
+
+	// Every node knows only node 0's address; the rest of the overlay is
+	// discovered through piggybacked membership gossip.
+	seed := endpoints[0].Addr()
+	nodes := make([]*repro.Node, 0, clusterSize)
+	for i := 0; i < clusterSize; i++ {
+		seeds := []string{seed}
+		if i == 0 {
+			seeds = []string{endpoints[1].Addr()}
+		}
+		sampler, err := repro.NewGossipSampler(endpoints[i].Addr(), 6, seeds)
+		if err != nil {
+			return err
+		}
+		node, err := repro.NewNode(repro.NodeConfig{
+			Schema:      schema,
+			Endpoint:    endpoints[i],
+			Sampler:     sampler,
+			Value:       float64(10 * i), // true average: 45
+			CycleLength: cycleLength,
+			Wait:        repro.ExponentialWait,
+			Seed:        uint64(i + 1),
+		})
+		if err != nil {
+			return err
+		}
+		nodes = append(nodes, node)
+	}
+
+	for i, n := range nodes {
+		fmt.Printf("node %d listening on %s (value %g)\n", i, n.Addr(), float64(10*i))
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	fmt.Println("\ngossiping over TCP loopback ...")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		worst := 0.0
+		for _, n := range nodes {
+			est, err := n.Estimate("avg")
+			if err != nil {
+				return err
+			}
+			if d := math.Abs(est - 45); d > worst {
+				worst = d
+			}
+		}
+		fmt.Printf("worst deviation from true average 45: %.4f\n", worst)
+		if worst < 0.05 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("did not converge within 30s (worst deviation %.4f)", worst)
+		}
+		time.Sleep(10 * cycleLength)
+	}
+
+	var total repro.NodeStats
+	for _, n := range nodes {
+		s := n.Stats()
+		total.Initiated += s.Initiated
+		total.Replies += s.Replies
+		total.Timeouts += s.Timeouts
+	}
+	fmt.Printf("\nconverged. exchanges initiated=%d replies=%d timeouts=%d\n",
+		total.Initiated, total.Replies, total.Timeouts)
+	return nil
+}

@@ -1,0 +1,172 @@
+package avg
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithLossProbability makes every elementary exchange lossy with the
+// push-pull semantics of the deployed protocol: with probability p the
+// initiating message is dropped (the step is a no-op), otherwise with
+// probability p the reply is dropped, in which case only the responder j
+// applies the average — the asymmetric failure that violates mass
+// conservation and that experiment E6 quantifies.
+func WithLossProbability(p float64) Option {
+	return func(r *Runner) { r.lossProb = p }
+}
+
+// WithPhiCounts makes the Runner tally, for each cycle, how many times
+// each index was a member of a returned pair (the random variable φ of
+// Theorem 1). Counts are retrievable via PhiCounts after each cycle.
+func WithPhiCounts() Option {
+	return func(r *Runner) { r.countPhi = true }
+}
+
+// Runner iterates algorithm AVG (Figure 2) over a value vector on a fixed
+// overlay, exposing per-cycle empirical statistics.
+type Runner struct {
+	graph    topology.Graph
+	selector PairSelector
+	rng      *xrand.Rand
+	values   []float64
+
+	lossProb float64
+	countPhi bool
+	phi      []int
+	cycle    int
+}
+
+// NewRunner binds selector to graph, installs the initial value vector
+// (copied) and returns a Runner ready for Cycle calls. The vector length
+// must equal the graph size.
+func NewRunner(g topology.Graph, sel PairSelector, values []float64, rng *xrand.Rand, opts ...Option) (*Runner, error) {
+	if len(values) != g.Size() {
+		return nil, fmt.Errorf("avg: vector length %d does not match graph size %d", len(values), g.Size())
+	}
+	if err := sel.Bind(g, rng); err != nil {
+		return nil, fmt.Errorf("bind selector %q: %w", sel.Name(), err)
+	}
+	vals := make([]float64, len(values))
+	copy(vals, values)
+	r := &Runner{graph: g, selector: sel, rng: rng, values: vals}
+	for _, opt := range opts {
+		opt(r)
+	}
+	if r.countPhi {
+		r.phi = make([]int, len(vals))
+	}
+	return r, nil
+}
+
+// Values returns the live value vector. Callers may read it between
+// cycles; mutating it models external value changes (the protocol is
+// adaptive by design).
+func (r *Runner) Values() []float64 { return r.values }
+
+// Cycle performs one full cycle: exactly N elementary variance-reduction
+// steps, N = graph size. It returns the vector's empirical variance after
+// the cycle.
+func (r *Runner) Cycle() float64 {
+	n := r.graph.Size()
+	r.selector.BeginCycle()
+	if r.countPhi {
+		clear(r.phi)
+	}
+	for step := 0; step < n; step++ {
+		i, j := r.selector.NextPair()
+		if r.countPhi {
+			r.phi[i]++
+			r.phi[j]++
+		}
+		r.exchange(i, j)
+	}
+	r.cycle++
+	return stats.Variance(r.values)
+}
+
+// exchange applies one elementary step between indices i and j, honoring
+// the configured loss model.
+func (r *Runner) exchange(i, j int) {
+	if r.lossProb > 0 {
+		if r.rng.Bool(r.lossProb) {
+			return // request lost: nothing happens
+		}
+		if r.rng.Bool(r.lossProb) {
+			// Reply lost: the responder already averaged, the initiator
+			// never learns the result.
+			r.values[j] = (r.values[i] + r.values[j]) / 2
+			return
+		}
+	}
+	m := (r.values[i] + r.values[j]) / 2
+	r.values[i] = m
+	r.values[j] = m
+}
+
+// Run performs cycles complete cycles and returns the variance after each
+// one, with index 0 holding the initial variance σ₀² — the raw series
+// behind Figures 3(a) and 3(b).
+func (r *Runner) Run(cycles int) []float64 {
+	out := make([]float64, 0, cycles+1)
+	out = append(out, stats.Variance(r.values))
+	for c := 0; c < cycles; c++ {
+		out = append(out, r.Cycle())
+	}
+	return out
+}
+
+// PhiCounts returns the per-index selection counts of the most recent
+// cycle. It returns nil unless the Runner was built WithPhiCounts. The
+// slice is reused across cycles; copy it to retain.
+func (r *Runner) PhiCounts() []int { return r.phi }
+
+// CycleCount returns the number of completed cycles.
+func (r *Runner) CycleCount() int { return r.cycle }
+
+// Mean returns the current empirical mean of the vector — the quantity
+// every node's approximation converges to.
+func (r *Runner) Mean() float64 { return stats.Mean(r.values) }
+
+// Variance returns the current empirical variance of the vector.
+func (r *Runner) Variance() float64 { return stats.Variance(r.values) }
+
+// NewSelector returns a fresh selector by name: "pm", "rand", "seq" or
+// "pmrand". Unknown names return an error listing the options, so CLI
+// flag handling stays in one place.
+func NewSelector(name string) (PairSelector, error) {
+	switch name {
+	case "pm":
+		return NewPM(), nil
+	case "rand":
+		return NewRand(), nil
+	case "seq":
+		return NewSeq(), nil
+	case "pmrand":
+		return NewPMRand(), nil
+	default:
+		return nil, fmt.Errorf("avg: unknown selector %q (want pm, rand, seq or pmrand)", name)
+	}
+}
+
+// TheoreticalRate returns the closed-form per-cycle variance reduction
+// rate E(2^{-φ}) the paper derives for each selector on the complete
+// graph: 1/4 for pm (eq. 8), 1/e for rand (eq. 10) and 1/(2√e) for seq
+// and pmrand (eq. 12). ok is false for selectors without a closed form.
+func TheoreticalRate(name string) (rate float64, ok bool) {
+	switch name {
+	case "pm":
+		return 0.25, true
+	case "rand":
+		return 0.36787944117144233, true // 1/e
+	case "seq", "pmrand":
+		return 0.3032653298563167, true // 1/(2√e)
+	default:
+		return 0, false
+	}
+}

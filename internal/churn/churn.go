@@ -1,0 +1,105 @@
+// Package churn models the network dynamism of the paper's Figure 4
+// scenario: the network size oscillates between a minimum and a maximum
+// ("for example on a day/night alternation basis") while a constant
+// per-cycle fluctuation removes and adds a fixed number of nodes.
+package churn
+
+import (
+	"fmt"
+	"math"
+)
+
+// SizeModel prescribes the target network size at each protocol cycle.
+type SizeModel interface {
+	// TargetSize returns the intended number of live nodes at the given
+	// cycle (cycle 0 is the start of the experiment).
+	TargetSize(cycle int) int
+	// Name labels the model in experiment output.
+	Name() string
+}
+
+// Constant keeps the network at a fixed size.
+type Constant struct {
+	// N is the constant target size.
+	N int
+}
+
+var _ SizeModel = Constant{}
+
+// TargetSize implements SizeModel.
+func (c Constant) TargetSize(int) int { return c.N }
+
+// Name implements SizeModel.
+func (c Constant) Name() string { return fmt.Sprintf("constant-%d", c.N) }
+
+// Oscillating moves the target size sinusoidally between Min and Max with
+// the given period in cycles — the day/night alternation of Figure 4
+// (90 000 to 110 000 in the paper).
+type Oscillating struct {
+	// Min and Max bound the size swing; Min ≤ size ≤ Max at all cycles.
+	Min, Max int
+	// Period is the full oscillation period in cycles.
+	Period int
+	// Phase shifts the sinusoid (radians); zero starts at the midpoint
+	// moving upward.
+	Phase float64
+}
+
+var _ SizeModel = Oscillating{}
+
+// TargetSize implements SizeModel.
+func (o Oscillating) TargetSize(cycle int) int {
+	if o.Period <= 0 {
+		return o.Min
+	}
+	mid := float64(o.Min+o.Max) / 2
+	amp := float64(o.Max-o.Min) / 2
+	t := 2 * math.Pi * float64(cycle) / float64(o.Period)
+	return int(math.Round(mid + amp*math.Sin(t+o.Phase)))
+}
+
+// Name implements SizeModel.
+func (o Oscillating) Name() string {
+	return fmt.Sprintf("oscillating-%d-%d-p%d", o.Min, o.Max, o.Period)
+}
+
+// Plan is the per-cycle churn decision: how many nodes to remove and how
+// many to add, combining the size-model drift with symmetric fluctuation.
+type Plan struct {
+	// Remove is the number of nodes to take out of the network.
+	Remove int
+	// Add is the number of fresh nodes to introduce.
+	Add int
+}
+
+// Schedule derives per-cycle churn plans from a size model plus a
+// constant fluctuation ("100 nodes are removed ... and 100 nodes are
+// added" per cycle in the paper's experiment).
+type Schedule struct {
+	// Model drives the target size.
+	Model SizeModel
+	// Fluctuation is the number of nodes both removed and added every
+	// cycle on top of the drift.
+	Fluctuation int
+}
+
+// At returns the churn plan transitioning from the current size to the
+// model's target at the given cycle. The plan never removes the network
+// below two nodes.
+func (s Schedule) At(cycle, currentSize int) Plan {
+	target := s.Model.TargetSize(cycle)
+	p := Plan{Remove: s.Fluctuation, Add: s.Fluctuation}
+	switch {
+	case target > currentSize:
+		p.Add += target - currentSize
+	case target < currentSize:
+		p.Remove += currentSize - target
+	}
+	if max := currentSize - 2; p.Remove > max {
+		p.Remove = max
+		if p.Remove < 0 {
+			p.Remove = 0
+		}
+	}
+	return p
+}

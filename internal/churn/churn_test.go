@@ -1,0 +1,109 @@
+package churn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantModel(t *testing.T) {
+	m := Constant{N: 500}
+	for _, c := range []int{0, 1, 99, 100000} {
+		if got := m.TargetSize(c); got != 500 {
+			t.Fatalf("TargetSize(%d) = %d", c, got)
+		}
+	}
+	if m.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestOscillatingBounds(t *testing.T) {
+	m := Oscillating{Min: 90000, Max: 110000, Period: 400}
+	lo, hi := 1<<30, 0
+	for c := 0; c < 2000; c++ {
+		s := m.TargetSize(c)
+		if s < 90000 || s > 110000 {
+			t.Fatalf("cycle %d: size %d out of [90000, 110000]", c, s)
+		}
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	// Full swing must actually be explored.
+	if lo > 90100 || hi < 109900 {
+		t.Fatalf("swing [%d, %d] does not cover the configured range", lo, hi)
+	}
+}
+
+func TestOscillatingStartsAtMidpoint(t *testing.T) {
+	m := Oscillating{Min: 100, Max: 200, Period: 100}
+	if got := m.TargetSize(0); got != 150 {
+		t.Fatalf("TargetSize(0) = %d, want midpoint 150", got)
+	}
+}
+
+func TestOscillatingPeriodicity(t *testing.T) {
+	m := Oscillating{Min: 10, Max: 20, Period: 60}
+	for c := 0; c < 120; c++ {
+		a, b := m.TargetSize(c), m.TargetSize(c+60)
+		// Floating-point rounding of the sinusoid can flip the rounded
+		// size by one between periods.
+		if a-b > 1 || b-a > 1 {
+			t.Fatalf("not periodic at cycle %d: %d vs %d", c, a, b)
+		}
+	}
+}
+
+func TestOscillatingDegeneratePeriod(t *testing.T) {
+	m := Oscillating{Min: 10, Max: 20, Period: 0}
+	if got := m.TargetSize(5); got != 10 {
+		t.Fatalf("zero period TargetSize = %d, want Min", got)
+	}
+}
+
+func TestSchedulePlansTrackTarget(t *testing.T) {
+	s := Schedule{Model: Constant{N: 1000}, Fluctuation: 100}
+	p := s.At(0, 1000)
+	if p.Remove != 100 || p.Add != 100 {
+		t.Fatalf("steady plan = %+v, want ±100", p)
+	}
+	p = s.At(0, 900) // below target: net +100
+	if p.Remove != 100 || p.Add != 200 {
+		t.Fatalf("growth plan = %+v", p)
+	}
+	p = s.At(0, 1100) // above target: net −100
+	if p.Remove != 200 || p.Add != 100 {
+		t.Fatalf("shrink plan = %+v", p)
+	}
+}
+
+func TestScheduleNeverRemovesBelowTwo(t *testing.T) {
+	s := Schedule{Model: Constant{N: 0}, Fluctuation: 1000}
+	p := s.At(0, 5)
+	if p.Remove > 3 {
+		t.Fatalf("plan removes %d of 5 nodes; floor of 2 violated", p.Remove)
+	}
+	p = s.At(0, 2)
+	if p.Remove != 0 {
+		t.Fatalf("plan removes %d of 2 nodes", p.Remove)
+	}
+}
+
+func TestSchedulePlanConvergesQuick(t *testing.T) {
+	// Property: applying the plan moves the size exactly to the target
+	// (when the floor doesn't bind), regardless of start.
+	check := func(startRaw, targetRaw uint16) bool {
+		start := int(startRaw%10000) + 10
+		target := int(targetRaw%10000) + 10
+		s := Schedule{Model: Constant{N: target}, Fluctuation: 7}
+		p := s.At(0, start)
+		next := start - p.Remove + p.Add
+		return next == target
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+// Package core implements the anti-entropy aggregation protocol of the
+// paper's Figure 1 at node granularity: every node holds a local value
+// a_i and an approximation x_i of the global aggregate; an elementary
+// exchange between nodes i and j replaces both approximations with
+// AGGREGATE(x_i, x_j).
+//
+// The package provides the AGGREGATE implementations (average — the
+// paper's analytical focus — plus max, min and the derived aggregates
+// built from averages: counting/size, sum and variance via second
+// moments), multi-field states that gossip several aggregates in one
+// exchange, and a cycle-driven Network that supports the churn scenarios
+// of Section 4.
+package core
+
+import "fmt"
+
+// Aggregate identifies an elementary aggregation function. Aggregates
+// must be commutative and idempotent-safe in the sense of the paper: the
+// same function is applied at both peers so that both adopt the identical
+// merged approximation.
+type Aggregate int
+
+// Supported elementary aggregation functions.
+const (
+	// Average replaces both approximations with their mean — the
+	// variance-reduction step of Figure 2 and the basis of every derived
+	// aggregate (counting, sums, moments).
+	Average Aggregate = iota + 1
+	// Max spreads the maximum epidemically (equivalent to push-pull
+	// broadcast of the extremum, §1.1).
+	Max
+	// Min spreads the minimum epidemically.
+	Min
+)
+
+// String returns the lowercase name of the aggregate.
+func (a Aggregate) String() string {
+	switch a {
+	case Average:
+		return "average"
+	case Max:
+		return "max"
+	case Min:
+		return "min"
+	default:
+		return fmt.Sprintf("aggregate(%d)", int(a))
+	}
+}
+
+// Merge applies the elementary aggregation function to a pair of
+// approximations and returns the value both peers adopt.
+func (a Aggregate) Merge(x, y float64) float64 {
+	switch a {
+	case Average:
+		return (x + y) / 2
+	case Max:
+		if x > y {
+			return x
+		}
+		return y
+	case Min:
+		if x < y {
+			return x
+		}
+		return y
+	default:
+		panic("core: Merge on invalid Aggregate " + a.String())
+	}
+}
+
+// ParseAggregate maps a name ("average", "max", "min") to its Aggregate.
+func ParseAggregate(name string) (Aggregate, error) {
+	switch name {
+	case "average", "avg":
+		return Average, nil
+	case "max":
+		return Max, nil
+	case "min":
+		return Min, nil
+	default:
+		return 0, fmt.Errorf("core: unknown aggregate %q (want average, max or min)", name)
+	}
+}

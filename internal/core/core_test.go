@@ -1,0 +1,393 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestAggregateMerge(t *testing.T) {
+	cases := []struct {
+		agg  Aggregate
+		x, y float64
+		want float64
+	}{
+		{Average, 1, 3, 2},
+		{Average, -2, 2, 0},
+		{Max, 1, 3, 3},
+		{Max, -5, -7, -5},
+		{Min, 1, 3, 1},
+		{Min, -5, -7, -7},
+	}
+	for _, tc := range cases {
+		if got := tc.agg.Merge(tc.x, tc.y); got != tc.want {
+			t.Errorf("%v.Merge(%g, %g) = %g, want %g", tc.agg, tc.x, tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestAggregateMergeCommutative(t *testing.T) {
+	check := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		for _, agg := range []Aggregate{Average, Max, Min} {
+			if agg.Merge(x, y) != agg.Merge(y, x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMinIdempotent(t *testing.T) {
+	check := func(x float64) bool {
+		// (x+x)/2 overflows for |x| > MaxFloat64/2; that extreme is out
+		// of the protocol's numeric contract.
+		if math.IsNaN(x) || math.Abs(x) > math.MaxFloat64/2 {
+			return true
+		}
+		return Max.Merge(x, x) == x && Min.Merge(x, x) == x && Average.Merge(x, x) == x
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseAggregate(t *testing.T) {
+	for name, want := range map[string]Aggregate{
+		"average": Average, "avg": Average, "max": Max, "min": Min,
+	} {
+		got, err := ParseAggregate(name)
+		if err != nil || got != want {
+			t.Errorf("ParseAggregate(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseAggregate("median"); err == nil {
+		t.Error("unknown aggregate accepted")
+	}
+}
+
+func TestAggregateString(t *testing.T) {
+	if Average.String() != "average" || Max.String() != "max" || Min.String() != "min" {
+		t.Error("Aggregate String labels wrong")
+	}
+	if Aggregate(99).String() == "" {
+		t.Error("invalid aggregate produced empty string")
+	}
+}
+
+func TestMergeInvalidAggregatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge on invalid Aggregate did not panic")
+		}
+	}()
+	Aggregate(99).Merge(1, 2)
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := NewSchema(Field{Name: "a", Agg: Average}); err == nil {
+		t.Error("nil Init accepted")
+	}
+	f := Field{Name: "a", Agg: Average, Init: func(v float64) float64 { return v }}
+	if _, err := NewSchema(f, f); err == nil {
+		t.Error("duplicate field names accepted")
+	}
+}
+
+func TestSchemaIndexAndNames(t *testing.T) {
+	s := SummarySchema()
+	names := s.FieldNames()
+	want := []string{"avg", "avgsq", "min", "max", "size"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+		idx, err := s.Index(n)
+		if err != nil || idx != i {
+			t.Fatalf("Index(%q) = %d, %v", n, idx, err)
+		}
+	}
+	if _, err := s.Index("nope"); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestSchemaInitAndMerge(t *testing.T) {
+	s := SummarySchema()
+	a := s.InitState(4) // avg=4, avgsq=16, min=4, max=4, size=0
+	b := s.InitState(2) // avg=2, avgsq=4,  min=2, max=2, size=0
+	m := s.Merge(a, b)
+	want := State{3, 10, 2, 4, 0}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("merge = %v, want %v", m, want)
+		}
+	}
+	// MergeInto must write the same result into both states.
+	s.MergeInto(a, b)
+	for i := range want {
+		if a[i] != want[i] || b[i] != want[i] {
+			t.Fatalf("MergeInto: a=%v b=%v, want both %v", a, b, want)
+		}
+	}
+}
+
+func TestDecodeSummary(t *testing.T) {
+	s := SummarySchema()
+	st := State{3, 10, 2, 4, 0.001} // 1/0.001 = 1000 nodes
+	sum, err := DecodeSummary(s, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Mean != 3 {
+		t.Errorf("mean = %g", sum.Mean)
+	}
+	if want := 10.0 - 9.0; math.Abs(sum.Variance-want) > 1e-12 {
+		t.Errorf("variance = %g, want %g", sum.Variance, want)
+	}
+	if sum.Min != 2 || sum.Max != 4 {
+		t.Errorf("min/max = %g/%g", sum.Min, sum.Max)
+	}
+	if math.Abs(sum.Size-1000) > 1e-9 {
+		t.Errorf("size = %g, want 1000", sum.Size)
+	}
+	if math.Abs(sum.Sum-3000) > 1e-6 {
+		t.Errorf("sum = %g, want 3000", sum.Sum)
+	}
+}
+
+func TestDecodeSummaryZeroIndicator(t *testing.T) {
+	s := SummarySchema()
+	sum, err := DecodeSummary(s, State{1, 1, 1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(sum.Size) || !math.IsNaN(sum.Sum) {
+		t.Errorf("leaderless decode: size=%g sum=%g, want NaN", sum.Size, sum.Sum)
+	}
+}
+
+func TestDecodeSummaryVarianceClamped(t *testing.T) {
+	s := SummarySchema()
+	// Rounding can push E[a²] − E[a]² slightly negative; must clamp.
+	sum, err := DecodeSummary(s, State{2, 3.999999999, 2, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Variance < 0 {
+		t.Errorf("variance = %g, want clamped ≥ 0", sum.Variance)
+	}
+}
+
+func TestDecodeSummaryErrors(t *testing.T) {
+	s := SummarySchema()
+	if _, err := DecodeSummary(s, State{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := DecodeSummary(AverageSchema(), State{1}); err == nil {
+		t.Error("non-summary schema accepted")
+	}
+}
+
+func TestSizeEstimate(t *testing.T) {
+	if got := SizeEstimate(0.01); math.Abs(got-100) > 1e-9 {
+		t.Errorf("SizeEstimate(0.01) = %g", got)
+	}
+	if !math.IsNaN(SizeEstimate(0)) || !math.IsNaN(SizeEstimate(-1)) {
+		t.Error("non-positive indicator should estimate NaN")
+	}
+}
+
+func TestNetworkConvergesToTrueMean(t *testing.T) {
+	rng := xrand.New(300)
+	nw, err := NewNetwork(AverageSchema(), 500, func(i int) float64 { return float64(i) }, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueMean := nw.TrueMean()
+	for c := 0; c < 30; c++ {
+		nw.Cycle()
+	}
+	vals, err := nw.FieldValues("avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if math.Abs(v-trueMean) > 1e-6*math.Max(1, math.Abs(trueMean)) {
+			t.Fatalf("node %d estimate %g, want %g", i, v, trueMean)
+		}
+	}
+}
+
+func TestNetworkSummaryConverges(t *testing.T) {
+	rng := xrand.New(301)
+	schema := SummarySchema()
+	nw, err := NewNetwork(schema, 256, func(i int) float64 { return float64(i%7) + 1 }, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Elect node 0 as the size leader.
+	idx, err := schema.Index("size")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Nodes()[0].State[idx] = 1
+	for c := 0; c < 40; c++ {
+		nw.Cycle()
+	}
+	sum, err := DecodeSummary(schema, nw.Nodes()[17].State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.Mean-nw.TrueMean()) > 1e-6 {
+		t.Errorf("mean = %g, want %g", sum.Mean, nw.TrueMean())
+	}
+	if sum.Min != 1 || sum.Max != 7 {
+		t.Errorf("min/max = %g/%g, want 1/7", sum.Min, sum.Max)
+	}
+	if math.Abs(sum.Size-256) > 1 {
+		t.Errorf("size estimate = %g, want ≈ 256", sum.Size)
+	}
+}
+
+func TestNetworkVarianceReductionRate(t *testing.T) {
+	// The cycle-driven network implements GETPAIR_SEQ dynamics; its
+	// per-cycle variance reduction must sit near 1/(2√e).
+	rng := xrand.New(302)
+	var acc stats.Running
+	for run := 0; run < 10; run++ {
+		nw, err := NewNetwork(AverageSchema(), 2000, func(int) float64 { return rng.NormFloat64() }, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, err := nw.FieldVariance("avg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.Cycle()
+		after, _ := nw.FieldVariance("avg")
+		acc.Add(after / before)
+	}
+	if got := acc.Mean(); got < 0.27 || got > 0.33 {
+		t.Fatalf("network one-cycle reduction = %.4f, want ≈ 0.30", got)
+	}
+}
+
+func TestNetworkMassConservation(t *testing.T) {
+	rng := xrand.New(303)
+	nw, err := NewNetwork(AverageSchema(), 200, func(int) float64 { return rng.NormFloat64() }, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := nw.FieldValues("avg")
+	sumBefore := stats.Sum(before)
+	for c := 0; c < 10; c++ {
+		nw.Cycle()
+	}
+	after, _ := nw.FieldValues("avg")
+	if diff := math.Abs(stats.Sum(after) - sumBefore); diff > 1e-9 {
+		t.Fatalf("sum drifted by %g", diff)
+	}
+}
+
+func TestNetworkJoinAndRemove(t *testing.T) {
+	rng := xrand.New(304)
+	nw, err := NewNetwork(AverageSchema(), 10, func(int) float64 { return 1 }, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := nw.Join(5)
+	if nw.Size() != 11 {
+		t.Fatalf("size = %d after join", nw.Size())
+	}
+	if n.State[0] != 5 {
+		t.Fatalf("joiner state = %v", n.State)
+	}
+	removed := nw.RemoveRandom(4)
+	if removed != 4 || nw.Size() != 7 {
+		t.Fatalf("removed %d, size %d", removed, nw.Size())
+	}
+	// Never shrinks below 2.
+	removed = nw.RemoveRandom(100)
+	if nw.Size() != 2 {
+		t.Fatalf("size = %d, want floor of 2", nw.Size())
+	}
+	if removed != 5 {
+		t.Fatalf("removed = %d, want 5", removed)
+	}
+}
+
+func TestNetworkIDsNeverReused(t *testing.T) {
+	rng := xrand.New(305)
+	nw, err := NewNetwork(AverageSchema(), 5, func(int) float64 { return 0 }, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	for _, n := range nw.Nodes() {
+		seen[n.ID] = true
+	}
+	nw.RemoveRandom(3)
+	for i := 0; i < 10; i++ {
+		n := nw.Join(0)
+		if seen[n.ID] {
+			t.Fatalf("ID %d reused", n.ID)
+		}
+		seen[n.ID] = true
+	}
+}
+
+func TestNetworkRestart(t *testing.T) {
+	rng := xrand.New(306)
+	nw, err := NewNetwork(AverageSchema(), 50, func(i int) float64 { return float64(i) }, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 20; c++ {
+		nw.Cycle()
+	}
+	// Change local values, restart, converge to the new mean.
+	for _, n := range nw.Nodes() {
+		n.Value = 42
+	}
+	nw.Restart()
+	for c := 0; c < 20; c++ {
+		nw.Cycle()
+	}
+	vals, _ := nw.FieldValues("avg")
+	for _, v := range vals {
+		if math.Abs(v-42) > 1e-9 {
+			t.Fatalf("after restart estimate = %g, want 42", v)
+		}
+	}
+}
+
+func TestNetworkRejectsTiny(t *testing.T) {
+	rng := xrand.New(307)
+	if _, err := NewNetwork(AverageSchema(), 1, func(int) float64 { return 0 }, rng); err == nil {
+		t.Fatal("1-node network accepted")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema with no fields did not panic")
+		}
+	}()
+	MustSchema()
+}

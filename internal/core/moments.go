@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper (§1.1) notes that being able to average makes it possible to
+// compute "any moments (using averages of different powers of the value
+// set)". This file provides the ready-made schemas for that: raw moments
+// up to order k (decoding to variance, skewness and kurtosis) and the
+// geometric mean via averaged logarithms.
+
+// MomentsSchema gossips the averages of v, v², … v^order in one
+// instance. order must be between 2 and 8 (order 1 is AverageSchema;
+// beyond 8 float64 powers of typical values overflow or drown in
+// rounding before they are statistically useful).
+func MomentsSchema(order int) (*Schema, error) {
+	if order < 2 || order > 8 {
+		return nil, fmt.Errorf("core: moments order must be in [2, 8], got %d", order)
+	}
+	fields := make([]Field, 0, order)
+	for p := 1; p <= order; p++ {
+		power := p
+		fields = append(fields, Field{
+			Name: fmt.Sprintf("m%d", power),
+			Agg:  Average,
+			Init: func(v float64) float64 { return math.Pow(v, float64(power)) },
+		})
+	}
+	return NewSchema(fields...)
+}
+
+// Moments is the decoded result of a MomentsSchema state.
+type Moments struct {
+	// Raw holds the raw moments E[v^p], index 0 = E[v].
+	Raw []float64
+	// Mean is E[v].
+	Mean float64
+	// Variance is the central second moment (clamped at 0).
+	Variance float64
+	// Skewness is the standardized third central moment (0 when the
+	// variance vanishes or order < 3).
+	Skewness float64
+	// Kurtosis is the standardized fourth central moment, NOT excess
+	// (3 for a Gaussian; 0 when variance vanishes or order < 4).
+	Kurtosis float64
+}
+
+// DecodeMoments interprets a MomentsSchema state.
+func DecodeMoments(schema *Schema, st State) (Moments, error) {
+	if schema.Len() != len(st) {
+		return Moments{}, fmt.Errorf("core: state has %d fields, schema wants %d", len(st), schema.Len())
+	}
+	if schema.Len() < 2 {
+		return Moments{}, fmt.Errorf("core: schema %v is not a moments schema", schema.FieldNames())
+	}
+	for p := 1; p <= schema.Len(); p++ {
+		if _, err := schema.Index(fmt.Sprintf("m%d", p)); err != nil {
+			return Moments{}, fmt.Errorf("core: schema %v is not a moments schema", schema.FieldNames())
+		}
+	}
+	m := Moments{Raw: append([]float64(nil), st...)}
+	m.Mean = st[0]
+	if v := st[1] - st[0]*st[0]; v > 0 {
+		m.Variance = v
+	}
+	if len(st) >= 3 && m.Variance > 0 {
+		mu, v := m.Mean, m.Variance
+		third := st[2] - 3*mu*st[1] + 2*mu*mu*mu
+		m.Skewness = third / math.Pow(v, 1.5)
+	}
+	if len(st) >= 4 && m.Variance > 0 {
+		mu, v := m.Mean, m.Variance
+		fourth := st[3] - 4*mu*st[2] + 6*mu*mu*st[1] - 3*mu*mu*mu*mu
+		m.Kurtosis = fourth / (v * v)
+	}
+	return m, nil
+}
+
+// GeometricSchema gossips the average of log(v), so the decoded result
+// is the geometric mean of the (strictly positive) local values — the
+// standard trick for averaging rates and multiplicative quantities.
+// Non-positive local values initialize to NaN and poison the instance,
+// surfacing the contract violation instead of silently corrupting it.
+func GeometricSchema() *Schema {
+	return MustSchema(Field{
+		Name: "logavg",
+		Agg:  Average,
+		Init: func(v float64) float64 {
+			if v <= 0 {
+				return math.NaN()
+			}
+			return math.Log(v)
+		},
+	})
+}
+
+// DecodeGeometricMean interprets a GeometricSchema state.
+func DecodeGeometricMean(schema *Schema, st State) (float64, error) {
+	idx, err := schema.Index("logavg")
+	if err != nil {
+		return 0, fmt.Errorf("core: schema %v is not a geometric schema", schema.FieldNames())
+	}
+	if idx >= len(st) {
+		return 0, fmt.Errorf("core: state has %d fields, need %d", len(st), idx+1)
+	}
+	return math.Exp(st[idx]), nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Node is one participant of a cycle-driven aggregation network.
+type Node struct {
+	// ID is a stable identifier assigned at join time; IDs are never
+	// reused within one Network.
+	ID int64
+	// Value is the node's local attribute a_i (read by Init at protocol
+	// restart; changing it models a dynamically varying attribute).
+	Value float64
+	// State is the node's current vector of approximations x_i.
+	State State
+}
+
+// Network is a cycle-driven simulation of the Figure 1 protocol under the
+// complete-overlay (or ideal peer-sampling) assumption: at every cycle
+// each node initiates one exchange with a uniformly random other live
+// node, mirroring GETPAIR_SEQ. Nodes can join and leave between cycles,
+// which is the churn model behind Figure 4.
+//
+// Network is not safe for concurrent use; the asynchronous runtime lives
+// in internal/engine.
+type Network struct {
+	schema *Schema
+	rng    *xrand.Rand
+	nodes  []*Node
+	nextID int64
+}
+
+// NewNetwork builds a network of n nodes whose local values are produced
+// by value(i) and whose states are initialized from the schema.
+func NewNetwork(schema *Schema, n int, value func(i int) float64, rng *xrand.Rand) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: network needs at least 2 nodes, got %d", n)
+	}
+	nw := &Network{schema: schema, rng: rng, nodes: make([]*Node, 0, n)}
+	for i := 0; i < n; i++ {
+		nw.Join(value(i))
+	}
+	return nw, nil
+}
+
+// Schema returns the gossip schema shared by all nodes.
+func (nw *Network) Schema() *Schema { return nw.schema }
+
+// Size returns the current number of live nodes.
+func (nw *Network) Size() int { return len(nw.nodes) }
+
+// Nodes returns the live node slice (shared; treat as read-only).
+func (nw *Network) Nodes() []*Node { return nw.nodes }
+
+// Join adds a node with the given local value and a freshly initialized
+// state, returning it. In epoch-based deployments joiners wait for the
+// next restart; that policy lives in internal/epoch, which calls Join at
+// the right boundary.
+func (nw *Network) Join(value float64) *Node {
+	n := &Node{ID: nw.nextID, Value: value, State: nw.schema.InitState(value)}
+	nw.nextID++
+	nw.nodes = append(nw.nodes, n)
+	return n
+}
+
+// RemoveRandom removes k uniformly random nodes (crash model: their state
+// mass disappears, which is exactly the perturbation Figure 4 tolerates).
+// It removes at most Size()-2 nodes so the network stays exchangeable,
+// and returns how many were removed.
+func (nw *Network) RemoveRandom(k int) int {
+	removed := 0
+	for removed < k && len(nw.nodes) > 2 {
+		i := nw.rng.Intn(len(nw.nodes))
+		last := len(nw.nodes) - 1
+		nw.nodes[i] = nw.nodes[last]
+		nw.nodes[last] = nil
+		nw.nodes = nw.nodes[:last]
+		removed++
+	}
+	return removed
+}
+
+// Restart re-initializes every node's state from its current local value
+// — the start of a new epoch (§4).
+func (nw *Network) Restart() {
+	for _, n := range nw.nodes {
+		n.State = nw.schema.InitState(n.Value)
+	}
+}
+
+// Cycle runs one protocol cycle: every node, in slice order, initiates a
+// push-pull exchange with a uniformly random other node and both adopt
+// the merged state (GETPAIR_SEQ dynamics).
+func (nw *Network) Cycle() {
+	n := len(nw.nodes)
+	if n < 2 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		j := nw.rng.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		nw.schema.MergeInto(nw.nodes[i].State, nw.nodes[j].State)
+	}
+}
+
+// FieldValues returns every live node's approximation of the named field,
+// in node order — the vector the empirical statistics of §3 are computed
+// over.
+func (nw *Network) FieldValues(name string) ([]float64, error) {
+	idx, err := nw.schema.Index(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(nw.nodes))
+	for i, node := range nw.nodes {
+		out[i] = node.State[idx]
+	}
+	return out, nil
+}
+
+// FieldVariance returns the empirical variance (paper eq. 3) of the named
+// field's approximations across live nodes.
+func (nw *Network) FieldVariance(name string) (float64, error) {
+	vals, err := nw.FieldValues(name)
+	if err != nil {
+		return 0, err
+	}
+	return stats.Variance(vals), nil
+}
+
+// TrueMean returns the current mean of the nodes' local values — the
+// target the "avg" field converges to within an epoch.
+func (nw *Network) TrueMean() float64 {
+	vals := make([]float64, len(nw.nodes))
+	for i, n := range nw.nodes {
+		vals[i] = n.Value
+	}
+	return stats.Mean(vals)
+}

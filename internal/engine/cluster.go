@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/membership"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// ClusterConfig assembles a local in-memory cluster of nodes sharing one
+// fabric — the quickest way to run the live protocol at laptop scale
+// (examples, integration tests, the quickstart).
+type ClusterConfig struct {
+	// Size is the number of nodes (≥ 2).
+	Size int
+	// Schema defines the gossiped fields (required).
+	Schema *core.Schema
+	// Value supplies node i's local attribute.
+	Value func(i int) float64
+	// CycleLength is Δt for every node (required).
+	CycleLength time.Duration
+	// ReplyTimeout bounds the pull-reply wait (default CycleLength/2).
+	// Raise it on loaded machines: a timed-out exchange commits only the
+	// passive side and perturbs the mean slightly.
+	ReplyTimeout time.Duration
+	// Wait is the waiting-time policy (default ConstantWait).
+	Wait WaitPolicy
+	// Fabric carries the messages; nil builds a default lossless,
+	// zero-latency fabric.
+	Fabric *transport.Fabric
+	// PushOnly enables the push-only ablation on every node.
+	PushOnly bool
+	// InitState, when non-nil, is passed to node i via a closure so the
+	// cluster can seed per-node special roles (e.g. the size leader).
+	InitState func(i int) func(epochID uint64, value float64) core.State
+	// Seed makes the cluster deterministic-ish (scheduling still varies).
+	Seed uint64
+}
+
+// Cluster is a set of locally running nodes plus their shared fabric.
+type Cluster struct {
+	nodes  []*Node
+	fabric *transport.Fabric
+	schema *core.Schema
+}
+
+// NewCluster builds (but does not start) a local cluster. Every node gets
+// a static full-membership sampler, matching the paper's complete-overlay
+// assumption.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Size < 2 {
+		return nil, fmt.Errorf("engine: cluster needs ≥ 2 nodes, got %d", cfg.Size)
+	}
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("engine: cluster needs a Schema")
+	}
+	if cfg.Value == nil {
+		cfg.Value = func(int) float64 { return 0 }
+	}
+	fabric := cfg.Fabric
+	if fabric == nil {
+		fabric = transport.NewFabric(transport.WithSeed(cfg.Seed))
+	}
+
+	endpoints := make([]transport.Endpoint, cfg.Size)
+	addrs := make([]string, cfg.Size)
+	for i := range endpoints {
+		endpoints[i] = fabric.NewEndpoint()
+		addrs[i] = endpoints[i].Addr()
+	}
+
+	c := &Cluster{fabric: fabric, schema: cfg.Schema, nodes: make([]*Node, 0, cfg.Size)}
+	for i := 0; i < cfg.Size; i++ {
+		peers := make([]string, 0, cfg.Size-1)
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		sampler, err := membership.NewStatic(peers)
+		if err != nil {
+			return nil, fmt.Errorf("engine: sampler for node %d: %w", i, err)
+		}
+		nodeCfg := Config{
+			Schema:       cfg.Schema,
+			Endpoint:     endpoints[i],
+			Sampler:      sampler,
+			Value:        cfg.Value(i),
+			CycleLength:  cfg.CycleLength,
+			ReplyTimeout: cfg.ReplyTimeout,
+			Wait:         cfg.Wait,
+			PushOnly:     cfg.PushOnly,
+			Seed:         cfg.Seed + uint64(i)*0x9e3779b97f4a7c15,
+		}
+		if cfg.InitState != nil {
+			nodeCfg.InitState = cfg.InitState(i)
+		}
+		node, err := NewNode(nodeCfg)
+		if err != nil {
+			return nil, fmt.Errorf("engine: node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}
+
+// Nodes returns the cluster's nodes in index order.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Fabric returns the shared in-memory fabric (to inject loss or
+// partitions mid-test).
+func (c *Cluster) Fabric() *transport.Fabric { return c.fabric }
+
+// Start launches every node.
+func (c *Cluster) Start() {
+	for _, n := range c.nodes {
+		n.Start()
+	}
+}
+
+// Stop stops every node (and closes their endpoints).
+func (c *Cluster) Stop() {
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+}
+
+// Snapshot returns every node's current approximation of the named field.
+func (c *Cluster) Snapshot(field string) ([]float64, error) {
+	idx, err := c.schema.Index(field)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(c.nodes))
+	for i, n := range c.nodes {
+		st := n.State()
+		out[i] = st[idx]
+	}
+	return out, nil
+}
+
+// Variance returns the cross-node empirical variance of the named field —
+// the live-engine analogue of the paper's σ².
+func (c *Cluster) Variance(field string) (float64, error) {
+	vals, err := c.Snapshot(field)
+	if err != nil {
+		return 0, err
+	}
+	return stats.Variance(vals), nil
+}
+
+// WaitConverged polls until the named field's cross-node variance falls
+// to at most tol, returning the final variance and whether the deadline
+// was met.
+func (c *Cluster) WaitConverged(field string, tol float64, timeout time.Duration) (float64, bool, error) {
+	deadline := time.Now().Add(timeout)
+	interval := 5 * time.Millisecond
+	for {
+		v, err := c.Variance(field)
+		if err != nil {
+			return 0, false, err
+		}
+		if v <= tol {
+			return v, true, nil
+		}
+		if time.Now().After(deadline) {
+			return v, false, nil
+		}
+		time.Sleep(interval)
+	}
+}

@@ -1,0 +1,673 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/membership"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+func TestConfigValidation(t *testing.T) {
+	fabric := transport.NewFabric()
+	ep := fabric.NewEndpoint()
+	defer ep.Close()
+	sampler, err := membership.NewStatic([]string{"mem-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Schema:      core.AverageSchema(),
+		Endpoint:    ep,
+		Sampler:     sampler,
+		CycleLength: time.Millisecond,
+	}
+	mutations := []struct {
+		name   string
+		mutate func(c Config) Config
+	}{
+		{"nil schema", func(c Config) Config { c.Schema = nil; return c }},
+		{"nil endpoint", func(c Config) Config { c.Endpoint = nil; return c }},
+		{"nil sampler", func(c Config) Config { c.Sampler = nil; return c }},
+		{"zero cycle", func(c Config) Config { c.CycleLength = 0; return c }},
+		{"bad wait", func(c Config) Config { c.Wait = WaitPolicy(99); return c }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			if _, err := NewNode(m.mutate(base)); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestNodeStartStopClean(t *testing.T) {
+	fabric := transport.NewFabric()
+	ep := fabric.NewEndpoint()
+	sampler, _ := membership.NewStatic([]string{"nonexistent"})
+	n, err := NewNode(Config{
+		Schema:      core.AverageSchema(),
+		Endpoint:    ep,
+		Sampler:     sampler,
+		CycleLength: time.Millisecond,
+		Value:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	n.Start() // second Start is a no-op
+	time.Sleep(10 * time.Millisecond)
+	n.Stop()
+	n.Stop() // idempotent
+}
+
+func TestNodeStopBeforeStart(t *testing.T) {
+	fabric := transport.NewFabric()
+	ep := fabric.NewEndpoint()
+	sampler, _ := membership.NewStatic([]string{"x"})
+	n, err := NewNode(Config{
+		Schema:      core.AverageSchema(),
+		Endpoint:    ep,
+		Sampler:     sampler,
+		CycleLength: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Stop() // must not hang or panic
+}
+
+func TestClusterConvergesToAverage(t *testing.T) {
+	const size = 24
+	c, err := NewCluster(ClusterConfig{
+		Size:         size,
+		Schema:       core.AverageSchema(),
+		Value:        func(i int) float64 { return float64(i) },
+		CycleLength:  2 * time.Millisecond,
+		ReplyTimeout: 200 * time.Millisecond, // generous: timeouts skew the mean
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	v, converged, err := c.WaitConverged("avg", 1e-6, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !converged {
+		t.Fatalf("variance %g after 5s, want ≤ 1e-6", v)
+	}
+	vals, err := c.Snapshot("avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(size-1) / 2 // mean of 0..size-1
+	got := stats.Mean(vals)
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("converged mean %g, want ≈ %g", got, want)
+	}
+}
+
+func TestClusterSummarySchemaConverges(t *testing.T) {
+	schema := core.SummarySchema()
+	sizeIdx, err := schema.Index("size")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 16
+	c, err := NewCluster(ClusterConfig{
+		Size:         size,
+		Schema:       schema,
+		Value:        func(i int) float64 { return float64(i%4) + 1 },
+		CycleLength:  2 * time.Millisecond,
+		ReplyTimeout: 200 * time.Millisecond,
+		Seed:         2,
+		InitState: func(i int) func(uint64, float64) core.State {
+			return func(_ uint64, value float64) core.State {
+				st := schema.InitState(value)
+				if i == 0 {
+					st[sizeIdx] = 1 // node 0 leads the size instance
+				}
+				return st
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	if _, ok, _ := c.WaitConverged("size", 1e-10, 5*time.Second); !ok {
+		t.Fatal("size field did not converge")
+	}
+	sum, err := core.DecodeSummary(schema, c.Nodes()[7].State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.Size-size) > 0.5 {
+		t.Errorf("size estimate %g, want ≈ %d", sum.Size, size)
+	}
+	if sum.Min != 1 || sum.Max != 4 {
+		t.Errorf("min/max = %g/%g, want 1/4", sum.Min, sum.Max)
+	}
+	if math.Abs(sum.Mean-2.5) > 0.05 {
+		t.Errorf("mean = %g, want ≈ 2.5", sum.Mean)
+	}
+}
+
+func TestClusterMassApproximatelyConserved(t *testing.T) {
+	// Concurrent push-pull is not perfectly atomic, but the drift in the
+	// total must stay small relative to the spread of the inputs.
+	const size = 16
+	c, err := NewCluster(ClusterConfig{
+		Size:         size,
+		Schema:       core.AverageSchema(),
+		Value:        func(i int) float64 { return float64(i * 10) },
+		CycleLength:  time.Millisecond,
+		ReplyTimeout: 200 * time.Millisecond,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	if _, ok, _ := c.WaitConverged("avg", 1e-4, 5*time.Second); !ok {
+		t.Fatal("did not converge")
+	}
+	vals, _ := c.Snapshot("avg")
+	want := float64(size-1) * 10 / 2
+	if got := stats.Mean(vals); math.Abs(got-want) > 2 {
+		t.Fatalf("mean drifted to %g, want ≈ %g", got, want)
+	}
+}
+
+func TestClusterExponentialWaitConverges(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Size:        12,
+		Schema:      core.AverageSchema(),
+		Value:       func(i int) float64 { return float64(i) },
+		CycleLength: 2 * time.Millisecond,
+		Wait:        ExponentialWait,
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	if v, ok, _ := c.WaitConverged("avg", 1e-5, 5*time.Second); !ok {
+		t.Fatalf("exponential-wait cluster stuck at variance %g", v)
+	}
+}
+
+func TestClusterPushOnlyStillReducesVariance(t *testing.T) {
+	// Push-only is the ablation: it converges toward consensus, just
+	// without the initiator-side update and without exact mass
+	// conservation.
+	c, err := NewCluster(ClusterConfig{
+		Size:        12,
+		Schema:      core.AverageSchema(),
+		Value:       func(i int) float64 { return float64(i) },
+		CycleLength: 2 * time.Millisecond,
+		PushOnly:    true,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.Variance("avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		after, _ := c.Variance("avg")
+		if after < before/10 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("push-only variance stuck: %g → %g", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestClusterUnderMessageLoss(t *testing.T) {
+	fabric := transport.NewFabric(transport.WithDropProbability(0.2), transport.WithSeed(6))
+	c, err := NewCluster(ClusterConfig{
+		Size:        12,
+		Schema:      core.AverageSchema(),
+		Value:       func(i int) float64 { return float64(i) },
+		CycleLength: 2 * time.Millisecond,
+		Fabric:      fabric,
+		Seed:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	if v, ok, _ := c.WaitConverged("avg", 1e-4, 8*time.Second); !ok {
+		t.Fatalf("lossy cluster stuck at variance %g", v)
+	}
+	// Timeouts must have been recorded somewhere.
+	var timeouts uint64
+	for _, n := range c.Nodes() {
+		timeouts += n.Stats().Timeouts
+	}
+	if timeouts == 0 {
+		t.Error("20% loss produced zero timeouts; loss path untested")
+	}
+}
+
+func TestNodeStatsCounters(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Size:        4,
+		Schema:      core.AverageSchema(),
+		Value:       func(i int) float64 { return float64(i) },
+		CycleLength: time.Millisecond,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	time.Sleep(100 * time.Millisecond)
+	c.Stop()
+	var agg Stats
+	for _, n := range c.Nodes() {
+		s := n.Stats()
+		agg.Initiated += s.Initiated
+		agg.Replies += s.Replies
+		agg.Served += s.Served
+	}
+	if agg.Initiated < 10 {
+		t.Fatalf("only %d exchanges initiated in 100ms at Δt=1ms", agg.Initiated)
+	}
+	if agg.Served == 0 || agg.Replies == 0 {
+		t.Fatalf("served=%d replies=%d; passive path unexercised", agg.Served, agg.Replies)
+	}
+	if agg.Replies > agg.Initiated {
+		t.Fatalf("replies %d exceed initiations %d", agg.Replies, agg.Initiated)
+	}
+}
+
+func TestEpochRestartAdaptsToNewValues(t *testing.T) {
+	// With an epoch clock, changing local values must be reflected after
+	// the next restart — the adaptivity of §4.
+	fabric := transport.NewFabric()
+	schema := core.AverageSchema()
+	clock, err := epoch.NewClock(time.Now(), 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 8
+	endpoints := make([]transport.Endpoint, size)
+	addrs := make([]string, size)
+	for i := range endpoints {
+		endpoints[i] = fabric.NewEndpoint()
+		addrs[i] = endpoints[i].Addr()
+	}
+	nodes := make([]*Node, 0, size)
+	for i := 0; i < size; i++ {
+		peers := make([]string, 0, size-1)
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		sampler, err := membership.NewStatic(peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := NewNode(Config{
+			Schema:      schema,
+			Endpoint:    endpoints[i],
+			Sampler:     sampler,
+			Value:       1, // everyone starts at 1
+			CycleLength: 2 * time.Millisecond,
+			Clock:       clock,
+			Seed:        uint64(100 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	// Change every node's local value; after a restart the estimates
+	// must move from ≈1 to ≈5.
+	for _, n := range nodes {
+		n.SetValue(5)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		est, err := nodes[3].Estimate("avg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est-5) < 0.01 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("estimate %g never adapted to new value 5", est)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var switches uint64
+	for _, n := range nodes {
+		switches += n.Stats().EpochSwitches
+	}
+	if switches == 0 {
+		t.Fatal("no epoch switches recorded despite adaptation")
+	}
+}
+
+func TestEpochIDsMonotone(t *testing.T) {
+	clock, err := epoch.NewClock(time.Now(), 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := clusterWithClock(t, 6, clock)
+	c.Start()
+	defer c.Stop()
+	last := make([]uint64, 6)
+	for probe := 0; probe < 20; probe++ {
+		for i, n := range c.Nodes() {
+			cur := n.Epoch()
+			if cur < last[i] {
+				t.Fatalf("node %d epoch went backwards: %d → %d", i, last[i], cur)
+			}
+			last[i] = cur
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// After 200ms with 50ms epochs, every node must have advanced.
+	for i, n := range c.Nodes() {
+		if n.Epoch() == 0 {
+			t.Fatalf("node %d never left epoch 0", i)
+		}
+	}
+}
+
+// clusterWithClock builds a small cluster whose nodes share an epoch
+// clock (ClusterConfig has no clock field; build nodes directly).
+func clusterWithClock(t *testing.T, size int, clock *epoch.Clock) *Cluster {
+	t.Helper()
+	fabric := transport.NewFabric()
+	schema := core.AverageSchema()
+	endpoints := make([]transport.Endpoint, size)
+	addrs := make([]string, size)
+	for i := range endpoints {
+		endpoints[i] = fabric.NewEndpoint()
+		addrs[i] = endpoints[i].Addr()
+	}
+	c := &Cluster{fabric: fabric, schema: schema}
+	for i := 0; i < size; i++ {
+		peers := make([]string, 0, size-1)
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		sampler, err := membership.NewStatic(peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := NewNode(Config{
+			Schema:      schema,
+			Endpoint:    endpoints[i],
+			Sampler:     sampler,
+			Value:       float64(i),
+			CycleLength: 2 * time.Millisecond,
+			Clock:       clock,
+			Seed:        uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	return c
+}
+
+func TestTCPNodesExchange(t *testing.T) {
+	// Two live nodes over real TCP loopback must converge on the average
+	// of their values.
+	epA, err := transport.NewTCPEndpoint("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := transport.NewTCPEndpoint("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	samplerA, err := membership.NewStatic([]string{epB.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samplerB, err := membership.NewStatic([]string{epA.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := core.AverageSchema()
+	a, err := NewNode(Config{
+		Schema: schema, Endpoint: epA, Sampler: samplerA,
+		Value: 10, CycleLength: 5 * time.Millisecond, ReplyTimeout: 500 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNode(Config{
+		Schema: schema, Endpoint: epB, Sampler: samplerB,
+		Value: 20, CycleLength: 5 * time.Millisecond, ReplyTimeout: 500 * time.Millisecond, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	b.Start()
+	defer a.Stop()
+	defer b.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ea, err := a.Estimate("avg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := b.Estimate("avg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ea-15) < 1e-9 && math.Abs(eb-15) < 1e-9 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("TCP pair stuck at %g / %g, want 15", ea, eb)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestGossipSamplerIntegration(t *testing.T) {
+	// Nodes bootstrapped with only one seed peer must still reach
+	// everyone through piggybacked membership gossip.
+	fabric := transport.NewFabric()
+	schema := core.AverageSchema()
+	const size = 10
+	endpoints := make([]transport.Endpoint, size)
+	addrs := make([]string, size)
+	for i := range endpoints {
+		endpoints[i] = fabric.NewEndpoint()
+		addrs[i] = endpoints[i].Addr()
+	}
+	nodes := make([]*Node, 0, size)
+	for i := 0; i < size; i++ {
+		seed := addrs[(i+1)%size] // ring bootstrap
+		sampler, err := membership.NewGossipSampler(addrs[i], 8, []string{seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := NewNode(Config{
+			Schema:      schema,
+			Endpoint:    endpoints[i],
+			Sampler:     sampler,
+			Value:       float64(i),
+			CycleLength: 2 * time.Millisecond,
+			Seed:        uint64(i + 50),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	want := float64(size-1) / 2
+	deadline := time.Now().Add(8 * time.Second)
+	for {
+		worst := 0.0
+		for _, n := range nodes {
+			est, err := n.Estimate("avg")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(est - want); d > worst {
+				worst = d
+			}
+		}
+		// Concurrent exchanges are not perfectly atomic, so allow a
+		// small residual bias; the property under test is that a
+		// one-seed bootstrap disseminates across the whole network.
+		if worst < 0.05 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gossip-sampler cluster stuck, worst error %g", worst)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Size: 1, Schema: core.AverageSchema(), CycleLength: time.Millisecond}); err == nil {
+		t.Error("1-node cluster accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Size: 4, CycleLength: time.Millisecond}); err == nil {
+		t.Error("nil schema accepted")
+	}
+}
+
+func TestEstimateUnknownField(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Size:        2,
+		Schema:      core.AverageSchema(),
+		CycleLength: time.Millisecond,
+		Seed:        8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if _, err := c.Nodes()[0].Estimate("bogus"); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := c.Snapshot("bogus"); err == nil {
+		t.Fatal("unknown field accepted by Snapshot")
+	}
+}
+
+func TestWaitPolicyString(t *testing.T) {
+	if ConstantWait.String() != "constant" || ExponentialWait.String() != "exponential" {
+		t.Error("wait policy names wrong")
+	}
+	if WaitPolicy(42).String() == "" {
+		t.Error("unknown policy produced empty string")
+	}
+}
+
+func TestSendErrorForgetsDeadPeer(t *testing.T) {
+	fabric := transport.NewFabric()
+	ep := fabric.NewEndpoint()
+	dead := fabric.NewEndpoint()
+	deadAddr := dead.Addr()
+	if err := dead.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sampler, err := membership.NewGossipSampler(ep.Addr(), 4, []string{deadAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(Config{
+		Schema:      core.AverageSchema(),
+		Endpoint:    ep,
+		Sampler:     sampler,
+		CycleLength: time.Millisecond,
+		Seed:        9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	time.Sleep(50 * time.Millisecond)
+	n.Stop()
+	if n.Stats().SendErrors == 0 {
+		t.Fatal("no send errors recorded against a dead-only peer set")
+	}
+	// The dead peer must have been forgotten from the view.
+	for _, a := range sampler.ViewAddrs() {
+		if a == deadAddr {
+			t.Fatal("dead peer still in view after send errors")
+		}
+	}
+}
+
+func TestClusterSnapshotUnknownSchemaError(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Size:        2,
+		Schema:      core.AverageSchema(),
+		CycleLength: time.Millisecond,
+		Seed:        10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if _, _, err := c.WaitConverged("bogus", 1, time.Millisecond); err == nil {
+		t.Fatal("WaitConverged accepted unknown field")
+	}
+	var wantErr error
+	_, wantErr = c.Variance("bogus")
+	if wantErr == nil {
+		t.Fatal("Variance accepted unknown field")
+	}
+	if errors.Is(wantErr, transport.ErrClosed) {
+		t.Fatal("wrong error kind")
+	}
+}

@@ -1,0 +1,495 @@
+// Package engine is the deployable, asynchronous realization of the
+// Figure 1 protocol: every node runs an active goroutine that wakes up
+// once per cycle (constant or exponentially distributed waiting time,
+// §1.1), samples a neighbor from its membership layer and performs a
+// push-pull exchange over a transport; a dispatcher goroutine serves the
+// passive side. Epoch restarts (§4) make the aggregates adaptive.
+//
+// The paper's analysis assumes zero-latency, perfectly synchronized
+// exchanges; the engine relaxes both and is validated empirically against
+// the same convergence targets in its tests.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/membership"
+	"repro/internal/transport"
+	"repro/internal/xrand"
+)
+
+// WaitPolicy selects how a node draws its inter-exchange waiting time.
+type WaitPolicy int
+
+// Waiting-time policies from §1.1 and §3.3: constant Δt makes the node
+// initiate exactly once per cycle (GETPAIR_SEQ dynamics), exponential
+// waiting with mean Δt approximates GETPAIR_RAND.
+const (
+	ConstantWait WaitPolicy = iota + 1
+	ExponentialWait
+)
+
+// String returns the policy name.
+func (p WaitPolicy) String() string {
+	switch p {
+	case ConstantWait:
+		return "constant"
+	case ExponentialWait:
+		return "exponential"
+	default:
+		return fmt.Sprintf("waitpolicy(%d)", int(p))
+	}
+}
+
+// Config assembles a node. Schema, Endpoint and Sampler are required.
+type Config struct {
+	// Schema defines the gossiped fields and their merges.
+	Schema *core.Schema
+	// Endpoint is the node's transport attachment. The node takes
+	// ownership: Stop closes it.
+	Endpoint transport.Endpoint
+	// Sampler supplies random neighbors and absorbs piggybacked
+	// membership gossip.
+	Sampler membership.Sampler
+	// Value is the node's initial local attribute a_i.
+	Value float64
+	// CycleLength is Δt, the (mean) waiting time between initiated
+	// exchanges. Must be positive.
+	CycleLength time.Duration
+	// Wait selects the waiting-time distribution (default ConstantWait).
+	Wait WaitPolicy
+	// ReplyTimeout bounds how long the active side waits for the pull
+	// reply; defaults to CycleLength/2. A timed-out exchange is simply
+	// skipped — the loss tolerance of E6.
+	ReplyTimeout time.Duration
+	// Clock, when non-nil, drives epoch restarts: at every epoch
+	// boundary the node reinitializes its state from its local value.
+	// Nil runs one endless epoch.
+	Clock *epoch.Clock
+	// InitState overrides state initialization at (re)start; nil uses
+	// Schema.InitState(value). Size-estimation leaders use this to seed
+	// their indicator field with 1 for epochs they lead.
+	InitState func(epochID uint64, value float64) core.State
+	// PushOnly disables the pull half of the exchange (ablation:
+	// passive peers merge, the initiator never learns anything back).
+	PushOnly bool
+	// GossipFanout is how many membership addresses to piggyback per
+	// message (default 3; negative disables).
+	GossipFanout int
+	// Seed makes the node's randomness reproducible.
+	Seed uint64
+}
+
+// withDefaults validates and fills defaults.
+func (c Config) withDefaults() (Config, error) {
+	if c.Schema == nil {
+		return c, fmt.Errorf("engine: config needs a Schema")
+	}
+	if c.Endpoint == nil {
+		return c, fmt.Errorf("engine: config needs an Endpoint")
+	}
+	if c.Sampler == nil {
+		return c, fmt.Errorf("engine: config needs a Sampler")
+	}
+	if c.CycleLength <= 0 {
+		return c, fmt.Errorf("engine: CycleLength must be positive, got %v", c.CycleLength)
+	}
+	if c.Wait == 0 {
+		c.Wait = ConstantWait
+	}
+	if c.Wait != ConstantWait && c.Wait != ExponentialWait {
+		return c, fmt.Errorf("engine: unknown wait policy %v", c.Wait)
+	}
+	if c.ReplyTimeout <= 0 {
+		c.ReplyTimeout = c.CycleLength / 2
+	}
+	if c.GossipFanout == 0 {
+		c.GossipFanout = 3
+	}
+	if c.GossipFanout < 0 {
+		c.GossipFanout = 0
+	}
+	return c, nil
+}
+
+// Stats is a snapshot of a node's protocol counters.
+type Stats struct {
+	Initiated     uint64 // exchanges started by the active loop
+	Replies       uint64 // pull replies received and merged
+	Timeouts      uint64 // exchanges abandoned waiting for the reply
+	Served        uint64 // pushes answered on the passive side
+	EpochSwitches uint64 // restarts (local timer or observed id)
+	StaleDropped  uint64 // messages discarded for carrying an old epoch
+	SendErrors    uint64 // transport send failures
+	BusyDropped   uint64 // pushes declined while an own exchange was in flight
+	PeerBusy      uint64 // own pushes nacked by a busy peer
+}
+
+// Node is one protocol participant. Create with NewNode, then Start; Stop
+// tears down both goroutines and the endpoint.
+type Node struct {
+	cfg  Config
+	addr string
+
+	mu      sync.Mutex
+	state   core.State
+	value   float64
+	tracker epoch.Tracker
+	rngAct  *xrand.Rand // active-loop RNG
+	rngDisp *xrand.Rand // dispatcher RNG (digests on replies)
+
+	pendingMu sync.Mutex
+	pending   map[uint64]chan transport.Message
+	seq       atomic.Uint64
+
+	initiated, replies, timeouts atomic.Uint64
+	served, epochSwitches        atomic.Uint64
+	staleDropped, sendErrors     atomic.Uint64
+	busyDropped, peerBusy        atomic.Uint64
+
+	// busy marks an exchange in flight on the active side. While set,
+	// incoming pushes are declined (no reply), so the node's state cannot
+	// change between sending its push and merging the pull reply — the
+	// serialization that keeps the push-pull step atomic and the total
+	// mass conserved (§3.2).
+	busy atomic.Bool
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	started  atomic.Bool
+}
+
+// NewNode builds a node from the configuration; the protocol does not run
+// until Start is called.
+func NewNode(cfg Config) (*Node, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	master := xrand.New(cfg.Seed)
+	n := &Node{
+		cfg:     cfg,
+		addr:    cfg.Endpoint.Addr(),
+		value:   cfg.Value,
+		rngAct:  master.Split(),
+		rngDisp: master.Split(),
+		pending: make(map[uint64]chan transport.Message),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	startEpoch := uint64(0)
+	if cfg.Clock != nil {
+		startEpoch = cfg.Clock.Current(time.Now())
+	}
+	n.tracker = epoch.NewTracker(startEpoch)
+	n.state = n.initState(startEpoch, cfg.Value)
+	return n, nil
+}
+
+// initState builds the node's state for an epoch.
+func (n *Node) initState(epochID uint64, value float64) core.State {
+	if n.cfg.InitState != nil {
+		return n.cfg.InitState(epochID, value)
+	}
+	return n.cfg.Schema.InitState(value)
+}
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() string { return n.addr }
+
+// Start launches the active loop and the dispatcher. Calling Start more
+// than once is a no-op.
+func (n *Node) Start() {
+	if n.started.Swap(true) {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); n.activeLoop() }()
+	go func() { defer wg.Done(); n.dispatch() }()
+	go func() { wg.Wait(); close(n.done) }()
+}
+
+// Stop signals both goroutines, closes the endpoint and waits for
+// shutdown. It is idempotent and safe to call before Start.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		_ = n.cfg.Endpoint.Close() // unblocks the dispatcher
+	})
+	if n.started.Load() {
+		<-n.done
+	}
+}
+
+// SetValue updates the node's local attribute a_i. With epoch restarts
+// enabled the new value enters the aggregate at the next epoch (§4's
+// adaptivity); without epochs it only affects future restarts.
+func (n *Node) SetValue(v float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.value = v
+}
+
+// State returns a copy of the node's current approximation vector.
+func (n *Node) State() core.State {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(core.State, len(n.state))
+	copy(out, n.state)
+	return out
+}
+
+// Estimate returns the node's current approximation of the named field.
+func (n *Node) Estimate(field string) (float64, error) {
+	idx, err := n.cfg.Schema.Index(field)
+	if err != nil {
+		return 0, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state[idx], nil
+}
+
+// Epoch returns the node's current epoch identifier.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tracker.Current()
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Initiated:     n.initiated.Load(),
+		Replies:       n.replies.Load(),
+		Timeouts:      n.timeouts.Load(),
+		Served:        n.served.Load(),
+		EpochSwitches: n.epochSwitches.Load(),
+		StaleDropped:  n.staleDropped.Load(),
+		SendErrors:    n.sendErrors.Load(),
+		BusyDropped:   n.busyDropped.Load(),
+		PeerBusy:      n.peerBusy.Load(),
+	}
+}
+
+// waitDuration draws one inter-exchange waiting time.
+func (n *Node) waitDuration() time.Duration {
+	if n.cfg.Wait == ExponentialWait {
+		return time.Duration(n.rngAct.ExpFloat64() * float64(n.cfg.CycleLength))
+	}
+	return n.cfg.CycleLength
+}
+
+// activeLoop is the protocol's active thread (Figure 1, top half).
+func (n *Node) activeLoop() {
+	// Random initial phase in [0, Δt): nodes are autonomous (§1.1), and
+	// desynchronized ticks avoid lockstep collisions where every push
+	// finds its peer busy.
+	timer := time.NewTimer(time.Duration(n.rngAct.Float64() * float64(n.cfg.CycleLength)))
+	defer timer.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-timer.C:
+		}
+		n.checkLocalEpoch()
+		n.initiateExchange()
+		timer.Reset(n.waitDuration())
+	}
+}
+
+// checkLocalEpoch performs the node's own scheduled restart when the
+// epoch clock has moved past the node's current epoch.
+func (n *Node) checkLocalEpoch() {
+	if n.cfg.Clock == nil {
+		return
+	}
+	now := n.cfg.Clock.Current(time.Now())
+	n.mu.Lock()
+	if n.tracker.Observe(now) {
+		n.state = n.initState(n.tracker.Current(), n.value)
+		n.epochSwitches.Add(1)
+	}
+	n.mu.Unlock()
+}
+
+// initiateExchange performs one push(-pull) exchange with a random peer.
+func (n *Node) initiateExchange() {
+	peer, ok := n.cfg.Sampler.Sample(n.rngAct)
+	if !ok || peer == n.addr {
+		return
+	}
+	n.mu.Lock()
+	if !n.cfg.PushOnly {
+		// Set under the lock so the snapshot below and the busy flag are
+		// atomic with respect to servePush's check.
+		n.busy.Store(true)
+		defer n.busy.Store(false)
+	}
+	ep := n.tracker.Current()
+	fields := make([]float64, len(n.state))
+	copy(fields, n.state)
+	n.mu.Unlock()
+
+	msg := transport.Message{
+		Kind:   transport.KindPush,
+		Epoch:  ep,
+		Seq:    n.seq.Add(1),
+		Fields: fields,
+		Gossip: n.cfg.Sampler.Digest(n.rngAct, n.cfg.GossipFanout),
+	}
+
+	var replyCh chan transport.Message
+	if !n.cfg.PushOnly {
+		replyCh = make(chan transport.Message, 1)
+		n.pendingMu.Lock()
+		n.pending[msg.Seq] = replyCh
+		n.pendingMu.Unlock()
+		defer func() {
+			n.pendingMu.Lock()
+			delete(n.pending, msg.Seq)
+			n.pendingMu.Unlock()
+		}()
+	}
+
+	n.initiated.Add(1)
+	if err := n.cfg.Endpoint.Send(peer, msg); err != nil {
+		n.sendErrors.Add(1)
+		n.cfg.Sampler.Forget(peer)
+		return
+	}
+	if n.cfg.PushOnly {
+		return
+	}
+
+	timeout := time.NewTimer(n.cfg.ReplyTimeout)
+	defer timeout.Stop()
+	select {
+	case reply := <-replyCh:
+		if reply.Kind == transport.KindNack {
+			n.peerBusy.Add(1)
+			return // peer declined; abort this exchange cleanly
+		}
+		n.absorb(reply)
+		n.replies.Add(1)
+	case <-timeout.C:
+		n.timeouts.Add(1)
+	case <-n.stop:
+	}
+}
+
+// absorb merges a reply (the passive peer's pre-merge state) into the
+// node's state, honoring epoch tags.
+func (n *Node) absorb(m transport.Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.tracker.Observe(m.Epoch) {
+		n.state = n.initState(n.tracker.Current(), n.value)
+		n.epochSwitches.Add(1)
+		// The reply belongs to the new epoch we just joined; merge it.
+	} else if !n.tracker.InSync(m.Epoch) {
+		n.staleDropped.Add(1)
+		return
+	}
+	if len(m.Fields) != len(n.state) {
+		return // schema mismatch; drop defensively
+	}
+	merged := n.cfg.Schema.Merge(n.state, core.State(m.Fields))
+	copy(n.state, merged)
+}
+
+// dispatch is the protocol's passive thread: it serves pushes and routes
+// replies until the endpoint closes.
+func (n *Node) dispatch() {
+	for m := range n.cfg.Endpoint.Inbox() {
+		switch m.Kind {
+		case transport.KindPush:
+			n.servePush(m)
+		case transport.KindReply, transport.KindNack:
+			n.routeReply(m)
+		}
+	}
+}
+
+// servePush implements the passive half (Figure 1, bottom): reply with
+// the pre-merge state, then adopt the merge.
+func (n *Node) servePush(m transport.Message) {
+	if m.From != "" {
+		n.cfg.Sampler.Observe(append([]string{m.From}, m.Gossip...)...)
+	}
+	n.mu.Lock()
+	if n.busy.Load() {
+		// An own exchange is in flight; merging now would change the
+		// state between our push and its reply and break the atomicity
+		// of the elementary step. Decline with a nack so the initiator
+		// aborts immediately rather than burning its reply timeout.
+		ep := n.tracker.Current()
+		n.mu.Unlock()
+		n.busyDropped.Add(1)
+		if !n.cfg.PushOnly {
+			nack := transport.Message{Kind: transport.KindNack, Epoch: ep, Seq: m.Seq}
+			if err := n.cfg.Endpoint.Send(m.From, nack); err != nil {
+				n.sendErrors.Add(1)
+			}
+		}
+		return
+	}
+	if n.tracker.Observe(m.Epoch) {
+		n.state = n.initState(n.tracker.Current(), n.value)
+		n.epochSwitches.Add(1)
+	} else if !n.tracker.InSync(m.Epoch) {
+		n.mu.Unlock()
+		n.staleDropped.Add(1)
+		return
+	}
+	if len(m.Fields) != len(n.state) {
+		n.mu.Unlock()
+		return
+	}
+	pre := make([]float64, len(n.state))
+	copy(pre, n.state)
+	merged := n.cfg.Schema.Merge(n.state, core.State(m.Fields))
+	copy(n.state, merged)
+	ep := n.tracker.Current()
+	n.mu.Unlock()
+	n.served.Add(1)
+
+	if n.cfg.PushOnly {
+		return
+	}
+	reply := transport.Message{
+		Kind:   transport.KindReply,
+		Epoch:  ep,
+		Seq:    m.Seq,
+		Fields: pre,
+		Gossip: n.cfg.Sampler.Digest(n.rngDisp, n.cfg.GossipFanout),
+	}
+	if err := n.cfg.Endpoint.Send(m.From, reply); err != nil {
+		n.sendErrors.Add(1)
+	}
+}
+
+// routeReply hands a reply to the waiting exchange, if still pending.
+func (n *Node) routeReply(m transport.Message) {
+	if m.From != "" {
+		n.cfg.Sampler.Observe(append([]string{m.From}, m.Gossip...)...)
+	}
+	n.pendingMu.Lock()
+	ch, ok := n.pending[m.Seq]
+	n.pendingMu.Unlock()
+	if !ok {
+		return // exchange already timed out
+	}
+	select {
+	case ch <- m:
+	default:
+	}
+}

@@ -1,0 +1,93 @@
+// Package epoch implements the restart mechanism of Section 4: the
+// protocol runs in consecutive epochs of fixed length; every epoch is a
+// fresh instance of the aggregation protocol; joining nodes receive the
+// next epoch identifier and wait for it; a message carrying a higher
+// epoch identifier moves the receiver to the new epoch immediately, so a
+// new epoch start spreads like an epidemic broadcast.
+//
+// The package also implements the paper's size-estimation application:
+// within an epoch exactly one node per instance holds the initial value 1
+// and all others hold 0, so the average converges to 1/N.
+package epoch
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock tracks epoch progression in real time for the asynchronous
+// runtime. Epoch i spans [start + i·Length, start + (i+1)·Length).
+// The zero value is not valid; use NewClock.
+type Clock struct {
+	start  time.Time
+	length time.Duration
+}
+
+// NewClock returns a clock whose epoch 0 begins at start and whose epochs
+// last length (must be positive).
+func NewClock(start time.Time, length time.Duration) (*Clock, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("epoch: length must be positive, got %v", length)
+	}
+	return &Clock{start: start, length: length}, nil
+}
+
+// Current returns the epoch identifier containing now. Times before the
+// clock's start map to epoch 0.
+func (c *Clock) Current(now time.Time) uint64 {
+	if !now.After(c.start) {
+		return 0
+	}
+	return uint64(now.Sub(c.start) / c.length)
+}
+
+// NextStart returns the identifier of the next epoch and the remaining
+// time until it begins — exactly the pair an existing node hands to a
+// joiner ("the next epoch identifier and the amount of time left until
+// the next run starts", §4).
+func (c *Clock) NextStart(now time.Time) (id uint64, wait time.Duration) {
+	cur := c.Current(now)
+	startOfNext := c.start.Add(time.Duration(cur+1) * c.length)
+	return cur + 1, startOfNext.Sub(now)
+}
+
+// Length returns the epoch length.
+func (c *Clock) Length() time.Duration { return c.length }
+
+// Tracker maintains a node's current epoch identifier with the paper's
+// anti-drift rule: a locally scheduled restart advances by one, but a
+// message tagged with a larger identifier jumps the node forward
+// immediately. Tracker is a small value type; the engine embeds one per
+// node under the node's own lock.
+type Tracker struct {
+	current uint64
+}
+
+// NewTracker starts at the given epoch identifier.
+func NewTracker(id uint64) Tracker { return Tracker{current: id} }
+
+// Current returns the node's epoch identifier.
+func (t *Tracker) Current() uint64 { return t.current }
+
+// LocalRestart advances to the next epoch due to the node's own timer and
+// returns the new identifier.
+func (t *Tracker) LocalRestart() uint64 {
+	t.current++
+	return t.current
+}
+
+// Observe processes an identifier seen on an incoming message. It returns
+// true when the identifier is newer, in which case the node has switched
+// epochs and must reset its protocol state. Messages from older epochs
+// return false and must be ignored by the caller.
+func (t *Tracker) Observe(id uint64) (switched bool) {
+	if id > t.current {
+		t.current = id
+		return true
+	}
+	return false
+}
+
+// InSync reports whether a message identifier belongs to the node's
+// current epoch.
+func (t *Tracker) InSync(id uint64) bool { return id == t.current }

@@ -1,0 +1,244 @@
+package epoch
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/churn"
+)
+
+func TestClockValidation(t *testing.T) {
+	if _, err := NewClock(time.Now(), 0); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	if _, err := NewClock(time.Now(), -time.Second); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestClockCurrent(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	c, err := NewClock(start, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		at   time.Time
+		want uint64
+	}{
+		{start, 0},
+		{start.Add(-time.Hour), 0}, // before start clamps to 0
+		{start.Add(30 * time.Second), 0},
+		{start.Add(time.Minute), 1},
+		{start.Add(10*time.Minute + time.Second), 10},
+	}
+	for _, tc := range cases {
+		if got := c.Current(tc.at); got != tc.want {
+			t.Errorf("Current(%v) = %d, want %d", tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestClockNextStart(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	c, _ := NewClock(start, time.Minute)
+	now := start.Add(90 * time.Second) // inside epoch 1
+	id, wait := c.NextStart(now)
+	if id != 2 {
+		t.Fatalf("next id = %d, want 2", id)
+	}
+	if wait != 30*time.Second {
+		t.Fatalf("wait = %v, want 30s", wait)
+	}
+	if c.Length() != time.Minute {
+		t.Fatalf("length = %v", c.Length())
+	}
+}
+
+func TestTrackerLocalRestart(t *testing.T) {
+	tr := NewTracker(5)
+	if tr.Current() != 5 {
+		t.Fatalf("current = %d", tr.Current())
+	}
+	if got := tr.LocalRestart(); got != 6 || tr.Current() != 6 {
+		t.Fatalf("LocalRestart → %d, current %d", got, tr.Current())
+	}
+}
+
+func TestTrackerObserve(t *testing.T) {
+	tr := NewTracker(3)
+	if tr.Observe(2) {
+		t.Fatal("older id switched the tracker")
+	}
+	if tr.Observe(3) {
+		t.Fatal("same id switched the tracker")
+	}
+	if !tr.InSync(3) {
+		t.Fatal("InSync(3) false")
+	}
+	if !tr.Observe(7) {
+		t.Fatal("newer id did not switch")
+	}
+	if tr.Current() != 7 {
+		t.Fatalf("current = %d, want 7", tr.Current())
+	}
+	if tr.InSync(3) {
+		t.Fatal("stale id reported in sync")
+	}
+}
+
+func TestSizeSimValidation(t *testing.T) {
+	bad := []SizeSimConfig{
+		{InitialSize: 2, EpochCycles: 10, TotalCycles: 100},
+		{InitialSize: 100, EpochCycles: 0, TotalCycles: 100},
+		{InitialSize: 100, EpochCycles: 50, TotalCycles: 10},
+	}
+	for i, cfg := range bad {
+		if _, err := RunSizeSim(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSizeSimStableNetworkAccurate(t *testing.T) {
+	// No churn: every epoch's estimate must be very close to N after 30
+	// cycles of convergence (variance down by 0.30³⁰).
+	reports, err := RunSizeSim(SizeSimConfig{
+		InitialSize: 1000,
+		EpochCycles: 30,
+		TotalCycles: 150,
+		Instances:   1,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 5 {
+		t.Fatalf("got %d reports, want 5", len(reports))
+	}
+	for _, r := range reports {
+		if r.SizeAtStart != 1000 || r.SizeAtEnd != 1000 {
+			t.Fatalf("epoch %d: size drifted to %d/%d", r.Epoch, r.SizeAtStart, r.SizeAtEnd)
+		}
+		if r.Participants != 1000 {
+			t.Fatalf("epoch %d: %d participants", r.Epoch, r.Participants)
+		}
+		if math.Abs(r.EstimateMean-1000) > 5 {
+			t.Errorf("epoch %d: estimate %.1f, want ≈ 1000", r.Epoch, r.EstimateMean)
+		}
+		if r.EstimateMin > r.EstimateMean || r.EstimateMax < r.EstimateMean {
+			t.Errorf("epoch %d: min/mean/max ordering broken: %g/%g/%g",
+				r.Epoch, r.EstimateMin, r.EstimateMean, r.EstimateMax)
+		}
+	}
+}
+
+func TestSizeSimMultipleInstancesTightens(t *testing.T) {
+	run := func(instances int) float64 {
+		reports, err := RunSizeSim(SizeSimConfig{
+			InitialSize: 500,
+			EpochCycles: 30,
+			TotalCycles: 300,
+			Instances:   instances,
+			Seed:        2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mean absolute relative error across epochs.
+		sum := 0.0
+		for _, r := range reports {
+			sum += math.Abs(r.EstimateMean-500) / 500
+		}
+		return sum / float64(len(reports))
+	}
+	one, eight := run(1), run(8)
+	// Averaging eight instances should not be worse; allow noise slack.
+	if eight > one+0.02 {
+		t.Errorf("8 instances error %.4f vs 1 instance %.4f", eight, one)
+	}
+}
+
+func TestSizeSimTracksOscillation(t *testing.T) {
+	reports, err := RunSizeSim(SizeSimConfig{
+		InitialSize: 1000,
+		EpochCycles: 30,
+		TotalCycles: 600,
+		Instances:   1,
+		Churn: churn.Schedule{
+			Model:       churn.Oscillating{Min: 900, Max: 1100, Period: 200},
+			Fluctuation: 10,
+		},
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The estimate at each epoch end should be within ~15 % of the size
+	// at the epoch's start (the paper's one-epoch lag), not of its end.
+	for _, r := range reports {
+		if math.IsNaN(r.EstimateMean) {
+			t.Fatalf("epoch %d produced NaN estimate", r.Epoch)
+		}
+		relErr := math.Abs(r.EstimateMean-float64(r.SizeAtStart)) / float64(r.SizeAtStart)
+		if relErr > 0.15 {
+			t.Errorf("epoch %d: estimate %.0f vs start size %d (err %.1f%%)",
+				r.Epoch, r.EstimateMean, r.SizeAtStart, 100*relErr)
+		}
+	}
+}
+
+func TestSizeSimJoinersWaitForNextEpoch(t *testing.T) {
+	// Pure growth: 50 joiners per cycle, no removals. Participants in
+	// epoch e must equal the size at that epoch's start (the joiners
+	// accumulated during the epoch wait), confirming the §4 join rule.
+	reports, err := RunSizeSim(SizeSimConfig{
+		InitialSize: 200,
+		EpochCycles: 10,
+		TotalCycles: 50,
+		Instances:   1,
+		Churn: churn.Schedule{
+			Model: growthModel{start: 200, perCycle: 50},
+		},
+		Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.Participants != r.SizeAtStart {
+			t.Fatalf("epoch %d: %d participants, expected %d (size at start)",
+				r.Epoch, r.Participants, r.SizeAtStart)
+		}
+		if r.SizeAtEnd != r.SizeAtStart+500 {
+			t.Fatalf("epoch %d: end size %d, want %d", r.Epoch, r.SizeAtEnd, r.SizeAtStart+500)
+		}
+	}
+}
+
+// growthModel adds perCycle nodes every cycle, removing none.
+type growthModel struct {
+	start, perCycle int
+}
+
+func (g growthModel) TargetSize(cycle int) int { return g.start + g.perCycle*(cycle+1) }
+func (g growthModel) Name() string             { return "growth" }
+
+func TestSizeSimDefaultsChurnModel(t *testing.T) {
+	// Nil churn model must default to constant size.
+	reports, err := RunSizeSim(SizeSimConfig{
+		InitialSize: 100,
+		EpochCycles: 10,
+		TotalCycles: 20,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.SizeAtEnd != 100 {
+			t.Fatalf("size drifted with nil model: %d", r.SizeAtEnd)
+		}
+	}
+}

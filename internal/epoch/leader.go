@@ -1,0 +1,62 @@
+package epoch
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// LeaderPolicy decides, at the beginning of each epoch, whether a node
+// starts its own size-estimation instance. §4: "we allow each node to
+// become a leader at the beginning of each epoch with a sufficiently
+// small probability that can also depend on the previous approximation
+// of network size".
+type LeaderPolicy interface {
+	// Lead reports whether this node leads an instance this epoch.
+	// prevEstimate is the node's size estimate from the previous epoch
+	// (NaN or non-positive when none exists yet, e.g. the first epoch).
+	Lead(rng *xrand.Rand, prevEstimate float64) bool
+	// Name labels the policy in experiment output.
+	Name() string
+}
+
+// FixedProbability leads with a constant per-epoch probability.
+type FixedProbability struct {
+	// P is the per-node leading probability per epoch.
+	P float64
+}
+
+var _ LeaderPolicy = FixedProbability{}
+
+// Lead implements LeaderPolicy.
+func (f FixedProbability) Lead(rng *xrand.Rand, _ float64) bool { return rng.Bool(f.P) }
+
+// Name implements LeaderPolicy.
+func (f FixedProbability) Name() string { return fmt.Sprintf("fixed-%g", f.P) }
+
+// TargetInstances adapts the leading probability to the previous size
+// estimate so that the expected number of concurrent instances stays
+// near Target regardless of network size: p = Target / N̂. Before any
+// estimate exists, it falls back to Bootstrap.
+type TargetInstances struct {
+	// Target is the desired expected number of instances per epoch.
+	Target float64
+	// Bootstrap is the probability used while no estimate exists yet.
+	Bootstrap float64
+}
+
+var _ LeaderPolicy = TargetInstances{}
+
+// Lead implements LeaderPolicy.
+func (t TargetInstances) Lead(rng *xrand.Rand, prevEstimate float64) bool {
+	p := t.Bootstrap
+	if prevEstimate > 0 && prevEstimate == prevEstimate { // not NaN
+		p = t.Target / prevEstimate
+	}
+	return rng.Bool(p)
+}
+
+// Name implements LeaderPolicy.
+func (t TargetInstances) Name() string {
+	return fmt.Sprintf("target-%g", t.Target)
+}

@@ -1,0 +1,110 @@
+package epoch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestFixedProbabilityFrequency(t *testing.T) {
+	rng := xrand.New(500)
+	p := FixedProbability{P: 0.1}
+	leads := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if p.Lead(rng, math.NaN()) {
+			leads++
+		}
+	}
+	if freq := float64(leads) / trials; math.Abs(freq-0.1) > 0.01 {
+		t.Fatalf("lead frequency %.4f, want ≈ 0.1", freq)
+	}
+	if p.Name() == "" {
+		t.Error("empty policy name")
+	}
+}
+
+func TestTargetInstancesAdapts(t *testing.T) {
+	rng := xrand.New(501)
+	p := TargetInstances{Target: 4, Bootstrap: 0.01}
+	count := func(estimate float64, population int) int {
+		leads := 0
+		for i := 0; i < population; i++ {
+			if p.Lead(rng, estimate) {
+				leads++
+			}
+		}
+		return leads
+	}
+	// With a correct estimate, expected leaders ≈ Target for any size.
+	const reps = 200
+	totalSmall, totalLarge := 0, 0
+	for r := 0; r < reps; r++ {
+		totalSmall += count(1000, 1000)
+		totalLarge += count(100000, 100000)
+	}
+	small := float64(totalSmall) / reps
+	large := float64(totalLarge) / reps
+	if math.Abs(small-4) > 0.5 || math.Abs(large-4) > 0.5 {
+		t.Fatalf("expected leaders ≈ 4 at both sizes, got %.2f and %.2f", small, large)
+	}
+}
+
+func TestTargetInstancesBootstrap(t *testing.T) {
+	rng := xrand.New(502)
+	p := TargetInstances{Target: 4, Bootstrap: 1}
+	if !p.Lead(rng, math.NaN()) {
+		t.Fatal("bootstrap probability 1 did not lead with NaN estimate")
+	}
+	if !p.Lead(rng, -5) {
+		t.Fatal("bootstrap probability 1 did not lead with invalid estimate")
+	}
+}
+
+func TestSizeSimWithProbabilisticLeaders(t *testing.T) {
+	reports, err := RunSizeSim(SizeSimConfig{
+		InitialSize: 1000,
+		EpochCycles: 30,
+		TotalCycles: 240,
+		Leader:      TargetInstances{Target: 4, Bootstrap: 4.0 / 1000},
+		Seed:        503,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 8 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	for _, r := range reports {
+		if math.IsNaN(r.EstimateMean) {
+			t.Fatalf("epoch %d: NaN estimate under probabilistic leaders", r.Epoch)
+		}
+		if math.Abs(r.EstimateMean-1000) > 20 {
+			t.Errorf("epoch %d: estimate %.1f, want ≈ 1000", r.Epoch, r.EstimateMean)
+		}
+	}
+}
+
+func TestSizeSimZeroLeaderFallback(t *testing.T) {
+	// A policy that never leads must still produce estimates via the
+	// one-random-leader fallback.
+	reports, err := RunSizeSim(SizeSimConfig{
+		InitialSize: 500,
+		EpochCycles: 30,
+		TotalCycles: 90,
+		Leader:      FixedProbability{P: 0},
+		Seed:        504,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if math.IsNaN(r.EstimateMean) {
+			t.Fatalf("epoch %d: no estimate despite fallback leader", r.Epoch)
+		}
+		if math.Abs(r.EstimateMean-500) > 15 {
+			t.Errorf("epoch %d: estimate %.1f, want ≈ 500", r.Epoch, r.EstimateMean)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package epoch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/churn"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// SizeSimConfig parameterizes the cycle-driven reproduction of the
+// paper's Figure 4 experiment: anti-entropy counting under churn with
+// epoch restarts.
+type SizeSimConfig struct {
+	// InitialSize is the number of nodes at cycle 0.
+	InitialSize int
+	// EpochCycles is the epoch length k in cycles (30 in the paper).
+	EpochCycles int
+	// TotalCycles is the experiment horizon (1000 in the paper).
+	TotalCycles int
+	// Instances is the number of concurrent size-estimation instances
+	// per epoch, each led by a distinct leader node whose indicator
+	// starts at 1 (§4 allows several to bound estimator variance).
+	// A node's estimate combines its instances: N̂ = Instances / Σ_t x_t.
+	Instances int
+	// Leader, when non-nil, replaces the exact Instances count with the
+	// paper's probabilistic election: at each epoch start every node
+	// leads its own instance per the policy (fed the previous epoch's
+	// mean estimate). An epoch that elects nobody falls back to one
+	// random leader so the estimate stream never stalls.
+	Leader LeaderPolicy
+	// Churn prescribes per-cycle node removal and addition. Nodes added
+	// mid-epoch wait for the next epoch before participating, per §4.
+	Churn churn.Schedule
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// validate normalizes and checks the configuration.
+func (c *SizeSimConfig) validate() error {
+	if c.InitialSize < 4 {
+		return fmt.Errorf("epoch: size sim needs InitialSize ≥ 4, got %d", c.InitialSize)
+	}
+	if c.EpochCycles < 1 {
+		return fmt.Errorf("epoch: size sim needs EpochCycles ≥ 1, got %d", c.EpochCycles)
+	}
+	if c.TotalCycles < c.EpochCycles {
+		return fmt.Errorf("epoch: TotalCycles %d shorter than one epoch (%d)", c.TotalCycles, c.EpochCycles)
+	}
+	if c.Instances < 1 {
+		c.Instances = 1
+	}
+	if c.Churn.Model == nil {
+		c.Churn.Model = churn.Constant{N: c.InitialSize}
+	}
+	return nil
+}
+
+// EpochReport is the converged output of one epoch, the data behind one
+// x-position of Figure 4.
+type EpochReport struct {
+	// Epoch is the zero-based epoch index.
+	Epoch int
+	// EndCycle is the cycle at which the epoch's estimates were read.
+	EndCycle int
+	// SizeAtStart is the actual network size (participants + waiting
+	// joiners) when the epoch began — the quantity the epoch's estimate
+	// describes, since joiners are excluded from the running epoch.
+	SizeAtStart int
+	// SizeAtEnd is the actual network size when the epoch ended.
+	SizeAtEnd int
+	// Participants is how many nodes survived the full epoch and
+	// therefore report an estimate.
+	Participants int
+	// EstimateMean, EstimateMin and EstimateMax summarize the size
+	// estimates across participants (the error bars of Figure 4).
+	EstimateMean, EstimateMin, EstimateMax float64
+}
+
+// RunSizeSim executes the Figure 4 scenario and returns one report per
+// completed epoch.
+func RunSizeSim(cfg SizeSimConfig) ([]EpochReport, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := xrand.New(cfg.Seed)
+	sim := &sizeSim{cfg: cfg, rng: rng, pending: 0, prevEstimate: math.NaN()}
+	sim.states = make([][]float64, cfg.InitialSize)
+	for i := range sim.states {
+		sim.states[i] = make([]float64, cfg.Instances)
+	}
+
+	var reports []EpochReport
+	epochs := cfg.TotalCycles / cfg.EpochCycles
+	cycle := 0
+	for e := 0; e < epochs; e++ {
+		sim.startEpoch()
+		startSize := len(sim.states) + sim.pending
+		for k := 0; k < cfg.EpochCycles; k++ {
+			sim.applyChurn(cycle)
+			sim.gossipCycle()
+			cycle++
+		}
+		mean, lo, hi, n := sim.estimates()
+		sim.prevEstimate = mean
+		reports = append(reports, EpochReport{
+			Epoch:        e,
+			EndCycle:     cycle,
+			SizeAtStart:  startSize,
+			SizeAtEnd:    len(sim.states) + sim.pending,
+			Participants: n,
+			EstimateMean: mean,
+			EstimateMin:  lo,
+			EstimateMax:  hi,
+		})
+	}
+	return reports, nil
+}
+
+// sizeSim is the mutable simulation state. Participants carry one
+// indicator value per instance; waiting joiners carry no state and are
+// tracked as a count.
+type sizeSim struct {
+	cfg          SizeSimConfig
+	rng          *xrand.Rand
+	states       [][]float64
+	pending      int
+	prevEstimate float64
+}
+
+// startEpoch admits waiting joiners, resets every indicator to 0 and
+// elects the epoch's leaders: one distinct leader per instance in exact
+// mode, or per the probabilistic policy when one is configured.
+func (s *sizeSim) startEpoch() {
+	instances := s.cfg.Instances
+	var leaders []int
+	if s.cfg.Leader != nil {
+		for i := 0; i < len(s.states)+s.pending; i++ {
+			if s.cfg.Leader.Lead(s.rng, s.prevEstimate) {
+				leaders = append(leaders, len(leaders))
+			}
+		}
+		if len(leaders) == 0 {
+			leaders = []int{0}
+		}
+		instances = len(leaders)
+	}
+
+	for ; s.pending > 0; s.pending-- {
+		s.states = append(s.states, make([]float64, instances))
+	}
+	n := len(s.states)
+	for i, st := range s.states {
+		if len(st) != instances {
+			s.states[i] = make([]float64, instances)
+		} else {
+			clear(st)
+		}
+	}
+	chosen := s.rng.SampleDistinct(n, min(instances, n), -1)
+	for t, leader := range chosen {
+		s.states[leader][t] = 1
+	}
+}
+
+// applyChurn removes and adds nodes per the schedule. Removals hit the
+// whole population (participants and waiting joiners) uniformly; removed
+// participants take their indicator mass with them — the perturbation
+// the restart mechanism exists to absorb. Additions enter the waiting
+// pool.
+func (s *sizeSim) applyChurn(cycle int) {
+	plan := s.cfg.Churn.At(cycle, len(s.states)+s.pending)
+	for r := 0; r < plan.Remove; r++ {
+		total := len(s.states) + s.pending
+		if total <= 2 {
+			break
+		}
+		pick := s.rng.Intn(total)
+		if pick < len(s.states) {
+			if len(s.states) <= 2 {
+				// Keep at least two participants so exchanges remain
+				// possible; shed a waiting joiner instead if any.
+				if s.pending > 0 {
+					s.pending--
+				}
+				continue
+			}
+			last := len(s.states) - 1
+			s.states[pick] = s.states[last]
+			s.states[last] = nil
+			s.states = s.states[:last]
+		} else {
+			s.pending--
+		}
+	}
+	s.pending += plan.Add
+}
+
+// gossipCycle performs one GETPAIR_SEQ-style cycle over participants:
+// each node initiates one exchange with a uniformly random other
+// participant and both adopt the per-instance averages.
+func (s *sizeSim) gossipCycle() {
+	n := len(s.states)
+	if n < 2 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		j := s.rng.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		a, b := s.states[i], s.states[j]
+		for t := range a {
+			m := (a[t] + b[t]) / 2
+			a[t] = m
+			b[t] = m
+		}
+	}
+}
+
+// estimates decodes each participant's size estimate
+// N̂ = Instances / Σ_t x_t and summarizes across participants.
+func (s *sizeSim) estimates() (mean, lo, hi float64, n int) {
+	var acc stats.Running
+	for _, st := range s.states {
+		sum := 0.0
+		for _, x := range st {
+			sum += x
+		}
+		if sum <= 0 {
+			continue // instance mass lost entirely; no estimate
+		}
+		est := float64(len(st)) / sum
+		if math.IsInf(est, 0) || math.IsNaN(est) {
+			continue
+		}
+		acc.Add(est)
+	}
+	if acc.N() == 0 {
+		return math.NaN(), math.NaN(), math.NaN(), 0
+	}
+	return acc.Mean(), acc.Min(), acc.Max(), acc.N()
+}

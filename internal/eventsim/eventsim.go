@@ -1,0 +1,215 @@
+// Package eventsim is a discrete-event simulator of the asynchronous
+// protocol (Figure 1): every node wakes after a waiting time drawn from
+// GETWAITINGTIME, samples a random neighbor and performs the elementary
+// exchange. Unlike internal/avg (which iterates the synchronized AVG
+// abstraction) the event simulator has no global cycles — nodes are
+// autonomous, exactly as §1.1 describes — yet it still runs at
+// 100 000-node scale because exchanges are zero-time events on a
+// simulated clock (the paper's §2 communication model).
+//
+// Its purpose is to validate the paper's waiting-time claims: constant
+// waits make the pair sequence behave like GETPAIR_SEQ (rate 1/(2√e)
+// per Δt), exponential waits with mean Δt make it behave like
+// GETPAIR_RAND (rate 1/e per Δt) — §3.3.2: "a given node can approximate
+// this behavior by waiting for a time interval randomly drawn from this
+// distribution".
+package eventsim
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// WaitKind selects the GETWAITINGTIME distribution.
+type WaitKind int
+
+// Waiting-time distributions of §1.1.
+const (
+	// ConstantWait returns Δt always; the induced pair stream is
+	// GETPAIR_SEQ-like.
+	ConstantWait WaitKind = iota + 1
+	// ExponentialWait draws Exp(mean Δt); the induced pair stream is
+	// GETPAIR_RAND-like (Poisson exchange arrivals).
+	ExponentialWait
+)
+
+// String returns the kind's name.
+func (k WaitKind) String() string {
+	switch k {
+	case ConstantWait:
+		return "constant"
+	case ExponentialWait:
+		return "exponential"
+	default:
+		return fmt.Sprintf("waitkind(%d)", int(k))
+	}
+}
+
+// Config parameterizes one event-driven run. Time is measured in units
+// of Δt (the cycle length), so variance snapshots land at integer times.
+type Config struct {
+	// Graph is the overlay (required).
+	Graph topology.Graph
+	// Values is the initial vector; length must equal the graph size.
+	Values []float64
+	// Wait selects the waiting-time distribution (default ConstantWait).
+	Wait WaitKind
+	// Cycles is the simulated horizon in units of Δt (default 30).
+	Cycles int
+	// LossProb drops an exchange entirely with this probability — the
+	// zero-time event model cannot lose only half an exchange, so this
+	// is the symmetric-loss model (compare internal/avg's asymmetric
+	// reply loss).
+	LossProb float64
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// Result reports one event-driven run.
+type Result struct {
+	// Variances holds σ² sampled at t = 0, Δt, 2Δt, … (length Cycles+1).
+	Variances []float64
+	// Exchanges is the total number of performed exchanges.
+	Exchanges int
+	// FinalMean is the vector mean at the horizon (conserved under
+	// lossless execution).
+	FinalMean float64
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("eventsim: config needs a Graph")
+	}
+	n := cfg.Graph.Size()
+	if len(cfg.Values) != n {
+		return nil, fmt.Errorf("eventsim: vector length %d does not match graph size %d", len(cfg.Values), n)
+	}
+	if cfg.Wait == 0 {
+		cfg.Wait = ConstantWait
+	}
+	if cfg.Wait != ConstantWait && cfg.Wait != ExponentialWait {
+		return nil, fmt.Errorf("eventsim: unknown wait kind %v", cfg.Wait)
+	}
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = 30
+	}
+
+	rng := xrand.New(cfg.Seed)
+	values := make([]float64, n)
+	copy(values, cfg.Values)
+
+	wait := func() float64 {
+		if cfg.Wait == ExponentialWait {
+			return rng.ExpFloat64()
+		}
+		return 1
+	}
+
+	// Wake events, one per node, kept in a binary min-heap on time.
+	// Initial phases make each node's initiation process stationary from
+	// t = 0: uniform in [0, Δt) for constant waits (§1.1: autonomous
+	// nodes have no common starting gun), exponential for exponential
+	// waits (the memoryless process's stationary first-arrival time).
+	h := newEventHeap(n)
+	for i := 0; i < n; i++ {
+		var phase float64
+		if cfg.Wait == ExponentialWait {
+			phase = rng.ExpFloat64() // memoryless: residual wait is Exp
+		} else {
+			phase = rng.Float64() // uniform phase within the cycle
+		}
+		h.push(event{at: phase, node: int32(i)})
+	}
+
+	res := &Result{Variances: make([]float64, 0, cfg.Cycles+1)}
+	res.Variances = append(res.Variances, stats.Variance(values))
+	horizon := float64(cfg.Cycles)
+	nextSample := 1.0
+
+	for {
+		ev := h.pop()
+		for nextSample <= ev.at && nextSample <= horizon {
+			res.Variances = append(res.Variances, stats.Variance(values))
+			nextSample++
+		}
+		if ev.at >= horizon {
+			break
+		}
+		i := int(ev.node)
+		if j, ok := cfg.Graph.RandomNeighbor(i, rng); ok {
+			if cfg.LossProb == 0 || !rng.Bool(cfg.LossProb) {
+				m := (values[i] + values[j]) / 2
+				values[i] = m
+				values[j] = m
+				res.Exchanges++
+			}
+		}
+		h.push(event{at: ev.at + wait(), node: ev.node})
+	}
+	for nextSample <= horizon {
+		res.Variances = append(res.Variances, stats.Variance(values))
+		nextSample++
+	}
+	res.FinalMean = stats.Mean(values)
+	return res, nil
+}
+
+// event is one scheduled node wake-up.
+type event struct {
+	at   float64
+	node int32
+}
+
+// eventHeap is a binary min-heap on event.at. Hand-rolled rather than
+// container/heap to keep the hot loop free of interface allocations.
+type eventHeap struct {
+	items []event
+}
+
+func newEventHeap(capacity int) *eventHeap {
+	return &eventHeap{items: make([]event, 0, capacity)}
+}
+
+func (h *eventHeap) push(e event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].at <= h.items[i].at {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < last && h.items[left].at < h.items[smallest].at {
+			smallest = left
+		}
+		if right < last && h.items[right].at < h.items[smallest].at {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// len reports the heap size (used by tests).
+func (h *eventHeap) len() int { return len(h.items) }

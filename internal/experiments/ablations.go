@@ -1,0 +1,392 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/avg"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// CyclesToAccuracyConfig parameterizes experiment E5: how many AVG cycles
+// it takes to cut the variance by a target factor (the paper's §5 claim:
+// 99.9 % in ln(1000) ≈ 7 cycles even with getPair_rand).
+type CyclesToAccuracyConfig struct {
+	// Size is the network size.
+	Size int
+	// Target is the variance ratio to reach (e.g. 1e-3 for 99.9 %).
+	Target float64
+	// Runs is the number of repetitions.
+	Runs int
+	// Selectors are the pair selectors to compare.
+	Selectors []string
+	// Seed seeds the experiment.
+	Seed uint64
+}
+
+// DefaultCyclesToAccuracy returns the §5 scenario on the complete graph.
+func DefaultCyclesToAccuracy() CyclesToAccuracyConfig {
+	return CyclesToAccuracyConfig{
+		Size:      10000,
+		Target:    1e-3,
+		Runs:      20,
+		Selectors: []string{"pm", "rand", "seq"},
+		Seed:      5,
+	}
+}
+
+// CyclesToAccuracy returns one series per selector with a single point:
+// x = 0, y = cycles needed for σ²/σ₀² ≤ Target on the complete graph.
+func CyclesToAccuracy(cfg CyclesToAccuracyConfig) ([]*stats.Series, error) {
+	if cfg.Target <= 0 || cfg.Target >= 1 {
+		return nil, fmt.Errorf("experiments: target ratio must be in (0,1), got %g", cfg.Target)
+	}
+	var out []*stats.Series
+	for _, sel := range cfg.Selectors {
+		series := stats.NewSeries(fmt.Sprintf("cycles_to_%.0e_%s", cfg.Target, sel))
+		counts := make([]float64, cfg.Runs)
+		err := forEachRun(cfg.Runs, cfg.Seed^hashLabel(sel, "ctacc", cfg.Size), func(run int, rng *xrand.Rand) error {
+			g, err := BuildTopology(Complete, cfg.Size, 0, rng)
+			if err != nil {
+				return err
+			}
+			selector, err := avg.NewSelector(sel)
+			if err != nil {
+				return err
+			}
+			runner, err := avg.NewRunner(g, selector, gaussianVector(cfg.Size, rng), rng)
+			if err != nil {
+				return err
+			}
+			initial := runner.Variance()
+			const maxCycles = 200
+			for c := 1; c <= maxCycles; c++ {
+				if runner.Cycle() <= cfg.Target*initial {
+					counts[run] = float64(c)
+					return nil
+				}
+			}
+			return fmt.Errorf("experiments: %s did not reach %g in %d cycles", sel, cfg.Target, maxCycles)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range counts {
+			series.Observe(0, c)
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// LossAblationConfig parameterizes experiment E6 (message loss): run AVG
+// with lossy exchanges and measure both the convergence slowdown and the
+// error the asymmetric losses introduce into the estimated mean.
+type LossAblationConfig struct {
+	// Size is the network size.
+	Size int
+	// Cycles is how long to run.
+	Cycles int
+	// LossProbs are the per-message drop probabilities to sweep.
+	LossProbs []float64
+	// Runs is the number of repetitions per probability.
+	Runs int
+	// Seed seeds the experiment.
+	Seed uint64
+}
+
+// DefaultLossAblation returns the E6 loss sweep.
+func DefaultLossAblation() LossAblationConfig {
+	return LossAblationConfig{
+		Size:      10000,
+		Cycles:    20,
+		LossProbs: []float64{0, 0.05, 0.1, 0.2, 0.4},
+		Runs:      20,
+		Seed:      6,
+	}
+}
+
+// LossResult summarizes the loss sweep at one probability.
+type LossResult struct {
+	// LossProb is the per-message drop probability.
+	LossProb float64
+	// ReductionRate is the mean per-cycle variance reduction observed.
+	ReductionRate float64
+	// MeanDrift is the mean absolute deviation of the final vector mean
+	// from the true initial mean, in units of the initial standard
+	// deviation — the error mass-violating losses introduce.
+	MeanDrift float64
+}
+
+// LossAblation sweeps message-loss probabilities with getPair_seq on the
+// complete graph.
+func LossAblation(cfg LossAblationConfig) ([]LossResult, error) {
+	out := make([]LossResult, 0, len(cfg.LossProbs))
+	for _, p := range cfg.LossProbs {
+		rates := make([]float64, cfg.Runs)
+		drifts := make([]float64, cfg.Runs)
+		seed := cfg.Seed ^ hashLabel("seq", "loss", int(p*1e6))
+		err := forEachRun(cfg.Runs, seed, func(run int, rng *xrand.Rand) error {
+			g, err := BuildTopology(Complete, cfg.Size, 0, rng)
+			if err != nil {
+				return err
+			}
+			values := gaussianVector(cfg.Size, rng)
+			trueMean := stats.Mean(values)
+			initialSD := math.Sqrt(stats.Variance(values))
+			runner, err := avg.NewRunner(g, avg.NewSeq(), values, rng, avg.WithLossProbability(p))
+			if err != nil {
+				return err
+			}
+			variances := runner.Run(cfg.Cycles)
+			first, last := variances[0], variances[len(variances)-1]
+			if first > 0 && last > 0 {
+				rates[run] = math.Pow(last/first, 1/float64(cfg.Cycles))
+			}
+			drifts[run] = math.Abs(runner.Mean()-trueMean) / initialSD
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LossResult{
+			LossProb:      p,
+			ReductionRate: stats.Mean(rates),
+			MeanDrift:     stats.Mean(drifts),
+		})
+	}
+	return out, nil
+}
+
+// CrashAblationConfig parameterizes experiment E6 (crashes): a fraction
+// of nodes fails right after initialization, taking their value mass with
+// them; the survivors converge to the surviving mean, and we measure how
+// far that lands from the original target.
+type CrashAblationConfig struct {
+	// Size is the initial network size.
+	Size int
+	// CrashFractions are the fractions of nodes to kill at cycle 0.
+	CrashFractions []float64
+	// Cycles is how long survivors run.
+	Cycles int
+	// Runs is the number of repetitions per fraction.
+	Runs int
+	// Seed seeds the experiment.
+	Seed uint64
+}
+
+// DefaultCrashAblation returns the E6 crash sweep.
+func DefaultCrashAblation() CrashAblationConfig {
+	return CrashAblationConfig{
+		Size:           10000,
+		CrashFractions: []float64{0, 0.01, 0.05, 0.1, 0.2, 0.5},
+		Cycles:         20,
+		Runs:           20,
+		Seed:           7,
+	}
+}
+
+// CrashResult summarizes the crash sweep at one fraction.
+type CrashResult struct {
+	// Fraction of nodes crashed at cycle 0.
+	Fraction float64
+	// MeanError is the mean absolute deviation of the survivors'
+	// converged estimate from the pre-crash true mean, in units of the
+	// initial standard deviation.
+	MeanError float64
+	// FinalVarianceRatio is σ²_final/σ²₀ among survivors (convergence
+	// is unharmed; only the target shifts).
+	FinalVarianceRatio float64
+}
+
+// CrashAblation sweeps crash fractions with getPair_seq on the complete
+// graph over the survivors.
+func CrashAblation(cfg CrashAblationConfig) ([]CrashResult, error) {
+	out := make([]CrashResult, 0, len(cfg.CrashFractions))
+	for _, f := range cfg.CrashFractions {
+		if f < 0 || f >= 1 {
+			return nil, fmt.Errorf("experiments: crash fraction must be in [0,1), got %g", f)
+		}
+		errs := make([]float64, cfg.Runs)
+		ratios := make([]float64, cfg.Runs)
+		seed := cfg.Seed ^ hashLabel("seq", "crash", int(f*1e6))
+		err := forEachRun(cfg.Runs, seed, func(run int, rng *xrand.Rand) error {
+			values := gaussianVector(cfg.Size, rng)
+			trueMean := stats.Mean(values)
+			initialSD := math.Sqrt(stats.Variance(values))
+			// Crash: drop the first f·N entries of a random permutation.
+			survivors := cfg.Size - int(f*float64(cfg.Size))
+			if survivors < 2 {
+				return fmt.Errorf("experiments: crash fraction %g leaves < 2 survivors", f)
+			}
+			perm := rng.Perm(cfg.Size)
+			kept := make([]float64, survivors)
+			for i := 0; i < survivors; i++ {
+				kept[i] = values[perm[i]]
+			}
+			g, err := BuildTopology(Complete, survivors, 0, rng)
+			if err != nil {
+				return err
+			}
+			runner, err := avg.NewRunner(g, avg.NewSeq(), kept, rng)
+			if err != nil {
+				return err
+			}
+			variances := runner.Run(cfg.Cycles)
+			errs[run] = math.Abs(runner.Mean()-trueMean) / initialSD
+			if variances[0] > 0 {
+				ratios[run] = variances[len(variances)-1] / variances[0]
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CrashResult{
+			Fraction:           f,
+			MeanError:          stats.Mean(errs),
+			FinalVarianceRatio: stats.Mean(ratios),
+		})
+	}
+	return out, nil
+}
+
+// TopologySweepConfig parameterizes the overlay-sensitivity ablation: the
+// same one-cycle reduction measurement as Figure 3(a), across structured
+// topologies the paper's theory does not cover.
+type TopologySweepConfig struct {
+	// Size is the network size.
+	Size int
+	// ViewSize is the degree parameter.
+	ViewSize int
+	// Cycles is how many AVG iterations the per-cycle rate is averaged
+	// over; structured topologies (ring, small world) look fine for one
+	// cycle and only reveal their diffusive mixing over many.
+	Cycles int
+	// Runs is the number of repetitions per topology.
+	Runs int
+	// Topologies to sweep.
+	Topologies []TopologyKind
+	// Seed seeds the experiment.
+	Seed uint64
+}
+
+// DefaultTopologySweep returns the overlay ablation.
+func DefaultTopologySweep() TopologySweepConfig {
+	return TopologySweepConfig{
+		Size:       10000,
+		ViewSize:   20,
+		Cycles:     15,
+		Runs:       20,
+		Topologies: []TopologyKind{Complete, KRegular, RandomView, SmallWorld, ScaleFree, Ring},
+		Seed:       8,
+	}
+}
+
+// TopologySweep returns one series per topology: x = 0, y = the
+// geometric-mean per-cycle variance reduction over Cycles iterations with
+// getPair_seq. Lower is faster; the complete graph's ≈ 0.30 is the
+// baseline the structured overlays degrade from.
+func TopologySweep(cfg TopologySweepConfig) ([]*stats.Series, error) {
+	if cfg.Cycles < 1 {
+		cfg.Cycles = 15
+	}
+	var out []*stats.Series
+	for _, topo := range cfg.Topologies {
+		series := stats.NewSeries(fmt.Sprintf("seq, %s", topo))
+		ratios := make([]float64, cfg.Runs)
+		seed := cfg.Seed ^ hashLabel("seq", string(topo), cfg.Size)
+		err := forEachRun(cfg.Runs, seed, func(run int, rng *xrand.Rand) error {
+			g, err := BuildTopology(topo, cfg.Size, cfg.ViewSize, rng)
+			if err != nil {
+				return err
+			}
+			runner, err := avg.NewRunner(g, avg.NewSeq(), gaussianVector(cfg.Size, rng), rng)
+			if err != nil {
+				return err
+			}
+			variances := runner.Run(cfg.Cycles)
+			first, last := variances[0], variances[len(variances)-1]
+			if first <= 0 || last <= 0 {
+				return nil // converged past float precision
+			}
+			ratios[run] = math.Pow(last/first, 1/float64(cfg.Cycles))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range ratios {
+			if r > 0 {
+				series.Observe(0, r)
+			}
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// ViewSizeSweepConfig parameterizes the k-sweep ablation on the k-regular
+// random overlay: how small can the paper's fixed view get before the
+// convergence rate degrades?
+type ViewSizeSweepConfig struct {
+	// Size is the network size.
+	Size int
+	// ViewSizes are the degrees to sweep.
+	ViewSizes []int
+	// Cycles is how many AVG iterations to average the rate over.
+	Cycles int
+	// Runs is the number of repetitions per degree.
+	Runs int
+	// Seed seeds the experiment.
+	Seed uint64
+}
+
+// DefaultViewSizeSweep returns the k-sweep ablation.
+func DefaultViewSizeSweep() ViewSizeSweepConfig {
+	return ViewSizeSweepConfig{
+		Size:      10000,
+		ViewSizes: []int{2, 4, 8, 20, 40},
+		Cycles:    15,
+		Runs:      10,
+		Seed:      9,
+	}
+}
+
+// ViewSizeSweep returns one series with x = view size k and y = the
+// geometric-mean per-cycle variance reduction with getPair_seq on the
+// k-regular overlay.
+func ViewSizeSweep(cfg ViewSizeSweepConfig) (*stats.Series, error) {
+	series := stats.NewSeries("seq rate vs view size")
+	for _, k := range cfg.ViewSizes {
+		rates := make([]float64, cfg.Runs)
+		seed := cfg.Seed ^ hashLabel("seq", "ksweep", k)
+		err := forEachRun(cfg.Runs, seed, func(run int, rng *xrand.Rand) error {
+			g, err := BuildTopology(KRegular, cfg.Size, k, rng)
+			if err != nil {
+				return err
+			}
+			runner, err := avg.NewRunner(g, avg.NewSeq(), gaussianVector(cfg.Size, rng), rng)
+			if err != nil {
+				return err
+			}
+			variances := runner.Run(cfg.Cycles)
+			first, last := variances[0], variances[len(variances)-1]
+			if first <= 0 || last <= 0 {
+				return nil // converged past float precision; skip rate
+			}
+			rates[run] = math.Pow(last/first, 1/float64(cfg.Cycles))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rates {
+			if r > 0 {
+				series.Observe(float64(k), r)
+			}
+		}
+	}
+	return series, nil
+}

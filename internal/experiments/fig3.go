@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/avg"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Fig3aConfig parameterizes the Figure 3(a) reproduction: the average
+// variance reduction σ₁²/σ₀² after one execution of AVG on a vector of
+// uncorrelated values, as a function of network size.
+type Fig3aConfig struct {
+	// Sizes are the network sizes to sweep (the paper's x-axis spans
+	// 100 … 100000 on a log scale).
+	Sizes []int
+	// Runs is the number of independent repetitions per point (50 in
+	// the paper).
+	Runs int
+	// Selectors are the pair selectors to plot (paper: rand and seq).
+	Selectors []string
+	// Topologies are the overlays to plot (paper: complete and
+	// 20-regular random).
+	Topologies []TopologyKind
+	// ViewSize is the degree of the non-complete overlays (20).
+	ViewSize int
+	// Seed seeds the whole experiment.
+	Seed uint64
+}
+
+// DefaultFig3a returns the paper-faithful configuration (full 100k sweep).
+func DefaultFig3a() Fig3aConfig {
+	return Fig3aConfig{
+		Sizes:      []int{100, 300, 1000, 3000, 10000, 30000, 100000},
+		Runs:       50,
+		Selectors:  []string{"rand", "seq"},
+		Topologies: []TopologyKind{Complete, KRegular},
+		ViewSize:   20,
+		Seed:       1,
+	}
+}
+
+// Fig3a runs the experiment and returns one series per selector×topology
+// combination, labeled "getPair_<sel>, <topo>" as in the paper's legend,
+// with x = network size and y = σ₁²/σ₀².
+func Fig3a(cfg Fig3aConfig) ([]*stats.Series, error) {
+	if cfg.Runs < 1 {
+		return nil, fmt.Errorf("experiments: fig3a needs Runs ≥ 1")
+	}
+	var out []*stats.Series
+	for _, sel := range cfg.Selectors {
+		for _, topo := range cfg.Topologies {
+			series := stats.NewSeries(fmt.Sprintf("getPair_%s, %s", sel, topo))
+			for _, n := range cfg.Sizes {
+				ratios := make([]float64, cfg.Runs)
+				comboSeed := cfg.Seed ^ hashLabel(sel, string(topo), n)
+				err := forEachRun(cfg.Runs, comboSeed, func(run int, rng *xrand.Rand) error {
+					ratio, err := oneCycleReduction(sel, topo, n, cfg.ViewSize, rng)
+					if err != nil {
+						return err
+					}
+					ratios[run] = ratio
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range ratios {
+					series.Observe(float64(n), r)
+				}
+			}
+			out = append(out, series)
+		}
+	}
+	return out, nil
+}
+
+// oneCycleReduction builds a fresh overlay and value vector, runs one AVG
+// cycle and returns σ₁²/σ₀².
+func oneCycleReduction(sel string, topo TopologyKind, n, view int, rng *xrand.Rand) (float64, error) {
+	g, err := BuildTopology(topo, n, view, rng)
+	if err != nil {
+		return 0, err
+	}
+	selector, err := avg.NewSelector(sel)
+	if err != nil {
+		return 0, err
+	}
+	values := gaussianVector(n, rng)
+	runner, err := avg.NewRunner(g, selector, values, rng)
+	if err != nil {
+		return 0, err
+	}
+	before := runner.Variance()
+	after := runner.Cycle()
+	if before == 0 {
+		return 0, fmt.Errorf("experiments: degenerate zero initial variance (n=%d)", n)
+	}
+	return after / before, nil
+}
+
+// Fig3bConfig parameterizes the Figure 3(b) reproduction: the per-cycle
+// variance reduction σᵢ²/σᵢ₋₁² while iterating AVG at fixed network size.
+type Fig3bConfig struct {
+	// Size is the network size (100000 in the paper).
+	Size int
+	// Cycles is how many AVG iterations to track (30 in the paper).
+	Cycles int
+	// Runs is the number of repetitions (50 in the paper).
+	Runs int
+	// Selectors and Topologies mirror Fig3aConfig.
+	Selectors  []string
+	Topologies []TopologyKind
+	// ViewSize is the degree of the non-complete overlays (20).
+	ViewSize int
+	// Seed seeds the whole experiment.
+	Seed uint64
+}
+
+// DefaultFig3b returns the paper-faithful configuration (N = 100000).
+func DefaultFig3b() Fig3bConfig {
+	return Fig3bConfig{
+		Size:       100000,
+		Cycles:     30,
+		Runs:       50,
+		Selectors:  []string{"rand", "seq"},
+		Topologies: []TopologyKind{Complete, KRegular},
+		ViewSize:   20,
+		Seed:       2,
+	}
+}
+
+// Fig3b runs the experiment and returns one series per selector×topology
+// combination with x = cycle index (1-based) and y = σᵢ²/σᵢ₋₁².
+func Fig3b(cfg Fig3bConfig) ([]*stats.Series, error) {
+	if cfg.Runs < 1 || cfg.Cycles < 1 {
+		return nil, fmt.Errorf("experiments: fig3b needs Runs ≥ 1 and Cycles ≥ 1")
+	}
+	var out []*stats.Series
+	for _, sel := range cfg.Selectors {
+		for _, topo := range cfg.Topologies {
+			series := stats.NewSeries(fmt.Sprintf("getPair_%s, %s", sel, topo))
+			perRun := make([][]float64, cfg.Runs)
+			comboSeed := cfg.Seed ^ hashLabel(sel, string(topo), cfg.Size)
+			err := forEachRun(cfg.Runs, comboSeed, func(run int, rng *xrand.Rand) error {
+				ratios, err := cycleRatios(sel, topo, cfg.Size, cfg.ViewSize, cfg.Cycles, rng)
+				if err != nil {
+					return err
+				}
+				perRun[run] = ratios
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, ratios := range perRun {
+				for c, r := range ratios {
+					series.Observe(float64(c+1), r)
+				}
+			}
+			out = append(out, series)
+		}
+	}
+	return out, nil
+}
+
+// cycleRatios runs `cycles` AVG iterations and returns the consecutive
+// variance ratios σᵢ²/σᵢ₋₁².
+func cycleRatios(sel string, topo TopologyKind, n, view, cycles int, rng *xrand.Rand) ([]float64, error) {
+	g, err := BuildTopology(topo, n, view, rng)
+	if err != nil {
+		return nil, err
+	}
+	selector, err := avg.NewSelector(sel)
+	if err != nil {
+		return nil, err
+	}
+	values := gaussianVector(n, rng)
+	runner, err := avg.NewRunner(g, selector, values, rng)
+	if err != nil {
+		return nil, err
+	}
+	variances := runner.Run(cycles)
+	ratios := make([]float64, 0, cycles)
+	for i := 1; i < len(variances); i++ {
+		if variances[i-1] <= 0 {
+			break // numerically converged; further ratios are noise
+		}
+		ratios = append(ratios, variances[i]/variances[i-1])
+	}
+	return ratios, nil
+}
+
+// hashLabel mixes experiment coordinates into a seed offset so that every
+// selector×topology×size combination draws an independent random stream.
+func hashLabel(sel, topo string, n int) uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(sel)
+	mix("|")
+	mix(topo)
+	mix("|")
+	mix(fmt.Sprintf("%d", n))
+	return h
+}

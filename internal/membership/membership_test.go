@@ -1,0 +1,320 @@
+package membership
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestViewCapacityClamped(t *testing.T) {
+	v := NewView(0)
+	if v.Capacity() != 1 {
+		t.Fatalf("capacity = %d, want clamped 1", v.Capacity())
+	}
+}
+
+func TestViewMergeDedupKeepsFresher(t *testing.T) {
+	v := NewView(10)
+	v.Merge("self", []Entry{{Addr: "a", Age: 5}})
+	v.Merge("self", []Entry{{Addr: "a", Age: 2}})
+	entries := v.Entries()
+	if len(entries) != 1 || entries[0].Age != 2 {
+		t.Fatalf("entries = %v, want single a@2", entries)
+	}
+	// Staler duplicate must not regress the age.
+	v.Merge("self", []Entry{{Addr: "a", Age: 9}})
+	if got := v.Entries()[0].Age; got != 2 {
+		t.Fatalf("age regressed to %d", got)
+	}
+}
+
+func TestViewMergeExcludesSelfAndEmpty(t *testing.T) {
+	v := NewView(10)
+	v.Merge("self", []Entry{{Addr: "self", Age: 0}, {Addr: "", Age: 0}, {Addr: "x", Age: 0}})
+	if v.Len() != 1 || !v.Contains("x") {
+		t.Fatalf("view = %v", v.Entries())
+	}
+}
+
+func TestViewCapacityEvictsOldest(t *testing.T) {
+	v := NewView(3)
+	v.Merge("self", []Entry{
+		{Addr: "a", Age: 4}, {Addr: "b", Age: 1},
+		{Addr: "c", Age: 3}, {Addr: "d", Age: 2},
+	})
+	if v.Len() != 3 {
+		t.Fatalf("len = %d, want 3", v.Len())
+	}
+	if v.Contains("a") {
+		t.Fatal("oldest entry survived capacity eviction")
+	}
+	addrs := v.Addrs()
+	if addrs[0] != "b" {
+		t.Fatalf("freshest-first order broken: %v", addrs)
+	}
+}
+
+func TestViewAgeAll(t *testing.T) {
+	v := NewView(5)
+	v.Merge("self", []Entry{{Addr: "a", Age: 0}})
+	v.AgeAll()
+	v.AgeAll()
+	if got := v.Entries()[0].Age; got != 2 {
+		t.Fatalf("age = %d, want 2", got)
+	}
+}
+
+func TestViewSampleAndRemove(t *testing.T) {
+	rng := xrand.New(1)
+	v := NewView(5)
+	if _, ok := v.Sample(rng); ok {
+		t.Fatal("empty view sampled")
+	}
+	v.Merge("self", []Entry{{Addr: "a", Age: 0}, {Addr: "b", Age: 0}})
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		addr, ok := v.Sample(rng)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		seen[addr] = true
+	}
+	if !seen["a"] || !seen["b"] {
+		t.Fatalf("sampling missed entries: %v", seen)
+	}
+	if !v.Remove("a") || v.Contains("a") {
+		t.Fatal("Remove(a) failed")
+	}
+	if v.Remove("zzz") {
+		t.Fatal("Remove of absent address returned true")
+	}
+}
+
+func TestViewDigest(t *testing.T) {
+	rng := xrand.New(2)
+	v := NewView(10)
+	v.Merge("self", []Entry{{Addr: "a", Age: 0}, {Addr: "b", Age: 1}, {Addr: "c", Age: 2}})
+	d := v.Digest(rng, 2)
+	if len(d) != 2 {
+		t.Fatalf("digest len = %d", len(d))
+	}
+	if d[0].Addr == d[1].Addr {
+		t.Fatal("digest returned duplicates")
+	}
+	if got := v.Digest(rng, 99); len(got) != 3 {
+		t.Fatalf("oversize digest len = %d, want clamped 3", len(got))
+	}
+	if got := v.Digest(rng, 0); got != nil {
+		t.Fatalf("zero digest = %v, want nil", got)
+	}
+}
+
+func TestStaticSampler(t *testing.T) {
+	if _, err := NewStatic(nil); err != ErrNoPeers {
+		t.Fatalf("empty peers err = %v", err)
+	}
+	s, err := NewStatic([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(3)
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		addr, ok := s.Sample(rng)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		counts[addr]++
+	}
+	for _, a := range []string{"a", "b", "c"} {
+		if counts[a] < 800 {
+			t.Fatalf("address %s sampled %d/3000; not uniform", a, counts[a])
+		}
+	}
+	s.Observe("zzz") // no-op
+	s.Forget("a")    // no-op
+	if d := s.Digest(rng, 2); len(d) != 2 {
+		t.Fatalf("digest = %v", d)
+	}
+}
+
+func TestStaticSamplerCopiesInput(t *testing.T) {
+	peers := []string{"a", "b"}
+	s, err := NewStatic(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers[0] = "mutated"
+	rng := xrand.New(4)
+	for i := 0; i < 50; i++ {
+		if addr, _ := s.Sample(rng); addr == "mutated" {
+			t.Fatal("sampler aliased the caller's slice")
+		}
+	}
+}
+
+func TestGossipSamplerBootstrap(t *testing.T) {
+	if _, err := NewGossipSampler("self", 5, nil); err != ErrNoPeers {
+		t.Fatalf("err = %v, want ErrNoPeers", err)
+	}
+	if _, err := NewGossipSampler("self", 5, []string{"self"}); err != ErrNoPeers {
+		t.Fatalf("self-only seed err = %v, want ErrNoPeers", err)
+	}
+	g, err := NewGossipSampler("self", 5, []string{"seed1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	addr, ok := g.Sample(rng)
+	if !ok || addr != "seed1" {
+		t.Fatalf("sample = %q, %v", addr, ok)
+	}
+}
+
+func TestGossipSamplerObserveAndForget(t *testing.T) {
+	g, err := NewGossipSampler("self", 4, []string{"seed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Observe("p1", "p2", "p3")
+	view := g.ViewAddrs()
+	if len(view) != 4 {
+		t.Fatalf("view = %v, want 4 entries", view)
+	}
+	// Sender p1 entered at age 0, so it must be freshest.
+	if view[0] != "p1" {
+		t.Fatalf("freshest = %q, want p1", view[0])
+	}
+	g.Forget("p2")
+	for _, a := range g.ViewAddrs() {
+		if a == "p2" {
+			t.Fatal("forgotten peer still present")
+		}
+	}
+}
+
+func TestGossipSamplerEvictsStaleUnderChurn(t *testing.T) {
+	g, err := NewGossipSampler("self", 3, []string{"dead"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh peers keep arriving; the dead seed must age out once the
+	// view fills with younger entries.
+	for i := 0; i < 10; i++ {
+		g.Observe(fmt.Sprintf("live%d", i))
+	}
+	for _, a := range g.ViewAddrs() {
+		if a == "dead" {
+			t.Fatal("stale seed survived 10 fresh observations with capacity 3")
+		}
+	}
+}
+
+func TestGossipSamplerDigest(t *testing.T) {
+	g, err := NewGossipSampler("self", 8, []string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(6)
+	d := g.Digest(rng, 3)
+	if len(d) != 3 {
+		t.Fatalf("digest len = %d", len(d))
+	}
+	seen := map[string]bool{}
+	for _, a := range d {
+		if seen[a] {
+			t.Fatal("digest contains duplicates")
+		}
+		seen[a] = true
+	}
+}
+
+func TestSimValidation(t *testing.T) {
+	rng := xrand.New(7)
+	if _, err := NewSim(2, 5, rng); err == nil {
+		t.Error("n = 2 accepted")
+	}
+	if _, err := NewSim(10, 1, rng); err == nil {
+		t.Error("capacity = 1 accepted")
+	}
+}
+
+func TestSimStaysConnected(t *testing.T) {
+	rng := xrand.New(8)
+	s, err := NewSim(200, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 30; c++ {
+		s.Cycle()
+		if !s.Connected() {
+			t.Fatalf("overlay disconnected at cycle %d", c)
+		}
+	}
+}
+
+func TestSimViewsFill(t *testing.T) {
+	rng := xrand.New(9)
+	s, err := NewSim(100, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 20; c++ {
+		s.Cycle()
+	}
+	for i := 0; i < 100; i++ {
+		if got := s.View(i).Len(); got < 8 {
+			t.Fatalf("node %d view has %d entries after 20 cycles, want ≥ 8", i, got)
+		}
+	}
+}
+
+func TestSimInDegreeBalanced(t *testing.T) {
+	// Newscast keeps in-degrees concentrated: no node should be absent
+	// from every view and no node should dominate.
+	rng := xrand.New(10)
+	s, err := NewSim(300, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 40; c++ {
+		s.Cycle()
+	}
+	deg := s.InDegrees()
+	vals := make([]float64, len(deg))
+	for i, d := range deg {
+		vals[i] = float64(d)
+		if d == 0 {
+			t.Fatalf("node %d vanished from every view", i)
+		}
+	}
+	mean := stats.Mean(vals)
+	_, maxDeg := stats.MinMax(vals)
+	if maxDeg > 6*mean {
+		t.Fatalf("hotspot: max in-degree %.0f vs mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestSimDeadNodeEvicted(t *testing.T) {
+	rng := xrand.New(11)
+	s, err := NewSim(100, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 10; c++ {
+		s.Cycle()
+	}
+	s.Kill(42)
+	for c := 0; c < 60; c++ {
+		s.Cycle()
+	}
+	deg := s.InDegrees()
+	if deg[42] > 3 {
+		t.Fatalf("dead node still referenced by %d views after 60 cycles", deg[42])
+	}
+	if !s.Connected() {
+		t.Fatal("overlay lost connectivity after a single death")
+	}
+}

@@ -1,0 +1,167 @@
+package membership
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+// Sampler is the neighbor-selection interface the asynchronous engine
+// consumes: one random peer per exchange, plus hooks to learn addresses
+// from observed traffic and to emit a digest for piggybacked membership
+// gossip. Implementations must be safe for concurrent use.
+type Sampler interface {
+	// Sample returns a uniformly random known peer; ok is false when no
+	// peer is known yet.
+	Sample(rng *xrand.Rand) (addr string, ok bool)
+	// Observe feeds peer addresses learned from incoming messages (the
+	// sender plus its piggybacked digest).
+	Observe(addrs ...string)
+	// Digest returns up to k addresses to piggyback on an outgoing
+	// message.
+	Digest(rng *xrand.Rand, k int) []string
+	// Forget drops an address observed to be dead.
+	Forget(addr string)
+}
+
+// ErrNoPeers is returned by constructors handed an empty peer set.
+var ErrNoPeers = errors.New("membership: no peers")
+
+// Static samples from a fixed peer list — the engine's equivalent of a
+// fixed overlay topology. Observe and Forget are no-ops: the list is the
+// configuration.
+type Static struct {
+	mu    sync.RWMutex
+	addrs []string
+}
+
+var _ Sampler = (*Static)(nil)
+
+// NewStatic returns a sampler over a copy of addrs.
+func NewStatic(addrs []string) (*Static, error) {
+	if len(addrs) == 0 {
+		return nil, ErrNoPeers
+	}
+	cp := make([]string, len(addrs))
+	copy(cp, addrs)
+	return &Static{addrs: cp}, nil
+}
+
+// Sample implements Sampler.
+func (s *Static) Sample(rng *xrand.Rand) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.addrs) == 0 {
+		return "", false
+	}
+	return s.addrs[rng.Intn(len(s.addrs))], true
+}
+
+// Observe implements Sampler (no-op for a static peer list).
+func (s *Static) Observe(...string) {}
+
+// Digest implements Sampler.
+func (s *Static) Digest(rng *xrand.Rand, k int) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := len(s.addrs)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := rng.SampleDistinct(n, k, -1)
+	out := make([]string, 0, k)
+	for _, i := range idx {
+		out = append(out, s.addrs[i])
+	}
+	return out
+}
+
+// Forget implements Sampler (no-op: static configuration is never pruned).
+func (s *Static) Forget(string) {}
+
+// GossipSampler maintains a Newscast-style view fed by piggybacked
+// membership gossip: every observed sender enters at age 0, digests enter
+// at age 1, and each observation round ages existing entries so dead
+// peers wash out of the view.
+type GossipSampler struct {
+	self string
+
+	mu   sync.Mutex
+	view *View
+}
+
+var _ Sampler = (*GossipSampler)(nil)
+
+// NewGossipSampler returns a sampler for the node at self, bootstrapped
+// from seeds (at least one seed is required so the node can reach the
+// network).
+func NewGossipSampler(self string, capacity int, seeds []string) (*GossipSampler, error) {
+	v := NewView(capacity)
+	incoming := make([]Entry, 0, len(seeds))
+	for _, s := range seeds {
+		incoming = append(incoming, Entry{Addr: s, Age: 0})
+	}
+	v.Merge(self, incoming)
+	if v.Len() == 0 {
+		return nil, ErrNoPeers
+	}
+	return &GossipSampler{self: self, view: v}, nil
+}
+
+// Sample implements Sampler.
+func (g *GossipSampler) Sample(rng *xrand.Rand) (string, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.view.Sample(rng)
+}
+
+// Observe implements Sampler: the first address (the message sender) is
+// inserted fresh, the rest (its digest) one exchange old, and the whole
+// view ages by one round.
+func (g *GossipSampler) Observe(addrs ...string) {
+	if len(addrs) == 0 {
+		return
+	}
+	incoming := make([]Entry, 0, len(addrs))
+	for i, a := range addrs {
+		age := uint32(1)
+		if i == 0 {
+			age = 0
+		}
+		incoming = append(incoming, Entry{Addr: a, Age: age})
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.view.AgeAll()
+	g.view.Merge(g.self, incoming)
+}
+
+// Digest implements Sampler.
+func (g *GossipSampler) Digest(rng *xrand.Rand, k int) []string {
+	g.mu.Lock()
+	entries := g.view.Digest(rng, k)
+	g.mu.Unlock()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Addr
+	}
+	return out
+}
+
+// Forget implements Sampler.
+func (g *GossipSampler) Forget(addr string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.view.Remove(addr)
+}
+
+// ViewAddrs returns the current view contents (diagnostics and tests).
+func (g *GossipSampler) ViewAddrs() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.view.Addrs()
+}

@@ -1,0 +1,208 @@
+package membership
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Sim is a cycle-driven peer-sampling simulation over n logical nodes,
+// used to verify the properties anti-entropy aggregation needs from its
+// membership layer: the overlay stays connected, in-degrees stay
+// balanced (no hotspots), and entries of departed nodes are evicted.
+//
+// The exchange is a CYCLON-style shuffle: each node contacts the oldest
+// entry of its view and the two swap a bounded random sample of
+// references, handing entries over rather than replicating them. Unlike
+// naive full-view merging (which lets popular descriptors replicate until
+// a few hubs dominate every view), the shuffle conserves the reference
+// count per node, so the in-degree distribution stays concentrated around
+// the view capacity.
+type Sim struct {
+	rng     *xrand.Rand
+	views   []*View
+	alive   []bool
+	shuffle int // sample size per exchange
+}
+
+// NewSim builds a simulation of n nodes with the given view capacity,
+// bootstrapped on a ring so the initial overlay is minimally connected
+// (the interesting question is whether gossip randomizes it).
+func NewSim(n, capacity int, rng *xrand.Rand) (*Sim, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("membership: sim needs n ≥ 3, got %d", n)
+	}
+	if capacity < 2 {
+		return nil, fmt.Errorf("membership: sim needs capacity ≥ 2, got %d", capacity)
+	}
+	s := &Sim{
+		rng:     rng,
+		views:   make([]*View, n),
+		alive:   make([]bool, n),
+		shuffle: max(1, capacity/2),
+	}
+	for i := 0; i < n; i++ {
+		v := NewView(capacity)
+		v.Merge(addrOf(i), []Entry{
+			{Addr: addrOf((i + 1) % n), Age: 0},
+			{Addr: addrOf((i + n - 1) % n), Age: 0},
+		})
+		s.views[i] = v
+		s.alive[i] = true
+	}
+	return s, nil
+}
+
+// addrOf renders node index i as its simulated address.
+func addrOf(i int) string { return fmt.Sprintf("n%d", i) }
+
+// indexOf parses a simulated address back to a node index.
+func indexOf(addr string) (int, bool) {
+	var i int
+	if _, err := fmt.Sscanf(addr, "n%d", &i); err != nil {
+		return 0, false
+	}
+	return i, true
+}
+
+// Cycle performs one shuffle round: every live node ages its view,
+// contacts its oldest reference and swaps a bounded sample with it. Dead
+// partners are simply dropped from the view — the self-healing path.
+func (s *Sim) Cycle() {
+	for i, v := range s.views {
+		if !s.alive[i] {
+			continue
+		}
+		v.AgeAll()
+		partner, ok := v.Oldest()
+		if !ok {
+			continue
+		}
+		j, parsed := indexOf(partner.Addr)
+		if !parsed || j == i {
+			v.Remove(partner.Addr)
+			continue
+		}
+		if !s.alive[j] {
+			v.Remove(partner.Addr) // contact failed: evict the dead peer
+			continue
+		}
+		s.exchange(i, j, partner.Addr)
+	}
+}
+
+// exchange swaps samples between initiator i and partner j. The initiator
+// spends its reference to j (replaced by a fresh self-descriptor heading
+// the sample), so references move instead of multiplying.
+func (s *Sim) exchange(i, j int, partnerAddr string) {
+	vi, vj := s.views[i], s.views[j]
+
+	// Initiator's sample: fresh self-descriptor plus up to shuffle-1
+	// random other entries; the entry for the partner itself is spent.
+	vi.Remove(partnerAddr)
+	sampleI := []Entry{{Addr: addrOf(i), Age: 0}}
+	sampleI = append(sampleI, vi.Digest(s.rng, s.shuffle-1)...)
+
+	// Partner's sample: up to shuffle random entries of its view.
+	sampleJ := vj.Digest(s.rng, s.shuffle)
+
+	s.absorb(j, sampleI, sampleJ)
+	s.absorb(i, sampleJ, sampleI)
+}
+
+// absorb folds the received sample into node idx's view: new addresses
+// fill free slots first, then overwrite entries the node just shipped out
+// (the hand-over that conserves reference counts). Entries for the node
+// itself or for addresses already present are skipped.
+func (s *Sim) absorb(idx int, received, sent []Entry) {
+	v := s.views[idx]
+	self := addrOf(idx)
+	spend := 0
+	for _, e := range received {
+		if e.Addr == self || v.Contains(e.Addr) {
+			continue
+		}
+		if v.Add(e) {
+			continue
+		}
+		// View full: hand over a slot that held an entry we sent.
+		for spend < len(sent) {
+			victim := sent[spend].Addr
+			spend++
+			if victim != e.Addr && v.Replace(victim, e) {
+				break
+			}
+		}
+	}
+}
+
+// Kill marks a node dead; its view stops participating and its entries
+// should be evicted from the others' views as contacts fail.
+func (s *Sim) Kill(i int) { s.alive[i] = false }
+
+// InDegrees returns, for every node, how many live views contain it — the
+// balance statistic peer-sampling literature tracks.
+func (s *Sim) InDegrees() []int {
+	deg := make([]int, len(s.views))
+	for i, v := range s.views {
+		if !s.alive[i] {
+			continue
+		}
+		for _, e := range v.Entries() {
+			if j, ok := indexOf(e.Addr); ok {
+				deg[j]++
+			}
+		}
+	}
+	return deg
+}
+
+// View returns node i's view (for inspection in tests).
+func (s *Sim) View(i int) *View { return s.views[i] }
+
+// Connected reports whether the overlay induced by live views is weakly
+// connected across live nodes.
+func (s *Sim) Connected() bool {
+	n := len(s.views)
+	adj := make([][]int, n)
+	for i, v := range s.views {
+		if !s.alive[i] {
+			continue
+		}
+		for _, e := range v.Entries() {
+			if j, ok := indexOf(e.Addr); ok && s.alive[j] {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i) // weak connectivity
+			}
+		}
+	}
+	start := -1
+	total := 0
+	for i, a := range s.alive {
+		if a {
+			total++
+			if start < 0 {
+				start = i
+			}
+		}
+	}
+	if total == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{start}
+	seen[start] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == total
+}

@@ -1,0 +1,73 @@
+package stats
+
+import "fmt"
+
+// Series accumulates one named curve across repeated simulation runs:
+// each x-position (network size, cycle index, …) gets its own Running
+// accumulator, so after R runs every point carries a mean, a standard
+// error and min/max envelope — exactly what the paper's figures plot
+// ("values are averages over 50 independent runs", error bars on Fig. 4).
+type Series struct {
+	name   string
+	xs     []float64
+	points map[float64]*Running
+}
+
+// NewSeries returns an empty series with the given display name.
+func NewSeries(name string) *Series {
+	return &Series{name: name, points: make(map[float64]*Running)}
+}
+
+// Name returns the display name given at construction.
+func (s *Series) Name() string { return s.name }
+
+// Observe folds one observation for x-position x into the series.
+// X-positions are remembered in first-seen order.
+func (s *Series) Observe(x, y float64) {
+	acc, seen := s.points[x]
+	if !seen {
+		acc = &Running{}
+		s.points[x] = acc
+		s.xs = append(s.xs, x)
+	}
+	acc.Add(y)
+}
+
+// Point is one aggregated sample of a series.
+type Point struct {
+	X      float64 // x-position (network size, cycle, …)
+	Mean   float64 // mean across runs
+	StdErr float64 // standard error of the mean
+	Min    float64 // smallest observation
+	Max    float64 // largest observation
+	N      int     // number of runs folded in
+}
+
+// Points returns the aggregated points in first-observed x order.
+func (s *Series) Points() []Point {
+	out := make([]Point, 0, len(s.xs))
+	for _, x := range s.xs {
+		acc := s.points[x]
+		out = append(out, Point{
+			X:      x,
+			Mean:   acc.Mean(),
+			StdErr: acc.StdErr(),
+			Min:    acc.Min(),
+			Max:    acc.Max(),
+			N:      acc.N(),
+		})
+	}
+	return out
+}
+
+// TSV renders the series as tab-separated rows
+// (x, mean, stderr, min, max, runs) with a header comment, the format the
+// cmd/figures tool emits for gnuplot-style consumption.
+func (s *Series) TSV() string {
+	out := fmt.Sprintf("# series: %s\n# x\tmean\tstderr\tmin\tmax\truns\n", s.name)
+	for _, p := range s.Points() {
+		out += fmt.Sprintf("%g\t%.6g\t%.3g\t%.6g\t%.6g\t%d\n",
+			p.X, p.Mean, p.StdErr, p.Min, p.Max, p.N)
+	}
+	return out
+}

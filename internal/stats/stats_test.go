@@ -1,0 +1,287 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{7}, 7},
+		{"pair", []float64{1, 3}, 2},
+		{"negatives", []float64{-2, 2, -4, 4}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Mean(tc.in); got != tc.want {
+				t.Fatalf("Mean(%v) = %g, want %g", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVarianceKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 0},
+		{"constant", []float64{2, 2, 2, 2}, 0},
+		{"simple", []float64{1, 2, 3, 4, 5}, 2.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Variance(tc.in); !almostEqual(got, tc.want, 1e-12) {
+				t.Fatalf("Variance(%v) = %g, want %g", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVarianceShiftInvariant(t *testing.T) {
+	check := func(raw []float64, shift float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				return true
+			}
+			xs = append(xs, v)
+		}
+		if math.IsNaN(shift) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		v1 := Variance(xs)
+		shifted := make([]float64, len(xs))
+		for i, v := range xs {
+			shifted[i] = v + shift
+		}
+		v2 := Variance(shifted)
+		scale := math.Max(1, math.Abs(v1))
+		return almostEqual(v1, v2, 1e-6*scale+1e-6)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumKahanAccuracy(t *testing.T) {
+	// 1 + many tiny values: naive summation loses them, Kahan keeps them.
+	xs := make([]float64, 1+1<<20)
+	xs[0] = 1
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-16
+	}
+	got := Sum(xs)
+	want := 1 + float64(1<<20)*1e-16
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("Kahan Sum = %.18g, want %.18g", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 4, 1, 5})
+	if lo != -1 || hi != 5 {
+		t.Fatalf("MinMax = (%g, %g), want (-1, 5)", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if !math.IsInf(lo, 1) || !math.IsInf(hi, -1) {
+		t.Fatalf("empty MinMax = (%g, %g), want (+Inf, -Inf)", lo, hi)
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	check := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e8 {
+				return true
+			}
+			xs = append(xs, v)
+		}
+		var r Running
+		for _, v := range xs {
+			r.Add(v)
+		}
+		if r.N() != len(xs) {
+			return false
+		}
+		wantMean, wantVar := Mean(xs), Variance(xs)
+		scale := math.Max(1, math.Abs(wantVar))
+		return almostEqual(r.Mean(), wantMean, 1e-9*math.Max(1, math.Abs(wantMean))) &&
+			almostEqual(r.Variance(), wantVar, 1e-8*scale)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	check := func(rawA, rawB []float64) bool {
+		clean := func(raw []float64) []float64 {
+			xs := make([]float64, 0, len(raw))
+			for _, v := range raw {
+				if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e8 {
+					continue
+				}
+				xs = append(xs, v)
+			}
+			return xs
+		}
+		a, b := clean(rawA), clean(rawB)
+		var ra, rb, whole Running
+		for _, v := range a {
+			ra.Add(v)
+			whole.Add(v)
+		}
+		for _, v := range b {
+			rb.Add(v)
+			whole.Add(v)
+		}
+		ra.Merge(rb)
+		if ra.N() != whole.N() {
+			return false
+		}
+		if ra.N() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(whole.Variance()))
+		return almostEqual(ra.Mean(), whole.Mean(), 1e-8*math.Max(1, math.Abs(whole.Mean()))) &&
+			almostEqual(ra.Variance(), whole.Variance(), 1e-7*scale) &&
+			ra.Min() == whole.Min() && ra.Max() == whole.Max()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningMinMaxStdErr(t *testing.T) {
+	var r Running
+	for _, v := range []float64{4, 2, 8, 6} {
+		r.Add(v)
+	}
+	if r.Min() != 2 || r.Max() != 8 {
+		t.Fatalf("min/max = %g/%g, want 2/8", r.Min(), r.Max())
+	}
+	wantSE := r.StdDev() / 2 // sqrt(4) = 2 observations
+	if !almostEqual(r.StdErr(), wantSE, 1e-12) {
+		t.Fatalf("stderr = %g, want %g", r.StdErr(), wantSE)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty slice should be NaN")
+	}
+	// Input must not be mutated.
+	unsorted := []float64{3, 1, 2}
+	Quantile(unsorted, 0.5)
+	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 1, 3, 5, 7, 9, -2, 15} {
+		h.Add(v)
+	}
+	counts := h.Counts()
+	if h.N() != 8 {
+		t.Fatalf("N = %d, want 8", h.N())
+	}
+	// -2 clamps to bin 0, 15 clamps to bin 4.
+	want := []int{3, 1, 1, 1, 2}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+	if got := h.BinCenter(0); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("BinCenter(0) = %g, want 1", got)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewHistogram(10, 0, 3); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestSeriesAggregation(t *testing.T) {
+	s := NewSeries("test")
+	s.Observe(100, 0.30)
+	s.Observe(100, 0.40)
+	s.Observe(200, 0.25)
+	pts := s.Points()
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	if pts[0].X != 100 || !almostEqual(pts[0].Mean, 0.35, 1e-12) || pts[0].N != 2 {
+		t.Fatalf("point 0 = %+v", pts[0])
+	}
+	if pts[0].Min != 0.30 || pts[0].Max != 0.40 {
+		t.Fatalf("point 0 min/max = %g/%g", pts[0].Min, pts[0].Max)
+	}
+	if pts[1].X != 200 || pts[1].N != 1 {
+		t.Fatalf("point 1 = %+v", pts[1])
+	}
+}
+
+func TestSeriesPreservesOrder(t *testing.T) {
+	s := NewSeries("order")
+	for _, x := range []float64{5, 1, 3} {
+		s.Observe(x, 0)
+	}
+	pts := s.Points()
+	if pts[0].X != 5 || pts[1].X != 1 || pts[2].X != 3 {
+		t.Fatalf("x order = %v %v %v, want first-seen order 5 1 3", pts[0].X, pts[1].X, pts[2].X)
+	}
+}
+
+func TestSeriesTSV(t *testing.T) {
+	s := NewSeries("curve")
+	s.Observe(1, 0.5)
+	out := s.TSV()
+	if !strings.Contains(out, "# series: curve") {
+		t.Errorf("TSV missing header: %q", out)
+	}
+	if !strings.Contains(out, "1\t0.5") {
+		t.Errorf("TSV missing data row: %q", out)
+	}
+}

@@ -1,0 +1,303 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// NewKRegular builds an undirected random k-regular graph on n nodes via
+// the configuration model: n·k stubs are shuffled and paired, then
+// self-loops and parallel edges are repaired with random edge swaps. This
+// is the "20-reg. random" topology of Figure 3 when k = 20.
+//
+// n·k must be even and k < n.
+func NewKRegular(n, k int, rng *xrand.Rand) (*Adjacency, error) {
+	if n < 2 || k < 1 {
+		return nil, fmt.Errorf("%w: k-regular needs n ≥ 2 and k ≥ 1, got n=%d k=%d", ErrTooFewNodes, n, k)
+	}
+	if k >= n {
+		return nil, fmt.Errorf("topology: k-regular needs k < n, got n=%d k=%d", n, k)
+	}
+	if n*k%2 != 0 {
+		return nil, fmt.Errorf("topology: k-regular needs n·k even, got n=%d k=%d", n, k)
+	}
+
+	stubs := make([]int32, n*k)
+	for i := range stubs {
+		stubs[i] = int32(i / k)
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+
+	// Pair consecutive stubs into candidate edges.
+	type edge struct{ u, v int32 }
+	edges := make([]edge, 0, n*k/2)
+	for i := 0; i < len(stubs); i += 2 {
+		edges = append(edges, edge{stubs[i], stubs[i+1]})
+	}
+
+	key := func(u, v int32) int64 {
+		if u > v {
+			u, v = v, u
+		}
+		return int64(u)<<32 | int64(v)
+	}
+	seen := make(map[int64]struct{}, len(edges))
+	bad := func(e edge) bool {
+		if e.u == e.v {
+			return true
+		}
+		_, dup := seen[key(e.u, e.v)]
+		return dup
+	}
+
+	// First pass: register good edges, queue bad ones (self-loops and
+	// later copies of duplicate edges).
+	var defects []int
+	defectSet := make(map[int]struct{})
+	for idx, e := range edges {
+		if bad(e) {
+			defects = append(defects, idx)
+			defectSet[idx] = struct{}{}
+			continue
+		}
+		seen[key(e.u, e.v)] = struct{}{}
+	}
+
+	// Repair each defective edge by a double-edge swap with a random good
+	// edge: (d.u,d.v)+(o.u,o.v) → (d.u,o.u)+(d.v,o.v). The expected
+	// defect count is O(k²), independent of n, so this terminates
+	// quickly; an attempt cap turns pathological inputs into an error
+	// instead of a hang.
+	const maxAttempts = 1 << 22
+	attempts := 0
+	for len(defects) > 0 {
+		if attempts++; attempts > maxAttempts {
+			return nil, fmt.Errorf("topology: k-regular repair did not converge for n=%d k=%d", n, k)
+		}
+		di := defects[len(defects)-1]
+		d := edges[di]
+		oi := rng.Intn(len(edges))
+		if oi == di {
+			continue
+		}
+		if _, isDefect := defectSet[oi]; isDefect {
+			continue
+		}
+		o := edges[oi]
+		// Temporarily free o's key so the candidates may reuse it.
+		delete(seen, key(o.u, o.v))
+		n1 := edge{d.u, o.u}
+		n2 := edge{d.v, o.v}
+		if bad(n1) || bad(n2) || key(n1.u, n1.v) == key(n2.u, n2.v) {
+			seen[key(o.u, o.v)] = struct{}{} // restore and retry
+			continue
+		}
+		seen[key(n1.u, n1.v)] = struct{}{}
+		seen[key(n2.u, n2.v)] = struct{}{}
+		edges[di] = n1
+		edges[oi] = n2
+		defects = defects[:len(defects)-1]
+		delete(defectSet, di)
+	}
+
+	adj := make([][]int32, n)
+	for i := range adj {
+		adj[i] = make([]int32, 0, k)
+	}
+	for _, e := range edges {
+		adj[e.u] = append(adj[e.u], e.v)
+		adj[e.v] = append(adj[e.v], e.u)
+	}
+	return NewAdjacency(fmt.Sprintf("%d-regular", k), adj), nil
+}
+
+// NewRandomView builds a directed overlay where every node's view is k
+// distinct uniformly random other nodes — the idealized output of a
+// peer-sampling service such as Newscast. Sampling a neighbor reads the
+// node's own view only, exactly like the deployed protocol.
+func NewRandomView(n, k int, rng *xrand.Rand) (*Adjacency, error) {
+	if n < 2 || k < 1 {
+		return nil, fmt.Errorf("%w: random view needs n ≥ 2 and k ≥ 1, got n=%d k=%d", ErrTooFewNodes, n, k)
+	}
+	if k >= n {
+		return nil, fmt.Errorf("topology: random view needs k < n, got n=%d k=%d", n, k)
+	}
+	adj := make([][]int32, n)
+	for i := range adj {
+		view := rng.SampleDistinct(n, k, i)
+		lst := make([]int32, k)
+		for vi, v := range view {
+			lst[vi] = int32(v)
+		}
+		adj[i] = lst
+	}
+	return NewAdjacency(fmt.Sprintf("view-%d", k), adj), nil
+}
+
+// NewRing builds the cycle graph on n nodes (each node linked to its two
+// ring neighbors) — the worst realistic case for gossip averaging, with
+// diffusive rather than exponential mixing.
+func NewRing(n int) (*Adjacency, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("%w: ring needs n ≥ 3, got %d", ErrTooFewNodes, n)
+	}
+	adj := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		prev := int32((i + n - 1) % n)
+		next := int32((i + 1) % n)
+		adj[i] = []int32{prev, next}
+	}
+	return NewAdjacency("ring", adj), nil
+}
+
+// NewWattsStrogatz builds a small-world graph: a ring lattice where each
+// node connects to its k nearest neighbors (k even), with every edge
+// rewired to a random target with probability beta. beta = 0 is a regular
+// lattice, beta = 1 is close to a random graph.
+func NewWattsStrogatz(n, k int, beta float64, rng *xrand.Rand) (*Adjacency, error) {
+	if n < 4 || k < 2 {
+		return nil, fmt.Errorf("%w: watts-strogatz needs n ≥ 4 and k ≥ 2, got n=%d k=%d", ErrTooFewNodes, n, k)
+	}
+	if k%2 != 0 || k >= n {
+		return nil, fmt.Errorf("topology: watts-strogatz needs even k < n, got n=%d k=%d", n, k)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("topology: watts-strogatz beta must be in [0,1], got %g", beta)
+	}
+
+	key := func(u, v int32) int64 {
+		if u > v {
+			u, v = v, u
+		}
+		return int64(u)<<32 | int64(v)
+	}
+	seen := make(map[int64]struct{}, n*k/2)
+	type edge struct{ u, v int32 }
+	edges := make([]edge, 0, n*k/2)
+	for i := 0; i < n; i++ {
+		for d := 1; d <= k/2; d++ {
+			u, v := int32(i), int32((i+d)%n)
+			if _, dup := seen[key(u, v)]; dup {
+				continue
+			}
+			seen[key(u, v)] = struct{}{}
+			edges = append(edges, edge{u, v})
+		}
+	}
+	for ei := range edges {
+		if !rng.Bool(beta) {
+			continue
+		}
+		e := edges[ei]
+		// Rewire the far endpoint to a random target, keeping the graph
+		// simple. A handful of retries suffices except in tiny graphs,
+		// where we keep the original edge rather than loop forever.
+		for attempt := 0; attempt < 16; attempt++ {
+			t := int32(rng.Intn(n))
+			if t == e.u || t == e.v {
+				continue
+			}
+			if _, dup := seen[key(e.u, t)]; dup {
+				continue
+			}
+			delete(seen, key(e.u, e.v))
+			seen[key(e.u, t)] = struct{}{}
+			edges[ei] = edge{e.u, t}
+			break
+		}
+	}
+	adj := make([][]int32, n)
+	for _, e := range edges {
+		adj[e.u] = append(adj[e.u], e.v)
+		adj[e.v] = append(adj[e.v], e.u)
+	}
+	return NewAdjacency(fmt.Sprintf("smallworld-%d-%.2f", k, beta), adj), nil
+}
+
+// NewBarabasiAlbert builds a scale-free graph by preferential attachment:
+// starting from a small clique, each new node attaches m edges to existing
+// nodes with probability proportional to their degree.
+func NewBarabasiAlbert(n, m int, rng *xrand.Rand) (*Adjacency, error) {
+	if m < 1 || n < m+1 {
+		return nil, fmt.Errorf("%w: barabasi-albert needs n ≥ m+1 and m ≥ 1, got n=%d m=%d", ErrTooFewNodes, n, m)
+	}
+	adj := make([][]int32, n)
+	// Preferential attachment via the repeated-endpoint trick: targets is
+	// a multiset holding every edge endpoint, so uniform sampling from it
+	// is degree-proportional sampling.
+	targets := make([]int32, 0, 2*n*m)
+	// Seed clique on m+1 nodes.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			adj[u] = append(adj[u], int32(v))
+			adj[v] = append(adj[v], int32(u))
+			targets = append(targets, int32(u), int32(v))
+		}
+	}
+	chosen := make(map[int32]struct{}, m)
+	for u := m + 1; u < n; u++ {
+		clear(chosen)
+		for len(chosen) < m {
+			t := targets[rng.Intn(len(targets))]
+			chosen[t] = struct{}{}
+		}
+		for t := range chosen {
+			adj[u] = append(adj[u], t)
+			adj[t] = append(adj[t], int32(u))
+			targets = append(targets, int32(u), t)
+		}
+	}
+	return NewAdjacency(fmt.Sprintf("scalefree-%d", m), adj), nil
+}
+
+// IsConnected reports whether every node is reachable from node 0,
+// treating edges as bidirectional (for the directed random-view graph this
+// checks weak connectivity, which is what gossip dissemination needs when
+// exchanges are push-pull).
+func IsConnected(g Graph) bool {
+	n := g.Size()
+	if n == 0 {
+		return true
+	}
+	// Build a reverse-edge map only for directed graphs; for the complete
+	// graph connectivity is immediate.
+	if _, complete := g.(*Complete); complete {
+		return true
+	}
+	rev := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		deg := g.Degree(i)
+		for k := 0; k < deg; k++ {
+			j := g.Neighbor(i, k)
+			rev[j] = append(rev[j], int32(i))
+		}
+	}
+	visited := make([]bool, n)
+	queue := make([]int, 0, n)
+	queue = append(queue, 0)
+	visited[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		deg := g.Degree(u)
+		for k := 0; k < deg; k++ {
+			v := g.Neighbor(u, k)
+			if !visited[v] {
+				visited[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+		for _, v32 := range rev[u] {
+			v := int(v32)
+			if !visited[v] {
+				visited[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count == n
+}

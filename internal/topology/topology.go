@@ -1,0 +1,121 @@
+// Package topology builds the overlay networks the paper evaluates on —
+// the complete graph and the random graph with a fixed view size
+// ("20-reg. random" in Figure 3) — plus the structured topologies the
+// paper's future-work section points at (ring, small world, scale free)
+// so that the sensitivity of the protocol to non-random overlays can be
+// measured.
+//
+// A Graph exposes exactly the operation the protocol needs: sample a
+// uniformly random neighbor of a node. The complete graph is represented
+// implicitly (O(1) memory at any size); all other graphs store adjacency
+// lists.
+package topology
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Graph is a node-count plus neighbor-sampling view of an overlay.
+// Implementations must be safe for concurrent readers after construction;
+// mutation during sampling is not supported.
+type Graph interface {
+	// Size returns the number of nodes, labeled 0..Size()-1.
+	Size() int
+	// Degree returns the number of neighbors of node i.
+	Degree(i int) int
+	// Neighbor returns the k-th neighbor of node i, 0 ≤ k < Degree(i).
+	Neighbor(i, k int) int
+	// RandomNeighbor returns a uniformly random neighbor of node i.
+	// ok is false when the node is isolated.
+	RandomNeighbor(i int, rng *xrand.Rand) (j int, ok bool)
+	// Name returns a short label used in experiment output.
+	Name() string
+}
+
+// ErrTooFewNodes is returned when a generator is asked for a graph
+// smaller than its structure can support.
+var ErrTooFewNodes = errors.New("topology: too few nodes")
+
+// Complete is the fully connected overlay used by the paper's theory: any
+// node can sample any other node. It stores no adjacency.
+type Complete struct {
+	n int
+}
+
+var _ Graph = (*Complete)(nil)
+
+// NewComplete returns the complete graph on n nodes (n ≥ 2).
+func NewComplete(n int) (*Complete, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: complete graph needs n ≥ 2, got %d", ErrTooFewNodes, n)
+	}
+	return &Complete{n: n}, nil
+}
+
+// Size returns the number of nodes.
+func (g *Complete) Size() int { return g.n }
+
+// Degree returns n-1 for every node.
+func (g *Complete) Degree(i int) int { return g.n - 1 }
+
+// Neighbor enumerates all nodes except i in increasing order.
+func (g *Complete) Neighbor(i, k int) int {
+	if k < i {
+		return k
+	}
+	return k + 1
+}
+
+// RandomNeighbor samples any node other than i uniformly.
+func (g *Complete) RandomNeighbor(i int, rng *xrand.Rand) (int, bool) {
+	j := rng.Intn(g.n - 1)
+	if j >= i {
+		j++
+	}
+	return j, true
+}
+
+// Name implements Graph.
+func (g *Complete) Name() string { return "complete" }
+
+// Adjacency is an explicit adjacency-list graph; the shared representation
+// for every non-complete topology in this package.
+type Adjacency struct {
+	name string
+	adj  [][]int32
+}
+
+var _ Graph = (*Adjacency)(nil)
+
+// NewAdjacency wraps pre-built adjacency lists. The lists are used
+// directly (not copied); callers hand over ownership.
+func NewAdjacency(name string, adj [][]int32) *Adjacency {
+	return &Adjacency{name: name, adj: adj}
+}
+
+// Size returns the number of nodes.
+func (g *Adjacency) Size() int { return len(g.adj) }
+
+// Degree returns the number of neighbors of node i.
+func (g *Adjacency) Degree(i int) int { return len(g.adj[i]) }
+
+// Neighbor returns the k-th neighbor of node i.
+func (g *Adjacency) Neighbor(i, k int) int { return int(g.adj[i][k]) }
+
+// RandomNeighbor samples a uniformly random entry of node i's list.
+func (g *Adjacency) RandomNeighbor(i int, rng *xrand.Rand) (int, bool) {
+	lst := g.adj[i]
+	if len(lst) == 0 {
+		return 0, false
+	}
+	return int(lst[rng.Intn(len(lst))]), true
+}
+
+// Name implements Graph.
+func (g *Adjacency) Name() string { return g.name }
+
+// Neighbors returns node i's raw neighbor list (shared, do not mutate).
+func (g *Adjacency) Neighbors(i int) []int32 { return g.adj[i] }

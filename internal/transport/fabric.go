@@ -1,0 +1,202 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// FabricOption configures an in-memory Fabric.
+type FabricOption func(*Fabric)
+
+// WithLatency delays every delivery by base plus a uniform jitter in
+// [0, jitter). Zero/zero (the default) delivers synchronously.
+func WithLatency(base, jitter time.Duration) FabricOption {
+	return func(f *Fabric) { f.latBase, f.latJitter = base, jitter }
+}
+
+// WithDropProbability makes the fabric lose each message independently
+// with probability p — the message-loss model of experiment E6 applied to
+// the live engine.
+func WithDropProbability(p float64) FabricOption {
+	return func(f *Fabric) { f.dropProb = p }
+}
+
+// WithInboxSize sets the per-endpoint inbox capacity. A full inbox drops
+// the incoming message (UDP semantics), which keeps senders non-blocking;
+// the default of 1024 is far above what the protocol's one-exchange-per-Δt
+// rhythm can queue.
+func WithInboxSize(n int) FabricOption {
+	return func(f *Fabric) {
+		if n > 0 {
+			f.inboxSize = n
+		}
+	}
+}
+
+// WithSeed seeds the fabric's internal RNG (latency jitter and drops).
+func WithSeed(seed uint64) FabricOption {
+	return func(f *Fabric) { f.rng = xrand.New(seed) }
+}
+
+// Fabric is an in-memory message network. It is safe for concurrent use.
+type Fabric struct {
+	mu        sync.Mutex
+	endpoints map[string]*memEndpoint
+	filter    func(from, to string) bool
+	rng       *xrand.Rand
+	latBase   time.Duration
+	latJitter time.Duration
+	dropProb  float64
+	inboxSize int
+	nextAddr  int
+}
+
+// NewFabric returns an empty in-memory network.
+func NewFabric(opts ...FabricOption) *Fabric {
+	f := &Fabric{
+		endpoints: make(map[string]*memEndpoint),
+		rng:       xrand.New(0x0ddba11),
+		inboxSize: 1024,
+	}
+	for _, opt := range opts {
+		opt(f)
+	}
+	return f
+}
+
+// SetFilter installs a reachability predicate evaluated on every send;
+// a false return drops the message. Pass nil to clear. Partition tests
+// use this to cut groups of nodes apart and heal them again.
+func (f *Fabric) SetFilter(filter func(from, to string) bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.filter = filter
+}
+
+// NewEndpoint attaches a new endpoint with a fabric-assigned address.
+func (f *Fabric) NewEndpoint() Endpoint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	addr := fmt.Sprintf("mem-%d", f.nextAddr)
+	f.nextAddr++
+	ep := &memEndpoint{
+		fabric: f,
+		addr:   addr,
+		inbox:  make(chan Message, f.inboxSize),
+	}
+	f.endpoints[addr] = ep
+	return ep
+}
+
+// Endpoints returns the addresses currently attached, in no particular
+// order — handy for bootstrapping samplers in tests and examples.
+func (f *Fabric) Endpoints() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.endpoints))
+	for addr := range f.endpoints {
+		out = append(out, addr)
+	}
+	return out
+}
+
+// deliver routes one message, applying filter, loss and latency. It
+// returns ErrPeerUnreachable when the destination does not exist (so the
+// caller can treat it like a timeout), and nil when the message was
+// dropped by the loss model — real networks don't report drops either.
+func (f *Fabric) deliver(from, to string, m Message) error {
+	f.mu.Lock()
+	if f.filter != nil && !f.filter(from, to) {
+		f.mu.Unlock()
+		return nil
+	}
+	if f.dropProb > 0 && f.rng.Bool(f.dropProb) {
+		f.mu.Unlock()
+		return nil
+	}
+	dst, ok := f.endpoints[to]
+	var delay time.Duration
+	if ok && (f.latBase > 0 || f.latJitter > 0) {
+		delay = f.latBase
+		if f.latJitter > 0 {
+			delay += time.Duration(f.rng.Float64() * float64(f.latJitter))
+		}
+	}
+	f.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrPeerUnreachable, to)
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, func() { dst.enqueue(m) })
+		return nil
+	}
+	dst.enqueue(m)
+	return nil
+}
+
+// detach removes an endpoint from the routing table.
+func (f *Fabric) detach(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.endpoints, addr)
+}
+
+// memEndpoint is one attachment to a Fabric.
+type memEndpoint struct {
+	fabric *Fabric
+	addr   string
+
+	mu     sync.Mutex
+	closed bool
+	inbox  chan Message
+}
+
+var _ Endpoint = (*memEndpoint)(nil)
+
+// Addr implements Endpoint.
+func (e *memEndpoint) Addr() string { return e.addr }
+
+// Send implements Endpoint.
+func (e *memEndpoint) Send(to string, m Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.mu.Unlock()
+	m.From = e.addr
+	return e.fabric.deliver(e.addr, to, m)
+}
+
+// Inbox implements Endpoint.
+func (e *memEndpoint) Inbox() <-chan Message { return e.inbox }
+
+// enqueue appends to the inbox, dropping when full or closed.
+func (e *memEndpoint) enqueue(m Message) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	select {
+	case e.inbox <- m:
+	default: // inbox overflow: drop, like a saturated socket buffer
+	}
+}
+
+// Close implements Endpoint. It is idempotent.
+func (e *memEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.inbox)
+	e.mu.Unlock()
+	e.fabric.detach(e.addr)
+	return nil
+}

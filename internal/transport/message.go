@@ -1,0 +1,222 @@
+// Package transport carries the aggregation protocol's messages between
+// nodes. Two interchangeable implementations are provided: an in-memory
+// Fabric with configurable latency, loss and partitions (for simulation
+// and tests) and a TCP transport over the loopback or a real network
+// (stdlib net only). Both speak the same binary wire format, so the
+// asynchronous engine is transport-agnostic.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Kind discriminates protocol messages.
+type Kind uint8
+
+// Message kinds of the push-pull exchange (Figure 1): the active node
+// sends a push carrying its approximation, the passive node answers with
+// a reply carrying its pre-merge approximation.
+const (
+	KindPush Kind = iota + 1
+	KindReply
+	// KindNack tells the initiator its push was declined (the peer had
+	// its own exchange in flight) so it can abort immediately instead of
+	// waiting out the reply timeout.
+	KindNack
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindPush:
+		return "push"
+	case KindReply:
+		return "reply"
+	case KindNack:
+		return "nack"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Message is one protocol datagram.
+type Message struct {
+	// Kind is push or reply.
+	Kind Kind
+	// Epoch tags the message with the sender's epoch identifier (§4);
+	// receivers in an older epoch jump forward, stale messages are
+	// dropped.
+	Epoch uint64
+	// Seq pairs a reply with the push that solicited it.
+	Seq uint64
+	// From is the sender's transport address.
+	From string
+	// Fields is the sender's state vector (one entry per schema field).
+	Fields []float64
+	// Gossip piggybacks a few peer addresses for lightweight membership
+	// dissemination (Newscast-style).
+	Gossip []string
+}
+
+// Wire format limits; generous for the protocol's tiny messages while
+// bounding what a malformed frame can make us allocate.
+const (
+	maxAddrLen   = 1 << 10
+	maxFields    = 1 << 12
+	maxGossip    = 1 << 10
+	maxFrameSize = 1 << 20
+)
+
+// Errors reported by the codec and transports.
+var (
+	// ErrMalformedMessage reports an undecodable or oversized frame.
+	ErrMalformedMessage = errors.New("transport: malformed message")
+	// ErrPeerUnreachable reports a send to an unknown or closed address.
+	ErrPeerUnreachable = errors.New("transport: peer unreachable")
+	// ErrClosed reports use of a closed endpoint.
+	ErrClosed = errors.New("transport: endpoint closed")
+)
+
+// MarshalBinary encodes the message in the frame layout
+//
+//	kind u8 | epoch u64 | seq u64 | from u16+bytes |
+//	nfields u16 + f64s | ngossip u16 + (u16+bytes)*
+//
+// using big-endian integers and IEEE-754 bits for floats.
+func (m *Message) MarshalBinary() ([]byte, error) {
+	if len(m.From) > maxAddrLen {
+		return nil, fmt.Errorf("%w: from address %d bytes", ErrMalformedMessage, len(m.From))
+	}
+	if len(m.Fields) > maxFields {
+		return nil, fmt.Errorf("%w: %d fields", ErrMalformedMessage, len(m.Fields))
+	}
+	if len(m.Gossip) > maxGossip {
+		return nil, fmt.Errorf("%w: %d gossip entries", ErrMalformedMessage, len(m.Gossip))
+	}
+	size := 1 + 8 + 8 + 2 + len(m.From) + 2 + 8*len(m.Fields) + 2
+	for _, g := range m.Gossip {
+		if len(g) > maxAddrLen {
+			return nil, fmt.Errorf("%w: gossip address %d bytes", ErrMalformedMessage, len(g))
+		}
+		size += 2 + len(g)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, byte(m.Kind))
+	buf = binary.BigEndian.AppendUint64(buf, m.Epoch)
+	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.From)))
+	buf = append(buf, m.From...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Fields)))
+	for _, f := range m.Fields {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Gossip)))
+	for _, g := range m.Gossip {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(g)))
+		buf = append(buf, g...)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a frame produced by MarshalBinary.
+func (m *Message) UnmarshalBinary(b []byte) error {
+	r := reader{buf: b}
+	kind := r.u8()
+	m.Epoch = r.u64()
+	m.Seq = r.u64()
+	fromLen := int(r.u16())
+	if fromLen > maxAddrLen {
+		return fmt.Errorf("%w: from length %d", ErrMalformedMessage, fromLen)
+	}
+	m.From = string(r.bytes(fromLen))
+	nf := int(r.u16())
+	if nf > maxFields {
+		return fmt.Errorf("%w: field count %d", ErrMalformedMessage, nf)
+	}
+	m.Fields = make([]float64, nf)
+	for i := range m.Fields {
+		m.Fields[i] = math.Float64frombits(r.u64())
+	}
+	ng := int(r.u16())
+	if ng > maxGossip {
+		return fmt.Errorf("%w: gossip count %d", ErrMalformedMessage, ng)
+	}
+	m.Gossip = make([]string, 0, ng)
+	for i := 0; i < ng; i++ {
+		gl := int(r.u16())
+		if gl > maxAddrLen {
+			return fmt.Errorf("%w: gossip length %d", ErrMalformedMessage, gl)
+		}
+		m.Gossip = append(m.Gossip, string(r.bytes(gl)))
+	}
+	if r.failed || r.pos != len(b) {
+		return fmt.Errorf("%w: %d bytes, consumed %d", ErrMalformedMessage, len(b), r.pos)
+	}
+	switch kind := Kind(kind); kind {
+	case KindPush, KindReply, KindNack:
+		m.Kind = kind
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrMalformedMessage, kind)
+	}
+	return nil
+}
+
+// reader is a bounds-checked cursor; failed latches on the first
+// out-of-bounds read so the caller checks once at the end.
+type reader struct {
+	buf    []byte
+	pos    int
+	failed bool
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.failed || n < 0 || r.pos+n > len(r.buf) {
+		r.failed = true
+		return nil
+	}
+	out := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	b := r.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Endpoint is one node's attachment to a transport: an address, a way to
+// send to other addresses and an inbox of received messages. The inbox
+// channel is closed when the endpoint is closed.
+type Endpoint interface {
+	// Addr returns the endpoint's routable address.
+	Addr() string
+	// Send delivers (or drops, per the transport's loss model) a message
+	// to the given address. Send never blocks on the receiver.
+	Send(to string, m Message) error
+	// Inbox returns the channel of received messages.
+	Inbox() <-chan Message
+	// Close releases the endpoint and closes the inbox.
+	Close() error
+}

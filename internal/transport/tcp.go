@@ -1,0 +1,226 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPEndpoint carries protocol messages over TCP with length-prefixed
+// frames. Outbound connections are cached per destination; each accepted
+// connection gets a reader goroutine feeding the inbox. The protocol is
+// datagram-shaped (fire-and-forget pushes and replies), so a broken
+// connection simply surfaces as message loss — which the protocol
+// tolerates by design.
+type TCPEndpoint struct {
+	listener net.Listener
+	inbox    chan Message
+
+	mu      sync.Mutex
+	conns   map[string]net.Conn // outbound, keyed by destination
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+
+	// dialTimeout bounds connection establishment so a dead peer costs
+	// one timeout, not a hung exchange loop.
+	dialTimeout time.Duration
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+// NewTCPEndpoint listens on the given address ("127.0.0.1:0" for an
+// ephemeral loopback port) and starts accepting peers.
+func NewTCPEndpoint(listen string) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listen, err)
+	}
+	e := &TCPEndpoint{
+		listener:    ln,
+		inbox:       make(chan Message, 1024),
+		conns:       make(map[string]net.Conn),
+		inbound:     make(map[net.Conn]struct{}),
+		dialTimeout: 2 * time.Second,
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr implements Endpoint; it returns the bound listen address, which is
+// what peers must dial.
+func (e *TCPEndpoint) Addr() string { return e.listener.Addr().String() }
+
+// Inbox implements Endpoint.
+func (e *TCPEndpoint) Inbox() <-chan Message { return e.inbox }
+
+// Send implements Endpoint. The first send to a destination dials and
+// caches the connection; send errors evict the cached connection so the
+// next attempt redials.
+func (e *TCPEndpoint) Send(to string, m Message) error {
+	m.From = e.Addr()
+	frame, err := m.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	conn, err := e.conn(to)
+	if errors.Is(err, ErrClosed) {
+		return err
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrPeerUnreachable, to, err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	e.mu.Lock()
+	_, err = conn.Write(hdr[:])
+	if err == nil {
+		_, err = conn.Write(frame)
+	}
+	e.mu.Unlock()
+	if err != nil {
+		e.evict(to, conn)
+		return fmt.Errorf("%w: %s: %v", ErrPeerUnreachable, to, err)
+	}
+	return nil
+}
+
+// conn returns a cached or freshly dialed connection to the destination.
+func (e *TCPEndpoint) conn(to string) (net.Conn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	e.mu.Unlock()
+
+	c, err := net.DialTimeout("tcp", to, e.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		_ = c.Close()
+		return nil, ErrClosed
+	}
+	if prev, ok := e.conns[to]; ok {
+		// Lost the dial race; keep the existing connection.
+		_ = c.Close()
+		return prev, nil
+	}
+	e.conns[to] = c
+	return c, nil
+}
+
+// evict drops a broken cached connection.
+func (e *TCPEndpoint) evict(to string, conn net.Conn) {
+	e.mu.Lock()
+	if cur, ok := e.conns[to]; ok && cur == conn {
+		delete(e.conns, to)
+	}
+	e.mu.Unlock()
+	_ = conn.Close()
+}
+
+// acceptLoop admits inbound peers until the listener closes.
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		e.inbound[conn] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one inbound connection into the inbox.
+func (e *TCPEndpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		e.mu.Lock()
+		delete(e.inbound, conn)
+		e.mu.Unlock()
+	}()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(hdr[:])
+		if size == 0 || size > maxFrameSize {
+			return // protocol violation; drop the connection
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		var m Message
+		if err := m.UnmarshalBinary(frame); err != nil {
+			return
+		}
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case e.inbox <- m:
+		default: // inbox overflow: drop, like a saturated socket buffer
+		}
+	}
+}
+
+// Close implements Endpoint: it stops the listener, closes every cached
+// connection, waits for reader goroutines and closes the inbox. It is
+// idempotent.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := make([]net.Conn, 0, len(e.conns)+len(e.inbound))
+	for _, c := range e.conns {
+		conns = append(conns, c)
+	}
+	for c := range e.inbound {
+		conns = append(conns, c)
+	}
+	e.conns = make(map[string]net.Conn)
+	e.mu.Unlock()
+
+	err := e.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	e.wg.Wait()
+	close(e.inbox)
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return fmt.Errorf("transport: close listener: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+// Package xrand provides small, fast, deterministic random number
+// generators and the sampling routines the aggregation experiments need
+// (uniform, exponential, normal and Poisson variates, shuffles and
+// subset sampling).
+//
+// Everything in this package is seedable and reproducible: two generators
+// created with the same seed produce identical streams on every platform.
+// The experiment harness relies on that property so that every figure can
+// be regenerated bit-for-bit.
+//
+// The generators are NOT safe for concurrent use; give each goroutine its
+// own stream (see Split).
+package xrand
+
+import "math"
+
+// splitmix64 advances the 64-bit SplitMix64 state and returns the next
+// output. It is used both as a standalone seeder and to initialize
+// xoshiro256** state from a single word.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** pseudo random number generator.
+// The zero value is NOT valid; construct with New.
+type Rand struct {
+	s [4]uint64
+
+	// cached normal variate produced by the Box-Muller pair.
+	haveGauss bool
+	gauss     float64
+}
+
+// New returns a generator seeded from the given seed. Any seed value,
+// including zero, yields a well-mixed internal state.
+func New(seed uint64) *Rand {
+	var r Rand
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	return &r
+}
+
+// Split derives an independent generator from r in a deterministic way.
+// It is the supported way to hand one RNG per goroutine or per node while
+// keeping the whole experiment reproducible from a single master seed.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0,
+// mirroring math/rand, because a non-positive bound is always a caller bug.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn bound must be positive")
+	}
+	return int(r.boundedUint64(uint64(n)))
+}
+
+// boundedUint64 returns a uniform value in [0, n) using Lemire's
+// multiply-shift rejection method (no modulo bias).
+func (r *Rand) boundedUint64(n uint64) uint64 {
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= n || lo >= -n%n {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t&mask32 + x0*y1
+	hi = x1*y1 + t>>32 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// ExpFloat64 returns an exponentially distributed variate with rate 1
+// (mean 1), via inverse transform sampling.
+func (r *Rand) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate (mean 0, stddev 1) using
+// the Box-Muller transform; pairs are cached so the cost is one transform
+// per two variates.
+func (r *Rand) NormFloat64() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	var u float64
+	for u == 0 {
+		u = r.Float64()
+	}
+	v := r.Float64()
+	radius := math.Sqrt(-2 * math.Log(u))
+	theta := 2 * math.Pi * v
+	r.gauss = radius * math.Sin(theta)
+	r.haveGauss = true
+	return radius * math.Cos(theta)
+}
+
+// Poisson returns a Poisson(lambda) variate. For small lambda it uses
+// Knuth's product-of-uniforms method; for large lambda the PTRS
+// transformed-rejection method would be faster but lambda stays tiny
+// (≤ 2) in this codebase, so simplicity wins.
+func (r *Rand) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		limit := math.Exp(-lambda)
+		product := r.Float64()
+		n := 0
+		for product > limit {
+			product *= r.Float64()
+			n++
+		}
+		return n
+	}
+	// Normal approximation with continuity correction for large lambda;
+	// adequate for the rare large-lambda uses in tests.
+	v := lambda + math.Sqrt(lambda)*r.NormFloat64() + 0.5
+	if v < 0 {
+		return 0
+	}
+	return int(v)
+}
+
+// Shuffle pseudo-randomizes the order of n elements using Fisher-Yates,
+// calling swap(i, j) for each exchange.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// SampleDistinct returns k distinct uniform values from [0, n), excluding
+// the value excl (pass a negative excl to exclude nothing). It panics if
+// fewer than k candidates exist. For k much smaller than n it uses
+// rejection sampling; otherwise it falls back to a partial Fisher-Yates.
+func (r *Rand) SampleDistinct(n, k, excl int) []int {
+	avail := n
+	if excl >= 0 && excl < n {
+		avail--
+	}
+	if k > avail {
+		panic("xrand: SampleDistinct k exceeds candidate count")
+	}
+	if k*3 < n {
+		out := make([]int, 0, k)
+		seen := make(map[int]struct{}, k)
+		for len(out) < k {
+			v := r.Intn(n)
+			if v == excl {
+				continue
+			}
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+		return out
+	}
+	pool := make([]int, 0, avail)
+	for v := 0; v < n; v++ {
+		if v != excl {
+			pool = append(pool, v)
+		}
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool[:k:k]
+}

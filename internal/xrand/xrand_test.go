@@ -1,0 +1,312 @@
+package xrand
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at step %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	zeros := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 1 {
+		t.Fatalf("zero seed produced %d zero outputs; state not mixed", zeros)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	s1 := r.Split()
+	s2 := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams produced %d/100 identical outputs", same)
+	}
+}
+
+func TestMul64MatchesBits(t *testing.T) {
+	check := func(x, y uint64) bool {
+		hi, lo := mul64(x, y)
+		wantHi, wantLo := bits.Mul64(x, y)
+		return hi == wantHi && lo == wantLo
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	check := func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d drawn %d times, want ≈ %.0f", v, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+		sum += f
+	}
+	if mean := sum / 100000; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f, want ≈ 0.5", mean)
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(6)
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	trues := 0
+	for i := 0; i < 100000; i++ {
+		if r.Bool(0.3) {
+			trues++
+		}
+	}
+	if frac := float64(trues) / 100000; math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency %.4f", frac)
+	}
+}
+
+func TestExpFloat64Moments(t *testing.T) {
+	r := New(8)
+	const draws = 200000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential variate %g", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean %.4f, want ≈ 1", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("exponential variance %.4f, want ≈ 1", variance)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(9)
+	const draws = 200000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean %.4f, want ≈ 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance %.4f, want ≈ 1", variance)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(10)
+	for _, lambda := range []float64{0.5, 1, 2, 5} {
+		const draws = 100000
+		var sum, sumSq float64
+		for i := 0; i < draws; i++ {
+			v := float64(r.Poisson(lambda))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / draws
+		variance := sumSq/draws - mean*mean
+		if math.Abs(mean-lambda) > 0.05*lambda+0.02 {
+			t.Errorf("Poisson(%g) mean %.4f", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > 0.1*lambda+0.05 {
+			t.Errorf("Poisson(%g) variance %.4f", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonEdgeCases(t *testing.T) {
+	r := New(12)
+	if v := r.Poisson(0); v != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", v)
+	}
+	if v := r.Poisson(-1); v != 0 {
+		t.Errorf("Poisson(-1) = %d, want 0", v)
+	}
+	// Large-lambda branch sanity: mean within 5%.
+	const draws = 20000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		sum += float64(r.Poisson(100))
+	}
+	if mean := sum / draws; math.Abs(mean-100) > 5 {
+		t.Errorf("Poisson(100) mean %.2f", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	check := func(nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleUniformFirstElement(t *testing.T) {
+	r := New(14)
+	const n, draws = 5, 50000
+	counts := make([]int, n)
+	for d := 0; d < draws; d++ {
+		vals := []int{0, 1, 2, 3, 4}
+		r.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		counts[vals[0]]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d first %d times, want ≈ %.0f", v, c, want)
+		}
+	}
+}
+
+func TestSampleDistinctProperties(t *testing.T) {
+	r := New(15)
+	check := func(nRaw, kRaw uint8, exclRaw int8) bool {
+		n := int(nRaw%50) + 2
+		excl := int(exclRaw) % n
+		avail := n
+		if excl >= 0 {
+			avail--
+		}
+		k := int(kRaw) % (avail + 1)
+		out := r.SampleDistinct(n, k, excl)
+		if len(out) != k {
+			return false
+		}
+		seen := make(map[int]struct{}, k)
+		for _, v := range out {
+			if v < 0 || v >= n || v == excl {
+				return false
+			}
+			if _, dup := seen[v]; dup {
+				return false
+			}
+			seen[v] = struct{}{}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleDistinctPanicsWhenImpossible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SampleDistinct did not panic when k > candidates")
+		}
+	}()
+	New(1).SampleDistinct(3, 3, 0)
+}
+
+func TestSampleDistinctFullPool(t *testing.T) {
+	r := New(16)
+	out := r.SampleDistinct(5, 4, 2) // forces the Fisher-Yates branch
+	if len(out) != 4 {
+		t.Fatalf("got %d samples, want 4", len(out))
+	}
+	for _, v := range out {
+		if v == 2 {
+			t.Fatal("excluded value sampled")
+		}
+	}
+}

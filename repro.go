@@ -1,0 +1,329 @@
+// Package repro is a production-quality Go implementation of
+// epidemic-style proactive aggregation in large overlay networks
+// (Jelasity & Montresor, ICDCS 2004): anti-entropy gossip that gives
+// every node a continuously maintained approximation of global
+// aggregates — average, extrema, sums, variance and network size — with
+// exponential convergence and no performance bottlenecks.
+//
+// The package exposes three layers:
+//
+//   - Simulate: the paper's theoretical model (algorithm AVG of Figure 2)
+//     with the four pair selectors of §3.3, for analysis and for
+//     regenerating the paper's figures.
+//   - NewCluster / NewNode: the deployable asynchronous runtime
+//     (goroutine per node, in-memory or TCP transport, epoch restarts,
+//     Newscast-style membership).
+//   - EstimateSizeUnderChurn: the §4 application — adaptive network size
+//     estimation with epochs, under churn.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package repro
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/avg"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/epoch"
+	"repro/internal/eventsim"
+	"repro/internal/experiments"
+	"repro/internal/membership"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/xrand"
+)
+
+// Re-exported building blocks. These aliases are the supported public
+// names for the library's rich types.
+type (
+	// Schema defines the set of fields gossiped together and how each
+	// merges (see NewAverageSchema and NewSummarySchema).
+	Schema = core.Schema
+	// State is one node's vector of field approximations.
+	State = core.State
+	// Summary is the decoded result of a summary schema: mean, variance,
+	// extrema, size and sum in one gossip instance.
+	Summary = core.Summary
+	// Node is one live protocol participant.
+	Node = engine.Node
+	// NodeConfig assembles a single Node (bring your own transport and
+	// membership, e.g. for TCP deployments).
+	NodeConfig = engine.Config
+	// Cluster is a locally running set of nodes over an in-memory fabric.
+	Cluster = engine.Cluster
+	// ClusterConfig assembles a Cluster.
+	ClusterConfig = engine.ClusterConfig
+	// NodeStats is a snapshot of a live node's protocol counters.
+	NodeStats = engine.Stats
+	// Endpoint is a node's transport attachment (see NewTCPEndpoint, or
+	// build an in-memory fabric via NewCluster).
+	Endpoint = transport.Endpoint
+	// Sampler supplies random gossip partners (see NewStaticSampler and
+	// NewGossipSampler).
+	Sampler = membership.Sampler
+	// EpochReport is one epoch's converged output of the size estimator.
+	EpochReport = epoch.EpochReport
+	// Series is an aggregated experiment curve (mean/stderr/min/max per
+	// x-position).
+	Series = stats.Series
+)
+
+// Waiting-time policies for the live engine (§1.1): constant Δt or
+// exponentially distributed with mean Δt.
+const (
+	ConstantWait    = engine.ConstantWait
+	ExponentialWait = engine.ExponentialWait
+)
+
+// NewAverageSchema returns a schema gossiping the plain average of the
+// nodes' local values — the protocol the paper analyzes.
+func NewAverageSchema() *Schema { return core.AverageSchema() }
+
+// NewSummarySchema returns a schema gossiping mean, second moment, min,
+// max and a size indicator together, decodable with DecodeSummary.
+func NewSummarySchema() *Schema { return core.SummarySchema() }
+
+// DecodeSummary interprets a summary-schema state as a Summary.
+func DecodeSummary(schema *Schema, st State) (Summary, error) {
+	return core.DecodeSummary(schema, st)
+}
+
+// Moments is the decoded result of a moments schema: raw moments plus
+// mean, variance, skewness and kurtosis.
+type Moments = core.Moments
+
+// NewMomentsSchema returns a schema gossiping the averages of v…v^order
+// in one instance (order 2–8) — the paper's "any moments" remark (§1.1)
+// made concrete. Decode with DecodeMoments.
+func NewMomentsSchema(order int) (*Schema, error) { return core.MomentsSchema(order) }
+
+// DecodeMoments interprets a moments-schema state.
+func DecodeMoments(schema *Schema, st State) (Moments, error) {
+	return core.DecodeMoments(schema, st)
+}
+
+// NewGeometricSchema returns a schema whose decoded result is the
+// geometric mean of the (strictly positive) local values.
+func NewGeometricSchema() *Schema { return core.GeometricSchema() }
+
+// DecodeGeometricMean interprets a geometric-schema state.
+func DecodeGeometricMean(schema *Schema, st State) (float64, error) {
+	return core.DecodeGeometricMean(schema, st)
+}
+
+// NewCluster builds (but does not start) a local in-memory cluster — the
+// fastest way to run the live protocol at laptop scale.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return engine.NewCluster(cfg) }
+
+// NewNode builds a single live node from an explicit configuration; use
+// this with NewTCPEndpoint and NewGossipSampler for real deployments.
+func NewNode(cfg NodeConfig) (*Node, error) { return engine.NewNode(cfg) }
+
+// NewTCPEndpoint listens on the given address ("127.0.0.1:0" for an
+// ephemeral port) and returns a transport endpoint for NodeConfig.
+func NewTCPEndpoint(listen string) (transport.Endpoint, error) {
+	return transport.NewTCPEndpoint(listen)
+}
+
+// NewStaticSampler returns a membership sampler over a fixed peer list.
+func NewStaticSampler(peers []string) (membership.Sampler, error) {
+	return membership.NewStatic(peers)
+}
+
+// NewGossipSampler returns a Newscast-style membership sampler seeded
+// with at least one known peer; the view then maintains itself from
+// piggybacked gossip.
+func NewGossipSampler(self string, capacity int, seeds []string) (membership.Sampler, error) {
+	return membership.NewGossipSampler(self, capacity, seeds)
+}
+
+// SimulationConfig drives one run of the paper's theoretical model.
+type SimulationConfig struct {
+	// Size is the network size N (≥ 2).
+	Size int
+	// Selector is the GETPAIR implementation: "pm", "rand", "seq" or
+	// "pmrand" (default "seq", the practical protocol).
+	Selector string
+	// Topology is the overlay: "complete" (default), "kregular", "view",
+	// "ring", "smallworld" or "scalefree".
+	Topology string
+	// ViewSize is the degree parameter of non-complete overlays
+	// (default 20, the paper's choice).
+	ViewSize int
+	// Cycles is how many AVG cycles to run (default 30).
+	Cycles int
+	// LossProbability drops each protocol message independently with
+	// this probability (0 = lossless, the paper's assumption).
+	LossProbability float64
+	// Values supplies the initial vector; nil draws iid standard normal
+	// values, the paper's uncorrelated starting point.
+	Values []float64
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// SimulationResult reports one simulation run.
+type SimulationResult struct {
+	// Variances holds σ²ᵢ for i = 0..Cycles (index 0 is the initial
+	// variance).
+	Variances []float64
+	// FinalMean is the vector mean after the last cycle; with lossless
+	// exchanges it equals the initial mean up to rounding (mass
+	// conservation, §3.2).
+	FinalMean float64
+	// ReductionRate is the geometric-mean per-cycle variance reduction —
+	// compare with TheoreticalRate.
+	ReductionRate float64
+	// Values is the final vector (every node's approximation).
+	Values []float64
+}
+
+// Simulate runs the paper's AVG algorithm once with the given
+// configuration.
+func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
+	if cfg.Size < 2 {
+		return nil, fmt.Errorf("repro: simulation needs Size ≥ 2, got %d", cfg.Size)
+	}
+	if cfg.Selector == "" {
+		cfg.Selector = "seq"
+	}
+	if cfg.Topology == "" {
+		cfg.Topology = "complete"
+	}
+	if cfg.ViewSize == 0 {
+		cfg.ViewSize = 20
+	}
+	if cfg.Cycles == 0 {
+		cfg.Cycles = 30
+	}
+	rng := xrand.New(cfg.Seed)
+	graph, err := experiments.BuildTopology(experiments.TopologyKind(cfg.Topology), cfg.Size, cfg.ViewSize, rng)
+	if err != nil {
+		return nil, err
+	}
+	selector, err := avg.NewSelector(cfg.Selector)
+	if err != nil {
+		return nil, err
+	}
+	values := cfg.Values
+	if values == nil {
+		values = make([]float64, cfg.Size)
+		for i := range values {
+			values[i] = rng.NormFloat64()
+		}
+	}
+	var opts []avg.Option
+	if cfg.LossProbability > 0 {
+		opts = append(opts, avg.WithLossProbability(cfg.LossProbability))
+	}
+	runner, err := avg.NewRunner(graph, selector, values, rng, opts...)
+	if err != nil {
+		return nil, err
+	}
+	variances := runner.Run(cfg.Cycles)
+	res := &SimulationResult{
+		Variances: variances,
+		FinalMean: runner.Mean(),
+		Values:    append([]float64(nil), runner.Values()...),
+	}
+	first, last := variances[0], variances[len(variances)-1]
+	if first > 0 && last > 0 {
+		res.ReductionRate = math.Pow(last/first, 1/float64(cfg.Cycles))
+	}
+	return res, nil
+}
+
+// AsyncSimulationConfig drives the discrete-event simulation of the
+// asynchronous protocol: autonomous nodes waking on their own waiting
+// times (§1.1), no global cycles — at 100 000-node scale.
+type AsyncSimulationConfig struct {
+	// Size is the network size N (≥ 2).
+	Size int
+	// Topology and ViewSize mirror SimulationConfig (defaults:
+	// "complete", 20).
+	Topology string
+	ViewSize int
+	// Exponential switches GETWAITINGTIME from the constant Δt (the
+	// practical protocol, seq-like rate 1/(2√e)) to exponential waits
+	// with mean Δt (rand-like rate 1/e, §3.3.2).
+	Exponential bool
+	// Cycles is the horizon in units of Δt (default 30).
+	Cycles int
+	// LossProbability drops whole exchanges with this probability.
+	LossProbability float64
+	// Values supplies the initial vector; nil draws iid standard normal.
+	Values []float64
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// AsyncSimulationResult reports one event-driven run: variance sampled
+// once per Δt, the exchange count and the (conserved) final mean.
+type AsyncSimulationResult = eventsim.Result
+
+// SimulateAsync runs the discrete-event model of the asynchronous
+// protocol and returns the variance trajectory sampled once per Δt.
+func SimulateAsync(cfg AsyncSimulationConfig) (*AsyncSimulationResult, error) {
+	if cfg.Size < 2 {
+		return nil, fmt.Errorf("repro: async simulation needs Size ≥ 2, got %d", cfg.Size)
+	}
+	if cfg.Topology == "" {
+		cfg.Topology = "complete"
+	}
+	if cfg.ViewSize == 0 {
+		cfg.ViewSize = 20
+	}
+	rng := xrand.New(cfg.Seed)
+	graph, err := experiments.BuildTopology(experiments.TopologyKind(cfg.Topology), cfg.Size, cfg.ViewSize, rng)
+	if err != nil {
+		return nil, err
+	}
+	values := cfg.Values
+	if values == nil {
+		values = make([]float64, cfg.Size)
+		for i := range values {
+			values[i] = rng.NormFloat64()
+		}
+	}
+	wait := eventsim.ConstantWait
+	if cfg.Exponential {
+		wait = eventsim.ExponentialWait
+	}
+	return eventsim.Run(eventsim.Config{
+		Graph:    graph,
+		Values:   values,
+		Wait:     wait,
+		Cycles:   cfg.Cycles,
+		LossProb: cfg.LossProbability,
+		Seed:     cfg.Seed ^ 0xa5a5a5a5,
+	})
+}
+
+// TheoreticalRate returns the paper's closed-form per-cycle variance
+// reduction rate E(2^{-φ}) for the named selector on the complete graph
+// (1/4 for "pm", 1/e for "rand", 1/(2√e) for "seq" and "pmrand");
+// ok is false for unknown selectors.
+func TheoreticalRate(selector string) (rate float64, ok bool) {
+	return avg.TheoreticalRate(selector)
+}
+
+// SizeEstimationConfig drives the §4 application: adaptive network size
+// estimation with epoch restarts under churn (the Figure 4 scenario).
+type SizeEstimationConfig = experiments.Fig4Config
+
+// DefaultSizeEstimationConfig returns the paper's Figure 4 parameters
+// (size oscillating 90 000–110 000, ±100 nodes per cycle, 30-cycle
+// epochs, 1000 cycles).
+func DefaultSizeEstimationConfig() SizeEstimationConfig {
+	return experiments.DefaultFig4()
+}
+
+// EstimateSizeUnderChurn runs the size-estimation scenario and returns
+// one report per epoch (converged estimate with min/max range versus
+// actual size).
+func EstimateSizeUnderChurn(cfg SizeEstimationConfig) ([]EpochReport, error) {
+	return experiments.Fig4(cfg)
+}
