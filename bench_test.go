@@ -3,11 +3,13 @@ package repro
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/avg"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/transport"
@@ -408,6 +410,60 @@ func BenchmarkCycleThroughput(b *testing.B) {
 		runner.Cycle()
 	}
 	b.ReportMetric(float64(n), "steps/cycle")
+}
+
+// BenchmarkKernelMillionNode exercises the unified kernel's hot path —
+// the sharded structure-of-arrays executor of internal/sim — with a
+// 30-cycle average run at N = 10⁴, 10⁵ and 10⁶ nodes, single-shard
+// versus one shard per GOMAXPROCS worker. One b.N unit is one full run
+// (30·N elementary exchanges); custom metrics report the per-exchange
+// cost and allocation rate, which must be ~0 in steady state (all
+// kernel state is reused across cycles).
+func BenchmarkKernelMillionNode(b *testing.B) {
+	const cycles = 30
+	shardCounts := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		shardCounts = append(shardCounts, p)
+	} else {
+		// Single-core environment: still exercise the sharded executor.
+		shardCounts = append(shardCounts, 4)
+	}
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		rng := xrand.New(60)
+		values := benchGaussian(n, rng)
+		for _, shards := range shardCounts {
+			b.Run(fmt.Sprintf("n=%d/shards=%d", n, shards), func(b *testing.B) {
+				kern, err := sim.New(sim.Config{Size: n, Shards: shards, RNG: xrand.New(61)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Warm-up cycle so bucket capacities and goroutine stacks
+				// are in steady state before measuring.
+				if err := kern.SetValues(0, values); err != nil {
+					b.Fatal(err)
+				}
+				kern.Cycle()
+				b.ReportAllocs()
+				var before runtime.MemStats
+				runtime.ReadMemStats(&before)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := kern.SetValues(0, values); err != nil {
+						b.Fatal(err)
+					}
+					for c := 0; c < cycles; c++ {
+						kern.Cycle()
+					}
+				}
+				b.StopTimer()
+				var after runtime.MemStats
+				runtime.ReadMemStats(&after)
+				exchanges := float64(b.N) * float64(cycles) * float64(n)
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/exchanges, "ns/exchange")
+				b.ReportMetric(float64(after.Mallocs-before.Mallocs)/exchanges, "allocs/exchange")
+			})
+		}
+	}
 }
 
 // BenchmarkSchemaMerge is the node-state hot path: one five-field

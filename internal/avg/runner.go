@@ -3,6 +3,7 @@ package avg
 import (
 	"fmt"
 
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/xrand"
@@ -29,17 +30,15 @@ func WithPhiCounts() Option {
 }
 
 // Runner iterates algorithm AVG (Figure 2) over a value vector on a fixed
-// overlay, exposing per-cycle empirical statistics.
+// overlay, exposing per-cycle empirical statistics. It is a thin adapter
+// over a single-field average kernel (internal/sim) in exact sequential
+// mode, so trajectories are bit-identical to the pre-kernel Runner for a
+// fixed seed.
 type Runner struct {
-	graph    topology.Graph
-	selector PairSelector
-	rng      *xrand.Rand
-	values   []float64
+	kern *sim.Kernel
 
 	lossProb float64
 	countPhi bool
-	phi      []int
-	cycle    int
 }
 
 // NewRunner binds selector to graph, installs the initial value vector
@@ -49,109 +48,73 @@ func NewRunner(g topology.Graph, sel PairSelector, values []float64, rng *xrand.
 	if len(values) != g.Size() {
 		return nil, fmt.Errorf("avg: vector length %d does not match graph size %d", len(values), g.Size())
 	}
-	if err := sel.Bind(g, rng); err != nil {
-		return nil, fmt.Errorf("bind selector %q: %w", sel.Name(), err)
-	}
-	vals := make([]float64, len(values))
-	copy(vals, values)
-	r := &Runner{graph: g, selector: sel, rng: rng, values: vals}
+	r := &Runner{}
 	for _, opt := range opts {
 		opt(r)
 	}
-	if r.countPhi {
-		r.phi = make([]int, len(vals))
+	var loss sim.LossModel
+	if r.lossProb > 0 {
+		loss = sim.ReplyLoss{P: r.lossProb}
 	}
+	kern, err := sim.New(sim.Config{
+		Graph:    g,
+		Selector: sel,
+		Loss:     loss,
+		CountPhi: r.countPhi,
+		RNG:      rng,
+	})
+	if err != nil {
+		return nil, err // already tagged "sim: bind selector ..." by the kernel
+	}
+	if err := kern.SetValues(0, values); err != nil {
+		return nil, err
+	}
+	r.kern = kern
 	return r, nil
 }
 
 // Values returns the live value vector. Callers may read it between
 // cycles; mutating it models external value changes (the protocol is
 // adaptive by design).
-func (r *Runner) Values() []float64 { return r.values }
+func (r *Runner) Values() []float64 { return r.kern.Column(0) }
 
 // Cycle performs one full cycle: exactly N elementary variance-reduction
 // steps, N = graph size. It returns the vector's empirical variance after
 // the cycle.
 func (r *Runner) Cycle() float64 {
-	n := r.graph.Size()
-	r.selector.BeginCycle()
-	if r.countPhi {
-		clear(r.phi)
-	}
-	for step := 0; step < n; step++ {
-		i, j := r.selector.NextPair()
-		if r.countPhi {
-			r.phi[i]++
-			r.phi[j]++
-		}
-		r.exchange(i, j)
-	}
-	r.cycle++
-	return stats.Variance(r.values)
-}
-
-// exchange applies one elementary step between indices i and j, honoring
-// the configured loss model.
-func (r *Runner) exchange(i, j int) {
-	if r.lossProb > 0 {
-		if r.rng.Bool(r.lossProb) {
-			return // request lost: nothing happens
-		}
-		if r.rng.Bool(r.lossProb) {
-			// Reply lost: the responder already averaged, the initiator
-			// never learns the result.
-			r.values[j] = (r.values[i] + r.values[j]) / 2
-			return
-		}
-	}
-	m := (r.values[i] + r.values[j]) / 2
-	r.values[i] = m
-	r.values[j] = m
+	r.kern.Cycle()
+	return stats.Variance(r.kern.Column(0))
 }
 
 // Run performs cycles complete cycles and returns the variance after each
 // one, with index 0 holding the initial variance σ₀² — the raw series
 // behind Figures 3(a) and 3(b).
-func (r *Runner) Run(cycles int) []float64 {
-	out := make([]float64, 0, cycles+1)
-	out = append(out, stats.Variance(r.values))
-	for c := 0; c < cycles; c++ {
-		out = append(out, r.Cycle())
-	}
-	return out
-}
+func (r *Runner) Run(cycles int) []float64 { return r.kern.Run(cycles) }
 
 // PhiCounts returns the per-index selection counts of the most recent
 // cycle. It returns nil unless the Runner was built WithPhiCounts. The
 // slice is reused across cycles; copy it to retain.
-func (r *Runner) PhiCounts() []int { return r.phi }
+func (r *Runner) PhiCounts() []int { return r.kern.PhiCounts() }
 
 // CycleCount returns the number of completed cycles.
-func (r *Runner) CycleCount() int { return r.cycle }
+func (r *Runner) CycleCount() int { return r.kern.CycleCount() }
 
 // Mean returns the current empirical mean of the vector — the quantity
 // every node's approximation converges to.
-func (r *Runner) Mean() float64 { return stats.Mean(r.values) }
+func (r *Runner) Mean() float64 { return stats.Mean(r.kern.Column(0)) }
 
 // Variance returns the current empirical variance of the vector.
-func (r *Runner) Variance() float64 { return stats.Variance(r.values) }
+func (r *Runner) Variance() float64 { return stats.Variance(r.kern.Column(0)) }
 
 // NewSelector returns a fresh selector by name: "pm", "rand", "seq" or
 // "pmrand". Unknown names return an error listing the options, so CLI
 // flag handling stays in one place.
 func NewSelector(name string) (PairSelector, error) {
-	switch name {
-	case "pm":
-		return NewPM(), nil
-	case "rand":
-		return NewRand(), nil
-	case "seq":
-		return NewSeq(), nil
-	case "pmrand":
-		return NewPMRand(), nil
-	default:
+	sel, err := sim.NewSelector(name)
+	if err != nil {
 		return nil, fmt.Errorf("avg: unknown selector %q (want pm, rand, seq or pmrand)", name)
 	}
+	return sel, nil
 }
 
 // TheoreticalRate returns the closed-form per-cycle variance reduction

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -25,6 +26,14 @@ type Node struct {
 // node, mirroring GETPAIR_SEQ. Nodes can join and leave between cycles,
 // which is the churn model behind Figure 4.
 //
+// The exchange loop itself is delegated to the unified kernel
+// (internal/sim): each Cycle scatters the node states into the kernel's
+// structure-of-arrays columns, runs one kernel cycle and gathers the
+// results back, consuming the RNG exactly as the historical loop did so
+// fixed seeds reproduce the pre-kernel trajectories bit for bit. The
+// per-node State slices remain the source of truth between cycles, so
+// callers may keep mutating them directly.
+//
 // Network is not safe for concurrent use; the asynchronous runtime lives
 // in internal/engine.
 type Network struct {
@@ -32,6 +41,7 @@ type Network struct {
 	rng    *xrand.Rand
 	nodes  []*Node
 	nextID int64
+	kern   *sim.Kernel
 }
 
 // NewNetwork builds a network of n nodes whose local values are produced
@@ -40,11 +50,38 @@ func NewNetwork(schema *Schema, n int, value func(i int) float64, rng *xrand.Ran
 	if n < 2 {
 		return nil, fmt.Errorf("core: network needs at least 2 nodes, got %d", n)
 	}
-	nw := &Network{schema: schema, rng: rng, nodes: make([]*Node, 0, n)}
+	kern, err := sim.New(sim.Config{
+		Size: n,
+		Ops:  schemaOps(schema),
+		RNG:  rng,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: build kernel: %w", err)
+	}
+	nw := &Network{schema: schema, rng: rng, nodes: make([]*Node, 0, n), kern: kern}
 	for i := 0; i < n; i++ {
 		nw.Join(value(i))
 	}
 	return nw, nil
+}
+
+// schemaOps maps the schema's per-field aggregation functions onto the
+// kernel's merge operators.
+func schemaOps(schema *Schema) []sim.Op {
+	ops := make([]sim.Op, len(schema.fields))
+	for i, f := range schema.fields {
+		switch f.Agg {
+		case Min:
+			ops[i] = sim.OpMin
+		case Max:
+			ops[i] = sim.OpMax
+		case Average:
+			ops[i] = sim.OpAvg
+		default:
+			panic("core: schema field " + f.Name + " has invalid Aggregate " + f.Agg.String())
+		}
+	}
+	return ops
 }
 
 // Schema returns the gossip schema shared by all nodes.
@@ -94,18 +131,29 @@ func (nw *Network) Restart() {
 
 // Cycle runs one protocol cycle: every node, in slice order, initiates a
 // push-pull exchange with a uniformly random other node and both adopt
-// the merged state (GETPAIR_SEQ dynamics).
+// the merged state (GETPAIR_SEQ dynamics). The elementary steps execute
+// inside the unified kernel.
 func (nw *Network) Cycle() {
 	n := len(nw.nodes)
 	if n < 2 {
 		return
 	}
-	for i := 0; i < n; i++ {
-		j := nw.rng.Intn(n - 1)
-		if j >= i {
-			j++
+	if nw.kern.Size() != n {
+		nw.kern.Resize(n)
+	}
+	fields := nw.schema.Len()
+	for f := 0; f < fields; f++ {
+		col := nw.kern.Column(f)
+		for i, node := range nw.nodes {
+			col[i] = node.State[f]
 		}
-		nw.schema.MergeInto(nw.nodes[i].State, nw.nodes[j].State)
+	}
+	nw.kern.Cycle()
+	for f := 0; f < fields; f++ {
+		col := nw.kern.Column(f)
+		for i, node := range nw.nodes {
+			node.State[f] = col[i]
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/churn"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -80,35 +81,42 @@ type EpochReport struct {
 
 // RunSizeSim executes the Figure 4 scenario and returns one report per
 // completed epoch.
+//
+// The gossip itself runs inside the unified kernel (internal/sim):
+// participants are kernel nodes, each estimation instance is one
+// average column of the kernel's structure-of-arrays state, and
+// epoch restarts reshape the columns in place. The RNG is consumed in
+// the historical order, so fixed seeds reproduce the pre-kernel
+// reports bit for bit.
 func RunSizeSim(cfg SizeSimConfig) ([]EpochReport, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	rng := xrand.New(cfg.Seed)
-	sim := &sizeSim{cfg: cfg, rng: rng, pending: 0, prevEstimate: math.NaN()}
-	sim.states = make([][]float64, cfg.InitialSize)
-	for i := range sim.states {
-		sim.states[i] = make([]float64, cfg.Instances)
+	kern, err := sim.New(sim.Config{Size: cfg.InitialSize, RNG: rng})
+	if err != nil {
+		return nil, fmt.Errorf("epoch: build kernel: %w", err)
 	}
+	s := &sizeSim{cfg: cfg, rng: rng, kern: kern, prevEstimate: math.NaN()}
 
 	var reports []EpochReport
 	epochs := cfg.TotalCycles / cfg.EpochCycles
 	cycle := 0
 	for e := 0; e < epochs; e++ {
-		sim.startEpoch()
-		startSize := len(sim.states) + sim.pending
+		s.startEpoch()
+		startSize := s.kern.Size() + s.pending
 		for k := 0; k < cfg.EpochCycles; k++ {
-			sim.applyChurn(cycle)
-			sim.gossipCycle()
+			s.applyChurn(cycle)
+			s.kern.Cycle() // one GETPAIR_SEQ gossip cycle over participants
 			cycle++
 		}
-		mean, lo, hi, n := sim.estimates()
-		sim.prevEstimate = mean
+		mean, lo, hi, n := s.estimates()
+		s.prevEstimate = mean
 		reports = append(reports, EpochReport{
 			Epoch:        e,
 			EndCycle:     cycle,
 			SizeAtStart:  startSize,
-			SizeAtEnd:    len(sim.states) + sim.pending,
+			SizeAtEnd:    s.kern.Size() + s.pending,
 			Participants: n,
 			EstimateMean: mean,
 			EstimateMin:  lo,
@@ -118,13 +126,13 @@ func RunSizeSim(cfg SizeSimConfig) ([]EpochReport, error) {
 	return reports, nil
 }
 
-// sizeSim is the mutable simulation state. Participants carry one
-// indicator value per instance; waiting joiners carry no state and are
-// tracked as a count.
+// sizeSim is the mutable simulation state. Participants live in the
+// kernel (one indicator column per instance); waiting joiners carry no
+// state and are tracked as a count.
 type sizeSim struct {
 	cfg          SizeSimConfig
 	rng          *xrand.Rand
-	states       [][]float64
+	kern         *sim.Kernel
 	pending      int
 	prevEstimate float64
 }
@@ -134,33 +142,26 @@ type sizeSim struct {
 // mode, or per the probabilistic policy when one is configured.
 func (s *sizeSim) startEpoch() {
 	instances := s.cfg.Instances
-	var leaders []int
 	if s.cfg.Leader != nil {
-		for i := 0; i < len(s.states)+s.pending; i++ {
+		leaders := 0
+		population := s.kern.Size() + s.pending
+		for i := 0; i < population; i++ {
 			if s.cfg.Leader.Lead(s.rng, s.prevEstimate) {
-				leaders = append(leaders, len(leaders))
+				leaders++
 			}
 		}
-		if len(leaders) == 0 {
-			leaders = []int{0}
+		if leaders == 0 {
+			leaders = 1
 		}
-		instances = len(leaders)
+		instances = leaders
 	}
 
-	for ; s.pending > 0; s.pending-- {
-		s.states = append(s.states, make([]float64, instances))
-	}
-	n := len(s.states)
-	for i, st := range s.states {
-		if len(st) != instances {
-			s.states[i] = make([]float64, instances)
-		} else {
-			clear(st)
-		}
-	}
+	n := s.kern.Size() + s.pending
+	s.pending = 0
+	s.kern.ReshapeAvg(instances, n)
 	chosen := s.rng.SampleDistinct(n, min(instances, n), -1)
 	for t, leader := range chosen {
-		s.states[leader][t] = 1
+		s.kern.Column(t)[leader] = 1
 	}
 }
 
@@ -170,15 +171,15 @@ func (s *sizeSim) startEpoch() {
 // the restart mechanism exists to absorb. Additions enter the waiting
 // pool.
 func (s *sizeSim) applyChurn(cycle int) {
-	plan := s.cfg.Churn.At(cycle, len(s.states)+s.pending)
+	plan := s.cfg.Churn.At(cycle, s.kern.Size()+s.pending)
 	for r := 0; r < plan.Remove; r++ {
-		total := len(s.states) + s.pending
+		total := s.kern.Size() + s.pending
 		if total <= 2 {
 			break
 		}
 		pick := s.rng.Intn(total)
-		if pick < len(s.states) {
-			if len(s.states) <= 2 {
+		if pick < s.kern.Size() {
+			if s.kern.Size() <= 2 {
 				// Keep at least two participants so exchanges remain
 				// possible; shed a waiting joiner instead if any.
 				if s.pending > 0 {
@@ -186,10 +187,7 @@ func (s *sizeSim) applyChurn(cycle int) {
 				}
 				continue
 			}
-			last := len(s.states) - 1
-			s.states[pick] = s.states[last]
-			s.states[last] = nil
-			s.states = s.states[:last]
+			s.kern.RemoveNode(pick)
 		} else {
 			s.pending--
 		}
@@ -197,41 +195,24 @@ func (s *sizeSim) applyChurn(cycle int) {
 	s.pending += plan.Add
 }
 
-// gossipCycle performs one GETPAIR_SEQ-style cycle over participants:
-// each node initiates one exchange with a uniformly random other
-// participant and both adopt the per-instance averages.
-func (s *sizeSim) gossipCycle() {
-	n := len(s.states)
-	if n < 2 {
-		return
-	}
-	for i := 0; i < n; i++ {
-		j := s.rng.Intn(n - 1)
-		if j >= i {
-			j++
-		}
-		a, b := s.states[i], s.states[j]
-		for t := range a {
-			m := (a[t] + b[t]) / 2
-			a[t] = m
-			b[t] = m
-		}
-	}
-}
-
 // estimates decodes each participant's size estimate
 // N̂ = Instances / Σ_t x_t and summarizes across participants.
 func (s *sizeSim) estimates() (mean, lo, hi float64, n int) {
 	var acc stats.Running
-	for _, st := range s.states {
+	instances := s.kern.Fields()
+	cols := make([][]float64, instances)
+	for t := range cols {
+		cols[t] = s.kern.Column(t)
+	}
+	for i := 0; i < s.kern.Size(); i++ {
 		sum := 0.0
-		for _, x := range st {
-			sum += x
+		for t := 0; t < instances; t++ {
+			sum += cols[t][i]
 		}
 		if sum <= 0 {
 			continue // instance mass lost entirely; no estimate
 		}
-		est := float64(len(st)) / sum
+		est := float64(instances) / sum
 		if math.IsInf(est, 0) || math.IsNaN(est) {
 			continue
 		}

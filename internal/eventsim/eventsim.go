@@ -13,11 +13,18 @@
 // GETPAIR_RAND (rate 1/e per Δt) — §3.3.2: "a given node can approximate
 // this behavior by waiting for a time interval randomly drawn from this
 // distribution".
+//
+// The event loop itself — wake heap, waiting-time policies and the
+// elementary exchange — lives in the unified kernel (internal/sim,
+// Kernel.RunEvents); this package is the configuration adapter and
+// keeps the historical draw order, so fixed seeds reproduce the
+// pre-kernel trajectories bit for bit.
 package eventsim
 
 import (
 	"fmt"
 
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/xrand"
@@ -91,125 +98,41 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Wait == 0 {
 		cfg.Wait = ConstantWait
 	}
-	if cfg.Wait != ConstantWait && cfg.Wait != ExponentialWait {
+	var wait sim.WaitPolicy
+	switch cfg.Wait {
+	case ConstantWait:
+		wait = sim.ConstantWait{}
+	case ExponentialWait:
+		wait = sim.ExponentialWait{}
+	default:
 		return nil, fmt.Errorf("eventsim: unknown wait kind %v", cfg.Wait)
 	}
 	if cfg.Cycles <= 0 {
 		cfg.Cycles = 30
 	}
 
-	rng := xrand.New(cfg.Seed)
-	values := make([]float64, n)
-	copy(values, cfg.Values)
-
-	wait := func() float64 {
-		if cfg.Wait == ExponentialWait {
-			return rng.ExpFloat64()
-		}
-		return 1
+	kern, err := sim.New(sim.Config{
+		Graph: cfg.Graph,
+		Wait:  wait,
+		Loss:  sim.SymmetricLoss{P: cfg.LossProb},
+		RNG:   xrand.New(cfg.Seed),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eventsim: %w", err)
 	}
-
-	// Wake events, one per node, kept in a binary min-heap on time.
-	// Initial phases make each node's initiation process stationary from
-	// t = 0: uniform in [0, Δt) for constant waits (§1.1: autonomous
-	// nodes have no common starting gun), exponential for exponential
-	// waits (the memoryless process's stationary first-arrival time).
-	h := newEventHeap(n)
-	for i := 0; i < n; i++ {
-		var phase float64
-		if cfg.Wait == ExponentialWait {
-			phase = rng.ExpFloat64() // memoryless: residual wait is Exp
-		} else {
-			phase = rng.Float64() // uniform phase within the cycle
-		}
-		h.push(event{at: phase, node: int32(i)})
+	if err := kern.SetValues(0, cfg.Values); err != nil {
+		return nil, fmt.Errorf("eventsim: %w", err)
 	}
 
 	res := &Result{Variances: make([]float64, 0, cfg.Cycles+1)}
-	res.Variances = append(res.Variances, stats.Variance(values))
-	horizon := float64(cfg.Cycles)
-	nextSample := 1.0
-
-	for {
-		ev := h.pop()
-		for nextSample <= ev.at && nextSample <= horizon {
-			res.Variances = append(res.Variances, stats.Variance(values))
-			nextSample++
-		}
-		if ev.at >= horizon {
-			break
-		}
-		i := int(ev.node)
-		if j, ok := cfg.Graph.RandomNeighbor(i, rng); ok {
-			if cfg.LossProb == 0 || !rng.Bool(cfg.LossProb) {
-				m := (values[i] + values[j]) / 2
-				values[i] = m
-				values[j] = m
-				res.Exchanges++
-			}
-		}
-		h.push(event{at: ev.at + wait(), node: ev.node})
+	res.Variances = append(res.Variances, stats.Variance(kern.Column(0)))
+	exchanges, err := kern.RunEvents(cfg.Cycles, func() {
+		res.Variances = append(res.Variances, stats.Variance(kern.Column(0)))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eventsim: %w", err)
 	}
-	for nextSample <= horizon {
-		res.Variances = append(res.Variances, stats.Variance(values))
-		nextSample++
-	}
-	res.FinalMean = stats.Mean(values)
+	res.Exchanges = exchanges
+	res.FinalMean = stats.Mean(kern.Column(0))
 	return res, nil
 }
-
-// event is one scheduled node wake-up.
-type event struct {
-	at   float64
-	node int32
-}
-
-// eventHeap is a binary min-heap on event.at. Hand-rolled rather than
-// container/heap to keep the hot loop free of interface allocations.
-type eventHeap struct {
-	items []event
-}
-
-func newEventHeap(capacity int) *eventHeap {
-	return &eventHeap{items: make([]event, 0, capacity)}
-}
-
-func (h *eventHeap) push(e event) {
-	h.items = append(h.items, e)
-	i := len(h.items) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if h.items[parent].at <= h.items[i].at {
-			break
-		}
-		h.items[parent], h.items[i] = h.items[i], h.items[parent]
-		i = parent
-	}
-}
-
-func (h *eventHeap) pop() event {
-	top := h.items[0]
-	last := len(h.items) - 1
-	h.items[0] = h.items[last]
-	h.items = h.items[:last]
-	i := 0
-	for {
-		left, right := 2*i+1, 2*i+2
-		smallest := i
-		if left < last && h.items[left].at < h.items[smallest].at {
-			smallest = left
-		}
-		if right < last && h.items[right].at < h.items[smallest].at {
-			smallest = right
-		}
-		if smallest == i {
-			break
-		}
-		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
-		i = smallest
-	}
-	return top
-}
-
-// len reports the heap size (used by tests).
-func (h *eventHeap) len() int { return len(h.items) }

@@ -2,9 +2,7 @@ package eventsim
 
 import (
 	"math"
-	"sort"
 	"testing"
-	"testing/quick"
 
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -202,32 +200,5 @@ func TestRunsOnRandomGraph(t *testing.T) {
 	}
 	if ratio := res.Variances[10] / res.Variances[0]; ratio > 1e-4 {
 		t.Fatalf("20-regular event sim stuck: ratio %g", ratio)
-	}
-}
-
-func TestHeapOrderingQuick(t *testing.T) {
-	// Property: popping the heap yields events in nondecreasing time.
-	check := func(times []float64) bool {
-		h := newEventHeap(len(times))
-		clean := times[:0]
-		for _, at := range times {
-			if !math.IsNaN(at) {
-				clean = append(clean, at)
-			}
-		}
-		for i, at := range clean {
-			h.push(event{at: at, node: int32(i)})
-		}
-		popped := make([]float64, 0, len(clean))
-		for h.len() > 0 {
-			popped = append(popped, h.pop().at)
-		}
-		if len(popped) != len(clean) {
-			return false
-		}
-		return sort.Float64sAreSorted(popped)
-	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
-		t.Fatal(err)
 	}
 }

@@ -1,0 +1,40 @@
+package sim
+
+import "repro/internal/churn"
+
+// ChurnSchedule prescribes per-cycle membership churn for Run: how
+// many uniformly random nodes to remove and how many fresh nodes to
+// add before the given cycle. Churn requires the dynamic complete
+// overlay (Config.Graph == nil) — the paper's §4 scenarios all assume
+// ideal peer sampling while the membership changes underneath.
+type ChurnSchedule interface {
+	Plan(cycle, currentSize int) (remove, add int)
+	// Name labels the schedule in experiment output.
+	Name() string
+}
+
+// scheduleAdapter bridges internal/churn's size-model schedules onto
+// the kernel's ChurnSchedule axis.
+type scheduleAdapter struct {
+	s churn.Schedule
+}
+
+var _ ChurnSchedule = scheduleAdapter{}
+
+// Churn adapts a churn.Schedule (size model + constant fluctuation)
+// to the kernel's ChurnSchedule interface.
+func Churn(s churn.Schedule) ChurnSchedule { return scheduleAdapter{s} }
+
+// Plan implements ChurnSchedule.
+func (a scheduleAdapter) Plan(cycle, currentSize int) (remove, add int) {
+	p := a.s.At(cycle, currentSize)
+	return p.Remove, p.Add
+}
+
+// Name implements ChurnSchedule.
+func (a scheduleAdapter) Name() string {
+	if a.s.Model == nil {
+		return "none"
+	}
+	return a.s.Model.Name()
+}

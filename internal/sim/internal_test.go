@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapOrderingQuick(t *testing.T) {
+	// Property: popping the heap yields events in nondecreasing time.
+	check := func(times []float64) bool {
+		h := newEventHeap(len(times))
+		clean := times[:0]
+		for _, at := range times {
+			if !math.IsNaN(at) {
+				clean = append(clean, at)
+			}
+		}
+		for i, at := range clean {
+			h.push(event{at: at, node: int32(i)})
+		}
+		popped := make([]float64, 0, len(clean))
+		for h.len() > 0 {
+			popped = append(popped, h.pop().at)
+		}
+		if len(popped) != len(clean) {
+			return false
+		}
+		return sort.Float64sAreSorted(popped)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildRoundsCoversAllPairsDisjointly(t *testing.T) {
+	// The tournament schedule is what makes the sharded executor both
+	// race-free and complete: every unordered shard pair must appear
+	// exactly once, every shard must get exactly one self-match, and
+	// within a round no shard may appear in two matches.
+	for s := 1; s <= 9; s++ {
+		rounds := buildRounds(s)
+		type pair [2]int
+		seen := make(map[pair]int)
+		for r, round := range rounds {
+			inRound := make(map[int]bool)
+			for _, m := range round {
+				a, b := m[0], m[1]
+				if a > b {
+					a, b = b, a
+				}
+				seen[pair{a, b}]++
+				if inRound[m[0]] || (m[0] != m[1] && inRound[m[1]]) {
+					t.Fatalf("s=%d round %d: shard reused within round: %v", s, r, round)
+				}
+				inRound[m[0]], inRound[m[1]] = true, true
+			}
+		}
+		for a := 0; a < s; a++ {
+			for b := a; b < s; b++ {
+				if seen[pair{a, b}] != 1 {
+					t.Fatalf("s=%d: pair (%d,%d) scheduled %d times, want 1", s, a, b, seen[pair{a, b}])
+				}
+			}
+		}
+	}
+}
+
+func TestShardOfMatchesBounds(t *testing.T) {
+	for _, tc := range []struct{ n, s int }{{10, 3}, {100, 7}, {16, 4}, {5, 2}, {1000, 9}} {
+		k, err := New(Config{Size: tc.n, Shards: tc.s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.sh == nil {
+			t.Fatalf("n=%d s=%d: sharder not built", tc.n, tc.s)
+		}
+		k.sh.reset()
+		for w := 0; w < len(k.sh.rngs); w++ {
+			for j := k.sh.bounds[w]; j < k.sh.bounds[w+1]; j++ {
+				if got := k.sh.shardOf(j); got != w {
+					t.Fatalf("n=%d s=%d: shardOf(%d) = %d, want %d", tc.n, tc.s, j, got, w)
+				}
+			}
+		}
+		if k.sh.bounds[len(k.sh.rngs)] != int32(tc.n) {
+			t.Fatalf("bounds do not cover all nodes: %v", k.sh.bounds)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+// The sharded executor parallelizes one cycle's N elementary steps
+// while staying deterministic for a fixed seed and shard count, and
+// race-free without a single atomic or lock on the value columns.
+//
+// Nodes are partitioned into S contiguous shards. A cycle runs in two
+// phases:
+//
+//  1. Generate: worker w walks its own shard's initiators in order
+//     (every node initiates once per cycle — the practical protocol's
+//     GETPAIR_SEQ stream), draws each partner and loss outcome from
+//     its private RNG stream, and buckets the resulting step by the
+//     partner's shard. Workers touch disjoint buckets, so this phase
+//     is embarrassingly parallel and deterministic.
+//
+//  2. Execute: steps are applied in rounds of a round-robin
+//     tournament on the shards. In each round the active matches
+//     pair up disjoint shard sets, and one worker per match applies
+//     both directions' buckets sequentially. A step (i, j) only ever
+//     touches nodes in the two shards of its match, so no two
+//     concurrent workers write the same column entry, and the fixed
+//     tournament order makes the whole cycle deterministic.
+//
+// The reordering of steps relative to a sequential cycle changes the
+// exact trajectory (later steps see different intermediate values)
+// but not the statistics: every node still initiates once per cycle
+// with a uniformly random partner, so the per-cycle variance
+// reduction remains the §3.3 seq rate. TestShardedStatisticallyEquivalent
+// asserts exactly that.
+//
+// All buckets are reused across cycles, so steady-state execution
+// performs zero per-exchange heap allocations.
+
+// step is one generated elementary exchange: initiator i, partner j,
+// and the pre-drawn loss outcome.
+type step struct {
+	i, j int32
+	out  uint8 // Outcome
+}
+
+// sharder holds the sharded executor's reusable state.
+type sharder struct {
+	k        *Kernel
+	rngs     []*xrand.Rand // per-shard RNG streams, split once from the master
+	bounds   []int32       // shard s owns nodes [bounds[s], bounds[s+1])
+	buckets  [][][]step
+	rounds   [][][2]int
+	sizedFor int // node count the bounds were computed for
+}
+
+// newSharder builds the executor for k.shards shards, deriving one
+// deterministic RNG stream per shard from the kernel's master RNG.
+func newSharder(k *Kernel) *sharder {
+	s := k.shards
+	sh := &sharder{
+		k:       k,
+		rngs:    make([]*xrand.Rand, s),
+		bounds:  make([]int32, s+1),
+		buckets: make([][][]step, s),
+		rounds:  buildRounds(s),
+	}
+	for w := 0; w < s; w++ {
+		sh.rngs[w] = k.rng.Split()
+		sh.buckets[w] = make([][]step, s)
+	}
+	return sh
+}
+
+// reset recomputes the shard bounds for the current node count and
+// empties every bucket, keeping their capacity.
+func (sh *sharder) reset() {
+	s := len(sh.rngs)
+	n := sh.k.n
+	if sh.sizedFor != n {
+		base, rem := n/s, n%s
+		off := int32(0)
+		for w := 0; w < s; w++ {
+			sh.bounds[w] = off
+			off += int32(base)
+			if w < rem {
+				off++
+			}
+		}
+		sh.bounds[s] = off
+		sh.sizedFor = n
+	}
+	for w := range sh.buckets {
+		for t := range sh.buckets[w] {
+			sh.buckets[w][t] = sh.buckets[w][t][:0]
+		}
+	}
+}
+
+// shardOf returns the shard owning node j under the current bounds.
+func (sh *sharder) shardOf(j int32) int {
+	s := len(sh.rngs)
+	n := sh.sizedFor
+	base, rem := n/s, n%s
+	wide := int32(rem) * int32(base+1)
+	if j < wide {
+		return int(j) / (base + 1)
+	}
+	if base == 0 {
+		return s - 1
+	}
+	return rem + int(j-wide)/base
+}
+
+// generate draws shard w's steps: one initiation per owned node, each
+// bucketed by the partner's shard.
+func (sh *sharder) generate(w int) {
+	k := sh.k
+	rng := sh.rngs[w]
+	lo, hi := sh.bounds[w], sh.bounds[w+1]
+	for i := lo; i < hi; i++ {
+		j, ok := k.graph.RandomNeighbor(int(i), rng)
+		if !ok {
+			continue // isolated node: no partner this cycle
+		}
+		out := uint8(k.loss.Draw(rng))
+		t := sh.shardOf(int32(j))
+		sh.buckets[w][t] = append(sh.buckets[w][t], step{i: i, j: int32(j), out: out})
+	}
+}
+
+// execute applies both directions of one tournament match: first the
+// steps initiated in shard a toward shard b, then the reverse. The
+// caller guarantees exclusive ownership of both shards' columns for
+// the duration of the call.
+func (sh *sharder) execute(a, b int) {
+	sh.applyBucket(sh.buckets[a][b])
+	if a != b {
+		sh.applyBucket(sh.buckets[b][a])
+	}
+}
+
+// applyBucket applies one bucket's steps in generation order.
+func (sh *sharder) applyBucket(steps []step) {
+	k := sh.k
+	phi := k.phi
+	for _, st := range steps {
+		i, j := int(st.i), int(st.j)
+		if phi != nil {
+			phi[i]++
+			phi[j]++
+		}
+		switch Outcome(st.out) {
+		case Dropped:
+		case ResponderOnly:
+			k.mergeResponder(i, j)
+		default:
+			k.mergeFull(i, j)
+		}
+	}
+}
+
+// shardCycle runs one full cycle on the sharded executor.
+func (k *Kernel) shardCycle() {
+	sh := k.sh
+	sh.reset()
+	if k.phi != nil {
+		clear(k.phi[:k.n])
+	}
+	var wg sync.WaitGroup
+	for w := range sh.rngs {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh.generate(w)
+		}(w)
+	}
+	wg.Wait()
+	for _, round := range sh.rounds {
+		for _, m := range round {
+			wg.Add(1)
+			go func(a, b int) {
+				defer wg.Done()
+				sh.execute(a, b)
+			}(m[0], m[1])
+		}
+		wg.Wait()
+	}
+}
+
+// buildRounds returns a tournament schedule for s shards: a list of
+// rounds, each holding matches over pairwise-disjoint shard sets, such
+// that every unordered shard pair (a, b), a ≠ b, appears exactly once
+// and every shard gets exactly one self-match (a, a) for its
+// intra-shard steps. Disjointness within a round is what lets all of a
+// round's matches execute concurrently without locks.
+func buildRounds(s int) [][][2]int {
+	if s == 1 {
+		return [][][2]int{{{0, 0}}}
+	}
+	m := s
+	dummy := -1
+	if m%2 == 1 {
+		dummy = m // odd: add a phantom shard; its opponent gets a bye
+		m++
+	}
+	var rounds [][][2]int
+	for r := 0; r < m-1; r++ {
+		var round [][2]int
+		// Circle method: fix team m-1, rotate the rest.
+		pair := func(a, b int) {
+			if a == dummy {
+				round = append(round, [2]int{b, b}) // bye → intra-shard match
+				return
+			}
+			if b == dummy {
+				round = append(round, [2]int{a, a})
+				return
+			}
+			round = append(round, [2]int{a, b})
+		}
+		pair(m-1, r)
+		for t := 1; t < m/2; t++ {
+			pair((r+t)%(m-1), (r-t+m-1)%(m-1))
+		}
+		rounds = append(rounds, round)
+	}
+	if dummy < 0 {
+		// Even shard count: no byes occurred, so the intra-shard
+		// matches get their own fully parallel round.
+		intra := make([][2]int, s)
+		for w := 0; w < s; w++ {
+			intra[w] = [2]int{w, w}
+		}
+		rounds = append(rounds, intra)
+	}
+	return rounds
+}

@@ -1,0 +1,493 @@
+// Package sim is the unified simulation kernel behind every exchange
+// loop in this repository. The paper's entire contribution is one
+// elementary step — replace (x_i, x_j) with AGGREGATE(x_i, x_j) — and
+// this package implements that step exactly once, over a flat
+// structure-of-arrays state (one []float64 column per gossiped field,
+// no per-node heap objects), composed with five orthogonal axes:
+//
+//   - Selector — the GETPAIR abstraction of Figure 2 (pm, rand, seq,
+//     pmrand; §3.3), driving cycle-based execution.
+//   - WaitPolicy — the GETWAITINGTIME abstraction of Figure 1
+//     (constant or exponential Δt; §1.1), driving event-based
+//     execution via RunEvents.
+//   - LossModel — lossless, symmetric whole-exchange loss, or the
+//     deployed protocol's asymmetric reply loss (§2, experiment E6).
+//   - ChurnSchedule — per-cycle node removal/addition adapting
+//     internal/churn (§4's dynamic membership).
+//   - topology.Graph — the overlay; nil means the dynamic complete
+//     graph over the current live node set (ideal peer sampling),
+//     which is the only topology that composes with churn.
+//
+// The historical entry points — avg.Runner, eventsim.Run,
+// core.Network and epoch's size simulation — are thin adapters over
+// this kernel. In single-shard mode the kernel consumes its RNG in
+// exactly the order those layers historically did, so fixed seeds
+// reproduce the pre-refactor trajectories bit for bit.
+//
+// For throughput, Config.Shards > 1 switches Cycle to a sharded
+// executor that partitions the N elementary steps of a cycle across
+// workers with per-shard RNG streams (see shard.go). Sharded runs are
+// deterministic for a fixed seed and shard count, and statistically
+// indistinguishable from — but not bit-identical to — sequential runs.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// Op is an elementary merge operator applied field-wise during an
+// exchange. Both peers adopt the merged value (the paper's symmetric
+// AGGREGATE), so every Op must be commutative.
+type Op uint8
+
+// Supported elementary merge operators.
+const (
+	// OpAvg replaces both approximations with their mean — the
+	// variance-reduction step of Figure 2 and the basis of every
+	// derived aggregate (counting, sums, variance via moments).
+	OpAvg Op = iota
+	// OpMin spreads the minimum epidemically.
+	OpMin
+	// OpMax spreads the maximum epidemically.
+	OpMax
+)
+
+// String returns the operator's lowercase name.
+func (o Op) String() string {
+	switch o {
+	case OpAvg:
+		return "avg"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// merge applies the operator to one pair of field values.
+func (o Op) merge(x, y float64) float64 {
+	switch o {
+	case OpMin:
+		if x < y {
+			return x
+		}
+		return y
+	case OpMax:
+		if x > y {
+			return x
+		}
+		return y
+	default:
+		return (x + y) / 2
+	}
+}
+
+// AutoShards selects one shard per GOMAXPROCS worker.
+const AutoShards = -1
+
+// Config assembles a Kernel from the orthogonal axes. The zero value
+// of every field selects the paper's defaults: complete overlay, seq
+// pairing, lossless exchanges, no churn, exact sequential execution.
+type Config struct {
+	// Graph is the overlay. nil selects the dynamic complete graph
+	// over the current live node set, the only overlay that supports
+	// Resize/RemoveNode churn.
+	Graph topology.Graph
+	// Size is the node count when Graph is nil (ignored otherwise).
+	Size int
+	// Ops lists the per-field merge operators; nil means a single
+	// average field (the protocol the paper analyzes).
+	Ops []Op
+	// Selector is the GETPAIR implementation for cycle-based runs;
+	// nil selects GETPAIR_SEQ, the practical protocol's pair stream.
+	Selector Selector
+	// Wait enables event-based execution via RunEvents.
+	Wait WaitPolicy
+	// Loss is the message-loss model; nil means lossless.
+	Loss LossModel
+	// Churn, when non-nil, is applied by Run before every cycle.
+	Churn ChurnSchedule
+	// Join supplies field f's initial value for nodes added by churn
+	// (nil initializes joiners to zero, the §4 indicator convention).
+	Join func(f int) float64
+	// Shards selects the executor: ≤1 runs the exact sequential path,
+	// >1 the sharded structure-of-arrays executor, AutoShards one
+	// shard per GOMAXPROCS worker.
+	Shards int
+	// CountPhi tallies per-node selection counts each cycle (the
+	// random variable φ of Theorem 1), retrievable via PhiCounts.
+	CountPhi bool
+	// RNG is the master random stream; nil derives one from Seed.
+	RNG *xrand.Rand
+	// Seed seeds a fresh stream when RNG is nil.
+	Seed uint64
+}
+
+// Kernel is the simulation engine: a flat structure-of-arrays state
+// (cols[f][i] is node i's approximation of field f) plus the composed
+// axes. Kernels are not safe for concurrent use; the sharded executor
+// manages its own worker parallelism internally.
+type Kernel struct {
+	graph topology.Graph
+	dyn   bool // graph is the dynamic complete overlay
+	n     int
+	ops   []Op
+	cols  [][]float64
+
+	sel   Selector
+	wait  WaitPolicy
+	loss  LossModel
+	churn ChurnSchedule
+	join  func(f int) float64
+	rng   *xrand.Rand
+
+	phi   []int
+	cycle int
+
+	shards int
+	sh     *sharder
+}
+
+// dynComplete is the complete graph over a kernel's current live node
+// set: Size tracks churn, sampling matches topology.Complete exactly.
+type dynComplete struct {
+	k *Kernel
+}
+
+var _ topology.Graph = dynComplete{}
+
+// Size implements topology.Graph.
+func (g dynComplete) Size() int { return g.k.n }
+
+// Degree implements topology.Graph.
+func (g dynComplete) Degree(int) int { return g.k.n - 1 }
+
+// Neighbor implements topology.Graph.
+func (g dynComplete) Neighbor(i, k int) int {
+	if k < i {
+		return k
+	}
+	return k + 1
+}
+
+// RandomNeighbor implements topology.Graph with the same draw sequence
+// as topology.Complete: one Intn(n-1) per sample.
+func (g dynComplete) RandomNeighbor(i int, rng *xrand.Rand) (int, bool) {
+	n := g.k.n
+	if n < 2 {
+		return 0, false
+	}
+	j := rng.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	return j, true
+}
+
+// Name implements topology.Graph.
+func (g dynComplete) Name() string { return "dynamic-complete" }
+
+// New builds a Kernel. All columns start at zero; load initial values
+// with SetValues (or Column) before running.
+func New(cfg Config) (*Kernel, error) {
+	k := &Kernel{
+		wait:  cfg.Wait,
+		loss:  cfg.Loss,
+		churn: cfg.Churn,
+		join:  cfg.Join,
+		rng:   cfg.RNG,
+	}
+	if k.rng == nil {
+		k.rng = xrand.New(cfg.Seed)
+	}
+	if cfg.Graph != nil {
+		k.graph = cfg.Graph
+		k.n = cfg.Graph.Size()
+	} else {
+		if cfg.Size < 2 {
+			return nil, fmt.Errorf("sim: dynamic complete overlay needs Size ≥ 2, got %d", cfg.Size)
+		}
+		k.graph = dynComplete{k}
+		k.dyn = true
+		k.n = cfg.Size
+	}
+	if k.loss == nil {
+		k.loss = NoLoss{}
+	}
+	k.ops = []Op{OpAvg}
+	if len(cfg.Ops) > 0 {
+		k.ops = append([]Op(nil), cfg.Ops...)
+	}
+	k.cols = make([][]float64, len(k.ops))
+	for f := range k.cols {
+		k.cols[f] = make([]float64, k.n)
+	}
+	k.shards = cfg.Shards
+	if k.shards == AutoShards {
+		k.shards = runtime.GOMAXPROCS(0)
+	}
+	if k.shards < 1 {
+		k.shards = 1
+	}
+	if k.shards > k.n/2 {
+		k.shards = max(k.n/2, 1)
+	}
+	if k.shards > 1 {
+		if cfg.Selector != nil {
+			return nil, fmt.Errorf("sim: sharded execution uses its built-in seq pairing; Selector must be nil")
+		}
+		if cfg.Wait != nil {
+			return nil, fmt.Errorf("sim: event-based execution (Wait) is single-shard only")
+		}
+		k.sh = newSharder(k)
+	} else {
+		k.sel = cfg.Selector
+		if k.sel == nil {
+			k.sel = NewSeq()
+		}
+		if err := k.sel.Bind(k.graph, k.rng); err != nil {
+			return nil, fmt.Errorf("sim: bind selector %q: %w", k.sel.Name(), err)
+		}
+	}
+	if cfg.CountPhi {
+		k.phi = make([]int, k.n)
+	}
+	return k, nil
+}
+
+// Size returns the current live node count.
+func (k *Kernel) Size() int { return k.n }
+
+// Fields returns the number of gossiped fields.
+func (k *Kernel) Fields() int { return len(k.ops) }
+
+// Ops returns the per-field merge operators (shared; treat as
+// read-only).
+func (k *Kernel) Ops() []Op { return k.ops }
+
+// Column returns field f's live value column, indexed by node. Callers
+// may read and write it between cycles; the kernel operates on the
+// same backing array (mutating it models externally changing local
+// values, which the protocol tracks by design).
+func (k *Kernel) Column(f int) []float64 { return k.cols[f][:k.n] }
+
+// SetValues copies vals into field f's column. The length must match
+// the current node count.
+func (k *Kernel) SetValues(f int, vals []float64) error {
+	if len(vals) != k.n {
+		return fmt.Errorf("sim: vector length %d does not match node count %d", len(vals), k.n)
+	}
+	copy(k.cols[f], vals)
+	return nil
+}
+
+// PhiCounts returns the per-node selection counts of the most recent
+// cycle (one entry per live node), or nil unless the kernel was built
+// with CountPhi. The slice is reused across cycles; copy it to retain.
+func (k *Kernel) PhiCounts() []int {
+	if k.phi == nil {
+		return nil
+	}
+	return k.phi[:k.n]
+}
+
+// CycleCount returns the number of completed cycles.
+func (k *Kernel) CycleCount() int { return k.cycle }
+
+// Cycle performs one full cycle — exactly Size() elementary steps —
+// with the configured selector, loss model and executor.
+func (k *Kernel) Cycle() {
+	if k.n >= 2 {
+		if k.shards > 1 {
+			k.shardCycle()
+		} else {
+			k.seqCycle()
+		}
+	}
+	k.cycle++
+}
+
+// seqCycle is the exact sequential path: selector-driven, one RNG,
+// the historical draw order of avg.Runner and core.Network.
+func (k *Kernel) seqCycle() {
+	k.sel.BeginCycle()
+	if k.phi != nil {
+		clear(k.phi[:k.n])
+	}
+	n := k.n
+	for s := 0; s < n; s++ {
+		i, j := k.sel.NextPair()
+		if k.phi != nil {
+			k.phi[i]++
+			k.phi[j]++
+		}
+		switch k.loss.Draw(k.rng) {
+		case Dropped:
+		case ResponderOnly:
+			k.mergeResponder(i, j)
+		default:
+			k.mergeFull(i, j)
+		}
+	}
+}
+
+// mergeFull applies the elementary step to nodes i and j: both adopt
+// the field-wise merge.
+func (k *Kernel) mergeFull(i, j int) {
+	for f, op := range k.ops {
+		col := k.cols[f]
+		m := op.merge(col[i], col[j])
+		col[i] = m
+		col[j] = m
+	}
+}
+
+// mergeResponder applies the merge at the responder j only — the
+// deployed protocol's reply-loss outcome, which violates mass
+// conservation (§2).
+func (k *Kernel) mergeResponder(i, j int) {
+	for f, op := range k.ops {
+		col := k.cols[f]
+		col[j] = op.merge(col[i], col[j])
+	}
+}
+
+// Run performs the given number of cycles, applying the configured
+// churn schedule (if any) before each one, and returns field 0's
+// empirical variance after every cycle, with index 0 holding the
+// initial variance — the raw series behind Figures 3(a) and 3(b).
+func (k *Kernel) Run(cycles int) []float64 {
+	out := make([]float64, 0, cycles+1)
+	out = append(out, stats.Variance(k.Column(0)))
+	for c := 0; c < cycles; c++ {
+		if k.churn != nil {
+			k.applyChurn()
+		}
+		k.Cycle()
+		out = append(out, stats.Variance(k.Column(0)))
+	}
+	return out
+}
+
+// applyChurn executes one cycle's churn plan: uniform removals (never
+// below two live nodes) followed by additions initialized via the
+// Join hook.
+func (k *Kernel) applyChurn() {
+	remove, add := k.churn.Plan(k.cycle, k.n)
+	k.RemoveRandom(remove)
+	k.Grow(add)
+}
+
+// RemoveRandom removes up to m uniformly random live nodes (crash
+// model: their state mass disappears), keeping at least two so the
+// network stays exchangeable. It returns how many were removed.
+func (k *Kernel) RemoveRandom(m int) int {
+	removed := 0
+	for removed < m && k.n > 2 {
+		k.RemoveNode(k.rng.Intn(k.n))
+		removed++
+	}
+	return removed
+}
+
+// RemoveNode removes node i by swapping in the last live node across
+// every field column. Only dynamic-overlay kernels support removal.
+func (k *Kernel) RemoveNode(i int) {
+	if !k.dyn {
+		panic("sim: RemoveNode needs the dynamic complete overlay (Config.Graph == nil)")
+	}
+	last := k.n - 1
+	for f := range k.cols {
+		col := k.cols[f]
+		col[i] = col[last]
+	}
+	k.n = last
+}
+
+// Grow adds m fresh nodes whose field values come from the Join hook
+// (zero without one). Only dynamic-overlay kernels support growth.
+func (k *Kernel) Grow(m int) {
+	if m <= 0 {
+		return
+	}
+	if !k.dyn {
+		panic("sim: Grow needs the dynamic complete overlay (Config.Graph == nil)")
+	}
+	k.Resize(k.n + m)
+	if k.join != nil {
+		for f := range k.cols {
+			v := k.join(f)
+			col := k.cols[f]
+			for i := k.n - m; i < k.n; i++ {
+				col[i] = v
+			}
+		}
+	}
+}
+
+// Resize sets the live node count to n, zero-filling any growth and
+// reusing column storage. Only dynamic-overlay kernels may resize.
+func (k *Kernel) Resize(n int) {
+	if !k.dyn {
+		panic("sim: Resize needs the dynamic complete overlay (Config.Graph == nil)")
+	}
+	for f := range k.cols {
+		k.cols[f] = resizeZero(k.cols[f], k.n, n)
+	}
+	if k.phi != nil && n > len(k.phi) {
+		k.phi = append(k.phi, make([]int, n-len(k.phi))...)
+	}
+	k.n = n
+}
+
+// ReshapeAvg reconfigures the kernel to fields average columns over n
+// nodes, all zero — the epoch-restart primitive of the §4 size
+// estimator (each instance is one indicator column). Storage is
+// reused across epochs.
+func (k *Kernel) ReshapeAvg(fields, n int) {
+	if !k.dyn {
+		panic("sim: ReshapeAvg needs the dynamic complete overlay (Config.Graph == nil)")
+	}
+	if fields < 1 {
+		fields = 1
+	}
+	if len(k.ops) != fields {
+		k.ops = make([]Op, fields)
+		for len(k.cols) < fields {
+			k.cols = append(k.cols, nil)
+		}
+		k.cols = k.cols[:fields]
+	}
+	for f := range k.ops {
+		k.ops[f] = OpAvg
+	}
+	for f := range k.cols {
+		k.cols[f] = resizeZero(k.cols[f], 0, n)
+	}
+	if k.phi != nil && n > len(k.phi) {
+		k.phi = append(k.phi, make([]int, n-len(k.phi))...)
+	}
+	k.n = n
+}
+
+// resizeZero returns col resized from oldN to n live entries, growing
+// the backing array as needed and zeroing any newly exposed tail.
+func resizeZero(col []float64, oldN, n int) []float64 {
+	if cap(col) < n {
+		grown := make([]float64, n)
+		copy(grown, col[:oldN])
+		return grown
+	}
+	col = col[:n]
+	if n > oldN {
+		clear(col[oldN:n])
+	}
+	return col
+}

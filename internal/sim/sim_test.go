@@ -1,0 +1,338 @@
+package sim_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/avg"
+	"repro/internal/churn"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+func gaussian(n int, rng *xrand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func mustComplete(t testing.TB, n int) topology.Graph {
+	t.Helper()
+	g, err := topology.NewComplete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// newKernel builds a single-average-field kernel over the complete
+// graph with the given selector and loads a fresh gaussian vector.
+func newKernel(t testing.TB, n int, sel sim.Selector, shards int, seed uint64) *sim.Kernel {
+	t.Helper()
+	rng := xrand.New(seed)
+	cfg := sim.Config{Selector: sel, Shards: shards, RNG: rng}
+	if shards > 1 {
+		cfg.Size = n // sharded mode: dynamic complete overlay, built-in seq pairing
+	} else {
+		cfg.Graph = mustComplete(t, n)
+	}
+	k, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetValues(0, gaussian(n, rng)); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestKernelReproducesTheoreticalRates is the cross-backend anchor: the
+// unified kernel must show the paper's closed-form one-cycle variance
+// reduction E(2^{-φ}) for every §3.3 selector — ≈1/4 for pm, ≈1/e for
+// rand, ≈1/(2√e) for seq and pmrand (avg.TheoreticalRate) — exactly as
+// the historical avg.Runner did.
+func TestKernelReproducesTheoreticalRates(t *testing.T) {
+	for _, name := range []string{"pm", "rand", "seq", "pmrand"} {
+		t.Run(name, func(t *testing.T) {
+			want, ok := avg.TheoreticalRate(name)
+			if !ok {
+				t.Fatalf("no theoretical rate for %q", name)
+			}
+			var acc stats.Running
+			for run := 0; run < 10; run++ {
+				sel, err := sim.NewSelector(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				k := newKernel(t, 10000, sel, 1, 300+uint64(run)*7919)
+				before := stats.Variance(k.Column(0))
+				k.Cycle()
+				acc.Add(stats.Variance(k.Column(0)) / before)
+			}
+			tol := 0.015
+			if name == "seq" {
+				// The paper observes seq slightly better than its pmrand
+				// proxy predicts; match avg_test's wider band.
+				tol = 0.035
+			}
+			if got := acc.Mean(); math.Abs(got-want) > tol {
+				t.Fatalf("%s one-cycle reduction = %.4f, want %.4f ± %.3f", name, got, want, tol)
+			}
+		})
+	}
+}
+
+// TestKernelMatchesRunnerBitForBit pins the adapter seam: avg.Runner is
+// a veneer over the kernel, so driving the kernel directly with the
+// same seed must give the identical trajectory.
+func TestKernelMatchesRunnerBitForBit(t *testing.T) {
+	const n, cycles, seed = 300, 8, 777
+
+	rng := xrand.New(seed)
+	runner, err := avg.NewRunner(mustComplete(t, n), avg.NewSeq(), gaussian(n, rng), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromRunner := runner.Run(cycles)
+
+	k := newKernel(t, n, sim.NewSeq(), 1, seed)
+	fromKernel := k.Run(cycles)
+
+	for i := range fromRunner {
+		if fromRunner[i] != fromKernel[i] {
+			t.Fatalf("trajectories diverge at cycle %d: runner %g vs kernel %g", i, fromRunner[i], fromKernel[i])
+		}
+	}
+}
+
+// TestShardedDeterministicForSeedAndShards: the sharded executor must
+// be bit-reproducible for a fixed (seed, shard count) pair despite its
+// worker parallelism.
+func TestShardedDeterministicForSeedAndShards(t *testing.T) {
+	run := func() []float64 {
+		k := newKernel(t, 4000, nil, 4, 901)
+		return k.Run(10)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sharded trajectories diverge at cycle %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// TestShardedMassConservation: reordering steps across shards must not
+// break the §3.2 invariant — lossless exchanges never change the sum.
+func TestShardedMassConservation(t *testing.T) {
+	for _, shards := range []int{2, 3, 5, 8} {
+		k := newKernel(t, 3001, nil, shards, 902+uint64(shards))
+		before := stats.Sum(k.Column(0))
+		k.Run(10)
+		if after := stats.Sum(k.Column(0)); math.Abs(after-before) > 1e-8 {
+			t.Fatalf("shards=%d: sum drifted %.15g → %.15g", shards, before, after)
+		}
+	}
+}
+
+// TestShardedStatisticallyEquivalent is the acceptance gate of the
+// sharded executor: its variance-decay series must be statistically
+// indistinguishable from single-shard execution — same per-cycle
+// reduction rate (the seq rate 1/(2√e)), within the run-to-run noise
+// band — even though the step interleaving differs.
+func TestShardedStatisticallyEquivalent(t *testing.T) {
+	const n, cycles, runs = 10000, 10, 6
+	rate := func(shards int, seed uint64) float64 {
+		k := newKernel(t, n, nil, shards, seed)
+		v := k.Run(cycles)
+		return math.Pow(v[len(v)-1]/v[0], 1/float64(cycles))
+	}
+	var seqAcc, shardAcc stats.Running
+	for r := 0; r < runs; r++ {
+		seqAcc.Add(rate(1, 1000+uint64(r)*104729))
+		shardAcc.Add(rate(4, 2000+uint64(r)*104729))
+	}
+	want, _ := avg.TheoreticalRate("seq")
+	if got := seqAcc.Mean(); math.Abs(got-want) > 0.02 {
+		t.Fatalf("single-shard rate %.4f strayed from theory %.4f", got, want)
+	}
+	if got := shardAcc.Mean(); math.Abs(got-want) > 0.02 {
+		t.Fatalf("sharded rate %.4f strayed from theory %.4f", got, want)
+	}
+	if diff := math.Abs(seqAcc.Mean() - shardAcc.Mean()); diff > 0.02 {
+		t.Fatalf("sharded vs single-shard rates differ by %.4f: %.4f vs %.4f",
+			diff, shardAcc.Mean(), seqAcc.Mean())
+	}
+}
+
+// TestShardedPhiCountsSeqInvariant: sharded execution keeps the seq
+// pair-stream structure — every node initiates exactly once per cycle,
+// so φ ≥ 1 everywhere and Σφ = 2N.
+func TestShardedPhiCountsSeqInvariant(t *testing.T) {
+	const n = 2000
+	rng := xrand.New(903)
+	k, err := sim.New(sim.Config{Size: n, Shards: 4, CountPhi: true, RNG: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetValues(0, gaussian(n, rng)); err != nil {
+		t.Fatal(err)
+	}
+	k.Cycle()
+	total := 0
+	for i, phi := range k.PhiCounts() {
+		if phi < 1 {
+			t.Fatalf("φ(%d) = %d, want ≥ 1", i, phi)
+		}
+		total += phi
+	}
+	if total != 2*n {
+		t.Fatalf("Σφ = %d, want %d", total, 2*n)
+	}
+}
+
+// TestKernelFullSchema: every execution mode now has the full schema —
+// here avg, min and max columns gossip in one kernel: the average
+// column conserves the mean while the extremum columns flood to the
+// true extrema epidemically.
+func TestKernelFullSchema(t *testing.T) {
+	const n = 1024
+	for _, shards := range []int{1, 4} {
+		rng := xrand.New(904)
+		k, err := sim.New(sim.Config{
+			Size:   n,
+			Ops:    []sim.Op{sim.OpAvg, sim.OpMin, sim.OpMax},
+			Shards: shards,
+			RNG:    rng,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		values := gaussian(n, rng)
+		for f := 0; f < 3; f++ {
+			if err := k.SetValues(f, values); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wantMean := stats.Mean(values)
+		wantMin, wantMax := values[0], values[0]
+		for _, v := range values {
+			wantMin = math.Min(wantMin, v)
+			wantMax = math.Max(wantMax, v)
+		}
+		k.Run(15)
+		if got := stats.Mean(k.Column(0)); math.Abs(got-wantMean) > 1e-9 {
+			t.Fatalf("shards=%d: mean drifted %.12g → %.12g", shards, wantMean, got)
+		}
+		for i := 0; i < n; i++ {
+			if k.Column(1)[i] != wantMin {
+				t.Fatalf("shards=%d: node %d min = %g, want %g", shards, i, k.Column(1)[i], wantMin)
+			}
+			if k.Column(2)[i] != wantMax {
+				t.Fatalf("shards=%d: node %d max = %g, want %g", shards, i, k.Column(2)[i], wantMax)
+			}
+		}
+	}
+}
+
+// TestKernelChurnSchedule: the kernel's churn axis adapts
+// internal/churn and keeps the live population on the model's target.
+func TestKernelChurnSchedule(t *testing.T) {
+	rng := xrand.New(905)
+	k, err := sim.New(sim.Config{
+		Size: 500,
+		Churn: sim.Churn(churn.Schedule{
+			Model:       churn.Oscillating{Min: 400, Max: 600, Period: 40},
+			Fluctuation: 5,
+		}),
+		RNG: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetValues(0, gaussian(500, rng)); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(40)
+	model := churn.Oscillating{Min: 400, Max: 600, Period: 40}
+	want := model.TargetSize(39)
+	if got := k.Size(); got != want {
+		t.Fatalf("size after churned run = %d, want %d", got, want)
+	}
+}
+
+// TestKernelWaitPoliciesMatchSelectorRegimes: the event-driven mode
+// reproduces §3.3.2's correspondence — constant waits behave like seq
+// (rate 1/(2√e) per Δt), exponential waits like rand (rate 1/e).
+func TestKernelWaitPoliciesMatchSelectorRegimes(t *testing.T) {
+	rate := func(wait sim.WaitPolicy, seed uint64) float64 {
+		const n, cycles = 5000, 8
+		rng := xrand.New(seed)
+		k, err := sim.New(sim.Config{Graph: mustComplete(t, n), Wait: wait, RNG: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.SetValues(0, gaussian(n, rng)); err != nil {
+			t.Fatal(err)
+		}
+		first := stats.Variance(k.Column(0))
+		if _, err := k.RunEvents(cycles, func() {}); err != nil {
+			t.Fatal(err)
+		}
+		last := stats.Variance(k.Column(0))
+		return math.Pow(last/first, 1/float64(cycles))
+	}
+	var constAcc, expAcc stats.Running
+	for r := 0; r < 5; r++ {
+		constAcc.Add(rate(sim.ConstantWait{}, 30+uint64(r)*7919))
+		expAcc.Add(rate(sim.ExponentialWait{}, 60+uint64(r)*7919))
+	}
+	seqRate, _ := avg.TheoreticalRate("seq")
+	randRate, _ := avg.TheoreticalRate("rand")
+	if got := constAcc.Mean(); math.Abs(got-seqRate) > 0.03 {
+		t.Fatalf("constant-wait rate %.4f, want ≈ %.4f", got, seqRate)
+	}
+	if got := expAcc.Mean(); math.Abs(got-randRate) > 0.03 {
+		t.Fatalf("exponential-wait rate %.4f, want ≈ %.4f", got, randRate)
+	}
+}
+
+// TestKernelLossModels: the two loss models keep their defining
+// invariants inside the kernel — symmetric loss conserves mass while
+// slowing convergence, reply loss breaks mass conservation.
+func TestKernelLossModels(t *testing.T) {
+	const n, cycles = 2000, 8
+	run := func(loss sim.LossModel, shards int) (rate, drift float64) {
+		rng := xrand.New(906)
+		cfg := sim.Config{Size: n, Loss: loss, Shards: shards, RNG: rng}
+		k, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values := gaussian(n, rng)
+		if err := k.SetValues(0, values); err != nil {
+			t.Fatal(err)
+		}
+		before := stats.Sum(values)
+		v := k.Run(cycles)
+		drift = math.Abs(stats.Sum(k.Column(0)) - before)
+		return math.Pow(v[len(v)-1]/v[0], 1/float64(cycles)), drift
+	}
+	for _, shards := range []int{1, 4} {
+		lossless, losslessDrift := run(nil, shards)
+		symRate, symDrift := run(sim.SymmetricLoss{P: 0.4}, shards)
+		_, replyDrift := run(sim.ReplyLoss{P: 0.5}, shards)
+		if losslessDrift > 1e-8 || symDrift > 1e-8 {
+			t.Fatalf("shards=%d: mass not conserved: lossless %g, symmetric %g", shards, losslessDrift, symDrift)
+		}
+		if symRate <= lossless {
+			t.Fatalf("shards=%d: symmetric loss did not slow convergence: %.4f vs %.4f", shards, symRate, lossless)
+		}
+		if replyDrift < 1e-9 {
+			t.Fatalf("shards=%d: reply loss conserved mass; loss model not applied", shards)
+		}
+	}
+}

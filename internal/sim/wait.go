@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// WaitPolicy is the GETWAITINGTIME abstraction of Figure 1 (§1.1):
+// every node wakes after a waiting time drawn from this distribution,
+// measured in units of Δt (the cycle length). Setting Config.Wait
+// switches the kernel to event-based execution via RunEvents, where
+// nodes are autonomous and no global cycle structure exists.
+type WaitPolicy interface {
+	// Phase returns a node's initial wake offset, chosen so that the
+	// initiation process is stationary from t = 0 (autonomous nodes
+	// have no common starting gun).
+	Phase(rng *xrand.Rand) float64
+	// Wait returns the next waiting time after a wake-up.
+	Wait(rng *xrand.Rand) float64
+	// Name labels the policy in experiment output.
+	Name() string
+}
+
+// ConstantWait waits exactly Δt between initiations; the induced pair
+// stream is GETPAIR_SEQ-like (rate 1/(2√e) per Δt).
+type ConstantWait struct{}
+
+var _ WaitPolicy = ConstantWait{}
+
+// Phase draws a uniform offset in [0, Δt).
+func (ConstantWait) Phase(rng *xrand.Rand) float64 { return rng.Float64() }
+
+// Wait returns Δt without consuming randomness.
+func (ConstantWait) Wait(*xrand.Rand) float64 { return 1 }
+
+// Name implements WaitPolicy.
+func (ConstantWait) Name() string { return "constant" }
+
+// ExponentialWait draws Exp(mean Δt) waits; the induced pair stream is
+// GETPAIR_RAND-like (Poisson exchange arrivals, rate 1/e per Δt) —
+// §3.3.2: "a given node can approximate this behavior by waiting for a
+// time interval randomly drawn from this distribution".
+type ExponentialWait struct{}
+
+var _ WaitPolicy = ExponentialWait{}
+
+// Phase draws the memoryless process's stationary residual wait.
+func (ExponentialWait) Phase(rng *xrand.Rand) float64 { return rng.ExpFloat64() }
+
+// Wait draws Exp(mean Δt).
+func (ExponentialWait) Wait(rng *xrand.Rand) float64 { return rng.ExpFloat64() }
+
+// Name implements WaitPolicy.
+func (ExponentialWait) Name() string { return "exponential" }
+
+// RunEvents drives the kernel event by event until the horizon (in
+// units of Δt): each node wakes per the configured WaitPolicy, samples
+// a random neighbor and performs the elementary exchange as a
+// zero-time event on the simulated clock (the paper's §2 communication
+// model). sample is invoked at every integer time 1, 2, …, horizon —
+// the per-Δt snapshot behind the asynchronous variance trajectories.
+// It returns the number of performed exchanges.
+func (k *Kernel) RunEvents(horizon int, sample func()) (int, error) {
+	if k.wait == nil {
+		return 0, fmt.Errorf("sim: RunEvents needs Config.Wait")
+	}
+	if k.shards > 1 {
+		return 0, fmt.Errorf("sim: RunEvents is single-shard only")
+	}
+	n := k.n
+	h := newEventHeap(n)
+	for i := 0; i < n; i++ {
+		h.push(event{at: k.wait.Phase(k.rng), node: int32(i)})
+	}
+	exchanges := 0
+	hz := float64(horizon)
+	nextSample := 1.0
+	for {
+		ev := h.pop()
+		for nextSample <= ev.at && nextSample <= hz {
+			sample()
+			nextSample++
+		}
+		if ev.at >= hz {
+			break
+		}
+		i := int(ev.node)
+		if j, ok := k.graph.RandomNeighbor(i, k.rng); ok {
+			switch k.loss.Draw(k.rng) {
+			case Dropped:
+			case ResponderOnly:
+				k.mergeResponder(i, j)
+				exchanges++
+			default:
+				k.mergeFull(i, j)
+				exchanges++
+			}
+		}
+		h.push(event{at: ev.at + k.wait.Wait(k.rng), node: ev.node})
+	}
+	for nextSample <= hz {
+		sample()
+		nextSample++
+	}
+	return exchanges, nil
+}
+
+// event is one scheduled node wake-up.
+type event struct {
+	at   float64
+	node int32
+}
+
+// eventHeap is a binary min-heap on event.at. Hand-rolled rather than
+// container/heap to keep the hot loop free of interface allocations.
+type eventHeap struct {
+	items []event
+}
+
+func newEventHeap(capacity int) *eventHeap {
+	return &eventHeap{items: make([]event, 0, capacity)}
+}
+
+func (h *eventHeap) push(e event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].at <= h.items[i].at {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < last && h.items[left].at < h.items[smallest].at {
+			smallest = left
+		}
+		if right < last && h.items[right].at < h.items[smallest].at {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// len reports the heap size (used by tests).
+func (h *eventHeap) len() int { return len(h.items) }
