@@ -9,6 +9,7 @@ import (
 	"repro/internal/avg"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -463,6 +464,47 @@ func BenchmarkKernelMillionNode(b *testing.B) {
 				b.ReportMetric(float64(after.Mallocs-before.Mallocs)/exchanges, "allocs/exchange")
 			})
 		}
+	}
+}
+
+// BenchmarkScenarioSweep measures a paper-scale declarative sweep
+// (N = 10⁵, 10 cycles, 2 repeats) through the scenario engine,
+// sequential versus sharded execution — the speedup `cmd/figures
+// -shards -1` buys on multi-core machines. The sequential variant uses
+// the engine's worker pool across repeats; the sharded variant gives
+// the cores to the kernel's tournament executor instead.
+func BenchmarkScenarioSweep(b *testing.B) {
+	const n, cycles, repeats = 100_000, 10, 2
+	for _, tc := range []struct {
+		name    string
+		shards  int
+		workers int
+	}{
+		{"sequential", 0, 0},
+		{"sharded", scenario.AutoShards, 1},
+	} {
+		b.Run(fmt.Sprintf("executor=%s/n=%d", tc.name, n), func(b *testing.B) {
+			spec := scenario.Spec{
+				Name:    "bench-sweep",
+				Size:    n,
+				Cycles:  cycles,
+				Shards:  tc.shards,
+				Repeats: repeats,
+				Seed:    70,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var col scenario.Collector
+				if err := (scenario.Runner{Workers: tc.workers}).Run([]scenario.Spec{spec}, &col); err != nil {
+					b.Fatal(err)
+				}
+				if got := len(col.Results()); got != repeats*(cycles+1) {
+					b.Fatalf("got %d rows, want %d", got, repeats*(cycles+1))
+				}
+			}
+			exchanges := float64(b.N) * repeats * cycles * n
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/exchanges, "ns/exchange")
+		})
 	}
 }
 

@@ -1,20 +1,32 @@
-// Command aggsim runs one anti-entropy averaging simulation (the paper's
-// algorithm AVG, Figure 2) and prints the per-cycle variance trajectory,
-// the per-cycle reduction ratio and the comparison to the closed-form
-// rate of §3.3.
+// Command aggsim runs anti-entropy averaging simulations.
 //
-// Usage:
+// In single-run mode it executes one instance of the paper's algorithm
+// AVG (Figure 2) and prints the per-cycle variance trajectory, the
+// per-cycle reduction ratio and the comparison to the closed-form rate
+// of §3.3:
 //
 //	aggsim -n 10000 -selector seq -topology complete -cycles 30
 //	aggsim -n 100000 -selector rand -topology kregular -view 20 -loss 0.05
+//	aggsim -n 1000000 -selector seq -shards -1       # sharded paper-scale run
+//
+// In scenario mode it executes a declarative JSON scenario file — a
+// single spec or a base spec crossed with swept axes (see
+// internal/scenario and examples/scenarios/) — on the scenario
+// engine's worker pool and streams per-cycle reduction rows as CSV or
+// JSON-lines:
+//
+//	aggsim -scenario examples/scenarios/loss-sweep.json
+//	aggsim -scenario sweep.json -format jsonl -out rows.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -25,14 +37,70 @@ func main() {
 	flag.IntVar(&cfg.ViewSize, "view", 20, "degree of non-complete overlays")
 	flag.IntVar(&cfg.Cycles, "cycles", 30, "AVG cycles to run")
 	flag.Float64Var(&cfg.LossProbability, "loss", 0, "per-message drop probability")
+	flag.IntVar(&cfg.Shards, "shards", 0, "sharded executor: 0 = sequential, -1 = one shard per core")
 	seed := flag.Uint64("seed", 42, "random seed")
+	scenarioPath := flag.String("scenario", "", "run a JSON scenario file (spec or grid) instead of a single simulation")
+	format := flag.String("format", "csv", "scenario output format: csv or jsonl")
+	outPath := flag.String("out", "", "scenario output file (default stdout)")
+	workers := flag.Int("workers", 0, "scenario worker pool size (0 = one per core)")
 	flag.Parse()
 	cfg.Seed = *seed
 
-	if err := run(cfg); err != nil {
+	var err error
+	if *scenarioPath != "" {
+		err = runScenario(*scenarioPath, *format, *outPath, *workers, os.Stdout)
+	} else {
+		err = run(cfg)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "aggsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runScenario executes a scenario file and streams rows in the chosen
+// format to outPath (or stdout when outPath is empty).
+func runScenario(path, format, outPath string, workers int, stdout io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	grid, err := scenario.ParseFile(data)
+	if err != nil {
+		return err
+	}
+	out := stdout
+	var file *os.File
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		file = f
+		out = f
+	}
+	var w scenario.Writer
+	switch format {
+	case "csv":
+		w = scenario.NewCSVWriter(out)
+	case "jsonl":
+		w = scenario.NewJSONLWriter(out)
+	default:
+		if file != nil {
+			file.Close()
+		}
+		return fmt.Errorf("unknown format %q (want csv or jsonl)", format)
+	}
+	err = scenario.Runner{Workers: workers}.RunGrid(grid, w)
+	if file != nil {
+		// A close error after a successful flush still means truncated
+		// output (write-back failures surface here on some filesystems);
+		// it must not exit 0.
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 func run(cfg repro.SimulationConfig) error {
@@ -40,8 +108,8 @@ func run(cfg repro.SimulationConfig) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("# anti-entropy averaging: n=%d selector=%s topology=%s loss=%.2f seed=%d\n",
-		cfg.Size, cfg.Selector, cfg.Topology, cfg.LossProbability, cfg.Seed)
+	fmt.Printf("# anti-entropy averaging: n=%d selector=%s topology=%s loss=%.2f shards=%d seed=%d\n",
+		cfg.Size, cfg.Selector, cfg.Topology, cfg.LossProbability, cfg.Shards, cfg.Seed)
 	fmt.Println("# cycle\tvariance\treduction")
 	for i, v := range res.Variances {
 		if i == 0 {

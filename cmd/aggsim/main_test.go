@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestScenarioModeGoldenCSV pins the end-to-end -scenario path: a JSON
+// grid file from testdata runs through the scenario engine and must
+// produce byte-identical CSV on every platform and run.
+func TestScenarioModeGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runScenario(filepath.Join("testdata", "mini-sweep.json"), "csv", "", 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "mini-sweep.golden.csv")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("scenario CSV diverged from golden file;\ngot:\n%s", buf.Bytes())
+	}
+	// Sanity: 2 selectors × 2 loss probs × 2 reps × 4 rows (cycle 0-3)
+	// plus the header.
+	if lines := strings.Count(buf.String(), "\n"); lines != 1+2*2*2*4 {
+		t.Fatalf("got %d lines, want %d", lines, 1+2*2*2*4)
+	}
+}
+
+// TestScenarioModeJSONL smoke-tests the alternate format end to end.
+func TestScenarioModeJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runScenario(filepath.Join("testdata", "mini-sweep.json"), "jsonl", "", 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(buf.String(), "\n")
+	if !strings.HasPrefix(first, `{"scenario":"mini-sweep"`) {
+		t.Fatalf("unexpected first row: %s", first)
+	}
+}
+
+// TestScenarioModeRejectsUnknownFormat: flag validation reaches the
+// caller as an error, not a panic.
+func TestScenarioModeRejectsUnknownFormat(t *testing.T) {
+	if err := runScenario(filepath.Join("testdata", "mini-sweep.json"), "xml", "", 0, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

@@ -17,6 +17,13 @@
 // The paper scale runs the exact parameters of the publication (N up to
 // 100 000, 50 runs) and takes minutes; quick scale shrinks sizes ~10× for
 // a fast smoke pass with the same shape.
+//
+// -shards routes the shardable sweep combinations (seq pairing on the
+// complete overlay) of figures 3a and 3b through the kernel's sharded
+// tournament executor (-shards -1 = one shard per core) — the
+// paper-scale path. Sharded runs are statistically equivalent but not
+// bit-identical to the default sequential execution, so fixed-seed
+// reference output uses -shards 0.
 package main
 
 import (
@@ -34,14 +41,15 @@ func main() {
 	fig := flag.String("fig", "3a", "artifact to regenerate: 3a, 3b, 4, rates, cycles, loss, crash, topology, viewsize")
 	scale := flag.String("scale", "paper", "paper (full-size) or quick (~10x smaller)")
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+	shards := flag.Int("shards", 0, "sharded execution for shardable sweeps: 0 = sequential, -1 = one shard per core")
 	flag.Parse()
-	if err := run(*fig, *scale, *seed); err != nil {
+	if err := run(*fig, *scale, *seed, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig, scale string, seed uint64) error {
+func run(fig, scale string, seed uint64, shards int) error {
 	quick := scale == "quick"
 	if !quick && scale != "paper" {
 		return fmt.Errorf("unknown scale %q (want paper or quick)", scale)
@@ -56,6 +64,7 @@ func run(fig, scale string, seed uint64) error {
 		if seed != 0 {
 			cfg.Seed = seed
 		}
+		cfg.Shards = shards
 		series, err := experiments.Fig3a(cfg)
 		if err != nil {
 			return err
@@ -72,6 +81,7 @@ func run(fig, scale string, seed uint64) error {
 		if seed != 0 {
 			cfg.Seed = seed
 		}
+		cfg.Shards = shards
 		series, err := experiments.Fig3b(cfg)
 		if err != nil {
 			return err

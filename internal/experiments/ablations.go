@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/avg"
+	"repro/internal/scenario"
 	"repro/internal/stats"
-	"repro/internal/xrand"
 )
 
 // CyclesToAccuracyConfig parameterizes experiment E5: how many AVG cycles
@@ -36,46 +35,50 @@ func DefaultCyclesToAccuracy() CyclesToAccuracyConfig {
 	}
 }
 
+// maxAccuracyCycles bounds the E5 search horizon.
+const maxAccuracyCycles = 200
+
 // CyclesToAccuracy returns one series per selector with a single point:
 // x = 0, y = cycles needed for σ²/σ₀² ≤ Target on the complete graph.
+// Each selector is one Spec with the engine's early-stop target ratio;
+// the cycle count is read off the last emitted row.
 func CyclesToAccuracy(cfg CyclesToAccuracyConfig) ([]*stats.Series, error) {
 	if cfg.Target <= 0 || cfg.Target >= 1 {
 		return nil, fmt.Errorf("experiments: target ratio must be in (0,1), got %g", cfg.Target)
 	}
-	var out []*stats.Series
-	for _, sel := range cfg.Selectors {
-		series := stats.NewSeries(fmt.Sprintf("cycles_to_%.0e_%s", cfg.Target, sel))
-		counts := make([]float64, cfg.Runs)
-		err := forEachRun(cfg.Runs, cfg.Seed^hashLabel(sel, "ctacc", cfg.Size), func(run int, rng *xrand.Rand) error {
-			g, err := BuildTopology(Complete, cfg.Size, 0, rng)
-			if err != nil {
-				return err
-			}
-			selector, err := avg.NewSelector(sel)
-			if err != nil {
-				return err
-			}
-			runner, err := avg.NewRunner(g, selector, gaussianVector(cfg.Size, rng), rng)
-			if err != nil {
-				return err
-			}
-			initial := runner.Variance()
-			const maxCycles = 200
-			for c := 1; c <= maxCycles; c++ {
-				if runner.Cycle() <= cfg.Target*initial {
-					counts[run] = float64(c)
-					return nil
-				}
-			}
-			return fmt.Errorf("experiments: %s did not reach %g in %d cycles", sel, cfg.Target, maxCycles)
-		})
-		if err != nil {
-			return nil, err
+	// One batched Run for the whole sweep: the engine keeps its worker
+	// kernels warm across cells, and rows carry the cell index.
+	specs := make([]scenario.Spec, len(cfg.Selectors))
+	out := make([]*stats.Series, len(cfg.Selectors))
+	for i, sel := range cfg.Selectors {
+		specs[i] = scenario.Spec{
+			Name:        "cycles-to-accuracy",
+			Size:        cfg.Size,
+			Cycles:      maxAccuracyCycles,
+			Selector:    sel,
+			TargetRatio: cfg.Target,
+			Repeats:     cfg.Runs,
+			Seed:        cfg.Seed ^ hashLabel(sel, "ctacc", cfg.Size),
 		}
-		for _, c := range counts {
-			series.Observe(0, c)
+		out[i] = stats.NewSeries(fmt.Sprintf("cycles_to_%.0e_%s", cfg.Target, sel))
+	}
+	var col scenario.Collector
+	if err := scenario.Run(specs, &col); err != nil {
+		return nil, err
+	}
+	rows := col.Results()
+	var initial float64
+	for i, r := range rows {
+		if r.Cycle == 0 {
+			initial = r.Variance
 		}
-		out = append(out, series)
+		if last := i+1 == len(rows) || rows[i+1].Cycle == 0; !last {
+			continue
+		}
+		if r.Variance > cfg.Target*initial {
+			return nil, fmt.Errorf("experiments: %s did not reach %g in %d cycles", cfg.Selectors[r.Cell], cfg.Target, maxAccuracyCycles)
+		}
+		out[r.Cell].Observe(0, float64(r.Cycle))
 	}
 	return out, nil
 }
@@ -120,40 +123,49 @@ type LossResult struct {
 }
 
 // LossAblation sweeps message-loss probabilities with getPair_seq on the
-// complete graph.
+// complete graph (the deployed protocol's asymmetric reply-loss model).
 func LossAblation(cfg LossAblationConfig) ([]LossResult, error) {
-	out := make([]LossResult, 0, len(cfg.LossProbs))
-	for _, p := range cfg.LossProbs {
-		rates := make([]float64, cfg.Runs)
-		drifts := make([]float64, cfg.Runs)
-		seed := cfg.Seed ^ hashLabel("seq", "loss", int(p*1e6))
-		err := forEachRun(cfg.Runs, seed, func(run int, rng *xrand.Rand) error {
-			g, err := BuildTopology(Complete, cfg.Size, 0, rng)
-			if err != nil {
-				return err
-			}
-			values := gaussianVector(cfg.Size, rng)
-			trueMean := stats.Mean(values)
-			initialSD := math.Sqrt(stats.Variance(values))
-			runner, err := avg.NewRunner(g, avg.NewSeq(), values, rng, avg.WithLossProbability(p))
-			if err != nil {
-				return err
-			}
-			variances := runner.Run(cfg.Cycles)
-			first, last := variances[0], variances[len(variances)-1]
-			if first > 0 && last > 0 {
-				rates[run] = math.Pow(last/first, 1/float64(cfg.Cycles))
-			}
-			drifts[run] = math.Abs(runner.Mean()-trueMean) / initialSD
-			return nil
-		})
-		if err != nil {
-			return nil, err
+	specs := make([]scenario.Spec, len(cfg.LossProbs))
+	for i, p := range cfg.LossProbs {
+		specs[i] = scenario.Spec{
+			Name:     "loss-ablation",
+			Size:     cfg.Size,
+			Cycles:   cfg.Cycles,
+			Loss:     "reply",
+			LossProb: p,
+			Repeats:  cfg.Runs,
+			Seed:     cfg.Seed ^ hashLabel("seq", "loss", int(p*1e6)),
 		}
+	}
+	var col scenario.Collector
+	if err := scenario.Run(specs, &col); err != nil {
+		return nil, err
+	}
+	rates := make([][]float64, len(specs))
+	drifts := make([][]float64, len(specs))
+	var trueMean, initialSD, first float64
+	for _, r := range col.Results() {
+		if r.Cycle == 0 {
+			trueMean, first = r.Mean, r.Variance
+			initialSD = math.Sqrt(r.Variance)
+			continue
+		}
+		if r.Cycle < cfg.Cycles {
+			continue
+		}
+		rate := 0.0
+		if first > 0 && r.Variance > 0 {
+			rate = math.Pow(r.Variance/first, 1/float64(cfg.Cycles))
+		}
+		rates[r.Cell] = append(rates[r.Cell], rate)
+		drifts[r.Cell] = append(drifts[r.Cell], math.Abs(r.Mean-trueMean)/initialSD)
+	}
+	out := make([]LossResult, 0, len(cfg.LossProbs))
+	for i, p := range cfg.LossProbs {
 		out = append(out, LossResult{
 			LossProb:      p,
-			ReductionRate: stats.Mean(rates),
-			MeanDrift:     stats.Mean(drifts),
+			ReductionRate: stats.Mean(rates[i]),
+			MeanDrift:     stats.Mean(drifts[i]),
 		})
 	}
 	return out, nil
@@ -203,50 +215,57 @@ type CrashResult struct {
 // CrashAblation sweeps crash fractions with getPair_seq on the complete
 // graph over the survivors.
 func CrashAblation(cfg CrashAblationConfig) ([]CrashResult, error) {
-	out := make([]CrashResult, 0, len(cfg.CrashFractions))
-	for _, f := range cfg.CrashFractions {
+	specs := make([]scenario.Spec, len(cfg.CrashFractions))
+	for i, f := range cfg.CrashFractions {
 		if f < 0 || f >= 1 {
 			return nil, fmt.Errorf("experiments: crash fraction must be in [0,1), got %g", f)
 		}
-		errs := make([]float64, cfg.Runs)
-		ratios := make([]float64, cfg.Runs)
-		seed := cfg.Seed ^ hashLabel("seq", "crash", int(f*1e6))
-		err := forEachRun(cfg.Runs, seed, func(run int, rng *xrand.Rand) error {
-			values := gaussianVector(cfg.Size, rng)
-			trueMean := stats.Mean(values)
-			initialSD := math.Sqrt(stats.Variance(values))
-			// Crash: drop the first f·N entries of a random permutation.
-			survivors := cfg.Size - int(f*float64(cfg.Size))
-			if survivors < 2 {
-				return fmt.Errorf("experiments: crash fraction %g leaves < 2 survivors", f)
-			}
-			perm := rng.Perm(cfg.Size)
-			kept := make([]float64, survivors)
-			for i := 0; i < survivors; i++ {
-				kept[i] = values[perm[i]]
-			}
-			g, err := BuildTopology(Complete, survivors, 0, rng)
-			if err != nil {
-				return err
-			}
-			runner, err := avg.NewRunner(g, avg.NewSeq(), kept, rng)
-			if err != nil {
-				return err
-			}
-			variances := runner.Run(cfg.Cycles)
-			errs[run] = math.Abs(runner.Mean()-trueMean) / initialSD
-			if variances[0] > 0 {
-				ratios[run] = variances[len(variances)-1] / variances[0]
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
+		crash := f
+		if crash == 0 {
+			// The historical driver drew the crash permutation even at
+			// fraction 0; a fraction too small to remove anyone keeps the
+			// random stream — and therefore the emitted numbers —
+			// byte-identical to it.
+			crash = math.SmallestNonzeroFloat64
 		}
+		specs[i] = scenario.Spec{
+			Name:          "crash-ablation",
+			Size:          cfg.Size,
+			Cycles:        cfg.Cycles,
+			CrashFraction: crash,
+			Repeats:       cfg.Runs,
+			Seed:          cfg.Seed ^ hashLabel("seq", "crash", int(f*1e6)),
+		}
+	}
+	var col scenario.Collector
+	if err := scenario.Run(specs, &col); err != nil {
+		return nil, err
+	}
+	errs := make([][]float64, len(specs))
+	ratios := make([][]float64, len(specs))
+	var trueMean, initialSD, survivorVar0 float64
+	for _, r := range col.Results() {
+		switch {
+		case r.Cycle == -1:
+			trueMean = r.Mean
+			initialSD = math.Sqrt(r.Variance)
+		case r.Cycle == 0:
+			survivorVar0 = r.Variance
+		case r.Cycle == cfg.Cycles:
+			errs[r.Cell] = append(errs[r.Cell], math.Abs(r.Mean-trueMean)/initialSD)
+			ratio := 0.0
+			if survivorVar0 > 0 {
+				ratio = r.Variance / survivorVar0
+			}
+			ratios[r.Cell] = append(ratios[r.Cell], ratio)
+		}
+	}
+	out := make([]CrashResult, 0, len(cfg.CrashFractions))
+	for i, f := range cfg.CrashFractions {
 		out = append(out, CrashResult{
 			Fraction:           f,
-			MeanError:          stats.Mean(errs),
-			FinalVarianceRatio: stats.Mean(ratios),
+			MeanError:          stats.Mean(errs[i]),
+			FinalVarianceRatio: stats.Mean(ratios[i]),
 		})
 	}
 	return out, nil
@@ -292,37 +311,30 @@ func TopologySweep(cfg TopologySweepConfig) ([]*stats.Series, error) {
 	if cfg.Cycles < 1 {
 		cfg.Cycles = 15
 	}
-	var out []*stats.Series
-	for _, topo := range cfg.Topologies {
-		series := stats.NewSeries(fmt.Sprintf("seq, %s", topo))
-		ratios := make([]float64, cfg.Runs)
-		seed := cfg.Seed ^ hashLabel("seq", string(topo), cfg.Size)
-		err := forEachRun(cfg.Runs, seed, func(run int, rng *xrand.Rand) error {
-			g, err := BuildTopology(topo, cfg.Size, cfg.ViewSize, rng)
-			if err != nil {
-				return err
-			}
-			runner, err := avg.NewRunner(g, avg.NewSeq(), gaussianVector(cfg.Size, rng), rng)
-			if err != nil {
-				return err
-			}
-			variances := runner.Run(cfg.Cycles)
-			first, last := variances[0], variances[len(variances)-1]
-			if first <= 0 || last <= 0 {
-				return nil // converged past float precision
-			}
-			ratios[run] = math.Pow(last/first, 1/float64(cfg.Cycles))
-			return nil
-		})
-		if err != nil {
-			return nil, err
+	specs := make([]scenario.Spec, len(cfg.Topologies))
+	out := make([]*stats.Series, len(cfg.Topologies))
+	for i, topo := range cfg.Topologies {
+		specs[i] = scenario.Spec{
+			Name:     "topology-sweep",
+			Size:     cfg.Size,
+			Cycles:   cfg.Cycles,
+			Topology: string(topo),
+			ViewSize: cfg.ViewSize,
+			Repeats:  cfg.Runs,
+			Seed:     cfg.Seed ^ hashLabel("seq", string(topo), cfg.Size),
 		}
-		for _, r := range ratios {
-			if r > 0 {
-				series.Observe(0, r)
+		out[i] = stats.NewSeries(fmt.Sprintf("seq, %s", topo))
+	}
+	var col scenario.Collector
+	if err := scenario.Run(specs, &col); err != nil {
+		return nil, err
+	}
+	for cell, rates := range geometricRatesByCell(col.Results(), cfg.Cycles, len(specs)) {
+		for _, rate := range rates {
+			if rate > 0 {
+				out[cell].Observe(0, rate)
 			}
 		}
-		out = append(out, series)
 	}
 	return out, nil
 }
@@ -359,34 +371,50 @@ func DefaultViewSizeSweep() ViewSizeSweepConfig {
 // k-regular overlay.
 func ViewSizeSweep(cfg ViewSizeSweepConfig) (*stats.Series, error) {
 	series := stats.NewSeries("seq rate vs view size")
-	for _, k := range cfg.ViewSizes {
-		rates := make([]float64, cfg.Runs)
-		seed := cfg.Seed ^ hashLabel("seq", "ksweep", k)
-		err := forEachRun(cfg.Runs, seed, func(run int, rng *xrand.Rand) error {
-			g, err := BuildTopology(KRegular, cfg.Size, k, rng)
-			if err != nil {
-				return err
-			}
-			runner, err := avg.NewRunner(g, avg.NewSeq(), gaussianVector(cfg.Size, rng), rng)
-			if err != nil {
-				return err
-			}
-			variances := runner.Run(cfg.Cycles)
-			first, last := variances[0], variances[len(variances)-1]
-			if first <= 0 || last <= 0 {
-				return nil // converged past float precision; skip rate
-			}
-			rates[run] = math.Pow(last/first, 1/float64(cfg.Cycles))
-			return nil
-		})
-		if err != nil {
-			return nil, err
+	specs := make([]scenario.Spec, len(cfg.ViewSizes))
+	for i, k := range cfg.ViewSizes {
+		specs[i] = scenario.Spec{
+			Name:     "viewsize-sweep",
+			Size:     cfg.Size,
+			Cycles:   cfg.Cycles,
+			Topology: string(KRegular),
+			ViewSize: k,
+			Repeats:  cfg.Runs,
+			Seed:     cfg.Seed ^ hashLabel("seq", "ksweep", k),
 		}
-		for _, r := range rates {
-			if r > 0 {
-				series.Observe(float64(k), r)
+	}
+	var col scenario.Collector
+	if err := scenario.Run(specs, &col); err != nil {
+		return nil, err
+	}
+	for cell, rates := range geometricRatesByCell(col.Results(), cfg.Cycles, len(specs)) {
+		for _, rate := range rates {
+			if rate > 0 {
+				series.Observe(float64(cfg.ViewSizes[cell]), rate)
 			}
 		}
 	}
 	return series, nil
+}
+
+// geometricRatesByCell extracts one geometric-mean per-cycle reduction
+// rate per repeat from a batched result stream, grouped by cell:
+// (σ²_C/σ²₀)^(1/C), or 0 when either endpoint has converged past float
+// precision (the historical drivers skip those runs).
+func geometricRatesByCell(rows []scenario.Result, cycles, cells int) [][]float64 {
+	rates := make([][]float64, cells)
+	var first float64
+	for _, r := range rows {
+		switch r.Cycle {
+		case 0:
+			first = r.Variance
+		case cycles:
+			rate := 0.0
+			if first > 0 && r.Variance > 0 {
+				rate = math.Pow(r.Variance/first, 1/float64(cycles))
+			}
+			rates[r.Cell] = append(rates[r.Cell], rate)
+		}
+	}
+	return rates
 }

@@ -1,102 +1,37 @@
 // Package experiments contains one driver per evaluation artifact of the
 // paper (Figures 3(a), 3(b) and 4) plus the ablation studies DESIGN.md
-// calls out. Each driver is deterministic given its seed and emits the
-// same series the paper plots, aggregated over repeated runs with the
-// statistics of internal/stats.
+// calls out. Each driver is a thin Spec builder over the declarative
+// scenario engine (internal/scenario): it renders its configuration as
+// scenario specs, runs them on the engine's worker pool, and reduces
+// the streamed rows into the series the paper plots. Every driver is
+// deterministic given its seed; the spec seeds and per-repeat stream
+// derivation reproduce the historical nested-loop drivers byte for
+// byte.
 package experiments
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-
 	"repro/internal/topology"
 	"repro/internal/xrand"
 )
 
-// TopologyKind names the overlays the drivers can run on.
-type TopologyKind string
+// TopologyKind names the overlays the drivers can run on. It aliases
+// topology.Kind, the shared vocabulary of experiment drivers, scenario
+// specs and CLI flags.
+type TopologyKind = topology.Kind
 
 // Supported overlay kinds. Complete and KRegular are the two the paper
 // evaluates; the rest quantify sensitivity to less random overlays.
 const (
-	Complete   TopologyKind = "complete"
-	KRegular   TopologyKind = "kregular"
-	RandomView TopologyKind = "view"
-	Ring       TopologyKind = "ring"
-	SmallWorld TopologyKind = "smallworld"
-	ScaleFree  TopologyKind = "scalefree"
+	Complete   = topology.KindComplete
+	KRegular   = topology.KindKRegular
+	RandomView = topology.KindRandomView
+	Ring       = topology.KindRing
+	SmallWorld = topology.KindSmallWorld
+	ScaleFree  = topology.KindScaleFree
 )
 
 // BuildTopology constructs the named overlay on n nodes. view is the
 // degree/view-size parameter where applicable (the paper uses 20).
 func BuildTopology(kind TopologyKind, n, view int, rng *xrand.Rand) (topology.Graph, error) {
-	switch kind {
-	case Complete:
-		return topology.NewComplete(n)
-	case KRegular:
-		return topology.NewKRegular(n, view, rng)
-	case RandomView:
-		return topology.NewRandomView(n, view, rng)
-	case Ring:
-		return topology.NewRing(n)
-	case SmallWorld:
-		return topology.NewWattsStrogatz(n, view, 0.1, rng)
-	case ScaleFree:
-		return topology.NewBarabasiAlbert(n, max(1, view/2), rng)
-	default:
-		return nil, fmt.Errorf("experiments: unknown topology %q", kind)
-	}
-}
-
-// gaussianVector returns n iid standard normal values — the "vector of
-// uncorrelated values" with zero mean the paper's simulations start from.
-func gaussianVector(n int, rng *xrand.Rand) []float64 {
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = rng.NormFloat64()
-	}
-	return out
-}
-
-// forEachRun executes fn for run indices 0..runs-1 across a bounded
-// worker pool, handing each run a generator derived deterministically
-// from seed and the run index, so results are independent of scheduling.
-// The first error encountered is returned (remaining runs still execute).
-func forEachRun(runs int, seed uint64, fn func(run int, rng *xrand.Rand) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > runs {
-		workers = runs
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	idx := make(chan int)
-	var (
-		wg     sync.WaitGroup
-		mu     sync.Mutex
-		result error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for run := range idx {
-				rng := xrand.New(seed + 0x9e3779b97f4a7c15*uint64(run+1))
-				if err := fn(run, rng); err != nil {
-					mu.Lock()
-					if result == nil {
-						result = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for run := 0; run < runs; run++ {
-		idx <- run
-	}
-	close(idx)
-	wg.Wait()
-	return result
+	return topology.Build(kind, n, view, rng)
 }

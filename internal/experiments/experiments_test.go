@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/avg"
+	"repro/internal/scenario"
 	"repro/internal/xrand"
 )
 
@@ -336,32 +337,28 @@ func TestDefaultsAreSane(t *testing.T) {
 	}
 }
 
-func TestOneCycleReductionMatchesRunner(t *testing.T) {
-	// Sanity link between the harness helper and the avg package.
-	rng := xrand.New(9)
-	ratio, err := oneCycleReduction("pm", Complete, 1000, 0, rng)
+func TestScenarioOneCycleReductionMatchesTheory(t *testing.T) {
+	// Sanity link between the scenario engine and the §3.3 theory: pm
+	// one-cycle reduction on the complete graph averages ≈ 1/4.
+	var col scenario.Collector
+	err := scenario.Run([]scenario.Spec{{
+		Size: 1000, Cycles: 1, Selector: "pm", Repeats: 8, Seed: 9,
+	}}, &col)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want, ok := avg.TheoreticalRate("pm"); !ok || math.Abs(ratio-want) > 0.05 {
-		t.Fatalf("pm one-cycle = %.4f, want ≈ %.4f", ratio, want)
-	}
-}
-
-func TestForEachRunPropagatesError(t *testing.T) {
-	err := forEachRun(10, 1, func(run int, rng *xrand.Rand) error {
-		if run == 5 {
-			return errSentinel
+	var acc, before float64
+	n := 0
+	for _, r := range col.Results() {
+		if r.Cycle == 0 {
+			before = r.Variance
+			continue
 		}
-		return nil
-	})
-	if err != errSentinel {
-		t.Fatalf("err = %v, want sentinel", err)
+		acc += r.Variance / before
+		n++
+	}
+	want, ok := avg.TheoreticalRate("pm")
+	if got := acc / float64(n); !ok || math.Abs(got-want) > 0.05 {
+		t.Fatalf("pm one-cycle = %.4f, want ≈ %.4f", got, want)
 	}
 }
-
-var errSentinel = &sentinelError{}
-
-type sentinelError struct{}
-
-func (*sentinelError) Error() string { return "sentinel" }

@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 
-	"repro/internal/avg"
+	"repro/internal/scenario"
 	"repro/internal/stats"
-	"repro/internal/xrand"
 )
 
 // Fig3aConfig parameterizes the Figure 3(a) reproduction: the average
@@ -25,6 +25,11 @@ type Fig3aConfig struct {
 	Topologies []TopologyKind
 	// ViewSize is the degree of the non-complete overlays (20).
 	ViewSize int
+	// Shards routes shardable combinations (seq or pm on the complete
+	// overlay) through the sharded executor: 0 keeps the exact
+	// sequential path, -1 selects one shard per core. Non-shardable
+	// combinations fall back to sequential execution.
+	Shards int
 	// Seed seeds the whole experiment.
 	Seed uint64
 }
@@ -51,53 +56,42 @@ func Fig3a(cfg Fig3aConfig) ([]*stats.Series, error) {
 	var out []*stats.Series
 	for _, sel := range cfg.Selectors {
 		for _, topo := range cfg.Topologies {
-			series := stats.NewSeries(fmt.Sprintf("getPair_%s, %s", sel, topo))
-			for _, n := range cfg.Sizes {
-				ratios := make([]float64, cfg.Runs)
-				comboSeed := cfg.Seed ^ hashLabel(sel, string(topo), n)
-				err := forEachRun(cfg.Runs, comboSeed, func(run int, rng *xrand.Rand) error {
-					ratio, err := oneCycleReduction(sel, topo, n, cfg.ViewSize, rng)
-					if err != nil {
-						return err
-					}
-					ratios[run] = ratio
-					return nil
-				})
-				if err != nil {
-					return nil, err
+			shards := shardsFor(cfg.Shards, sel, topo)
+			specs := make([]scenario.Spec, len(cfg.Sizes))
+			for i, n := range cfg.Sizes {
+				specs[i] = scenario.Spec{
+					Name:     "fig3a",
+					Size:     n,
+					Cycles:   1,
+					Selector: sel,
+					Topology: string(topo),
+					ViewSize: cfg.ViewSize,
+					Shards:   shards,
+					Repeats:  cfg.Runs,
+					Seed:     cfg.Seed ^ hashLabel(sel, string(topo), n),
 				}
-				for _, r := range ratios {
-					series.Observe(float64(n), r)
+			}
+			var col scenario.Collector
+			if err := specRunner(shards).Run(specs, &col); err != nil {
+				return nil, err
+			}
+			series := stats.NewSeries(fmt.Sprintf("getPair_%s, %s", sel, topo))
+			var before float64
+			for _, r := range col.Results() {
+				switch r.Cycle {
+				case 0:
+					before = r.Variance
+					if before == 0 {
+						return nil, fmt.Errorf("experiments: degenerate zero initial variance (n=%d)", r.Size)
+					}
+				case 1:
+					series.Observe(float64(cfg.Sizes[r.Cell]), r.Variance/before)
 				}
 			}
 			out = append(out, series)
 		}
 	}
 	return out, nil
-}
-
-// oneCycleReduction builds a fresh overlay and value vector, runs one AVG
-// cycle and returns σ₁²/σ₀².
-func oneCycleReduction(sel string, topo TopologyKind, n, view int, rng *xrand.Rand) (float64, error) {
-	g, err := BuildTopology(topo, n, view, rng)
-	if err != nil {
-		return 0, err
-	}
-	selector, err := avg.NewSelector(sel)
-	if err != nil {
-		return 0, err
-	}
-	values := gaussianVector(n, rng)
-	runner, err := avg.NewRunner(g, selector, values, rng)
-	if err != nil {
-		return 0, err
-	}
-	before := runner.Variance()
-	after := runner.Cycle()
-	if before == 0 {
-		return 0, fmt.Errorf("experiments: degenerate zero initial variance (n=%d)", n)
-	}
-	return after / before, nil
 }
 
 // Fig3bConfig parameterizes the Figure 3(b) reproduction: the per-cycle
@@ -114,6 +108,9 @@ type Fig3bConfig struct {
 	Topologies []TopologyKind
 	// ViewSize is the degree of the non-complete overlays (20).
 	ViewSize int
+	// Shards mirrors Fig3aConfig: sharded execution for shardable
+	// combinations (0 = sequential, -1 = one shard per core).
+	Shards int
 	// Seed seeds the whole experiment.
 	Seed uint64
 }
@@ -140,24 +137,35 @@ func Fig3b(cfg Fig3bConfig) ([]*stats.Series, error) {
 	var out []*stats.Series
 	for _, sel := range cfg.Selectors {
 		for _, topo := range cfg.Topologies {
-			series := stats.NewSeries(fmt.Sprintf("getPair_%s, %s", sel, topo))
-			perRun := make([][]float64, cfg.Runs)
-			comboSeed := cfg.Seed ^ hashLabel(sel, string(topo), cfg.Size)
-			err := forEachRun(cfg.Runs, comboSeed, func(run int, rng *xrand.Rand) error {
-				ratios, err := cycleRatios(sel, topo, cfg.Size, cfg.ViewSize, cfg.Cycles, rng)
-				if err != nil {
-					return err
-				}
-				perRun[run] = ratios
-				return nil
-			})
-			if err != nil {
+			shards := shardsFor(cfg.Shards, sel, topo)
+			spec := scenario.Spec{
+				Name:     "fig3b",
+				Size:     cfg.Size,
+				Cycles:   cfg.Cycles,
+				Selector: sel,
+				Topology: string(topo),
+				ViewSize: cfg.ViewSize,
+				Shards:   shards,
+				Repeats:  cfg.Runs,
+				Seed:     cfg.Seed ^ hashLabel(sel, string(topo), cfg.Size),
+			}
+			var col scenario.Collector
+			if err := specRunner(shards).Run([]scenario.Spec{spec}, &col); err != nil {
 				return nil, err
 			}
-			for _, ratios := range perRun {
-				for c, r := range ratios {
-					series.Observe(float64(c+1), r)
+			series := stats.NewSeries(fmt.Sprintf("getPair_%s, %s", sel, topo))
+			prev, converged := 0.0, false
+			for _, r := range col.Results() {
+				if r.Cycle == 0 {
+					prev, converged = r.Variance, false
+					continue
 				}
+				if converged || prev <= 0 {
+					converged = true // numerically converged; further ratios are noise
+					continue
+				}
+				series.Observe(float64(r.Cycle), r.Variance/prev)
+				prev = r.Variance
 			}
 			out = append(out, series)
 		}
@@ -165,47 +173,35 @@ func Fig3b(cfg Fig3bConfig) ([]*stats.Series, error) {
 	return out, nil
 }
 
-// cycleRatios runs `cycles` AVG iterations and returns the consecutive
-// variance ratios σᵢ²/σᵢ₋₁².
-func cycleRatios(sel string, topo TopologyKind, n, view, cycles int, rng *xrand.Rand) ([]float64, error) {
-	g, err := BuildTopology(topo, n, view, rng)
-	if err != nil {
-		return nil, err
-	}
-	selector, err := avg.NewSelector(sel)
-	if err != nil {
-		return nil, err
-	}
-	values := gaussianVector(n, rng)
-	runner, err := avg.NewRunner(g, selector, values, rng)
-	if err != nil {
-		return nil, err
-	}
-	variances := runner.Run(cycles)
-	ratios := make([]float64, 0, cycles)
-	for i := 1; i < len(variances); i++ {
-		if variances[i-1] <= 0 {
-			break // numerically converged; further ratios are noise
-		}
-		ratios = append(ratios, variances[i]/variances[i-1])
-	}
-	return ratios, nil
-}
-
 // hashLabel mixes experiment coordinates into a seed offset so that every
 // selector×topology×size combination draws an independent random stream.
+// It delegates to the scenario engine's SeedTag, which implements the
+// identical FNV mix — that identity is what keeps the rewritten drivers'
+// output byte-compatible with the historical nested loops.
 func hashLabel(sel, topo string, n int) uint64 {
-	h := uint64(1469598103934665603) // FNV offset basis
-	mix := func(s string) {
-		for i := 0; i < len(s); i++ {
-			h ^= uint64(s[i])
-			h *= 1099511628211
-		}
+	return scenario.SeedTag(sel, topo, strconv.Itoa(n))
+}
+
+// shardsFor returns the shard count for one selector×topology
+// combination: the requested count when the combination can run on the
+// sharded executor (seq or pm pairing on the complete overlay), else 0
+// (exact sequential execution).
+func shardsFor(shards int, sel string, topo TopologyKind) int {
+	if shards == 0 || topo != Complete {
+		return 0
 	}
-	mix(sel)
-	mix("|")
-	mix(topo)
-	mix("|")
-	mix(fmt.Sprintf("%d", n))
-	return h
+	if sel != "seq" && sel != "pm" {
+		return 0
+	}
+	return shards
+}
+
+// specRunner returns the scenario runner for a sweep: the default
+// worker pool for sequential sweeps, a single worker when sharded
+// execution is requested (the shards get the cores instead).
+func specRunner(shards int) scenario.Runner {
+	if shards != 0 {
+		return scenario.Runner{Workers: 1}
+	}
+	return scenario.Runner{}
 }

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/churn"
 	"repro/internal/epoch"
+	"repro/internal/scenario"
 )
 
 // Fig4Config parameterizes the Figure 4 reproduction: network size
@@ -47,29 +47,43 @@ func DefaultFig4() Fig4Config {
 	}
 }
 
+// Spec renders the Figure 4 scenario as a declarative scenario spec —
+// the same description a user could feed to cmd/aggsim -scenario.
+func (cfg Fig4Config) Spec() scenario.Spec {
+	mid := (cfg.MinSize + cfg.MaxSize) / 2
+	return scenario.Spec{
+		Name:   "fig4",
+		Size:   mid,
+		Cycles: cfg.TotalCycles,
+		Churn: &scenario.ChurnSpec{
+			Model:       "oscillating",
+			Min:         cfg.MinSize,
+			Max:         cfg.MaxSize,
+			Period:      cfg.OscillationPeriod,
+			Fluctuation: cfg.Fluctuation,
+		},
+		SizeEstimation: &scenario.SizeEstimationSpec{
+			EpochCycles: cfg.EpochCycles,
+			Instances:   cfg.Instances,
+		},
+		Seed: cfg.Seed,
+	}
+}
+
 // Fig4 runs the scenario and returns the per-epoch reports (one point of
 // the figure per epoch: converged estimate with min/max range vs actual
-// size).
+// size). The scenario spec is translated to the epoch simulator with the
+// configured seed directly, so output is byte-compatible with the
+// pre-scenario driver.
 func Fig4(cfg Fig4Config) ([]epoch.EpochReport, error) {
 	if cfg.MinSize < 4 || cfg.MaxSize < cfg.MinSize {
 		return nil, fmt.Errorf("experiments: fig4 needs 4 ≤ MinSize ≤ MaxSize, got %d..%d", cfg.MinSize, cfg.MaxSize)
 	}
-	mid := (cfg.MinSize + cfg.MaxSize) / 2
-	return epoch.RunSizeSim(epoch.SizeSimConfig{
-		InitialSize: mid,
-		EpochCycles: cfg.EpochCycles,
-		TotalCycles: cfg.TotalCycles,
-		Instances:   cfg.Instances,
-		Churn: churn.Schedule{
-			Model: churn.Oscillating{
-				Min:    cfg.MinSize,
-				Max:    cfg.MaxSize,
-				Period: cfg.OscillationPeriod,
-			},
-			Fluctuation: cfg.Fluctuation,
-		},
-		Seed: cfg.Seed,
-	})
+	simCfg, err := cfg.Spec().SizeSimConfig(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return epoch.RunSizeSim(simCfg)
 }
 
 // Fig4TSV renders the reports as tab-separated rows matching the figure's

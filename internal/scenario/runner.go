@@ -1,0 +1,422 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/epoch"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// Runner executes specs on a worker pool. The zero value is ready to
+// use (one worker per GOMAXPROCS). Each worker keeps one reusable
+// dynamic-overlay kernel (rebound per run via Resize/ReshapeAvg/
+// Reseed), so steady-state sweeps allocate only per-run value vectors.
+type Runner struct {
+	// Workers bounds the pool (≤ 0 selects GOMAXPROCS). Sweeps of
+	// sharded specs usually want Workers = 1 so the shards get the
+	// cores instead of the pool.
+	Workers int
+}
+
+// Run executes every spec (each repeated Spec.Repeats times) and
+// streams Result rows to out in deterministic order: specs in slice
+// order, repeats ascending, cycles ascending. Rows stream as runs
+// finish — a completed run is emitted as soon as every earlier run has
+// been — and out is flushed once at the end. The first error (in run
+// order) aborts the sweep.
+func (r Runner) Run(specs []Spec, out Writer) error {
+	norm := make([]Spec, len(specs))
+	type unit struct{ cell, rep int }
+	var units []unit
+	for i, s := range specs {
+		ns, err := s.normalized()
+		if err != nil {
+			return err
+		}
+		norm[i] = ns
+		for rep := 0; rep < ns.Repeats; rep++ {
+			units = append(units, unit{i, rep})
+		}
+	}
+	if len(units) == 0 {
+		return out.Flush()
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int
+		parked   = make(map[int][]Result)
+		errs     = make([]error, len(units))
+		writeErr error
+		failed   atomic.Bool
+	)
+	// emit parks a finished run and drains the reorder buffer: rows
+	// reach the writer strictly in unit order, under the mutex.
+	emit := func(idx int, rows []Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		parked[idx] = rows
+		for {
+			ready, ok := parked[next]
+			if !ok {
+				return
+			}
+			delete(parked, next)
+			if writeErr == nil && !failed.Load() {
+				for _, row := range ready {
+					if err := out.Write(row); err != nil {
+						writeErr = err
+						failed.Store(true)
+						break
+					}
+				}
+			}
+			next++
+		}
+	}
+
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var wk worker
+			for i := range idxCh {
+				if failed.Load() {
+					emit(i, nil)
+					continue
+				}
+				u := units[i]
+				rows, err := wk.execute(norm[u.cell], u.cell, u.rep)
+				if err != nil {
+					errs[i] = fmt.Errorf("%s rep %d: %w", norm[u.cell].describe(), u.rep, err)
+					failed.Store(true)
+					rows = nil
+				}
+				emit(i, rows)
+			}
+		}()
+	}
+	for i := range units {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if writeErr != nil {
+		return writeErr
+	}
+	return out.Flush()
+}
+
+// RunGrid expands the grid and runs the resulting specs.
+func (r Runner) RunGrid(g Grid, out Writer) error {
+	specs, err := g.Expand()
+	if err != nil {
+		return err
+	}
+	return r.Run(specs, out)
+}
+
+// Run executes specs with a default Runner.
+func Run(specs []Spec, out Writer) error { return Runner{}.Run(specs, out) }
+
+// RunGrid expands and executes a grid with a default Runner.
+func RunGrid(g Grid, out Writer) error { return Runner{}.RunGrid(g, out) }
+
+// worker is one pool worker's reusable state.
+type worker struct {
+	kern *sim.Kernel // reusable dynamic-overlay kernel
+	vbuf []float64   // value-vector scratch
+	cbuf []float64   // crash survivor scratch
+	sbuf []float64   // quantile sort scratch
+}
+
+// execute runs one (spec, repeat) unit and returns its rows. The
+// random stream is consumed in the fixed order overlay → values →
+// crash permutation → kernel, so trajectories depend only on the spec
+// and repeat index — and, for sequential complete-overlay runs, match
+// the historical experiment drivers bit for bit.
+func (wk *worker) execute(s Spec, cell, rep int) ([]Result, error) {
+	seed := repSeed(s.Seed, rep)
+	if s.SizeEstimation != nil {
+		return runSizeEstimation(s, cell, rep, seed)
+	}
+	rng := xrand.New(seed)
+	kind := topology.Kind(s.Topology)
+	complete := kind == topology.KindComplete
+	sharded := s.Shards != 0 && s.Shards != 1
+
+	var graph topology.Graph
+	if !complete {
+		g, err := topology.Build(kind, s.Size, s.ViewSize, rng)
+		if err != nil {
+			return nil, err
+		}
+		graph = g
+	}
+
+	// Initial vector: supplied values or iid standard normals.
+	n := s.Size
+	values := resizeBuf(&wk.vbuf, n)
+	if len(s.Values) > 0 {
+		copy(values, s.Values)
+	} else {
+		for i := range values {
+			values[i] = rng.NormFloat64()
+		}
+	}
+
+	rows := make([]Result, 0, s.Cycles+2)
+	if s.CrashFraction > 0 {
+		// Pre-crash snapshot, then drop a random subset: survivors keep
+		// their values, the crashed mass disappears (§4 crash model).
+		rows = append(rows, wk.row(s, cell, rep, -1, values, nan))
+		perm := rng.Perm(n)
+		survivors := n - int(s.CrashFraction*float64(n))
+		kept := resizeBuf(&wk.cbuf, survivors)
+		for i := 0; i < survivors; i++ {
+			kept[i] = values[perm[i]]
+		}
+		values, n = kept, survivors
+	}
+
+	if complete && !sharded && (s.Selector == "pm" || s.Selector == "pmrand") {
+		// Perfect-matching selectors require the explicit complete
+		// graph (they reject the dynamic overlay). Consumes no
+		// randomness, so building it after the crash step is safe.
+		g, err := topology.NewComplete(n)
+		if err != nil {
+			return nil, err
+		}
+		graph = g
+	}
+
+	kern, err := wk.kernel(s, graph, n, rng)
+	if err != nil {
+		return nil, err
+	}
+	for f := 0; f < kern.Fields(); f++ {
+		if err := kern.SetValues(f, values); err != nil {
+			return nil, err
+		}
+	}
+
+	if s.Wait != "" {
+		return wk.runEvents(s, cell, rep, kern)
+	}
+
+	var churnSched sim.ChurnSchedule
+	if s.Churn != nil {
+		sched, err := s.Churn.schedule(s.Size)
+		if err != nil {
+			return nil, err
+		}
+		churnSched = sim.Churn(sched)
+	}
+
+	first := wk.row(s, cell, rep, 0, kern.Column(0), nan)
+	rows = append(rows, first)
+	var0, prevVar := first.Variance, first.Variance
+	for c := 1; c <= s.Cycles; c++ {
+		if churnSched != nil {
+			remove, add := churnSched.Plan(kern.CycleCount(), kern.Size())
+			kern.RemoveRandom(remove)
+			kern.Grow(add)
+		}
+		kern.Cycle()
+		row := wk.row(s, cell, rep, c, kern.Column(0), prevVar)
+		rows = append(rows, row)
+		prevVar = row.Variance
+		if s.TargetRatio > 0 && row.Variance <= s.TargetRatio*var0 {
+			break
+		}
+	}
+	return rows, nil
+}
+
+// kernel returns the kernel for a run: the worker's reusable
+// dynamic-overlay kernel when the spec allows it (complete topology,
+// seq pairing, cycle mode, all-average fields, matching shard count),
+// or a freshly built one. Reuse is bit-equivalent to a fresh build
+// (see sim.Kernel.Reseed).
+func (wk *worker) kernel(s Spec, graph topology.Graph, n int, rng *xrand.Rand) (*sim.Kernel, error) {
+	ops, err := s.ops()
+	if err != nil {
+		return nil, err
+	}
+	loss := s.lossModel()
+	allAvg := true
+	for _, op := range ops {
+		if op != sim.OpAvg {
+			allAvg = false
+			break
+		}
+	}
+	reusable := graph == nil && s.Selector == "seq" && s.Wait == "" && allAvg
+	// Reuse only when the existing kernel's effective shard count is
+	// exactly what a fresh build would resolve to (sim.New clamps the
+	// request by GOMAXPROCS and n/2) — otherwise a warm worker and a
+	// cold one would run the same spec with different shard layouts,
+	// making the sweep scheduling-dependent.
+	if reusable && wk.kern != nil && wk.kern.Shards() == sim.ResolveShards(s.Shards, n) {
+		wk.kern.ReshapeAvg(len(ops), n)
+		if err := wk.kern.Reseed(rng); err != nil {
+			return nil, err
+		}
+		wk.kern.SetLoss(loss)
+		return wk.kern, nil
+	}
+	cfg := sim.Config{
+		Ops:  ops,
+		Loss: loss,
+		RNG:  rng,
+	}
+	if graph != nil {
+		cfg.Graph = graph
+	} else {
+		cfg.Size = n
+	}
+	sharded := s.Shards != 0 && s.Shards != 1
+	if sharded {
+		cfg.Shards = s.Shards
+		if s.Selector == "pm" {
+			cfg.Selector = sim.NewPM()
+		}
+	} else {
+		switch s.Wait {
+		case "constant":
+			cfg.Wait = sim.ConstantWait{}
+		case "exponential":
+			cfg.Wait = sim.ExponentialWait{}
+		default:
+			sel, err := sim.NewSelector(s.Selector)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Selector = sel
+		}
+	}
+	kern, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if reusable {
+		wk.kern = kern
+	}
+	return kern, nil
+}
+
+// runEvents drives a wait-mode run: rows at every integer Δt.
+func (wk *worker) runEvents(s Spec, cell, rep int, kern *sim.Kernel) ([]Result, error) {
+	rows := make([]Result, 0, s.Cycles+1)
+	first := wk.row(s, cell, rep, 0, kern.Column(0), nan)
+	rows = append(rows, first)
+	prevVar := first.Variance
+	c := 0
+	_, err := kern.RunEvents(s.Cycles, func() {
+		c++
+		row := wk.row(s, cell, rep, c, kern.Column(0), prevVar)
+		rows = append(rows, row)
+		prevVar = row.Variance
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// row reduces one column snapshot into a Result.
+func (wk *worker) row(s Spec, cell, rep, cycle int, col []float64, prevVar float64) Result {
+	lo, hi := stats.MinMax(col)
+	r := Result{
+		Scenario:  s.Name,
+		Label:     s.Label,
+		Cell:      cell,
+		Rep:       rep,
+		Cycle:     cycle,
+		Size:      len(col),
+		Mean:      stats.Mean(col),
+		Variance:  stats.Variance(col),
+		Reduction: nan,
+		Min:       lo,
+		Max:       hi,
+		P10:       nan,
+		P50:       nan,
+		P90:       nan,
+	}
+	if prevVar > 0 {
+		r.Reduction = r.Variance / prevVar
+	}
+	if s.Quantiles {
+		buf := append(wk.sbuf[:0], col...)
+		sort.Float64s(buf)
+		wk.sbuf = buf
+		r.P10 = stats.QuantileSorted(buf, 0.10)
+		r.P50 = stats.QuantileSorted(buf, 0.50)
+		r.P90 = stats.QuantileSorted(buf, 0.90)
+	}
+	return r
+}
+
+// runSizeEstimation executes a §4 size-estimation spec: one row per
+// epoch with the participants' estimate statistics.
+func runSizeEstimation(s Spec, cell, rep int, seed uint64) ([]Result, error) {
+	cfg, err := s.sizeSimConfig(seed)
+	if err != nil {
+		return nil, err
+	}
+	reports, err := epoch.RunSizeSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Result, 0, len(reports))
+	for _, rep0 := range reports {
+		rows = append(rows, Result{
+			Scenario:  s.Name,
+			Label:     s.Label,
+			Cell:      cell,
+			Rep:       rep,
+			Cycle:     rep0.EndCycle,
+			Size:      rep0.SizeAtEnd,
+			Mean:      rep0.EstimateMean,
+			Variance:  nan,
+			Reduction: nan,
+			Min:       rep0.EstimateMin,
+			Max:       rep0.EstimateMax,
+			P10:       nan,
+			P50:       nan,
+			P90:       nan,
+		})
+	}
+	return rows, nil
+}
+
+// resizeBuf returns *buf resized to n, growing the backing array as
+// needed.
+func resizeBuf(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}

@@ -1,0 +1,406 @@
+// Package scenario makes experiments data. A Spec is one serializable
+// scenario description — size, cycles, fields, topology, selector,
+// wait policy, loss, churn, sharding, repeats, seed — and a Grid
+// expands a base Spec crossed with swept Axes into the full
+// cross-product of concrete runs. A Runner executes specs on a worker
+// pool (one reusable sim.Kernel per worker), streams per-cycle
+// reductions (mean, variance, convergence factor, extrema, optional
+// percentiles) as Result rows, and emits them through pluggable
+// Writers (CSV, JSON-lines, in-memory collector).
+//
+// Every paper figure and ablation in internal/experiments is a thin
+// Spec builder over this engine, and cmd/aggsim -scenario runs
+// user-authored JSON scenarios without recompiling. Determinism
+// contract: a run's trajectory depends only on the concrete Spec and
+// the repeat index — per-repeat generators are derived as
+// xrand.New(Seed + 0x9e3779b97f4a7c15·(rep+1)), the historical
+// derivation of the experiment harness, so the rewritten figure
+// drivers reproduce their pre-scenario output byte for byte.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/churn"
+	"repro/internal/epoch"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// DefaultCycles is the cycle count a Spec runs when none is given —
+// the paper's standard 30-cycle horizon.
+const DefaultCycles = 30
+
+// DefaultViewSize is the degree parameter of non-complete overlays
+// when none is given (20, the paper's choice).
+const DefaultViewSize = 20
+
+// AutoShards selects one shard per GOMAXPROCS worker (sim.AutoShards).
+const AutoShards = sim.AutoShards
+
+// ChurnSpec prescribes per-cycle membership churn: a size model
+// (constant or oscillating) plus a constant per-cycle fluctuation.
+// Joiners enter with zero-valued fields, the §4 indicator convention.
+type ChurnSpec struct {
+	// Model is "constant" (default: hold the initial size) or
+	// "oscillating" (the Figure 4 day/night swing between Min and Max).
+	Model string `json:"model,omitempty"`
+	// Min and Max bound the oscillation; ignored by the constant model.
+	Min int `json:"min,omitempty"`
+	Max int `json:"max,omitempty"`
+	// Period is the oscillation period in cycles.
+	Period int `json:"period,omitempty"`
+	// Fluctuation is the per-cycle node turnover on top of the drift.
+	Fluctuation int `json:"fluctuation,omitempty"`
+}
+
+// schedule translates the spec into the churn package's schedule.
+func (c *ChurnSpec) schedule(initialSize int) (churn.Schedule, error) {
+	s := churn.Schedule{Fluctuation: c.Fluctuation}
+	switch c.Model {
+	case "", "constant":
+		s.Model = churn.Constant{N: initialSize}
+	case "oscillating":
+		if c.Min < 2 || c.Max < c.Min || c.Period < 1 {
+			return s, fmt.Errorf("scenario: oscillating churn needs 2 ≤ min ≤ max and period ≥ 1, got min=%d max=%d period=%d", c.Min, c.Max, c.Period)
+		}
+		s.Model = churn.Oscillating{Min: c.Min, Max: c.Max, Period: c.Period}
+	default:
+		return s, fmt.Errorf("scenario: unknown churn model %q (want constant or oscillating)", c.Model)
+	}
+	return s, nil
+}
+
+// SizeEstimationSpec switches a Spec to the §4 application: network
+// size estimation by anti-entropy counting with epoch restarts under
+// the spec's churn schedule. One Result row is emitted per epoch
+// (mean/min/max of the participants' estimates, actual size at epoch
+// end).
+type SizeEstimationSpec struct {
+	// EpochCycles is the epoch length in cycles (default 30).
+	EpochCycles int `json:"epoch_cycles,omitempty"`
+	// Instances is the number of concurrent estimation instances per
+	// epoch (default 1, the paper's basic mechanism).
+	Instances int `json:"instances,omitempty"`
+}
+
+// Spec describes one concrete scenario. The zero value of every
+// optional field selects the paper's defaults: a single average field
+// on the complete overlay with seq pairing, lossless exchanges, no
+// churn, exact sequential execution, one repeat.
+type Spec struct {
+	// Name labels the scenario in Result rows and output files.
+	Name string `json:"name,omitempty"`
+	// Label carries the swept-axis assignment ("selector=seq,size=1000")
+	// when the spec came out of Grid.Expand; empty for hand-built specs.
+	Label string `json:"label,omitempty"`
+	// Size is the network size N (≥ 2; ≥ 4 for size estimation).
+	Size int `json:"size"`
+	// Cycles is the horizon: AVG cycles, Δt units in wait mode, or
+	// total cycles in size-estimation mode (default 30).
+	Cycles int `json:"cycles,omitempty"`
+	// Ops lists the per-field merge operators ("avg", "min", "max");
+	// empty means a single average field. Every field is initialized
+	// with the same value vector.
+	Ops []string `json:"ops,omitempty"`
+	// Selector is the GETPAIR implementation: "pm", "rand", "seq" or
+	// "pmrand" (default "seq", the practical protocol).
+	Selector string `json:"selector,omitempty"`
+	// Topology is the overlay: "complete" (default), "kregular",
+	// "view", "ring", "smallworld" or "scalefree".
+	Topology string `json:"topology,omitempty"`
+	// ViewSize is the degree parameter of non-complete overlays
+	// (default 20).
+	ViewSize int `json:"view_size,omitempty"`
+	// Wait switches to event-based execution: "constant" or
+	// "exponential" waiting times (§1.1). Empty keeps cycle-based runs.
+	Wait string `json:"wait,omitempty"`
+	// Loss is the message-loss model: "none" (default), "symmetric"
+	// (whole exchanges dropped) or "reply" (the deployed protocol's
+	// asymmetric reply loss). An empty Loss with LossProb > 0 defaults
+	// to "reply" in cycle mode and "symmetric" in wait mode, matching
+	// the historical semantics of each mode.
+	Loss string `json:"loss,omitempty"`
+	// LossProb is the per-message drop probability of the loss model.
+	LossProb float64 `json:"loss_prob,omitempty"`
+	// Churn, when non-nil, applies per-cycle membership churn.
+	Churn *ChurnSpec `json:"churn,omitempty"`
+	// CrashFraction kills this fraction of nodes right after
+	// initialization (their value mass disappears); a pre-crash
+	// snapshot row is emitted with Cycle = -1. Requires the complete
+	// topology.
+	CrashFraction float64 `json:"crash_fraction,omitempty"`
+	// SizeEstimation, when non-nil, runs the §4 size estimator instead
+	// of a plain aggregation run.
+	SizeEstimation *SizeEstimationSpec `json:"size_estimation,omitempty"`
+	// Shards selects the executor: 0 (default) the exact sequential
+	// path, ≥ 2 the sharded tournament executor, -1 one shard per
+	// GOMAXPROCS worker. Sharding requires the complete topology and
+	// the seq or pm selector.
+	Shards int `json:"shards,omitempty"`
+	// Repeats is the number of independent repetitions (default 1).
+	Repeats int `json:"repeats,omitempty"`
+	// Seed seeds the scenario; repeat r derives its own stream from
+	// Seed + 0x9e3779b97f4a7c15·(r+1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Values supplies the initial vector (length Size); empty draws
+	// iid standard normal values, the paper's uncorrelated start.
+	Values []float64 `json:"values,omitempty"`
+	// TargetRatio, when > 0, stops a run early once the field-0
+	// variance falls to TargetRatio·σ₀² (cycle mode only).
+	TargetRatio float64 `json:"target_ratio,omitempty"`
+	// Quantiles adds the P10/P50/P90 percentiles of field 0 to every
+	// emitted row (one extra sort per cycle).
+	Quantiles bool `json:"quantiles,omitempty"`
+}
+
+// knownSelectors are the §3.3 GETPAIR implementations.
+var knownSelectors = []string{"pm", "rand", "seq", "pmrand"}
+
+// normalized returns a copy of the spec with defaults applied, or an
+// error describing the first invalid or unsupported combination.
+func (s Spec) normalized() (Spec, error) {
+	minSize := 2
+	if s.SizeEstimation != nil {
+		minSize = 4
+	}
+	if s.Size < minSize {
+		return s, fmt.Errorf("scenario: %s needs size ≥ %d, got %d", s.describe(), minSize, s.Size)
+	}
+	if s.Cycles == 0 {
+		s.Cycles = DefaultCycles
+	}
+	if s.Cycles < 1 {
+		return s, fmt.Errorf("scenario: %s needs cycles ≥ 1, got %d", s.describe(), s.Cycles)
+	}
+	if s.Selector == "" {
+		s.Selector = "seq"
+	}
+	if !slices.Contains(knownSelectors, s.Selector) {
+		return s, fmt.Errorf("scenario: %s: unknown selector %q (want pm, rand, seq or pmrand)", s.describe(), s.Selector)
+	}
+	if s.Topology == "" {
+		s.Topology = string(topology.KindComplete)
+	}
+	if !slices.Contains(topology.Kinds(), topology.Kind(s.Topology)) {
+		return s, fmt.Errorf("scenario: %s: unknown topology %q", s.describe(), s.Topology)
+	}
+	if s.ViewSize == 0 {
+		s.ViewSize = DefaultViewSize
+	}
+	if s.Repeats == 0 {
+		s.Repeats = 1
+	}
+	if s.Repeats < 1 {
+		return s, fmt.Errorf("scenario: %s needs repeats ≥ 1, got %d", s.describe(), s.Repeats)
+	}
+	if len(s.Values) > 0 && len(s.Values) != s.Size {
+		return s, fmt.Errorf("scenario: %s: values length %d does not match size %d", s.describe(), len(s.Values), s.Size)
+	}
+	if _, err := s.ops(); err != nil {
+		return s, err
+	}
+	if s.LossProb < 0 || s.LossProb >= 1 {
+		return s, fmt.Errorf("scenario: %s: loss_prob must be in [0, 1), got %g", s.describe(), s.LossProb)
+	}
+	if s.Loss == "" && s.LossProb > 0 {
+		if s.Wait != "" {
+			s.Loss = "symmetric"
+		} else {
+			s.Loss = "reply"
+		}
+	}
+	switch s.Loss {
+	case "", "none", "symmetric", "reply":
+	default:
+		return s, fmt.Errorf("scenario: %s: unknown loss model %q (want none, symmetric or reply)", s.describe(), s.Loss)
+	}
+	if s.CrashFraction < 0 || s.CrashFraction >= 1 {
+		return s, fmt.Errorf("scenario: %s: crash_fraction must be in [0, 1), got %g", s.describe(), s.CrashFraction)
+	}
+	complete := s.Topology == string(topology.KindComplete)
+	if s.CrashFraction > 0 {
+		if !complete {
+			return s, fmt.Errorf("scenario: %s: crash_fraction requires the complete topology", s.describe())
+		}
+		if survivors := s.Size - int(s.CrashFraction*float64(s.Size)); survivors < 2 {
+			return s, fmt.Errorf("scenario: %s: crash_fraction %g leaves < 2 survivors", s.describe(), s.CrashFraction)
+		}
+	}
+	if s.Churn != nil {
+		if !complete {
+			return s, fmt.Errorf("scenario: %s: churn requires the complete topology (dynamic overlay)", s.describe())
+		}
+		if s.Selector == "pm" || s.Selector == "pmrand" {
+			return s, fmt.Errorf("scenario: %s: churn does not compose with the %s selector (perfect matchings need a fixed even population)", s.describe(), s.Selector)
+		}
+		if _, err := s.Churn.schedule(s.Size); err != nil {
+			return s, err
+		}
+	}
+	switch s.Wait {
+	case "":
+	case "constant", "exponential":
+		if s.Selector != "seq" {
+			return s, fmt.Errorf("scenario: %s: wait mode replaces pair selection; selector must be left default", s.describe())
+		}
+		if s.Churn != nil || s.CrashFraction > 0 || s.Shards != 0 || s.TargetRatio > 0 {
+			return s, fmt.Errorf("scenario: %s: wait mode does not compose with churn, crash, shards or target_ratio", s.describe())
+		}
+	default:
+		return s, fmt.Errorf("scenario: %s: unknown wait policy %q (want constant or exponential)", s.describe(), s.Wait)
+	}
+	if s.Shards != 0 && s.Shards != 1 {
+		if s.Shards < -1 {
+			return s, fmt.Errorf("scenario: %s: shards must be ≥ 0 or -1 (auto), got %d", s.describe(), s.Shards)
+		}
+		if !complete {
+			return s, fmt.Errorf("scenario: %s: sharded execution requires the complete topology", s.describe())
+		}
+		switch s.Selector {
+		case "seq":
+		case "pm":
+			if s.Size%2 != 0 {
+				return s, fmt.Errorf("scenario: %s: sharded pm pairing needs an even size, got %d", s.describe(), s.Size)
+			}
+			if s.Churn != nil {
+				return s, fmt.Errorf("scenario: %s: sharded pm pairing does not compose with churn", s.describe())
+			}
+		default:
+			return s, fmt.Errorf("scenario: %s: sharded execution supports the seq or pm selector, not %q", s.describe(), s.Selector)
+		}
+	}
+	if s.TargetRatio < 0 || s.TargetRatio >= 1 {
+		if s.TargetRatio != 0 {
+			return s, fmt.Errorf("scenario: %s: target_ratio must be in (0, 1), got %g", s.describe(), s.TargetRatio)
+		}
+	}
+	if se := s.SizeEstimation; se != nil {
+		norm := *se
+		if norm.EpochCycles == 0 {
+			norm.EpochCycles = DefaultCycles
+		}
+		if norm.Instances == 0 {
+			norm.Instances = 1
+		}
+		if norm.EpochCycles < 1 || norm.Instances < 1 {
+			return s, fmt.Errorf("scenario: %s: size estimation needs epoch_cycles ≥ 1 and instances ≥ 1", s.describe())
+		}
+		if s.Cycles < norm.EpochCycles {
+			return s, fmt.Errorf("scenario: %s: cycles (%d) shorter than one epoch (%d)", s.describe(), s.Cycles, norm.EpochCycles)
+		}
+		if s.Selector != "seq" || !complete || s.Wait != "" || s.Shards != 0 ||
+			s.CrashFraction > 0 || s.Loss != "" && s.Loss != "none" || len(s.Ops) > 0 || s.TargetRatio > 0 {
+			return s, fmt.Errorf("scenario: %s: size estimation composes only with size, cycles, churn, repeats and seed", s.describe())
+		}
+		s.SizeEstimation = &norm
+	}
+	return s, nil
+}
+
+// describe names the spec in error messages.
+func (s Spec) describe() string {
+	switch {
+	case s.Name != "" && s.Label != "":
+		return fmt.Sprintf("spec %q (%s)", s.Name, s.Label)
+	case s.Name != "":
+		return fmt.Sprintf("spec %q", s.Name)
+	case s.Label != "":
+		return fmt.Sprintf("spec (%s)", s.Label)
+	default:
+		return "spec"
+	}
+}
+
+// ops parses the per-field merge operators.
+func (s Spec) ops() ([]sim.Op, error) {
+	if len(s.Ops) == 0 {
+		return []sim.Op{sim.OpAvg}, nil
+	}
+	out := make([]sim.Op, len(s.Ops))
+	for f, name := range s.Ops {
+		switch name {
+		case "avg":
+			out[f] = sim.OpAvg
+		case "min":
+			out[f] = sim.OpMin
+		case "max":
+			out[f] = sim.OpMax
+		default:
+			return nil, fmt.Errorf("scenario: %s: unknown op %q (want avg, min or max)", s.describe(), name)
+		}
+	}
+	return out, nil
+}
+
+// lossModel builds the sim loss model for a normalized spec (nil for
+// lossless).
+func (s Spec) lossModel() sim.LossModel {
+	if s.LossProb <= 0 {
+		return nil
+	}
+	switch s.Loss {
+	case "symmetric":
+		return sim.SymmetricLoss{P: s.LossProb}
+	case "reply":
+		return sim.ReplyLoss{P: s.LossProb}
+	default:
+		return nil
+	}
+}
+
+// SizeSimConfig validates the spec and translates its size-estimation
+// scenario into the epoch package's configuration with the given
+// concrete seed. Exported so drivers that need the epoch reports
+// themselves (Figure 4's per-epoch error bars) can stay thin Spec
+// builders while bypassing the row-typed engine output.
+func (s Spec) SizeSimConfig(seed uint64) (epoch.SizeSimConfig, error) {
+	ns, err := s.normalized()
+	if err != nil {
+		return epoch.SizeSimConfig{}, err
+	}
+	if ns.SizeEstimation == nil {
+		return epoch.SizeSimConfig{}, fmt.Errorf("scenario: %s has no size_estimation section", s.describe())
+	}
+	return ns.sizeSimConfig(seed)
+}
+
+// sizeSimConfig translates a normalized size-estimation spec into the
+// epoch package's configuration, seeded with the concrete per-repeat
+// seed.
+func (s Spec) sizeSimConfig(seed uint64) (epoch.SizeSimConfig, error) {
+	cfg := epoch.SizeSimConfig{
+		InitialSize: s.Size,
+		EpochCycles: s.SizeEstimation.EpochCycles,
+		TotalCycles: s.Cycles,
+		Instances:   s.SizeEstimation.Instances,
+		Seed:        seed,
+	}
+	if s.Churn != nil {
+		sched, err := s.Churn.schedule(s.Size)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Churn = sched
+	}
+	return cfg, nil
+}
+
+// MarshalIndent renders the spec as indented JSON (for examples and
+// golden files).
+func (s Spec) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// repSeed derives repeat r's seed from the spec seed — the historical
+// derivation of the experiment harness's forEachRun, kept bit-exact so
+// the rewritten figure drivers reproduce their pre-scenario output.
+func repSeed(seed uint64, rep int) uint64 {
+	return seed + 0x9e3779b97f4a7c15*uint64(rep+1)
+}
+
+// nan is the missing-value marker used in Result rows.
+var nan = math.NaN()

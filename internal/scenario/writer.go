@@ -1,0 +1,216 @@
+package scenario
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Result is one streamed reduction row: the state of one run (cell ×
+// repeat) after one cycle (or Δt in wait mode, or epoch in
+// size-estimation mode). Missing values — the reduction of cycle 0,
+// percentiles when not requested, variance in size-estimation mode —
+// are NaN, rendered as empty CSV cells and JSON nulls.
+type Result struct {
+	// Scenario and Label identify the spec (Spec.Name / Spec.Label).
+	Scenario string `json:"scenario,omitempty"`
+	Label    string `json:"label,omitempty"`
+	// Cell is the spec's index within the executed batch; Rep the
+	// repeat index; Cycle the cycle (wait mode: Δt; size estimation:
+	// epoch-end cycle; crash specs: -1 marks the pre-crash snapshot).
+	Cell  int `json:"cell"`
+	Rep   int `json:"rep"`
+	Cycle int `json:"cycle"`
+	// Size is the live node count after this cycle.
+	Size int `json:"size"`
+	// Mean is field 0's empirical mean (size estimation: the mean
+	// estimate across participants).
+	Mean float64 `json:"mean"`
+	// Variance is field 0's unbiased empirical variance.
+	Variance float64 `json:"variance"`
+	// Reduction is the convergence factor σ²ᵢ/σ²ᵢ₋₁.
+	Reduction float64 `json:"reduction"`
+	// Min and Max are field 0's extrema (size estimation: the estimate
+	// range across participants).
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	// P10, P50 and P90 are field 0's percentiles when Spec.Quantiles
+	// is set.
+	P10 float64 `json:"p10"`
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+}
+
+// Writer receives Result rows in deterministic order (cells in batch
+// order, repeats in index order, cycles ascending) and is flushed once
+// after the last row. Implementations need not be safe for concurrent
+// use; the Runner serializes calls.
+type Writer interface {
+	Write(Result) error
+	Flush() error
+}
+
+// csvColumns is the fixed CSV header.
+const csvColumns = "scenario,label,cell,rep,cycle,size,mean,variance,reduction,min,max,p10,p50,p90"
+
+// CSVWriter streams rows as comma-separated values with one header
+// line, full round-trip float precision and empty cells for NaNs —
+// the gnuplot/pandas-friendly default of cmd/aggsim -scenario.
+type CSVWriter struct {
+	w      *bufio.Writer
+	header bool
+}
+
+// NewCSVWriter returns a CSV writer over w.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{w: bufio.NewWriter(w)}
+}
+
+// Write implements Writer.
+func (c *CSVWriter) Write(r Result) error {
+	if !c.header {
+		c.header = true
+		if _, err := c.w.WriteString(csvColumns + "\n"); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 0, 160)
+	buf = appendCSVString(buf, r.Scenario)
+	buf = append(buf, ',')
+	buf = appendCSVString(buf, r.Label)
+	for _, v := range []int{r.Cell, r.Rep, r.Cycle, r.Size} {
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(v), 10)
+	}
+	for _, v := range []float64{r.Mean, r.Variance, r.Reduction, r.Min, r.Max, r.P10, r.P50, r.P90} {
+		buf = append(buf, ',')
+		if !math.IsNaN(v) {
+			buf = appendFloat(buf, v)
+		}
+	}
+	buf = append(buf, '\n')
+	_, err := c.w.Write(buf)
+	return err
+}
+
+// Flush implements Writer.
+func (c *CSVWriter) Flush() error { return c.w.Flush() }
+
+// appendCSVString appends s, quoting it if it contains a comma, quote
+// or newline (labels like "selector=seq,size=1000" do).
+func appendCSVString(buf []byte, s string) []byte {
+	needsQuote := false
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == ',' || c == '"' || c == '\n' || c == '\r' {
+			needsQuote = true
+			break
+		}
+	}
+	if !needsQuote {
+		return append(buf, s...)
+	}
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			buf = append(buf, '"')
+		}
+		buf = append(buf, s[i])
+	}
+	return append(buf, '"')
+}
+
+// JSONLWriter streams rows as JSON-lines with NaNs rendered as null
+// (encoding/json rejects NaN, so rows are encoded by hand — the field
+// set matches Result's json tags).
+type JSONLWriter struct {
+	w *bufio.Writer
+}
+
+// NewJSONLWriter returns a JSON-lines writer over w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriter(w)}
+}
+
+// Write implements Writer.
+func (j *JSONLWriter) Write(r Result) error {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, '{')
+	if r.Scenario != "" {
+		buf = appendJSONField(buf, "scenario")
+		buf = strconv.AppendQuote(buf, r.Scenario)
+	}
+	if r.Label != "" {
+		buf = appendJSONField(buf, "label")
+		buf = strconv.AppendQuote(buf, r.Label)
+	}
+	for _, f := range [...]struct {
+		key string
+		v   int
+	}{{"cell", r.Cell}, {"rep", r.Rep}, {"cycle", r.Cycle}, {"size", r.Size}} {
+		buf = appendJSONField(buf, f.key)
+		buf = strconv.AppendInt(buf, int64(f.v), 10)
+	}
+	for _, f := range [...]struct {
+		key string
+		v   float64
+	}{
+		{"mean", r.Mean}, {"variance", r.Variance}, {"reduction", r.Reduction},
+		{"min", r.Min}, {"max", r.Max}, {"p10", r.P10}, {"p50", r.P50}, {"p90", r.P90},
+	} {
+		buf = appendJSONField(buf, f.key)
+		if math.IsNaN(f.v) {
+			buf = append(buf, "null"...)
+		} else {
+			buf = appendFloat(buf, f.v)
+		}
+	}
+	buf = append(buf, '}', '\n')
+	_, err := j.w.Write(buf)
+	return err
+}
+
+// Flush implements Writer.
+func (j *JSONLWriter) Flush() error { return j.w.Flush() }
+
+// appendJSONField appends `,"key":` (or `"key":` right after '{').
+func appendJSONField(buf []byte, key string) []byte {
+	if buf[len(buf)-1] != '{' {
+		buf = append(buf, ',')
+	}
+	buf = append(buf, '"')
+	buf = append(buf, key...)
+	return append(buf, '"', ':')
+}
+
+// appendFloat renders a float with the shortest representation that
+// round-trips, with infinities clamped to large literals JSON and CSV
+// consumers can still parse. Stable across platforms, so golden files
+// are portable.
+func appendFloat(buf []byte, v float64) []byte {
+	if math.IsInf(v, 1) {
+		return append(buf, "1e999"...)
+	}
+	if math.IsInf(v, -1) {
+		return append(buf, "-1e999"...)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// Collector is the in-memory Writer used by tests and by the
+// experiment drivers that post-process rows into figure series.
+type Collector struct {
+	rows []Result
+}
+
+// Write implements Writer.
+func (c *Collector) Write(r Result) error {
+	c.rows = append(c.rows, r)
+	return nil
+}
+
+// Flush implements Writer.
+func (c *Collector) Flush() error { return nil }
+
+// Results returns the collected rows in emission order.
+func (c *Collector) Results() []Result { return c.rows }

@@ -48,35 +48,56 @@ type step struct {
 // sharder holds the sharded executor's reusable state.
 type sharder struct {
 	k        *Kernel
-	rngs     []*xrand.Rand // per-shard RNG streams, split once from the master
+	s        int           // shard count
+	pm       bool          // matching-based pm pairing instead of the seq stream
+	rngs     []*xrand.Rand // per-shard RNG streams, split once from the master (seq mode only)
 	bounds   []int32       // shard s owns nodes [bounds[s], bounds[s+1])
 	buckets  [][][]step
 	rounds   [][][2]int
-	sizedFor int // node count the bounds were computed for
+	sizedFor int     // node count the bounds were computed for
+	both     []int32 // pm mode: first ++ second matchings, reused across cycles
 }
 
-// newSharder builds the executor for k.shards shards, deriving one
-// deterministic RNG stream per shard from the kernel's master RNG.
-func newSharder(k *Kernel) *sharder {
+// newSharder builds the executor for k.shards shards. In seq mode it
+// derives one deterministic RNG stream per shard from the kernel's
+// master RNG; in pm mode all draws stay on the master stream (so the
+// sharded trajectory is bit-identical to single-shard PM) and nothing
+// is split.
+func newSharder(k *Kernel, pm bool) *sharder {
 	s := k.shards
 	sh := &sharder{
 		k:       k,
-		rngs:    make([]*xrand.Rand, s),
+		s:       s,
+		pm:      pm,
 		bounds:  make([]int32, s+1),
 		buckets: make([][][]step, s),
 		rounds:  buildRounds(s),
 	}
+	if !pm {
+		sh.rngs = make([]*xrand.Rand, s)
+		for w := 0; w < s; w++ {
+			sh.rngs[w] = k.rng.Split()
+		}
+	}
 	for w := 0; w < s; w++ {
-		sh.rngs[w] = k.rng.Split()
 		sh.buckets[w] = make([][]step, s)
 	}
 	return sh
 }
 
+// reseed re-derives the per-shard RNG streams from a fresh master in
+// the exact order newSharder would, supporting Kernel.Reseed. In pm
+// mode there are no per-shard streams and this is a no-op.
+func (sh *sharder) reseed(rng *xrand.Rand) {
+	for w := range sh.rngs {
+		sh.rngs[w] = rng.Split()
+	}
+}
+
 // reset recomputes the shard bounds for the current node count and
 // empties every bucket, keeping their capacity.
 func (sh *sharder) reset() {
-	s := len(sh.rngs)
+	s := sh.s
 	n := sh.k.n
 	if sh.sizedFor != n {
 		base, rem := n/s, n%s
@@ -100,7 +121,7 @@ func (sh *sharder) reset() {
 
 // shardOf returns the shard owning node j under the current bounds.
 func (sh *sharder) shardOf(j int32) int {
-	s := len(sh.rngs)
+	s := sh.s
 	n := sh.sizedFor
 	base, rem := n/s, n%s
 	wide := int32(rem) * int32(base+1)
@@ -164,10 +185,14 @@ func (sh *sharder) applyBucket(steps []step) {
 // shardCycle runs one full cycle on the sharded executor.
 func (k *Kernel) shardCycle() {
 	sh := k.sh
-	sh.reset()
 	if k.phi != nil {
 		clear(k.phi[:k.n])
 	}
+	if sh.pm {
+		sh.pmCycle()
+		return
+	}
+	sh.reset()
 	var wg sync.WaitGroup
 	for w := range sh.rngs {
 		wg.Add(1)
@@ -177,6 +202,14 @@ func (k *Kernel) shardCycle() {
 		}(w)
 	}
 	wg.Wait()
+	sh.runTournament()
+}
+
+// runTournament applies every generated bucket through the fixed
+// round-robin schedule: one worker per match, all matches of a round
+// concurrent, a barrier between rounds.
+func (sh *sharder) runTournament() {
+	var wg sync.WaitGroup
 	for _, round := range sh.rounds {
 		for _, m := range round {
 			wg.Add(1)
@@ -186,6 +219,39 @@ func (k *Kernel) shardCycle() {
 			}(m[0], m[1])
 		}
 		wg.Wait()
+	}
+}
+
+// pmCycle is the matching-based parallel pairing (GETPAIR_PM): draw two
+// disjoint perfect matchings and the per-step loss outcomes on the
+// master stream — the exact draw order of the single-shard PM selector —
+// then execute each matching as its own bucketed tournament phase.
+// Pairs within one matching are disjoint, so the merges of a phase
+// commute and the resulting columns are bit-identical to single-shard
+// PM for the same seed; only the wall-clock parallelism differs.
+func (sh *sharder) pmCycle() {
+	k := sh.k
+	n := k.n
+	if n%2 != 0 {
+		panic("sim: sharded pm pairing needs an even node count")
+	}
+	if cap(sh.both) < 2*n {
+		sh.both = make([]int32, 2*n)
+	}
+	sh.both = sh.both[:2*n]
+	first, second := sh.both[:n], sh.both[n:]
+	randomMatching(first, k.rng)
+	drawDisjointMatching(second, first, k.rng)
+	for _, m := range [2][]int32{first, second} {
+		sh.reset()
+		for p := 0; p < n; p += 2 {
+			u, v := m[p], m[p+1]
+			out := uint8(k.loss.Draw(k.rng))
+			t := sh.shardOf(v)
+			w := sh.shardOf(u)
+			sh.buckets[w][t] = append(sh.buckets[w][t], step{i: u, j: v, out: out})
+		}
+		sh.runTournament()
 	}
 }
 

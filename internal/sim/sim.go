@@ -29,6 +29,8 @@
 // workers with per-shard RNG streams (see shard.go). Sharded runs are
 // deterministic for a fixed seed and shard count, and statistically
 // indistinguishable from — but not bit-identical to — sequential runs.
+// The exception is the pm selector, whose matching-based parallel
+// generator reproduces the single-shard trajectory bit for bit.
 package sim
 
 import (
@@ -229,24 +231,30 @@ func New(cfg Config) (*Kernel, error) {
 	for f := range k.cols {
 		k.cols[f] = make([]float64, k.n)
 	}
-	k.shards = cfg.Shards
-	if k.shards == AutoShards {
-		k.shards = runtime.GOMAXPROCS(0)
-	}
-	if k.shards < 1 {
-		k.shards = 1
-	}
-	if k.shards > k.n/2 {
-		k.shards = max(k.n/2, 1)
-	}
+	k.shards = ResolveShards(cfg.Shards, k.n)
 	if k.shards > 1 {
-		if cfg.Selector != nil {
-			return nil, fmt.Errorf("sim: sharded execution uses its built-in seq pairing; Selector must be nil")
-		}
 		if cfg.Wait != nil {
 			return nil, fmt.Errorf("sim: event-based execution (Wait) is single-shard only")
 		}
-		k.sh = newSharder(k)
+		pm := false
+		switch cfg.Selector.(type) {
+		case nil:
+			// Built-in seq pairing with per-shard RNG streams.
+		case *PM:
+			// Matching-based parallel pairing: both perfect matchings are
+			// drawn on the master stream and executed through the
+			// tournament, bit-identical to single-shard PM (see shard.go).
+			pm = true
+			if k.n%2 != 0 {
+				return nil, fmt.Errorf("%w (n=%d)", ErrOddSize, k.n)
+			}
+			if cfg.Churn != nil {
+				return nil, fmt.Errorf("sim: sharded pm pairing does not compose with churn (node count must stay even)")
+			}
+		default:
+			return nil, fmt.Errorf("sim: sharded execution supports the built-in seq pairing (Selector nil) or pm, not %q", cfg.Selector.Name())
+		}
+		k.sh = newSharder(k, pm)
 	} else {
 		k.sel = cfg.Selector
 		if k.sel == nil {
@@ -264,6 +272,60 @@ func New(cfg Config) (*Kernel, error) {
 
 // Size returns the current live node count.
 func (k *Kernel) Size() int { return k.n }
+
+// Shards returns the executor's shard count (1 for the exact
+// sequential path).
+func (k *Kernel) Shards() int { return k.shards }
+
+// ResolveShards returns the effective shard count New runs with for a
+// requested Config.Shards at node count n: AutoShards becomes one
+// shard per GOMAXPROCS worker, non-positive counts the sequential
+// path, and the count is clamped so every shard owns at least two
+// nodes. Exposed so kernel pools can tell whether an existing kernel
+// is interchangeable with a fresh build.
+func ResolveShards(requested, n int) int {
+	if requested == AutoShards {
+		requested = runtime.GOMAXPROCS(0)
+	}
+	if requested < 1 {
+		requested = 1
+	}
+	if requested > n/2 {
+		requested = max(n/2, 1)
+	}
+	return requested
+}
+
+// Reseed replaces the kernel's master random stream and resets the
+// cycle counter, rebinding the selector (single-shard) or re-deriving
+// the per-shard streams (sharded) exactly as New would. Together with
+// Resize/ReshapeAvg and SetValues this lets one kernel be reused across
+// independent runs with allocations staying flat: after Reseed the
+// kernel behaves as if freshly constructed with this RNG.
+func (k *Kernel) Reseed(rng *xrand.Rand) error {
+	if rng == nil {
+		return fmt.Errorf("sim: Reseed needs a non-nil RNG")
+	}
+	k.rng = rng
+	k.cycle = 0
+	if k.sh != nil {
+		k.sh.reseed(rng)
+		return nil
+	}
+	if err := k.sel.Bind(k.graph, rng); err != nil {
+		return fmt.Errorf("sim: rebind selector %q: %w", k.sel.Name(), err)
+	}
+	return nil
+}
+
+// SetLoss swaps the message-loss model between runs (nil restores the
+// lossless default). The next Draw happens on the next cycle.
+func (k *Kernel) SetLoss(l LossModel) {
+	if l == nil {
+		l = NoLoss{}
+	}
+	k.loss = l
+}
 
 // Fields returns the number of gossiped fields.
 func (k *Kernel) Fields() int { return len(k.ops) }

@@ -168,6 +168,92 @@ func TestShardedStatisticallyEquivalent(t *testing.T) {
 	}
 }
 
+// TestShardedPMBitIdenticalToSequential: the matching-based parallel
+// pm generator draws its matchings and loss outcomes on the master
+// stream, and pairs within one matching are disjoint (their merges
+// commute), so sharded pm must reproduce single-shard pm bit for bit —
+// a stronger guarantee than the seq stream's statistical equivalence.
+func TestShardedPMBitIdenticalToSequential(t *testing.T) {
+	const n, cycles, seed = 2048, 12, 911
+	for _, loss := range []sim.LossModel{nil, sim.ReplyLoss{P: 0.3}} {
+		run := func(shards int) []float64 {
+			rng := xrand.New(seed)
+			cfg := sim.Config{Selector: sim.NewPM(), Loss: loss, Shards: shards, RNG: rng}
+			if shards > 1 {
+				cfg.Size = n
+			} else {
+				cfg.Graph = mustComplete(t, n)
+			}
+			k, err := sim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.SetValues(0, gaussian(n, rng)); err != nil {
+				t.Fatal(err)
+			}
+			k.Run(cycles)
+			return append([]float64(nil), k.Column(0)...)
+		}
+		want := run(1)
+		for _, shards := range []int{2, 4, 7} {
+			got := run(shards)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("loss=%v shards=%d: node %d diverged: %g vs %g", loss, shards, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestKernelReseedReusesAsFresh: Resize + Reseed + SetValues must make
+// a reused kernel reproduce a freshly built one bit for bit, for both
+// executors — the contract the scenario runner's kernel pool relies on.
+func TestKernelReseedReusesAsFresh(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		fresh := func(n int, seed uint64) []float64 {
+			rng := xrand.New(seed)
+			k, err := sim.New(sim.Config{Size: n, Shards: shards, RNG: rng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.SetValues(0, gaussian(n, rng)); err != nil {
+				t.Fatal(err)
+			}
+			return k.Run(6)
+		}
+		warm := xrand.New(1)
+		k, err := sim.New(sim.Config{Size: 500, Shards: shards, RNG: warm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.SetValues(0, gaussian(500, warm)); err != nil {
+			t.Fatal(err)
+		}
+		k.Run(3) // dirty the kernel state before reuse
+		for _, tc := range []struct {
+			n    int
+			seed uint64
+		}{{300, 7}, {800, 8}, {500, 9}} {
+			rng := xrand.New(tc.seed)
+			k.Resize(tc.n)
+			if err := k.Reseed(rng); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.SetValues(0, gaussian(tc.n, rng)); err != nil {
+				t.Fatal(err)
+			}
+			got := k.Run(6)
+			want := fresh(tc.n, tc.seed)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("shards=%d n=%d: reused kernel diverged at cycle %d: %g vs %g", shards, tc.n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 // TestShardedPhiCountsSeqInvariant: sharded execution keeps the seq
 // pair-stream structure — every node initiates exactly once per cycle,
 // so φ ≥ 1 everywhere and Σφ = 2N.

@@ -163,6 +163,17 @@ func Quantile(xs []float64, q float64) float64 {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted returns the q-quantile (0 ≤ q ≤ 1) of an already
+// sorted slice using linear interpolation between closest ranks. It is
+// the allocation-free core of Quantile for callers that need several
+// quantiles of one vector (sort once, sample many).
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
 	if q <= 0 {
 		return sorted[0]
 	}

@@ -1,0 +1,52 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Kind names the overlay families this package can construct by name,
+// so experiment drivers, scenario specs and CLI flags share one
+// vocabulary.
+type Kind string
+
+// Supported overlay kinds. Complete and 20-regular random are the two
+// the paper evaluates; the rest quantify sensitivity to less random
+// overlays.
+const (
+	KindComplete   Kind = "complete"
+	KindKRegular   Kind = "kregular"
+	KindRandomView Kind = "view"
+	KindRing       Kind = "ring"
+	KindSmallWorld Kind = "smallworld"
+	KindScaleFree  Kind = "scalefree"
+)
+
+// Kinds lists every supported overlay kind in display order.
+func Kinds() []Kind {
+	return []Kind{KindComplete, KindKRegular, KindRandomView, KindRing, KindSmallWorld, KindScaleFree}
+}
+
+// Build constructs the named overlay on n nodes. view is the
+// degree/view-size parameter where applicable (the paper uses 20).
+// Generators that need randomness consume it from rng in a fixed order,
+// so a Build call is deterministic per seed.
+func Build(kind Kind, n, view int, rng *xrand.Rand) (Graph, error) {
+	switch kind {
+	case KindComplete:
+		return NewComplete(n)
+	case KindKRegular:
+		return NewKRegular(n, view, rng)
+	case KindRandomView:
+		return NewRandomView(n, view, rng)
+	case KindRing:
+		return NewRing(n)
+	case KindSmallWorld:
+		return NewWattsStrogatz(n, view, 0.1, rng)
+	case KindScaleFree:
+		return NewBarabasiAlbert(n, max(1, view/2), rng)
+	default:
+		return nil, fmt.Errorf("topology: unknown kind %q", kind)
+	}
+}

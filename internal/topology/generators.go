@@ -235,14 +235,23 @@ func NewBarabasiAlbert(n, m int, rng *xrand.Rand) (*Adjacency, error) {
 			targets = append(targets, int32(u), int32(v))
 		}
 	}
-	chosen := make(map[int32]struct{}, m)
+	// chosen keeps draw order (a map's iteration order would make the
+	// adjacency — and every downstream experiment — nondeterministic
+	// across runs, violating the package's reproducibility contract).
+	chosen := make([]int32, 0, m)
+	seen := make(map[int32]struct{}, m)
 	for u := m + 1; u < n; u++ {
-		clear(chosen)
+		chosen = chosen[:0]
+		clear(seen)
 		for len(chosen) < m {
 			t := targets[rng.Intn(len(targets))]
-			chosen[t] = struct{}{}
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			chosen = append(chosen, t)
 		}
-		for t := range chosen {
+		for _, t := range chosen {
 			adj[u] = append(adj[u], t)
 			adj[t] = append(adj[t], int32(u))
 			targets = append(targets, int32(u), t)

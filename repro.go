@@ -31,10 +31,15 @@ import (
 	"repro/internal/eventsim"
 	"repro/internal/experiments"
 	"repro/internal/membership"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/transport"
 	"repro/internal/xrand"
 )
+
+// AutoShards, as SimulationConfig.Shards, selects one shard per
+// GOMAXPROCS worker.
+const AutoShards = sim.AutoShards
 
 // Re-exported building blocks. These aliases are the supported public
 // names for the library's rich types.
@@ -161,6 +166,12 @@ type SimulationConfig struct {
 	// Values supplies the initial vector; nil draws iid standard normal
 	// values, the paper's uncorrelated starting point.
 	Values []float64
+	// Shards selects the executor: 0 (the default) runs the exact
+	// sequential path, ≥ 2 the sharded tournament executor for
+	// paper-scale runs, AutoShards one shard per GOMAXPROCS worker.
+	// Sharding requires the complete topology with the "seq" or "pm"
+	// selector.
+	Shards int
 	// Seed makes the run reproducible.
 	Seed uint64
 }
@@ -200,6 +211,9 @@ func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
 		cfg.Cycles = 30
 	}
 	rng := xrand.New(cfg.Seed)
+	if cfg.Shards != 0 && cfg.Shards != 1 {
+		return simulateSharded(cfg, rng)
+	}
 	graph, err := experiments.BuildTopology(experiments.TopologyKind(cfg.Topology), cfg.Size, cfg.ViewSize, rng)
 	if err != nil {
 		return nil, err
@@ -228,6 +242,61 @@ func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
 		Variances: variances,
 		FinalMean: runner.Mean(),
 		Values:    append([]float64(nil), runner.Values()...),
+	}
+	first, last := variances[0], variances[len(variances)-1]
+	if first > 0 && last > 0 {
+		res.ReductionRate = math.Pow(last/first, 1/float64(cfg.Cycles))
+	}
+	return res, nil
+}
+
+// simulateSharded routes a run through the kernel's sharded tournament
+// executor — the paper-scale path. It supports the combinations the
+// executor parallelizes: the complete overlay with the "seq" pairing
+// (statistically equivalent to sequential execution) or "pm" pairing
+// (bit-identical to it).
+func simulateSharded(cfg SimulationConfig, rng *xrand.Rand) (*SimulationResult, error) {
+	if cfg.Topology != "complete" {
+		return nil, fmt.Errorf("repro: sharded simulation requires the complete topology, got %q", cfg.Topology)
+	}
+	var selector sim.Selector
+	switch cfg.Selector {
+	case "seq":
+		// The sharded executor's built-in pair stream.
+	case "pm":
+		selector = sim.NewPM()
+	default:
+		return nil, fmt.Errorf("repro: sharded simulation supports the seq or pm selector, got %q", cfg.Selector)
+	}
+	values := cfg.Values
+	if values == nil {
+		values = make([]float64, cfg.Size)
+		for i := range values {
+			values[i] = rng.NormFloat64()
+		}
+	}
+	var loss sim.LossModel
+	if cfg.LossProbability > 0 {
+		loss = sim.ReplyLoss{P: cfg.LossProbability}
+	}
+	kern, err := sim.New(sim.Config{
+		Size:     cfg.Size,
+		Selector: selector,
+		Loss:     loss,
+		Shards:   cfg.Shards,
+		RNG:      rng,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := kern.SetValues(0, values); err != nil {
+		return nil, err
+	}
+	variances := kern.Run(cfg.Cycles)
+	res := &SimulationResult{
+		Variances: variances,
+		FinalMean: stats.Mean(kern.Column(0)),
+		Values:    append([]float64(nil), kern.Column(0)...),
 	}
 	first, last := variances[0], variances[len(variances)-1]
 	if first > 0 && last > 0 {

@@ -60,6 +60,42 @@ func TestSimulateSelectorAndTopologyOptions(t *testing.T) {
 	}
 }
 
+func TestSimulateSharded(t *testing.T) {
+	// The sharded executor must converge at the seq rate, conserve
+	// mass, and — with the pm selector — reproduce the sequential
+	// trajectory bit for bit.
+	res, err := Simulate(SimulationConfig{Size: 2000, Shards: 4, Cycles: 20, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := TheoreticalRate("seq")
+	if math.Abs(res.ReductionRate-want) > 0.03 {
+		t.Fatalf("sharded reduction rate %.4f, want ≈ %.4f", res.ReductionRate, want)
+	}
+	seqPM, err := Simulate(SimulationConfig{Size: 2000, Selector: "pm", Cycles: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardPM, err := Simulate(SimulationConfig{Size: 2000, Selector: "pm", Shards: 4, Cycles: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqPM.Variances {
+		if seqPM.Variances[i] != shardPM.Variances[i] {
+			t.Fatalf("pm cycle %d: sharded %g vs sequential %g", i, shardPM.Variances[i], seqPM.Variances[i])
+		}
+	}
+	if _, err := Simulate(SimulationConfig{Size: 500, Shards: 4, Topology: "ring"}); err == nil {
+		t.Error("sharded non-complete topology accepted")
+	}
+	if _, err := Simulate(SimulationConfig{Size: 500, Shards: 4, Selector: "rand"}); err == nil {
+		t.Error("sharded rand selector accepted")
+	}
+	if _, err := Simulate(SimulationConfig{Size: 500, Shards: AutoShards, Cycles: 2, Seed: 8}); err != nil {
+		t.Errorf("AutoShards rejected: %v", err)
+	}
+}
+
 func TestSimulateValidation(t *testing.T) {
 	if _, err := Simulate(SimulationConfig{Size: 1}); err == nil {
 		t.Error("size 1 accepted")
