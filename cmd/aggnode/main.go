@@ -13,13 +13,23 @@
 // with -epoch the protocol restarts periodically so changing -value
 // inputs (or SIGHUP-style reconfiguration in a real deployment) are
 // picked up (§4 adaptivity).
+//
+// With -mode heap one process hosts -local N nodes on a shared worker
+// pool (the sharded event-heap runtime): -workers sets the pool size,
+// -batch the message coalescing window. This is the shape that scales a
+// single process to 10⁵+ protocol participants:
+//
+//	aggnode -mode heap -local 10000 -workers 4 -batch 2ms \
+//	        -listen 127.0.0.1:7001 -peers otherhost:7001
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -43,7 +53,28 @@ func run() error {
 	epochLen := flag.Duration("epoch", 0, "epoch length for periodic restarts (0 disables)")
 	view := flag.Int("view", 8, "membership view capacity")
 	report := flag.Duration("report", 2*time.Second, "interval between printed estimates")
+	mode := flag.String("mode", "goroutine", "runtime: goroutine (one node per process) or heap (many nodes on a worker pool)")
+	local := flag.Int("local", 2, "heap mode: number of nodes hosted by this process")
+	workers := flag.Int("workers", 0, "heap mode: worker pool size (0: GOMAXPROCS)")
+	batch := flag.Duration("batch", 0, "heap mode: message coalescing window (0: flush every scheduler round)")
 	flag.Parse()
+
+	var clock *epoch.Clock
+	if *epochLen > 0 {
+		c, err := epoch.NewClock(time.Unix(0, 0), *epochLen)
+		if err != nil {
+			return err
+		}
+		clock = c
+	}
+
+	switch *mode {
+	case "goroutine":
+	case "heap":
+		return runHeap(*listen, splitPeers(*peers), *value, *cycle, clock, *view, *report, *local, *workers, *batch)
+	default:
+		return fmt.Errorf("unknown -mode %q (want goroutine or heap)", *mode)
+	}
 
 	endpoint, err := repro.NewTCPEndpoint(*listen)
 	if err != nil {
@@ -72,14 +103,8 @@ func run() error {
 		Sampler:     sampler,
 		Value:       *value,
 		CycleLength: *cycle,
+		Clock:       clock,
 		Seed:        uint64(time.Now().UnixNano()),
-	}
-	if *epochLen > 0 {
-		clock, err := epoch.NewClock(time.Unix(0, 0), *epochLen)
-		if err != nil {
-			return err
-		}
-		cfg.Clock = clock
 	}
 
 	node, err := repro.NewNode(cfg)
@@ -109,6 +134,97 @@ func run() error {
 			fmt.Printf("epoch=%d avg=%.4f min=%.4f max=%.4f exchanges=%d/%d timeouts=%d\n",
 				node.Epoch(), summary.Mean, summary.Min, summary.Max,
 				s.Replies, s.Initiated, s.Timeouts)
+		}
+	}
+}
+
+// runHeap hosts many nodes in one process on the sharded event-heap
+// runtime: one TCP endpoint per worker (the first on the -listen
+// address, the rest on ephemeral ports of the same host), nodes
+// addressed as "host:port#index", same-destination messages coalesced
+// into batch frames.
+func runHeap(listen string, seeds []string, value float64, cycle time.Duration,
+	clock *epoch.Clock, view int, report time.Duration,
+	local, workers int, batch time.Duration) error {
+	if local < 2 {
+		return fmt.Errorf("heap mode hosts a node population: -local must be ≥ 2, got %d", local)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > local/2 {
+		workers = max(local/2, 1)
+	}
+	endpoints := make([]repro.Endpoint, 0, workers)
+	first, err := repro.NewTCPEndpoint(listen)
+	if err != nil {
+		return err
+	}
+	endpoints = append(endpoints, first)
+	host, _, err := net.SplitHostPort(first.Addr())
+	if err != nil {
+		return err
+	}
+	for len(endpoints) < workers {
+		ep, err := repro.NewTCPEndpoint(net.JoinHostPort(host, "0"))
+		if err != nil {
+			return err
+		}
+		endpoints = append(endpoints, ep)
+	}
+
+	schema := repro.NewSummarySchema()
+	rt, err := repro.NewRuntime(repro.RuntimeConfig{
+		Size:        local,
+		Schema:      schema,
+		Value:       func(int) float64 { return value },
+		CycleLength: cycle,
+		// A batched push-pull round trip spends up to one window on the
+		// push and one on the reply; budget the reply deadline for both
+		// or window batching converts latency into spurious timeouts.
+		ReplyTimeout: cycle/2 + 4*batch,
+		Clock:        clock,
+		Endpoints:    endpoints,
+		BatchWindow:  batch,
+		Seed:         uint64(time.Now().UnixNano()),
+		Samplers: func(i int, self string, localAddrs []string) (repro.Sampler, error) {
+			// Bootstrap: the remote seeds plus the next local sibling,
+			// so the local mesh is connected even before any remote
+			// gossip arrives.
+			boot := append([]string{}, seeds...)
+			if sib := localAddrs[(i+1)%len(localAddrs)]; sib != self {
+				boot = append(boot, sib)
+			}
+			return repro.NewGossipSampler(self, view, boot)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	defer rt.Stop()
+	fmt.Printf("aggnode hosting %d nodes on %d workers, first endpoint %s (value %g, Δt %v, batch window %v)\n",
+		local, rt.Workers(), first.Addr(), value, cycle, batch)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(report)
+	defer ticker.Stop()
+	probe := rt.Nodes()[0]
+	for {
+		select {
+		case <-sigCh:
+			fmt.Println("\nshutting down")
+			return nil
+		case <-ticker.C:
+			summary, err := repro.DecodeSummary(schema, probe.State())
+			if err != nil {
+				return err
+			}
+			s := rt.Stats()
+			fmt.Printf("epoch=%d avg=%.4f min=%.4f max=%.4f exchanges=%d/%d timeouts=%d busy=%d\n",
+				probe.Epoch(), summary.Mean, summary.Min, summary.Max,
+				s.Replies, s.Initiated, s.Timeouts, s.PeerBusy)
 		}
 	}
 }

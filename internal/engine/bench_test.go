@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// BenchmarkRuntimeExchange measures live-runtime exchange throughput —
+// goroutine mode versus the heap scheduler — over the in-memory fabric
+// at N = 10³, 10⁴ and 10⁵ nodes. Δt = 1 ms oversubscribes every size,
+// so the measurement is each runtime's maximum sustainable exchange
+// rate. One benchmark iteration is a fixed one-second measurement
+// window (never b.N exchanges: a runtime that collapses under load
+// would otherwise hang the harness — the collapse is the result);
+// throughput is reported as the explicit exchanges/s and ns/exchange
+// metrics, not ns/op. Goroutine mode is skipped at N = 10⁵: 2·10⁵
+// goroutines plus a timer and a 1024-slot channel inbox per node is
+// the blow-up the heap runtime exists to remove.
+//
+// CI's bench-smoke step runs mode=heap/n=10000 once per PR.
+func BenchmarkRuntimeExchange(b *testing.B) {
+	for _, mode := range []RuntimeMode{ModeGoroutine, ModeHeap} {
+		for _, n := range []int{1_000, 10_000, 100_000} {
+			b.Run(fmt.Sprintf("mode=%s/n=%d", mode, n), func(b *testing.B) {
+				if mode == ModeGoroutine && n >= 100_000 {
+					b.Skip("2·10⁵ goroutines; the scaling wall this benchmark documents")
+				}
+				benchmarkRuntimeExchange(b, mode, n)
+			})
+		}
+	}
+}
+
+func benchmarkRuntimeExchange(b *testing.B, mode RuntimeMode, size int) {
+	c, err := NewCluster(ClusterConfig{
+		Size:         size,
+		Schema:       core.AverageSchema(),
+		Value:        func(i int) float64 { return float64(i % 2) },
+		CycleLength:  time.Millisecond, // saturating for every runtime
+		ReplyTimeout: 250 * time.Millisecond,
+		Mode:         mode,
+		Seed:         uint64(size),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Start()
+	// Warm up past construction transients before measuring.
+	time.Sleep(100 * time.Millisecond)
+	before := clusterStats(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		time.Sleep(time.Second)
+	}
+	b.StopTimer()
+	after := clusterStats(c)
+	c.Stop()
+
+	exchanges := after.Initiated - before.Initiated
+	elapsed := b.Elapsed().Seconds()
+	if exchanges == 0 || elapsed == 0 {
+		b.Fatalf("no exchanges during the measurement window (stats %+v)", after)
+	}
+	b.ReportMetric(float64(exchanges)/elapsed, "exchanges/s")
+	b.ReportMetric(elapsed*1e9/float64(exchanges), "ns/exchange")
+	b.ReportMetric(float64(after.Replies-before.Replies)/float64(exchanges), "replies/initiated")
+}
+
+// clusterStats aggregates counters across the whole cluster in either
+// mode.
+func clusterStats(c *Cluster) Stats {
+	if rt := c.Runtime(); rt != nil {
+		return rt.Stats()
+	}
+	var agg Stats
+	for _, n := range c.Nodes() {
+		s := n.Stats()
+		agg.Initiated += s.Initiated
+		agg.Replies += s.Replies
+		agg.Timeouts += s.Timeouts
+		agg.Served += s.Served
+	}
+	return agg
+}

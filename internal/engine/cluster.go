@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/membership"
 	"repro/internal/stats"
 	"repro/internal/transport"
@@ -36,6 +37,19 @@ type ClusterConfig struct {
 	// InitState, when non-nil, is passed to node i via a closure so the
 	// cluster can seed per-node special roles (e.g. the size leader).
 	InitState func(i int) func(epochID uint64, value float64) core.State
+	// Clock, when non-nil, drives epoch restarts on every node (§4
+	// adaptivity); nil runs one endless epoch.
+	Clock *epoch.Clock
+	// Mode selects the runtime: ModeGoroutine (the default, two
+	// goroutines per node) or ModeHeap (a sharded event-heap scheduler
+	// on a small worker pool — the 10⁵-node-per-process path).
+	Mode RuntimeMode
+	// Workers is the heap runtime's worker/shard count (default
+	// GOMAXPROCS; ignored in goroutine mode).
+	Workers int
+	// BatchWindow bounds message coalescing delay in heap mode (0
+	// flushes once per scheduler round; ignored in goroutine mode).
+	BatchWindow time.Duration
 	// Seed makes the cluster deterministic-ish (scheduling still varies).
 	Seed uint64
 }
@@ -45,11 +59,12 @@ type Cluster struct {
 	nodes  []*Node
 	fabric *transport.Fabric
 	schema *core.Schema
+	rt     *Runtime // non-nil in heap mode
 }
 
-// NewCluster builds (but does not start) a local cluster. Every node gets
-// a static full-membership sampler, matching the paper's complete-overlay
-// assumption.
+// NewCluster builds (but does not start) a local cluster. Every node
+// samples peers from a shared full-membership directory, matching the
+// paper's complete-overlay assumption in O(N) total memory.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Size < 2 {
 		return nil, fmt.Errorf("engine: cluster needs ≥ 2 nodes, got %d", cfg.Size)
@@ -59,6 +74,27 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	if cfg.Value == nil {
 		cfg.Value = func(int) float64 { return 0 }
+	}
+	if cfg.Mode == ModeHeap {
+		rt, err := NewRuntime(RuntimeConfig{
+			Size:         cfg.Size,
+			Schema:       cfg.Schema,
+			Value:        cfg.Value,
+			CycleLength:  cfg.CycleLength,
+			ReplyTimeout: cfg.ReplyTimeout,
+			Wait:         cfg.Wait,
+			Fabric:       cfg.Fabric,
+			PushOnly:     cfg.PushOnly,
+			InitState:    cfg.InitState,
+			Clock:        cfg.Clock,
+			Workers:      cfg.Workers,
+			BatchWindow:  cfg.BatchWindow,
+			Seed:         cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Cluster{nodes: rt.Nodes(), fabric: rt.Fabric(), schema: cfg.Schema, rt: rt}, nil
 	}
 	fabric := cfg.Fabric
 	if fabric == nil {
@@ -74,13 +110,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 	c := &Cluster{fabric: fabric, schema: cfg.Schema, nodes: make([]*Node, 0, cfg.Size)}
 	for i := 0; i < cfg.Size; i++ {
-		peers := make([]string, 0, cfg.Size-1)
-		for j, a := range addrs {
-			if j != i {
-				peers = append(peers, a)
-			}
-		}
-		sampler, err := membership.NewStatic(peers)
+		sampler, err := membership.NewDirectory(addrs, i)
 		if err != nil {
 			return nil, fmt.Errorf("engine: sampler for node %d: %w", i, err)
 		}
@@ -93,6 +123,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			ReplyTimeout: cfg.ReplyTimeout,
 			Wait:         cfg.Wait,
 			PushOnly:     cfg.PushOnly,
+			Clock:        cfg.Clock,
 			Seed:         cfg.Seed + uint64(i)*0x9e3779b97f4a7c15,
 		}
 		if cfg.InitState != nil {
@@ -114,15 +145,32 @@ func (c *Cluster) Nodes() []*Node { return c.nodes }
 // partitions mid-test).
 func (c *Cluster) Fabric() *transport.Fabric { return c.fabric }
 
+// Runtime returns the heap-mode runtime backing the cluster, or nil in
+// goroutine mode.
+func (c *Cluster) Runtime() *Runtime { return c.rt }
+
 // Start launches every node.
 func (c *Cluster) Start() {
+	if c.rt != nil {
+		c.rt.Start()
+		return
+	}
 	for _, n := range c.nodes {
 		n.Start()
 	}
 }
 
-// Stop stops every node (and closes their endpoints).
+// Stop stops every node (and closes their endpoints). All nodes are
+// signalled before any is waited on, so teardown is one scheduler
+// round, not nodes-many.
 func (c *Cluster) Stop() {
+	if c.rt != nil {
+		c.rt.Stop()
+		return
+	}
+	for _, n := range c.nodes {
+		n.signalStop()
+	}
 	for _, n := range c.nodes {
 		n.Stop()
 	}
@@ -130,6 +178,9 @@ func (c *Cluster) Stop() {
 
 // Snapshot returns every node's current approximation of the named field.
 func (c *Cluster) Snapshot(field string) ([]float64, error) {
+	if c.rt != nil {
+		return c.rt.Snapshot(field)
+	}
 	idx, err := c.schema.Index(field)
 	if err != nil {
 		return nil, err

@@ -451,6 +451,25 @@ func clusterWithClock(t *testing.T, size int, clock *epoch.Clock) *Cluster {
 	return c
 }
 
+// newTCPTestEndpoint binds a loopback TCP endpoint, retrying with a
+// short backoff when the kernel reports the port space busy — loaded CI
+// machines churn through ephemeral ports fast enough that a single bind
+// attempt flakes.
+func newTCPTestEndpoint(t *testing.T) transport.Endpoint {
+	t.Helper()
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		ep, err := transport.NewTCPEndpoint("127.0.0.1:0")
+		if err == nil {
+			return ep
+		}
+		lastErr = err
+		time.Sleep(time.Duration(attempt+1) * 50 * time.Millisecond)
+	}
+	t.Fatalf("bind loopback TCP endpoint: %v", lastErr)
+	return nil
+}
+
 func TestTCPNodesExchange(t *testing.T) {
 	// Two live nodes over real TCP loopback must converge on the average
 	// of their values. Real sockets plus two free-running gossip loops
@@ -463,14 +482,8 @@ func TestTCPNodesExchange(t *testing.T) {
 	if runtime.GOMAXPROCS(0) < 2 {
 		t.Skip("needs ≥ 2 CPUs for the TCP accept loops; single-core scheduling starves the exchange")
 	}
-	epA, err := transport.NewTCPEndpoint("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	epB, err := transport.NewTCPEndpoint("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
+	epA := newTCPTestEndpoint(t)
+	epB := newTCPTestEndpoint(t)
 	samplerA, err := membership.NewStatic([]string{epB.Addr()})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// equivCase is one scenario of the cross-runtime equivalence matrix:
+// both the goroutine runtime and the heap runtime execute it over a
+// deterministic in-memory fabric with fixed seeds, and must converge to
+// the same aggregate within tolerance. The runtimes schedule work very
+// differently (per-node goroutines and real timers versus a sharded
+// event heap with batched transports), so the equivalence is on the
+// protocol's fixed point — the aggregate every node agrees on — not on
+// trajectories.
+type equivCase struct {
+	name    string
+	size    int
+	field   string
+	dropP   float64 // fabric-level message loss
+	count   bool    // size estimation: leader indicator, field "size"
+	churn   bool    // one churn epoch: values change, clock restarts
+	want    float64
+	tol     float64
+	varTol  float64 // convergence threshold on the cross-node variance
+	timeout time.Duration
+}
+
+func equivMatrix(short bool) []equivCase {
+	cases := []equivCase{
+		{
+			name: "avg-lossless", size: 16, field: "avg",
+			want: 7.5, tol: 0.05, timeout: 5 * time.Second,
+		},
+		{
+			name: "avg-loss20", size: 12, field: "avg", dropP: 0.2,
+			// Loss breaks exact mass conservation (§2); both runtimes
+			// must stay near the true mean, and near each other. The
+			// variance threshold is looser because ongoing loss keeps
+			// perturbing the consensus.
+			want: 5.5, tol: 0.75, varTol: 1e-4, timeout: 8 * time.Second,
+		},
+		{
+			// The size field gossips the §4 indicator average 1/N; the
+			// decoded estimate is its reciprocal. Equivalence is checked
+			// on the raw field (±0.002 here is ≈ ±0.5 on the estimate).
+			name: "count-lossless", size: 16, field: "size", count: true,
+			want: 1.0 / 16, tol: 0.002, timeout: 5 * time.Second,
+		},
+	}
+	if !short {
+		cases = append(cases, equivCase{
+			name: "avg-churn-epoch", size: 12, field: "avg", churn: true,
+			want: 9, tol: 0.1, timeout: 8 * time.Second,
+		})
+	}
+	return cases
+}
+
+// runEquivCase executes one matrix entry on one runtime mode and
+// returns the converged snapshot of the case's field.
+func runEquivCase(t *testing.T, tc equivCase, mode RuntimeMode, seed uint64) []float64 {
+	t.Helper()
+	schema := core.AverageSchema()
+	value := func(i int) float64 { return float64(i) }
+	cfg := ClusterConfig{
+		Size:         tc.size,
+		Schema:       schema,
+		Value:        value,
+		CycleLength:  2 * time.Millisecond,
+		ReplyTimeout: 30 * time.Millisecond,
+		Mode:         mode,
+		Seed:         seed,
+	}
+	if tc.count {
+		schema = core.SummarySchema()
+		sizeIdx, err := schema.Index("size")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Schema = schema
+		cfg.InitState = func(i int) func(uint64, float64) core.State {
+			return func(_ uint64, v float64) core.State {
+				st := schema.InitState(v)
+				if i == 0 {
+					st[sizeIdx] = 1
+				}
+				return st
+			}
+		}
+	}
+	if tc.dropP > 0 {
+		cfg.Fabric = transport.NewFabric(
+			transport.WithDropProbability(tc.dropP),
+			transport.WithSeed(seed),
+			transport.WithInboxSize(1<<12),
+		)
+	}
+	if tc.churn {
+		clock, err := epoch.NewClock(time.Now(), 120*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Clock = clock
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	if tc.churn {
+		// One churn epoch: every node's local value jumps mid-run; the
+		// epoch restart must carry both runtimes to the new average.
+		time.Sleep(30 * time.Millisecond)
+		for i, n := range c.Nodes() {
+			n.SetValue(float64(i) + 3.5)
+		}
+	}
+
+	varTol := tc.varTol
+	if varTol == 0 {
+		varTol = 1e-6
+	}
+	deadline := time.Now().Add(tc.timeout)
+	for {
+		vals, err := c.Snapshot(tc.field)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Variance(vals) <= varTol && math.Abs(stats.Mean(vals)-tc.want) <= tc.tol {
+			return vals
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s/%s stuck: mean %g (want %g ± %g), variance %g",
+				tc.name, mode, stats.Mean(vals), tc.want, tc.tol, stats.Variance(vals))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCrossRuntimeEquivalence runs the scenario matrix on both runtimes
+// with the same seeds and checks that they converge to the same
+// aggregate within tolerance — the contract that lets callers switch a
+// Cluster to ModeHeap without revalidating the protocol.
+func TestCrossRuntimeEquivalence(t *testing.T) {
+	for _, tc := range equivMatrix(testing.Short()) {
+		t.Run(tc.name, func(t *testing.T) {
+			goro := runEquivCase(t, tc, ModeGoroutine, 1234)
+			heap := runEquivCase(t, tc, ModeHeap, 1234)
+			gm, hm := stats.Mean(goro), stats.Mean(heap)
+			if math.Abs(gm-tc.want) > tc.tol {
+				t.Errorf("goroutine mean %g, want %g ± %g", gm, tc.want, tc.tol)
+			}
+			if math.Abs(hm-tc.want) > tc.tol {
+				t.Errorf("heap mean %g, want %g ± %g", hm, tc.want, tc.tol)
+			}
+			if d := math.Abs(gm - hm); d > 2*tc.tol {
+				t.Errorf("runtimes disagree by %g (goroutine %g, heap %g), want ≤ %g",
+					d, gm, hm, 2*tc.tol)
+			}
+		})
+	}
+}

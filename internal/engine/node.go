@@ -132,7 +132,16 @@ type Stats struct {
 
 // Node is one protocol participant. Create with NewNode, then Start; Stop
 // tears down both goroutines and the endpoint.
+//
+// A Node handed out by a heap-mode Runtime (or a ModeHeap Cluster) is a
+// facade onto the runtime's shared worker pool: the read/write API
+// (State, Estimate, Epoch, Stats, SetValue, Addr) addresses that one
+// hosted node, while Start and Stop act on the whole runtime.
 type Node struct {
+	// hrt/hidx route a heap-runtime facade; nil for a real node.
+	hrt  *Runtime
+	hidx int
+
 	cfg  Config
 	addr string
 
@@ -201,11 +210,21 @@ func (n *Node) initState(epochID uint64, value float64) core.State {
 }
 
 // Addr returns the node's transport address.
-func (n *Node) Addr() string { return n.addr }
+func (n *Node) Addr() string {
+	if n.hrt != nil {
+		return n.hrt.Addr(n.hidx)
+	}
+	return n.addr
+}
 
 // Start launches the active loop and the dispatcher. Calling Start more
-// than once is a no-op.
+// than once is a no-op. On a heap-runtime facade it starts the whole
+// runtime (idempotently).
 func (n *Node) Start() {
+	if n.hrt != nil {
+		n.hrt.Start()
+		return
+	}
 	if n.started.Swap(true) {
 		return
 	}
@@ -216,13 +235,28 @@ func (n *Node) Start() {
 	go func() { wg.Wait(); close(n.done) }()
 }
 
-// Stop signals both goroutines, closes the endpoint and waits for
-// shutdown. It is idempotent and safe to call before Start.
-func (n *Node) Stop() {
+// signalStop begins shutdown — stop channel closed, endpoint closed —
+// without waiting for the goroutines to exit. Cluster.Stop signals
+// every node before waiting on any: sequential signal-and-wait is
+// O(nodes × scheduler latency) when thousands of sibling goroutines
+// are runnable, which turns teardown of a 10⁴-node cluster into
+// minutes on a loaded host.
+func (n *Node) signalStop() {
 	n.stopOnce.Do(func() {
 		close(n.stop)
 		_ = n.cfg.Endpoint.Close() // unblocks the dispatcher
 	})
+}
+
+// Stop signals both goroutines, closes the endpoint and waits for
+// shutdown. It is idempotent and safe to call before Start. On a
+// heap-runtime facade it stops the whole runtime.
+func (n *Node) Stop() {
+	if n.hrt != nil {
+		n.hrt.Stop()
+		return
+	}
+	n.signalStop()
 	if n.started.Load() {
 		<-n.done
 	}
@@ -232,6 +266,10 @@ func (n *Node) Stop() {
 // enabled the new value enters the aggregate at the next epoch (§4's
 // adaptivity); without epochs it only affects future restarts.
 func (n *Node) SetValue(v float64) {
+	if n.hrt != nil {
+		n.hrt.SetValue(n.hidx, v)
+		return
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.value = v
@@ -239,6 +277,9 @@ func (n *Node) SetValue(v float64) {
 
 // State returns a copy of the node's current approximation vector.
 func (n *Node) State() core.State {
+	if n.hrt != nil {
+		return n.hrt.NodeState(n.hidx)
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	out := make(core.State, len(n.state))
@@ -248,6 +289,13 @@ func (n *Node) State() core.State {
 
 // Estimate returns the node's current approximation of the named field.
 func (n *Node) Estimate(field string) (float64, error) {
+	if n.hrt != nil {
+		idx, err := n.hrt.schema.Index(field)
+		if err != nil {
+			return 0, err
+		}
+		return n.hrt.NodeState(n.hidx)[idx], nil
+	}
 	idx, err := n.cfg.Schema.Index(field)
 	if err != nil {
 		return 0, err
@@ -259,6 +307,9 @@ func (n *Node) Estimate(field string) (float64, error) {
 
 // Epoch returns the node's current epoch identifier.
 func (n *Node) Epoch() uint64 {
+	if n.hrt != nil {
+		return n.hrt.NodeEpoch(n.hidx)
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.tracker.Current()
@@ -266,6 +317,9 @@ func (n *Node) Epoch() uint64 {
 
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
+	if n.hrt != nil {
+		return n.hrt.NodeStats(n.hidx)
+	}
 	return Stats{
 		Initiated:     n.initiated.Load(),
 		Replies:       n.replies.Load(),

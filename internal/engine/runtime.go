@@ -1,0 +1,805 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/membership"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/xrand"
+)
+
+// RuntimeMode selects how a cluster's nodes are scheduled.
+type RuntimeMode uint8
+
+const (
+	// ModeGoroutine is the historical runtime: one active goroutine and
+	// one dispatcher goroutine per node. Simple and maximally
+	// asynchronous, but two goroutines, a timer and a channel-backed
+	// inbox per node stop scaling around 10⁴ nodes per process.
+	ModeGoroutine RuntimeMode = iota
+	// ModeHeap multiplexes every local node onto a small worker pool:
+	// each worker owns a contiguous shard of nodes, drives their
+	// exchange timers from a per-shard event min-heap (the kernel's
+	// scheduling model, sim.EventHeap) and coalesces same-destination
+	// messages through a transport.Batcher. One endpoint per worker —
+	// nodes are addressed with "endpoint#index" sub-addresses — so a
+	// single process sustains 10⁵–10⁶ nodes.
+	ModeHeap
+)
+
+// String returns the mode name.
+func (m RuntimeMode) String() string {
+	switch m {
+	case ModeGoroutine:
+		return "goroutine"
+	case ModeHeap:
+		return "heap"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Event kinds scheduled on a shard's heap.
+const (
+	evWake    uint8 = iota // a node's next exchange initiation
+	evTimeout              // the reply deadline of an in-flight exchange
+)
+
+// eventBudget returns how many due events one scheduler round of a
+// shard with n nodes may fire before serving the inbox again. When a
+// shard runs behind schedule (saturation), every node's wake is due at
+// once; firing them all in one go would put the whole shard into the
+// pending (busy) state simultaneously and nack every push — a
+// livelock. Chunking at ≤ 1/8 of the shard keeps only a small fraction
+// of nodes in flight at a time, so pushes almost always find a
+// serviceable peer, while the floor still amortizes batch frames over
+// dozens of messages.
+func eventBudget(n int) int {
+	return min(1024, max(64, n/8))
+}
+
+// RuntimeConfig assembles a heap-mode runtime hosting Size nodes.
+type RuntimeConfig struct {
+	// Size is the number of hosted nodes (≥ 2).
+	Size int
+	// Schema defines the gossiped fields (required).
+	Schema *core.Schema
+	// Value supplies node i's local attribute.
+	Value func(i int) float64
+	// CycleLength is Δt for every node (required).
+	CycleLength time.Duration
+	// ReplyTimeout bounds the pull-reply wait (default CycleLength/2).
+	ReplyTimeout time.Duration
+	// Wait is the waiting-time policy (default ConstantWait).
+	Wait WaitPolicy
+	// Fabric carries the messages when Endpoints is nil; nil builds a
+	// lossless fabric with deep per-worker inboxes.
+	Fabric *transport.Fabric
+	// Endpoints, when non-nil, supplies one pre-built endpoint per
+	// worker (e.g. TCP listeners for a deployable multi-node process)
+	// and overrides Fabric. len(Endpoints) fixes the worker count.
+	Endpoints []transport.Endpoint
+	// PushOnly enables the push-only ablation on every node.
+	PushOnly bool
+	// InitState, when non-nil, overrides state initialization for node
+	// i (e.g. to seed the size-estimation leader).
+	InitState func(i int) func(epochID uint64, value float64) core.State
+	// Clock, when non-nil, drives epoch restarts on every node.
+	Clock *epoch.Clock
+	// Samplers, when non-nil, builds node i's membership sampler; self
+	// is the node's sub-address and local the full table of hosted-node
+	// sub-addresses (shared, read-only) for bootstrapping. Nil uses a
+	// shared directory over all hosted nodes — the complete local
+	// overlay in O(N) total memory.
+	Samplers func(i int, self string, local []string) (membership.Sampler, error)
+	// GossipFanout is how many membership addresses to piggyback per
+	// message (default 3; negative disables; moot for the directory).
+	GossipFanout int
+	// Workers is the worker/shard count (default GOMAXPROCS, clamped so
+	// every shard owns at least two nodes).
+	Workers int
+	// BatchWindow bounds how long a coalesced message may wait before
+	// the batcher flushes on its own. 0 (the default) flushes once per
+	// scheduler round — lowest latency, still batch-framed.
+	BatchWindow time.Duration
+	// MaxBatch caps messages per batch frame (default 256).
+	MaxBatch int
+	// Seed makes node randomness reproducible.
+	Seed uint64
+}
+
+// withDefaults validates and fills defaults.
+func (c RuntimeConfig) withDefaults() (RuntimeConfig, error) {
+	if c.Size < 2 {
+		return c, fmt.Errorf("engine: runtime needs ≥ 2 nodes, got %d", c.Size)
+	}
+	if c.Schema == nil {
+		return c, fmt.Errorf("engine: runtime needs a Schema")
+	}
+	if c.CycleLength <= 0 {
+		return c, fmt.Errorf("engine: CycleLength must be positive, got %v", c.CycleLength)
+	}
+	if c.Wait == 0 {
+		c.Wait = ConstantWait
+	}
+	if c.Wait != ConstantWait && c.Wait != ExponentialWait {
+		return c, fmt.Errorf("engine: unknown wait policy %v", c.Wait)
+	}
+	if c.ReplyTimeout <= 0 {
+		c.ReplyTimeout = c.CycleLength / 2
+	}
+	if c.Value == nil {
+		c.Value = func(int) float64 { return 0 }
+	}
+	if c.GossipFanout == 0 {
+		c.GossipFanout = 3
+	}
+	if c.GossipFanout < 0 {
+		c.GossipFanout = 0
+	}
+	if len(c.Endpoints) > 0 {
+		// Explicit endpoints fix the worker count; the caller already
+		// paid for the listeners, so only require one node per shard.
+		c.Workers = len(c.Endpoints)
+		if c.Workers > c.Size {
+			return c, fmt.Errorf("engine: %d endpoints exceed %d nodes (each worker endpoint needs ≥ 1 node)", c.Workers, c.Size)
+		}
+	} else {
+		if c.Workers <= 0 {
+			c.Workers = runtime.GOMAXPROCS(0)
+		}
+		if c.Workers > c.Size/2 {
+			c.Workers = max(c.Size/2, 1)
+		}
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	return c, nil
+}
+
+// Runtime is the heap-mode live runtime: a worker pool multiplexing all
+// hosted nodes, per-shard event heaps for exchange timers and reply
+// deadlines, and batched transports. Construct with NewRuntime, then
+// Start; Stop tears down the workers and endpoints.
+type Runtime struct {
+	cfg    RuntimeConfig
+	schema *core.Schema
+	fabric *transport.Fabric // nil when explicit endpoints were supplied
+	shards []*rshard
+	addrs  []string // node i's sub-address, shared by every directory
+	nodes  []*Node  // facade handles, one per hosted node
+
+	epochStart time.Time // reference point for the runtime clock
+	stop       chan struct{}
+	startOnce  sync.Once
+	stopOnce   sync.Once
+	started    atomic.Bool
+	stopped    atomic.Bool
+}
+
+// rnode is one hosted node's protocol state, guarded by its shard's mu.
+type rnode struct {
+	state      []float64 // view into the shard's backing column
+	value      float64
+	tracker    epoch.Tracker
+	rng        *xrand.Rand
+	sampler    membership.Sampler
+	observes   bool // sampler wants Observe/Forget feedback (non-directory)
+	initState  func(epochID uint64, value float64) core.State
+	pendingSeq uint64 // nonzero while an exchange is in flight (the busy flag)
+	stats      Stats
+}
+
+// failure records one undeliverable batch destination for a sender.
+type failure struct {
+	to   string
+	from string
+}
+
+// rshard is one worker's slice of the runtime: a contiguous node range,
+// an endpoint, a batcher and an event heap.
+type rshard struct {
+	rt     *Runtime
+	id     int
+	lo, hi int
+	ep     transport.Endpoint
+	out    *transport.Batcher
+
+	mu      sync.Mutex
+	nodes   []rnode
+	backing []float64
+	heap    *sim.EventHeap
+	seq     uint64
+
+	failMu   sync.Mutex
+	failures []failure
+
+	done chan struct{}
+}
+
+// NewRuntime builds (but does not start) a heap-mode runtime.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		cfg:    cfg,
+		schema: cfg.Schema,
+		stop:   make(chan struct{}),
+	}
+	endpoints := cfg.Endpoints
+	if endpoints == nil {
+		rt.fabric = cfg.Fabric
+		if rt.fabric == nil {
+			rt.fabric = transport.NewFabric(
+				transport.WithSeed(cfg.Seed),
+				transport.WithInboxSize(1<<14),
+			)
+		}
+		endpoints = make([]transport.Endpoint, cfg.Workers)
+		for w := range endpoints {
+			endpoints[w] = rt.fabric.NewEndpoint()
+		}
+	}
+
+	// Contiguous equal split: the first rem shards get one extra node.
+	base, rem := cfg.Size/cfg.Workers, cfg.Size%cfg.Workers
+	rt.addrs = make([]string, cfg.Size)
+	rt.nodes = make([]*Node, cfg.Size)
+	rt.shards = make([]*rshard, cfg.Workers)
+	fieldN := cfg.Schema.Len()
+	startEpoch := uint64(0)
+	if cfg.Clock != nil {
+		startEpoch = cfg.Clock.Current(time.Now())
+	}
+	lo := 0
+	for w := range cfg.Workers {
+		hi := lo + base
+		if w < rem {
+			hi++
+		}
+		s := &rshard{
+			rt:      rt,
+			id:      w,
+			lo:      lo,
+			hi:      hi,
+			ep:      endpoints[w],
+			nodes:   make([]rnode, hi-lo),
+			backing: make([]float64, (hi-lo)*fieldN),
+			heap:    sim.NewEventHeap(2 * (hi - lo)),
+			done:    make(chan struct{}),
+		}
+		s.out = transport.NewBatcher(endpoints[w],
+			transport.WithBatchWindow(cfg.BatchWindow),
+			transport.WithMaxBatch(cfg.MaxBatch),
+			transport.WithSendErrorHandler(s.noteFailures),
+		)
+		for i := lo; i < hi; i++ {
+			rt.addrs[i] = transport.SubAddr(endpoints[w].Addr(), i)
+		}
+		rt.shards[w] = s
+		lo = hi
+	}
+
+	for _, s := range rt.shards {
+		for i := s.lo; i < s.hi; i++ {
+			n := &s.nodes[i-s.lo]
+			n.value = cfg.Value(i)
+			n.rng = xrand.New(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
+			n.tracker = epoch.NewTracker(startEpoch)
+			if cfg.InitState != nil {
+				n.initState = cfg.InitState(i)
+			}
+			if cfg.Samplers != nil {
+				sampler, err := cfg.Samplers(i, rt.addrs[i], rt.addrs)
+				if err != nil {
+					return nil, fmt.Errorf("engine: sampler for node %d: %w", i, err)
+				}
+				n.sampler = sampler
+				_, isDir := sampler.(*membership.Directory)
+				n.observes = !isDir
+			} else {
+				sampler, err := membership.NewDirectory(rt.addrs, i)
+				if err != nil {
+					return nil, fmt.Errorf("engine: directory for node %d: %w", i, err)
+				}
+				n.sampler = sampler
+			}
+			n.state = s.backing[(i-s.lo)*fieldN : (i-s.lo+1)*fieldN]
+			copy(n.state, rt.initStateFor(n, startEpoch))
+			rt.nodes[i] = &Node{hrt: rt, hidx: i}
+		}
+	}
+	return rt, nil
+}
+
+// initStateFor builds a node's state vector for an epoch.
+func (rt *Runtime) initStateFor(n *rnode, epochID uint64) core.State {
+	if n.initState != nil {
+		return n.initState(epochID, n.value)
+	}
+	return rt.schema.InitState(n.value)
+}
+
+// Size returns the number of hosted nodes.
+func (rt *Runtime) Size() int { return len(rt.addrs) }
+
+// Workers returns the worker/shard count.
+func (rt *Runtime) Workers() int { return len(rt.shards) }
+
+// Nodes returns per-node facade handles in index order. The handles
+// support the full Node API (State, Estimate, Epoch, Stats, SetValue);
+// Start and Stop act on the whole runtime.
+func (rt *Runtime) Nodes() []*Node { return rt.nodes }
+
+// Addr returns node i's sub-address.
+func (rt *Runtime) Addr(i int) string { return rt.addrs[i] }
+
+// Fabric returns the runtime-owned in-memory fabric (nil when explicit
+// endpoints were supplied).
+func (rt *Runtime) Fabric() *transport.Fabric { return rt.fabric }
+
+// now returns seconds since Start on the runtime clock.
+func (rt *Runtime) now() float64 {
+	return time.Since(rt.epochStart).Seconds()
+}
+
+// Start launches the worker pool. Calling Start more than once is a
+// no-op.
+func (rt *Runtime) Start() {
+	rt.startOnce.Do(func() {
+		rt.epochStart = time.Now()
+		rt.started.Store(true)
+		cycle := rt.cfg.CycleLength.Seconds()
+		for _, s := range rt.shards {
+			s.mu.Lock()
+			for i := s.lo; i < s.hi; i++ {
+				// Random initial phase in [0, Δt): desynchronized ticks
+				// avoid lockstep collisions (§1.1 autonomy), exactly as
+				// the goroutine runtime does.
+				phase := s.nodes[i-s.lo].rng.Float64() * cycle
+				s.heap.Push(sim.Event{At: phase, Node: int32(i), Kind: evWake})
+			}
+			s.mu.Unlock()
+			go s.run()
+		}
+	})
+}
+
+// Stop terminates the workers, flushes and closes every endpoint, and
+// waits for shutdown. Idempotent and safe to call before Start.
+func (rt *Runtime) Stop() {
+	rt.stopOnce.Do(func() {
+		rt.stopped.Store(true)
+		close(rt.stop)
+		if rt.started.Load() {
+			for _, s := range rt.shards {
+				<-s.done
+			}
+		}
+		for _, s := range rt.shards {
+			_ = s.out.Close()
+		}
+	})
+}
+
+// shardOf returns the shard owning global node index i.
+func (rt *Runtime) shardOf(i int) *rshard {
+	w := len(rt.shards)
+	n := len(rt.addrs)
+	base, rem := n/w, n%w
+	cut := rem * (base + 1)
+	if i < cut {
+		return rt.shards[i/(base+1)]
+	}
+	return rt.shards[rem+(i-cut)/base]
+}
+
+// Snapshot returns every node's current approximation of the named
+// field, locking one shard at a time.
+func (rt *Runtime) Snapshot(field string) ([]float64, error) {
+	idx, err := rt.schema.Index(field)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rt.addrs))
+	for _, s := range rt.shards {
+		s.mu.Lock()
+		for i := s.lo; i < s.hi; i++ {
+			out[i] = s.nodes[i-s.lo].state[idx]
+		}
+		s.mu.Unlock()
+	}
+	return out, nil
+}
+
+// NodeState returns a copy of node i's state vector.
+func (rt *Runtime) NodeState(i int) core.State {
+	s := rt.shardOf(i)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(core.State, len(s.nodes[i-s.lo].state))
+	copy(out, s.nodes[i-s.lo].state)
+	return out
+}
+
+// NodeEpoch returns node i's current epoch identifier.
+func (rt *Runtime) NodeEpoch(i int) uint64 {
+	s := rt.shardOf(i)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodes[i-s.lo].tracker.Current()
+}
+
+// NodeStats returns a snapshot of node i's counters.
+func (rt *Runtime) NodeStats(i int) Stats {
+	s := rt.shardOf(i)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodes[i-s.lo].stats
+}
+
+// SetValue updates node i's local attribute (visible at the next epoch
+// restart, §4 adaptivity).
+func (rt *Runtime) SetValue(i int, v float64) {
+	s := rt.shardOf(i)
+	s.mu.Lock()
+	s.nodes[i-s.lo].value = v
+	s.mu.Unlock()
+}
+
+// Stats returns the element-wise sum of every hosted node's counters.
+func (rt *Runtime) Stats() Stats {
+	var agg Stats
+	for _, s := range rt.shards {
+		s.mu.Lock()
+		for i := range s.nodes {
+			st := &s.nodes[i].stats
+			agg.Initiated += st.Initiated
+			agg.Replies += st.Replies
+			agg.Timeouts += st.Timeouts
+			agg.Served += st.Served
+			agg.EpochSwitches += st.EpochSwitches
+			agg.StaleDropped += st.StaleDropped
+			agg.SendErrors += st.SendErrors
+			agg.BusyDropped += st.BusyDropped
+			agg.PeerBusy += st.PeerBusy
+		}
+		s.mu.Unlock()
+	}
+	return agg
+}
+
+// nodeIndex parses the node index out of a sub-address ("ep#17" → 17).
+func nodeIndex(addr string) (int, bool) {
+	h := strings.IndexByte(addr, '#')
+	if h < 0 {
+		return 0, false
+	}
+	idx, err := strconv.Atoi(addr[h+1:])
+	if err != nil || idx < 0 {
+		return 0, false
+	}
+	return idx, true
+}
+
+// noteFailures records a failed batch destination; the worker applies
+// the feedback (SendErrors, sampler Forget) at its next round. Deferred
+// because the batcher may invoke this while the worker holds mu. Each
+// message's own To (the full sub-address the sampler handed out) is
+// recorded, not the batch's base address — Forget must match what
+// Sample returned.
+func (s *rshard) noteFailures(to string, ms []transport.Message, err error) {
+	s.failMu.Lock()
+	for _, m := range ms {
+		dest := m.To
+		if dest == "" {
+			dest = to
+		}
+		s.failures = append(s.failures, failure{to: dest, from: m.From})
+	}
+	s.failMu.Unlock()
+}
+
+// applyFailures charges recorded send failures to their sender nodes.
+func (s *rshard) applyFailures() {
+	s.failMu.Lock()
+	fails := s.failures
+	s.failures = nil
+	s.failMu.Unlock()
+	if len(fails) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, f := range fails {
+		idx, ok := nodeIndex(f.from)
+		if !ok || idx < s.lo || idx >= s.hi {
+			continue
+		}
+		n := &s.nodes[idx-s.lo]
+		n.stats.SendErrors++
+		if n.observes {
+			n.sampler.Forget(f.to)
+		}
+		// If the failed message was the in-flight exchange's push, the
+		// reply timeout reaps it; nothing more to do here.
+	}
+	s.mu.Unlock()
+}
+
+// run is the worker loop: drain inbound messages, fire due events,
+// flush coalesced sends, sleep until the next deadline or message.
+func (s *rshard) run() {
+	defer close(s.done)
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	inbox := s.ep.Inbox()
+	for {
+		s.applyFailures()
+		// Drain everything currently queued.
+	drain:
+		for {
+			select {
+			case m, ok := <-inbox:
+				if !ok {
+					return
+				}
+				s.handleMessage(m)
+			default:
+				break drain
+			}
+		}
+		// Fire due events, at most one chunk per round.
+		budget := eventBudget(s.hi - s.lo)
+		now := s.rt.now()
+		s.mu.Lock()
+		for fired := 0; fired < budget; fired++ {
+			ev, ok := s.heap.Peek()
+			if !ok || ev.At > now {
+				break
+			}
+			s.heap.Pop()
+			s.handleEvent(ev, now)
+		}
+		sleep := time.Hour
+		if ev, ok := s.heap.Peek(); ok {
+			sleep = time.Duration((ev.At - s.rt.now()) * float64(time.Second))
+		}
+		s.mu.Unlock()
+		// With no batch window, everything generated this round leaves
+		// as batch frames now; with one, the batcher's own timer (or
+		// the size cap) flushes, trading up to BatchWindow of latency
+		// for coalescing across scheduler rounds.
+		if s.rt.cfg.BatchWindow == 0 {
+			s.out.Flush()
+		}
+		if sleep <= 0 {
+			// Behind schedule: keep processing without sleeping, but
+			// yield so inbound deliveries and other workers progress.
+			select {
+			case <-s.rt.stop:
+				return
+			default:
+			}
+			continue
+		}
+		timer.Reset(sleep)
+		select {
+		case <-s.rt.stop:
+			return
+		case m, ok := <-inbox:
+			if !ok {
+				return
+			}
+			s.handleMessage(m)
+		case <-timer.C:
+		}
+	}
+}
+
+// handleEvent processes one due event. Caller holds s.mu.
+func (s *rshard) handleEvent(ev sim.Event, now float64) {
+	idx := int(ev.Node)
+	n := &s.nodes[idx-s.lo]
+	switch ev.Kind {
+	case evTimeout:
+		if n.pendingSeq == ev.Seq {
+			n.pendingSeq = 0
+			n.stats.Timeouts++
+		}
+	case evWake:
+		s.checkClock(n)
+		if n.pendingSeq == 0 {
+			s.initiate(n, idx, now)
+		}
+		// A wake that finds an exchange still in flight initiates
+		// nothing: the goroutine runtime blocks its active loop until
+		// reply-or-timeout, and reaping the exchange here instead would
+		// drop a reply whose passive side already merged — an
+		// asymmetric merge that leaks aggregate mass. The evTimeout
+		// event is the only reaper.
+		s.heap.Push(sim.Event{At: ev.At + s.waitSeconds(n), Node: ev.Node, Kind: evWake})
+	}
+}
+
+// waitSeconds draws one inter-exchange waiting time in seconds.
+func (s *rshard) waitSeconds(n *rnode) float64 {
+	cycle := s.rt.cfg.CycleLength.Seconds()
+	if s.rt.cfg.Wait == ExponentialWait {
+		return n.rng.ExpFloat64() * cycle
+	}
+	return cycle
+}
+
+// checkClock performs the node's own scheduled epoch restart.
+func (s *rshard) checkClock(n *rnode) {
+	if s.rt.cfg.Clock == nil {
+		return
+	}
+	if n.tracker.Observe(s.rt.cfg.Clock.Current(time.Now())) {
+		s.restart(n)
+	}
+}
+
+// restart reinitializes a node's state for its (already advanced)
+// current epoch. Caller holds s.mu.
+func (s *rshard) restart(n *rnode) {
+	copy(n.state, s.rt.initStateFor(n, n.tracker.Current()))
+	n.stats.EpochSwitches++
+}
+
+// initiate performs the active half of one exchange: sample a peer,
+// send the push, arm the reply deadline. Caller holds s.mu and has
+// checked that no exchange is in flight.
+func (s *rshard) initiate(n *rnode, idx int, now float64) {
+	self := s.rt.addrs[idx]
+	peer, ok := n.sampler.Sample(n.rng)
+	if !ok || peer == self {
+		return
+	}
+	fields := make([]float64, len(n.state))
+	copy(fields, n.state)
+	s.seq++
+	msg := transport.Message{
+		Kind:   transport.KindPush,
+		Epoch:  n.tracker.Current(),
+		Seq:    s.seq,
+		From:   self,
+		Fields: fields,
+	}
+	if s.rt.cfg.GossipFanout > 0 && n.observes {
+		msg.Gossip = n.sampler.Digest(n.rng, s.rt.cfg.GossipFanout)
+	}
+	n.stats.Initiated++
+	if !s.rt.cfg.PushOnly {
+		n.pendingSeq = s.seq
+		s.heap.Push(sim.Event{
+			At:   now + s.rt.cfg.ReplyTimeout.Seconds(),
+			Node: int32(idx),
+			Kind: evTimeout,
+			Seq:  s.seq,
+		})
+	}
+	if err := s.out.Send(peer, msg); err != nil {
+		n.stats.SendErrors++
+	}
+}
+
+// handleMessage routes one inbound message to its hosted node. A
+// message addressed to the endpoint's bare base address (no '#'
+// sub-address) is first-contact traffic from a peer that only knows
+// this process's listen address (aggnode -peers host:port); the
+// shard's first node serves it, and the reply's From carries that
+// node's full sub-address, which bootstraps the remote sampler onto
+// proper sub-addresses.
+func (s *rshard) handleMessage(m transport.Message) {
+	idx, ok := nodeIndex(m.To)
+	if !ok {
+		idx = s.lo
+	} else if idx < s.lo || idx >= s.hi {
+		return // misrouted sub-address; drop
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := &s.nodes[idx-s.lo]
+	if n.observes && m.From != "" {
+		n.sampler.Observe(append([]string{m.From}, m.Gossip...)...)
+	}
+	switch m.Kind {
+	case transport.KindPush:
+		s.servePush(n, idx, m)
+	case transport.KindReply, transport.KindNack:
+		s.handleReply(n, m)
+	}
+}
+
+// servePush implements the passive half (Figure 1, bottom): reply with
+// the pre-merge state, then adopt the merge. Caller holds s.mu.
+func (s *rshard) servePush(n *rnode, idx int, m transport.Message) {
+	if !s.rt.cfg.PushOnly && n.pendingSeq != 0 {
+		// An own exchange is in flight; merging now would break the
+		// atomicity of the elementary step. Decline with a nack, as the
+		// goroutine runtime does.
+		n.stats.BusyDropped++
+		nack := transport.Message{
+			Kind:  transport.KindNack,
+			Epoch: n.tracker.Current(),
+			Seq:   m.Seq,
+			From:  s.rt.addrs[idx],
+		}
+		if err := s.out.Send(m.From, nack); err != nil {
+			n.stats.SendErrors++
+		}
+		return
+	}
+	if n.tracker.Observe(m.Epoch) {
+		s.restart(n)
+	} else if !n.tracker.InSync(m.Epoch) {
+		n.stats.StaleDropped++
+		return
+	}
+	if len(m.Fields) != len(n.state) {
+		return // schema mismatch; drop defensively
+	}
+	var pre []float64
+	if !s.rt.cfg.PushOnly {
+		pre = make([]float64, len(n.state))
+		copy(pre, n.state)
+	}
+	// MergeInto writes the merge into both slices; m.Fields is our copy
+	// of the wire payload, so mutating it is free.
+	s.rt.schema.MergeInto(core.State(n.state), core.State(m.Fields))
+	n.stats.Served++
+	if s.rt.cfg.PushOnly {
+		return
+	}
+	reply := transport.Message{
+		Kind:   transport.KindReply,
+		Epoch:  n.tracker.Current(),
+		Seq:    m.Seq,
+		From:   s.rt.addrs[idx],
+		Fields: pre,
+	}
+	if s.rt.cfg.GossipFanout > 0 && n.observes {
+		reply.Gossip = n.sampler.Digest(n.rng, s.rt.cfg.GossipFanout)
+	}
+	if err := s.out.Send(m.From, reply); err != nil {
+		n.stats.SendErrors++
+	}
+}
+
+// handleReply completes (or aborts, on nack) the node's in-flight
+// exchange. Caller holds s.mu.
+func (s *rshard) handleReply(n *rnode, m transport.Message) {
+	if n.pendingSeq == 0 || m.Seq != n.pendingSeq {
+		return // exchange already timed out, or a stray duplicate
+	}
+	n.pendingSeq = 0
+	if m.Kind == transport.KindNack {
+		n.stats.PeerBusy++
+		return
+	}
+	if n.tracker.Observe(m.Epoch) {
+		s.restart(n)
+		// The reply belongs to the new epoch we just joined; merge it.
+	} else if !n.tracker.InSync(m.Epoch) {
+		n.stats.StaleDropped++
+		return
+	}
+	if len(m.Fields) != len(n.state) {
+		return
+	}
+	s.rt.schema.MergeInto(core.State(n.state), core.State(m.Fields))
+	n.stats.Replies++
+}

@@ -1,0 +1,428 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/membership"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+func TestRuntimeConfigValidation(t *testing.T) {
+	base := RuntimeConfig{
+		Size:        8,
+		Schema:      core.AverageSchema(),
+		CycleLength: time.Millisecond,
+	}
+	mutations := []struct {
+		name   string
+		mutate func(c RuntimeConfig) RuntimeConfig
+	}{
+		{"too small", func(c RuntimeConfig) RuntimeConfig { c.Size = 1; return c }},
+		{"nil schema", func(c RuntimeConfig) RuntimeConfig { c.Schema = nil; return c }},
+		{"zero cycle", func(c RuntimeConfig) RuntimeConfig { c.CycleLength = 0; return c }},
+		{"bad wait", func(c RuntimeConfig) RuntimeConfig { c.Wait = WaitPolicy(99); return c }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			if _, err := NewRuntime(m.mutate(base)); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+	if _, err := NewRuntime(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	// Explicit endpoints fix the worker count: up to one per node is
+	// accepted, more is an error.
+	fabric := transport.NewFabric()
+	three := base
+	three.Size = 4
+	three.Endpoints = []transport.Endpoint{fabric.NewEndpoint(), fabric.NewEndpoint(), fabric.NewEndpoint()}
+	if rt, err := NewRuntime(three); err != nil {
+		t.Fatalf("3 endpoints for 4 nodes rejected: %v", err)
+	} else if rt.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", rt.Workers())
+	}
+	over := base
+	over.Size = 2
+	over.Endpoints = []transport.Endpoint{fabric.NewEndpoint(), fabric.NewEndpoint(), fabric.NewEndpoint()}
+	if _, err := NewRuntime(over); err == nil {
+		t.Fatal("3 endpoints for 2 nodes accepted")
+	}
+}
+
+func TestRuntimeModeString(t *testing.T) {
+	if ModeGoroutine.String() != "goroutine" || ModeHeap.String() != "heap" {
+		t.Error("mode names wrong")
+	}
+	if RuntimeMode(42).String() == "" {
+		t.Error("unknown mode produced empty string")
+	}
+}
+
+func TestRuntimeStopBeforeStart(t *testing.T) {
+	rt, err := NewRuntime(RuntimeConfig{
+		Size:        4,
+		Schema:      core.AverageSchema(),
+		CycleLength: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Stop() // must not hang or panic
+	rt.Stop() // idempotent
+}
+
+func TestRuntimeShardOfCoversAllNodes(t *testing.T) {
+	for _, tc := range []struct{ size, workers int }{
+		{8, 1}, {8, 3}, {10, 4}, {100, 7}, {64, 8},
+	} {
+		rt, err := NewRuntime(RuntimeConfig{
+			Size:        tc.size,
+			Schema:      core.AverageSchema(),
+			CycleLength: time.Millisecond,
+			Workers:     tc.workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := 0
+		for _, s := range rt.shards {
+			for i := s.lo; i < s.hi; i++ {
+				if got := rt.shardOf(i); got != s {
+					t.Fatalf("size=%d workers=%d: shardOf(%d) = shard %d, want %d",
+						tc.size, tc.workers, i, got.id, s.id)
+				}
+				covered++
+			}
+		}
+		if covered != tc.size {
+			t.Fatalf("size=%d workers=%d: shards cover %d nodes", tc.size, tc.workers, covered)
+		}
+		rt.Stop()
+	}
+}
+
+func TestHeapClusterConvergesToAverage(t *testing.T) {
+	const size = 24
+	c, err := NewCluster(ClusterConfig{
+		Size:         size,
+		Schema:       core.AverageSchema(),
+		Value:        func(i int) float64 { return float64(i) },
+		CycleLength:  2 * time.Millisecond,
+		ReplyTimeout: 200 * time.Millisecond,
+		Mode:         ModeHeap,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Runtime() == nil {
+		t.Fatal("heap cluster has no runtime")
+	}
+	c.Start()
+	defer c.Stop()
+	v, converged, err := c.WaitConverged("avg", 1e-6, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !converged {
+		t.Fatalf("variance %g after 5s, want ≤ 1e-6", v)
+	}
+	vals, err := c.Snapshot("avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(size-1) / 2
+	if got := stats.Mean(vals); math.Abs(got-want) > 0.05 {
+		t.Fatalf("converged mean %g, want ≈ %g", got, want)
+	}
+	// The facade nodes must report through the runtime.
+	n := c.Nodes()[7]
+	if est, err := n.Estimate("avg"); err != nil || math.Abs(est-want) > 0.05 {
+		t.Fatalf("facade Estimate = %g, %v", est, err)
+	}
+	if n.Addr() == "" {
+		t.Fatal("facade Addr empty")
+	}
+	if s := n.Stats(); s.Initiated == 0 {
+		t.Fatal("facade Stats shows no initiations")
+	}
+}
+
+func TestHeapClusterSummarySchemaConverges(t *testing.T) {
+	schema := core.SummarySchema()
+	sizeIdx, err := schema.Index("size")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 16
+	c, err := NewCluster(ClusterConfig{
+		Size:         size,
+		Schema:       schema,
+		Value:        func(i int) float64 { return float64(i%4) + 1 },
+		CycleLength:  2 * time.Millisecond,
+		ReplyTimeout: 200 * time.Millisecond,
+		Mode:         ModeHeap,
+		Workers:      3,                // exercise cross-shard exchanges
+		BatchWindow:  time.Millisecond, // and timer-driven batch flushing
+		Seed:         2,
+		InitState: func(i int) func(uint64, float64) core.State {
+			return func(_ uint64, value float64) core.State {
+				st := schema.InitState(value)
+				if i == 0 {
+					st[sizeIdx] = 1 // node 0 leads the size instance
+				}
+				return st
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	if _, ok, _ := c.WaitConverged("size", 1e-10, 5*time.Second); !ok {
+		t.Fatal("size field did not converge")
+	}
+	sum, err := core.DecodeSummary(schema, c.Nodes()[7].State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.Size-size) > 0.5 {
+		t.Errorf("size estimate %g, want ≈ %d", sum.Size, size)
+	}
+	if sum.Min != 1 || sum.Max != 4 {
+		t.Errorf("min/max = %g/%g, want 1/4", sum.Min, sum.Max)
+	}
+	if math.Abs(sum.Mean-2.5) > 0.05 {
+		t.Errorf("mean = %g, want ≈ 2.5", sum.Mean)
+	}
+}
+
+func TestHeapClusterUnderMessageLoss(t *testing.T) {
+	fabric := transport.NewFabric(transport.WithDropProbability(0.2), transport.WithSeed(6))
+	c, err := NewCluster(ClusterConfig{
+		Size:         12,
+		Schema:       core.AverageSchema(),
+		Value:        func(i int) float64 { return float64(i) },
+		CycleLength:  2 * time.Millisecond,
+		ReplyTimeout: 20 * time.Millisecond,
+		Fabric:       fabric,
+		Mode:         ModeHeap,
+		Seed:         6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	if v, ok, _ := c.WaitConverged("avg", 1e-4, 8*time.Second); !ok {
+		t.Fatalf("lossy heap cluster stuck at variance %g", v)
+	}
+	if c.Runtime().Stats().Timeouts == 0 {
+		t.Error("20% loss produced zero timeouts; loss path unexercised")
+	}
+}
+
+func TestHeapEpochRestartAdaptsToNewValues(t *testing.T) {
+	clock, err := epoch.NewClock(time.Now(), 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(ClusterConfig{
+		Size:         8,
+		Schema:       core.AverageSchema(),
+		Value:        func(i int) float64 { return 1 },
+		CycleLength:  2 * time.Millisecond,
+		ReplyTimeout: 200 * time.Millisecond,
+		Clock:        clock,
+		Mode:         ModeHeap,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	for _, n := range c.Nodes() {
+		n.SetValue(5)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		est, err := c.Nodes()[3].Estimate("avg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est-5) < 0.01 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("estimate %g never adapted to new value 5", est)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if c.Runtime().Stats().EpochSwitches == 0 {
+		t.Fatal("no epoch switches recorded despite adaptation")
+	}
+	// Epoch identifiers spread epidemically; give node 0 a moment in
+	// case the boundary was crossed just before the adaptation check.
+	for c.Nodes()[0].Epoch() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("facade Epoch never advanced")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHeapClusterPushOnlyStillReducesVariance(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Size:        12,
+		Schema:      core.AverageSchema(),
+		Value:       func(i int) float64 { return float64(i) },
+		CycleLength: 2 * time.Millisecond,
+		PushOnly:    true,
+		Mode:        ModeHeap,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.Variance("avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		after, _ := c.Variance("avg")
+		if after < before/10 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("push-only variance stuck: %g → %g", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestHeapRuntimesBootstrapAcrossProcesses covers the deployable
+// multi-process shape: two runtimes ("processes") that know each other
+// only by bare endpoint address (aggnode -peers host:port) must
+// bootstrap — first-contact pushes to the base address are served by
+// the shard's first node, whose reply From teaches the remote gossip
+// sampler real sub-addresses — and converge on the combined average.
+func TestHeapRuntimesBootstrapAcrossProcesses(t *testing.T) {
+	fabric := transport.NewFabric(transport.WithSeed(99))
+	const perRuntime = 8
+	build := func(value float64, seed uint64) *Runtime {
+		ep := fabric.NewEndpoint()
+		peerBase := "mem-0"
+		if ep.Addr() == "mem-0" {
+			peerBase = "mem-1" // the other runtime's endpoint
+		}
+		rt, err := NewRuntime(RuntimeConfig{
+			Size:         perRuntime,
+			Schema:       core.AverageSchema(),
+			Value:        func(int) float64 { return value },
+			CycleLength:  2 * time.Millisecond,
+			ReplyTimeout: 100 * time.Millisecond,
+			Endpoints:    []transport.Endpoint{ep},
+			Seed:         seed,
+			Samplers: func(i int, self string, local []string) (membership.Sampler, error) {
+				boot := []string{peerBase}
+				if sib := local[(i+1)%len(local)]; sib != self {
+					boot = append(boot, sib)
+				}
+				return membership.NewGossipSampler(self, 8, boot)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	a := build(10, 1)
+	b := build(20, 2)
+	a.Start()
+	b.Start()
+	defer a.Stop()
+	defer b.Stop()
+
+	// Both populations must reach the cross-process average 15.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		va, _ := a.Snapshot("avg")
+		vb, _ := b.Snapshot("avg")
+		if math.Abs(stats.Mean(va)-15) < 0.5 && math.Abs(stats.Mean(vb)-15) < 0.5 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("runtimes never mixed: a=%g b=%g, want ≈ 15 each",
+				stats.Mean(va), stats.Mean(vb))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestHeapRuntimeSustains100k is the scale acceptance test: one process
+// hosts N = 10⁵ live nodes on the in-memory fabric and completes a full
+// 20-cycle average run (every node initiates ≥ 20 exchanges) while
+// driving the variance down two orders of magnitude. The goroutine
+// runtime cannot even construct at this size in comparable memory; the
+// heap runtime runs it with a handful of workers.
+func TestHeapRuntimeSustains100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10⁵-node scale run; skipped in -short mode")
+	}
+	const size = 100_000
+	c, err := NewCluster(ClusterConfig{
+		Size:   size,
+		Schema: core.AverageSchema(),
+		// Values ±0/1: true average 0.5, initial variance 0.25.
+		Value:        func(i int) float64 { return float64(i % 2) },
+		CycleLength:  time.Millisecond, // saturating: workers run flat out
+		ReplyTimeout: 300 * time.Millisecond,
+		Mode:         ModeHeap,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	rt := c.Runtime()
+	deadline := time.Now().Add(3 * time.Minute)
+	var agg Stats
+	for {
+		agg = rt.Stats()
+		if agg.Initiated >= 20*size {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d exchanges initiated (want ≥ %d) before deadline", agg.Initiated, 20*size)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	v, err := c.Variance("avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 0.25/100 {
+		t.Fatalf("variance %g after 20 cycles' worth of exchanges, want ≤ %g", v, 0.25/100)
+	}
+	vals, err := c.Snapshot("avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Mean(vals); math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("mean drifted to %g, want ≈ 0.5", got)
+	}
+	t.Logf("100k-node run: %+v", agg)
+}

@@ -1,0 +1,53 @@
+package membership
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Directory samples uniformly from a shared, immutable address table,
+// excluding the owner's own slot. Every node of a full-membership
+// cluster holds the same table, so N nodes cost one O(N) slice instead
+// of the O(N²) of per-node Static peer lists — the difference between a
+// 10³-node and a 10⁵-node cluster fitting in memory. The table is
+// global knowledge, so Observe/Forget are no-ops and Digest gossips
+// nothing; it matches the paper's complete-overlay assumption exactly.
+type Directory struct {
+	addrs []string
+	self  int
+}
+
+var _ Sampler = (*Directory)(nil)
+
+// NewDirectory returns node self's view onto the shared table. The
+// slice is NOT copied: every node of a cluster shares one backing
+// array, which is the point. Callers must not mutate it afterwards.
+func NewDirectory(addrs []string, self int) (*Directory, error) {
+	if len(addrs) < 2 {
+		return nil, fmt.Errorf("membership: directory needs ≥ 2 addresses, got %d", len(addrs))
+	}
+	if self < 0 || self >= len(addrs) {
+		return nil, fmt.Errorf("membership: directory self %d out of range [0, %d)", self, len(addrs))
+	}
+	return &Directory{addrs: addrs, self: self}, nil
+}
+
+// Sample implements Sampler: a uniform peer that is never the owner.
+func (d *Directory) Sample(rng *xrand.Rand) (string, bool) {
+	j := rng.Intn(len(d.addrs) - 1)
+	if j >= d.self {
+		j++
+	}
+	return d.addrs[j], true
+}
+
+// Observe implements Sampler (no-op: the table is global knowledge).
+func (d *Directory) Observe(...string) {}
+
+// Digest implements Sampler (nothing to gossip: every peer already
+// holds the full table).
+func (d *Directory) Digest(*xrand.Rand, int) []string { return nil }
+
+// Forget implements Sampler (no-op: the table is the configuration).
+func (d *Directory) Forget(string) {}

@@ -1,0 +1,65 @@
+package membership
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestDirectoryValidation(t *testing.T) {
+	if _, err := NewDirectory([]string{"a"}, 0); err == nil {
+		t.Error("1-entry directory accepted")
+	}
+	if _, err := NewDirectory([]string{"a", "b"}, 2); err == nil {
+		t.Error("out-of-range self accepted")
+	}
+	if _, err := NewDirectory([]string{"a", "b"}, -1); err == nil {
+		t.Error("negative self accepted")
+	}
+}
+
+func TestDirectoryNeverSamplesSelfAndCoversPeers(t *testing.T) {
+	addrs := []string{"a", "b", "c", "d", "e"}
+	for self := range addrs {
+		d, err := NewDirectory(addrs, self)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := xrand.New(uint64(self + 1))
+		seen := make(map[string]int)
+		for i := 0; i < 2000; i++ {
+			addr, ok := d.Sample(rng)
+			if !ok {
+				t.Fatal("sample failed")
+			}
+			if addr == addrs[self] {
+				t.Fatalf("self %q sampled", addr)
+			}
+			seen[addr]++
+		}
+		if len(seen) != len(addrs)-1 {
+			t.Fatalf("self=%d: sampled %d distinct peers, want %d", self, len(seen), len(addrs)-1)
+		}
+		for addr, n := range seen {
+			// 2000 draws over 4 peers: expect 500 each; 5σ ≈ 97.
+			if n < 300 || n > 700 {
+				t.Errorf("self=%d: peer %q drawn %d times, want ≈ 500", self, addr, n)
+			}
+		}
+	}
+}
+
+func TestDirectoryNoopHooks(t *testing.T) {
+	d, err := NewDirectory([]string{"a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Observe("x", "y")
+	d.Forget("b")
+	if got := d.Digest(xrand.New(1), 3); got != nil {
+		t.Fatalf("Digest = %v, want nil", got)
+	}
+	if addr, ok := d.Sample(xrand.New(2)); !ok || addr != "b" {
+		t.Fatalf("Sample = %q/%v after no-op hooks", addr, ok)
+	}
+}

@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSpecUnmarshal fuzzes the user-facing scenario decoding path
+// (cmd/aggsim -scenario takes arbitrary JSON files): decoding must
+// never panic, and any spec that decodes must round-trip
+// Marshal→Unmarshal losslessly — the contract that lets tools rewrite
+// scenario files without corrupting them. The corpus is seeded from the
+// shipped example scenarios and the aggsim golden testdata.
+func FuzzSpecUnmarshal(f *testing.F) {
+	for _, dir := range []string{
+		filepath.Join("..", "..", "examples", "scenarios"),
+		filepath.Join("..", "..", "cmd", "aggsim", "testdata"),
+	} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			f.Fatalf("seed corpus dir %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) != ".json" {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"size":8}`))
+	f.Add([]byte(`{"size":100,"selector":"pm","churn":{"model":"oscillating","min":4,"max":8,"period":3}}`))
+	f.Add([]byte(`{"size":16,"wait":"exponential","loss_prob":0.5,"values":[1e308,-0.0]}`))
+	f.Add([]byte(`{"size":4,"size_estimation":{"epoch_cycles":2},"cycles":6}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Spec
+		if err := json.Unmarshal(data, &s); err != nil {
+			return // undecodable input is fine; panicking is not
+		}
+		// Validation must not panic either, whatever the spec says.
+		_, _ = s.normalized()
+
+		out, err := json.Marshal(s)
+		if err != nil {
+			// Non-finite float values are valid Go but not valid JSON;
+			// such specs are unmarshalable only via ±1e309 overflow
+			// tricks, which json.Unmarshal already rejects, so reaching
+			// here means the fuzzer found infinities some other way.
+			t.Skipf("marshal: %v", err)
+		}
+		var s2 Spec
+		if err := json.Unmarshal(out, &s2); err != nil {
+			t.Fatalf("re-unmarshal of marshaled spec failed: %v\njson: %s", err, out)
+		}
+		out2, err := json.Marshal(s2)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("spec round trip not lossless:\n first: %s\nsecond: %s", out, out2)
+		}
+	})
+}

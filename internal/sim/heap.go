@@ -1,0 +1,80 @@
+package sim
+
+// Event is one scheduled wake-up in an event-driven execution: a node
+// and the time it fires, in whatever unit the owner uses (the kernel's
+// RunEvents counts in Δt units, the live heap runtime in seconds).
+// Kind and Seq are opaque to the heap; the live runtime uses them to
+// distinguish exchange wake-ups from reply timeouts and to match a
+// timeout to the exchange that armed it.
+type Event struct {
+	At   float64
+	Node int32
+	Kind uint8
+	Seq  uint64
+}
+
+// EventHeap is a binary min-heap on Event.At — the scheduling core
+// shared by the kernel's event-based executor (RunEvents) and the live
+// heap runtime in internal/engine. Hand-rolled rather than
+// container/heap to keep hot loops free of interface allocations. Not
+// safe for concurrent use; each shard owns its own heap.
+type EventHeap struct {
+	items []Event
+}
+
+// NewEventHeap returns an empty heap with room for capacity events.
+func NewEventHeap(capacity int) *EventHeap {
+	return &EventHeap{items: make([]Event, 0, capacity)}
+}
+
+// Push inserts an event.
+func (h *EventHeap) Push(e Event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].At <= h.items[i].At {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+// Pop removes and returns the earliest event. It panics on an empty
+// heap; callers gate on Len or Peek.
+func (h *EventHeap) Pop() Event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < last && h.items[left].At < h.items[smallest].At {
+			smallest = left
+		}
+		if right < last && h.items[right].At < h.items[smallest].At {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// Peek returns the earliest event without removing it; ok is false on
+// an empty heap.
+func (h *EventHeap) Peek() (Event, bool) {
+	if len(h.items) == 0 {
+		return Event{}, false
+	}
+	return h.items[0], true
+}
+
+// Len reports the number of scheduled events.
+func (h *EventHeap) Len() int { return len(h.items) }

@@ -10,7 +10,7 @@ import (
 func TestHeapOrderingQuick(t *testing.T) {
 	// Property: popping the heap yields events in nondecreasing time.
 	check := func(times []float64) bool {
-		h := newEventHeap(len(times))
+		h := NewEventHeap(len(times))
 		clean := times[:0]
 		for _, at := range times {
 			if !math.IsNaN(at) {
@@ -18,11 +18,11 @@ func TestHeapOrderingQuick(t *testing.T) {
 			}
 		}
 		for i, at := range clean {
-			h.push(event{at: at, node: int32(i)})
+			h.Push(Event{At: at, Node: int32(i)})
 		}
 		popped := make([]float64, 0, len(clean))
-		for h.len() > 0 {
-			popped = append(popped, h.pop().at)
+		for h.Len() > 0 {
+			popped = append(popped, h.Pop().At)
 		}
 		if len(popped) != len(clean) {
 			return false

@@ -69,23 +69,23 @@ func (k *Kernel) RunEvents(horizon int, sample func()) (int, error) {
 		return 0, fmt.Errorf("sim: RunEvents is single-shard only")
 	}
 	n := k.n
-	h := newEventHeap(n)
+	h := NewEventHeap(n)
 	for i := 0; i < n; i++ {
-		h.push(event{at: k.wait.Phase(k.rng), node: int32(i)})
+		h.Push(Event{At: k.wait.Phase(k.rng), Node: int32(i)})
 	}
 	exchanges := 0
 	hz := float64(horizon)
 	nextSample := 1.0
 	for {
-		ev := h.pop()
-		for nextSample <= ev.at && nextSample <= hz {
+		ev := h.Pop()
+		for nextSample <= ev.At && nextSample <= hz {
 			sample()
 			nextSample++
 		}
-		if ev.at >= hz {
+		if ev.At >= hz {
 			break
 		}
-		i := int(ev.node)
+		i := int(ev.Node)
 		if j, ok := k.graph.RandomNeighbor(i, k.rng); ok {
 			switch k.loss.Draw(k.rng) {
 			case Dropped:
@@ -97,7 +97,7 @@ func (k *Kernel) RunEvents(horizon int, sample func()) (int, error) {
 				exchanges++
 			}
 		}
-		h.push(event{at: ev.at + k.wait.Wait(k.rng), node: ev.node})
+		h.Push(Event{At: ev.At + k.wait.Wait(k.rng), Node: ev.Node})
 	}
 	for nextSample <= hz {
 		sample()
@@ -105,59 +105,3 @@ func (k *Kernel) RunEvents(horizon int, sample func()) (int, error) {
 	}
 	return exchanges, nil
 }
-
-// event is one scheduled node wake-up.
-type event struct {
-	at   float64
-	node int32
-}
-
-// eventHeap is a binary min-heap on event.at. Hand-rolled rather than
-// container/heap to keep the hot loop free of interface allocations.
-type eventHeap struct {
-	items []event
-}
-
-func newEventHeap(capacity int) *eventHeap {
-	return &eventHeap{items: make([]event, 0, capacity)}
-}
-
-func (h *eventHeap) push(e event) {
-	h.items = append(h.items, e)
-	i := len(h.items) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if h.items[parent].at <= h.items[i].at {
-			break
-		}
-		h.items[parent], h.items[i] = h.items[i], h.items[parent]
-		i = parent
-	}
-}
-
-func (h *eventHeap) pop() event {
-	top := h.items[0]
-	last := len(h.items) - 1
-	h.items[0] = h.items[last]
-	h.items = h.items[:last]
-	i := 0
-	for {
-		left, right := 2*i+1, 2*i+2
-		smallest := i
-		if left < last && h.items[left].at < h.items[smallest].at {
-			smallest = left
-		}
-		if right < last && h.items[right].at < h.items[smallest].at {
-			smallest = right
-		}
-		if smallest == i {
-			break
-		}
-		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
-		i = smallest
-	}
-	return top
-}
-
-// len reports the heap size (used by tests).
-func (h *eventHeap) len() int { return len(h.items) }

@@ -1,0 +1,278 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// batchMarker is the first byte of a multi-message container frame. It is
+// deliberately outside the Kind range so a batch frame can never be
+// mistaken for a single message (UnmarshalBinary rejects it as an unknown
+// kind, and readers check IsBatchFrame first).
+const batchMarker byte = 0x7F
+
+// maxBatchCount bounds what a malformed batch frame can make us allocate.
+const maxBatchCount = 1 << 14
+
+// BatchSender is implemented by endpoints that can deliver several
+// messages to one destination in a single operation — one framed packet
+// over TCP, one routing-table lookup on the in-memory fabric. The Batcher
+// uses it when available and falls back to message-at-a-time Send
+// otherwise. Delivery order within the batch must be preserved.
+type BatchSender interface {
+	SendBatch(to string, ms []Message) error
+}
+
+// MarshalBatch encodes messages into one container frame:
+//
+//	0x7F | u16 count | (u32 len | frame)*
+//
+// where each sub-frame is a MarshalBinary message frame.
+func MarshalBatch(ms []Message) ([]byte, error) {
+	if len(ms) == 0 || len(ms) > maxBatchCount {
+		return nil, fmt.Errorf("%w: batch of %d messages", ErrMalformedMessage, len(ms))
+	}
+	frames := make([][]byte, len(ms))
+	size := 1 + 2
+	for i := range ms {
+		f, err := ms[i].MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		frames[i] = f
+		size += 4 + len(f)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, batchMarker)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(ms)))
+	for _, f := range frames {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(f)))
+		buf = append(buf, f...)
+	}
+	return buf, nil
+}
+
+// UnmarshalBatch decodes a container frame produced by MarshalBatch,
+// preserving message order.
+func UnmarshalBatch(b []byte) ([]Message, error) {
+	r := reader{buf: b}
+	if r.u8() != batchMarker {
+		return nil, fmt.Errorf("%w: not a batch frame", ErrMalformedMessage)
+	}
+	count := int(r.u16())
+	if count == 0 || count > maxBatchCount {
+		return nil, fmt.Errorf("%w: batch count %d", ErrMalformedMessage, count)
+	}
+	out := make([]Message, 0, count)
+	for i := 0; i < count; i++ {
+		size := int(r.u64from32())
+		sub := r.bytes(size)
+		if r.failed {
+			return nil, fmt.Errorf("%w: truncated batch frame", ErrMalformedMessage)
+		}
+		var m Message
+		if err := m.UnmarshalBinary(sub); err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	if r.pos != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes in batch frame", ErrMalformedMessage, len(b)-r.pos)
+	}
+	return out, nil
+}
+
+// IsBatchFrame reports whether a wire frame is a multi-message container.
+func IsBatchFrame(b []byte) bool { return len(b) > 0 && b[0] == batchMarker }
+
+// u64from32 reads a big-endian u32 as an int-sized value.
+func (r *reader) u64from32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// BatcherOption configures a Batcher.
+type BatcherOption func(*Batcher)
+
+// WithBatchWindow bounds how long an enqueued message may wait before an
+// automatic flush (0, the default, disables the timer: the owner flushes
+// explicitly, e.g. once per scheduler round).
+func WithBatchWindow(d time.Duration) BatcherOption {
+	return func(b *Batcher) { b.window = d }
+}
+
+// WithMaxBatch caps per-destination queue length; reaching it flushes
+// immediately (default 64).
+func WithMaxBatch(n int) BatcherOption {
+	return func(b *Batcher) {
+		if n > 0 {
+			b.maxBatch = n
+		}
+	}
+}
+
+// WithSendErrorHandler installs a callback invoked for each destination
+// whose flush failed (dead peer, closed endpoint), with the undelivered
+// messages. Those messages are dropped — the protocol treats send
+// failure as message loss, which it tolerates by design. The callback
+// may run while a sender holds its own locks, so it must not call back
+// into the Batcher; defer heavy work.
+func WithSendErrorHandler(fn func(to string, ms []Message, err error)) BatcherOption {
+	return func(b *Batcher) { b.onErr = fn }
+}
+
+// Batcher coalesces same-destination messages in front of an Endpoint:
+// Send enqueues, and a later Flush (explicit, size-triggered or
+// window-timed) delivers each destination's queue as one batch. It
+// guarantees that under any interleaving of Send and Flush calls every
+// accepted message is handed to the underlying endpoint exactly once and
+// that per-destination order is preserved. Batcher itself implements
+// Endpoint, so it can be dropped in front of any transport.
+type Batcher struct {
+	ep       Endpoint
+	bs       BatchSender // non-nil when ep supports batch delivery
+	window   time.Duration
+	maxBatch int
+	onErr    func(to string, ms []Message, err error)
+
+	// mu guards the queues; flushMu serializes deliveries so concurrent
+	// flushes cannot reorder one destination's batches.
+	mu      sync.Mutex
+	queues  map[string][]Message
+	order   []string
+	pending int
+	timer   *time.Timer
+	closed  bool
+
+	flushMu sync.Mutex
+}
+
+var _ Endpoint = (*Batcher)(nil)
+
+// NewBatcher wraps an endpoint with a coalescing send queue.
+func NewBatcher(ep Endpoint, opts ...BatcherOption) *Batcher {
+	b := &Batcher{
+		ep:       ep,
+		maxBatch: 64,
+		queues:   make(map[string][]Message),
+	}
+	if bs, ok := ep.(BatchSender); ok {
+		b.bs = bs
+	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return b
+}
+
+// Addr implements Endpoint.
+func (b *Batcher) Addr() string { return b.ep.Addr() }
+
+// Inbox implements Endpoint.
+func (b *Batcher) Inbox() <-chan Message { return b.ep.Inbox() }
+
+// Send implements Endpoint: it enqueues the message for its destination.
+// Messages are coalesced per base endpoint address, so sub-addressed
+// nodes multiplexed behind one endpoint ("ep#0", "ep#1", …) share a
+// batch; each message's own To keeps the full destination for receiver
+// demultiplexing. A queue reaching the batch-size cap is flushed inline;
+// with a batch window configured, the first message into an empty
+// batcher arms a timer that flushes everything when the window closes.
+func (b *Batcher) Send(to string, m Message) error {
+	m.To = to
+	base := BaseAddr(to)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	q, known := b.queues[base]
+	if !known {
+		b.order = append(b.order, base)
+	}
+	b.queues[base] = append(q, m)
+	b.pending++
+	full := len(b.queues[base]) >= b.maxBatch
+	if b.window > 0 && b.timer == nil && !full {
+		b.timer = time.AfterFunc(b.window, func() { b.Flush() })
+	}
+	b.mu.Unlock()
+	if full {
+		b.Flush()
+	}
+	return nil
+}
+
+// Flush delivers every queued message now, one batch per destination in
+// first-enqueue destination order. Safe for concurrent use.
+func (b *Batcher) Flush() {
+	b.flushMu.Lock()
+	defer b.flushMu.Unlock()
+	b.mu.Lock()
+	if b.pending == 0 {
+		b.mu.Unlock()
+		return
+	}
+	queues, order := b.queues, b.order
+	b.queues = make(map[string][]Message, len(queues))
+	b.order = nil
+	b.pending = 0
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	b.mu.Unlock()
+
+	for _, to := range order {
+		b.deliver(to, queues[to])
+	}
+}
+
+// deliver hands one base destination's queue to the endpoint.
+func (b *Batcher) deliver(to string, ms []Message) {
+	var err error
+	undelivered := ms
+	if b.bs != nil {
+		err = b.bs.SendBatch(to, ms)
+	} else {
+		for i := range ms {
+			if err = b.ep.Send(ms[i].To, ms[i]); err != nil {
+				undelivered = ms[i:]
+				break
+			}
+		}
+	}
+	if err != nil && b.onErr != nil {
+		b.onErr(to, undelivered, err)
+	}
+}
+
+// Pending returns the number of queued, not yet flushed messages.
+func (b *Batcher) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pending
+}
+
+// Close implements Endpoint: it flushes the queues, rejects further
+// sends and closes the underlying endpoint. Idempotent.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	b.mu.Unlock()
+	b.Flush()
+	return b.ep.Close()
+}

@@ -1,0 +1,346 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	in := []Message{
+		{Kind: KindPush, Epoch: 1, Seq: 10, From: "a#0", To: "b#3", Fields: []float64{1, 2}},
+		{Kind: KindReply, Epoch: 1, Seq: 10, From: "b#3", To: "a#0", Fields: []float64{3}},
+		{Kind: KindNack, Epoch: 2, Seq: 11, From: "b#4", To: "a#0", Gossip: []string{"c#1"}},
+	}
+	buf, err := MarshalBatch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsBatchFrame(buf) {
+		t.Fatal("batch frame not recognized")
+	}
+	out, err := UnmarshalBatch(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip count %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Kind != in[i].Kind || out[i].Seq != in[i].Seq ||
+			out[i].From != in[i].From || out[i].To != in[i].To {
+			t.Fatalf("message %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestBatchCodecRejectsMalformed(t *testing.T) {
+	good, err := MarshalBatch([]Message{{Kind: KindPush, Seq: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":      {},
+		"not batch":  {0x01, 0x02},
+		"zero count": {batchMarker, 0, 0},
+		"truncated":  good[:len(good)-3],
+		"trailing":   append(append([]byte{}, good...), 0xAB),
+	}
+	for name, buf := range cases {
+		if _, err := UnmarshalBatch(buf); !errors.Is(err, ErrMalformedMessage) {
+			t.Errorf("%s: err = %v, want ErrMalformedMessage", name, err)
+		}
+	}
+	if _, err := MarshalBatch(nil); !errors.Is(err, ErrMalformedMessage) {
+		t.Errorf("empty MarshalBatch err = %v, want ErrMalformedMessage", err)
+	}
+	// A batch frame must not decode as a single message.
+	var m Message
+	if err := m.UnmarshalBinary(good); !errors.Is(err, ErrMalformedMessage) {
+		t.Errorf("batch frame decoded as single message: %v", err)
+	}
+}
+
+// recordingEndpoint captures every delivered message in arrival order,
+// optionally via SendBatch, for the exactly-once/ordering properties.
+type recordingEndpoint struct {
+	mu       sync.Mutex
+	byDest   map[string][]Message
+	batches  int
+	maxBatch int
+}
+
+type recordingBatchEndpoint struct{ *recordingEndpoint }
+
+func newRecordingEndpoint() *recordingEndpoint {
+	return &recordingEndpoint{byDest: make(map[string][]Message)}
+}
+
+func (r *recordingEndpoint) Addr() string          { return "rec" }
+func (r *recordingEndpoint) Inbox() <-chan Message { return nil }
+func (r *recordingEndpoint) Close() error          { return nil }
+func (r *recordingEndpoint) Send(to string, m Message) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byDest[to] = append(r.byDest[to], m)
+	return nil
+}
+
+func (r *recordingBatchEndpoint) SendBatch(to string, ms []Message) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byDest[to] = append(r.byDest[to], ms...)
+	r.batches++
+	if len(ms) > r.maxBatch {
+		r.maxBatch = len(ms)
+	}
+	return nil
+}
+
+// TestBatcherExactlyOnceInOrderQuick is the batching layer's core
+// property: under a randomized interleaving of enqueues and flushes,
+// with randomized batch windows and size caps, every message is
+// delivered exactly once and per-destination order is preserved.
+func TestBatcherExactlyOnceInOrderQuick(t *testing.T) {
+	check := func(seed uint64, useBatch bool, windowMs uint8, maxBatch uint8) bool {
+		rng := xrand.New(seed)
+		rec := newRecordingEndpoint()
+		var ep Endpoint = rec
+		if useBatch {
+			ep = &recordingBatchEndpoint{rec}
+		}
+		opts := []BatcherOption{WithMaxBatch(int(maxBatch%32) + 1)}
+		if windowMs > 0 {
+			opts = append(opts, WithBatchWindow(time.Duration(windowMs%4)*time.Millisecond))
+		}
+		b := NewBatcher(ep, opts...)
+
+		dests := []string{"d0", "d1", "d2#7", "d2#9"}
+		const total = 200
+		var wg sync.WaitGroup
+		// Concurrent flusher hammering the batcher mid-enqueue.
+		stop := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					b.Flush()
+				}
+			}
+		}()
+		for i := 0; i < total; i++ {
+			to := dests[rng.Intn(len(dests))]
+			if err := b.Send(to, Message{Kind: KindPush, Seq: uint64(i)}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return false
+			}
+			if rng.Bool(0.1) {
+				b.Flush()
+			}
+		}
+		close(stop)
+		wg.Wait()
+		b.Flush()
+		if got := b.Pending(); got != 0 {
+			t.Errorf("pending %d after final flush", got)
+			return false
+		}
+
+		// Exactly once: each Seq appears once across all destinations.
+		// In order: Seqs are increasing per destination queue (sub
+		// addresses share a base queue but keep their own To).
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		seen := make(map[uint64]int)
+		delivered := 0
+		for base, ms := range rec.byDest {
+			lastPerTo := make(map[string]uint64)
+			for _, m := range ms {
+				seen[m.Seq]++
+				delivered++
+				if last, ok := lastPerTo[m.To]; ok && m.Seq <= last {
+					t.Errorf("dest %s: out of order: %d after %d", base, m.Seq, last)
+					return false
+				}
+				lastPerTo[m.To] = m.Seq
+			}
+		}
+		if delivered != total {
+			t.Errorf("delivered %d, want %d", delivered, total)
+			return false
+		}
+		for seq, n := range seen {
+			if n != 1 {
+				t.Errorf("seq %d delivered %d times", seq, n)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatcherCoalescesIntoBatchFrames(t *testing.T) {
+	rec := &recordingBatchEndpoint{newRecordingEndpoint()}
+	b := NewBatcher(rec, WithMaxBatch(1000))
+	for i := 0; i < 10; i++ {
+		// Two sub-addresses of one endpoint share a batch.
+		if err := b.Send(fmt.Sprintf("ep#%d", i%2), Message{Kind: KindPush, Seq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Pending(); got != 10 {
+		t.Fatalf("pending %d before flush, want 10", got)
+	}
+	b.Flush()
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.batches != 1 || rec.maxBatch != 10 {
+		t.Fatalf("batches=%d maxBatch=%d, want one batch of 10", rec.batches, rec.maxBatch)
+	}
+	if len(rec.byDest["ep"]) != 10 {
+		t.Fatalf("base queue got %d messages", len(rec.byDest["ep"]))
+	}
+	for i, m := range rec.byDest["ep"] {
+		if want := fmt.Sprintf("ep#%d", i%2); m.To != want {
+			t.Fatalf("message %d To = %q, want %q", i, m.To, want)
+		}
+	}
+}
+
+func TestBatcherMaxBatchFlushesInline(t *testing.T) {
+	rec := &recordingBatchEndpoint{newRecordingEndpoint()}
+	b := NewBatcher(rec, WithMaxBatch(4))
+	for i := 0; i < 4; i++ {
+		if err := b.Send("x", Message{Seq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Pending(); got != 0 {
+		t.Fatalf("pending %d after hitting the cap, want 0", got)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.byDest["x"]) != 4 {
+		t.Fatalf("delivered %d, want 4", len(rec.byDest["x"]))
+	}
+}
+
+func TestBatcherWindowFlushes(t *testing.T) {
+	rec := &recordingBatchEndpoint{newRecordingEndpoint()}
+	b := NewBatcher(rec, WithBatchWindow(5*time.Millisecond))
+	if err := b.Send("x", Message{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Pending() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("window flush never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBatcherSendErrorHandler(t *testing.T) {
+	fabric := NewFabric()
+	ep := fabric.NewEndpoint()
+	var mu sync.Mutex
+	var failedTo string
+	var failedCount int
+	b := NewBatcher(ep, WithSendErrorHandler(func(to string, ms []Message, err error) {
+		mu.Lock()
+		failedTo, failedCount = to, len(ms)
+		mu.Unlock()
+	}))
+	if err := b.Send("mem-999#3", Message{Kind: KindPush, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send("mem-999#4", Message{Kind: KindPush, Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	b.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	if failedTo != "mem-999" || failedCount != 2 {
+		t.Fatalf("error handler got to=%q count=%d, want mem-999/2", failedTo, failedCount)
+	}
+}
+
+func TestBatcherCloseRejectsSends(t *testing.T) {
+	fabric := NewFabric()
+	b := NewBatcher(fabric.NewEndpoint())
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if err := b.Send("x", Message{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestBatcherOverFabricDelivers(t *testing.T) {
+	fabric := NewFabric()
+	src := fabric.NewEndpoint()
+	dst := fabric.NewEndpoint()
+	b := NewBatcher(src)
+	for i := 0; i < 5; i++ {
+		if err := b.Send(dst.Addr()+"#2", Message{Kind: KindPush, Seq: uint64(i), From: src.Addr() + "#0"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Flush()
+	for i := 0; i < 5; i++ {
+		select {
+		case m := <-dst.Inbox():
+			if m.Seq != uint64(i) || m.To != dst.Addr()+"#2" || m.From != src.Addr()+"#0" {
+				t.Fatalf("message %d = %+v", i, m)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("message %d not delivered", i)
+		}
+	}
+}
+
+func TestBatcherOverTCPDelivers(t *testing.T) {
+	a, err := NewTCPEndpoint("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	bEp, err := NewTCPEndpoint("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bEp.Close()
+	batcher := NewBatcher(a)
+	const n = 8
+	for i := 0; i < n; i++ {
+		if err := batcher.Send(SubAddr(bEp.Addr(), i), Message{Kind: KindPush, Seq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batcher.Flush()
+	for i := 0; i < n; i++ {
+		select {
+		case m := <-bEp.Inbox():
+			if m.Seq != uint64(i) || m.To != SubAddr(bEp.Addr(), i) {
+				t.Fatalf("message %d = %+v", i, m)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("batched TCP message %d not delivered", i)
+		}
+	}
+}

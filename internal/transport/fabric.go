@@ -117,7 +117,7 @@ func (f *Fabric) deliver(from, to string, m Message) error {
 		f.mu.Unlock()
 		return nil
 	}
-	dst, ok := f.endpoints[to]
+	dst, ok := f.lookup(to)
 	var delay time.Duration
 	if ok && (f.latBase > 0 || f.latJitter > 0) {
 		delay = f.latBase
@@ -137,6 +137,70 @@ func (f *Fabric) deliver(from, to string, m Message) error {
 	return nil
 }
 
+// deliverBatch routes several messages to one destination, applying the
+// filter once and the loss model per message (batching must not change
+// loss semantics). All survivors share one drawn latency so the batch
+// arrives in order, like one framed packet on a real network.
+func (f *Fabric) deliverBatch(from, to string, ms []Message) error {
+	f.mu.Lock()
+	if f.filter != nil && !f.filter(from, to) {
+		f.mu.Unlock()
+		return nil
+	}
+	dst, ok := f.lookup(to)
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrPeerUnreachable, to)
+	}
+	survivors := ms
+	if f.dropProb > 0 {
+		survivors = make([]Message, 0, len(ms))
+		for _, m := range ms {
+			if !f.rng.Bool(f.dropProb) {
+				survivors = append(survivors, m)
+			}
+		}
+	}
+	var delay time.Duration
+	if f.latBase > 0 || f.latJitter > 0 {
+		delay = f.latBase
+		if f.latJitter > 0 {
+			delay += time.Duration(f.rng.Float64() * float64(f.latJitter))
+		}
+	}
+	f.mu.Unlock()
+	if len(survivors) == 0 {
+		return nil
+	}
+	if delay > 0 {
+		batch := survivors
+		time.AfterFunc(delay, func() {
+			for _, m := range batch {
+				dst.enqueue(m)
+			}
+		})
+		return nil
+	}
+	for _, m := range survivors {
+		dst.enqueue(m)
+	}
+	return nil
+}
+
+// lookup resolves an address to its endpoint, falling back to the base
+// address for multiplexed sub-addresses ("mem-0#17" → "mem-0"). The
+// caller must hold f.mu.
+func (f *Fabric) lookup(to string) (*memEndpoint, bool) {
+	if dst, ok := f.endpoints[to]; ok {
+		return dst, true
+	}
+	if base := BaseAddr(to); base != to {
+		dst, ok := f.endpoints[base]
+		return dst, ok
+	}
+	return nil, false
+}
+
 // detach removes an endpoint from the routing table.
 func (f *Fabric) detach(addr string) {
 	f.mu.Lock()
@@ -154,12 +218,18 @@ type memEndpoint struct {
 	inbox  chan Message
 }
 
-var _ Endpoint = (*memEndpoint)(nil)
+var (
+	_ Endpoint    = (*memEndpoint)(nil)
+	_ BatchSender = (*memEndpoint)(nil)
+)
 
 // Addr implements Endpoint.
 func (e *memEndpoint) Addr() string { return e.addr }
 
-// Send implements Endpoint.
+// Send implements Endpoint. From is stamped with the endpoint address
+// unless the caller already set a finer-grained sub-address (multiplexed
+// runtimes address individual nodes behind one endpoint); To records the
+// caller's destination so such runtimes can demultiplex.
 func (e *memEndpoint) Send(to string, m Message) error {
 	e.mu.Lock()
 	if e.closed {
@@ -167,8 +237,33 @@ func (e *memEndpoint) Send(to string, m Message) error {
 		return ErrClosed
 	}
 	e.mu.Unlock()
-	m.From = e.addr
+	if m.From == "" {
+		m.From = e.addr
+	}
+	if m.To == "" {
+		m.To = to
+	}
 	return e.fabric.deliver(e.addr, to, m)
+}
+
+// SendBatch implements BatchSender: one routing decision, per-message
+// loss, in-order delivery.
+func (e *memEndpoint) SendBatch(to string, ms []Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.mu.Unlock()
+	for i := range ms {
+		if ms[i].From == "" {
+			ms[i].From = e.addr
+		}
+		if ms[i].To == "" {
+			ms[i].To = to
+		}
+	}
+	return e.fabric.deliverBatch(e.addr, to, ms)
 }
 
 // Inbox implements Endpoint.

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Kind discriminates protocol messages.
@@ -52,8 +53,14 @@ type Message struct {
 	Epoch uint64
 	// Seq pairs a reply with the push that solicited it.
 	Seq uint64
-	// From is the sender's transport address.
+	// From is the sender's transport address. Multiplexed runtimes use
+	// sub-addresses of the form "endpoint#node", so From may be finer
+	// grained than the endpoint that carried the message.
 	From string
+	// To is the destination address the sender used. Endpoints hosting
+	// many nodes behind one address (the heap runtime) demultiplex
+	// inbound messages on it; single-node endpoints can ignore it.
+	To string
 	// Fields is the sender's state vector (one entry per schema field).
 	Fields []float64
 	// Gossip piggybacks a few peer addresses for lightweight membership
@@ -82,7 +89,7 @@ var (
 
 // MarshalBinary encodes the message in the frame layout
 //
-//	kind u8 | epoch u64 | seq u64 | from u16+bytes |
+//	kind u8 | epoch u64 | seq u64 | from u16+bytes | to u16+bytes |
 //	nfields u16 + f64s | ngossip u16 + (u16+bytes)*
 //
 // using big-endian integers and IEEE-754 bits for floats.
@@ -90,13 +97,16 @@ func (m *Message) MarshalBinary() ([]byte, error) {
 	if len(m.From) > maxAddrLen {
 		return nil, fmt.Errorf("%w: from address %d bytes", ErrMalformedMessage, len(m.From))
 	}
+	if len(m.To) > maxAddrLen {
+		return nil, fmt.Errorf("%w: to address %d bytes", ErrMalformedMessage, len(m.To))
+	}
 	if len(m.Fields) > maxFields {
 		return nil, fmt.Errorf("%w: %d fields", ErrMalformedMessage, len(m.Fields))
 	}
 	if len(m.Gossip) > maxGossip {
 		return nil, fmt.Errorf("%w: %d gossip entries", ErrMalformedMessage, len(m.Gossip))
 	}
-	size := 1 + 8 + 8 + 2 + len(m.From) + 2 + 8*len(m.Fields) + 2
+	size := 1 + 8 + 8 + 2 + len(m.From) + 2 + len(m.To) + 2 + 8*len(m.Fields) + 2
 	for _, g := range m.Gossip {
 		if len(g) > maxAddrLen {
 			return nil, fmt.Errorf("%w: gossip address %d bytes", ErrMalformedMessage, len(g))
@@ -109,6 +119,8 @@ func (m *Message) MarshalBinary() ([]byte, error) {
 	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.From)))
 	buf = append(buf, m.From...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.To)))
+	buf = append(buf, m.To...)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Fields)))
 	for _, f := range m.Fields {
 		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(f))
@@ -132,6 +144,11 @@ func (m *Message) UnmarshalBinary(b []byte) error {
 		return fmt.Errorf("%w: from length %d", ErrMalformedMessage, fromLen)
 	}
 	m.From = string(r.bytes(fromLen))
+	toLen := int(r.u16())
+	if toLen > maxAddrLen {
+		return fmt.Errorf("%w: to length %d", ErrMalformedMessage, toLen)
+	}
+	m.To = string(r.bytes(toLen))
 	nf := int(r.u16())
 	if nf > maxFields {
 		return fmt.Errorf("%w: field count %d", ErrMalformedMessage, nf)
@@ -204,6 +221,24 @@ func (r *reader) u64() uint64 {
 		return 0
 	}
 	return binary.BigEndian.Uint64(b)
+}
+
+// BaseAddr strips a sub-address suffix ("endpoint#node" → "endpoint"),
+// returning the routable endpoint address. Multiplexed runtimes host many
+// protocol nodes behind one endpoint and address them with such suffixes;
+// transports route on the base address and receivers demultiplex on
+// Message.To. Addresses without a '#' are returned unchanged.
+func BaseAddr(addr string) string {
+	if i := strings.IndexByte(addr, '#'); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+// SubAddr joins an endpoint address with a node index into a sub-address
+// ("endpoint#node"), the inverse of BaseAddr.
+func SubAddr(addr string, node int) string {
+	return fmt.Sprintf("%s#%d", addr, node)
 }
 
 // Endpoint is one node's attachment to a transport: an address, a way to

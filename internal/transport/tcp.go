@@ -21,18 +21,34 @@ type TCPEndpoint struct {
 	inbox    chan Message
 
 	mu      sync.Mutex
-	conns   map[string]net.Conn // outbound, keyed by destination
+	conns   map[string]*tcpConn // outbound, keyed by destination
 	inbound map[net.Conn]struct{}
 	closed  bool
 
 	wg sync.WaitGroup
 
 	// dialTimeout bounds connection establishment so a dead peer costs
-	// one timeout, not a hung exchange loop.
-	dialTimeout time.Duration
+	// one timeout, not a hung exchange loop; writeTimeout bounds each
+	// frame write so a stalled peer (accepting but never reading) costs
+	// one evicted connection, not a wedged sender. The heap runtime
+	// multiplexes a whole shard behind one endpoint, so a single
+	// unbounded write would stall every node of the shard.
+	dialTimeout  time.Duration
+	writeTimeout time.Duration
 }
 
-var _ Endpoint = (*TCPEndpoint)(nil)
+// tcpConn is one outbound connection with its own write lock, so a
+// slow destination only serializes writes to itself, not the whole
+// endpoint.
+type tcpConn struct {
+	net.Conn
+	wmu sync.Mutex
+}
+
+var (
+	_ Endpoint    = (*TCPEndpoint)(nil)
+	_ BatchSender = (*TCPEndpoint)(nil)
+)
 
 // NewTCPEndpoint listens on the given address ("127.0.0.1:0" for an
 // ephemeral loopback port) and starts accepting peers.
@@ -42,11 +58,12 @@ func NewTCPEndpoint(listen string) (*TCPEndpoint, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", listen, err)
 	}
 	e := &TCPEndpoint{
-		listener:    ln,
-		inbox:       make(chan Message, 1024),
-		conns:       make(map[string]net.Conn),
-		inbound:     make(map[net.Conn]struct{}),
-		dialTimeout: 2 * time.Second,
+		listener:     ln,
+		inbox:        make(chan Message, 1024),
+		conns:        make(map[string]*tcpConn),
+		inbound:      make(map[net.Conn]struct{}),
+		dialTimeout:  2 * time.Second,
+		writeTimeout: 5 * time.Second,
 	}
 	e.wg.Add(1)
 	go e.acceptLoop()
@@ -62,12 +79,46 @@ func (e *TCPEndpoint) Inbox() <-chan Message { return e.inbox }
 
 // Send implements Endpoint. The first send to a destination dials and
 // caches the connection; send errors evict the cached connection so the
-// next attempt redials.
+// next attempt redials. Sub-addresses ("host:port#node") dial the base
+// host:port and share its connection; To carries the full destination so
+// a multiplexed receiver can demultiplex.
 func (e *TCPEndpoint) Send(to string, m Message) error {
-	m.From = e.Addr()
+	if m.From == "" {
+		m.From = e.Addr()
+	}
+	if m.To == "" {
+		m.To = to
+	}
 	frame, err := m.MarshalBinary()
 	if err != nil {
 		return err
+	}
+	return e.write(to, frame)
+}
+
+// SendBatch implements BatchSender: the whole batch travels as one
+// framed multi-message packet, amortizing the header, the connection
+// lookup and the kernel write across every coalesced message.
+func (e *TCPEndpoint) SendBatch(to string, ms []Message) error {
+	for i := range ms {
+		if ms[i].From == "" {
+			ms[i].From = e.Addr()
+		}
+		if ms[i].To == "" {
+			ms[i].To = to
+		}
+	}
+	frame, err := MarshalBatch(ms)
+	if err != nil {
+		return err
+	}
+	return e.write(to, frame)
+}
+
+// write frames and sends one wire payload to the destination.
+func (e *TCPEndpoint) write(to string, frame []byte) error {
+	if len(frame) > maxFrameSize {
+		return fmt.Errorf("%w: frame of %d bytes", ErrMalformedMessage, len(frame))
 	}
 	conn, err := e.conn(to)
 	if errors.Is(err, ErrClosed) {
@@ -78,21 +129,26 @@ func (e *TCPEndpoint) Send(to string, m Message) error {
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-	e.mu.Lock()
-	_, err = conn.Write(hdr[:])
+	conn.wmu.Lock()
+	err = conn.SetWriteDeadline(time.Now().Add(e.writeTimeout))
+	if err == nil {
+		_, err = conn.Write(hdr[:])
+	}
 	if err == nil {
 		_, err = conn.Write(frame)
 	}
-	e.mu.Unlock()
+	conn.wmu.Unlock()
 	if err != nil {
-		e.evict(to, conn)
+		e.evict(BaseAddr(to), conn)
 		return fmt.Errorf("%w: %s: %v", ErrPeerUnreachable, to, err)
 	}
 	return nil
 }
 
 // conn returns a cached or freshly dialed connection to the destination.
-func (e *TCPEndpoint) conn(to string) (net.Conn, error) {
+// Sub-addresses share the base address's connection.
+func (e *TCPEndpoint) conn(addr string) (*tcpConn, error) {
+	to := BaseAddr(addr)
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -119,12 +175,13 @@ func (e *TCPEndpoint) conn(to string) (net.Conn, error) {
 		_ = c.Close()
 		return prev, nil
 	}
-	e.conns[to] = c
-	return c, nil
+	wrapped := &tcpConn{Conn: c}
+	e.conns[to] = wrapped
+	return wrapped, nil
 }
 
 // evict drops a broken cached connection.
-func (e *TCPEndpoint) evict(to string, conn net.Conn) {
+func (e *TCPEndpoint) evict(to string, conn *tcpConn) {
 	e.mu.Lock()
 	if cur, ok := e.conns[to]; ok && cur == conn {
 		delete(e.conns, to)
@@ -176,9 +233,19 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, frame); err != nil {
 			return
 		}
-		var m Message
-		if err := m.UnmarshalBinary(frame); err != nil {
-			return
+		var ms []Message
+		if IsBatchFrame(frame) {
+			batch, err := UnmarshalBatch(frame)
+			if err != nil {
+				return
+			}
+			ms = batch
+		} else {
+			var m Message
+			if err := m.UnmarshalBinary(frame); err != nil {
+				return
+			}
+			ms = append(ms, m)
 		}
 		e.mu.Lock()
 		closed := e.closed
@@ -186,9 +253,11 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		if closed {
 			return
 		}
-		select {
-		case e.inbox <- m:
-		default: // inbox overflow: drop, like a saturated socket buffer
+		for _, m := range ms {
+			select {
+			case e.inbox <- m:
+			default: // inbox overflow: drop, like a saturated socket buffer
+			}
 		}
 	}
 }
@@ -210,7 +279,7 @@ func (e *TCPEndpoint) Close() error {
 	for c := range e.inbound {
 		conns = append(conns, c)
 	}
-	e.conns = make(map[string]net.Conn)
+	e.conns = make(map[string]*tcpConn)
 	e.mu.Unlock()
 
 	err := e.listener.Close()

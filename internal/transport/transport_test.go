@@ -299,6 +299,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	defer b.Close()
 
 	in := sampleMessage()
+	in.From = "" // a plain endpoint stamps its own address
 	if err := a.Send(b.Addr(), in); err != nil {
 		t.Fatal(err)
 	}
@@ -307,11 +308,29 @@ func TestTCPRoundTrip(t *testing.T) {
 		if got.Epoch != in.Epoch || got.Seq != in.Seq || got.From != a.Addr() {
 			t.Fatalf("got %+v", got)
 		}
+		if got.To != b.Addr() {
+			t.Fatalf("To = %q, want %q", got.To, b.Addr())
+		}
 		if len(got.Fields) != 3 || got.Fields[2] != math.Pi {
 			t.Fatalf("fields = %v", got.Fields)
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("TCP message not delivered")
+	}
+
+	// A caller-set From (a multiplexed node's sub-address) is preserved,
+	// and a sub-addressed destination rides the same base connection.
+	sub := Message{Kind: KindPush, Seq: 8, From: a.Addr() + "#3"}
+	if err := a.Send(b.Addr()+"#5", sub); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-b.Inbox():
+		if got.From != a.Addr()+"#3" || got.To != b.Addr()+"#5" {
+			t.Fatalf("sub-addressed message got From=%q To=%q", got.From, got.To)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sub-addressed TCP message not delivered")
 	}
 }
 

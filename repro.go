@@ -61,6 +61,16 @@ type (
 	Cluster = engine.Cluster
 	// ClusterConfig assembles a Cluster.
 	ClusterConfig = engine.ClusterConfig
+	// Runtime is the heap-mode live runtime: a sharded event-heap
+	// scheduler multiplexing 10⁵–10⁶ nodes onto a small worker pool
+	// with batched transports.
+	Runtime = engine.Runtime
+	// RuntimeConfig assembles a Runtime (bring your own endpoints for
+	// TCP deployments; nil endpoints use an in-memory fabric).
+	RuntimeConfig = engine.RuntimeConfig
+	// RuntimeMode selects goroutine-per-node or heap scheduling for a
+	// Cluster.
+	RuntimeMode = engine.RuntimeMode
 	// NodeStats is a snapshot of a live node's protocol counters.
 	NodeStats = engine.Stats
 	// Endpoint is a node's transport attachment (see NewTCPEndpoint, or
@@ -82,6 +92,20 @@ const (
 	ConstantWait    = engine.ConstantWait
 	ExponentialWait = engine.ExponentialWait
 )
+
+// Runtime modes for ClusterConfig.Mode: one goroutine pair per node
+// (the historical default) or the sharded event-heap scheduler that
+// hosts 10⁵+ nodes per process.
+const (
+	ModeGoroutine = engine.ModeGoroutine
+	ModeHeap      = engine.ModeHeap
+)
+
+// NewRuntime builds (but does not start) a heap-mode runtime hosting
+// many nodes in one process. Most callers want NewCluster with
+// ClusterConfig.Mode = ModeHeap instead; NewRuntime is the explicit
+// path for TCP deployments supplying their own endpoints.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return engine.NewRuntime(cfg) }
 
 // NewAverageSchema returns a schema gossiping the plain average of the
 // nodes' local values — the protocol the paper analyzes.
