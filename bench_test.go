@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -9,12 +10,12 @@ import (
 	"repro/internal/avg"
 	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/transport"
 	"repro/internal/xrand"
+	"repro/scenario"
 )
 
 // Benchmarks regenerate every figure of the paper at bench scale (sizes
@@ -495,7 +496,7 @@ func BenchmarkScenarioSweep(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var col scenario.Collector
-				if err := (scenario.Runner{Workers: tc.workers}).Run([]scenario.Spec{spec}, &col); err != nil {
+				if err := (scenario.Runner{Workers: tc.workers}).Run(context.Background(), []scenario.Spec{spec}, &col); err != nil {
 					b.Fatal(err)
 				}
 				if got := len(col.Results()); got != repeats*(cycles+1) {

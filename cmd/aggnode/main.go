@@ -1,5 +1,6 @@
-// Command aggnode runs one live aggregation node over TCP — the
-// deployable shape of the protocol. Start several on one machine (or
+// Command aggnode runs live aggregation nodes over TCP — the
+// deployable shape of the protocol, assembled through the library's
+// front door, repro.Open. Start several processes on one machine (or
 // many) and each continuously prints its approximation of the
 // network-wide summary.
 //
@@ -14,28 +15,26 @@
 // inputs (or SIGHUP-style reconfiguration in a real deployment) are
 // picked up (§4 adaptivity).
 //
-// With -mode heap one process hosts -local N nodes on a shared worker
-// pool (the sharded event-heap runtime): -workers sets the pool size,
-// -batch the message coalescing window. This is the shape that scales a
-// single process to 10⁵+ protocol participants:
+// With -local N > 1 one process hosts N nodes on the sharded
+// event-heap runtime: -workers sets the pool size, -batch the message
+// coalescing window. This is the shape that scales a single process to
+// 10⁵+ protocol participants:
 //
-//	aggnode -mode heap -local 10000 -workers 4 -batch 2ms \
+//	aggnode -local 10000 -workers 4 -batch 2ms \
 //	        -listen 127.0.0.1:7001 -peers otherhost:7001
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net"
 	"os"
 	"os/signal"
-	"runtime"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro"
-	"repro/internal/epoch"
 )
 
 func main() {
@@ -48,172 +47,57 @@ func main() {
 func run() error {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
 	peers := flag.String("peers", "", "comma-separated seed peer addresses (empty: wait to be contacted)")
-	value := flag.Float64("value", 0, "this node's local value a_i")
+	value := flag.Float64("value", 0, "this process's local value a_i (shared by all -local nodes)")
 	cycle := flag.Duration("cycle", 500*time.Millisecond, "cycle length Δt")
 	epochLen := flag.Duration("epoch", 0, "epoch length for periodic restarts (0 disables)")
 	view := flag.Int("view", 8, "membership view capacity")
 	report := flag.Duration("report", 2*time.Second, "interval between printed estimates")
-	mode := flag.String("mode", "goroutine", "runtime: goroutine (one node per process) or heap (many nodes on a worker pool)")
-	local := flag.Int("local", 2, "heap mode: number of nodes hosted by this process")
-	workers := flag.Int("workers", 0, "heap mode: worker pool size (0: GOMAXPROCS)")
-	batch := flag.Duration("batch", 0, "heap mode: message coalescing window (0: flush every scheduler round)")
+	local := flag.Int("local", 1, "number of nodes hosted by this process (> 1 uses the event-heap runtime)")
+	workers := flag.Int("workers", 0, "heap runtime: worker pool size (0: GOMAXPROCS)")
+	batch := flag.Duration("batch", 0, "heap runtime: message coalescing window (0: flush every scheduler round)")
 	flag.Parse()
-
-	var clock *epoch.Clock
-	if *epochLen > 0 {
-		c, err := epoch.NewClock(time.Unix(0, 0), *epochLen)
-		if err != nil {
-			return err
-		}
-		clock = c
+	if *local < 1 {
+		return fmt.Errorf("-local must be ≥ 1, got %d", *local)
 	}
 
-	switch *mode {
-	case "goroutine":
-	case "heap":
-		return runHeap(*listen, splitPeers(*peers), *value, *cycle, clock, *view, *report, *local, *workers, *batch)
-	default:
-		return fmt.Errorf("unknown -mode %q (want goroutine or heap)", *mode)
-	}
-
-	endpoint, err := repro.NewTCPEndpoint(*listen)
-	if err != nil {
-		return err
-	}
-	self := endpoint.Addr()
-
-	var sampler repro.Sampler
-	seedList := splitPeers(*peers)
-	if len(seedList) > 0 {
-		sampler, err = repro.NewGossipSampler(self, *view, seedList)
-	} else {
-		// No seeds: start with an empty-ish view that fills as peers
-		// contact us. A single self-seed is rejected, so use a gossip
-		// sampler seeded with a placeholder that is forgotten on first
-		// contact failure.
-		sampler, err = repro.NewGossipSampler(self, *view, []string{self + "#boot"})
-	}
-	if err != nil {
-		return err
-	}
-
-	cfg := repro.NodeConfig{
-		Schema:      repro.NewSummarySchema(),
-		Endpoint:    endpoint,
-		Sampler:     sampler,
-		Value:       *value,
-		CycleLength: *cycle,
-		Clock:       clock,
-		Seed:        uint64(time.Now().UnixNano()),
-	}
-
-	node, err := repro.NewNode(cfg)
-	if err != nil {
-		return err
-	}
-	node.Start()
-	defer node.Stop()
-	fmt.Printf("aggnode listening on %s (value %g, Δt %v)\n", self, *value, *cycle)
-
-	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
-	ticker := time.NewTicker(*report)
-	defer ticker.Stop()
-	schema := cfg.Schema
-	for {
-		select {
-		case <-sigCh:
-			fmt.Println("\nshutting down")
-			return nil
-		case <-ticker.C:
-			summary, err := repro.DecodeSummary(schema, node.State())
-			if err != nil {
-				return err
-			}
-			s := node.Stats()
-			fmt.Printf("epoch=%d avg=%.4f min=%.4f max=%.4f exchanges=%d/%d timeouts=%d\n",
-				node.Epoch(), summary.Mean, summary.Min, summary.Max,
-				s.Replies, s.Initiated, s.Timeouts)
-		}
-	}
-}
-
-// runHeap hosts many nodes in one process on the sharded event-heap
-// runtime: one TCP endpoint per worker (the first on the -listen
-// address, the rest on ephemeral ports of the same host), nodes
-// addressed as "host:port#index", same-destination messages coalesced
-// into batch frames.
-func runHeap(listen string, seeds []string, value float64, cycle time.Duration,
-	clock *epoch.Clock, view int, report time.Duration,
-	local, workers int, batch time.Duration) error {
-	if local < 2 {
-		return fmt.Errorf("heap mode hosts a node population: -local must be ≥ 2, got %d", local)
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > local/2 {
-		workers = max(local/2, 1)
-	}
-	endpoints := make([]repro.Endpoint, 0, workers)
-	first, err := repro.NewTCPEndpoint(listen)
-	if err != nil {
-		return err
-	}
-	endpoints = append(endpoints, first)
-	host, _, err := net.SplitHostPort(first.Addr())
-	if err != nil {
-		return err
-	}
-	for len(endpoints) < workers {
-		ep, err := repro.NewTCPEndpoint(net.JoinHostPort(host, "0"))
-		if err != nil {
-			return err
-		}
-		endpoints = append(endpoints, ep)
-	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	schema := repro.NewSummarySchema()
-	rt, err := repro.NewRuntime(repro.RuntimeConfig{
-		Size:        local,
-		Schema:      schema,
-		Value:       func(int) float64 { return value },
-		CycleLength: cycle,
-		// A batched push-pull round trip spends up to one window on the
-		// push and one on the reply; budget the reply deadline for both
-		// or window batching converts latency into spurious timeouts.
-		ReplyTimeout: cycle/2 + 4*batch,
-		Clock:        clock,
-		Endpoints:    endpoints,
-		BatchWindow:  batch,
-		Seed:         uint64(time.Now().UnixNano()),
-		Samplers: func(i int, self string, localAddrs []string) (repro.Sampler, error) {
-			// Bootstrap: the remote seeds plus the next local sibling,
-			// so the local mesh is connected even before any remote
-			// gossip arrives.
-			boot := append([]string{}, seeds...)
-			if sib := localAddrs[(i+1)%len(localAddrs)]; sib != self {
-				boot = append(boot, sib)
-			}
-			return repro.NewGossipSampler(self, view, boot)
-		},
-	})
+	opts := []repro.Option{
+		repro.WithContext(ctx),
+		repro.WithTCP(*listen, splitPeers(*peers)...),
+		repro.WithSize(*local),
+		repro.WithSchema(schema),
+		repro.WithValue(*value),
+		repro.WithCycleLength(*cycle),
+		repro.WithMembershipView(*view),
+		repro.WithSeed(uint64(time.Now().UnixNano())),
+	}
+	if *epochLen > 0 {
+		opts = append(opts, repro.WithEpochLength(*epochLen))
+	}
+	if *workers > 0 {
+		opts = append(opts, repro.WithWorkers(*workers))
+	}
+	if *batch > 0 {
+		opts = append(opts, repro.WithBatchWindow(*batch))
+	}
+	sys, err := repro.Open(opts...)
 	if err != nil {
 		return err
 	}
-	rt.Start()
-	defer rt.Stop()
-	fmt.Printf("aggnode hosting %d nodes on %d workers, first endpoint %s (value %g, Δt %v, batch window %v)\n",
-		local, rt.Workers(), first.Addr(), value, cycle, batch)
+	defer sys.Close()
 
-	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
-	ticker := time.NewTicker(report)
+	probe := sys.Nodes()[0]
+	fmt.Printf("aggnode hosting %d node(s), first endpoint %s (value %g, Δt %v, batch window %v)\n",
+		sys.Size(), probe.Addr(), *value, *cycle, *batch)
+
+	ticker := time.NewTicker(*report)
 	defer ticker.Stop()
-	probe := rt.Nodes()[0]
 	for {
 		select {
-		case <-sigCh:
+		case <-ctx.Done():
 			fmt.Println("\nshutting down")
 			return nil
 		case <-ticker.C:
@@ -221,7 +105,7 @@ func runHeap(listen string, seeds []string, value float64, cycle time.Duration,
 			if err != nil {
 				return err
 			}
-			s := rt.Stats()
+			s := sys.Stats()
 			fmt.Printf("epoch=%d avg=%.4f min=%.4f max=%.4f exchanges=%d/%d timeouts=%d busy=%d\n",
 				probe.Epoch(), summary.Mean, summary.Min, summary.Max,
 				s.Replies, s.Initiated, s.Timeouts, s.PeerBusy)

@@ -1,4 +1,5 @@
-// Command aggsim runs anti-entropy averaging simulations.
+// Command aggsim runs anti-entropy averaging simulations through the
+// library's front door, repro.Run.
 //
 // In single-run mode it executes one instance of the paper's algorithm
 // AVG (Figure 2) and prints the per-cycle variance trajectory, the
@@ -10,47 +11,53 @@
 //	aggsim -n 1000000 -selector seq -shards -1       # sharded paper-scale run
 //
 // In scenario mode it executes a declarative JSON scenario file — a
-// single spec or a base spec crossed with swept axes (see
-// internal/scenario and examples/scenarios/) — on the scenario
-// engine's worker pool and streams per-cycle reduction rows as CSV or
-// JSON-lines:
+// single spec or a base spec crossed with swept axes (see the scenario
+// package and examples/scenarios/) — on the scenario engine's worker
+// pool and streams per-cycle reduction rows as CSV or JSON-lines:
 //
 //	aggsim -scenario examples/scenarios/loss-sweep.json
 //	aggsim -scenario sweep.json -format jsonl -out rows.jsonl
+//
+// Ctrl-C cancels the run's context: mid-flight sweeps stop within one
+// cycle per in-flight run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro"
-	"repro/internal/scenario"
+	"repro/scenario"
 )
 
 func main() {
-	var cfg repro.SimulationConfig
-	flag.IntVar(&cfg.Size, "n", 10000, "network size")
-	flag.StringVar(&cfg.Selector, "selector", "seq", "pair selector: pm, rand, seq, pmrand")
-	flag.StringVar(&cfg.Topology, "topology", "complete", "overlay: complete, kregular, view, ring, smallworld, scalefree")
-	flag.IntVar(&cfg.ViewSize, "view", 20, "degree of non-complete overlays")
-	flag.IntVar(&cfg.Cycles, "cycles", 30, "AVG cycles to run")
-	flag.Float64Var(&cfg.LossProbability, "loss", 0, "per-message drop probability")
-	flag.IntVar(&cfg.Shards, "shards", 0, "sharded executor: 0 = sequential, -1 = one shard per core")
+	size := flag.Int("n", 10000, "network size")
+	selector := flag.String("selector", "seq", "pair selector: pm, rand, seq, pmrand")
+	topo := flag.String("topology", "complete", "overlay: complete, kregular, view, ring, smallworld, scalefree")
+	view := flag.Int("view", 20, "degree of non-complete overlays")
+	cycles := flag.Int("cycles", 30, "AVG cycles to run")
+	loss := flag.Float64("loss", 0, "per-message drop probability")
+	shards := flag.Int("shards", 0, "sharded executor: 0 = sequential, -1 = one shard per core")
 	seed := flag.Uint64("seed", 42, "random seed")
 	scenarioPath := flag.String("scenario", "", "run a JSON scenario file (spec or grid) instead of a single simulation")
 	format := flag.String("format", "csv", "scenario output format: csv or jsonl")
 	outPath := flag.String("out", "", "scenario output file (default stdout)")
 	workers := flag.Int("workers", 0, "scenario worker pool size (0 = one per core)")
 	flag.Parse()
-	cfg.Seed = *seed
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	var err error
 	if *scenarioPath != "" {
-		err = runScenario(*scenarioPath, *format, *outPath, *workers, os.Stdout)
+		err = runScenario(ctx, *scenarioPath, *format, *outPath, *workers, os.Stdout)
 	} else {
-		err = run(cfg)
+		err = run(ctx, *size, *selector, *topo, *view, *cycles, *loss, *shards, *seed)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aggsim:", err)
@@ -60,7 +67,7 @@ func main() {
 
 // runScenario executes a scenario file and streams rows in the chosen
 // format to outPath (or stdout when outPath is empty).
-func runScenario(path, format, outPath string, workers int, stdout io.Writer) error {
+func runScenario(ctx context.Context, path, format, outPath string, workers int, stdout io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -91,7 +98,7 @@ func runScenario(path, format, outPath string, workers int, stdout io.Writer) er
 		}
 		return fmt.Errorf("unknown format %q (want csv or jsonl)", format)
 	}
-	err = scenario.Runner{Workers: workers}.RunGrid(grid, w)
+	err = scenario.Runner{Workers: workers}.RunGrid(ctx, grid, w)
 	if file != nil {
 		// A close error after a successful flush still means truncated
 		// output (write-back failures surface here on some filesystems);
@@ -103,13 +110,33 @@ func runScenario(path, format, outPath string, workers int, stdout io.Writer) er
 	return err
 }
 
-func run(cfg repro.SimulationConfig) error {
-	res, err := repro.Simulate(cfg)
+// run executes a single flag-assembled spec through repro.Run. The
+// spec carries scenario.RawSeed(seed) so -seed N prints exactly what
+// the historical Simulate-based CLI printed for the same seed.
+func run(ctx context.Context, size int, selector, topo string, view, cycles int, loss float64, shards int, seed uint64) error {
+	sel, err := scenario.ParseSelector(selector)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("# anti-entropy averaging: n=%d selector=%s topology=%s loss=%.2f shards=%d seed=%d\n",
-		cfg.Size, cfg.Selector, cfg.Topology, cfg.LossProbability, cfg.Shards, cfg.Seed)
+	overlay, err := scenario.ParseTopology(topo)
+	if err != nil {
+		return err
+	}
+	res, err := repro.Run(ctx, scenario.Spec{
+		Size:     size,
+		Cycles:   cycles,
+		Selector: sel,
+		Topology: overlay,
+		ViewSize: view,
+		LossProb: loss,
+		Shards:   shards,
+		Seed:     scenario.RawSeed(seed),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# anti-entropy averaging: n=%d selector=%s topology=%s loss=%.2f shards=%d sharded=%v seed=%d\n",
+		size, res.Spec.Selector, res.Spec.Topology, loss, shards, res.Sharded, seed)
 	fmt.Println("# cycle\tvariance\treduction")
 	for i, v := range res.Variances {
 		if i == 0 {
@@ -125,7 +152,7 @@ func run(cfg repro.SimulationConfig) error {
 	}
 	fmt.Printf("\nfinal mean estimate : %.6g\n", res.FinalMean)
 	fmt.Printf("per-cycle reduction : %.4f (geometric mean)\n", res.ReductionRate)
-	if theory, ok := repro.TheoreticalRate(cfg.Selector); ok && cfg.LossProbability == 0 {
+	if theory, ok := repro.TheoreticalRate(res.Spec.Selector.String()); ok && loss == 0 {
 		fmt.Printf("theory (§3.3)       : %.4f on the complete graph\n", theory)
 	}
 	return nil

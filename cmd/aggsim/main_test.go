@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -16,7 +17,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // produce byte-identical CSV on every platform and run.
 func TestScenarioModeGoldenCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runScenario(filepath.Join("testdata", "mini-sweep.json"), "csv", "", 0, &buf); err != nil {
+	if err := runScenario(context.Background(), filepath.Join("testdata", "mini-sweep.json"), "csv", "", 0, &buf); err != nil {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "mini-sweep.golden.csv")
@@ -43,7 +44,7 @@ func TestScenarioModeGoldenCSV(t *testing.T) {
 // TestScenarioModeJSONL smoke-tests the alternate format end to end.
 func TestScenarioModeJSONL(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runScenario(filepath.Join("testdata", "mini-sweep.json"), "jsonl", "", 0, &buf); err != nil {
+	if err := runScenario(context.Background(), filepath.Join("testdata", "mini-sweep.json"), "jsonl", "", 0, &buf); err != nil {
 		t.Fatal(err)
 	}
 	first, _, _ := strings.Cut(buf.String(), "\n")
@@ -55,7 +56,7 @@ func TestScenarioModeJSONL(t *testing.T) {
 // TestScenarioModeRejectsUnknownFormat: flag validation reaches the
 // caller as an error, not a panic.
 func TestScenarioModeRejectsUnknownFormat(t *testing.T) {
-	if err := runScenario(filepath.Join("testdata", "mini-sweep.json"), "xml", "", 0, &bytes.Buffer{}); err == nil {
+	if err := runScenario(context.Background(), filepath.Join("testdata", "mini-sweep.json"), "xml", "", 0, &bytes.Buffer{}); err == nil {
 		t.Fatal("unknown format accepted")
 	}
 }

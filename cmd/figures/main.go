@@ -27,9 +27,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/avg"
 	"repro/internal/experiments"
@@ -43,13 +46,17 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
 	shards := flag.Int("shards", 0, "sharded execution for shardable sweeps: 0 = sequential, -1 = one shard per core")
 	flag.Parse()
-	if err := run(*fig, *scale, *seed, *shards); err != nil {
+	// One signal-scoped context for the whole artifact: Ctrl-C aborts a
+	// mid-flight sweep within one cycle per in-flight run.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, *fig, *scale, *seed, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig, scale string, seed uint64, shards int) error {
+func run(ctx context.Context, fig, scale string, seed uint64, shards int) error {
 	quick := scale == "quick"
 	if !quick && scale != "paper" {
 		return fmt.Errorf("unknown scale %q (want paper or quick)", scale)
@@ -65,7 +72,7 @@ func run(fig, scale string, seed uint64, shards int) error {
 			cfg.Seed = seed
 		}
 		cfg.Shards = shards
-		series, err := experiments.Fig3a(cfg)
+		series, err := experiments.Fig3a(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -82,7 +89,7 @@ func run(fig, scale string, seed uint64, shards int) error {
 			cfg.Seed = seed
 		}
 		cfg.Shards = shards
-		series, err := experiments.Fig3b(cfg)
+		series, err := experiments.Fig3b(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -98,7 +105,7 @@ func run(fig, scale string, seed uint64, shards int) error {
 		if seed != 0 {
 			cfg.Seed = seed
 		}
-		reports, err := experiments.Fig4(cfg)
+		reports, err := experiments.Fig4(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -114,7 +121,7 @@ func run(fig, scale string, seed uint64, shards int) error {
 		if seed != 0 {
 			cfg.Seed = seed
 		}
-		series, err := experiments.CyclesToAccuracy(cfg)
+		series, err := experiments.CyclesToAccuracy(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -129,7 +136,7 @@ func run(fig, scale string, seed uint64, shards int) error {
 		if seed != 0 {
 			cfg.Seed = seed
 		}
-		res, err := experiments.LossAblation(cfg)
+		res, err := experiments.LossAblation(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -147,7 +154,7 @@ func run(fig, scale string, seed uint64, shards int) error {
 		if seed != 0 {
 			cfg.Seed = seed
 		}
-		res, err := experiments.CrashAblation(cfg)
+		res, err := experiments.CrashAblation(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -165,7 +172,7 @@ func run(fig, scale string, seed uint64, shards int) error {
 		if seed != 0 {
 			cfg.Seed = seed
 		}
-		series, err := experiments.TopologySweep(cfg)
+		series, err := experiments.TopologySweep(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -180,7 +187,7 @@ func run(fig, scale string, seed uint64, shards int) error {
 		if seed != 0 {
 			cfg.Seed = seed
 		}
-		series, err := experiments.ViewSizeSweep(cfg)
+		series, err := experiments.ViewSizeSweep(ctx, cfg)
 		if err != nil {
 			return err
 		}

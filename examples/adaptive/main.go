@@ -3,17 +3,20 @@
 // introduction. Nodes' local values drift over time (a simulated daily
 // load pattern); the protocol restarts every epoch, so every node's
 // estimate follows the moving global average with one-epoch delay —
-// without any node ever asking a coordinator.
+// without any node ever asking a coordinator. Each epoch is one
+// declarative spec executed through repro.Run.
 //
 //	go run ./examples/adaptive
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 
 	"repro"
+	"repro/scenario"
 )
 
 func main() {
@@ -36,11 +39,13 @@ func run() error {
 		return daily + float64(node%10) - 4.5
 	}
 
+	ctx := context.Background()
 	fmt.Println("epoch  true-average  estimate@node0  |error|")
 	for e := 0; e < epochs; e++ {
 		// Snapshot this epoch's local values (in a live deployment
 		// nodes call SetValue and the next restart picks it up; here we
-		// run each epoch through the simulation API for determinism).
+		// run each epoch through the simulation front door for
+		// determinism).
 		values := make([]float64, size)
 		sum := 0.0
 		for i := range values {
@@ -49,12 +54,11 @@ func run() error {
 		}
 		trueAvg := sum / size
 
-		res, err := repro.Simulate(repro.SimulationConfig{
-			Size:     size,
-			Selector: "seq",
-			Values:   values,
-			Cycles:   epochCycles,
-			Seed:     uint64(1000 + e),
+		res, err := repro.Run(ctx, scenario.Spec{
+			Size:   size,
+			Cycles: epochCycles,
+			Values: values,
+			Seed:   uint64(1000 + e),
 		})
 		if err != nil {
 			return err

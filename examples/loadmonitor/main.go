@@ -3,12 +3,14 @@
 // total amount of free space in a distributed storage"). Every node
 // gossips a five-field summary — mean, variance, min, max and a size
 // indicator — so each node continuously knows the cluster-wide load
-// picture without any coordinator.
+// picture without any coordinator. The system is assembled with Open
+// and observed with WaitConverged plus a point query.
 //
 //	go run ./examples/loadmonitor
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -36,15 +38,15 @@ func run() error {
 	}
 
 	const clusterSize = 40
-	cluster, err := repro.NewCluster(repro.ClusterConfig{
-		Size:        clusterSize,
-		Schema:      schema,
-		Value:       load,
-		CycleLength: 5 * time.Millisecond,
-		Seed:        7,
+	sys, err := repro.Open(
+		repro.WithSize(clusterSize),
+		repro.WithSchema(schema),
+		repro.WithValues(load),
+		repro.WithCycleLength(5*time.Millisecond),
+		repro.WithSeed(7),
 		// Node 0 leads the size-estimation instance: its indicator
 		// starts at 1, everyone else's at 0 (§4).
-		InitState: func(i int) func(uint64, float64) repro.State {
+		repro.WithInitState(func(i int) func(uint64, float64) repro.State {
 			return func(_ uint64, value float64) repro.State {
 				st := schema.InitState(value)
 				if i == 0 {
@@ -52,22 +54,23 @@ func run() error {
 				}
 				return st
 			}
-		},
-	})
+		}),
+	)
 	if err != nil {
 		return err
 	}
-	cluster.Start()
-	defer cluster.Stop()
+	defer sys.Close()
 
-	if _, ok, err := cluster.WaitConverged("avg", 1e-6, 10*time.Second); err != nil || !ok {
-		return fmt.Errorf("cluster did not converge (err=%v)", err)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := sys.WaitConverged(ctx, "avg", 1e-6); err != nil {
+		return fmt.Errorf("cluster did not converge: %w", err)
 	}
 	// Give the min/max and size fields a few more cycles to settle too.
 	time.Sleep(100 * time.Millisecond)
 
 	// Ask an arbitrary node — every node has the global picture.
-	probe := cluster.Nodes()[13]
+	probe := sys.Nodes()[13]
 	summary, err := repro.DecodeSummary(schema, probe.State())
 	if err != nil {
 		return err

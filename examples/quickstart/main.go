@@ -1,10 +1,12 @@
-// Quickstart: run a live in-memory cluster of gossiping nodes and watch
-// every node's approximation of the global average converge.
+// Quickstart: open a live in-memory aggregation system and watch every
+// node's approximation of the global average converge — the Open/Watch
+// front door in its smallest form.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -19,38 +21,44 @@ func main() {
 }
 
 func run() error {
-	// 32 nodes, node i holding local value i (true average 15.5).
-	cluster, err := repro.NewCluster(repro.ClusterConfig{
-		Size:        32,
-		Schema:      repro.NewAverageSchema(),
-		Value:       func(i int) float64 { return float64(i) },
-		CycleLength: 10 * time.Millisecond, // Δt
-		Seed:        1,
-	})
+	// 32 nodes, node i holding local value i (true average 15.5). Open
+	// assembles and starts the system in one call.
+	sys, err := repro.Open(
+		repro.WithSize(32),
+		repro.WithValues(func(i int) float64 { return float64(i) }),
+		repro.WithCycleLength(10*time.Millisecond),
+		repro.WithSeed(1),
+	)
 	if err != nil {
 		return err
 	}
-	cluster.Start()
-	defer cluster.Stop()
+	defer sys.Close()
 
+	// Watch streams one typed snapshot per cycle; cancelling the
+	// context ends the stream within one cycle.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	estimates, err := sys.Watch(ctx, "avg")
+	if err != nil {
+		return err
+	}
 	fmt.Println("cycle  variance-across-nodes   node0-estimate")
-	for tick := 0; tick <= 10; tick++ {
-		variance, err := cluster.Variance("avg")
+	for est := range estimates {
+		node0, err := sys.Nodes()[0].Estimate("avg")
 		if err != nil {
 			return err
 		}
-		est, err := cluster.Nodes()[0].Estimate("avg")
-		if err != nil {
-			return err
+		fmt.Printf("%5d  %22.6g   %.6f\n", est.Seq, est.Variance, node0)
+		if est.Seq >= 10 {
+			cancel() // done watching; the channel closes promptly
 		}
-		fmt.Printf("%5d  %22.6g   %.6f\n", tick, variance, est)
-		time.Sleep(10 * time.Millisecond) // one cycle length
 	}
 
-	final, converged, err := cluster.WaitConverged("avg", 1e-9, 5*time.Second)
+	final, err := sys.WaitConverged(context.Background(), "avg", 1e-9)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nconverged=%v final variance=%.3g (true average is 15.5)\n", converged, final)
+	fmt.Printf("\nconverged: variance=%.3g mean=%.4f across %d nodes (true average is 15.5)\n",
+		final.Variance, final.Mean, final.Nodes)
 	return nil
 }

@@ -1,16 +1,20 @@
 // Size estimation under churn: the paper's §4 application. A network
 // whose size oscillates (day/night) with constant node turnover runs the
 // epoch-restarted counting protocol; every epoch each node learns a fresh
-// estimate of how many peers are out there.
+// estimate of how many peers are out there. The whole experiment is one
+// declarative spec executed through repro.Run; the per-epoch reports
+// arrive in Result.Epochs.
 //
 //	go run ./examples/sizeestimate
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro"
+	"repro/scenario"
 )
 
 func main() {
@@ -20,23 +24,29 @@ func main() {
 }
 
 func run() error {
-	cfg := repro.SizeEstimationConfig{
-		MinSize:           9000,
-		MaxSize:           11000,
-		OscillationPeriod: 240, // cycles per day/night swing
-		Fluctuation:       10,  // nodes leaving and joining every cycle
-		EpochCycles:       30,  // protocol restarts every 30 cycles
-		TotalCycles:       480,
-		Instances:         4, // concurrent estimation instances per epoch
-		Seed:              2026,
-	}
-	reports, err := repro.EstimateSizeUnderChurn(cfg)
+	res, err := repro.Run(context.Background(), scenario.Spec{
+		Name:   "size-estimation",
+		Size:   10000,
+		Cycles: 480,
+		Churn: &scenario.ChurnSpec{
+			Model:       "oscillating",
+			Min:         9000,
+			Max:         11000,
+			Period:      240, // cycles per day/night swing
+			Fluctuation: 10,  // nodes leaving and joining every cycle
+		},
+		SizeEstimation: &scenario.SizeEstimationSpec{
+			EpochCycles: 30, // protocol restarts every 30 cycles
+			Instances:   4,  // concurrent estimation instances per epoch
+		},
+		Seed: 2026,
+	})
 	if err != nil {
 		return err
 	}
 
 	fmt.Println("epoch  cycle  actual-size  estimate (min..max across nodes)")
-	for _, r := range reports {
+	for _, r := range res.Epochs {
 		fmt.Printf("%5d  %5d  %11d  %8.0f (%.0f..%.0f)\n",
 			r.Epoch, r.EndCycle, r.SizeAtStart, r.EstimateMean, r.EstimateMin, r.EstimateMax)
 	}

@@ -1,7 +1,8 @@
-// TCP cluster: the same protocol over real sockets. Ten nodes listen on
-// loopback ports, bootstrap their membership from a single seed peer via
-// piggybacked gossip, and converge on the average of their values — the
-// deployment shape a real P2P network would use.
+// TCP cluster: the same protocol over real sockets. Ten single-node
+// systems listen on loopback ports, bootstrap their membership from a
+// single seed peer via piggybacked gossip, and converge on the average
+// of their values — the deployment shape a real P2P network would use,
+// with each process opened through repro.Open(WithTCP(...)).
 //
 //	go run ./examples/tcpcluster
 package main
@@ -27,64 +28,48 @@ func main() {
 }
 
 func run() error {
-	schema := repro.NewAverageSchema()
-
-	// Listen first so every node has a routable address.
-	endpoints := make([]repro.Endpoint, 0, clusterSize)
-	for i := 0; i < clusterSize; i++ {
-		ep, err := repro.NewTCPEndpoint("127.0.0.1:0")
-		if err != nil {
-			return fmt.Errorf("listen node %d: %w", i, err)
-		}
-		endpoints = append(endpoints, ep)
-	}
-
-	// Every node knows only node 0's address; the rest of the overlay is
-	// discovered through piggybacked membership gossip.
-	seed := endpoints[0].Addr()
-	nodes := make([]*repro.Node, 0, clusterSize)
-	for i := 0; i < clusterSize; i++ {
-		seeds := []string{seed}
-		if i == 0 {
-			seeds = []string{endpoints[1].Addr()}
-		}
-		sampler, err := repro.NewGossipSampler(endpoints[i].Addr(), 6, seeds)
-		if err != nil {
-			return err
-		}
-		node, err := repro.NewNode(repro.NodeConfig{
-			Schema:      schema,
-			Endpoint:    endpoints[i],
-			Sampler:     sampler,
-			Value:       float64(10 * i), // true average: 45
-			CycleLength: cycleLength,
-			Wait:        repro.ExponentialWait,
-			Seed:        uint64(i + 1),
-		})
-		if err != nil {
-			return err
-		}
-		nodes = append(nodes, node)
-	}
-
-	for i, n := range nodes {
-		fmt.Printf("node %d listening on %s (value %g)\n", i, n.Addr(), float64(10*i))
-	}
-	for _, n := range nodes {
-		n.Start()
-	}
+	// Open the seed system first so every later node has a routable
+	// address to bootstrap from.
+	systems := make([]*repro.System, 0, clusterSize)
 	defer func() {
-		for _, n := range nodes {
-			n.Stop()
+		for _, s := range systems {
+			s.Close()
 		}
 	}()
+	open := func(i int, seeds ...string) error {
+		sys, err := repro.Open(
+			repro.WithTCP("127.0.0.1:0", seeds...),
+			repro.WithValue(float64(10*i)), // true average: 45
+			repro.WithCycleLength(cycleLength),
+			repro.WithWaitPolicy(repro.ExponentialWait),
+			repro.WithMembershipView(6),
+			repro.WithSeed(uint64(i+1)),
+		)
+		if err != nil {
+			return err
+		}
+		systems = append(systems, sys)
+		return nil
+	}
+	if err := open(0); err != nil {
+		return err
+	}
+	seed := systems[0].Nodes()[0].Addr()
+	for i := 1; i < clusterSize; i++ {
+		if err := open(i, seed); err != nil {
+			return err
+		}
+	}
+	for i, s := range systems {
+		fmt.Printf("node %d listening on %s (value %g)\n", i, s.Nodes()[0].Addr(), float64(10*i))
+	}
 
 	fmt.Println("\ngossiping over TCP loopback ...")
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		worst := 0.0
-		for _, n := range nodes {
-			est, err := n.Estimate("avg")
+		for _, s := range systems {
+			est, err := s.Nodes()[0].Estimate("avg")
 			if err != nil {
 				return err
 			}
@@ -103,11 +88,11 @@ func run() error {
 	}
 
 	var total repro.NodeStats
-	for _, n := range nodes {
-		s := n.Stats()
-		total.Initiated += s.Initiated
-		total.Replies += s.Replies
-		total.Timeouts += s.Timeouts
+	for _, s := range systems {
+		st := s.Stats()
+		total.Initiated += st.Initiated
+		total.Replies += st.Replies
+		total.Timeouts += st.Timeouts
 	}
 	fmt.Printf("\nconverged. exchanges initiated=%d replies=%d timeouts=%d\n",
 		total.Initiated, total.Replies, total.Timeouts)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -47,7 +48,7 @@ func benchmarkRuntimeExchange(b *testing.B, mode RuntimeMode, size int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	c.Start()
+	c.Start(context.Background())
 	// Warm up past construction transients before measuring.
 	time.Sleep(100 * time.Millisecond)
 	before := clusterStats(c)

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -60,6 +62,10 @@ type Cluster struct {
 	fabric *transport.Fabric
 	schema *core.Schema
 	rt     *Runtime // non-nil in heap mode
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	ctxStop   chan struct{} // closed by Stop to release the ctx watcher
 }
 
 // NewCluster builds (but does not start) a local cluster. Every node
@@ -149,34 +155,57 @@ func (c *Cluster) Fabric() *transport.Fabric { return c.fabric }
 // goroutine mode.
 func (c *Cluster) Runtime() *Runtime { return c.rt }
 
-// Start launches every node.
-func (c *Cluster) Start() {
-	if c.rt != nil {
-		c.rt.Start()
-		return
-	}
-	for _, n := range c.nodes {
-		n.Start()
-	}
+// Start launches every node. Cancelling ctx stops the cluster exactly
+// as Stop would; context.Background() runs until an explicit Stop.
+// Calling Start more than once is a no-op (later contexts are
+// ignored).
+func (c *Cluster) Start(ctx context.Context) {
+	c.startOnce.Do(func() {
+		if c.rt != nil {
+			c.rt.Start(ctx)
+			return
+		}
+		for _, n := range c.nodes {
+			n.Start()
+		}
+		if ctx != nil && ctx.Done() != nil {
+			stop := make(chan struct{})
+			c.ctxStop = stop
+			go func() {
+				select {
+				case <-ctx.Done():
+					c.Stop()
+				case <-stop:
+				}
+			}()
+		}
+	})
 }
 
 // Stop stops every node (and closes their endpoints). All nodes are
 // signalled before any is waited on, so teardown is one scheduler
-// round, not nodes-many.
+// round, not nodes-many. Idempotent.
 func (c *Cluster) Stop() {
-	if c.rt != nil {
-		c.rt.Stop()
-		return
-	}
-	for _, n := range c.nodes {
-		n.signalStop()
-	}
-	for _, n := range c.nodes {
-		n.Stop()
-	}
+	c.stopOnce.Do(func() {
+		if c.ctxStop != nil {
+			close(c.ctxStop)
+		}
+		if c.rt != nil {
+			c.rt.Stop()
+			return
+		}
+		for _, n := range c.nodes {
+			n.signalStop()
+		}
+		for _, n := range c.nodes {
+			n.Stop()
+		}
+	})
 }
 
-// Snapshot returns every node's current approximation of the named field.
+// Snapshot returns every node's current approximation of the named
+// field. It materializes an N-length slice; hot observation paths
+// should fold with ReduceField instead.
 func (c *Cluster) Snapshot(field string) ([]float64, error) {
 	if c.rt != nil {
 		return c.rt.Snapshot(field)
@@ -187,20 +216,40 @@ func (c *Cluster) Snapshot(field string) ([]float64, error) {
 	}
 	out := make([]float64, len(c.nodes))
 	for i, n := range c.nodes {
-		st := n.State()
-		out[i] = st[idx]
+		out[i] = n.fieldAt(idx)
 	}
 	return out, nil
 }
 
-// Variance returns the cross-node empirical variance of the named field —
-// the live-engine analogue of the paper's σ².
-func (c *Cluster) Variance(field string) (float64, error) {
-	vals, err := c.Snapshot(field)
+// ReduceField streams every node's current approximation of the named
+// field through fn, in node index order, without materializing a
+// vector. In heap mode fn runs with the owning shard locked (it must
+// be fast and must not call back into the cluster); in goroutine mode
+// each node is locked individually, so the fold is per-node atomic,
+// not a global snapshot — exactly as Snapshot behaves.
+func (c *Cluster) ReduceField(field string, fn func(v float64)) error {
+	if c.rt != nil {
+		return c.rt.ReduceField(field, fn)
+	}
+	idx, err := c.schema.Index(field)
 	if err != nil {
+		return err
+	}
+	for _, n := range c.nodes {
+		fn(n.fieldAt(idx))
+	}
+	return nil
+}
+
+// Variance returns the cross-node empirical variance of the named field —
+// the live-engine analogue of the paper's σ². It folds shard-by-shard
+// (Welford), allocating nothing per node.
+func (c *Cluster) Variance(field string) (float64, error) {
+	var run stats.Running
+	if err := c.ReduceField(field, run.Add); err != nil {
 		return 0, err
 	}
-	return stats.Variance(vals), nil
+	return run.Variance(), nil
 }
 
 // WaitConverged polls until the named field's cross-node variance falls

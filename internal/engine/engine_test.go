@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"math"
 	"runtime"
@@ -97,7 +98,7 @@ func TestClusterConvergesToAverage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 	v, converged, err := c.WaitConverged("avg", 1e-6, 5*time.Second)
 	if err != nil {
@@ -144,7 +145,7 @@ func TestClusterSummarySchemaConverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 	if _, ok, _ := c.WaitConverged("size", 1e-10, 5*time.Second); !ok {
 		t.Fatal("size field did not converge")
@@ -179,7 +180,7 @@ func TestClusterMassApproximatelyConserved(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 	if _, ok, _ := c.WaitConverged("avg", 1e-4, 5*time.Second); !ok {
 		t.Fatal("did not converge")
@@ -203,7 +204,7 @@ func TestClusterExponentialWaitConverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 	if v, ok, _ := c.WaitConverged("avg", 1e-5, 5*time.Second); !ok {
 		t.Fatalf("exponential-wait cluster stuck at variance %g", v)
@@ -229,7 +230,7 @@ func TestClusterPushOnlyStillReducesVariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -257,7 +258,7 @@ func TestClusterUnderMessageLoss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 	if v, ok, _ := c.WaitConverged("avg", 1e-4, 8*time.Second); !ok {
 		t.Fatalf("lossy cluster stuck at variance %g", v)
@@ -283,7 +284,7 @@ func TestNodeStatsCounters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Start()
+	c.Start(context.Background())
 	time.Sleep(100 * time.Millisecond)
 	c.Stop()
 	var agg Stats
@@ -389,7 +390,7 @@ func TestEpochIDsMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := clusterWithClock(t, 6, clock)
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 	last := make([]uint64, 6)
 	for probe := 0; probe < 20; probe++ {

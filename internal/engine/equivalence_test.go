@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -113,7 +114,7 @@ func runEquivCase(t *testing.T, tc equivCase, mode RuntimeMode, seed uint64) []f
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 
 	if tc.churn {

@@ -11,6 +11,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -219,10 +220,11 @@ func (n *Node) Addr() string {
 
 // Start launches the active loop and the dispatcher. Calling Start more
 // than once is a no-op. On a heap-runtime facade it starts the whole
-// runtime (idempotently).
+// runtime (idempotently, without context — use Runtime.Start or the
+// repro.Open front door for context-scoped lifetimes).
 func (n *Node) Start() {
 	if n.hrt != nil {
-		n.hrt.Start()
+		n.hrt.Start(context.Background())
 		return
 	}
 	if n.started.Swap(true) {
@@ -285,6 +287,15 @@ func (n *Node) State() core.State {
 	out := make(core.State, len(n.state))
 	copy(out, n.state)
 	return out
+}
+
+// fieldAt returns the node's current approximation of field idx
+// without copying the state vector (the cluster's ReduceField hot
+// path). Only valid on real goroutine-mode nodes.
+func (n *Node) fieldAt(idx int) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state[idx]
 }
 
 // Estimate returns the node's current approximation of the named field.

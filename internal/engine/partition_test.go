@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"strconv"
 	"strings"
@@ -43,7 +44,7 @@ func TestPartitionHeal(t *testing.T) {
 	c.Fabric().SetFilter(func(from, to string) bool {
 		return half(from) == half(to)
 	})
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 
 	// Each half converges to its own mean: evens hold values 0,2,..,14
@@ -115,7 +116,7 @@ func TestTotalPartitionThenHeal(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Fabric().SetFilter(func(string, string) bool { return false })
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 
 	time.Sleep(100 * time.Millisecond)
@@ -159,7 +160,7 @@ func TestFabricLatencyClusterStillConverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 	if v, ok, _ := c.WaitConverged("avg", 1e-5, 10*time.Second); !ok {
 		t.Fatalf("latency cluster stuck at variance %g", v)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -356,8 +357,9 @@ func (rt *Runtime) now() float64 {
 }
 
 // Start launches the worker pool. Calling Start more than once is a
-// no-op.
-func (rt *Runtime) Start() {
+// no-op. Cancelling ctx stops the runtime exactly as Stop would;
+// context.Background() runs until an explicit Stop.
+func (rt *Runtime) Start(ctx context.Context) {
 	rt.startOnce.Do(func() {
 		rt.epochStart = time.Now()
 		rt.started.Store(true)
@@ -373,6 +375,15 @@ func (rt *Runtime) Start() {
 			}
 			s.mu.Unlock()
 			go s.run()
+		}
+		if ctx != nil && ctx.Done() != nil {
+			go func() {
+				select {
+				case <-ctx.Done():
+					rt.Stop()
+				case <-rt.stop:
+				}
+			}()
 		}
 	})
 }
@@ -407,7 +418,8 @@ func (rt *Runtime) shardOf(i int) *rshard {
 }
 
 // Snapshot returns every node's current approximation of the named
-// field, locking one shard at a time.
+// field, locking one shard at a time. It materializes an N-length
+// slice; hot paths at 10⁵⁺ nodes should fold with ReduceField instead.
 func (rt *Runtime) Snapshot(field string) ([]float64, error) {
 	idx, err := rt.schema.Index(field)
 	if err != nil {
@@ -422,6 +434,26 @@ func (rt *Runtime) Snapshot(field string) ([]float64, error) {
 		s.mu.Unlock()
 	}
 	return out, nil
+}
+
+// ReduceField streams every node's current approximation of the named
+// field through fn, shard by shard, without materializing a vector —
+// the observation primitive for 10⁵–10⁶-node runtimes. fn runs with
+// the owning shard locked: it must be fast and must not call back into
+// the runtime. Nodes are visited in index order.
+func (rt *Runtime) ReduceField(field string, fn func(v float64)) error {
+	idx, err := rt.schema.Index(field)
+	if err != nil {
+		return err
+	}
+	for _, s := range rt.shards {
+		s.mu.Lock()
+		for i := range s.nodes {
+			fn(s.nodes[i].state[idx])
+		}
+		s.mu.Unlock()
+	}
+	return nil
 }
 
 // NodeState returns a copy of node i's state vector.

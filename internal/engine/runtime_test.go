@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -125,7 +126,7 @@ func TestHeapClusterConvergesToAverage(t *testing.T) {
 	if c.Runtime() == nil {
 		t.Fatal("heap cluster has no runtime")
 	}
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 	v, converged, err := c.WaitConverged("avg", 1e-6, 5*time.Second)
 	if err != nil {
@@ -185,7 +186,7 @@ func TestHeapClusterSummarySchemaConverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 	if _, ok, _ := c.WaitConverged("size", 1e-10, 5*time.Second); !ok {
 		t.Fatal("size field did not converge")
@@ -220,7 +221,7 @@ func TestHeapClusterUnderMessageLoss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 	if v, ok, _ := c.WaitConverged("avg", 1e-4, 8*time.Second); !ok {
 		t.Fatalf("lossy heap cluster stuck at variance %g", v)
@@ -248,7 +249,7 @@ func TestHeapEpochRestartAdaptsToNewValues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 	for _, n := range c.Nodes() {
 		n.SetValue(5)
@@ -297,7 +298,7 @@ func TestHeapClusterPushOnlyStillReducesVariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -350,8 +351,8 @@ func TestHeapRuntimesBootstrapAcrossProcesses(t *testing.T) {
 	}
 	a := build(10, 1)
 	b := build(20, 2)
-	a.Start()
-	b.Start()
+	a.Start(context.Background())
+	b.Start(context.Background())
 	defer a.Stop()
 	defer b.Stop()
 
@@ -395,7 +396,7 @@ func TestHeapRuntimeSustains100k(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 	rt := c.Runtime()
 	deadline := time.Now().Add(3 * time.Minute)

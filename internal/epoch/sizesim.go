@@ -1,6 +1,7 @@
 package epoch
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -89,6 +90,14 @@ type EpochReport struct {
 // the historical order, so fixed seeds reproduce the pre-kernel
 // reports bit for bit.
 func RunSizeSim(cfg SizeSimConfig) ([]EpochReport, error) {
+	return RunSizeSimContext(context.Background(), cfg)
+}
+
+// RunSizeSimContext is RunSizeSim with cooperative cancellation: the
+// context is checked once per gossip cycle, so long churned horizons
+// stop within one cycle of a cancel. Reports from completed epochs are
+// discarded; the context's error is returned.
+func RunSizeSimContext(ctx context.Context, cfg SizeSimConfig) ([]EpochReport, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -106,6 +115,9 @@ func RunSizeSim(cfg SizeSimConfig) ([]EpochReport, error) {
 		s.startEpoch()
 		startSize := s.kern.Size() + s.pending
 		for k := 0; k < cfg.EpochCycles; k++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			s.applyChurn(cycle)
 			s.kern.Cycle() // one GETPAIR_SEQ gossip cycle over participants
 			cycle++

@@ -22,6 +22,7 @@
 package eventsim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sim"
@@ -126,7 +127,7 @@ func Run(cfg Config) (*Result, error) {
 
 	res := &Result{Variances: make([]float64, 0, cfg.Cycles+1)}
 	res.Variances = append(res.Variances, stats.Variance(kern.Column(0)))
-	exchanges, err := kern.RunEvents(cfg.Cycles, func() {
+	exchanges, err := kern.RunEvents(context.Background(), cfg.Cycles, func() {
 		res.Variances = append(res.Variances, stats.Variance(kern.Column(0)))
 	})
 	if err != nil {

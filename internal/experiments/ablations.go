@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"repro/internal/scenario"
 	"repro/internal/stats"
+	"repro/scenario"
 )
 
 // CyclesToAccuracyConfig parameterizes experiment E5: how many AVG cycles
@@ -42,7 +43,7 @@ const maxAccuracyCycles = 200
 // x = 0, y = cycles needed for σ²/σ₀² ≤ Target on the complete graph.
 // Each selector is one Spec with the engine's early-stop target ratio;
 // the cycle count is read off the last emitted row.
-func CyclesToAccuracy(cfg CyclesToAccuracyConfig) ([]*stats.Series, error) {
+func CyclesToAccuracy(ctx context.Context, cfg CyclesToAccuracyConfig) ([]*stats.Series, error) {
 	if cfg.Target <= 0 || cfg.Target >= 1 {
 		return nil, fmt.Errorf("experiments: target ratio must be in (0,1), got %g", cfg.Target)
 	}
@@ -51,11 +52,15 @@ func CyclesToAccuracy(cfg CyclesToAccuracyConfig) ([]*stats.Series, error) {
 	specs := make([]scenario.Spec, len(cfg.Selectors))
 	out := make([]*stats.Series, len(cfg.Selectors))
 	for i, sel := range cfg.Selectors {
+		selector, err := scenario.ParseSelector(sel)
+		if err != nil {
+			return nil, err
+		}
 		specs[i] = scenario.Spec{
 			Name:        "cycles-to-accuracy",
 			Size:        cfg.Size,
 			Cycles:      maxAccuracyCycles,
-			Selector:    sel,
+			Selector:    selector,
 			TargetRatio: cfg.Target,
 			Repeats:     cfg.Runs,
 			Seed:        cfg.Seed ^ hashLabel(sel, "ctacc", cfg.Size),
@@ -63,7 +68,7 @@ func CyclesToAccuracy(cfg CyclesToAccuracyConfig) ([]*stats.Series, error) {
 		out[i] = stats.NewSeries(fmt.Sprintf("cycles_to_%.0e_%s", cfg.Target, sel))
 	}
 	var col scenario.Collector
-	if err := scenario.Run(specs, &col); err != nil {
+	if err := scenario.Run(ctx, specs, &col); err != nil {
 		return nil, err
 	}
 	rows := col.Results()
@@ -124,21 +129,21 @@ type LossResult struct {
 
 // LossAblation sweeps message-loss probabilities with getPair_seq on the
 // complete graph (the deployed protocol's asymmetric reply-loss model).
-func LossAblation(cfg LossAblationConfig) ([]LossResult, error) {
+func LossAblation(ctx context.Context, cfg LossAblationConfig) ([]LossResult, error) {
 	specs := make([]scenario.Spec, len(cfg.LossProbs))
 	for i, p := range cfg.LossProbs {
 		specs[i] = scenario.Spec{
 			Name:     "loss-ablation",
 			Size:     cfg.Size,
 			Cycles:   cfg.Cycles,
-			Loss:     "reply",
+			Loss:     scenario.LossReply,
 			LossProb: p,
 			Repeats:  cfg.Runs,
 			Seed:     cfg.Seed ^ hashLabel("seq", "loss", int(p*1e6)),
 		}
 	}
 	var col scenario.Collector
-	if err := scenario.Run(specs, &col); err != nil {
+	if err := scenario.Run(ctx, specs, &col); err != nil {
 		return nil, err
 	}
 	rates := make([][]float64, len(specs))
@@ -214,7 +219,7 @@ type CrashResult struct {
 
 // CrashAblation sweeps crash fractions with getPair_seq on the complete
 // graph over the survivors.
-func CrashAblation(cfg CrashAblationConfig) ([]CrashResult, error) {
+func CrashAblation(ctx context.Context, cfg CrashAblationConfig) ([]CrashResult, error) {
 	specs := make([]scenario.Spec, len(cfg.CrashFractions))
 	for i, f := range cfg.CrashFractions {
 		if f < 0 || f >= 1 {
@@ -238,7 +243,7 @@ func CrashAblation(cfg CrashAblationConfig) ([]CrashResult, error) {
 		}
 	}
 	var col scenario.Collector
-	if err := scenario.Run(specs, &col); err != nil {
+	if err := scenario.Run(ctx, specs, &col); err != nil {
 		return nil, err
 	}
 	errs := make([][]float64, len(specs))
@@ -307,18 +312,22 @@ func DefaultTopologySweep() TopologySweepConfig {
 // geometric-mean per-cycle variance reduction over Cycles iterations with
 // getPair_seq. Lower is faster; the complete graph's ≈ 0.30 is the
 // baseline the structured overlays degrade from.
-func TopologySweep(cfg TopologySweepConfig) ([]*stats.Series, error) {
+func TopologySweep(ctx context.Context, cfg TopologySweepConfig) ([]*stats.Series, error) {
 	if cfg.Cycles < 1 {
 		cfg.Cycles = 15
 	}
 	specs := make([]scenario.Spec, len(cfg.Topologies))
 	out := make([]*stats.Series, len(cfg.Topologies))
 	for i, topo := range cfg.Topologies {
+		overlay, err := scenario.ParseTopology(string(topo))
+		if err != nil {
+			return nil, err
+		}
 		specs[i] = scenario.Spec{
 			Name:     "topology-sweep",
 			Size:     cfg.Size,
 			Cycles:   cfg.Cycles,
-			Topology: string(topo),
+			Topology: overlay,
 			ViewSize: cfg.ViewSize,
 			Repeats:  cfg.Runs,
 			Seed:     cfg.Seed ^ hashLabel("seq", string(topo), cfg.Size),
@@ -326,7 +335,7 @@ func TopologySweep(cfg TopologySweepConfig) ([]*stats.Series, error) {
 		out[i] = stats.NewSeries(fmt.Sprintf("seq, %s", topo))
 	}
 	var col scenario.Collector
-	if err := scenario.Run(specs, &col); err != nil {
+	if err := scenario.Run(ctx, specs, &col); err != nil {
 		return nil, err
 	}
 	for cell, rates := range geometricRatesByCell(col.Results(), cfg.Cycles, len(specs)) {
@@ -369,7 +378,7 @@ func DefaultViewSizeSweep() ViewSizeSweepConfig {
 // ViewSizeSweep returns one series with x = view size k and y = the
 // geometric-mean per-cycle variance reduction with getPair_seq on the
 // k-regular overlay.
-func ViewSizeSweep(cfg ViewSizeSweepConfig) (*stats.Series, error) {
+func ViewSizeSweep(ctx context.Context, cfg ViewSizeSweepConfig) (*stats.Series, error) {
 	series := stats.NewSeries("seq rate vs view size")
 	specs := make([]scenario.Spec, len(cfg.ViewSizes))
 	for i, k := range cfg.ViewSizes {
@@ -377,14 +386,14 @@ func ViewSizeSweep(cfg ViewSizeSweepConfig) (*stats.Series, error) {
 			Name:     "viewsize-sweep",
 			Size:     cfg.Size,
 			Cycles:   cfg.Cycles,
-			Topology: string(KRegular),
+			Topology: scenario.TopologyKRegular,
 			ViewSize: k,
 			Repeats:  cfg.Runs,
 			Seed:     cfg.Seed ^ hashLabel("seq", "ksweep", k),
 		}
 	}
 	var col scenario.Collector
-	if err := scenario.Run(specs, &col); err != nil {
+	if err := scenario.Run(ctx, specs, &col); err != nil {
 		return nil, err
 	}
 	for cell, rates := range geometricRatesByCell(col.Results(), cfg.Cycles, len(specs)) {

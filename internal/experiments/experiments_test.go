@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
 
 	"repro/internal/avg"
-	"repro/internal/scenario"
 	"repro/internal/xrand"
+	"repro/scenario"
 )
 
 func TestBuildTopologyAllKinds(t *testing.T) {
@@ -37,7 +38,7 @@ func TestFig3aSmallScale(t *testing.T) {
 		ViewSize:   20,
 		Seed:       1,
 	}
-	series, err := Fig3a(cfg)
+	series, err := Fig3a(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,11 +74,11 @@ func TestFig3aDeterministicForSeed(t *testing.T) {
 		ViewSize:   20,
 		Seed:       7,
 	}
-	s1, err := Fig3a(cfg)
+	s1, err := Fig3a(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := Fig3a(cfg)
+	s2, err := Fig3a(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestFig3aDeterministicForSeed(t *testing.T) {
 }
 
 func TestFig3aValidation(t *testing.T) {
-	if _, err := Fig3a(Fig3aConfig{Runs: 0}); err == nil {
+	if _, err := Fig3a(context.Background(), Fig3aConfig{Runs: 0}); err == nil {
 		t.Fatal("zero runs accepted")
 	}
 }
@@ -103,7 +104,7 @@ func TestFig3bSmallScale(t *testing.T) {
 		ViewSize:   20,
 		Seed:       2,
 	}
-	series, err := Fig3b(cfg)
+	series, err := Fig3b(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestFig4SmallScale(t *testing.T) {
 		Instances:         1,
 		Seed:              3,
 	}
-	reports, err := Fig4(cfg)
+	reports, err := Fig4(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestFig4SmallScale(t *testing.T) {
 }
 
 func TestFig4Validation(t *testing.T) {
-	if _, err := Fig4(Fig4Config{MinSize: 2, MaxSize: 1}); err == nil {
+	if _, err := Fig4(context.Background(), Fig4Config{MinSize: 2, MaxSize: 1}); err == nil {
 		t.Fatal("inverted size band accepted")
 	}
 }
@@ -174,7 +175,7 @@ func TestCyclesToAccuracySmall(t *testing.T) {
 		Selectors: []string{"pm", "rand", "seq"},
 		Seed:      4,
 	}
-	series, err := CyclesToAccuracy(cfg)
+	series, err := CyclesToAccuracy(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,13 +211,13 @@ func TestCyclesToAccuracySmall(t *testing.T) {
 }
 
 func TestCyclesToAccuracyValidation(t *testing.T) {
-	if _, err := CyclesToAccuracy(CyclesToAccuracyConfig{Target: 2}); err == nil {
+	if _, err := CyclesToAccuracy(context.Background(), CyclesToAccuracyConfig{Target: 2}); err == nil {
 		t.Fatal("target ≥ 1 accepted")
 	}
 }
 
 func TestLossAblationMonotone(t *testing.T) {
-	res, err := LossAblation(LossAblationConfig{
+	res, err := LossAblation(context.Background(), LossAblationConfig{
 		Size:      1000,
 		Cycles:    15,
 		LossProbs: []float64{0, 0.2, 0.4},
@@ -243,7 +244,7 @@ func TestLossAblationMonotone(t *testing.T) {
 }
 
 func TestCrashAblationErrorGrowsWithFraction(t *testing.T) {
-	res, err := CrashAblation(CrashAblationConfig{
+	res, err := CrashAblation(context.Background(), CrashAblationConfig{
 		Size:           2000,
 		CrashFractions: []float64{0, 0.2, 0.5},
 		Cycles:         15,
@@ -269,7 +270,7 @@ func TestCrashAblationErrorGrowsWithFraction(t *testing.T) {
 }
 
 func TestCrashAblationValidation(t *testing.T) {
-	if _, err := CrashAblation(CrashAblationConfig{
+	if _, err := CrashAblation(context.Background(), CrashAblationConfig{
 		Size: 100, CrashFractions: []float64{1.5}, Cycles: 5, Runs: 2,
 	}); err == nil {
 		t.Fatal("fraction ≥ 1 accepted")
@@ -277,7 +278,7 @@ func TestCrashAblationValidation(t *testing.T) {
 }
 
 func TestTopologySweepOrdering(t *testing.T) {
-	series, err := TopologySweep(TopologySweepConfig{
+	series, err := TopologySweep(context.Background(), TopologySweepConfig{
 		Size:       2000,
 		ViewSize:   20,
 		Cycles:     15,
@@ -302,7 +303,7 @@ func TestTopologySweepOrdering(t *testing.T) {
 }
 
 func TestViewSizeSweepImprovesWithK(t *testing.T) {
-	series, err := ViewSizeSweep(ViewSizeSweepConfig{
+	series, err := ViewSizeSweep(context.Background(), ViewSizeSweepConfig{
 		Size:      2000,
 		ViewSizes: []int{2, 20},
 		Cycles:    10,
@@ -341,8 +342,8 @@ func TestScenarioOneCycleReductionMatchesTheory(t *testing.T) {
 	// Sanity link between the scenario engine and the §3.3 theory: pm
 	// one-cycle reduction on the complete graph averages ≈ 1/4.
 	var col scenario.Collector
-	err := scenario.Run([]scenario.Spec{{
-		Size: 1000, Cycles: 1, Selector: "pm", Repeats: 8, Seed: 9,
+	err := scenario.Run(context.Background(), []scenario.Spec{{
+		Size: 1000, Cycles: 1, Selector: scenario.SelectorPM, Repeats: 8, Seed: 9,
 	}}, &col)
 	if err != nil {
 		t.Fatal(err)

@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
-	"repro/internal/scenario"
 	"repro/internal/stats"
+	"repro/scenario"
 )
 
 // Fig3aConfig parameterizes the Figure 3(a) reproduction: the average
@@ -49,13 +50,21 @@ func DefaultFig3a() Fig3aConfig {
 // Fig3a runs the experiment and returns one series per selector×topology
 // combination, labeled "getPair_<sel>, <topo>" as in the paper's legend,
 // with x = network size and y = σ₁²/σ₀².
-func Fig3a(cfg Fig3aConfig) ([]*stats.Series, error) {
+func Fig3a(ctx context.Context, cfg Fig3aConfig) ([]*stats.Series, error) {
 	if cfg.Runs < 1 {
 		return nil, fmt.Errorf("experiments: fig3a needs Runs ≥ 1")
 	}
 	var out []*stats.Series
 	for _, sel := range cfg.Selectors {
+		selector, err := scenario.ParseSelector(sel)
+		if err != nil {
+			return nil, err
+		}
 		for _, topo := range cfg.Topologies {
+			overlay, err := scenario.ParseTopology(string(topo))
+			if err != nil {
+				return nil, err
+			}
 			shards := shardsFor(cfg.Shards, sel, topo)
 			specs := make([]scenario.Spec, len(cfg.Sizes))
 			for i, n := range cfg.Sizes {
@@ -63,8 +72,8 @@ func Fig3a(cfg Fig3aConfig) ([]*stats.Series, error) {
 					Name:     "fig3a",
 					Size:     n,
 					Cycles:   1,
-					Selector: sel,
-					Topology: string(topo),
+					Selector: selector,
+					Topology: overlay,
 					ViewSize: cfg.ViewSize,
 					Shards:   shards,
 					Repeats:  cfg.Runs,
@@ -72,7 +81,7 @@ func Fig3a(cfg Fig3aConfig) ([]*stats.Series, error) {
 				}
 			}
 			var col scenario.Collector
-			if err := specRunner(shards).Run(specs, &col); err != nil {
+			if err := specRunner(shards).Run(ctx, specs, &col); err != nil {
 				return nil, err
 			}
 			series := stats.NewSeries(fmt.Sprintf("getPair_%s, %s", sel, topo))
@@ -130,27 +139,35 @@ func DefaultFig3b() Fig3bConfig {
 
 // Fig3b runs the experiment and returns one series per selector×topology
 // combination with x = cycle index (1-based) and y = σᵢ²/σᵢ₋₁².
-func Fig3b(cfg Fig3bConfig) ([]*stats.Series, error) {
+func Fig3b(ctx context.Context, cfg Fig3bConfig) ([]*stats.Series, error) {
 	if cfg.Runs < 1 || cfg.Cycles < 1 {
 		return nil, fmt.Errorf("experiments: fig3b needs Runs ≥ 1 and Cycles ≥ 1")
 	}
 	var out []*stats.Series
 	for _, sel := range cfg.Selectors {
+		selector, err := scenario.ParseSelector(sel)
+		if err != nil {
+			return nil, err
+		}
 		for _, topo := range cfg.Topologies {
+			overlay, err := scenario.ParseTopology(string(topo))
+			if err != nil {
+				return nil, err
+			}
 			shards := shardsFor(cfg.Shards, sel, topo)
 			spec := scenario.Spec{
 				Name:     "fig3b",
 				Size:     cfg.Size,
 				Cycles:   cfg.Cycles,
-				Selector: sel,
-				Topology: string(topo),
+				Selector: selector,
+				Topology: overlay,
 				ViewSize: cfg.ViewSize,
 				Shards:   shards,
 				Repeats:  cfg.Runs,
 				Seed:     cfg.Seed ^ hashLabel(sel, string(topo), cfg.Size),
 			}
 			var col scenario.Collector
-			if err := specRunner(shards).Run([]scenario.Spec{spec}, &col); err != nil {
+			if err := specRunner(shards).Run(ctx, []scenario.Spec{spec}, &col); err != nil {
 				return nil, err
 			}
 			series := stats.NewSeries(fmt.Sprintf("getPair_%s, %s", sel, topo))

@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/epoch"
-	"repro/internal/scenario"
+	"repro/scenario"
 )
 
 // Fig4Config parameterizes the Figure 4 reproduction: network size
@@ -72,18 +73,21 @@ func (cfg Fig4Config) Spec() scenario.Spec {
 
 // Fig4 runs the scenario and returns the per-epoch reports (one point of
 // the figure per epoch: converged estimate with min/max range vs actual
-// size). The scenario spec is translated to the epoch simulator with the
-// configured seed directly, so output is byte-compatible with the
-// pre-scenario driver.
-func Fig4(cfg Fig4Config) ([]epoch.EpochReport, error) {
+// size). The executed spec carries scenario.RawSeed(cfg.Seed), so the
+// epoch simulator consumes exactly the stream xrand.New(cfg.Seed) — the
+// historical driver's derivation — and output stays byte-compatible
+// with the pre-scenario driver.
+func Fig4(ctx context.Context, cfg Fig4Config) ([]epoch.EpochReport, error) {
 	if cfg.MinSize < 4 || cfg.MaxSize < cfg.MinSize {
 		return nil, fmt.Errorf("experiments: fig4 needs 4 ≤ MinSize ≤ MaxSize, got %d..%d", cfg.MinSize, cfg.MaxSize)
 	}
-	simCfg, err := cfg.Spec().SizeSimConfig(cfg.Seed)
+	spec := cfg.Spec()
+	spec.Seed = scenario.RawSeed(cfg.Seed)
+	res, err := scenario.RunSpec(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
-	return epoch.RunSizeSim(simCfg)
+	return res.Epochs, nil
 }
 
 // Fig4TSV renders the reports as tab-separated rows matching the figure's

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -365,7 +366,7 @@ func TestKernelWaitPoliciesMatchSelectorRegimes(t *testing.T) {
 			t.Fatal(err)
 		}
 		first := stats.Variance(k.Column(0))
-		if _, err := k.RunEvents(cycles, func() {}); err != nil {
+		if _, err := k.RunEvents(context.Background(), cycles, func() {}); err != nil {
 			t.Fatal(err)
 		}
 		last := stats.Variance(k.Column(0))

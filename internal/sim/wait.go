@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/xrand"
@@ -60,8 +61,9 @@ func (ExponentialWait) Name() string { return "exponential" }
 // zero-time event on the simulated clock (the paper's §2 communication
 // model). sample is invoked at every integer time 1, 2, …, horizon —
 // the per-Δt snapshot behind the asynchronous variance trajectories.
-// It returns the number of performed exchanges.
-func (k *Kernel) RunEvents(horizon int, sample func()) (int, error) {
+// It returns the number of performed exchanges. Cancelling ctx stops
+// the run at the next Δt boundary and returns the context's error.
+func (k *Kernel) RunEvents(ctx context.Context, horizon int, sample func()) (int, error) {
 	if k.wait == nil {
 		return 0, fmt.Errorf("sim: RunEvents needs Config.Wait")
 	}
@@ -79,6 +81,9 @@ func (k *Kernel) RunEvents(horizon int, sample func()) (int, error) {
 	for {
 		ev := h.Pop()
 		for nextSample <= ev.At && nextSample <= hz {
+			if err := ctx.Err(); err != nil {
+				return exchanges, err
+			}
 			sample()
 			nextSample++
 		}

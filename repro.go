@@ -5,24 +5,35 @@
 // aggregates — average, extrema, sums, variance and network size — with
 // exponential convergence and no performance bottlenecks.
 //
-// The package exposes three layers:
+// The public API is the Run / Open / Watch triad:
 //
-//   - Simulate: the paper's theoretical model (algorithm AVG of Figure 2)
-//     with the four pair selectors of §3.3, for analysis and for
-//     regenerating the paper's figures.
-//   - NewCluster / NewNode: the deployable asynchronous runtime
-//     (goroutine per node, in-memory or TCP transport, epoch restarts,
-//     Newscast-style membership).
-//   - EstimateSizeUnderChurn: the §4 application — adaptive network size
-//     estimation with epochs, under churn.
+//   - Run(ctx, spec) executes one declarative scenario.Spec — the
+//     paper's theoretical model, the sharded paper-scale executor, the
+//     asynchronous event-driven model or the §4 size estimator, routed
+//     by the spec's axes — and materializes the outcome. RunGrid
+//     sweeps a base spec crossed with axes and streams reduction rows.
+//   - Open(opts...) assembles and starts a live aggregation System
+//     from functional options: an in-memory cluster (goroutine or
+//     event-heap scheduling), a 10⁵-node heap runtime over TCP, or one
+//     deployable TCP node.
+//   - System.Watch(ctx, field) streams one typed Estimate per cycle;
+//     System.Reduce(ctx, field, reducer) folds over node states shard
+//     by shard without materializing an N-length vector — aggregation
+//     as a continuously queried service, not a batch run.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record.
+// The historical entry points — Simulate, SimulateAsync,
+// EstimateSizeUnderChurn, NewCluster/NewNode/NewRuntime — remain as
+// thin deprecated wrappers with byte-identical fixed-seed output; each
+// config documents its Run/Open replacement.
+//
+// See DESIGN.md for the system inventory (including the public-API
+// migration table) and EXPERIMENTS.md for the paper-versus-measured
+// record.
 package repro
 
 import (
+	"context"
 	"fmt"
-	"math"
 
 	"repro/internal/avg"
 	"repro/internal/core"
@@ -34,11 +45,12 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/transport"
-	"repro/internal/xrand"
+	"repro/scenario"
 )
 
-// AutoShards, as SimulationConfig.Shards, selects one shard per
-// GOMAXPROCS worker.
+// AutoShards, as SimulationConfig.Shards or scenario.Spec.Shards,
+// selects one shard per GOMAXPROCS worker where the sharded executor
+// applies, falling back to sequential execution elsewhere.
 const AutoShards = sim.AutoShards
 
 // Re-exported building blocks. These aliases are the supported public
@@ -55,21 +67,21 @@ type (
 	// Node is one live protocol participant.
 	Node = engine.Node
 	// NodeConfig assembles a single Node (bring your own transport and
-	// membership, e.g. for TCP deployments).
+	// membership; most callers want Open with WithTCP instead).
 	NodeConfig = engine.Config
 	// Cluster is a locally running set of nodes over an in-memory fabric.
 	Cluster = engine.Cluster
-	// ClusterConfig assembles a Cluster.
+	// ClusterConfig assembles a Cluster (most callers want Open).
 	ClusterConfig = engine.ClusterConfig
 	// Runtime is the heap-mode live runtime: a sharded event-heap
 	// scheduler multiplexing 10⁵–10⁶ nodes onto a small worker pool
 	// with batched transports.
 	Runtime = engine.Runtime
 	// RuntimeConfig assembles a Runtime (bring your own endpoints for
-	// TCP deployments; nil endpoints use an in-memory fabric).
+	// TCP deployments; most callers want Open with WithTCP).
 	RuntimeConfig = engine.RuntimeConfig
 	// RuntimeMode selects goroutine-per-node or heap scheduling for a
-	// Cluster.
+	// Cluster or System (see WithMode).
 	RuntimeMode = engine.RuntimeMode
 	// NodeStats is a snapshot of a live node's protocol counters.
 	NodeStats = engine.Stats
@@ -86,25 +98,31 @@ type (
 	Series = stats.Series
 )
 
-// Waiting-time policies for the live engine (§1.1): constant Δt or
-// exponentially distributed with mean Δt.
+// WaitPolicy selects how a live node draws its inter-exchange waiting
+// time (§1.1): constant Δt or exponentially distributed with mean Δt.
+type WaitPolicy = engine.WaitPolicy
+
+// Waiting-time policies for the live engine (§1.1).
 const (
 	ConstantWait    = engine.ConstantWait
 	ExponentialWait = engine.ExponentialWait
 )
 
-// Runtime modes for ClusterConfig.Mode: one goroutine pair per node
-// (the historical default) or the sharded event-heap scheduler that
-// hosts 10⁵+ nodes per process.
+// Runtime modes for ClusterConfig.Mode and WithMode: one goroutine pair
+// per node (the historical default) or the sharded event-heap scheduler
+// that hosts 10⁵+ nodes per process.
 const (
 	ModeGoroutine = engine.ModeGoroutine
 	ModeHeap      = engine.ModeHeap
 )
 
 // NewRuntime builds (but does not start) a heap-mode runtime hosting
-// many nodes in one process. Most callers want NewCluster with
-// ClusterConfig.Mode = ModeHeap instead; NewRuntime is the explicit
-// path for TCP deployments supplying their own endpoints.
+// many nodes in one process.
+//
+// Deprecated: new code should use Open (WithMode(ModeHeap) in-memory,
+// or WithTCP(listen, peers...) with WithSize(n) for the deployable
+// multi-node shape); NewRuntime remains for callers supplying their
+// own endpoints.
 func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return engine.NewRuntime(cfg) }
 
 // NewAverageSchema returns a schema gossiping the plain average of the
@@ -143,12 +161,19 @@ func DecodeGeometricMean(schema *Schema, st State) (float64, error) {
 	return core.DecodeGeometricMean(schema, st)
 }
 
-// NewCluster builds (but does not start) a local in-memory cluster — the
-// fastest way to run the live protocol at laptop scale.
+// NewCluster builds (but does not start) a local in-memory cluster.
+//
+// Deprecated: new code should use Open, which assembles and starts the
+// system and adds the Watch/Reduce observation surface; NewCluster
+// remains for callers that need the raw Cluster API (fabric injection,
+// manual Start).
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return engine.NewCluster(cfg) }
 
-// NewNode builds a single live node from an explicit configuration; use
-// this with NewTCPEndpoint and NewGossipSampler for real deployments.
+// NewNode builds a single live node from an explicit configuration.
+//
+// Deprecated: new code should use Open with WithTCP, which assembles
+// endpoint, membership and node in one call; NewNode remains for
+// callers bringing their own transport or membership implementations.
 func NewNode(cfg NodeConfig) (*Node, error) { return engine.NewNode(cfg) }
 
 // NewTCPEndpoint listens on the given address ("127.0.0.1:0" for an
@@ -170,6 +195,9 @@ func NewGossipSampler(self string, capacity int, seeds []string) (membership.Sam
 }
 
 // SimulationConfig drives one run of the paper's theoretical model.
+//
+// Deprecated: new code should build a scenario.Spec and call Run; the
+// Spec method renders the equivalent spec.
 type SimulationConfig struct {
 	// Size is the network size N (≥ 2).
 	Size int
@@ -192,12 +220,39 @@ type SimulationConfig struct {
 	Values []float64
 	// Shards selects the executor: 0 (the default) runs the exact
 	// sequential path, ≥ 2 the sharded tournament executor for
-	// paper-scale runs, AutoShards one shard per GOMAXPROCS worker.
-	// Sharding requires the complete topology with the "seq" or "pm"
-	// selector.
+	// paper-scale runs, AutoShards one shard per GOMAXPROCS worker
+	// (falling back to sequential for unshardable combinations).
+	// Explicit sharding requires the complete topology with the "seq"
+	// or "pm" selector.
 	Shards int
 	// Seed makes the run reproducible.
 	Seed uint64
+}
+
+// Spec renders the configuration as the equivalent declarative
+// scenario spec for Run. The spec's seed is scenario.RawSeed(Seed), so
+// Run consumes exactly the random stream Simulate historically did and
+// reproduces its output byte for byte.
+func (cfg SimulationConfig) Spec() (scenario.Spec, error) {
+	sel, err := scenario.ParseSelector(cfg.Selector)
+	if err != nil {
+		return scenario.Spec{}, fmt.Errorf("repro: %w", err)
+	}
+	topo, err := scenario.ParseTopology(cfg.Topology)
+	if err != nil {
+		return scenario.Spec{}, fmt.Errorf("repro: %w", err)
+	}
+	return scenario.Spec{
+		Size:     cfg.Size,
+		Cycles:   cfg.Cycles,
+		Selector: sel,
+		Topology: topo,
+		ViewSize: cfg.ViewSize,
+		LossProb: cfg.LossProbability,
+		Values:   cfg.Values,
+		Shards:   cfg.Shards,
+		Seed:     scenario.RawSeed(cfg.Seed),
+	}, nil
 }
 
 // SimulationResult reports one simulation run.
@@ -214,124 +269,40 @@ type SimulationResult struct {
 	ReductionRate float64
 	// Values is the final vector (every node's approximation).
 	Values []float64
+	// Sharded reports whether the sharded executor actually ran (false
+	// when AutoShards fell back to sequential execution).
+	Sharded bool
 }
 
 // Simulate runs the paper's AVG algorithm once with the given
 // configuration.
+//
+// Deprecated: use Run with cfg.Spec() — Simulate is a thin wrapper
+// over it with byte-identical fixed-seed output.
 func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
-	if cfg.Size < 2 {
-		return nil, fmt.Errorf("repro: simulation needs Size ≥ 2, got %d", cfg.Size)
-	}
-	if cfg.Selector == "" {
-		cfg.Selector = "seq"
-	}
-	if cfg.Topology == "" {
-		cfg.Topology = "complete"
-	}
-	if cfg.ViewSize == 0 {
-		cfg.ViewSize = 20
-	}
-	if cfg.Cycles == 0 {
-		cfg.Cycles = 30
-	}
-	rng := xrand.New(cfg.Seed)
-	if cfg.Shards != 0 && cfg.Shards != 1 {
-		return simulateSharded(cfg, rng)
-	}
-	graph, err := experiments.BuildTopology(experiments.TopologyKind(cfg.Topology), cfg.Size, cfg.ViewSize, rng)
+	spec, err := cfg.Spec()
 	if err != nil {
 		return nil, err
 	}
-	selector, err := avg.NewSelector(cfg.Selector)
+	res, err := Run(context.Background(), spec)
 	if err != nil {
 		return nil, err
 	}
-	values := cfg.Values
-	if values == nil {
-		values = make([]float64, cfg.Size)
-		for i := range values {
-			values[i] = rng.NormFloat64()
-		}
-	}
-	var opts []avg.Option
-	if cfg.LossProbability > 0 {
-		opts = append(opts, avg.WithLossProbability(cfg.LossProbability))
-	}
-	runner, err := avg.NewRunner(graph, selector, values, rng, opts...)
-	if err != nil {
-		return nil, err
-	}
-	variances := runner.Run(cfg.Cycles)
-	res := &SimulationResult{
-		Variances: variances,
-		FinalMean: runner.Mean(),
-		Values:    append([]float64(nil), runner.Values()...),
-	}
-	first, last := variances[0], variances[len(variances)-1]
-	if first > 0 && last > 0 {
-		res.ReductionRate = math.Pow(last/first, 1/float64(cfg.Cycles))
-	}
-	return res, nil
-}
-
-// simulateSharded routes a run through the kernel's sharded tournament
-// executor — the paper-scale path. It supports the combinations the
-// executor parallelizes: the complete overlay with the "seq" pairing
-// (statistically equivalent to sequential execution) or "pm" pairing
-// (bit-identical to it).
-func simulateSharded(cfg SimulationConfig, rng *xrand.Rand) (*SimulationResult, error) {
-	if cfg.Topology != "complete" {
-		return nil, fmt.Errorf("repro: sharded simulation requires the complete topology, got %q", cfg.Topology)
-	}
-	var selector sim.Selector
-	switch cfg.Selector {
-	case "seq":
-		// The sharded executor's built-in pair stream.
-	case "pm":
-		selector = sim.NewPM()
-	default:
-		return nil, fmt.Errorf("repro: sharded simulation supports the seq or pm selector, got %q", cfg.Selector)
-	}
-	values := cfg.Values
-	if values == nil {
-		values = make([]float64, cfg.Size)
-		for i := range values {
-			values[i] = rng.NormFloat64()
-		}
-	}
-	var loss sim.LossModel
-	if cfg.LossProbability > 0 {
-		loss = sim.ReplyLoss{P: cfg.LossProbability}
-	}
-	kern, err := sim.New(sim.Config{
-		Size:     cfg.Size,
-		Selector: selector,
-		Loss:     loss,
-		Shards:   cfg.Shards,
-		RNG:      rng,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := kern.SetValues(0, values); err != nil {
-		return nil, err
-	}
-	variances := kern.Run(cfg.Cycles)
-	res := &SimulationResult{
-		Variances: variances,
-		FinalMean: stats.Mean(kern.Column(0)),
-		Values:    append([]float64(nil), kern.Column(0)...),
-	}
-	first, last := variances[0], variances[len(variances)-1]
-	if first > 0 && last > 0 {
-		res.ReductionRate = math.Pow(last/first, 1/float64(cfg.Cycles))
-	}
-	return res, nil
+	return &SimulationResult{
+		Variances:     res.Variances,
+		FinalMean:     res.FinalMean,
+		ReductionRate: res.ReductionRate,
+		Values:        res.Values,
+		Sharded:       res.Sharded,
+	}, nil
 }
 
 // AsyncSimulationConfig drives the discrete-event simulation of the
 // asynchronous protocol: autonomous nodes waking on their own waiting
 // times (§1.1), no global cycles — at 100 000-node scale.
+//
+// Deprecated: new code should build a scenario.Spec with a Wait policy
+// and call Run; the Spec method renders the equivalent spec.
 type AsyncSimulationConfig struct {
 	// Size is the network size N (≥ 2).
 	Size int
@@ -353,46 +324,60 @@ type AsyncSimulationConfig struct {
 	Seed uint64
 }
 
+// Spec renders the configuration as the equivalent declarative
+// scenario spec for Run, seeded with scenario.RawSeed(Seed) — one seed
+// vocabulary across every runner (the historical SimulateAsync derived
+// its event stream from Seed ^ 0xa5a5a5a5, a second ad-hoc derivation
+// this redesign retires).
+func (cfg AsyncSimulationConfig) Spec() (scenario.Spec, error) {
+	topo, err := scenario.ParseTopology(cfg.Topology)
+	if err != nil {
+		return scenario.Spec{}, fmt.Errorf("repro: %w", err)
+	}
+	wait := scenario.WaitConstant
+	if cfg.Exponential {
+		wait = scenario.WaitExponential
+	}
+	return scenario.Spec{
+		Size:     cfg.Size,
+		Cycles:   cfg.Cycles,
+		Topology: topo,
+		ViewSize: cfg.ViewSize,
+		Wait:     wait,
+		LossProb: cfg.LossProbability,
+		Values:   cfg.Values,
+		Seed:     scenario.RawSeed(cfg.Seed),
+	}, nil
+}
+
 // AsyncSimulationResult reports one event-driven run: variance sampled
 // once per Δt, the exchange count and the (conserved) final mean.
 type AsyncSimulationResult = eventsim.Result
 
 // SimulateAsync runs the discrete-event model of the asynchronous
 // protocol and returns the variance trajectory sampled once per Δt.
+//
+// Deprecated: use Run with cfg.Spec() — SimulateAsync is a thin
+// wrapper over it. Note that this redesign unified the seed
+// derivation: the whole run now consumes the single stream
+// xrand.New(Seed) (overlay → values → events), retiring the historical
+// Seed ^ 0xa5a5a5a5 side-channel, so trajectories differ from
+// pre-redesign releases for the same seed (rates and all statistical
+// properties are unchanged).
 func SimulateAsync(cfg AsyncSimulationConfig) (*AsyncSimulationResult, error) {
-	if cfg.Size < 2 {
-		return nil, fmt.Errorf("repro: async simulation needs Size ≥ 2, got %d", cfg.Size)
-	}
-	if cfg.Topology == "" {
-		cfg.Topology = "complete"
-	}
-	if cfg.ViewSize == 0 {
-		cfg.ViewSize = 20
-	}
-	rng := xrand.New(cfg.Seed)
-	graph, err := experiments.BuildTopology(experiments.TopologyKind(cfg.Topology), cfg.Size, cfg.ViewSize, rng)
+	spec, err := cfg.Spec()
 	if err != nil {
 		return nil, err
 	}
-	values := cfg.Values
-	if values == nil {
-		values = make([]float64, cfg.Size)
-		for i := range values {
-			values[i] = rng.NormFloat64()
-		}
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		return nil, err
 	}
-	wait := eventsim.ConstantWait
-	if cfg.Exponential {
-		wait = eventsim.ExponentialWait
-	}
-	return eventsim.Run(eventsim.Config{
-		Graph:    graph,
-		Values:   values,
-		Wait:     wait,
-		Cycles:   cfg.Cycles,
-		LossProb: cfg.LossProbability,
-		Seed:     cfg.Seed ^ 0xa5a5a5a5,
-	})
+	return &AsyncSimulationResult{
+		Variances: res.Variances,
+		Exchanges: res.Exchanges,
+		FinalMean: res.FinalMean,
+	}, nil
 }
 
 // TheoreticalRate returns the paper's closed-form per-cycle variance
@@ -405,6 +390,11 @@ func TheoreticalRate(selector string) (rate float64, ok bool) {
 
 // SizeEstimationConfig drives the §4 application: adaptive network size
 // estimation with epoch restarts under churn (the Figure 4 scenario).
+//
+// Deprecated: new code should build a scenario.Spec with a
+// SizeEstimation section and call Run (reports arrive in
+// Result.Epochs); the config's Spec method renders the equivalent
+// spec.
 type SizeEstimationConfig = experiments.Fig4Config
 
 // DefaultSizeEstimationConfig returns the paper's Figure 4 parameters
@@ -417,6 +407,10 @@ func DefaultSizeEstimationConfig() SizeEstimationConfig {
 // EstimateSizeUnderChurn runs the size-estimation scenario and returns
 // one report per epoch (converged estimate with min/max range versus
 // actual size).
+//
+// Deprecated: use Run with a size-estimation spec (cfg.Spec() with
+// Seed set to scenario.RawSeed(cfg.Seed) reproduces this function's
+// output byte for byte; Result.Epochs carries the reports).
 func EstimateSizeUnderChurn(cfg SizeEstimationConfig) ([]EpochReport, error) {
-	return experiments.Fig4(cfg)
+	return experiments.Fig4(context.Background(), cfg)
 }

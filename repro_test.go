@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -143,7 +144,7 @@ func TestClusterQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cluster.Start()
+	cluster.Start(context.Background())
 	defer cluster.Stop()
 	if _, ok, err := cluster.WaitConverged("avg", 1e-6, 5*time.Second); err != nil || !ok {
 		t.Fatalf("converged=%v err=%v", ok, err)

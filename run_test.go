@@ -1,0 +1,300 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/scenario"
+)
+
+// fpBits renders a float's exact bit pattern.
+func fpBits(v float64) string { return fmt.Sprintf("%016x", math.Float64bits(v)) }
+
+// fpHash folds a float vector's exact bit patterns into an FNV-1a hash.
+func fpHash(vs []float64) string {
+	h := uint64(1469598103934665603)
+	for _, v := range vs {
+		b := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// TestRunReproducesLegacySimulate pins Run — and the deprecated
+// Simulate wrapper over it — to bit-exact outputs captured from the
+// pre-redesign tree (the historical avg.Runner / sharded-kernel
+// implementations), for every selector, several topologies, loss,
+// supplied values and both executors. This is the equivalence contract
+// of the API redesign: one declarative front door, byte-identical
+// trajectories per fixed seed.
+func TestRunReproducesLegacySimulate(t *testing.T) {
+	cases := []struct {
+		name                  string
+		cfg                   SimulationConfig
+		varHash, mean, values string
+	}{
+		{"seq", SimulationConfig{Size: 200, Cycles: 8, Seed: 42},
+			"8d95e947df84200f", "bf99ee9f3cb6ca24", "9ba6cf85fa1bdd67"},
+		{"pm", SimulationConfig{Size: 100, Selector: "pm", Cycles: 5, Seed: 9},
+			"b8cf08996e4f27e6", "3fc0a7e6049fc531", "a4cd386fbf0ea3bf"},
+		{"rand", SimulationConfig{Size: 150, Selector: "rand", Cycles: 6, Seed: 11},
+			"7666694a4055b065", "3facd937fc35ae68", "b3d9000baf69baac"},
+		{"pmrand", SimulationConfig{Size: 80, Selector: "pmrand", Cycles: 4, Seed: 12},
+			"c96d93cfc2b403c8", "3faea7ea99e56618", "61a488d9fc4102a1"},
+		{"kregular", SimulationConfig{Size: 300, Topology: "kregular", ViewSize: 10, Cycles: 7, Seed: 13},
+			"dc487e3eed30baa2", "3f930023f1ebcf62", "a717ce1bc26022a4"},
+		{"ring-loss", SimulationConfig{Size: 120, Topology: "ring", LossProbability: 0.2, Cycles: 5, Seed: 14},
+			"7d93196cd2dd2cc4", "bf96e2ffcfd3331d", "8283761748b08f9b"},
+		{"sharded-seq", SimulationConfig{Size: 512, Shards: 4, Cycles: 5, Seed: 3},
+			"c5245e4c22dbc6d8", "bfba5120058f6fd0", "8da15842d40d6779"},
+		{"sharded-pm", SimulationConfig{Size: 512, Selector: "pm", Shards: 4, Cycles: 5, Seed: 3},
+			"794dff1c3a88c1e4", "bfba5120058f6fcd", "5ed2d6e5fb84c53b"},
+		{"scalefree", SimulationConfig{Size: 200, Topology: "scalefree", Cycles: 5, Seed: 16},
+			"0267f7a80d0d581f", "3f8f3cc576defb5d", "ec41c8471a838a05"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			legacy, err := Simulate(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := tc.cfg.Spec()
+			if err != nil {
+				t.Fatal(err)
+			}
+			front, err := Run(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, probe := range []struct {
+				what, got, want string
+			}{
+				{"Simulate variances", fpHash(legacy.Variances), tc.varHash},
+				{"Simulate mean", fpBits(legacy.FinalMean), tc.mean},
+				{"Simulate values", fpHash(legacy.Values), tc.values},
+				{"Run variances", fpHash(front.Variances), tc.varHash},
+				{"Run mean", fpBits(front.FinalMean), tc.mean},
+				{"Run values", fpHash(front.Values), tc.values},
+			} {
+				if probe.got != probe.want {
+					t.Errorf("%s = %s, want %s (pre-redesign capture)", probe.what, probe.got, probe.want)
+				}
+			}
+			if wantSharded := tc.cfg.Shards != 0; front.Sharded != wantSharded {
+				t.Errorf("Sharded = %v, want %v", front.Sharded, wantSharded)
+			}
+		})
+	}
+	// Supplied values skip the normal draws in both paths.
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64(i * i)
+	}
+	res, err := Simulate(SimulationConfig{Size: 64, Values: vals, Cycles: 5, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fpHash(res.Values); got != "73d8f2147b030325" {
+		t.Errorf("supplied-values run = %s, want 73d8f2147b030325", got)
+	}
+}
+
+// TestRunReproducesLegacySizeEstimation pins the §4 wrapper (and its
+// Run equivalent) to bit-exact per-epoch reports captured from the
+// pre-redesign tree.
+func TestRunReproducesLegacySizeEstimation(t *testing.T) {
+	cfg := SizeEstimationConfig{
+		MinSize: 450, MaxSize: 550, OscillationPeriod: 100, Fluctuation: 5,
+		EpochCycles: 30, TotalCycles: 150, Instances: 2, Seed: 7,
+	}
+	wantMeans := []string{
+		"407e48d907a1b6df", "40808675c15953f6", "407c9749beac4a91",
+		"407ca755497d7d69", "40807c4e0c49bb0b",
+	}
+	wantSizes := []int{548, 473, 468, 546, 503}
+
+	legacy, err := EstimateSizeUnderChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cfg.Spec()
+	spec.Seed = scenario.RawSeed(cfg.Seed)
+	front, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, reports := range map[string][]EpochReport{"EstimateSizeUnderChurn": legacy, "Run": front.Epochs} {
+		if len(reports) != len(wantMeans) {
+			t.Fatalf("%s: %d epochs, want %d", name, len(reports), len(wantMeans))
+		}
+		for i, r := range reports {
+			if got := fpBits(r.EstimateMean); got != wantMeans[i] {
+				t.Errorf("%s epoch %d mean = %s, want %s", name, i, got, wantMeans[i])
+			}
+			if r.SizeAtEnd != wantSizes[i] {
+				t.Errorf("%s epoch %d size = %d, want %d", name, i, r.SizeAtEnd, wantSizes[i])
+			}
+		}
+	}
+}
+
+// TestSimulateAsyncEquivalentToRun: the async wrapper is a thin veneer
+// over Run — same variances, exchanges and mean — and both policies
+// still hit their §3.3 rates (the seed-unification satellite changed
+// the exact trajectory, not the statistics).
+func TestSimulateAsyncEquivalentToRun(t *testing.T) {
+	cfg := AsyncSimulationConfig{Size: 3000, Cycles: 8, Seed: 21, Exponential: true}
+	legacy, err := SimulateAsync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := cfg.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpHash(legacy.Variances) != fpHash(front.Variances) {
+		t.Error("wrapper variances diverge from Run")
+	}
+	if legacy.Exchanges != front.Exchanges || legacy.Exchanges == 0 {
+		t.Errorf("exchanges: wrapper %d vs Run %d", legacy.Exchanges, front.Exchanges)
+	}
+	if fpBits(legacy.FinalMean) != fpBits(front.FinalMean) {
+		t.Error("wrapper final mean diverges from Run")
+	}
+}
+
+// TestAutoShardsFallsBackToSequential: AutoShards is a preference —
+// unshardable combinations run sequentially with Sharded=false instead
+// of erroring — while an explicit shard count still fails loudly.
+func TestAutoShardsFallsBackToSequential(t *testing.T) {
+	ctx := context.Background()
+	for name, spec := range map[string]scenario.Spec{
+		"rand-selector": {Size: 400, Cycles: 2, Selector: scenario.SelectorRand, Shards: AutoShards, Seed: 1},
+		"pmrand":        {Size: 400, Cycles: 2, Selector: scenario.SelectorPMRand, Shards: AutoShards, Seed: 3},
+		"ring-topology": {Size: 400, Cycles: 2, Topology: scenario.TopologyRing, Shards: AutoShards, Seed: 2},
+		"wait-mode":     {Size: 400, Cycles: 2, Wait: scenario.WaitConstant, Shards: AutoShards, Seed: 4},
+	} {
+		res, err := Run(ctx, spec)
+		if err != nil {
+			t.Errorf("%s: AutoShards did not fall back: %v", name, err)
+			continue
+		}
+		if res.Sharded {
+			t.Errorf("%s: reported sharded execution for an unshardable combination", name)
+		}
+		if res.Spec.Shards != 0 {
+			t.Errorf("%s: normalized spec kept shards=%d", name, res.Spec.Shards)
+		}
+	}
+	// The fallback also covers the deprecated wrapper.
+	res, err := Simulate(SimulationConfig{Size: 400, Selector: "rand", Cycles: 2, Shards: AutoShards, Seed: 5})
+	if err != nil {
+		t.Fatalf("Simulate with AutoShards rand: %v", err)
+	}
+	if res.Sharded {
+		t.Error("Simulate reported sharded execution after fallback")
+	}
+	// Shardable combinations still shard under an explicit count (and
+	// under AutoShards whenever GOMAXPROCS > 1 — not asserted here so
+	// single-core CI stays green).
+	if res, err := Run(ctx, scenario.Spec{Size: 4000, Cycles: 2, Shards: 4, Seed: 6}); err != nil {
+		t.Fatal(err)
+	} else if !res.Sharded {
+		t.Error("explicit 4-shard seq spec did not run sharded")
+	}
+	// ...and explicit shard counts on unsupported combinations error.
+	if _, err := Run(ctx, scenario.Spec{Size: 400, Cycles: 2, Selector: scenario.SelectorRand, Shards: 4}); err == nil {
+		t.Error("explicit shards with rand selector accepted")
+	}
+	if _, err := Simulate(SimulationConfig{Size: 400, Selector: "rand", Shards: 4}); err == nil {
+		t.Error("Simulate with explicit shards and rand selector accepted")
+	}
+}
+
+// TestRunGridStreamsAndCollects: RunGrid returns collected rows by
+// default and streams through SweepOptions.Out when given one.
+func TestRunGridStreamsAndCollects(t *testing.T) {
+	grid := scenario.Grid{
+		Base: scenario.Spec{Name: "grid", Size: 100, Cycles: 2, Seed: 4},
+		Axes: []scenario.Axis{{Param: "selector", Strings: []string{"seq", "rand"}}},
+	}
+	rows, err := RunGrid(context.Background(), grid, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*3 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	var col scenario.Collector
+	streamed, err := RunGrid(context.Background(), grid, SweepOptions{Out: &col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != nil {
+		t.Fatal("streaming mode also returned rows")
+	}
+	if len(col.Results()) != len(rows) {
+		t.Fatalf("streamed %d rows, collected %d", len(col.Results()), len(rows))
+	}
+}
+
+// TestRunCancellation: cancelling the context stops a long single run
+// promptly with the context's error.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Run(ctx, scenario.Spec{Size: 200000, Cycles: 100000, Seed: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestRunGridCancellation: cancelling mid-sweep aborts queued and
+// in-flight cells promptly.
+func TestRunGridCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	grid := scenario.Grid{
+		Base: scenario.Spec{Size: 100000, Cycles: 10000, Repeats: 4, Seed: 2},
+		Axes: []scenario.Axis{{Param: "loss_prob", Floats: []float64{0, 0.1, 0.2, 0.3}}},
+	}
+	start := time.Now()
+	_, err := RunGrid(ctx, grid, SweepOptions{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("sweep cancellation took %v", elapsed)
+	}
+}
+
+// TestRunSizeEstimationCancellation: the §4 path honors the context
+// too.
+func TestRunSizeEstimationCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := Run(ctx, scenario.Spec{
+		Size:           100000,
+		Cycles:         30000,
+		SizeEstimation: &scenario.SizeEstimationSpec{EpochCycles: 30},
+		Seed:           3,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}

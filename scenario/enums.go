@@ -1,0 +1,273 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// The spec's enumeration fields are small integer types whose zero
+// value means "unset, use the paper's default". Each enum marshals to
+// the lowercase name the historical stringly-typed Spec used, so every
+// existing JSON scenario and golden file decodes — and re-encodes —
+// unchanged. Unknown names are rejected at decode time, keeping the
+// fail-loudly contract of ParseFile.
+
+// Selector names a GETPAIR implementation (§3.3). The zero value
+// defaults to SelectorSeq, the practical protocol.
+type Selector uint8
+
+// The §3.3 pair selectors.
+const (
+	// SelectorDefault leaves the choice to the spec default (seq).
+	SelectorDefault Selector = iota
+	// SelectorSeq is GETPAIR_SEQ, the practical protocol's pair stream.
+	SelectorSeq
+	// SelectorPM draws two perfect matchings per cycle (rate 1/4).
+	SelectorPM
+	// SelectorRand samples pairs independently (rate 1/e).
+	SelectorRand
+	// SelectorPMRand interleaves matching halves with random pairs.
+	SelectorPMRand
+)
+
+// selectorNames is indexed by Selector; index 0 is the unset marker.
+var selectorNames = []string{"", "seq", "pm", "rand", "pmrand"}
+
+// String returns the selector's wire name ("" for the unset default).
+func (s Selector) String() string { return enumString(selectorNames, uint8(s)) }
+
+// ParseSelector maps a wire name to its Selector; the empty string is
+// the unset default.
+func ParseSelector(name string) (Selector, error) {
+	v, err := enumParse("selector", selectorNames, name)
+	return Selector(v), err
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s Selector) MarshalJSON() ([]byte, error) {
+	return enumMarshal("selector", selectorNames, uint8(s))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Selector) UnmarshalJSON(b []byte) error {
+	v, err := enumUnmarshal("selector", selectorNames, b)
+	*s = Selector(v)
+	return err
+}
+
+// valid reports whether the value is one of the declared constants.
+func (s Selector) valid() bool { return int(s) < len(selectorNames) }
+
+// selector builds the kernel-side selector for single-shard cycle
+// execution.
+func (s Selector) selector() (sim.Selector, error) {
+	return sim.NewSelector(s.String())
+}
+
+// Topology names an overlay family. The zero value defaults to
+// TopologyComplete.
+type Topology uint8
+
+// The overlay families of topology.Build.
+const (
+	// TopologyDefault leaves the choice to the spec default (complete).
+	TopologyDefault Topology = iota
+	// TopologyComplete is the paper's ideal uniform peer sampling.
+	TopologyComplete
+	// TopologyKRegular is the k-regular random overlay the paper
+	// evaluates.
+	TopologyKRegular
+	// TopologyView is a random fixed-view overlay.
+	TopologyView
+	// TopologyRing is the worst-case structured overlay.
+	TopologyRing
+	// TopologySmallWorld is a Watts–Strogatz small world.
+	TopologySmallWorld
+	// TopologyScaleFree is a Barabási–Albert scale-free overlay.
+	TopologyScaleFree
+)
+
+// topologyNames is indexed by Topology; the strings are topology.Kind
+// values, the shared vocabulary of specs, drivers and CLI flags.
+var topologyNames = []string{"", "complete", "kregular", "view", "ring", "smallworld", "scalefree"}
+
+// String returns the overlay's wire name ("" for the unset default).
+func (t Topology) String() string { return enumString(topologyNames, uint8(t)) }
+
+// ParseTopology maps a wire name to its Topology; the empty string is
+// the unset default.
+func ParseTopology(name string) (Topology, error) {
+	v, err := enumParse("topology", topologyNames, name)
+	return Topology(v), err
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t Topology) MarshalJSON() ([]byte, error) {
+	return enumMarshal("topology", topologyNames, uint8(t))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Topology) UnmarshalJSON(b []byte) error {
+	v, err := enumUnmarshal("topology", topologyNames, b)
+	*t = Topology(v)
+	return err
+}
+
+// valid reports whether the value is one of the declared constants.
+func (t Topology) valid() bool { return int(t) < len(topologyNames) }
+
+// kind returns the internal topology vocabulary for a non-default
+// value.
+func (t Topology) kind() topology.Kind { return topology.Kind(t.String()) }
+
+// Wait names a GETWAITINGTIME policy (§1.1). The zero value, WaitNone,
+// keeps cycle-based execution; the other values switch the spec to
+// event-based execution.
+type Wait uint8
+
+// The waiting-time policies.
+const (
+	// WaitNone runs synchronized cycles (no event-based execution).
+	WaitNone Wait = iota
+	// WaitConstant waits exactly Δt between initiations (seq-like
+	// dynamics, rate 1/(2√e)).
+	WaitConstant
+	// WaitExponential draws Exp(mean Δt) waits (rand-like dynamics,
+	// rate 1/e).
+	WaitExponential
+)
+
+// waitNames is indexed by Wait; index 0 is cycle mode.
+var waitNames = []string{"", "constant", "exponential"}
+
+// String returns the policy's wire name ("" for cycle mode).
+func (w Wait) String() string { return enumString(waitNames, uint8(w)) }
+
+// ParseWait maps a wire name to its Wait; the empty string is cycle
+// mode.
+func ParseWait(name string) (Wait, error) {
+	v, err := enumParse("wait", waitNames, name)
+	return Wait(v), err
+}
+
+// MarshalJSON implements json.Marshaler.
+func (w Wait) MarshalJSON() ([]byte, error) { return enumMarshal("wait", waitNames, uint8(w)) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (w *Wait) UnmarshalJSON(b []byte) error {
+	v, err := enumUnmarshal("wait", waitNames, b)
+	*w = Wait(v)
+	return err
+}
+
+// valid reports whether the value is one of the declared constants.
+func (w Wait) valid() bool { return int(w) < len(waitNames) }
+
+// policy returns the kernel wait policy for a non-WaitNone value.
+func (w Wait) policy() sim.WaitPolicy {
+	if w == WaitExponential {
+		return sim.ExponentialWait{}
+	}
+	return sim.ConstantWait{}
+}
+
+// Loss names a message-loss model (§2, experiment E6). The zero value,
+// LossAuto, picks the historical default of the execution mode when
+// LossProb > 0: reply loss in cycle mode, symmetric loss in wait mode.
+type Loss uint8
+
+// The loss models.
+const (
+	// LossAuto defers to the execution mode's historical default.
+	LossAuto Loss = iota
+	// LossNone forces lossless exchanges regardless of LossProb.
+	LossNone
+	// LossSymmetric drops whole exchanges.
+	LossSymmetric
+	// LossReply drops pull replies — the deployed protocol's
+	// asymmetric, mass-violating failure.
+	LossReply
+)
+
+// lossNames is indexed by Loss; index 0 is the auto default.
+var lossNames = []string{"", "none", "symmetric", "reply"}
+
+// String returns the model's wire name ("" for the auto default).
+func (l Loss) String() string { return enumString(lossNames, uint8(l)) }
+
+// ParseLoss maps a wire name to its Loss; the empty string is the auto
+// default.
+func ParseLoss(name string) (Loss, error) {
+	v, err := enumParse("loss", lossNames, name)
+	return Loss(v), err
+}
+
+// MarshalJSON implements json.Marshaler.
+func (l Loss) MarshalJSON() ([]byte, error) { return enumMarshal("loss", lossNames, uint8(l)) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (l *Loss) UnmarshalJSON(b []byte) error {
+	v, err := enumUnmarshal("loss", lossNames, b)
+	*l = Loss(v)
+	return err
+}
+
+// valid reports whether the value is one of the declared constants.
+func (l Loss) valid() bool { return int(l) < len(lossNames) }
+
+// enumString renders value v against its name table.
+func enumString(names []string, v uint8) string {
+	if int(v) < len(names) {
+		return names[v]
+	}
+	return fmt.Sprintf("invalid(%d)", v)
+}
+
+// enumParse resolves a wire name to its enum value.
+func enumParse(kind string, names []string, name string) (uint8, error) {
+	for v, n := range names {
+		if n == name {
+			return uint8(v), nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown %s %q (want %s)", kind, name, enumOptions(names))
+}
+
+// enumMarshal encodes value v as its quoted wire name.
+func enumMarshal(kind string, names []string, v uint8) ([]byte, error) {
+	if int(v) >= len(names) {
+		return nil, fmt.Errorf("scenario: cannot marshal invalid %s value %d", kind, v)
+	}
+	return []byte(`"` + names[v] + `"`), nil
+}
+
+// enumUnmarshal decodes a quoted wire name (or null, meaning unset),
+// honoring JSON string escapes.
+func enumUnmarshal(kind string, names []string, b []byte) (uint8, error) {
+	if string(b) == "null" {
+		return 0, nil
+	}
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return 0, fmt.Errorf("scenario: %s must be a JSON string: %w", kind, err)
+	}
+	return enumParse(kind, names, name)
+}
+
+// enumOptions lists the non-empty names for error messages.
+func enumOptions(names []string) string {
+	out := ""
+	for _, n := range names {
+		if n == "" {
+			continue
+		}
+		if out != "" {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

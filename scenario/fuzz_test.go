@@ -16,8 +16,8 @@ import (
 // shipped example scenarios and the aggsim golden testdata.
 func FuzzSpecUnmarshal(f *testing.F) {
 	for _, dir := range []string{
-		filepath.Join("..", "..", "examples", "scenarios"),
-		filepath.Join("..", "..", "cmd", "aggsim", "testdata"),
+		filepath.Join("..", "examples", "scenarios"),
+		filepath.Join("..", "cmd", "aggsim", "testdata"),
 	} {
 		entries, err := os.ReadDir(dir)
 		if err != nil {

@@ -55,6 +55,24 @@ func (a Axis) validate() error {
 		if len(a.Strings) == 0 {
 			return fmt.Errorf("scenario: axis %q sweeps a string param; use strings", a.Param)
 		}
+		// Enum axes are validated up front so a typo fails before any
+		// cell runs, with the enum's own error message.
+		for _, v := range a.Strings {
+			var err error
+			switch a.Param {
+			case "selector":
+				_, err = ParseSelector(v)
+			case "topology":
+				_, err = ParseTopology(v)
+			case "wait":
+				_, err = ParseWait(v)
+			case "loss":
+				_, err = ParseLoss(v)
+			}
+			if err != nil {
+				return fmt.Errorf("scenario: axis %q: %w", a.Param, err)
+			}
+		}
 	default:
 		return fmt.Errorf("scenario: unknown axis param %q", a.Param)
 	}
@@ -90,16 +108,19 @@ func (a Axis) apply(s *Spec, i int) string {
 		}
 		return a.Param + "=" + strconv.FormatFloat(v, 'g', -1, 64)
 	default:
+		// The labels use the raw swept string (identical to the enum's
+		// wire name — validate checked it parses), keeping SeedTag
+		// derivations byte-identical to the stringly-typed engine.
 		v := a.Strings[i]
 		switch a.Param {
 		case "selector":
-			s.Selector = v
+			s.Selector, _ = ParseSelector(v)
 		case "topology":
-			s.Topology = v
+			s.Topology, _ = ParseTopology(v)
 		case "wait":
-			s.Wait = v
+			s.Wait, _ = ParseWait(v)
 		case "loss":
-			s.Loss = v
+			s.Loss, _ = ParseLoss(v)
 		}
 		return a.Param + "=" + v
 	}

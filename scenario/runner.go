@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -30,8 +31,9 @@ type Runner struct {
 // order, repeats ascending, cycles ascending. Rows stream as runs
 // finish — a completed run is emitted as soon as every earlier run has
 // been — and out is flushed once at the end. The first error (in run
-// order) aborts the sweep.
-func (r Runner) Run(specs []Spec, out Writer) error {
+// order) aborts the sweep. Cancelling ctx aborts a mid-flight sweep
+// within one cycle per in-flight run and returns the context's error.
+func (r Runner) Run(ctx context.Context, specs []Spec, out Writer) error {
 	norm := make([]Spec, len(specs))
 	type unit struct{ cell, rep int }
 	var units []unit
@@ -102,7 +104,7 @@ func (r Runner) Run(specs []Spec, out Writer) error {
 					continue
 				}
 				u := units[i]
-				rows, err := wk.execute(norm[u.cell], u.cell, u.rep)
+				rows, err := wk.execute(ctx, norm[u.cell], u.cell, u.rep, nil)
 				if err != nil {
 					errs[i] = fmt.Errorf("%s rep %d: %w", norm[u.cell].describe(), u.rep, err)
 					failed.Store(true)
@@ -129,19 +131,100 @@ func (r Runner) Run(specs []Spec, out Writer) error {
 }
 
 // RunGrid expands the grid and runs the resulting specs.
-func (r Runner) RunGrid(g Grid, out Writer) error {
+func (r Runner) RunGrid(ctx context.Context, g Grid, out Writer) error {
 	specs, err := g.Expand()
 	if err != nil {
 		return err
 	}
-	return r.Run(specs, out)
+	return r.Run(ctx, specs, out)
 }
 
 // Run executes specs with a default Runner.
-func Run(specs []Spec, out Writer) error { return Runner{}.Run(specs, out) }
+func Run(ctx context.Context, specs []Spec, out Writer) error {
+	return Runner{}.Run(ctx, specs, out)
+}
 
 // RunGrid expands and executes a grid with a default Runner.
-func RunGrid(g Grid, out Writer) error { return Runner{}.RunGrid(g, out) }
+func RunGrid(ctx context.Context, g Grid, out Writer) error {
+	return Runner{}.RunGrid(ctx, g, out)
+}
+
+// RunResult is the materialized outcome of RunSpec: every streamed row
+// plus the repeat-0 artifacts the one-shot entry points historically
+// returned.
+type RunResult struct {
+	// Spec is the executed spec with defaults applied (including any
+	// AutoShards fallback).
+	Spec Spec
+	// Rows holds every Result row across all repeats, in stream order.
+	Rows []Result
+	// Sharded reports whether the sharded executor actually ran. It is
+	// false when AutoShards fell back to sequential execution — either
+	// because the axis combination is unshardable or because
+	// sim.ResolveShards clamped the request to one shard.
+	Sharded bool
+	// Variances is repeat 0's field-0 variance trajectory (index 0 is
+	// the initial variance); nil in size-estimation mode.
+	Variances []float64
+	// FinalValues is repeat 0's final field-0 column (every node's
+	// approximation); nil in size-estimation mode.
+	FinalValues []float64
+	// Exchanges counts repeat 0's performed exchanges in wait mode
+	// (zero in cycle mode, where every cycle performs exactly Size
+	// elementary steps by construction).
+	Exchanges int
+	// Epochs holds repeat 0's per-epoch reports in size-estimation
+	// mode.
+	Epochs []EpochReport
+}
+
+// RunSpec executes one spec (all repeats, sequentially, on the calling
+// goroutine) and materializes the outcome. It is the engine behind
+// repro.Run; sweeps of many specs want Runner.Run, which parallelizes
+// across runs and streams rows instead of materializing them.
+func RunSpec(ctx context.Context, s Spec) (*RunResult, error) {
+	ns, err := s.normalized()
+	if err != nil {
+		return nil, err
+	}
+	out := &RunResult{Spec: ns}
+	var wk worker
+	for rep := 0; rep < ns.Repeats; rep++ {
+		var cp *capture
+		if rep == 0 {
+			cp = &capture{}
+		}
+		rows, err := wk.execute(ctx, ns, 0, rep, cp)
+		if err != nil {
+			return nil, fmt.Errorf("%s rep %d: %w", ns.describe(), rep, err)
+		}
+		if cp != nil {
+			out.Sharded = cp.sharded
+			out.FinalValues = cp.finalValues
+			out.Exchanges = cp.exchanges
+			out.Epochs = cp.epochs
+			if ns.SizeEstimation == nil {
+				out.Variances = make([]float64, 0, len(rows))
+				for _, row := range rows {
+					if row.Cycle >= 0 { // skip the pre-crash snapshot
+						out.Variances = append(out.Variances, row.Variance)
+					}
+				}
+			}
+		}
+		out.Rows = append(out.Rows, rows...)
+	}
+	return out, nil
+}
+
+// capture collects the repeat-0 artifacts RunSpec materializes beyond
+// the row stream.
+type capture struct {
+	sharded     bool
+	finalValues []float64
+	exchanges   int
+	epochs      []EpochReport
+}
 
 // worker is one pool worker's reusable state.
 type worker struct {
@@ -155,20 +238,20 @@ type worker struct {
 // random stream is consumed in the fixed order overlay → values →
 // crash permutation → kernel, so trajectories depend only on the spec
 // and repeat index — and, for sequential complete-overlay runs, match
-// the historical experiment drivers bit for bit.
-func (wk *worker) execute(s Spec, cell, rep int) ([]Result, error) {
+// the historical experiment drivers bit for bit. A non-nil cp receives
+// the run's materialized artifacts beyond the rows.
+func (wk *worker) execute(ctx context.Context, s Spec, cell, rep int, cp *capture) ([]Result, error) {
 	seed := repSeed(s.Seed, rep)
 	if s.SizeEstimation != nil {
-		return runSizeEstimation(s, cell, rep, seed)
+		return runSizeEstimation(ctx, s, cell, rep, seed, cp)
 	}
 	rng := xrand.New(seed)
-	kind := topology.Kind(s.Topology)
-	complete := kind == topology.KindComplete
+	complete := s.Topology == TopologyComplete
 	sharded := s.Shards != 0 && s.Shards != 1
 
 	var graph topology.Graph
 	if !complete {
-		g, err := topology.Build(kind, s.Size, s.ViewSize, rng)
+		g, err := topology.Build(s.Topology.kind(), s.Size, s.ViewSize, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +283,7 @@ func (wk *worker) execute(s Spec, cell, rep int) ([]Result, error) {
 		values, n = kept, survivors
 	}
 
-	if complete && !sharded && (s.Selector == "pm" || s.Selector == "pmrand") {
+	if complete && !sharded && (s.Selector == SelectorPM || s.Selector == SelectorPMRand) {
 		// Perfect-matching selectors require the explicit complete
 		// graph (they reject the dynamic overlay). Consumes no
 		// randomness, so building it after the crash step is safe.
@@ -215,14 +298,24 @@ func (wk *worker) execute(s Spec, cell, rep int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cp != nil {
+		cp.sharded = kern.Shards() > 1
+	}
 	for f := 0; f < kern.Fields(); f++ {
 		if err := kern.SetValues(f, values); err != nil {
 			return nil, err
 		}
 	}
 
-	if s.Wait != "" {
-		return wk.runEvents(s, cell, rep, kern)
+	if s.Wait != WaitNone {
+		rows, err := wk.runEvents(ctx, s, cell, rep, kern, cp)
+		if err != nil {
+			return nil, err
+		}
+		if cp != nil {
+			cp.finalValues = append([]float64(nil), kern.Column(0)...)
+		}
+		return rows, nil
 	}
 
 	var churnSched sim.ChurnSchedule
@@ -238,6 +331,9 @@ func (wk *worker) execute(s Spec, cell, rep int) ([]Result, error) {
 	rows = append(rows, first)
 	var0, prevVar := first.Variance, first.Variance
 	for c := 1; c <= s.Cycles; c++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if churnSched != nil {
 			remove, add := churnSched.Plan(kern.CycleCount(), kern.Size())
 			kern.RemoveRandom(remove)
@@ -250,6 +346,9 @@ func (wk *worker) execute(s Spec, cell, rep int) ([]Result, error) {
 		if s.TargetRatio > 0 && row.Variance <= s.TargetRatio*var0 {
 			break
 		}
+	}
+	if cp != nil {
+		cp.finalValues = append([]float64(nil), kern.Column(0)...)
 	}
 	return rows, nil
 }
@@ -272,7 +371,7 @@ func (wk *worker) kernel(s Spec, graph topology.Graph, n int, rng *xrand.Rand) (
 			break
 		}
 	}
-	reusable := graph == nil && s.Selector == "seq" && s.Wait == "" && allAvg
+	reusable := graph == nil && s.Selector == SelectorSeq && s.Wait == WaitNone && allAvg
 	// Reuse only when the existing kernel's effective shard count is
 	// exactly what a fresh build would resolve to (sim.New clamps the
 	// request by GOMAXPROCS and n/2) — otherwise a warm worker and a
@@ -299,17 +398,15 @@ func (wk *worker) kernel(s Spec, graph topology.Graph, n int, rng *xrand.Rand) (
 	sharded := s.Shards != 0 && s.Shards != 1
 	if sharded {
 		cfg.Shards = s.Shards
-		if s.Selector == "pm" {
+		if s.Selector == SelectorPM {
 			cfg.Selector = sim.NewPM()
 		}
 	} else {
 		switch s.Wait {
-		case "constant":
-			cfg.Wait = sim.ConstantWait{}
-		case "exponential":
-			cfg.Wait = sim.ExponentialWait{}
+		case WaitConstant, WaitExponential:
+			cfg.Wait = s.Wait.policy()
 		default:
-			sel, err := sim.NewSelector(s.Selector)
+			sel, err := s.Selector.selector()
 			if err != nil {
 				return nil, err
 			}
@@ -327,13 +424,13 @@ func (wk *worker) kernel(s Spec, graph topology.Graph, n int, rng *xrand.Rand) (
 }
 
 // runEvents drives a wait-mode run: rows at every integer Δt.
-func (wk *worker) runEvents(s Spec, cell, rep int, kern *sim.Kernel) ([]Result, error) {
+func (wk *worker) runEvents(ctx context.Context, s Spec, cell, rep int, kern *sim.Kernel, cp *capture) ([]Result, error) {
 	rows := make([]Result, 0, s.Cycles+1)
 	first := wk.row(s, cell, rep, 0, kern.Column(0), nan)
 	rows = append(rows, first)
 	prevVar := first.Variance
 	c := 0
-	_, err := kern.RunEvents(s.Cycles, func() {
+	exchanges, err := kern.RunEvents(ctx, s.Cycles, func() {
 		c++
 		row := wk.row(s, cell, rep, c, kern.Column(0), prevVar)
 		rows = append(rows, row)
@@ -341,6 +438,9 @@ func (wk *worker) runEvents(s Spec, cell, rep int, kern *sim.Kernel) ([]Result, 
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cp != nil {
+		cp.exchanges = exchanges
 	}
 	return rows, nil
 }
@@ -380,14 +480,17 @@ func (wk *worker) row(s Spec, cell, rep, cycle int, col []float64, prevVar float
 
 // runSizeEstimation executes a §4 size-estimation spec: one row per
 // epoch with the participants' estimate statistics.
-func runSizeEstimation(s Spec, cell, rep int, seed uint64) ([]Result, error) {
+func runSizeEstimation(ctx context.Context, s Spec, cell, rep int, seed uint64, cp *capture) ([]Result, error) {
 	cfg, err := s.sizeSimConfig(seed)
 	if err != nil {
 		return nil, err
 	}
-	reports, err := epoch.RunSizeSim(cfg)
+	reports, err := epoch.RunSizeSimContext(ctx, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if cp != nil {
+		cp.epochs = reports
 	}
 	rows := make([]Result, 0, len(reports))
 	for _, rep0 := range reports {

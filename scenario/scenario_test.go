@@ -2,6 +2,7 @@ package scenario_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"math"
@@ -11,7 +12,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/scenario"
+	"repro/scenario"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -45,7 +46,7 @@ func TestGridExpandCrossProduct(t *testing.T) {
 			t.Errorf("cell %d lost the base name: %q", i, s.Name)
 		}
 	}
-	if specs[1].Size != 128 || specs[3].Selector != "rand" {
+	if specs[1].Size != 128 || specs[3].Selector != scenario.SelectorRand {
 		t.Errorf("axis values not applied: %+v", specs)
 	}
 }
@@ -118,10 +119,10 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 		Size:          512,
 		Cycles:        7,
 		Ops:           []string{"avg", "min", "max"},
-		Selector:      "rand",
-		Topology:      "kregular",
+		Selector:      scenario.SelectorRand,
+		Topology:      scenario.TopologyKRegular,
 		ViewSize:      10,
-		Loss:          "symmetric",
+		Loss:          scenario.LossSymmetric,
 		LossProb:      0.25,
 		Churn:         &scenario.ChurnSpec{Model: "oscillating", Min: 400, Max: 600, Period: 50, Fluctuation: 5},
 		Shards:        0,
@@ -175,11 +176,11 @@ func TestRunnerDeterministicAcrossWorkers(t *testing.T) {
 	specs := []scenario.Spec{
 		{Name: "a", Size: 200, Cycles: 3, Repeats: 3, Seed: 1},
 		{Name: "b", Size: 100, Cycles: 2, Repeats: 2, Seed: 2, LossProb: 0.2},
-		{Name: "c", Size: 150, Cycles: 2, Repeats: 2, Seed: 3, Selector: "rand"},
+		{Name: "c", Size: 150, Cycles: 2, Repeats: 2, Seed: 3, Selector: scenario.SelectorRand},
 	}
 	run := func(workers int) []scenario.Result {
 		var col scenario.Collector
-		if err := (scenario.Runner{Workers: workers}).Run(specs, &col); err != nil {
+		if err := (scenario.Runner{Workers: workers}).Run(context.Background(), specs, &col); err != nil {
 			t.Fatal(err)
 		}
 		return col.Results()
@@ -214,11 +215,11 @@ func stripNaN(rows []scenario.Result) []scenario.Result {
 func TestRunnerReuseRespectsShardClamp(t *testing.T) {
 	big := scenario.Spec{Name: "big", Size: 1000, Cycles: 3, Shards: 4, Seed: 21}
 	var cold scenario.Collector
-	if err := (scenario.Runner{Workers: 1}).Run([]scenario.Spec{big}, &cold); err != nil {
+	if err := (scenario.Runner{Workers: 1}).Run(context.Background(), []scenario.Spec{big}, &cold); err != nil {
 		t.Fatal(err)
 	}
 	var warm scenario.Collector
-	err := (scenario.Runner{Workers: 1}).Run([]scenario.Spec{
+	err := (scenario.Runner{Workers: 1}).Run(context.Background(), []scenario.Spec{
 		{Name: "small", Size: 6, Cycles: 1, Shards: 4, Seed: 20}, // clamped to 3 shards
 		big,
 	}, &warm)
@@ -238,7 +239,7 @@ func TestRunnerReuseRespectsShardClamp(t *testing.T) {
 // cycle 0, quantiles present when requested.
 func TestRunnerRowShape(t *testing.T) {
 	var col scenario.Collector
-	err := scenario.Run([]scenario.Spec{{Size: 300, Cycles: 4, Quantiles: true, Seed: 5}}, &col)
+	err := scenario.Run(context.Background(), []scenario.Spec{{Size: 300, Cycles: 4, Quantiles: true, Seed: 5}}, &col)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestRunnerRowShape(t *testing.T) {
 // row stream once the variance ratio is reached.
 func TestRunnerTargetRatioStopsEarly(t *testing.T) {
 	var col scenario.Collector
-	err := scenario.Run([]scenario.Spec{{Size: 500, Cycles: 100, TargetRatio: 1e-3, Seed: 6}}, &col)
+	err := scenario.Run(context.Background(), []scenario.Spec{{Size: 500, Cycles: 100, TargetRatio: 1e-3, Seed: 6}}, &col)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +297,7 @@ func TestRunnerTargetRatioStopsEarly(t *testing.T) {
 // on the oscillating model's target and reports per-cycle sizes.
 func TestRunnerChurnTracksModel(t *testing.T) {
 	var col scenario.Collector
-	err := scenario.Run([]scenario.Spec{{
+	err := scenario.Run(context.Background(), []scenario.Spec{{
 		Size:   500,
 		Cycles: 40,
 		Churn:  &scenario.ChurnSpec{Model: "oscillating", Min: 400, Max: 600, Period: 40, Fluctuation: 5},
@@ -327,7 +328,7 @@ func TestRunnerChurnTracksModel(t *testing.T) {
 // snapshot, and survivors converge to the surviving mean.
 func TestRunnerCrashEmitsPreCrashRow(t *testing.T) {
 	var col scenario.Collector
-	err := scenario.Run([]scenario.Spec{{Size: 1000, Cycles: 10, CrashFraction: 0.3, Seed: 8}}, &col)
+	err := scenario.Run(context.Background(), []scenario.Spec{{Size: 1000, Cycles: 10, CrashFraction: 0.3, Seed: 8}}, &col)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,9 +348,9 @@ func TestRunnerCrashEmitsPreCrashRow(t *testing.T) {
 // TestRunnerWaitMode: event-driven execution emits one row per Δt and
 // converges.
 func TestRunnerWaitMode(t *testing.T) {
-	for _, wait := range []string{"constant", "exponential"} {
+	for _, wait := range []scenario.Wait{scenario.WaitConstant, scenario.WaitExponential} {
 		var col scenario.Collector
-		err := scenario.Run([]scenario.Spec{{Size: 1000, Cycles: 8, Wait: wait, Seed: 9}}, &col)
+		err := scenario.Run(context.Background(), []scenario.Spec{{Size: 1000, Cycles: 8, Wait: wait, Seed: 9}}, &col)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -368,7 +369,7 @@ func TestRunnerWaitMode(t *testing.T) {
 func TestRunnerShardedMatchesSequentialStatistically(t *testing.T) {
 	rate := func(shards int) float64 {
 		var col scenario.Collector
-		err := scenario.Run([]scenario.Spec{{Size: 10000, Cycles: 8, Shards: shards, Repeats: 3, Seed: 10}}, &col)
+		err := scenario.Run(context.Background(), []scenario.Spec{{Size: 10000, Cycles: 8, Shards: shards, Repeats: 3, Seed: 10}}, &col)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -396,7 +397,7 @@ func TestRunnerShardedMatchesSequentialStatistically(t *testing.T) {
 func TestRunnerShardedPMBitIdentical(t *testing.T) {
 	run := func(shards int) []scenario.Result {
 		var col scenario.Collector
-		err := scenario.Run([]scenario.Spec{{Size: 2000, Cycles: 6, Selector: "pm", Shards: shards, Seed: 11}}, &col)
+		err := scenario.Run(context.Background(), []scenario.Spec{{Size: 2000, Cycles: 6, Selector: scenario.SelectorPM, Shards: shards, Seed: 11}}, &col)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -413,9 +414,9 @@ func TestRunnerShardedPMBitIdentical(t *testing.T) {
 // TestRunnerErrorPropagates: a run-time failure (pm pairing on an odd
 // population) surfaces with the spec's identity attached.
 func TestRunnerErrorPropagates(t *testing.T) {
-	err := scenario.Run([]scenario.Spec{
+	err := scenario.Run(context.Background(), []scenario.Spec{
 		{Name: "ok", Size: 100, Cycles: 1, Seed: 1},
-		{Name: "bad", Size: 101, Cycles: 1, Selector: "pm", Seed: 2},
+		{Name: "bad", Size: 101, Cycles: 1, Selector: scenario.SelectorPM, Seed: 2},
 	}, &scenario.Collector{})
 	if err == nil {
 		t.Fatal("odd-size pm spec did not fail")
@@ -429,7 +430,7 @@ func TestRunnerErrorPropagates(t *testing.T) {
 // estimates tracking the actual size.
 func TestRunnerSizeEstimation(t *testing.T) {
 	var col scenario.Collector
-	err := scenario.Run([]scenario.Spec{{
+	err := scenario.Run(context.Background(), []scenario.Spec{{
 		Size:           1000,
 		Cycles:         150,
 		Churn:          &scenario.ChurnSpec{Model: "oscillating", Min: 900, Max: 1100, Period: 100, Fluctuation: 10},
@@ -474,7 +475,7 @@ func TestGoldenWriters(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := scenario.RunGrid(grid, tc.writer(&buf)); err != nil {
+			if err := scenario.RunGrid(context.Background(), grid, tc.writer(&buf)); err != nil {
 				t.Fatal(err)
 			}
 			path := filepath.Join("testdata", tc.golden)

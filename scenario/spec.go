@@ -1,33 +1,37 @@
-// Package scenario makes experiments data. A Spec is one serializable
-// scenario description — size, cycles, fields, topology, selector,
-// wait policy, loss, churn, sharding, repeats, seed — and a Grid
-// expands a base Spec crossed with swept Axes into the full
-// cross-product of concrete runs. A Runner executes specs on a worker
-// pool (one reusable sim.Kernel per worker), streams per-cycle
-// reductions (mean, variance, convergence factor, extrema, optional
-// percentiles) as Result rows, and emits them through pluggable
-// Writers (CSV, JSON-lines, in-memory collector).
+// Package scenario is the public declarative description of this
+// repository's experiments. A Spec is one serializable scenario — size,
+// cycles, fields, topology, selector, wait policy, loss, churn,
+// sharding, repeats, seed — and a Grid expands a base Spec crossed with
+// swept Axes into the full cross-product of concrete runs. A Runner
+// executes specs on a worker pool (one reusable sim.Kernel per worker),
+// streams per-cycle reductions (mean, variance, convergence factor,
+// extrema, optional percentiles) as Result rows, and emits them through
+// pluggable Writers (CSV, JSON-lines, in-memory collector).
 //
-// Every paper figure and ablation in internal/experiments is a thin
-// Spec builder over this engine, and cmd/aggsim -scenario runs
-// user-authored JSON scenarios without recompiling. Determinism
-// contract: a run's trajectory depends only on the concrete Spec and
-// the repeat index — per-repeat generators are derived as
+// Most callers want the repro package's front door instead:
+// repro.Run(ctx, spec) executes one Spec and materializes the outcome,
+// repro.RunGrid(ctx, grid, opts) streams a sweep. Every paper figure
+// and ablation in internal/experiments is a thin Spec builder over this
+// engine, and cmd/aggsim -scenario runs user-authored JSON scenarios
+// without recompiling.
+//
+// Determinism contract: a run's trajectory depends only on the concrete
+// Spec and the repeat index — per-repeat generators are derived as
 // xrand.New(Seed + 0x9e3779b97f4a7c15·(rep+1)), the historical
 // derivation of the experiment harness, so the rewritten figure
-// drivers reproduce their pre-scenario output byte for byte.
+// drivers reproduce their pre-scenario output byte for byte. RawSeed
+// inverts the derivation for repeat 0, giving the exact stream the
+// historical one-shot entry points (repro.Simulate and friends) used.
 package scenario
 
 import (
 	"encoding/json"
 	"fmt"
 	"math"
-	"slices"
 
 	"repro/internal/churn"
 	"repro/internal/epoch"
 	"repro/internal/sim"
-	"repro/internal/topology"
 )
 
 // DefaultCycles is the cycle count a Spec runs when none is given —
@@ -39,7 +43,14 @@ const DefaultCycles = 30
 const DefaultViewSize = 20
 
 // AutoShards selects one shard per GOMAXPROCS worker (sim.AutoShards).
+// Unlike an explicit shard count, AutoShards is a preference, not a
+// demand: combinations the sharded executor does not support fall back
+// to the exact sequential path instead of failing (see Spec.Shards).
 const AutoShards = sim.AutoShards
+
+// EpochReport is one epoch's converged output of the §4 size estimator
+// (RunResult.Epochs).
+type EpochReport = epoch.EpochReport
 
 // ChurnSpec prescribes per-cycle membership churn: a size model
 // (constant or oscillating) plus a constant per-cycle fluctuation.
@@ -106,24 +117,22 @@ type Spec struct {
 	// empty means a single average field. Every field is initialized
 	// with the same value vector.
 	Ops []string `json:"ops,omitempty"`
-	// Selector is the GETPAIR implementation: "pm", "rand", "seq" or
-	// "pmrand" (default "seq", the practical protocol).
-	Selector string `json:"selector,omitempty"`
-	// Topology is the overlay: "complete" (default), "kregular",
-	// "view", "ring", "smallworld" or "scalefree".
-	Topology string `json:"topology,omitempty"`
+	// Selector is the GETPAIR implementation (default SelectorSeq, the
+	// practical protocol).
+	Selector Selector `json:"selector,omitempty"`
+	// Topology is the overlay (default TopologyComplete).
+	Topology Topology `json:"topology,omitempty"`
 	// ViewSize is the degree parameter of non-complete overlays
 	// (default 20).
 	ViewSize int `json:"view_size,omitempty"`
-	// Wait switches to event-based execution: "constant" or
-	// "exponential" waiting times (§1.1). Empty keeps cycle-based runs.
-	Wait string `json:"wait,omitempty"`
-	// Loss is the message-loss model: "none" (default), "symmetric"
-	// (whole exchanges dropped) or "reply" (the deployed protocol's
-	// asymmetric reply loss). An empty Loss with LossProb > 0 defaults
-	// to "reply" in cycle mode and "symmetric" in wait mode, matching
-	// the historical semantics of each mode.
-	Loss string `json:"loss,omitempty"`
+	// Wait switches to event-based execution with constant or
+	// exponential waiting times (§1.1). WaitNone keeps cycle-based
+	// runs.
+	Wait Wait `json:"wait,omitempty"`
+	// Loss is the message-loss model. LossAuto with LossProb > 0
+	// defaults to LossReply in cycle mode and LossSymmetric in wait
+	// mode, matching the historical semantics of each mode.
+	Loss Loss `json:"loss,omitempty"`
 	// LossProb is the per-message drop probability of the loss model.
 	LossProb float64 `json:"loss_prob,omitempty"`
 	// Churn, when non-nil, applies per-cycle membership churn.
@@ -137,9 +146,12 @@ type Spec struct {
 	// of a plain aggregation run.
 	SizeEstimation *SizeEstimationSpec `json:"size_estimation,omitempty"`
 	// Shards selects the executor: 0 (default) the exact sequential
-	// path, ≥ 2 the sharded tournament executor, -1 one shard per
-	// GOMAXPROCS worker. Sharding requires the complete topology and
-	// the seq or pm selector.
+	// path, ≥ 2 the sharded tournament executor, AutoShards (-1) one
+	// shard per GOMAXPROCS worker. The sharded executor supports the
+	// complete topology with the seq or pm selector; an explicit count
+	// on any other combination is an error, while AutoShards falls
+	// back to sequential execution (RunResult.Sharded reports which
+	// executor actually ran).
 	Shards int `json:"shards,omitempty"`
 	// Repeats is the number of independent repetitions (default 1).
 	Repeats int `json:"repeats,omitempty"`
@@ -157,8 +169,22 @@ type Spec struct {
 	Quantiles bool `json:"quantiles,omitempty"`
 }
 
-// knownSelectors are the §3.3 GETPAIR implementations.
-var knownSelectors = []string{"pm", "rand", "seq", "pmrand"}
+// shardable reports whether the sharded executor supports the spec's
+// combination of axes (after enum defaults are applied).
+func (s Spec) shardable() bool {
+	if s.Topology != TopologyComplete || s.Wait != WaitNone ||
+		s.SizeEstimation != nil {
+		return false
+	}
+	switch s.Selector {
+	case SelectorSeq:
+		return true
+	case SelectorPM:
+		return s.Size%2 == 0 && s.Churn == nil
+	default:
+		return false
+	}
+}
 
 // normalized returns a copy of the spec with defaults applied, or an
 // error describing the first invalid or unsupported combination.
@@ -176,17 +202,15 @@ func (s Spec) normalized() (Spec, error) {
 	if s.Cycles < 1 {
 		return s, fmt.Errorf("scenario: %s needs cycles ≥ 1, got %d", s.describe(), s.Cycles)
 	}
-	if s.Selector == "" {
-		s.Selector = "seq"
+	if !s.Selector.valid() || !s.Topology.valid() || !s.Wait.valid() || !s.Loss.valid() {
+		return s, fmt.Errorf("scenario: %s: out-of-range enum value (selector=%d topology=%d wait=%d loss=%d)",
+			s.describe(), s.Selector, s.Topology, s.Wait, s.Loss)
 	}
-	if !slices.Contains(knownSelectors, s.Selector) {
-		return s, fmt.Errorf("scenario: %s: unknown selector %q (want pm, rand, seq or pmrand)", s.describe(), s.Selector)
+	if s.Selector == SelectorDefault {
+		s.Selector = SelectorSeq
 	}
-	if s.Topology == "" {
-		s.Topology = string(topology.KindComplete)
-	}
-	if !slices.Contains(topology.Kinds(), topology.Kind(s.Topology)) {
-		return s, fmt.Errorf("scenario: %s: unknown topology %q", s.describe(), s.Topology)
+	if s.Topology == TopologyDefault {
+		s.Topology = TopologyComplete
 	}
 	if s.ViewSize == 0 {
 		s.ViewSize = DefaultViewSize
@@ -206,22 +230,17 @@ func (s Spec) normalized() (Spec, error) {
 	if s.LossProb < 0 || s.LossProb >= 1 {
 		return s, fmt.Errorf("scenario: %s: loss_prob must be in [0, 1), got %g", s.describe(), s.LossProb)
 	}
-	if s.Loss == "" && s.LossProb > 0 {
-		if s.Wait != "" {
-			s.Loss = "symmetric"
+	if s.Loss == LossAuto && s.LossProb > 0 {
+		if s.Wait != WaitNone {
+			s.Loss = LossSymmetric
 		} else {
-			s.Loss = "reply"
+			s.Loss = LossReply
 		}
-	}
-	switch s.Loss {
-	case "", "none", "symmetric", "reply":
-	default:
-		return s, fmt.Errorf("scenario: %s: unknown loss model %q (want none, symmetric or reply)", s.describe(), s.Loss)
 	}
 	if s.CrashFraction < 0 || s.CrashFraction >= 1 {
 		return s, fmt.Errorf("scenario: %s: crash_fraction must be in [0, 1), got %g", s.describe(), s.CrashFraction)
 	}
-	complete := s.Topology == string(topology.KindComplete)
+	complete := s.Topology == TopologyComplete
 	if s.CrashFraction > 0 {
 		if !complete {
 			return s, fmt.Errorf("scenario: %s: crash_fraction requires the complete topology", s.describe())
@@ -234,24 +253,28 @@ func (s Spec) normalized() (Spec, error) {
 		if !complete {
 			return s, fmt.Errorf("scenario: %s: churn requires the complete topology (dynamic overlay)", s.describe())
 		}
-		if s.Selector == "pm" || s.Selector == "pmrand" {
+		if s.Selector == SelectorPM || s.Selector == SelectorPMRand {
 			return s, fmt.Errorf("scenario: %s: churn does not compose with the %s selector (perfect matchings need a fixed even population)", s.describe(), s.Selector)
 		}
 		if _, err := s.Churn.schedule(s.Size); err != nil {
 			return s, err
 		}
 	}
+	if s.Shards == AutoShards && !s.shardable() {
+		// AutoShards asks for the fastest supported executor, not for
+		// sharding per se; an unshardable combination runs the exact
+		// sequential path (RunResult.Sharded reports the outcome).
+		s.Shards = 0
+	}
 	switch s.Wait {
-	case "":
-	case "constant", "exponential":
-		if s.Selector != "seq" {
+	case WaitNone:
+	default:
+		if s.Selector != SelectorSeq {
 			return s, fmt.Errorf("scenario: %s: wait mode replaces pair selection; selector must be left default", s.describe())
 		}
 		if s.Churn != nil || s.CrashFraction > 0 || s.Shards != 0 || s.TargetRatio > 0 {
 			return s, fmt.Errorf("scenario: %s: wait mode does not compose with churn, crash, shards or target_ratio", s.describe())
 		}
-	default:
-		return s, fmt.Errorf("scenario: %s: unknown wait policy %q (want constant or exponential)", s.describe(), s.Wait)
 	}
 	if s.Shards != 0 && s.Shards != 1 {
 		if s.Shards < -1 {
@@ -261,8 +284,8 @@ func (s Spec) normalized() (Spec, error) {
 			return s, fmt.Errorf("scenario: %s: sharded execution requires the complete topology", s.describe())
 		}
 		switch s.Selector {
-		case "seq":
-		case "pm":
+		case SelectorSeq:
+		case SelectorPM:
 			if s.Size%2 != 0 {
 				return s, fmt.Errorf("scenario: %s: sharded pm pairing needs an even size, got %d", s.describe(), s.Size)
 			}
@@ -292,8 +315,8 @@ func (s Spec) normalized() (Spec, error) {
 		if s.Cycles < norm.EpochCycles {
 			return s, fmt.Errorf("scenario: %s: cycles (%d) shorter than one epoch (%d)", s.describe(), s.Cycles, norm.EpochCycles)
 		}
-		if s.Selector != "seq" || !complete || s.Wait != "" || s.Shards != 0 ||
-			s.CrashFraction > 0 || s.Loss != "" && s.Loss != "none" || len(s.Ops) > 0 || s.TargetRatio > 0 {
+		if s.Selector != SelectorSeq || !complete || s.Wait != WaitNone || s.Shards != 0 ||
+			s.CrashFraction > 0 || s.Loss != LossAuto && s.Loss != LossNone || len(s.Ops) > 0 || s.TargetRatio > 0 {
 			return s, fmt.Errorf("scenario: %s: size estimation composes only with size, cycles, churn, repeats and seed", s.describe())
 		}
 		s.SizeEstimation = &norm
@@ -343,29 +366,13 @@ func (s Spec) lossModel() sim.LossModel {
 		return nil
 	}
 	switch s.Loss {
-	case "symmetric":
+	case LossSymmetric:
 		return sim.SymmetricLoss{P: s.LossProb}
-	case "reply":
+	case LossReply:
 		return sim.ReplyLoss{P: s.LossProb}
 	default:
 		return nil
 	}
-}
-
-// SizeSimConfig validates the spec and translates its size-estimation
-// scenario into the epoch package's configuration with the given
-// concrete seed. Exported so drivers that need the epoch reports
-// themselves (Figure 4's per-epoch error bars) can stay thin Spec
-// builders while bypassing the row-typed engine output.
-func (s Spec) SizeSimConfig(seed uint64) (epoch.SizeSimConfig, error) {
-	ns, err := s.normalized()
-	if err != nil {
-		return epoch.SizeSimConfig{}, err
-	}
-	if ns.SizeEstimation == nil {
-		return epoch.SizeSimConfig{}, fmt.Errorf("scenario: %s has no size_estimation section", s.describe())
-	}
-	return ns.sizeSimConfig(seed)
 }
 
 // sizeSimConfig translates a normalized size-estimation spec into the
@@ -395,11 +402,25 @@ func (s Spec) MarshalIndent() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
 }
 
+// seedStep is the golden-ratio stride of the per-repeat seed
+// derivation (see repSeed).
+const seedStep = 0x9e3779b97f4a7c15
+
 // repSeed derives repeat r's seed from the spec seed — the historical
 // derivation of the experiment harness's forEachRun, kept bit-exact so
 // the rewritten figure drivers reproduce their pre-scenario output.
 func repSeed(seed uint64, rep int) uint64 {
-	return seed + 0x9e3779b97f4a7c15*uint64(rep+1)
+	return seed + seedStep*uint64(rep+1)
+}
+
+// RawSeed returns the Spec.Seed under which repeat 0 consumes exactly
+// the random stream xrand.New(seed) — the seed vocabulary of the
+// historical one-shot entry points (repro.Simulate, SimulateAsync,
+// EstimateSizeUnderChurn). The deprecated wrappers use it to stay
+// byte-identical across the Run redesign; new callers should treat
+// Spec.Seed as opaque and simply pick one.
+func RawSeed(seed uint64) uint64 {
+	return seed - seedStep // repSeed(·, 0) adds one stride back
 }
 
 // nan is the missing-value marker used in Result rows.

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Regenerates api/repro.txt — the checked-in golden of the exported API
+# surface of the public packages (repro and repro/scenario).
+#
+# CI regenerates the file and fails on any diff, so every PR that
+# changes the public API shows the change explicitly in api/repro.txt.
+# After an intentional API change, run:
+#
+#	./scripts/apisurface.sh && git add api/repro.txt
+#
+# The surface is derived from `go doc -short`: the package index plus
+# one expanded block per exported type (struct fields, methods,
+# associated constructors), with comments stripped so prose edits do
+# not churn the golden.
+set -eu
+cd "$(dirname "$0")/.."
+
+surface() {
+	pkg="$1"
+	echo "# package $pkg"
+	# Package index: exported consts, funcs, types (one line each).
+	go doc -short "$pkg" | grep -v '^    '
+	# One block per exported type: full declaration plus method set.
+	go doc -short "$pkg" | sed -n 's/^type \([A-Za-z0-9_]*\).*/\1/p' | sort -u |
+		while IFS= read -r t; do
+			echo ""
+			echo "## type $pkg.$t"
+			go doc -short "$pkg.$t" |
+				sed -e 's|[[:space:]]*//.*$||' | # strip comments
+				grep -v '^    ' |                # strip prose
+				grep -v '^[[:space:]]*$'         # strip blanks
+		done
+}
+
+mkdir -p api
+{
+	surface repro
+	echo ""
+	surface repro/scenario
+} >api/repro.txt
+echo "wrote api/repro.txt"

@@ -1,0 +1,643 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/epoch"
+	"repro/internal/membership"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// Reducer folds a stream of per-node field values (System.Reduce).
+// *Running implements it.
+type Reducer interface {
+	Add(x float64)
+}
+
+// Running is a Welford-style streaming accumulator (count, mean,
+// unbiased variance, extrema) that implements Reducer — the standard
+// fold for System.Reduce and the type behind every Estimate.
+type Running = stats.Running
+
+// Estimate is one typed snapshot of a watched field: the cross-node
+// reduction of every locally hosted node's current approximation.
+type Estimate struct {
+	// Field names the reduced schema field.
+	Field string
+	// Seq is the snapshot index since Watch started (0-based); zero
+	// for one-shot Query snapshots.
+	Seq int
+	// Time is when the snapshot was taken.
+	Time time.Time
+	// Nodes is how many hosted node states were folded in.
+	Nodes int
+	// Mean, Variance, Min and Max reduce the field across nodes. At
+	// convergence every node holds ≈ Mean and Variance ≈ 0.
+	Mean, Variance, Min, Max float64
+}
+
+// sysConfig is the Option-assembled configuration of Open.
+type sysConfig struct {
+	size      int
+	sizeSet   bool
+	schema    *core.Schema
+	value     func(i int) float64
+	cycle     time.Duration
+	timeout   time.Duration
+	wait      engine.WaitPolicy
+	mode      engine.RuntimeMode
+	workers   int
+	batch     time.Duration
+	seed      uint64
+	epochLen  time.Duration
+	pushOnly  bool
+	view      int
+	tcp       bool
+	listen    string
+	peers     []string
+	initState func(i int) func(epochID uint64, value float64) core.State
+	ctx       context.Context
+}
+
+// replyTimeout resolves the reply deadline: the explicit option when
+// given, else zero (the engine's Δt/2 default) — plus, whenever a
+// batch window is configured, an allowance of four windows: a batched
+// push-pull round trip spends up to one window on the push and one on
+// the reply, and without the allowance window batching converts
+// latency into spurious timeouts.
+func (c sysConfig) replyTimeout() time.Duration {
+	if c.timeout > 0 {
+		return c.timeout
+	}
+	if c.batch > 0 {
+		return c.cycle/2 + 4*c.batch
+	}
+	return 0
+}
+
+// Option configures Open.
+type Option func(*sysConfig) error
+
+// WithSize sets the number of locally hosted nodes (default 2
+// in-memory, 1 with WithTCP — the deployable single-node shape).
+func WithSize(n int) Option {
+	return func(c *sysConfig) error {
+		if n < 1 {
+			return fmt.Errorf("repro: WithSize needs n ≥ 1, got %d", n)
+		}
+		c.size, c.sizeSet = n, true
+		return nil
+	}
+}
+
+// WithSchema sets the gossiped field schema (default NewAverageSchema).
+func WithSchema(s *Schema) Option {
+	return func(c *sysConfig) error {
+		if s == nil {
+			return fmt.Errorf("repro: WithSchema needs a schema")
+		}
+		c.schema = s
+		return nil
+	}
+}
+
+// WithValues supplies node i's local attribute a_i.
+func WithValues(f func(i int) float64) Option {
+	return func(c *sysConfig) error {
+		c.value = f
+		return nil
+	}
+}
+
+// WithValue gives every hosted node the same local attribute — the
+// usual shape for a single-node TCP system.
+func WithValue(v float64) Option {
+	return WithValues(func(int) float64 { return v })
+}
+
+// WithCycleLength sets Δt, the (mean) time between initiated
+// exchanges (default 100ms).
+func WithCycleLength(d time.Duration) Option {
+	return func(c *sysConfig) error {
+		if d <= 0 {
+			return fmt.Errorf("repro: WithCycleLength needs a positive duration, got %v", d)
+		}
+		c.cycle = d
+		return nil
+	}
+}
+
+// WithReplyTimeout bounds the pull-reply wait (default Δt/2, plus a
+// batching allowance in heap mode).
+func WithReplyTimeout(d time.Duration) Option {
+	return func(c *sysConfig) error {
+		c.timeout = d
+		return nil
+	}
+}
+
+// WithWaitPolicy selects the §1.1 waiting-time distribution (default
+// ConstantWait; ExponentialWait approximates GETPAIR_RAND dynamics).
+func WithWaitPolicy(p WaitPolicy) Option {
+	return func(c *sysConfig) error {
+		c.wait = p
+		return nil
+	}
+}
+
+// WithMode selects the scheduler for in-memory systems: ModeGoroutine
+// (default, two goroutines per node) or ModeHeap (sharded event-heap
+// worker pool, the 10⁵-nodes-per-process path). Multi-node TCP systems
+// always run the heap runtime.
+func WithMode(m RuntimeMode) Option {
+	return func(c *sysConfig) error {
+		c.mode = m
+		return nil
+	}
+}
+
+// WithWorkers bounds the heap scheduler's worker/shard pool (default
+// GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *sysConfig) error {
+		c.workers = n
+		return nil
+	}
+}
+
+// WithBatchWindow bounds message coalescing delay in heap mode (0
+// flushes once per scheduler round).
+func WithBatchWindow(d time.Duration) Option {
+	return func(c *sysConfig) error {
+		c.batch = d
+		return nil
+	}
+}
+
+// WithSeed makes node randomness reproducible (default 1; live
+// scheduling still varies).
+func WithSeed(seed uint64) Option {
+	return func(c *sysConfig) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithEpochLength enables periodic epoch restarts (§4 adaptivity):
+// every node reinitializes from its current local value each period,
+// so SetValue changes enter the aggregate with one-epoch delay.
+func WithEpochLength(d time.Duration) Option {
+	return func(c *sysConfig) error {
+		if d <= 0 {
+			return fmt.Errorf("repro: WithEpochLength needs a positive duration, got %v", d)
+		}
+		c.epochLen = d
+		return nil
+	}
+}
+
+// WithPushOnly enables the push-only ablation on every node.
+func WithPushOnly() Option {
+	return func(c *sysConfig) error {
+		c.pushOnly = true
+		return nil
+	}
+}
+
+// WithMembershipView sets the gossip membership view capacity of TCP
+// systems (default 8; in-memory systems use a shared full directory).
+func WithMembershipView(capacity int) Option {
+	return func(c *sysConfig) error {
+		if capacity < 1 {
+			return fmt.Errorf("repro: WithMembershipView needs capacity ≥ 1, got %d", capacity)
+		}
+		c.view = capacity
+		return nil
+	}
+}
+
+// WithTCP deploys the system over real sockets: listen is the first
+// (or only) node's address ("127.0.0.1:0" for an ephemeral port), and
+// seedPeers bootstrap membership discovery via piggybacked gossip. A
+// size-1 system is one deployable node (the aggnode shape); larger
+// sizes host the population on the heap runtime with one TCP endpoint
+// per worker and sub-addressed nodes.
+func WithTCP(listen string, seedPeers ...string) Option {
+	return func(c *sysConfig) error {
+		if listen == "" {
+			return fmt.Errorf("repro: WithTCP needs a listen address")
+		}
+		c.tcp = true
+		c.listen = listen
+		c.peers = append([]string(nil), seedPeers...)
+		return nil
+	}
+}
+
+// WithInitState overrides state initialization for node i (e.g. to
+// seed a size-estimation leader's indicator field).
+func WithInitState(f func(i int) func(epochID uint64, value float64) State) Option {
+	return func(c *sysConfig) error {
+		c.initState = f
+		return nil
+	}
+}
+
+// WithContext scopes the system's lifetime: cancelling ctx stops it
+// exactly as Close would.
+func WithContext(ctx context.Context) Option {
+	return func(c *sysConfig) error {
+		c.ctx = ctx
+		return nil
+	}
+}
+
+// System is a live aggregation service: a set of locally hosted
+// protocol nodes (in-memory cluster, heap runtime, or one deployable
+// TCP node) continuously maintaining every node's approximation of the
+// global aggregates. Open assembles and starts it; observe it with
+// Watch (streaming typed snapshots), Reduce (custom folds without
+// materializing state), Query and WaitConverged; Close shuts it down.
+type System struct {
+	schema *core.Schema
+	cycle  time.Duration
+
+	cluster *engine.Cluster // in-memory shapes
+	rt      *engine.Runtime // multi-node TCP shape
+	node    *engine.Node    // single-node TCP shape
+	nodes   []*Node
+
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// Open assembles a live aggregation system from functional options and
+// starts it. The zero-option call opens a two-node in-memory system
+// gossiping a plain average. See WithSize, WithSchema, WithValues,
+// WithCycleLength, WithMode, WithTCP and friends for the axes; Close
+// (or a WithContext cancellation) shuts the system down.
+func Open(opts ...Option) (*System, error) {
+	cfg := sysConfig{
+		size:   2,
+		cycle:  100 * time.Millisecond,
+		seed:   1,
+		view:   8,
+		mode:   engine.ModeGoroutine,
+		ctx:    context.Background(),
+		value:  func(int) float64 { return 0 },
+		schema: NewAverageSchema(),
+	}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.tcp && !cfg.sizeSet {
+		cfg.size = 1
+	}
+	if cfg.size == 1 && !cfg.tcp {
+		return nil, fmt.Errorf("repro: a size-1 system needs WithTCP (an in-memory node has nobody to gossip with)")
+	}
+
+	var clock *epoch.Clock
+	if cfg.epochLen > 0 {
+		c, err := epoch.NewClock(time.Unix(0, 0), cfg.epochLen)
+		if err != nil {
+			return nil, err
+		}
+		clock = c
+	}
+
+	sys := &System{schema: cfg.schema, cycle: cfg.cycle, done: make(chan struct{})}
+	switch {
+	case cfg.tcp && cfg.size == 1:
+		node, err := openTCPNode(cfg, clock)
+		if err != nil {
+			return nil, err
+		}
+		sys.node = node
+		sys.nodes = []*Node{node}
+		node.Start()
+	case cfg.tcp:
+		rt, err := openTCPRuntime(cfg, clock)
+		if err != nil {
+			return nil, err
+		}
+		sys.rt = rt
+		sys.nodes = rt.Nodes()
+		rt.Start(cfg.ctx)
+	default:
+		cluster, err := engine.NewCluster(engine.ClusterConfig{
+			Size:         cfg.size,
+			Schema:       cfg.schema,
+			Value:        cfg.value,
+			CycleLength:  cfg.cycle,
+			ReplyTimeout: cfg.replyTimeout(),
+			Wait:         cfg.wait,
+			PushOnly:     cfg.pushOnly,
+			InitState:    cfg.initState,
+			Clock:        clock,
+			Mode:         cfg.mode,
+			Workers:      cfg.workers,
+			BatchWindow:  cfg.batch,
+			Seed:         cfg.seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sys.cluster = cluster
+		sys.nodes = cluster.Nodes()
+		cluster.Start(cfg.ctx)
+	}
+	if cfg.ctx.Done() != nil {
+		// Context cancellation must close the whole System — including
+		// sys.done, which ends live Watch channels and WaitConverged
+		// polls — not just the engine underneath (Close is idempotent,
+		// so doubling up with the engine's own ctx watcher is safe).
+		go func() {
+			select {
+			case <-cfg.ctx.Done():
+				sys.Close()
+			case <-sys.done:
+			}
+		}()
+	}
+	return sys, nil
+}
+
+// openTCPNode assembles the deployable single-node shape: one TCP
+// endpoint, gossip membership seeded from the configured peers.
+func openTCPNode(cfg sysConfig, clock *epoch.Clock) (*Node, error) {
+	endpoint, err := transport.NewTCPEndpoint(cfg.listen)
+	if err != nil {
+		return nil, err
+	}
+	self := endpoint.Addr()
+	seeds := cfg.peers
+	if len(seeds) == 0 {
+		// No seeds: wait to be contacted. A single self-seed is
+		// rejected, so use a placeholder that is forgotten on first
+		// contact failure.
+		seeds = []string{self + "#boot"}
+	}
+	sampler, err := membership.NewGossipSampler(self, cfg.view, seeds)
+	if err != nil {
+		_ = endpoint.Close()
+		return nil, err
+	}
+	nodeCfg := engine.Config{
+		Schema:       cfg.schema,
+		Endpoint:     endpoint,
+		Sampler:      sampler,
+		Value:        cfg.value(0),
+		CycleLength:  cfg.cycle,
+		ReplyTimeout: cfg.replyTimeout(),
+		Wait:         cfg.wait,
+		PushOnly:     cfg.pushOnly,
+		Clock:        clock,
+		Seed:         cfg.seed,
+	}
+	if cfg.initState != nil {
+		nodeCfg.InitState = cfg.initState(0)
+	}
+	node, err := engine.NewNode(nodeCfg)
+	if err != nil {
+		_ = endpoint.Close()
+		return nil, err
+	}
+	return node, nil
+}
+
+// openTCPRuntime assembles the multi-node TCP shape: the heap runtime
+// with one TCP endpoint per worker (the first on the configured listen
+// address, the rest on ephemeral ports of the same host) and gossip
+// membership bootstrapped from the remote seeds plus a local sibling.
+func openTCPRuntime(cfg sysConfig, clock *epoch.Clock) (*engine.Runtime, error) {
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.size/2 {
+		workers = max(cfg.size/2, 1)
+	}
+	first, err := transport.NewTCPEndpoint(cfg.listen)
+	if err != nil {
+		return nil, err
+	}
+	endpoints := []transport.Endpoint{first}
+	host, _, err := net.SplitHostPort(first.Addr())
+	if err != nil {
+		_ = first.Close()
+		return nil, err
+	}
+	for len(endpoints) < workers {
+		ep, err := transport.NewTCPEndpoint(net.JoinHostPort(host, "0"))
+		if err != nil {
+			for _, e := range endpoints {
+				_ = e.Close()
+			}
+			return nil, err
+		}
+		endpoints = append(endpoints, ep)
+	}
+	seeds := cfg.peers
+	return engine.NewRuntime(engine.RuntimeConfig{
+		Size:         cfg.size,
+		Schema:       cfg.schema,
+		Value:        cfg.value,
+		CycleLength:  cfg.cycle,
+		ReplyTimeout: cfg.replyTimeout(),
+		Wait:         cfg.wait,
+		Endpoints:    endpoints,
+		PushOnly:     cfg.pushOnly,
+		InitState:    cfg.initState,
+		Clock:        clock,
+		BatchWindow:  cfg.batch,
+		Seed:         cfg.seed,
+		Samplers: func(i int, self string, local []string) (membership.Sampler, error) {
+			// Bootstrap: the remote seeds plus the next local sibling,
+			// so the local mesh is connected even before any remote
+			// gossip arrives.
+			boot := append([]string{}, seeds...)
+			if sib := local[(i+1)%len(local)]; sib != self {
+				boot = append(boot, sib)
+			}
+			return membership.NewGossipSampler(self, cfg.view, boot)
+		},
+	})
+}
+
+// Size returns the number of locally hosted nodes.
+func (s *System) Size() int { return len(s.nodes) }
+
+// Nodes returns per-node handles in index order (point queries,
+// SetValue, Addr).
+func (s *System) Nodes() []*Node { return s.nodes }
+
+// Schema returns the gossiped field schema.
+func (s *System) Schema() *Schema { return s.schema }
+
+// Stats returns the element-wise sum of every hosted node's protocol
+// counters.
+func (s *System) Stats() NodeStats {
+	if s.rt != nil {
+		return s.rt.Stats()
+	}
+	var agg NodeStats
+	for _, n := range s.nodes {
+		st := n.Stats()
+		agg.Initiated += st.Initiated
+		agg.Replies += st.Replies
+		agg.Timeouts += st.Timeouts
+		agg.Served += st.Served
+		agg.EpochSwitches += st.EpochSwitches
+		agg.StaleDropped += st.StaleDropped
+		agg.SendErrors += st.SendErrors
+		agg.BusyDropped += st.BusyDropped
+		agg.PeerBusy += st.PeerBusy
+	}
+	return agg
+}
+
+// Reduce folds every hosted node's current approximation of the named
+// field into r, shard by shard, without materializing an N-length
+// vector — the observation primitive that scales to 10⁶ in-process
+// nodes. r.Add runs under the owning shard's lock (heap mode) or the
+// node's lock (goroutine mode): keep it fast and do not call back into
+// the system. Returns promptly; ctx is checked once at entry.
+func (s *System) Reduce(ctx context.Context, field string, r Reducer) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.reduce(field, r.Add)
+}
+
+// reduce dispatches the fold to the backend.
+func (s *System) reduce(field string, fn func(float64)) error {
+	switch {
+	case s.cluster != nil:
+		return s.cluster.ReduceField(field, fn)
+	case s.rt != nil:
+		return s.rt.ReduceField(field, fn)
+	default:
+		v, err := s.node.Estimate(field)
+		if err != nil {
+			return err
+		}
+		fn(v)
+		return nil
+	}
+}
+
+// Query takes one typed snapshot of the named field.
+func (s *System) Query(ctx context.Context, field string) (Estimate, error) {
+	return s.snapshot(ctx, field, 0)
+}
+
+// snapshot reduces the field into an Estimate stamped with seq.
+func (s *System) snapshot(ctx context.Context, field string, seq int) (Estimate, error) {
+	var run Running
+	if err := s.Reduce(ctx, field, &run); err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{
+		Field:    field,
+		Seq:      seq,
+		Time:     time.Now(),
+		Nodes:    run.N(),
+		Mean:     run.Mean(),
+		Variance: run.Variance(),
+		Min:      run.Min(),
+		Max:      run.Max(),
+	}, nil
+}
+
+// Watch streams one typed snapshot of the named field per cycle (Δt)
+// until ctx is cancelled or the system closes, then closes the
+// channel. A blocked receiver delays subsequent snapshots rather than
+// dropping them. Cancellation takes effect within one cycle.
+func (s *System) Watch(ctx context.Context, field string) (<-chan Estimate, error) {
+	if _, err := s.schema.Index(field); err != nil {
+		return nil, err
+	}
+	ch := make(chan Estimate, 1)
+	go func() {
+		defer close(ch)
+		ticker := time.NewTicker(s.cycle)
+		defer ticker.Stop()
+		seq := 0
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-s.done:
+				return
+			case <-ticker.C:
+			}
+			est, err := s.snapshot(ctx, field, seq)
+			if err != nil {
+				return
+			}
+			seq++
+			select {
+			case ch <- est:
+			case <-ctx.Done():
+				return
+			case <-s.done:
+				return
+			}
+		}
+	}()
+	return ch, nil
+}
+
+// WaitConverged polls once per cycle until the named field's
+// cross-node variance falls to at most tol, returning the converged
+// snapshot. It returns the context's error if ctx is cancelled first,
+// alongside the last snapshot taken.
+func (s *System) WaitConverged(ctx context.Context, field string, tol float64) (Estimate, error) {
+	ticker := time.NewTicker(s.cycle)
+	defer ticker.Stop()
+	var last Estimate
+	for {
+		est, err := s.snapshot(ctx, field, last.Seq)
+		if err != nil {
+			return last, err
+		}
+		last = est
+		if est.Variance <= tol {
+			return est, nil
+		}
+		select {
+		case <-ctx.Done():
+			return last, ctx.Err()
+		case <-s.done:
+			return last, fmt.Errorf("repro: system closed while waiting for convergence")
+		case <-ticker.C:
+		}
+	}
+}
+
+// Close stops the system (idempotently): live Watch channels close,
+// nodes stop and endpoints shut down.
+func (s *System) Close() {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		switch {
+		case s.cluster != nil:
+			s.cluster.Stop()
+		case s.rt != nil:
+			s.rt.Stop()
+		default:
+			s.node.Stop()
+		}
+	})
+}

@@ -1,0 +1,293 @@
+package repro
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestOpenValidatesOptions: option errors surface from Open, not from
+// a half-started system.
+func TestOpenValidatesOptions(t *testing.T) {
+	cases := map[string][]Option{
+		"zero size":        {WithSize(0)},
+		"nil schema":       {WithSchema(nil)},
+		"bad cycle":        {WithCycleLength(0)},
+		"bad epoch":        {WithEpochLength(-time.Second)},
+		"bad view":         {WithMembershipView(0)},
+		"empty tcp listen": {WithTCP("")},
+		"lonely node":      {WithSize(1)}, // in-memory size-1 has nobody to gossip with
+	}
+	for name, opts := range cases {
+		if _, err := Open(opts...); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestOpenWatchReduceGoroutineAndHeap: both schedulers behind Open
+// converge and agree between Watch snapshots, Reduce folds and point
+// queries.
+func TestOpenWatchReduceGoroutineAndHeap(t *testing.T) {
+	for _, mode := range []RuntimeMode{ModeGoroutine, ModeHeap} {
+		t.Run(mode.String(), func(t *testing.T) {
+			sys, err := Open(
+				WithSize(24),
+				WithMode(mode),
+				WithValues(func(i int) float64 { return float64(i) }), // mean 11.5
+				WithCycleLength(2*time.Millisecond),
+				WithReplyTimeout(time.Second),
+				WithSeed(11),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Close()
+
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			est, err := sys.WaitConverged(ctx, "avg", 1e-9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est.Nodes != 24 || math.Abs(est.Mean-11.5) > 0.1 {
+				t.Fatalf("converged snapshot: %+v", est)
+			}
+			var run Running
+			if err := sys.Reduce(ctx, "avg", &run); err != nil {
+				t.Fatal(err)
+			}
+			if run.N() != 24 || math.Abs(run.Mean()-est.Mean) > 0.05 {
+				t.Fatalf("Reduce disagrees with Watch: n=%d mean=%g vs %g", run.N(), run.Mean(), est.Mean)
+			}
+			if _, err := sys.Query(ctx, "bogus"); err == nil {
+				t.Fatal("unknown field accepted")
+			}
+		})
+	}
+}
+
+// TestWatchCancellationWithinOneCycle: cancelling the watch context
+// closes the channel promptly (the acceptance bound is one cycle; the
+// assertion allows scheduler slack).
+func TestWatchCancellationWithinOneCycle(t *testing.T) {
+	const cycle = 20 * time.Millisecond
+	sys, err := Open(
+		WithSize(8),
+		WithCycleLength(cycle),
+		WithSeed(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ch, err := sys.Watch(ctx, "avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-ch; !ok {
+		t.Fatal("watch channel closed before cancellation")
+	}
+	start := time.Now()
+	cancel()
+	deadline := time.After(5 * cycle)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				if elapsed := time.Since(start); elapsed > 4*cycle {
+					t.Fatalf("channel closed after %v (cycle %v)", elapsed, cycle)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("watch channel did not close after cancellation")
+		}
+	}
+}
+
+// TestWatchClosesOnSystemClose: Close ends live watches too.
+func TestWatchClosesOnSystemClose(t *testing.T) {
+	sys, err := Open(WithSize(8), WithCycleLength(5*time.Millisecond), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := sys.Watch(context.Background(), "avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("watch channel survived Close")
+		}
+	}
+}
+
+// TestOpenContextScopesLifetime: cancelling the WithContext context
+// stops the system as Close would — exchanges cease AND live watches
+// (even ones holding their own still-live context) close, because the
+// cancellation closes the whole System, not just the engine under it.
+func TestOpenContextScopesLifetime(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sys, err := Open(
+		WithContext(ctx),
+		WithSize(8),
+		WithCycleLength(5*time.Millisecond),
+		WithSeed(5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	watch, err := sys.Watch(context.Background(), "avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Stats().Initiated
+	cancel()
+	deadline := time.After(2 * time.Second)
+	for open := true; open; {
+		select {
+		case _, ok := <-watch:
+			open = ok
+		case <-deadline:
+			t.Fatal("watch channel survived the system context's cancellation")
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	after := sys.Stats().Initiated
+	time.Sleep(100 * time.Millisecond)
+	if final := sys.Stats().Initiated; final > after+1 {
+		t.Fatalf("system kept exchanging after context cancel: %d → %d → %d", before, after, final)
+	}
+}
+
+// TestOpenTCPSingleNodePair: two size-1 TCP systems (the aggnode
+// shape) find each other through gossip and converge. Exponential
+// waits break the two-node constant-wait pathology where mutual
+// busy-nacks phase-lock both initiators (the historical facade test
+// used the same policy for the same reason).
+func TestOpenTCPSingleNodePair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TCP sockets")
+	}
+	a, err := Open(
+		WithTCP("127.0.0.1:0"),
+		WithValue(2),
+		WithCycleLength(5*time.Millisecond),
+		WithReplyTimeout(500*time.Millisecond),
+		WithWaitPolicy(ExponentialWait),
+		WithSeed(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open(
+		WithTCP("127.0.0.1:0", a.Nodes()[0].Addr()),
+		WithValue(4),
+		WithCycleLength(5*time.Millisecond),
+		WithReplyTimeout(500*time.Millisecond),
+		WithWaitPolicy(ExponentialWait),
+		WithSeed(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ea, _ := a.Nodes()[0].Estimate("avg")
+		eb, _ := b.Nodes()[0].Estimate("avg")
+		if math.Abs(ea-3) < 1e-9 && math.Abs(eb-3) < 1e-9 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("TCP pair stuck at %g / %g", ea, eb)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReduceDoesNotMaterialize is the acceptance gate for the
+// streaming observation surface: folding mean/variance over a
+// 10⁵-node heap-mode system must not allocate an N-length slice — the
+// whole fold stays within a handful of fixed-size allocations.
+func TestReduceDoesNotMaterialize(t *testing.T) {
+	const n = 100_000
+	sys, err := Open(
+		WithSize(n),
+		WithMode(ModeHeap),
+		WithValues(func(i int) float64 { return float64(i % 64) }),
+		// One-hour cycles: the workers stay parked, so the measurement
+		// sees Reduce itself, not concurrent exchanges.
+		WithCycleLength(time.Hour),
+		WithSeed(9),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	ctx := context.Background()
+	var run Running
+	allocs := testing.AllocsPerRun(10, func() {
+		run = Running{}
+		if err := sys.Reduce(ctx, "avg", &run); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if run.N() != n {
+		t.Fatalf("folded %d nodes, want %d", run.N(), n)
+	}
+	var want float64
+	for i := 0; i < n; i++ {
+		want += float64(i % 64)
+	}
+	want /= n
+	if math.Abs(run.Mean()-want) > 1e-9 {
+		t.Fatalf("mean = %g, want %g", run.Mean(), want)
+	}
+	// An N-length float64 slice would be 800 kB ≈ one allocation of
+	// 100k words; the fold must stay O(1). Allow a few words of slack
+	// for the interface call.
+	if allocs > 4 {
+		t.Fatalf("Reduce allocated %.0f objects per run, want ≤ 4", allocs)
+	}
+}
+
+// BenchmarkSystemReduce measures the streaming fold at N = 10⁵
+// (b.ReportAllocs documents the zero-materialization claim).
+func BenchmarkSystemReduce(b *testing.B) {
+	sys, err := Open(
+		WithSize(100_000),
+		WithMode(ModeHeap),
+		WithValues(func(i int) float64 { return float64(i) }),
+		WithCycleLength(time.Hour),
+		WithSeed(10),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var run Running
+		if err := sys.Reduce(ctx, "avg", &run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
