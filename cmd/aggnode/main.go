@@ -95,6 +95,8 @@ func run() error {
 
 	ticker := time.NewTicker(*report)
 	defer ticker.Stop()
+	var lastInitiated uint64
+	lastReport := time.Now()
 	for {
 		select {
 		case <-ctx.Done():
@@ -106,9 +108,12 @@ func run() error {
 				return err
 			}
 			s := sys.Stats()
-			fmt.Printf("epoch=%d avg=%.4f min=%.4f max=%.4f exchanges=%d/%d timeouts=%d busy=%d\n",
+			now := time.Now()
+			rate := float64(s.Initiated-lastInitiated) / now.Sub(lastReport).Seconds()
+			lastInitiated, lastReport = s.Initiated, now
+			fmt.Printf("epoch=%d avg=%.4f min=%.4f max=%.4f exchanges=%d/%d rate=%.0f/s timeouts=%d busy=%d\n",
 				probe.Epoch(), summary.Mean, summary.Min, summary.Max,
-				s.Replies, s.Initiated, s.Timeouts, s.PeerBusy)
+				s.Replies, s.Initiated, rate, s.Timeouts, s.PeerBusy)
 		}
 	}
 }

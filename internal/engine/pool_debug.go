@@ -1,0 +1,37 @@
+//go:build pooldebug
+
+package engine
+
+import (
+	"fmt"
+	"math"
+)
+
+// poolDebug reports whether poison-on-put diagnostics are compiled in
+// (the pooldebug build tag).
+const poolDebug = true
+
+// poolPoison is a quiet-NaN with a recognizable payload. Any protocol
+// math that reads a recycled buffer propagates NaN into node state,
+// where the pool race test's finite-state sweep catches it; any write
+// into a recycled buffer breaks the poison pattern, which the next get
+// catches below.
+var poolPoison = math.Float64frombits(0x7FF8_DEAD_BEEF_0001)
+
+// poolPoisonPut fills a buffer with the poison pattern as it enters a
+// free list, so stale readers see NaN instead of plausible state.
+func poolPoisonPut(buf []float64) {
+	for i := range buf {
+		buf[i] = poolPoison
+	}
+}
+
+// poolCheckGet panics if a pooled buffer was written to after it was
+// returned — a use-after-put by a stale reference.
+func poolCheckGet(buf []float64) {
+	for i, v := range buf {
+		if math.Float64bits(v) != math.Float64bits(poolPoison) {
+			panic(fmt.Sprintf("engine: pooled Fields buffer written after put (index %d holds %x)", i, math.Float64bits(v)))
+		}
+	}
+}

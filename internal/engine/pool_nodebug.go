@@ -1,0 +1,13 @@
+//go:build !pooldebug
+
+package engine
+
+// poolDebug reports whether poison-on-put diagnostics are compiled in
+// (the pooldebug build tag).
+const poolDebug = false
+
+// poolPoisonPut is a no-op in release builds.
+func poolPoisonPut([]float64) {}
+
+// poolCheckGet is a no-op in release builds.
+func poolCheckGet([]float64) {}

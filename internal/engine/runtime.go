@@ -176,6 +176,7 @@ type Runtime struct {
 	cfg    RuntimeConfig
 	schema *core.Schema
 	fabric *transport.Fabric // nil when explicit endpoints were supplied
+	pool   *fieldsPool       // shared tier of the Fields buffer recycler
 	shards []*rshard
 	addrs  []string // node i's sub-address, shared by every directory
 	nodes  []*Node  // facade handles, one per hosted node
@@ -220,6 +221,7 @@ type rshard struct {
 	nodes   []rnode
 	backing []float64
 	heap    *sim.EventHeap
+	free    localFree // Fields buffer free list, guarded by mu
 	seq     uint64
 
 	failMu   sync.Mutex
@@ -237,6 +239,7 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 	rt := &Runtime{
 		cfg:    cfg,
 		schema: cfg.Schema,
+		pool:   newFieldsPool(cfg.Schema.Len()),
 		stop:   make(chan struct{}),
 	}
 	endpoints := cfg.Endpoints
@@ -279,6 +282,7 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 			nodes:   make([]rnode, hi-lo),
 			backing: make([]float64, (hi-lo)*fieldN),
 			heap:    sim.NewEventHeap(2 * (hi - lo)),
+			free:    newLocalFree(rt.pool, hi-lo),
 			done:    make(chan struct{}),
 		}
 		s.out = transport.NewBatcher(endpoints[w],
@@ -693,14 +697,17 @@ func (s *rshard) restart(n *rnode) {
 
 // initiate performs the active half of one exchange: sample a peer,
 // send the push, arm the reply deadline. Caller holds s.mu and has
-// checked that no exchange is in flight.
+// checked that no exchange is in flight. The push's Fields buffer is
+// drawn from the shard's free list; ownership passes to the transport
+// with the Send (and on a lossless fabric the same buffer eventually
+// returns via the pull reply).
 func (s *rshard) initiate(n *rnode, idx int, now float64) {
 	self := s.rt.addrs[idx]
 	peer, ok := n.sampler.Sample(n.rng)
 	if !ok || peer == self {
 		return
 	}
-	fields := make([]float64, len(n.state))
+	fields := s.free.get()
 	copy(fields, n.state)
 	s.seq++
 	msg := transport.Message{
@@ -757,13 +764,17 @@ func (s *rshard) handleMessage(m transport.Message) {
 }
 
 // servePush implements the passive half (Figure 1, bottom): reply with
-// the pre-merge state, then adopt the merge. Caller holds s.mu.
+// the pre-merge state, then adopt the merge. Caller holds s.mu and owns
+// m.Fields (receiver-owns rule); the happy path rewrites that buffer in
+// place into the reply payload (MergeExchange), every other path
+// recycles it.
 func (s *rshard) servePush(n *rnode, idx int, m transport.Message) {
 	if !s.rt.cfg.PushOnly && n.pendingSeq != 0 {
 		// An own exchange is in flight; merging now would break the
 		// atomicity of the elementary step. Decline with a nack, as the
 		// goroutine runtime does.
 		n.stats.BusyDropped++
+		s.free.put(m.Fields)
 		nack := transport.Message{
 			Kind:  transport.KindNack,
 			Epoch: n.tracker.Current(),
@@ -779,29 +790,30 @@ func (s *rshard) servePush(n *rnode, idx int, m transport.Message) {
 		s.restart(n)
 	} else if !n.tracker.InSync(m.Epoch) {
 		n.stats.StaleDropped++
+		s.free.put(m.Fields)
 		return
 	}
 	if len(m.Fields) != len(n.state) {
-		return // schema mismatch; drop defensively
+		s.free.put(m.Fields) // wrong length: put drops it, GC reclaims
+		return               // schema mismatch; drop defensively
 	}
-	var pre []float64
-	if !s.rt.cfg.PushOnly {
-		pre = make([]float64, len(n.state))
-		copy(pre, n.state)
-	}
-	// MergeInto writes the merge into both slices; m.Fields is our copy
-	// of the wire payload, so mutating it is free.
-	s.rt.schema.MergeInto(core.State(n.state), core.State(m.Fields))
-	n.stats.Served++
 	if s.rt.cfg.PushOnly {
+		// No reply to build: merge in place and retire the buffer.
+		s.rt.schema.MergeInto(core.State(n.state), core.State(m.Fields))
+		n.stats.Served++
+		s.free.put(m.Fields)
 		return
 	}
+	// One pass, zero copies: the state adopts the merge and the inbound
+	// push buffer becomes the pre-merge reply payload.
+	s.rt.schema.MergeExchange(core.State(n.state), core.State(m.Fields))
+	n.stats.Served++
 	reply := transport.Message{
 		Kind:   transport.KindReply,
 		Epoch:  n.tracker.Current(),
 		Seq:    m.Seq,
 		From:   s.rt.addrs[idx],
-		Fields: pre,
+		Fields: m.Fields,
 	}
 	if s.rt.cfg.GossipFanout > 0 && n.observes {
 		reply.Gossip = n.sampler.Digest(n.rng, s.rt.cfg.GossipFanout)
@@ -812,8 +824,10 @@ func (s *rshard) servePush(n *rnode, idx int, m transport.Message) {
 }
 
 // handleReply completes (or aborts, on nack) the node's in-flight
-// exchange. Caller holds s.mu.
+// exchange. Caller holds s.mu and owns m.Fields, which is recycled on
+// every path once the merge (if any) is done.
 func (s *rshard) handleReply(n *rnode, m transport.Message) {
+	defer s.free.put(m.Fields)
 	if n.pendingSeq == 0 || m.Seq != n.pendingSeq {
 		return // exchange already timed out, or a stray duplicate
 	}

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"math"
+	"runtime"
 	"testing"
 	"time"
 
@@ -372,17 +373,27 @@ func TestHeapRuntimesBootstrapAcrossProcesses(t *testing.T) {
 	}
 }
 
-// TestHeapRuntimeSustains100k is the scale acceptance test: one process
-// hosts N = 10⁵ live nodes on the in-memory fabric and completes a full
-// 20-cycle average run (every node initiates ≥ 20 exchanges) while
-// driving the variance down two orders of magnitude. The goroutine
-// runtime cannot even construct at this size in comparable memory; the
-// heap runtime runs it with a handful of workers.
-func TestHeapRuntimeSustains100k(t *testing.T) {
-	if testing.Short() {
-		t.Skip("10⁵-node scale run; skipped in -short mode")
-	}
-	const size = 100_000
+// sustainedResult summarizes one sustained-throughput harness run.
+type sustainedResult struct {
+	Stats             Stats
+	Exchanges         uint64  // initiations inside the measured window
+	PerSecond         float64 // sustained initiations per wall second
+	Completion        float64 // replies/initiated over the whole run
+	AllocsPerExchange float64 // heap mallocs per initiation, steady state
+	Variance          float64 // final cross-node variance of "avg"
+	Mean              float64 // final cross-node mean of "avg"
+}
+
+// runSustained is the parameterized sustained-throughput harness behind
+// TestHeapRuntimeSustains100k and BenchmarkRuntimeSustained: one process
+// hosts size live heap-mode nodes on the in-memory fabric with a
+// saturating Δt = 1 ms and runs until every node has initiated `cycles`
+// exchanges on average. The first two cycles' worth of exchanges are a
+// warm-up (pools filling, batch queues growing to steady state); the
+// rest is the measured window, over which steady-state heap mallocs per
+// exchange are accounted with runtime.ReadMemStats.
+func runSustained(tb testing.TB, size, cycles int, deadline time.Duration) sustainedResult {
+	tb.Helper()
 	c, err := NewCluster(ClusterConfig{
 		Size:   size,
 		Schema: core.AverageSchema(),
@@ -394,36 +405,125 @@ func TestHeapRuntimeSustains100k(t *testing.T) {
 		Seed:         42,
 	})
 	if err != nil {
-		t.Fatal(err)
+		tb.Fatal(err)
 	}
 	c.Start(context.Background())
 	defer c.Stop()
 	rt := c.Runtime()
-	deadline := time.Now().Add(3 * time.Minute)
-	var agg Stats
-	for {
-		agg = rt.Stats()
-		if agg.Initiated >= 20*size {
-			break
+	giveUp := time.Now().Add(deadline)
+	// Stats() folds O(size) counters under the shard locks, so the poll
+	// interval scales with size to keep the observer from perturbing the
+	// workers it measures.
+	poll := time.Duration(min(max(size/2000, 2), 250)) * time.Millisecond
+	waitInitiated := func(target uint64) Stats {
+		for {
+			agg := rt.Stats()
+			if agg.Initiated >= target {
+				return agg
+			}
+			if time.Now().After(giveUp) {
+				tb.Fatalf("only %d exchanges initiated (want ≥ %d) before deadline", agg.Initiated, target)
+			}
+			time.Sleep(poll)
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("only %d exchanges initiated (want ≥ %d) before deadline", agg.Initiated, 20*size)
-		}
-		time.Sleep(250 * time.Millisecond)
 	}
-	v, err := c.Variance("avg")
-	if err != nil {
-		t.Fatal(err)
+
+	warm := waitInitiated(uint64(2 * size))
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	agg := waitInitiated(uint64(cycles * size))
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	window := time.Since(t0)
+
+	if agg.Initiated == warm.Initiated {
+		tb.Fatalf("degenerate measurement window: the run outpaced the %v poll; raise cycles (%d) for size %d", poll, cycles, size)
 	}
-	if v > 0.25/100 {
-		t.Fatalf("variance %g after 20 cycles' worth of exchanges, want ≤ %g", v, 0.25/100)
+	res := sustainedResult{
+		Stats:      agg,
+		Exchanges:  agg.Initiated - warm.Initiated,
+		Completion: float64(agg.Replies) / float64(agg.Initiated),
 	}
-	vals, err := c.Snapshot("avg")
-	if err != nil {
-		t.Fatal(err)
+	res.PerSecond = float64(res.Exchanges) / window.Seconds()
+	res.AllocsPerExchange = float64(m1.Mallocs-m0.Mallocs) / float64(res.Exchanges)
+
+	var run stats.Running
+	if err := c.ReduceField("avg", run.Add); err != nil {
+		tb.Fatal(err)
 	}
-	if got := stats.Mean(vals); math.Abs(got-0.5) > 0.05 {
-		t.Fatalf("mean drifted to %g, want ≈ 0.5", got)
+	res.Variance = run.Variance()
+	res.Mean = run.Mean()
+	return res
+}
+
+// assertSustained applies the harness's acceptance bounds: the variance
+// must have fallen two orders of magnitude from the initial 0.25, the
+// mean must hold at 0.5 (mass conservation), the run must complete at
+// least minCompletion of initiated exchanges and the measured
+// steady-state exchange path must be allocation-free — the ≤ 0.05
+// bound leaves room only for the rare cross-shard pool spill and
+// scheduler noise, two orders of magnitude below the pre-pool cost of
+// several allocations per exchange.
+//
+// minCompletion is size-dependent: a saturated shard keeps up to
+// eventBudget(n) nodes in flight at once, and a push landing on an
+// in-flight peer is busy-nacked, so the nack rate tracks the in-flight
+// fraction — ≈ 1024/n for large shards. At n ≥ 10⁵ that is ≤ 1% and
+// the historical 98.9% bar applies; smaller smoke runs use a floor
+// matching their geometry.
+func assertSustained(tb testing.TB, res sustainedResult, minCompletion float64) {
+	tb.Helper()
+	if res.Variance > 0.25/100 {
+		tb.Fatalf("variance %g after the sustained run, want ≤ %g", res.Variance, 0.25/100)
 	}
-	t.Logf("100k-node run: %+v", agg)
+	if math.Abs(res.Mean-0.5) > 0.05 {
+		tb.Fatalf("mean drifted to %g, want ≈ 0.5", res.Mean)
+	}
+	if res.Completion < minCompletion {
+		tb.Fatalf("completion %.4f, want ≥ %.4f (stats %+v)", res.Completion, minCompletion, res.Stats)
+	}
+	if res.AllocsPerExchange > 0.05 {
+		tb.Fatalf("steady-state exchange path allocates %.4f objects/exchange, want ≈ 0 (≤ 0.05)", res.AllocsPerExchange)
+	}
+}
+
+// TestHeapRuntimeSustains100k is the scale acceptance test: one process
+// hosts N = 10⁵ live nodes on the in-memory fabric and completes a full
+// 20-cycle average run (every node initiates ≥ 20 exchanges) while
+// driving the variance down two orders of magnitude, completing ≥
+// 98.9% of exchanges with an allocation-free steady state. The
+// goroutine runtime cannot even construct at this size in comparable
+// memory; the heap runtime runs it with a handful of workers. The
+// 10⁶-node variant of the same harness runs in -bench mode
+// (BenchmarkRuntimeSustained).
+func TestHeapRuntimeSustains100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10⁵-node scale run; skipped in -short mode")
+	}
+	res := runSustained(t, 100_000, 20, 3*time.Minute)
+	assertSustained(t, res, 0.989)
+	t.Logf("100k-node run: %.0f exchanges/s, completion %.4f, %.4f allocs/exchange, stats %+v",
+		res.PerSecond, res.Completion, res.AllocsPerExchange, res.Stats)
+}
+
+// TestHeapRuntimeSteadyStateAllocs pins the zero-allocation claim on
+// every regular (non-short) test run at a size small enough for the
+// slowest CI runner: after warm-up, the heap runtime's exchange path
+// over the fabric transport — push construction, batch coalescing and
+// framing, delivery, merge, reply, merge-back — must run out of
+// recycled buffers.
+func TestHeapRuntimeSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second saturated run; skipped in -short mode")
+	}
+	// eventBudget(4096) = 512 keeps 12.5% of the shard in flight, so
+	// busy-nacks cap completion well below the large-N bar; 0.75 guards
+	// against collapse without over-fitting the geometry. 100 cycles ≈
+	// half a second of saturated running — enough wall time for a
+	// meaningful steady-state window at this size.
+	res := runSustained(t, 4096, 100, time.Minute)
+	assertSustained(t, res, 0.75)
+	t.Logf("4096-node run: %.0f exchanges/s, completion %.4f, %.4f allocs/exchange",
+		res.PerSecond, res.Completion, res.AllocsPerExchange)
 }

@@ -78,3 +78,9 @@ func (h *EventHeap) Peek() (Event, bool) {
 
 // Len reports the number of scheduled events.
 func (h *EventHeap) Len() int { return len(h.items) }
+
+// Reset empties the heap while keeping its backing storage, so a
+// long-lived owner (the kernel's event executor, a scenario worker
+// reusing one Kernel per run) schedules the next run without
+// reallocating.
+func (h *EventHeap) Reset() { h.items = h.items[:0] }

@@ -154,6 +154,8 @@ type Kernel struct {
 	phi   []int
 	cycle int
 
+	evh *EventHeap // RunEvents schedule, reused across runs
+
 	shards int
 	sh     *sharder
 }

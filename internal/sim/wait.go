@@ -71,7 +71,16 @@ func (k *Kernel) RunEvents(ctx context.Context, horizon int, sample func()) (int
 		return 0, fmt.Errorf("sim: RunEvents is single-shard only")
 	}
 	n := k.n
-	h := NewEventHeap(n)
+	// Reuse the kernel-owned heap across runs: scenario workers drive
+	// many RunEvents calls through one Kernel (Reseed between runs), and
+	// rebuilding the heap's storage each time is a per-run allocation of
+	// N events for nothing.
+	if k.evh == nil {
+		k.evh = NewEventHeap(n)
+	} else {
+		k.evh.Reset()
+	}
+	h := k.evh
 	for i := 0; i < n; i++ {
 		h.Push(Event{At: k.wait.Phase(k.rng), Node: int32(i)})
 	}

@@ -20,68 +20,96 @@ const maxBatchCount = 1 << 14
 // messages to one destination in a single operation — one framed packet
 // over TCP, one routing-table lookup on the in-memory fabric. The Batcher
 // uses it when available and falls back to message-at-a-time Send
-// otherwise. Delivery order within the batch must be preserved.
+// otherwise. Delivery order within the batch must be preserved. The
+// callee must not retain ms (the slice) after returning; it may retain
+// the messages' Fields/Gossip, whose ownership travels with the message.
 type BatchSender interface {
 	SendBatch(to string, ms []Message) error
 }
 
-// MarshalBatch encodes messages into one container frame:
+// AppendBatch appends a container frame holding every message to buf
+// and returns the extended slice:
 //
 //	0x7F | u16 count | (u32 len | frame)*
 //
-// where each sub-frame is a MarshalBinary message frame.
-func MarshalBatch(ms []Message) ([]byte, error) {
+// where each sub-frame is an AppendBinary message frame. Sub-frame
+// lengths are backfilled in place, so no per-message staging buffers
+// are allocated; with a reused buf the encode is allocation-free at
+// steady state.
+func AppendBatch(buf []byte, ms []Message) ([]byte, error) {
 	if len(ms) == 0 || len(ms) > maxBatchCount {
-		return nil, fmt.Errorf("%w: batch of %d messages", ErrMalformedMessage, len(ms))
+		return buf, fmt.Errorf("%w: batch of %d messages", ErrMalformedMessage, len(ms))
 	}
-	frames := make([][]byte, len(ms))
-	size := 1 + 2
-	for i := range ms {
-		f, err := ms[i].MarshalBinary()
-		if err != nil {
-			return nil, err
-		}
-		frames[i] = f
-		size += 4 + len(f)
-	}
-	buf := make([]byte, 0, size)
+	start := len(buf)
 	buf = append(buf, batchMarker)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(ms)))
-	for _, f := range frames {
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(f)))
-		buf = append(buf, f...)
+	for i := range ms {
+		lenAt := len(buf)
+		buf = append(buf, 0, 0, 0, 0) // length placeholder, backfilled below
+		var err error
+		if buf, err = ms[i].AppendBinary(buf); err != nil {
+			return buf[:start], err
+		}
+		binary.BigEndian.PutUint32(buf[lenAt:], uint32(len(buf)-lenAt-4))
 	}
 	return buf, nil
 }
 
-// UnmarshalBatch decodes a container frame produced by MarshalBatch,
-// preserving message order.
-func UnmarshalBatch(b []byte) ([]Message, error) {
+// MarshalBatch encodes messages into one freshly allocated container
+// frame. Hot paths reuse a caller-owned buffer with AppendBatch
+// instead.
+func MarshalBatch(ms []Message) ([]byte, error) {
+	return AppendBatch(nil, ms)
+}
+
+// UnmarshalBatchInto decodes a container frame produced by MarshalBatch
+// or AppendBatch into the caller-owned scratch slice, preserving
+// message order, and returns the decoded messages (scratch resliced and
+// grown as needed). Reused scratch entries keep their Fields/Gossip
+// backing arrays across calls, so a caller that retains ownership of
+// the results decodes without allocating vectors. A caller that hands a
+// decoded Message to another owner (e.g. an endpoint inbox) must zero
+// that entry before the next call — the next decode would otherwise
+// overwrite the new owner's buffers.
+func UnmarshalBatchInto(b []byte, scratch []Message) ([]Message, error) {
 	r := reader{buf: b}
 	if r.u8() != batchMarker {
-		return nil, fmt.Errorf("%w: not a batch frame", ErrMalformedMessage)
+		return scratch[:0], fmt.Errorf("%w: not a batch frame", ErrMalformedMessage)
 	}
 	count := int(r.u16())
 	if count == 0 || count > maxBatchCount {
-		return nil, fmt.Errorf("%w: batch count %d", ErrMalformedMessage, count)
+		return scratch[:0], fmt.Errorf("%w: batch count %d", ErrMalformedMessage, count)
 	}
-	out := make([]Message, 0, count)
+	out := scratch[:0]
 	for i := 0; i < count; i++ {
 		size := int(r.u64from32())
 		sub := r.bytes(size)
 		if r.failed {
-			return nil, fmt.Errorf("%w: truncated batch frame", ErrMalformedMessage)
+			return out[:0], fmt.Errorf("%w: truncated batch frame", ErrMalformedMessage)
 		}
-		var m Message
-		if err := m.UnmarshalBinary(sub); err != nil {
-			return nil, err
+		if i < len(scratch) {
+			out = out[:i+1]
+		} else {
+			out = append(out, Message{})
 		}
-		out = append(out, m)
+		if err := out[i].UnmarshalBinary(sub); err != nil {
+			return out[:0], err
+		}
 	}
 	if r.pos != len(b) {
-		return nil, fmt.Errorf("%w: %d trailing bytes in batch frame", ErrMalformedMessage, len(b)-r.pos)
+		return out[:0], fmt.Errorf("%w: %d trailing bytes in batch frame", ErrMalformedMessage, len(b)-r.pos)
 	}
 	return out, nil
+}
+
+// UnmarshalBatch decodes a container frame into freshly allocated
+// messages, preserving message order.
+func UnmarshalBatch(b []byte) ([]Message, error) {
+	ms, err := UnmarshalBatchInto(b, nil)
+	if err != nil {
+		return nil, err
+	}
+	return ms, nil
 }
 
 // IsBatchFrame reports whether a wire frame is a multi-message container.
@@ -121,9 +149,16 @@ func WithMaxBatch(n int) BatcherOption {
 // messages. Those messages are dropped — the protocol treats send
 // failure as message loss, which it tolerates by design. The callback
 // may run while a sender holds its own locks, so it must not call back
-// into the Batcher; defer heavy work.
+// into the Batcher; defer heavy work. It must not retain ms after
+// returning: the Batcher recycles the slice for later batches.
 func WithSendErrorHandler(fn func(to string, ms []Message, err error)) BatcherOption {
 	return func(b *Batcher) { b.onErr = fn }
+}
+
+// destQueue is one destination's pending batch.
+type destQueue struct {
+	to string
+	ms []Message
 }
 
 // Batcher coalesces same-destination messages in front of an Endpoint:
@@ -133,6 +168,11 @@ func WithSendErrorHandler(fn func(to string, ms []Message, err error)) BatcherOp
 // accepted message is handed to the underlying endpoint exactly once and
 // that per-destination order is preserved. Batcher itself implements
 // Endpoint, so it can be dropped in front of any transport.
+//
+// All queue storage — the destination index, the per-destination
+// message slices and the flush scratch — is recycled across flush
+// cycles, so a Batcher in steady state allocates nothing per message or
+// per flush.
 type Batcher struct {
 	ep       Endpoint
 	bs       BatchSender // non-nil when ep supports batch delivery
@@ -143,13 +183,15 @@ type Batcher struct {
 	// mu guards the queues; flushMu serializes deliveries so concurrent
 	// flushes cannot reorder one destination's batches.
 	mu      sync.Mutex
-	queues  map[string][]Message
-	order   []string
+	index   map[string]int // destination → position in batches
+	batches []destQueue    // pending queues in first-enqueue order
+	spare   [][]Message    // cleared message slices, ready for reuse
 	pending int
 	timer   *time.Timer
 	closed  bool
 
-	flushMu sync.Mutex
+	flushMu  sync.Mutex
+	flushing []destQueue // scratch swapped with batches during a flush
 }
 
 var _ Endpoint = (*Batcher)(nil)
@@ -159,7 +201,7 @@ func NewBatcher(ep Endpoint, opts ...BatcherOption) *Batcher {
 	b := &Batcher{
 		ep:       ep,
 		maxBatch: 64,
-		queues:   make(map[string][]Message),
+		index:    make(map[string]int),
 	}
 	if bs, ok := ep.(BatchSender); ok {
 		b.bs = bs
@@ -183,6 +225,10 @@ func (b *Batcher) Inbox() <-chan Message { return b.ep.Inbox() }
 // demultiplexing. A queue reaching the batch-size cap is flushed inline;
 // with a batch window configured, the first message into an empty
 // batcher arms a timer that flushes everything when the window closes.
+//
+// Ownership of m.Fields and m.Gossip passes to the Batcher (and onward
+// to the endpoint and receiver); the caller must not reuse them after
+// Send.
 func (b *Batcher) Send(to string, m Message) error {
 	m.To = to
 	base := BaseAddr(to)
@@ -191,13 +237,21 @@ func (b *Batcher) Send(to string, m Message) error {
 		b.mu.Unlock()
 		return ErrClosed
 	}
-	q, known := b.queues[base]
+	qi, known := b.index[base]
 	if !known {
-		b.order = append(b.order, base)
+		qi = len(b.batches)
+		var ms []Message
+		if n := len(b.spare); n > 0 {
+			ms = b.spare[n-1]
+			b.spare[n-1] = nil
+			b.spare = b.spare[:n-1]
+		}
+		b.batches = append(b.batches, destQueue{to: base, ms: ms})
+		b.index[base] = qi
 	}
-	b.queues[base] = append(q, m)
+	b.batches[qi].ms = append(b.batches[qi].ms, m)
 	b.pending++
-	full := len(b.queues[base]) >= b.maxBatch
+	full := len(b.batches[qi].ms) >= b.maxBatch
 	if b.window > 0 && b.timer == nil && !full {
 		b.timer = time.AfterFunc(b.window, func() { b.Flush() })
 	}
@@ -218,9 +272,11 @@ func (b *Batcher) Flush() {
 		b.mu.Unlock()
 		return
 	}
-	queues, order := b.queues, b.order
-	b.queues = make(map[string][]Message, len(queues))
-	b.order = nil
+	// Swap the pending queues out against the (empty) flush scratch and
+	// clear the index in place: the map's storage, both destQueue
+	// slices and every message slice live on to the next cycle.
+	b.batches, b.flushing = b.flushing[:0], b.batches
+	clear(b.index)
 	b.pending = 0
 	if b.timer != nil {
 		b.timer.Stop()
@@ -228,9 +284,22 @@ func (b *Batcher) Flush() {
 	}
 	b.mu.Unlock()
 
-	for _, to := range order {
-		b.deliver(to, queues[to])
+	for i := range b.flushing {
+		b.deliver(b.flushing[i].to, b.flushing[i].ms)
 	}
+
+	// Retire the delivered queues: drop the Message values (they hold
+	// Fields and address references now owned by the receiver) and bank
+	// the slices for reuse.
+	b.mu.Lock()
+	for i := range b.flushing {
+		ms := b.flushing[i].ms
+		clear(ms)
+		b.spare = append(b.spare, ms[:0])
+		b.flushing[i] = destQueue{}
+	}
+	b.flushing = b.flushing[:0]
+	b.mu.Unlock()
 }
 
 // deliver hands one base destination's queue to the endpoint.

@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -288,6 +289,124 @@ func TestBatcherCloseRejectsSends(t *testing.T) {
 	}
 	if err := b.Send("x", Message{}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("send after close: %v, want ErrClosed", err)
+	}
+}
+
+// discardBatchEndpoint accepts batches without recording them, so alloc
+// measurements see only the Batcher's own work.
+type discardBatchEndpoint struct{ batches, messages int }
+
+func (d *discardBatchEndpoint) Addr() string               { return "discard" }
+func (d *discardBatchEndpoint) Inbox() <-chan Message      { return nil }
+func (d *discardBatchEndpoint) Close() error               { return nil }
+func (d *discardBatchEndpoint) Send(string, Message) error { return nil }
+func (d *discardBatchEndpoint) SendBatch(to string, ms []Message) error {
+	d.batches++
+	d.messages += len(ms)
+	return nil
+}
+
+// TestBatcherSteadyStateAllocs pins the batching layer's allocation
+// budget: once the destination index, queue slices and flush scratch
+// have grown to steady state, a full enqueue-and-flush cycle allocates
+// nothing — the map is cleared in place and every slice is recycled.
+func TestBatcherSteadyStateAllocs(t *testing.T) {
+	d := &discardBatchEndpoint{}
+	b := NewBatcher(d, WithMaxBatch(1024))
+	dests := []string{"a#0", "a#1", "b#7", "c#2"}
+	cycle := func() {
+		for i, to := range dests {
+			if err := b.Send(to, Message{Kind: KindPush, Seq: uint64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b.Flush()
+	}
+	cycle() // warm up: build the index, queues and scratch
+	if allocs := testing.AllocsPerRun(100, cycle); allocs > 0 {
+		t.Fatalf("steady-state enqueue+flush cycle allocates %.1f objects, want 0", allocs)
+	}
+	if d.messages == 0 {
+		t.Fatal("discard endpoint saw no messages")
+	}
+}
+
+// TestAppendCodecSteadyStateAllocs pins the append-style codecs: with a
+// reused encode buffer and decode scratch, marshalling a batch and
+// unmarshalling it back allocates nothing once buffers have grown
+// (address-less messages: decoded strings are the one part of the wire
+// format that always allocates).
+func TestAppendCodecSteadyStateAllocs(t *testing.T) {
+	ms := []Message{
+		{Kind: KindPush, Epoch: 3, Seq: 10, Fields: []float64{1, 2, 3}},
+		{Kind: KindReply, Epoch: 3, Seq: 10, Fields: []float64{4, 5, 6}},
+	}
+	var buf []byte
+	var scratch []Message
+	cycle := func() {
+		var err error
+		buf, err = AppendBatch(buf[:0], ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch, err = UnmarshalBatchInto(buf, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scratch) != 2 || scratch[1].Fields[2] != 6 {
+			t.Fatalf("round trip corrupted: %+v", scratch)
+		}
+	}
+	cycle() // warm up: grow buf and scratch to steady state
+	if allocs := testing.AllocsPerRun(100, cycle); allocs > 0 {
+		t.Fatalf("steady-state append-encode/decode cycle allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestAppendBatchMatchesMarshalBatch: the append-style encoder and the
+// allocating wrapper produce identical frames, including when appending
+// after existing bytes.
+func TestAppendBatchMatchesMarshalBatch(t *testing.T) {
+	ms := []Message{
+		{Kind: KindPush, Epoch: 1, Seq: 2, From: "a#1", To: "b#2", Fields: []float64{1.5}, Gossip: []string{"c#3"}},
+		{Kind: KindNack, Epoch: 1, Seq: 2, From: "b#2", To: "a#1"},
+	}
+	classic, err := MarshalBatch(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte{0xAA, 0xBB}
+	appended, err := AppendBatch(append([]byte{}, prefix...), ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(appended[:2], prefix) || !reflect.DeepEqual(appended[2:], classic) {
+		t.Fatalf("append encoding diverges:\nclassic: %x\nappend:  %x", classic, appended)
+	}
+}
+
+// TestUnmarshalBatchIntoReusesScratch: decoded messages land in the
+// caller's scratch storage (same backing array, Fields capacity kept),
+// and errors return an empty slice over that storage.
+func TestUnmarshalBatchIntoReusesScratch(t *testing.T) {
+	frame, err := MarshalBatch([]Message{{Kind: KindPush, Seq: 1, Fields: []float64{7, 8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]Message, 4, 8)
+	scratch[0].Fields = make([]float64, 0, 16)
+	out, err := UnmarshalBatchInto(frame, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || cap(out) != cap(scratch) {
+		t.Fatalf("scratch not reused: len=%d cap=%d, want 1/%d", len(out), cap(out), cap(scratch))
+	}
+	if cap(out[0].Fields) != 16 || out[0].Fields[1] != 8 {
+		t.Fatalf("fields scratch not reused: %+v (cap %d)", out[0].Fields, cap(out[0].Fields))
+	}
+	if bad, err := UnmarshalBatchInto([]byte{batchMarker, 0, 0}, scratch); err == nil || len(bad) != 0 {
+		t.Fatalf("malformed frame: out=%v err=%v", bad, err)
 	}
 }
 

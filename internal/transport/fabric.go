@@ -141,6 +141,13 @@ func (f *Fabric) deliver(from, to string, m Message) error {
 // filter once and the loss model per message (batching must not change
 // loss semantics). All survivors share one drawn latency so the batch
 // arrives in order, like one framed packet on a real network.
+//
+// The slice ms is never retained past the call (BatchSender contract:
+// callers recycle it), but the messages themselves — including their
+// Fields/Gossip backing arrays — are handed to the receiver by
+// reference: the fabric is a zero-copy transport, and buffer ownership
+// passes from sender to receiver. A dropped message's buffers are
+// simply abandoned to the garbage collector.
 func (f *Fabric) deliverBatch(from, to string, ms []Message) error {
 	f.mu.Lock()
 	if f.filter != nil && !f.filter(from, to) {
@@ -153,8 +160,10 @@ func (f *Fabric) deliverBatch(from, to string, ms []Message) error {
 		return fmt.Errorf("%w: %s", ErrPeerUnreachable, to)
 	}
 	survivors := ms
+	detached := false // survivors no longer aliases the caller's ms
 	if f.dropProb > 0 {
 		survivors = make([]Message, 0, len(ms))
+		detached = true
 		for _, m := range ms {
 			if !f.rng.Bool(f.dropProb) {
 				survivors = append(survivors, m)
@@ -174,6 +183,11 @@ func (f *Fabric) deliverBatch(from, to string, ms []Message) error {
 	}
 	if delay > 0 {
 		batch := survivors
+		if !detached {
+			// The caller recycles ms as soon as we return; a delayed
+			// delivery must hold its own copy of the message values.
+			batch = append([]Message(nil), survivors...)
+		}
 		time.AfterFunc(delay, func() {
 			for _, m := range batch {
 				dst.enqueue(m)

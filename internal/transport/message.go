@@ -87,33 +87,44 @@ var (
 	ErrClosed = errors.New("transport: endpoint closed")
 )
 
-// MarshalBinary encodes the message in the frame layout
-//
-//	kind u8 | epoch u64 | seq u64 | from u16+bytes | to u16+bytes |
-//	nfields u16 + f64s | ngossip u16 + (u16+bytes)*
-//
-// using big-endian integers and IEEE-754 bits for floats.
-func (m *Message) MarshalBinary() ([]byte, error) {
+// wireSize returns the encoded frame length, validating the variable
+// parts against the wire limits.
+func (m *Message) wireSize() (int, error) {
 	if len(m.From) > maxAddrLen {
-		return nil, fmt.Errorf("%w: from address %d bytes", ErrMalformedMessage, len(m.From))
+		return 0, fmt.Errorf("%w: from address %d bytes", ErrMalformedMessage, len(m.From))
 	}
 	if len(m.To) > maxAddrLen {
-		return nil, fmt.Errorf("%w: to address %d bytes", ErrMalformedMessage, len(m.To))
+		return 0, fmt.Errorf("%w: to address %d bytes", ErrMalformedMessage, len(m.To))
 	}
 	if len(m.Fields) > maxFields {
-		return nil, fmt.Errorf("%w: %d fields", ErrMalformedMessage, len(m.Fields))
+		return 0, fmt.Errorf("%w: %d fields", ErrMalformedMessage, len(m.Fields))
 	}
 	if len(m.Gossip) > maxGossip {
-		return nil, fmt.Errorf("%w: %d gossip entries", ErrMalformedMessage, len(m.Gossip))
+		return 0, fmt.Errorf("%w: %d gossip entries", ErrMalformedMessage, len(m.Gossip))
 	}
 	size := 1 + 8 + 8 + 2 + len(m.From) + 2 + len(m.To) + 2 + 8*len(m.Fields) + 2
 	for _, g := range m.Gossip {
 		if len(g) > maxAddrLen {
-			return nil, fmt.Errorf("%w: gossip address %d bytes", ErrMalformedMessage, len(g))
+			return 0, fmt.Errorf("%w: gossip address %d bytes", ErrMalformedMessage, len(g))
 		}
 		size += 2 + len(g)
 	}
-	buf := make([]byte, 0, size)
+	return size, nil
+}
+
+// AppendBinary appends the message's frame to buf and returns the
+// extended slice, in the layout
+//
+//	kind u8 | epoch u64 | seq u64 | from u16+bytes | to u16+bytes |
+//	nfields u16 + f64s | ngossip u16 + (u16+bytes)*
+//
+// using big-endian integers and IEEE-754 bits for floats. Passing a
+// reused buffer (buf[:0] of a previous call) makes encoding
+// allocation-free once the buffer has grown to its steady-state size.
+func (m *Message) AppendBinary(buf []byte) ([]byte, error) {
+	if _, err := m.wireSize(); err != nil {
+		return buf, err
+	}
 	buf = append(buf, byte(m.Kind))
 	buf = binary.BigEndian.AppendUint64(buf, m.Epoch)
 	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
@@ -133,7 +144,23 @@ func (m *Message) MarshalBinary() ([]byte, error) {
 	return buf, nil
 }
 
-// UnmarshalBinary decodes a frame produced by MarshalBinary.
+// MarshalBinary encodes the message into a freshly allocated,
+// exactly-sized frame. Hot paths reuse a caller-owned buffer with
+// AppendBinary instead.
+func (m *Message) MarshalBinary() ([]byte, error) {
+	size, err := m.wireSize()
+	if err != nil {
+		return nil, err
+	}
+	return m.AppendBinary(make([]byte, 0, size))
+}
+
+// UnmarshalBinary decodes a frame produced by MarshalBinary or
+// AppendBinary. The decoded Fields and Gossip reuse m's existing
+// backing arrays when they have capacity (append-into semantics), so a
+// caller that recycles its Message values decodes without allocating
+// new vectors; pass a zero Message for fully fresh slices. Decoded
+// strings always allocate.
 func (m *Message) UnmarshalBinary(b []byte) error {
 	r := reader{buf: b}
 	kind := r.u8()
@@ -153,15 +180,15 @@ func (m *Message) UnmarshalBinary(b []byte) error {
 	if nf > maxFields {
 		return fmt.Errorf("%w: field count %d", ErrMalformedMessage, nf)
 	}
-	m.Fields = make([]float64, nf)
-	for i := range m.Fields {
-		m.Fields[i] = math.Float64frombits(r.u64())
+	m.Fields = m.Fields[:0]
+	for i := 0; i < nf; i++ {
+		m.Fields = append(m.Fields, math.Float64frombits(r.u64()))
 	}
 	ng := int(r.u16())
 	if ng > maxGossip {
 		return fmt.Errorf("%w: gossip count %d", ErrMalformedMessage, ng)
 	}
-	m.Gossip = make([]string, 0, ng)
+	m.Gossip = m.Gossip[:0]
 	for i := 0; i < ng; i++ {
 		gl := int(r.u16())
 		if gl > maxAddrLen {

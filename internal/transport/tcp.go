@@ -39,10 +39,14 @@ type TCPEndpoint struct {
 
 // tcpConn is one outbound connection with its own write lock, so a
 // slow destination only serializes writes to itself, not the whole
-// endpoint.
+// endpoint. enc is the connection's reusable encode buffer (guarded by
+// wmu): each frame is assembled in it — length header included, so one
+// kernel write ships the whole packet — and its capacity persists
+// across sends, making steady-state encoding allocation-free.
 type tcpConn struct {
 	net.Conn
 	wmu sync.Mutex
+	enc []byte
 }
 
 var (
@@ -89,16 +93,20 @@ func (e *TCPEndpoint) Send(to string, m Message) error {
 	if m.To == "" {
 		m.To = to
 	}
-	frame, err := m.MarshalBinary()
+	conn, err := e.conn(to)
 	if err != nil {
-		return err
+		return e.connErr(to, err)
 	}
-	return e.write(to, frame)
+	conn.wmu.Lock()
+	buf, encErr := m.AppendBinary(append(conn.enc[:0], 0, 0, 0, 0))
+	return e.writeFramed(to, conn, buf, encErr)
 }
 
 // SendBatch implements BatchSender: the whole batch travels as one
 // framed multi-message packet, amortizing the header, the connection
-// lookup and the kernel write across every coalesced message.
+// lookup, the encode buffer and the kernel write across every coalesced
+// message. The slice ms is not retained past the call; the messages are
+// serialized, so the caller keeps ownership of their buffers.
 func (e *TCPEndpoint) SendBatch(to string, ms []Message) error {
 	for i := range ms {
 		if ms[i].From == "" {
@@ -108,35 +116,44 @@ func (e *TCPEndpoint) SendBatch(to string, ms []Message) error {
 			ms[i].To = to
 		}
 	}
-	frame, err := MarshalBatch(ms)
+	conn, err := e.conn(to)
 	if err != nil {
-		return err
+		return e.connErr(to, err)
 	}
-	return e.write(to, frame)
+	conn.wmu.Lock()
+	buf, encErr := AppendBatch(append(conn.enc[:0], 0, 0, 0, 0), ms)
+	return e.writeFramed(to, conn, buf, encErr)
 }
 
-// write frames and sends one wire payload to the destination.
-func (e *TCPEndpoint) write(to string, frame []byte) error {
-	if len(frame) > maxFrameSize {
-		return fmt.Errorf("%w: frame of %d bytes", ErrMalformedMessage, len(frame))
-	}
-	conn, err := e.conn(to)
+// connErr normalizes a connection-establishment failure.
+func (e *TCPEndpoint) connErr(to string, err error) error {
 	if errors.Is(err, ErrClosed) {
 		return err
 	}
-	if err != nil {
-		return fmt.Errorf("%w: %s: %v", ErrPeerUnreachable, to, err)
+	return fmt.Errorf("%w: %s: %v", ErrPeerUnreachable, to, err)
+}
+
+// writeFramed backfills the 4-byte length header reserved at the front
+// of buf and ships the packet with one kernel write. The caller holds
+// conn.wmu and has encoded the payload into buf (which starts at
+// conn.enc's storage); writeFramed banks the grown buffer for reuse and
+// releases the lock.
+func (e *TCPEndpoint) writeFramed(to string, conn *tcpConn, buf []byte, encErr error) error {
+	payload := len(buf) - 4
+	if encErr == nil && payload > maxFrameSize {
+		encErr = fmt.Errorf("%w: frame of %d bytes", ErrMalformedMessage, payload)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-	conn.wmu.Lock()
-	err = conn.SetWriteDeadline(time.Now().Add(e.writeTimeout))
+	if encErr != nil {
+		conn.enc = buf[:0]
+		conn.wmu.Unlock()
+		return encErr
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(payload))
+	err := conn.SetWriteDeadline(time.Now().Add(e.writeTimeout))
 	if err == nil {
-		_, err = conn.Write(hdr[:])
+		_, err = conn.Write(buf)
 	}
-	if err == nil {
-		_, err = conn.Write(frame)
-	}
+	conn.enc = buf[:0]
 	conn.wmu.Unlock()
 	if err != nil {
 		e.evict(BaseAddr(to), conn)
@@ -221,31 +238,39 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		e.mu.Unlock()
 	}()
 	var hdr [4]byte
+	var rbuf []byte            // reusable frame read buffer (strings/fields are copied out by the decoder)
+	var scratch, one []Message // reusable decode targets
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return
 		}
-		size := binary.BigEndian.Uint32(hdr[:])
+		size := int(binary.BigEndian.Uint32(hdr[:]))
 		if size == 0 || size > maxFrameSize {
 			return // protocol violation; drop the connection
 		}
-		frame := make([]byte, size)
+		if cap(rbuf) < size {
+			rbuf = make([]byte, size)
+		}
+		frame := rbuf[:size]
 		if _, err := io.ReadFull(conn, frame); err != nil {
 			return
 		}
 		var ms []Message
 		if IsBatchFrame(frame) {
-			batch, err := UnmarshalBatch(frame)
+			batch, err := UnmarshalBatchInto(frame, scratch)
 			if err != nil {
 				return
 			}
-			ms = batch
+			ms, scratch = batch, batch
 		} else {
-			var m Message
-			if err := m.UnmarshalBinary(frame); err != nil {
+			if one == nil {
+				one = make([]Message, 1)
+			}
+			one[0] = Message{}
+			if err := one[0].UnmarshalBinary(frame); err != nil {
 				return
 			}
-			ms = append(ms, m)
+			ms = one[:1]
 		}
 		e.mu.Lock()
 		closed := e.closed
@@ -253,12 +278,16 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		if closed {
 			return
 		}
-		for _, m := range ms {
+		for i := range ms {
 			select {
-			case e.inbox <- m:
+			case e.inbox <- ms[i]:
 			default: // inbox overflow: drop, like a saturated socket buffer
 			}
 		}
+		// Delivered messages now belong to the inbox's consumer; zero the
+		// scratch entries so the next decode cannot overwrite their
+		// Fields/Gossip buffers.
+		clear(ms)
 	}
 }
 

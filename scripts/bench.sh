@@ -1,0 +1,92 @@
+#!/usr/bin/env sh
+# Runs the repo's perf-gate benchmarks and emits a machine-readable
+# record of the performance trajectory:
+#
+#	./scripts/bench.sh                 # full sweep (minutes, includes n=10⁶)
+#	BENCH_QUICK=1 ./scripts/bench.sh   # CI smoke subset (n=10⁴ variants)
+#	BENCH_OUT=custom.json ./scripts/bench.sh
+#
+# The output (default BENCH_PR5.json) is a JSON array with one object
+# per benchmark result: name, n (parsed from the n=… sub-benchmark
+# label, null when absent) and every reported metric — ns/op,
+# allocs/op, exchanges/s, ns/exchange, allocs/exchange, completion, …
+# CI runs the quick subset on every PR and uploads the file as an
+# artifact, so the exchange-rate and allocation trajectory of the hot
+# paths is recorded per commit instead of living only in PR
+# descriptions.
+#
+# Covered gates:
+#   BenchmarkKernelMillionNode  — sharded SoA simulation kernel
+#   BenchmarkRuntimeExchange    — live runtime saturation throughput
+#   BenchmarkRuntimeSustained   — sustained harness (asserts ≈0
+#                                 allocs/exchange and completion floors)
+#   BenchmarkSystemReduce       — streaming observation fold
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_PR5.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+if [ "${BENCH_QUICK:-0}" = "1" ]; then
+	KERNEL='BenchmarkKernelMillionNode/n=10000$'
+	EXCHANGE='BenchmarkRuntimeExchange/mode=heap/n=10000$'
+	SUSTAINED='BenchmarkRuntimeSustained/n=10000$'
+	REDUCE_TIME='10x'
+else
+	KERNEL='BenchmarkKernelMillionNode'
+	EXCHANGE='BenchmarkRuntimeExchange'
+	SUSTAINED='BenchmarkRuntimeSustained'
+	REDUCE_TIME='100x'
+fi
+
+# Run every gate even if an earlier one fails its assertions: the JSON
+# below is written from whatever completed, so a failing run still
+# leaves its partial perf record behind for the CI artifact — that is
+# exactly the run someone will want numbers for. The script's exit
+# status still reports the first failure. (No pipeline here: a
+# `{...} | tee` group would run in a subshell and lose $status.)
+status=0
+bench() {
+	if ! "$@" >>"$TMP" 2>&1; then
+		status=1
+	fi
+}
+bench go test -run '^$' -bench "$KERNEL" -benchtime 1x -benchmem .
+bench go test -run '^$' -bench "$EXCHANGE" -benchtime 1x -benchmem ./internal/engine
+bench go test -run '^$' -bench "$SUSTAINED" -benchtime 1x -benchmem -timeout 30m ./internal/engine
+bench go test -run '^$' -bench 'BenchmarkSystemReduce$' -benchtime "$REDUCE_TIME" -benchmem .
+cat "$TMP"
+
+awk '
+function key(unit) {
+	if (unit == "ns/op") return "ns_per_op"
+	if (unit == "B/op") return "bytes_per_op"
+	if (unit == "allocs/op") return "allocs_per_op"
+	if (unit == "exchanges/s") return "exchanges_per_s"
+	if (unit == "ns/exchange") return "ns_per_exchange"
+	if (unit == "allocs/exchange") return "allocs_per_exchange"
+	if (unit == "replies/initiated") return "replies_per_initiated"
+	if (unit == "completion") return "completion"
+	if (unit == "steps/cycle") return "steps_per_cycle"
+	return ""
+}
+BEGIN { print "["; first = 1 }
+/^Benchmark/ && NF >= 4 {
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+	n = "null"
+	if (match(name, /n=[0-9]+/)) n = substr(name, RSTART + 2, RLENGTH - 2)
+	if (!first) printf ",\n"
+	first = 0
+	printf "  {\"name\":\"%s\",\"n\":%s,\"iterations\":%s", name, n, $2
+	for (i = 3; i + 1 <= NF; i += 2) {
+		k = key($(i + 1))
+		if (k != "") printf ",\"%s\":%s", k, $i
+	}
+	printf "}"
+}
+END { print "\n]" }
+' "$TMP" >"$OUT"
+echo "wrote $OUT"
+exit "$status"

@@ -6,6 +6,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -32,8 +33,10 @@ type Running = stats.Running
 type Estimate struct {
 	// Field names the reduced schema field.
 	Field string
-	// Seq is the snapshot index since Watch started (0-based); zero
-	// for one-shot Query snapshots.
+	// Seq is the snapshot index since the field's watch fan-out started
+	// (0-based); all subscribers of one field observe the same sequence,
+	// and a gap means the receiver fell behind and skipped snapshots.
+	// Zero for one-shot Query snapshots.
 	Seq int
 	// Time is when the snapshot was taken.
 	Time time.Time
@@ -275,8 +278,106 @@ type System struct {
 	node    *engine.Node    // single-node TCP shape
 	nodes   []*Node
 
+	// watchMu guards the per-field fan-out hubs; reduceCount counts
+	// snapshot reductions (observability for the fan-out sharing tests).
+	watchMu     sync.Mutex
+	hubs        map[string]*watchHub
+	reduceCount atomic.Uint64
+
 	done      chan struct{}
 	closeOnce sync.Once
+}
+
+// watchSub is one Watch subscriber: a one-slot channel holding the most
+// recent snapshot, and the context whose cancellation unsubscribes it.
+type watchSub struct {
+	ch  chan Estimate
+	ctx context.Context
+}
+
+// watchHub fans one field's per-cycle snapshot out to every subscriber:
+// however many watchers a field has, its state is reduced once per
+// cycle. The hub goroutine starts with the first subscriber and exits —
+// removing itself from the system's hub table — when the last one
+// unsubscribes (or the system closes).
+type watchHub struct {
+	sys   *System
+	field string
+	seq   int
+	subs  []*watchSub
+}
+
+// add registers a subscriber. Caller holds sys.watchMu.
+func (h *watchHub) add(ctx context.Context) *watchSub {
+	sub := &watchSub{ch: make(chan Estimate, 1), ctx: ctx}
+	h.subs = append(h.subs, sub)
+	return sub
+}
+
+// run is the hub goroutine: one snapshot per cycle, delivered
+// latest-wins to every live subscriber; cancelled subscribers are
+// pruned (their channels closed) at the tick following cancellation —
+// within one cycle, like the snapshots themselves.
+func (h *watchHub) run() {
+	ticker := time.NewTicker(h.sys.cycle)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-h.sys.done:
+			h.sys.watchMu.Lock()
+			for _, sub := range h.subs {
+				close(sub.ch)
+			}
+			h.subs = nil
+			delete(h.sys.hubs, h.field)
+			h.sys.watchMu.Unlock()
+			return
+		case <-ticker.C:
+		}
+		h.sys.watchMu.Lock()
+		live := h.subs[:0]
+		for _, sub := range h.subs {
+			if sub.ctx.Err() != nil {
+				close(sub.ch)
+				continue
+			}
+			live = append(live, sub)
+		}
+		for i := len(live); i < len(h.subs); i++ {
+			h.subs[i] = nil
+		}
+		h.subs = live
+		if len(h.subs) == 0 {
+			delete(h.sys.hubs, h.field)
+			h.sys.watchMu.Unlock()
+			return
+		}
+		subs := h.subs
+		h.sys.watchMu.Unlock()
+
+		est, err := h.sys.snapshot(context.Background(), h.field, h.seq)
+		if err != nil {
+			continue // transient: the system may be mid-close
+		}
+		h.seq++
+		for _, sub := range subs {
+			// Latest-wins delivery: replace a stale undelivered snapshot
+			// rather than blocking the hub (and every other subscriber)
+			// on one slow receiver.
+			select {
+			case sub.ch <- est:
+			default:
+				select {
+				case <-sub.ch:
+				default:
+				}
+				select {
+				case sub.ch <- est:
+				default:
+				}
+			}
+		}
+	}
 }
 
 // Open assembles a live aggregation system from functional options and
@@ -522,6 +623,7 @@ func (s *System) Reduce(ctx context.Context, field string, r Reducer) error {
 
 // reduce dispatches the fold to the backend.
 func (s *System) reduce(field string, fn func(float64)) error {
+	s.reduceCount.Add(1)
 	switch {
 	case s.cluster != nil:
 		return s.cluster.ReduceField(field, fn)
@@ -562,41 +664,29 @@ func (s *System) snapshot(ctx context.Context, field string, seq int) (Estimate,
 
 // Watch streams one typed snapshot of the named field per cycle (Δt)
 // until ctx is cancelled or the system closes, then closes the
-// channel. A blocked receiver delays subsequent snapshots rather than
-// dropping them. Cancellation takes effect within one cycle.
+// channel. Cancellation takes effect within one cycle.
+//
+// All subscribers of one field share a single fan-out hub: the field is
+// reduced once per cycle no matter how many watchers it has, and every
+// watcher observes the same Seq sequence. Delivery is latest-wins: a
+// receiver that falls behind finds the most recent snapshot in its
+// channel, with Seq gaps marking the skipped ones.
 func (s *System) Watch(ctx context.Context, field string) (<-chan Estimate, error) {
 	if _, err := s.schema.Index(field); err != nil {
 		return nil, err
 	}
-	ch := make(chan Estimate, 1)
-	go func() {
-		defer close(ch)
-		ticker := time.NewTicker(s.cycle)
-		defer ticker.Stop()
-		seq := 0
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-s.done:
-				return
-			case <-ticker.C:
-			}
-			est, err := s.snapshot(ctx, field, seq)
-			if err != nil {
-				return
-			}
-			seq++
-			select {
-			case ch <- est:
-			case <-ctx.Done():
-				return
-			case <-s.done:
-				return
-			}
-		}
-	}()
-	return ch, nil
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	if s.hubs == nil {
+		s.hubs = make(map[string]*watchHub)
+	}
+	hub, ok := s.hubs[field]
+	if !ok {
+		hub = &watchHub{sys: s, field: field}
+		s.hubs[field] = hub
+		go hub.run()
+	}
+	return hub.add(ctx).ch, nil
 }
 
 // WaitConverged polls once per cycle until the named field's

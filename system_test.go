@@ -172,6 +172,86 @@ func TestOpenContextScopesLifetime(t *testing.T) {
 	}
 }
 
+// TestWatchFanOutSharesReduces: however many subscribers watch one
+// field, its state is reduced once per cycle — the per-field fan-out
+// hub decouples observation cost from subscriber count. Each
+// subscriber still receives live estimates of the shared sequence.
+func TestWatchFanOutSharesReduces(t *testing.T) {
+	const cycle = 10 * time.Millisecond
+	const subscribers = 16
+	sys, err := Open(
+		WithSize(12),
+		WithCycleLength(cycle),
+		WithSeed(21),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	chans := make([]<-chan Estimate, subscribers)
+	for i := range chans {
+		ch, err := sys.Watch(ctx, "avg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+
+	// Every subscriber must see live estimates (first wait includes the
+	// hub's warm-up tick, so give it generous slack).
+	for i, ch := range chans {
+		select {
+		case est, ok := <-ch:
+			if !ok || est.Field != "avg" || est.Nodes != 12 {
+				t.Fatalf("subscriber %d: estimate %+v ok=%v", i, est, ok)
+			}
+		case <-time.After(100 * cycle):
+			t.Fatalf("subscriber %d starved", i)
+		}
+	}
+
+	// Measure reductions over a window of W cycles with all subscribers
+	// attached: one shared hub must reduce ~W times, not ~W×16. The
+	// bound of 3W leaves room for ticker jitter while failing hard on
+	// per-subscriber reduction (which would be ≥ 16W).
+	const window = 20
+	before := sys.reduceCount.Load()
+	time.Sleep(window * cycle)
+	delta := sys.reduceCount.Load() - before
+	if delta == 0 {
+		t.Fatal("hub performed no reductions during the window")
+	}
+	if delta > 3*window {
+		t.Fatalf("%d reductions over %d cycles with %d subscribers; fan-out is not shared (want ≤ %d)",
+			delta, window, subscribers, 3*window)
+	}
+
+	// The shared sequence: two subscribers' next estimates come from the
+	// same hub counter (monotone, same field).
+	a, b := <-chans[0], <-chans[1]
+	if a.Field != b.Field {
+		t.Fatalf("subscribers disagree on field: %q vs %q", a.Field, b.Field)
+	}
+
+	// Cancelling the shared context closes every subscriber channel
+	// within a few cycles, and the hub winds down.
+	cancel()
+	deadline := time.After(20 * cycle)
+	for i, ch := range chans {
+		for open := true; open; {
+			select {
+			case _, ok := <-ch:
+				open = ok
+			case <-deadline:
+				t.Fatalf("subscriber %d channel survived cancellation", i)
+			}
+		}
+	}
+}
+
 // TestOpenTCPSingleNodePair: two size-1 TCP systems (the aggnode
 // shape) find each other through gossip and converge. Exponential
 // waits break the two-node constant-wait pathology where mutual
