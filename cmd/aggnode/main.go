@@ -16,9 +16,9 @@
 // picked up (§4 adaptivity).
 //
 // With -local N > 1 one process hosts N nodes on the sharded
-// event-heap runtime: -workers sets the pool size, -batch the message
-// coalescing window. This is the shape that scales a single process to
-// 10⁵+ protocol participants:
+// event-heap runtime: -workers sets the parallel pool size (default
+// one per core), -batch the message coalescing window. This is the
+// shape that scales a single process to 10⁵+ protocol participants:
 //
 //	aggnode -local 10000 -workers 4 -batch 2ms \
 //	        -listen 127.0.0.1:7001 -peers otherhost:7001
@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -53,7 +54,7 @@ func run() error {
 	view := flag.Int("view", 8, "membership view capacity")
 	report := flag.Duration("report", 2*time.Second, "interval between printed estimates")
 	local := flag.Int("local", 1, "number of nodes hosted by this process (> 1 uses the event-heap runtime)")
-	workers := flag.Int("workers", 0, "heap runtime: worker pool size (0: GOMAXPROCS)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "heap runtime: parallel worker pool size")
 	batch := flag.Duration("batch", 0, "heap runtime: message coalescing window (0: flush every scheduler round)")
 	flag.Parse()
 	if *local < 1 {
@@ -90,8 +91,8 @@ func run() error {
 	defer sys.Close()
 
 	probe := sys.Nodes()[0]
-	fmt.Printf("aggnode hosting %d node(s), first endpoint %s (value %g, Δt %v, batch window %v)\n",
-		sys.Size(), probe.Addr(), *value, *cycle, *batch)
+	fmt.Printf("aggnode hosting %d node(s) on %d worker(s), first endpoint %s (value %g, Δt %v, batch window %v)\n",
+		sys.Size(), max(sys.Workers(), 1), probe.Addr(), *value, *cycle, *batch)
 
 	ticker := time.NewTicker(*report)
 	defer ticker.Stop()
@@ -111,9 +112,10 @@ func run() error {
 			now := time.Now()
 			rate := float64(s.Initiated-lastInitiated) / now.Sub(lastReport).Seconds()
 			lastInitiated, lastReport = s.Initiated, now
-			fmt.Printf("epoch=%d avg=%.4f min=%.4f max=%.4f exchanges=%d/%d rate=%.0f/s timeouts=%d busy=%d\n",
+			perWorker := rate / float64(max(sys.Workers(), 1))
+			fmt.Printf("epoch=%d avg=%.4f min=%.4f max=%.4f exchanges=%d/%d rate=%.0f/s (%.0f/s/worker) timeouts=%d busy=%d\n",
 				probe.Epoch(), summary.Mean, summary.Min, summary.Max,
-				s.Replies, s.Initiated, rate, s.Timeouts, s.PeerBusy)
+				s.Replies, s.Initiated, rate, perWorker, s.Timeouts, s.PeerBusy)
 		}
 	}
 }

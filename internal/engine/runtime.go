@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"strconv"
 	"strings"
@@ -22,10 +23,12 @@ import (
 type RuntimeMode uint8
 
 const (
-	// ModeGoroutine is the historical runtime: one active goroutine and
+	// ModeGoroutine is the legacy runtime: one active goroutine and
 	// one dispatcher goroutine per node. Simple and maximally
 	// asynchronous, but two goroutines, a timer and a channel-backed
-	// inbox per node stop scaling around 10⁴ nodes per process.
+	// inbox per node stop scaling around 10⁴ nodes per process. It
+	// remains the zero value at this layer for compatibility; the
+	// public repro.Open front door defaults to ModeHeap.
 	ModeGoroutine RuntimeMode = iota
 	// ModeHeap multiplexes every local node onto a small worker pool:
 	// each worker owns a contiguous shard of nodes, drives their
@@ -33,7 +36,10 @@ const (
 	// scheduling model, sim.EventHeap) and coalesces same-destination
 	// messages through a transport.Batcher. One endpoint per worker —
 	// nodes are addressed with "endpoint#index" sub-addresses — so a
-	// single process sustains 10⁵–10⁶ nodes.
+	// single process sustains 10⁵–10⁶ nodes, and the workers run
+	// genuinely in parallel: one goroutine per shard, a round-granular
+	// lock per shard, and work stealing between shards (see DESIGN.md,
+	// "Concurrency model & shard ownership").
 	ModeHeap
 )
 
@@ -187,6 +193,7 @@ type Runtime struct {
 	stopOnce   sync.Once
 	started    atomic.Bool
 	stopped    atomic.Bool
+	steals     atomic.Uint64 // rounds run by a non-owner worker
 }
 
 // rnode is one hosted node's protocol state, guarded by its shard's mu.
@@ -208,8 +215,34 @@ type failure struct {
 	from string
 }
 
+// shardCounters is one shard's slice of the runtime-wide Stats,
+// maintained as atomics so observers aggregate them lock-free (see
+// Runtime.Stats). Only the owning round-holder writes them (a plain
+// Add under the shard's round lock), so the atomicity is purely for
+// the cross-goroutine reads. The trailing pad keeps one shard's
+// counters from false-sharing a cache line with whatever the allocator
+// places after the rshard.
+type shardCounters struct {
+	initiated     atomic.Uint64
+	replies       atomic.Uint64
+	timeouts      atomic.Uint64
+	served        atomic.Uint64
+	epochSwitches atomic.Uint64
+	staleDropped  atomic.Uint64
+	sendErrors    atomic.Uint64
+	busyDropped   atomic.Uint64
+	peerBusy      atomic.Uint64
+	_             [56]byte // pad 9×8 B of counters to two full cache lines
+}
+
 // rshard is one worker's slice of the runtime: a contiguous node range,
 // an endpoint, a batcher and an event heap.
+//
+// Everything under mu is owned by whichever goroutine holds the round
+// lock — normally the shard's own worker, occasionally a sibling
+// stealing a round (see Runtime.trySteal). The lock is taken once per
+// scheduler round, not per message, so the hot path pays one
+// uncontended Lock/Unlock per eventBudget of work.
 type rshard struct {
 	rt     *Runtime
 	id     int
@@ -224,11 +257,26 @@ type rshard struct {
 	free    localFree // Fields buffer free list, guarded by mu
 	seq     uint64
 
+	ctr shardCounters
+
+	// nextDue is the float64 bit pattern of the shard's earliest
+	// scheduled event time (+Inf when the heap is empty), published at
+	// the end of every round so idle siblings can spot a shard that has
+	// fallen behind schedule without touching its lock.
+	nextDue atomic.Uint64
+
 	failMu   sync.Mutex
 	failures []failure
 
 	done chan struct{}
 }
+
+// publishNextDue records the shard's earliest pending event time for
+// the benefit of would-be stealers.
+func (s *rshard) publishNextDue(at float64) { s.nextDue.Store(math.Float64bits(at)) }
+
+// loadNextDue returns the shard's last published earliest event time.
+func (s *rshard) loadNextDue() float64 { return math.Float64frombits(s.nextDue.Load()) }
 
 // NewRuntime builds (but does not start) a heap-mode runtime.
 func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
@@ -377,6 +425,11 @@ func (rt *Runtime) Start(ctx context.Context) {
 				phase := s.nodes[i-s.lo].rng.Float64() * cycle
 				s.heap.Push(sim.Event{At: phase, Node: int32(i), Kind: evWake})
 			}
+			if ev, ok := s.heap.Peek(); ok {
+				s.publishNextDue(ev.At)
+			} else {
+				s.publishNextDue(math.Inf(1))
+			}
 			s.mu.Unlock()
 			go s.run()
 		}
@@ -496,23 +549,23 @@ func (rt *Runtime) SetValue(i int, v float64) {
 }
 
 // Stats returns the element-wise sum of every hosted node's counters.
+// The fold reads the per-shard atomic counter blocks — O(workers), no
+// locks — so Watch-style polling never stalls the workers it measures.
+// Counters within one shard are read without a snapshot barrier, so a
+// momentarily in-progress exchange may show as initiated but not yet
+// replied; every counter is individually exact.
 func (rt *Runtime) Stats() Stats {
 	var agg Stats
 	for _, s := range rt.shards {
-		s.mu.Lock()
-		for i := range s.nodes {
-			st := &s.nodes[i].stats
-			agg.Initiated += st.Initiated
-			agg.Replies += st.Replies
-			agg.Timeouts += st.Timeouts
-			agg.Served += st.Served
-			agg.EpochSwitches += st.EpochSwitches
-			agg.StaleDropped += st.StaleDropped
-			agg.SendErrors += st.SendErrors
-			agg.BusyDropped += st.BusyDropped
-			agg.PeerBusy += st.PeerBusy
-		}
-		s.mu.Unlock()
+		agg.Initiated += s.ctr.initiated.Load()
+		agg.Replies += s.ctr.replies.Load()
+		agg.Timeouts += s.ctr.timeouts.Load()
+		agg.Served += s.ctr.served.Load()
+		agg.EpochSwitches += s.ctr.epochSwitches.Load()
+		agg.StaleDropped += s.ctr.staleDropped.Load()
+		agg.SendErrors += s.ctr.sendErrors.Load()
+		agg.BusyDropped += s.ctr.busyDropped.Load()
+		agg.PeerBusy += s.ctr.peerBusy.Load()
 	}
 	return agg
 }
@@ -548,16 +601,13 @@ func (s *rshard) noteFailures(to string, ms []transport.Message, err error) {
 	s.failMu.Unlock()
 }
 
-// applyFailures charges recorded send failures to their sender nodes.
-func (s *rshard) applyFailures() {
+// applyFailuresLocked charges recorded send failures to their sender
+// nodes. The caller holds s.mu.
+func (s *rshard) applyFailuresLocked() {
 	s.failMu.Lock()
 	fails := s.failures
 	s.failures = nil
 	s.failMu.Unlock()
-	if len(fails) == 0 {
-		return
-	}
-	s.mu.Lock()
 	for _, f := range fails {
 		idx, ok := nodeIndex(f.from)
 		if !ok || idx < s.lo || idx >= s.hi {
@@ -565,54 +615,33 @@ func (s *rshard) applyFailures() {
 		}
 		n := &s.nodes[idx-s.lo]
 		n.stats.SendErrors++
+		s.ctr.sendErrors.Add(1)
 		if n.observes {
 			n.sampler.Forget(f.to)
 		}
 		// If the failed message was the in-flight exchange's push, the
 		// reply timeout reaps it; nothing more to do here.
 	}
-	s.mu.Unlock()
 }
 
-// run is the worker loop: drain inbound messages, fire due events,
-// flush coalesced sends, sleep until the next deadline or message.
+// run is the worker loop: run one scheduler round (drain inbound
+// messages, fire due events — one lock acquisition for the whole
+// round), flush coalesced sends, then sleep until the next deadline or
+// message. An idle worker first offers a round of help to the most
+// behind sibling shard (work stealing) before sleeping.
 func (s *rshard) run() {
 	defer close(s.done)
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
 	inbox := s.ep.Inbox()
 	for {
-		s.applyFailures()
-		// Drain everything currently queued.
-	drain:
-		for {
-			select {
-			case m, ok := <-inbox:
-				if !ok {
-					return
-				}
-				s.handleMessage(m)
-			default:
-				break drain
-			}
-		}
-		// Fire due events, at most one chunk per round.
-		budget := eventBudget(s.hi - s.lo)
-		now := s.rt.now()
 		s.mu.Lock()
-		for fired := 0; fired < budget; fired++ {
-			ev, ok := s.heap.Peek()
-			if !ok || ev.At > now {
-				break
-			}
-			s.heap.Pop()
-			s.handleEvent(ev, now)
-		}
-		sleep := time.Hour
-		if ev, ok := s.heap.Peek(); ok {
-			sleep = time.Duration((ev.At - s.rt.now()) * float64(time.Second))
-		}
+		s.applyFailuresLocked()
+		sleep, ok := s.roundLocked(inbox)
 		s.mu.Unlock()
+		if !ok {
+			return
+		}
 		// With no batch window, everything generated this round leaves
 		// as batch frames now; with one, the batcher's own timer (or
 		// the size cap) flushes, trading up to BatchWindow of latency
@@ -630,6 +659,11 @@ func (s *rshard) run() {
 			}
 			continue
 		}
+		// Idle until the next deadline. Spend the slack helping a shard
+		// that has fallen behind schedule, if there is one.
+		if s.rt.trySteal(s.id) {
+			continue
+		}
 		timer.Reset(sleep)
 		select {
 		case <-s.rt.stop:
@@ -638,11 +672,115 @@ func (s *rshard) run() {
 			if !ok {
 				return
 			}
+			s.mu.Lock()
 			s.handleMessage(m)
+			s.mu.Unlock()
 		case <-timer.C:
 		}
 	}
 }
+
+// roundLocked runs one scheduler round: drain queued inbound messages
+// (bounded, so observers are never locked out for a full inbox), fire
+// due events up to the event budget, and publish the shard's next
+// deadline. The caller holds s.mu. It returns how long the shard may
+// sleep before its next event (≤ 0 when it should run again
+// immediately) and ok=false when the inbox has been closed.
+func (s *rshard) roundLocked(inbox <-chan transport.Message) (sleep time.Duration, ok bool) {
+	budget := eventBudget(s.hi - s.lo)
+	drained := 0
+drain:
+	for drained < 4*budget {
+		select {
+		case m, mok := <-inbox:
+			if !mok {
+				return 0, false
+			}
+			drained++
+			s.handleMessage(m)
+		default:
+			break drain
+		}
+	}
+	now := s.rt.now()
+	for fired := 0; fired < budget; fired++ {
+		ev, ok := s.heap.Peek()
+		if !ok || ev.At > now {
+			break
+		}
+		s.heap.Pop()
+		s.handleEvent(ev, now)
+	}
+	sleep = time.Hour
+	if ev, ok := s.heap.Peek(); ok {
+		s.publishNextDue(ev.At)
+		sleep = time.Duration((ev.At - s.rt.now()) * float64(time.Second))
+	} else {
+		s.publishNextDue(math.Inf(1))
+	}
+	if drained == 4*budget {
+		sleep = 0 // inbox may still hold messages; come straight back
+	}
+	return sleep, true
+}
+
+// stealLagFraction is how far behind schedule (as a fraction of the
+// cycle length Δt) a shard's earliest event must be before an idle
+// sibling steals a round for it. Small enough that help arrives well
+// within a cycle, large enough that ordinary scheduling jitter never
+// triggers cross-shard lock traffic.
+const stealLagFraction = 0.25
+
+// trySteal lets an idle worker run one scheduler round for the most
+// behind sibling shard. Shard state stays single-writer per round: the
+// stealer takes the victim's round lock (TryLock — if the owner is
+// mid-round, help isn't needed), so owner and stealer alternate whole
+// rounds rather than interleaving. The win is for skewed load (e.g.
+// scalefree hubs concentrated in one shard): an otherwise idle core
+// runs the hub shard's rounds and flushes its batches while the owner
+// is descheduled or busy flushing. Reports whether a round was stolen.
+func (rt *Runtime) trySteal(self int) bool {
+	if len(rt.shards) < 2 {
+		return false
+	}
+	now := rt.now()
+	worst := stealLagFraction * rt.cfg.CycleLength.Seconds()
+	var victim *rshard
+	for _, s := range rt.shards {
+		if s.id == self {
+			continue
+		}
+		if behind := now - s.loadNextDue(); behind > worst {
+			worst, victim = behind, s
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	return victim.stealRound()
+}
+
+// stealRound runs one round on s from a non-owner goroutine.
+func (s *rshard) stealRound() bool {
+	if !s.mu.TryLock() {
+		return false
+	}
+	s.applyFailuresLocked()
+	_, ok := s.roundLocked(s.ep.Inbox())
+	s.mu.Unlock()
+	if !ok {
+		return false // inbox closed; the owner handles shutdown
+	}
+	s.rt.steals.Add(1)
+	if s.rt.cfg.BatchWindow == 0 {
+		s.out.Flush()
+	}
+	return true
+}
+
+// Steals reports how many scheduler rounds were run by a worker other
+// than the shard's owner (work stealing under skewed load).
+func (rt *Runtime) Steals() uint64 { return rt.steals.Load() }
 
 // handleEvent processes one due event. Caller holds s.mu.
 func (s *rshard) handleEvent(ev sim.Event, now float64) {
@@ -653,19 +791,34 @@ func (s *rshard) handleEvent(ev sim.Event, now float64) {
 		if n.pendingSeq == ev.Seq {
 			n.pendingSeq = 0
 			n.stats.Timeouts++
+			s.ctr.timeouts.Add(1)
 		}
 	case evWake:
 		s.checkClock(n)
+		wait := s.waitSeconds(n)
+		at := ev.At + wait
 		if n.pendingSeq == 0 {
 			s.initiate(n, idx, now)
+		} else if at <= now {
+			// A wake that finds an exchange still in flight initiates
+			// nothing: the goroutine runtime blocks its active loop until
+			// reply-or-timeout, and reaping the exchange here instead
+			// would drop a reply whose passive side already merged — an
+			// asymmetric merge that leaks aggregate mass. The evTimeout
+			// event is the only reaper. A backlogged no-op wake skips
+			// ahead to its first slot past real time: when the shard runs
+			// L behind schedule, re-pushing at ev.At+Δt would be a
+			// treadmill — N·L/Δt no-op wakes ground through in stale
+			// virtual time before the due timeouts behind them ever
+			// surface, wedging every node in pending. The skip must
+			// preserve the node's phase (whole multiples of its wait, not
+			// a clamp to now): clamping re-pins every backlogged node to
+			// the same instant, and a constant-wait shard whose phases
+			// collapse livelocks — every node initiates in the same round
+			// and busy-nacks every push forever after.
+			at += math.Floor((now-at)/wait+1) * wait
 		}
-		// A wake that finds an exchange still in flight initiates
-		// nothing: the goroutine runtime blocks its active loop until
-		// reply-or-timeout, and reaping the exchange here instead would
-		// drop a reply whose passive side already merged — an
-		// asymmetric merge that leaks aggregate mass. The evTimeout
-		// event is the only reaper.
-		s.heap.Push(sim.Event{At: ev.At + s.waitSeconds(n), Node: ev.Node, Kind: evWake})
+		s.heap.Push(sim.Event{At: at, Node: ev.Node, Kind: evWake})
 	}
 }
 
@@ -693,6 +846,7 @@ func (s *rshard) checkClock(n *rnode) {
 func (s *rshard) restart(n *rnode) {
 	copy(n.state, s.rt.initStateFor(n, n.tracker.Current()))
 	n.stats.EpochSwitches++
+	s.ctr.epochSwitches.Add(1)
 }
 
 // initiate performs the active half of one exchange: sample a peer,
@@ -721,6 +875,7 @@ func (s *rshard) initiate(n *rnode, idx int, now float64) {
 		msg.Gossip = n.sampler.Digest(n.rng, s.rt.cfg.GossipFanout)
 	}
 	n.stats.Initiated++
+	s.ctr.initiated.Add(1)
 	if !s.rt.cfg.PushOnly {
 		n.pendingSeq = s.seq
 		s.heap.Push(sim.Event{
@@ -732,16 +887,19 @@ func (s *rshard) initiate(n *rnode, idx int, now float64) {
 	}
 	if err := s.out.Send(peer, msg); err != nil {
 		n.stats.SendErrors++
+		s.ctr.sendErrors.Add(1)
 	}
 }
 
-// handleMessage routes one inbound message to its hosted node. A
-// message addressed to the endpoint's bare base address (no '#'
-// sub-address) is first-contact traffic from a peer that only knows
-// this process's listen address (aggnode -peers host:port); the
-// shard's first node serves it, and the reply's From carries that
-// node's full sub-address, which bootstraps the remote sampler onto
-// proper sub-addresses.
+// handleMessage routes one inbound message to its hosted node. The
+// caller holds s.mu (messages are handled in round-sized batches under
+// one lock acquisition, not one acquisition per message). A message
+// addressed to the endpoint's bare base address (no '#' sub-address)
+// is first-contact traffic from a peer that only knows this process's
+// listen address (aggnode -peers host:port); the shard's first node
+// serves it, and the reply's From carries that node's full
+// sub-address, which bootstraps the remote sampler onto proper
+// sub-addresses.
 func (s *rshard) handleMessage(m transport.Message) {
 	idx, ok := nodeIndex(m.To)
 	if !ok {
@@ -749,8 +907,6 @@ func (s *rshard) handleMessage(m transport.Message) {
 	} else if idx < s.lo || idx >= s.hi {
 		return // misrouted sub-address; drop
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := &s.nodes[idx-s.lo]
 	if n.observes && m.From != "" {
 		n.sampler.Observe(append([]string{m.From}, m.Gossip...)...)
@@ -774,6 +930,7 @@ func (s *rshard) servePush(n *rnode, idx int, m transport.Message) {
 		// atomicity of the elementary step. Decline with a nack, as the
 		// goroutine runtime does.
 		n.stats.BusyDropped++
+		s.ctr.busyDropped.Add(1)
 		s.free.put(m.Fields)
 		nack := transport.Message{
 			Kind:  transport.KindNack,
@@ -783,6 +940,7 @@ func (s *rshard) servePush(n *rnode, idx int, m transport.Message) {
 		}
 		if err := s.out.Send(m.From, nack); err != nil {
 			n.stats.SendErrors++
+			s.ctr.sendErrors.Add(1)
 		}
 		return
 	}
@@ -790,6 +948,7 @@ func (s *rshard) servePush(n *rnode, idx int, m transport.Message) {
 		s.restart(n)
 	} else if !n.tracker.InSync(m.Epoch) {
 		n.stats.StaleDropped++
+		s.ctr.staleDropped.Add(1)
 		s.free.put(m.Fields)
 		return
 	}
@@ -801,6 +960,7 @@ func (s *rshard) servePush(n *rnode, idx int, m transport.Message) {
 		// No reply to build: merge in place and retire the buffer.
 		s.rt.schema.MergeInto(core.State(n.state), core.State(m.Fields))
 		n.stats.Served++
+		s.ctr.served.Add(1)
 		s.free.put(m.Fields)
 		return
 	}
@@ -808,6 +968,7 @@ func (s *rshard) servePush(n *rnode, idx int, m transport.Message) {
 	// push buffer becomes the pre-merge reply payload.
 	s.rt.schema.MergeExchange(core.State(n.state), core.State(m.Fields))
 	n.stats.Served++
+	s.ctr.served.Add(1)
 	reply := transport.Message{
 		Kind:   transport.KindReply,
 		Epoch:  n.tracker.Current(),
@@ -820,6 +981,7 @@ func (s *rshard) servePush(n *rnode, idx int, m transport.Message) {
 	}
 	if err := s.out.Send(m.From, reply); err != nil {
 		n.stats.SendErrors++
+		s.ctr.sendErrors.Add(1)
 	}
 }
 
@@ -834,6 +996,7 @@ func (s *rshard) handleReply(n *rnode, m transport.Message) {
 	n.pendingSeq = 0
 	if m.Kind == transport.KindNack {
 		n.stats.PeerBusy++
+		s.ctr.peerBusy.Add(1)
 		return
 	}
 	if n.tracker.Observe(m.Epoch) {
@@ -841,6 +1004,7 @@ func (s *rshard) handleReply(n *rnode, m transport.Message) {
 		// The reply belongs to the new epoch we just joined; merge it.
 	} else if !n.tracker.InSync(m.Epoch) {
 		n.stats.StaleDropped++
+		s.ctr.staleDropped.Add(1)
 		return
 	}
 	if len(m.Fields) != len(n.state) {
@@ -848,4 +1012,5 @@ func (s *rshard) handleReply(n *rnode, m transport.Message) {
 	}
 	s.rt.schema.MergeInto(core.State(n.state), core.State(m.Fields))
 	n.stats.Replies++
+	s.ctr.replies.Add(1)
 }

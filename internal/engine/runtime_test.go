@@ -4,14 +4,17 @@ import (
 	"context"
 	"math"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/membership"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/transport"
+	"repro/internal/xrand"
 )
 
 func TestRuntimeConfigValidation(t *testing.T) {
@@ -373,6 +376,151 @@ func TestHeapRuntimesBootstrapAcrossProcesses(t *testing.T) {
 	}
 }
 
+// TestTryStealRunsBehindShard pins the work-stealing mechanics without
+// relying on scheduler timing: a runtime is built but not started, one
+// shard's heap is stocked with events that are a full second overdue,
+// and a sibling's trySteal must find it behind, take its round lock,
+// fire those events and advance its published deadline. A shard that
+// is on schedule must not be stolen from.
+func TestTryStealRunsBehindShard(t *testing.T) {
+	rt, err := NewRuntime(RuntimeConfig{
+		Size:        8,
+		Schema:      core.AverageSchema(),
+		CycleLength: 10 * time.Millisecond,
+		Workers:     2,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	victim, helper := rt.shards[0], rt.shards[1]
+
+	// On schedule (next events at +Inf): nothing to steal.
+	rt.epochStart = time.Now()
+	victim.publishNextDue(math.Inf(1))
+	helper.publishNextDue(math.Inf(1))
+	if rt.trySteal(helper.id) {
+		t.Fatal("stole a round from a shard that is on schedule")
+	}
+
+	// A second behind schedule: the helper must run the victim's round.
+	rt.epochStart = time.Now().Add(-time.Second)
+	victim.mu.Lock()
+	for i := victim.lo; i < victim.hi; i++ {
+		victim.heap.Push(sim.Event{At: 0, Node: int32(i), Kind: evWake})
+	}
+	victim.publishNextDue(0)
+	victim.mu.Unlock()
+	if !rt.trySteal(helper.id) {
+		t.Fatal("idle worker did not steal a round from the behind shard")
+	}
+	if got := rt.Steals(); got != 1 {
+		t.Fatalf("Steals() = %d after one stolen round, want 1", got)
+	}
+	if agg := rt.Stats(); agg.Initiated == 0 {
+		t.Fatal("the stolen round fired no due wakes")
+	}
+	if due := victim.loadNextDue(); due == 0 {
+		t.Fatal("the stolen round did not advance the victim's published deadline")
+	}
+}
+
+// hubSampler drives a deliberately skewed workload: with probability
+// 0.9 every push is aimed at one of the first hub sub-addresses (all
+// owned by shard 0), otherwise at a uniform peer — the scalefree-hub
+// load shape that makes one shard run permanently behind while its
+// siblings idle.
+type hubSampler struct {
+	self string
+	all  []string
+	hubs int
+}
+
+var _ membership.Sampler = (*hubSampler)(nil)
+
+func (h *hubSampler) Sample(rng *xrand.Rand) (string, bool) {
+	pool := h.all
+	if rng.Float64() < 0.9 {
+		pool = h.all[:h.hubs]
+	}
+	for try := 0; try < 4; try++ {
+		if a := pool[rng.Intn(len(pool))]; a != h.self {
+			return a, true
+		}
+	}
+	return "", false
+}
+
+func (h *hubSampler) Observe(...string)                {}
+func (h *hubSampler) Digest(*xrand.Rand, int) []string { return nil }
+func (h *hubSampler) Forget(string)                    {}
+
+// TestRuntimeSkewedLoadStealRace hammers the cross-shard path under
+// hub skew: four parallel shard workers, 90% of all pushes aimed at
+// shard 0's four hub nodes, saturating Δt — the regime work stealing
+// exists for — while two observer goroutines spin on the lock-free
+// Stats fold and the shard-locked ReduceField. The assertions are
+// progress and mass conservation; under the race CI job's -race run
+// this doubles as the data-race gate for round stealing, batcher
+// handoff at shard boundaries and the atomic stats counters.
+func TestRuntimeSkewedLoadStealRace(t *testing.T) {
+	const size, workers = 64, 4
+	rt, err := NewRuntime(RuntimeConfig{
+		Size:         size,
+		Schema:       core.AverageSchema(),
+		Value:        func(i int) float64 { return float64(i % 2) },
+		CycleLength:  500 * time.Microsecond,
+		ReplyTimeout: 100 * time.Millisecond,
+		Workers:      workers,
+		Seed:         99,
+		Samplers: func(i int, self string, local []string) (membership.Sampler, error) {
+			return &hubSampler{self: self, all: local, hubs: 4}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start(context.Background())
+
+	stopObs := make(chan struct{})
+	var obs sync.WaitGroup
+	for o := 0; o < 2; o++ {
+		obs.Add(1)
+		go func() {
+			defer obs.Done()
+			for {
+				select {
+				case <-stopObs:
+					return
+				default:
+				}
+				_ = rt.Stats()
+				var run stats.Running
+				_ = rt.ReduceField("avg", run.Add)
+			}
+		}()
+	}
+	time.Sleep(400 * time.Millisecond)
+	close(stopObs)
+	obs.Wait()
+	rt.Stop()
+
+	agg := rt.Stats()
+	if agg.Initiated == 0 || agg.Served == 0 {
+		t.Fatalf("no progress under skewed load: %+v", agg)
+	}
+	var run stats.Running
+	if err := rt.ReduceField("avg", run.Add); err != nil {
+		t.Fatal(err)
+	}
+	if mean := run.Mean(); math.Abs(mean-0.5) > 0.15 {
+		t.Fatalf("mean drifted to %g under skewed load, want ≈ 0.5", mean)
+	}
+	t.Logf("skewed run: %d initiated, %d served, %d busy-nacked, %d rounds stolen",
+		agg.Initiated, agg.Served, agg.BusyDropped, rt.Steals())
+}
+
 // sustainedResult summarizes one sustained-throughput harness run.
 type sustainedResult struct {
 	Stats             Stats
@@ -388,11 +536,12 @@ type sustainedResult struct {
 // TestHeapRuntimeSustains100k and BenchmarkRuntimeSustained: one process
 // hosts size live heap-mode nodes on the in-memory fabric with a
 // saturating Δt = 1 ms and runs until every node has initiated `cycles`
-// exchanges on average. The first two cycles' worth of exchanges are a
-// warm-up (pools filling, batch queues growing to steady state); the
+// exchanges on average. workers pins the shard/worker count (0 keeps
+// the GOMAXPROCS default). The first two cycles' worth of exchanges are
+// a warm-up (pools filling, batch queues growing to steady state); the
 // rest is the measured window, over which steady-state heap mallocs per
 // exchange are accounted with runtime.ReadMemStats.
-func runSustained(tb testing.TB, size, cycles int, deadline time.Duration) sustainedResult {
+func runSustained(tb testing.TB, size, cycles, workers int, deadline time.Duration) sustainedResult {
 	tb.Helper()
 	c, err := NewCluster(ClusterConfig{
 		Size:   size,
@@ -402,6 +551,7 @@ func runSustained(tb testing.TB, size, cycles int, deadline time.Duration) susta
 		CycleLength:  time.Millisecond, // saturating: workers run flat out
 		ReplyTimeout: 300 * time.Millisecond,
 		Mode:         ModeHeap,
+		Workers:      workers,
 		Seed:         42,
 	})
 	if err != nil {
@@ -411,10 +561,10 @@ func runSustained(tb testing.TB, size, cycles int, deadline time.Duration) susta
 	defer c.Stop()
 	rt := c.Runtime()
 	giveUp := time.Now().Add(deadline)
-	// Stats() folds O(size) counters under the shard locks, so the poll
-	// interval scales with size to keep the observer from perturbing the
-	// workers it measures.
-	poll := time.Duration(min(max(size/2000, 2), 250)) * time.Millisecond
+	// Stats() folds O(workers) atomic counters lock-free, so a tight
+	// constant poll never stalls the workers it measures, regardless of
+	// size.
+	poll := 2 * time.Millisecond
 	waitInitiated := func(target uint64) Stats {
 		for {
 			agg := rt.Stats()
@@ -501,7 +651,7 @@ func TestHeapRuntimeSustains100k(t *testing.T) {
 	if testing.Short() {
 		t.Skip("10⁵-node scale run; skipped in -short mode")
 	}
-	res := runSustained(t, 100_000, 20, 3*time.Minute)
+	res := runSustained(t, 100_000, 20, 0, 3*time.Minute)
 	assertSustained(t, res, 0.989)
 	t.Logf("100k-node run: %.0f exchanges/s, completion %.4f, %.4f allocs/exchange, stats %+v",
 		res.PerSecond, res.Completion, res.AllocsPerExchange, res.Stats)
@@ -522,7 +672,7 @@ func TestHeapRuntimeSteadyStateAllocs(t *testing.T) {
 	// against collapse without over-fitting the geometry. 100 cycles ≈
 	// half a second of saturated running — enough wall time for a
 	// meaningful steady-state window at this size.
-	res := runSustained(t, 4096, 100, time.Minute)
+	res := runSustained(t, 4096, 100, 0, time.Minute)
 	assertSustained(t, res, 0.75)
 	t.Logf("4096-node run: %.0f exchanges/s, completion %.4f, %.4f allocs/exchange",
 		res.PerSecond, res.Completion, res.AllocsPerExchange)

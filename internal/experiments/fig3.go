@@ -26,10 +26,11 @@ type Fig3aConfig struct {
 	Topologies []TopologyKind
 	// ViewSize is the degree of the non-complete overlays (20).
 	ViewSize int
-	// Shards routes shardable combinations (seq or pm on the complete
-	// overlay) through the sharded executor: 0 keeps the exact
-	// sequential path, -1 selects one shard per core. Non-shardable
-	// combinations fall back to sequential execution.
+	// Shards routes shardable combinations (any built-in selector on
+	// the complete overlay; pm and pmrand need an even size) through
+	// the sharded executor: 0 keeps the exact sequential path, -1
+	// selects one shard per core. Non-shardable combinations fall back
+	// to sequential execution.
 	Shards int
 	// Seed seeds the whole experiment.
 	Seed uint64
@@ -201,16 +202,18 @@ func hashLabel(sel, topo string, n int) uint64 {
 
 // shardsFor returns the shard count for one selector×topology
 // combination: the requested count when the combination can run on the
-// sharded executor (seq or pm pairing on the complete overlay), else 0
-// (exact sequential execution).
+// sharded executor (any built-in pairing on the complete overlay; pm
+// and pmrand additionally need the even sizes the scenario layer
+// enforces), else 0 (exact sequential execution).
 func shardsFor(shards int, sel string, topo TopologyKind) int {
 	if shards == 0 || topo != Complete {
 		return 0
 	}
-	if sel != "seq" && sel != "pm" {
-		return 0
+	switch sel {
+	case "seq", "pm", "rand", "pmrand":
+		return shards
 	}
-	return shards
+	return 0
 }
 
 // specRunner returns the scenario runner for a sweep: the default

@@ -11,7 +11,8 @@ import (
 // race-free without a single atomic or lock on the value columns.
 //
 // Nodes are partitioned into S contiguous shards. A cycle runs in two
-// phases:
+// phases (illustrated for the default seq pairing; pm, rand and pmrand
+// vary the generate phase — see pmCycle, randCycle and pmrandCycle):
 //
 //  1. Generate: worker w walks its own shard's initiators in order
 //     (every node initiates once per cycle — the practical protocol's
@@ -45,35 +46,48 @@ type step struct {
 	out  uint8 // Outcome
 }
 
+// shardMode selects the sharded pairing generator. Each mirrors one of
+// the §3.3 GETPAIR selectors (seq is the Selector-nil default).
+type shardMode uint8
+
+const (
+	shSeq    shardMode = iota // per-shard seq streams, one initiation per node
+	shPM                      // matchings on the master stream, bit-identical to PM
+	shRand                    // N random edges, drawn in parallel on shard streams
+	shPMRand                  // one matching (master) + N/2 random edges (streams)
+)
+
 // sharder holds the sharded executor's reusable state.
 type sharder struct {
 	k        *Kernel
-	s        int           // shard count
-	pm       bool          // matching-based pm pairing instead of the seq stream
-	rngs     []*xrand.Rand // per-shard RNG streams, split once from the master (seq mode only)
+	s        int // shard count
+	mode     shardMode
+	rngs     []*xrand.Rand // per-shard RNG streams, split once from the master (nil in pm mode)
 	bounds   []int32       // shard s owns nodes [bounds[s], bounds[s+1])
-	buckets  [][][]step
+	buckets  [][][]step    // [initiatorShard][partnerShard]: steps whose initiator the generator owns
+	rbuckets [][][][]step  // [generator][initiatorShard][partnerShard]: steps with random initiators
 	rounds   [][][2]int
 	sizedFor int     // node count the bounds were computed for
-	both     []int32 // pm mode: first ++ second matchings, reused across cycles
+	both     []int32 // pm/pmrand: matching scratch, reused across cycles
 }
 
-// newSharder builds the executor for k.shards shards. In seq mode it
-// derives one deterministic RNG stream per shard from the kernel's
-// master RNG; in pm mode all draws stay on the master stream (so the
-// sharded trajectory is bit-identical to single-shard PM) and nothing
-// is split.
-func newSharder(k *Kernel, pm bool) *sharder {
+// newSharder builds the executor for k.shards shards. Modes that draw
+// steps in parallel (seq, rand, and pmrand's random half) derive one
+// deterministic RNG stream per shard from the kernel's master RNG; in
+// pm mode all draws stay on the master stream (so the sharded
+// trajectory is bit-identical to single-shard PM) and nothing is
+// split.
+func newSharder(k *Kernel, mode shardMode) *sharder {
 	s := k.shards
 	sh := &sharder{
 		k:       k,
 		s:       s,
-		pm:      pm,
+		mode:    mode,
 		bounds:  make([]int32, s+1),
 		buckets: make([][][]step, s),
 		rounds:  buildRounds(s),
 	}
-	if !pm {
+	if mode != shPM {
 		sh.rngs = make([]*xrand.Rand, s)
 		for w := 0; w < s; w++ {
 			sh.rngs[w] = k.rng.Split()
@@ -81,6 +95,19 @@ func newSharder(k *Kernel, pm bool) *sharder {
 	}
 	for w := 0; w < s; w++ {
 		sh.buckets[w] = make([][]step, s)
+	}
+	if mode == shRand || mode == shPMRand {
+		// Random-edge steps have a random initiator, so a generating
+		// worker can produce steps for any (initiator, partner) shard
+		// pair; each worker buckets into its own S×S grid and the
+		// tournament drains all workers' grids in a fixed order.
+		sh.rbuckets = make([][][][]step, s)
+		for w := 0; w < s; w++ {
+			sh.rbuckets[w] = make([][][]step, s)
+			for a := 0; a < s; a++ {
+				sh.rbuckets[w][a] = make([][]step, s)
+			}
+		}
 	}
 	return sh
 }
@@ -117,6 +144,13 @@ func (sh *sharder) reset() {
 			sh.buckets[w][t] = sh.buckets[w][t][:0]
 		}
 	}
+	for w := range sh.rbuckets {
+		for a := range sh.rbuckets[w] {
+			for b := range sh.rbuckets[w][a] {
+				sh.rbuckets[w][a][b] = sh.rbuckets[w][a][b][:0]
+			}
+		}
+	}
 }
 
 // shardOf returns the shard owning node j under the current bounds.
@@ -151,6 +185,28 @@ func (sh *sharder) generate(w int) {
 	}
 }
 
+// generateRand draws `count` uniformly random edges on worker w's
+// private stream (GETPAIR_RAND: random node, then random neighbor —
+// uniform over directed edges), bucketing each by both endpoints'
+// shards, since a random initiator lands in any shard.
+func (sh *sharder) generateRand(w, count int) {
+	k := sh.k
+	rng := sh.rngs[w]
+	for t := 0; t < count; t++ {
+		var i, j int
+		for {
+			i = rng.Intn(k.n)
+			if nb, ok := k.graph.RandomNeighbor(i, rng); ok {
+				j = nb
+				break
+			}
+		}
+		out := uint8(k.loss.Draw(rng))
+		a, b := sh.shardOf(int32(i)), sh.shardOf(int32(j))
+		sh.rbuckets[w][a][b] = append(sh.rbuckets[w][a][b], step{i: int32(i), j: int32(j), out: out})
+	}
+}
+
 // execute applies both directions of one tournament match: first the
 // steps initiated in shard a toward shard b, then the reverse. The
 // caller guarantees exclusive ownership of both shards' columns for
@@ -159,6 +215,19 @@ func (sh *sharder) execute(a, b int) {
 	sh.applyBucket(sh.buckets[a][b])
 	if a != b {
 		sh.applyBucket(sh.buckets[b][a])
+	}
+}
+
+// executeR is execute for the random-initiator grids: one tournament
+// match drains every generating worker's (a,b) and (b,a) buckets in
+// fixed worker order, which keeps the trajectory deterministic for a
+// given (seed, shard count).
+func (sh *sharder) executeR(a, b int) {
+	for w := 0; w < sh.s; w++ {
+		sh.applyBucket(sh.rbuckets[w][a][b])
+		if a != b {
+			sh.applyBucket(sh.rbuckets[w][b][a])
+		}
 	}
 }
 
@@ -188,8 +257,15 @@ func (k *Kernel) shardCycle() {
 	if k.phi != nil {
 		clear(k.phi[:k.n])
 	}
-	if sh.pm {
+	switch sh.mode {
+	case shPM:
 		sh.pmCycle()
+		return
+	case shRand:
+		sh.randCycle()
+		return
+	case shPMRand:
+		sh.pmrandCycle()
 		return
 	}
 	sh.reset()
@@ -202,24 +278,88 @@ func (k *Kernel) shardCycle() {
 		}(w)
 	}
 	wg.Wait()
-	sh.runTournament()
+	sh.runTournament(sh.execute)
 }
 
 // runTournament applies every generated bucket through the fixed
 // round-robin schedule: one worker per match, all matches of a round
-// concurrent, a barrier between rounds.
-func (sh *sharder) runTournament() {
+// concurrent, a barrier between rounds. exec is the per-match drain —
+// execute for initiator-owned buckets, executeR for the
+// random-initiator grids.
+func (sh *sharder) runTournament(exec func(a, b int)) {
 	var wg sync.WaitGroup
 	for _, round := range sh.rounds {
 		for _, m := range round {
 			wg.Add(1)
 			go func(a, b int) {
 				defer wg.Done()
-				sh.execute(a, b)
+				exec(a, b)
 			}(m[0], m[1])
 		}
 		wg.Wait()
 	}
+}
+
+// randCycle is the parallel random-edge pairing (GETPAIR_RAND): the
+// cycle's N independent edge draws are split contiguously across the
+// shard streams, generated concurrently, and executed through the
+// tournament on the random-initiator grids. Reordering independent
+// uniform draws changes nothing statistically, so the 1/e rate of
+// §3.3.2 is preserved (TestShardedRates).
+func (sh *sharder) randCycle() {
+	sh.reset()
+	sh.randPhase(sh.k.n)
+}
+
+// randPhase generates `total` random-edge steps split contiguously
+// across the shard streams and executes them through the tournament.
+// The caller has reset the buckets.
+func (sh *sharder) randPhase(total int) {
+	base, rem := total/sh.s, total%sh.s
+	var wg sync.WaitGroup
+	for w := 0; w < sh.s; w++ {
+		count := base
+		if w < rem {
+			count++
+		}
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			sh.generateRand(w, count)
+		}(w, count)
+	}
+	wg.Wait()
+	sh.runTournament(sh.executeR)
+}
+
+// pmrandCycle is the parallel PM-then-random pairing (GETPAIR_PMRAND):
+// one perfect matching drawn on the master stream and executed as a
+// bucketed tournament phase (pairs are disjoint, so the phase is
+// order-free), then N/2 random edges generated in parallel on the
+// shard streams exactly like randCycle. The per-cycle selection count
+// stays φ = 1 + Poisson(1), the distribution behind the paper's
+// 1/(2√e) rate.
+func (sh *sharder) pmrandCycle() {
+	k := sh.k
+	n := k.n
+	if n%2 != 0 {
+		panic("sim: sharded pmrand pairing needs an even node count")
+	}
+	if cap(sh.both) < n {
+		sh.both = make([]int32, n)
+	}
+	matching := sh.both[:n]
+	randomMatching(matching, k.rng)
+	sh.reset()
+	for p := 0; p < n; p += 2 {
+		u, v := matching[p], matching[p+1]
+		out := uint8(k.loss.Draw(k.rng))
+		sh.buckets[sh.shardOf(u)][sh.shardOf(v)] = append(sh.buckets[sh.shardOf(u)][sh.shardOf(v)], step{i: u, j: v, out: out})
+	}
+	sh.runTournament(sh.execute)
+
+	sh.reset()
+	sh.randPhase(n / 2)
 }
 
 // pmCycle is the matching-based parallel pairing (GETPAIR_PM): draw two
@@ -251,7 +391,7 @@ func (sh *sharder) pmCycle() {
 			w := sh.shardOf(u)
 			sh.buckets[w][t] = append(sh.buckets[w][t], step{i: u, j: v, out: out})
 		}
-		sh.runTournament()
+		sh.runTournament(sh.execute)
 	}
 }
 

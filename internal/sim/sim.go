@@ -239,7 +239,7 @@ func New(cfg Config) (*Kernel, error) {
 		if cfg.Wait != nil {
 			return nil, fmt.Errorf("sim: event-based execution (Wait) is single-shard only")
 		}
-		pm := false
+		mode := shSeq
 		switch cfg.Selector.(type) {
 		case nil:
 			// Built-in seq pairing with per-shard RNG streams.
@@ -247,17 +247,30 @@ func New(cfg Config) (*Kernel, error) {
 			// Matching-based parallel pairing: both perfect matchings are
 			// drawn on the master stream and executed through the
 			// tournament, bit-identical to single-shard PM (see shard.go).
-			pm = true
+			mode = shPM
 			if k.n%2 != 0 {
 				return nil, fmt.Errorf("%w (n=%d)", ErrOddSize, k.n)
 			}
 			if cfg.Churn != nil {
 				return nil, fmt.Errorf("sim: sharded pm pairing does not compose with churn (node count must stay even)")
 			}
+		case *Rand:
+			// Independent uniform edge draws parallelize freely across
+			// the shard streams; no parity or churn constraints.
+			mode = shRand
+		case *PMRand:
+			// The matching half needs the same parity guarantee as pm.
+			mode = shPMRand
+			if k.n%2 != 0 {
+				return nil, fmt.Errorf("%w (n=%d)", ErrOddSize, k.n)
+			}
+			if cfg.Churn != nil {
+				return nil, fmt.Errorf("sim: sharded pmrand pairing does not compose with churn (node count must stay even)")
+			}
 		default:
-			return nil, fmt.Errorf("sim: sharded execution supports the built-in seq pairing (Selector nil) or pm, not %q", cfg.Selector.Name())
+			return nil, fmt.Errorf("sim: sharded execution supports the built-in selectors (Selector nil for seq, pm, rand, pmrand), not %q", cfg.Selector.Name())
 		}
-		k.sh = newSharder(k, pm)
+		k.sh = newSharder(k, mode)
 	} else {
 		k.sel = cfg.Selector
 		if k.sel == nil {

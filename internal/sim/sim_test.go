@@ -169,6 +169,60 @@ func TestShardedStatisticallyEquivalent(t *testing.T) {
 	}
 }
 
+// TestShardedRates extends the statistical acceptance gate to the
+// random-initiator generators: sharded rand and pmrand must reproduce
+// their §3.3 closed-form one-cycle reduction rates (1/e and 1/(2√e))
+// within the same noise band as the sequential selectors, even though
+// the steps are drawn on parallel shard streams and executed in
+// tournament order.
+func TestShardedRates(t *testing.T) {
+	const n, cycles, runs = 10000, 10, 6
+	for _, tc := range []struct {
+		name string
+		sel  func() sim.Selector
+	}{
+		{"rand", func() sim.Selector { return sim.NewRand() }},
+		{"pmrand", func() sim.Selector { return sim.NewPMRand() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var acc stats.Running
+			for r := 0; r < runs; r++ {
+				k := newKernel(t, n, tc.sel(), 4, 3000+uint64(r)*104729)
+				v := k.Run(cycles)
+				acc.Add(math.Pow(v[len(v)-1]/v[0], 1/float64(cycles)))
+			}
+			want, _ := avg.TheoreticalRate(tc.name)
+			if got := acc.Mean(); math.Abs(got-want) > 0.02 {
+				t.Fatalf("sharded %s rate %.4f strayed from theory %.4f", tc.name, got, want)
+			}
+		})
+	}
+}
+
+// TestShardedRandDeterministicForSeedAndShards: the random-initiator
+// generators bucket into per-worker grids drained in fixed order, so
+// they too must be bit-reproducible for a fixed (seed, shard count).
+func TestShardedRandDeterministicForSeedAndShards(t *testing.T) {
+	for _, name := range []string{"rand", "pmrand"} {
+		t.Run(name, func(t *testing.T) {
+			run := func() []float64 {
+				sel, err := sim.NewSelector(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				k := newKernel(t, 4000, sel, 4, 903)
+				return k.Run(10)
+			}
+			a, b := run(), run()
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("sharded %s trajectories diverge at cycle %d: %g vs %g", name, i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
 // TestShardedPMBitIdenticalToSequential: the matching-based parallel
 // pm generator draws its matchings and loss outcomes on the master
 // stream, and pairs within one matching are disjoint (their merges

@@ -188,16 +188,10 @@ func (f *Fabric) deliverBatch(from, to string, ms []Message) error {
 			// delivery must hold its own copy of the message values.
 			batch = append([]Message(nil), survivors...)
 		}
-		time.AfterFunc(delay, func() {
-			for _, m := range batch {
-				dst.enqueue(m)
-			}
-		})
+		time.AfterFunc(delay, func() { dst.enqueueAll(batch) })
 		return nil
 	}
-	for _, m := range survivors {
-		dst.enqueue(m)
-	}
+	dst.enqueueAll(survivors)
 	return nil
 }
 
@@ -293,6 +287,24 @@ func (e *memEndpoint) enqueue(m Message) {
 	select {
 	case e.inbox <- m:
 	default: // inbox overflow: drop, like a saturated socket buffer
+	}
+}
+
+// enqueueAll appends a whole batch under one lock acquisition — the
+// receiving endpoint's cost of a cross-shard batch frame is one mutex
+// round-trip, not one per message. Per-message drop semantics (full
+// inbox, closed endpoint) are identical to enqueue.
+func (e *memEndpoint) enqueueAll(ms []Message) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	for _, m := range ms {
+		select {
+		case e.inbox <- m:
+		default: // inbox overflow: drop, like a saturated socket buffer
+		}
 	}
 }
 

@@ -108,9 +108,10 @@ const (
 	ExponentialWait = engine.ExponentialWait
 )
 
-// Runtime modes for ClusterConfig.Mode and WithMode: one goroutine pair
-// per node (the historical default) or the sharded event-heap scheduler
-// that hosts 10⁵+ nodes per process.
+// Runtime modes for ClusterConfig.Mode and WithMode: the parallel
+// sharded event-heap scheduler that hosts 10⁵+ nodes per process (the
+// default), or one goroutine pair per node (the historical default,
+// kept as a scheduling cross-check).
 const (
 	ModeGoroutine = engine.ModeGoroutine
 	ModeHeap      = engine.ModeHeap

@@ -86,11 +86,16 @@ func TestSimulateSharded(t *testing.T) {
 			t.Fatalf("pm cycle %d: sharded %g vs sequential %g", i, shardPM.Variances[i], seqPM.Variances[i])
 		}
 	}
+	shardRand, err := Simulate(SimulationConfig{Size: 2000, Selector: "rand", Shards: 4, Cycles: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRand, _ := TheoreticalRate("rand")
+	if math.Abs(shardRand.ReductionRate-wantRand) > 0.03 {
+		t.Fatalf("sharded rand reduction rate %.4f, want ≈ %.4f", shardRand.ReductionRate, wantRand)
+	}
 	if _, err := Simulate(SimulationConfig{Size: 500, Shards: 4, Topology: "ring"}); err == nil {
 		t.Error("sharded non-complete topology accepted")
-	}
-	if _, err := Simulate(SimulationConfig{Size: 500, Shards: 4, Selector: "rand"}); err == nil {
-		t.Error("sharded rand selector accepted")
 	}
 	if _, err := Simulate(SimulationConfig{Size: 500, Shards: AutoShards, Cycles: 2, Seed: 8}); err != nil {
 		t.Errorf("AutoShards rejected: %v", err)

@@ -180,10 +180,9 @@ func TestSimulateAsyncEquivalentToRun(t *testing.T) {
 func TestAutoShardsFallsBackToSequential(t *testing.T) {
 	ctx := context.Background()
 	for name, spec := range map[string]scenario.Spec{
-		"rand-selector": {Size: 400, Cycles: 2, Selector: scenario.SelectorRand, Shards: AutoShards, Seed: 1},
-		"pmrand":        {Size: 400, Cycles: 2, Selector: scenario.SelectorPMRand, Shards: AutoShards, Seed: 3},
-		"ring-topology": {Size: 400, Cycles: 2, Topology: scenario.TopologyRing, Shards: AutoShards, Seed: 2},
-		"wait-mode":     {Size: 400, Cycles: 2, Wait: scenario.WaitConstant, Shards: AutoShards, Seed: 4},
+		"size-estimation": {Size: 400, Cycles: 4, SizeEstimation: &scenario.SizeEstimationSpec{EpochCycles: 2}, Shards: AutoShards, Seed: 3},
+		"ring-topology":   {Size: 400, Cycles: 2, Topology: scenario.TopologyRing, Shards: AutoShards, Seed: 2},
+		"wait-mode":       {Size: 400, Cycles: 2, Wait: scenario.WaitConstant, Shards: AutoShards, Seed: 4},
 	} {
 		res, err := Run(ctx, spec)
 		if err != nil {
@@ -198,27 +197,33 @@ func TestAutoShardsFallsBackToSequential(t *testing.T) {
 		}
 	}
 	// The fallback also covers the deprecated wrapper.
-	res, err := Simulate(SimulationConfig{Size: 400, Selector: "rand", Cycles: 2, Shards: AutoShards, Seed: 5})
+	res, err := Simulate(SimulationConfig{Size: 400, Topology: "ring", Cycles: 2, Shards: AutoShards, Seed: 5})
 	if err != nil {
-		t.Fatalf("Simulate with AutoShards rand: %v", err)
+		t.Fatalf("Simulate with AutoShards on the ring topology: %v", err)
 	}
 	if res.Sharded {
 		t.Error("Simulate reported sharded execution after fallback")
 	}
 	// Shardable combinations still shard under an explicit count (and
 	// under AutoShards whenever GOMAXPROCS > 1 — not asserted here so
-	// single-core CI stays green).
-	if res, err := Run(ctx, scenario.Spec{Size: 4000, Cycles: 2, Shards: 4, Seed: 6}); err != nil {
-		t.Fatal(err)
-	} else if !res.Sharded {
-		t.Error("explicit 4-shard seq spec did not run sharded")
+	// single-core CI stays green). Every built-in selector shards.
+	for name, spec := range map[string]scenario.Spec{
+		"seq":    {Size: 4000, Cycles: 2, Shards: 4, Seed: 6},
+		"rand":   {Size: 4000, Cycles: 2, Selector: scenario.SelectorRand, Shards: 4, Seed: 7},
+		"pmrand": {Size: 4000, Cycles: 2, Selector: scenario.SelectorPMRand, Shards: 4, Seed: 8},
+	} {
+		if res, err := Run(ctx, spec); err != nil {
+			t.Errorf("%s: explicit 4-shard spec: %v", name, err)
+		} else if !res.Sharded {
+			t.Errorf("explicit 4-shard %s spec did not run sharded", name)
+		}
 	}
 	// ...and explicit shard counts on unsupported combinations error.
-	if _, err := Run(ctx, scenario.Spec{Size: 400, Cycles: 2, Selector: scenario.SelectorRand, Shards: 4}); err == nil {
-		t.Error("explicit shards with rand selector accepted")
+	if _, err := Run(ctx, scenario.Spec{Size: 401, Cycles: 2, Selector: scenario.SelectorPMRand, Shards: 4}); err == nil {
+		t.Error("explicit shards with pmrand selector at odd size accepted")
 	}
-	if _, err := Simulate(SimulationConfig{Size: 400, Selector: "rand", Shards: 4}); err == nil {
-		t.Error("Simulate with explicit shards and rand selector accepted")
+	if _, err := Simulate(SimulationConfig{Size: 401, Selector: "pmrand", Shards: 4}); err == nil {
+		t.Error("Simulate with explicit shards and odd-size pmrand accepted")
 	}
 }
 

@@ -398,8 +398,13 @@ func (wk *worker) kernel(s Spec, graph topology.Graph, n int, rng *xrand.Rand) (
 	sharded := s.Shards != 0 && s.Shards != 1
 	if sharded {
 		cfg.Shards = s.Shards
-		if s.Selector == SelectorPM {
+		switch s.Selector {
+		case SelectorPM:
 			cfg.Selector = sim.NewPM()
+		case SelectorRand:
+			cfg.Selector = sim.NewRand()
+		case SelectorPMRand:
+			cfg.Selector = sim.NewPMRand()
 		}
 	} else {
 		switch s.Wait {

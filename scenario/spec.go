@@ -148,10 +148,11 @@ type Spec struct {
 	// Shards selects the executor: 0 (default) the exact sequential
 	// path, ≥ 2 the sharded tournament executor, AutoShards (-1) one
 	// shard per GOMAXPROCS worker. The sharded executor supports the
-	// complete topology with the seq or pm selector; an explicit count
-	// on any other combination is an error, while AutoShards falls
-	// back to sequential execution (RunResult.Sharded reports which
-	// executor actually ran).
+	// complete topology with any of the built-in selectors (pm and
+	// pmrand additionally need an even size and no churn); an explicit
+	// count on an unsupported combination is an error, while AutoShards
+	// falls back to sequential execution (RunResult.Sharded reports
+	// which executor actually ran).
 	Shards int `json:"shards,omitempty"`
 	// Repeats is the number of independent repetitions (default 1).
 	Repeats int `json:"repeats,omitempty"`
@@ -177,9 +178,10 @@ func (s Spec) shardable() bool {
 		return false
 	}
 	switch s.Selector {
-	case SelectorSeq:
+	case SelectorSeq, SelectorRand:
 		return true
-	case SelectorPM:
+	case SelectorPM, SelectorPMRand:
+		// The matching halves need a fixed even population.
 		return s.Size%2 == 0 && s.Churn == nil
 	default:
 		return false
@@ -284,16 +286,16 @@ func (s Spec) normalized() (Spec, error) {
 			return s, fmt.Errorf("scenario: %s: sharded execution requires the complete topology", s.describe())
 		}
 		switch s.Selector {
-		case SelectorSeq:
-		case SelectorPM:
+		case SelectorSeq, SelectorRand:
+		case SelectorPM, SelectorPMRand:
 			if s.Size%2 != 0 {
-				return s, fmt.Errorf("scenario: %s: sharded pm pairing needs an even size, got %d", s.describe(), s.Size)
+				return s, fmt.Errorf("scenario: %s: sharded %s pairing needs an even size, got %d", s.describe(), s.Selector, s.Size)
 			}
 			if s.Churn != nil {
-				return s, fmt.Errorf("scenario: %s: sharded pm pairing does not compose with churn", s.describe())
+				return s, fmt.Errorf("scenario: %s: sharded %s pairing does not compose with churn", s.describe(), s.Selector)
 			}
 		default:
-			return s, fmt.Errorf("scenario: %s: sharded execution supports the seq or pm selector, not %q", s.describe(), s.Selector)
+			return s, fmt.Errorf("scenario: %s: sharded execution does not support selector %q", s.describe(), s.Selector)
 		}
 	}
 	if s.TargetRatio < 0 || s.TargetRatio >= 1 {

@@ -2,41 +2,57 @@
 # Runs the repo's perf-gate benchmarks and emits a machine-readable
 # record of the performance trajectory:
 #
-#	./scripts/bench.sh                 # full sweep (minutes, includes n=10⁶)
-#	BENCH_QUICK=1 ./scripts/bench.sh   # CI smoke subset (n=10⁴ variants)
+#	./scripts/bench.sh                     # full sweep (minutes, includes n=10⁶)
+#	BENCH_QUICK=1 ./scripts/bench.sh       # CI smoke subset (n=10⁴ variants)
+#	BENCH_MULTICORE=1 ./scripts/bench.sh   # multi-core scaling gate only
 #	BENCH_OUT=custom.json ./scripts/bench.sh
 #
-# The output (default BENCH_PR5.json) is a JSON array with one object
+# The output (default BENCH_PR6.json) is a JSON array with one object
 # per benchmark result: name, n (parsed from the n=… sub-benchmark
 # label, null when absent) and every reported metric — ns/op,
-# allocs/op, exchanges/s, ns/exchange, allocs/exchange, completion, …
-# CI runs the quick subset on every PR and uploads the file as an
-# artifact, so the exchange-rate and allocation trajectory of the hot
-# paths is recorded per commit instead of living only in PR
-# descriptions.
+# allocs/op, exchanges/s, exchanges/s/worker, ns/exchange,
+# allocs/exchange, completion, … CI runs the quick subset plus the
+# multi-core scaling gate on every PR and uploads the files as
+# artifacts, so the exchange-rate, allocation and parallel-scaling
+# trajectory of the hot paths is recorded per commit instead of living
+# only in PR descriptions.
 #
 # Covered gates:
-#   BenchmarkKernelMillionNode  — sharded SoA simulation kernel
-#   BenchmarkRuntimeExchange    — live runtime saturation throughput
-#   BenchmarkRuntimeSustained   — sustained harness (asserts ≈0
-#                                 allocs/exchange and completion floors)
-#   BenchmarkSystemReduce       — streaming observation fold
+#   BenchmarkKernelMillionNode        — sharded SoA simulation kernel
+#   BenchmarkRuntimeExchange          — live runtime saturation throughput
+#   BenchmarkRuntimeSustained         — sustained harness (asserts ≈0
+#                                       allocs/exchange and completion floors)
+#   BenchmarkRuntimeSustainedScaling  — parallel shard workers 1→GOMAXPROCS
+#                                       (asserts near-linear speedup when the
+#                                       host has the cores; multi-core mode)
+#   BenchmarkSystemReduce             — streaming observation fold
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR5.json}"
+OUT="${BENCH_OUT:-BENCH_PR6.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-if [ "${BENCH_QUICK:-0}" = "1" ]; then
+# BENCH_MULTICORE=1 runs only the multi-core scaling gate — the CI
+# bench-multicore step's shape, kept separate from the single-core
+# smoke so the historical single-worker trajectory stays comparable.
+if [ "${BENCH_MULTICORE:-0}" = "1" ]; then
+	KERNEL=''
+	EXCHANGE=''
+	SUSTAINED=''
+	SCALING='BenchmarkRuntimeSustainedScaling'
+	REDUCE_TIME=''
+elif [ "${BENCH_QUICK:-0}" = "1" ]; then
 	KERNEL='BenchmarkKernelMillionNode/n=10000$'
 	EXCHANGE='BenchmarkRuntimeExchange/mode=heap/n=10000$'
 	SUSTAINED='BenchmarkRuntimeSustained/n=10000$'
+	SCALING=''
 	REDUCE_TIME='10x'
 else
 	KERNEL='BenchmarkKernelMillionNode'
 	EXCHANGE='BenchmarkRuntimeExchange'
-	SUSTAINED='BenchmarkRuntimeSustained'
+	SUSTAINED='BenchmarkRuntimeSustained$'
+	SCALING='BenchmarkRuntimeSustainedScaling'
 	REDUCE_TIME='100x'
 fi
 
@@ -52,10 +68,21 @@ bench() {
 		status=1
 	fi
 }
-bench go test -run '^$' -bench "$KERNEL" -benchtime 1x -benchmem .
-bench go test -run '^$' -bench "$EXCHANGE" -benchtime 1x -benchmem ./internal/engine
-bench go test -run '^$' -bench "$SUSTAINED" -benchtime 1x -benchmem -timeout 30m ./internal/engine
-bench go test -run '^$' -bench 'BenchmarkSystemReduce$' -benchtime "$REDUCE_TIME" -benchmem .
+if [ -n "$KERNEL" ]; then
+	bench go test -run '^$' -bench "$KERNEL" -benchtime 1x -benchmem .
+fi
+if [ -n "$EXCHANGE" ]; then
+	bench go test -run '^$' -bench "$EXCHANGE" -benchtime 1x -benchmem ./internal/engine
+fi
+if [ -n "$SUSTAINED" ]; then
+	bench go test -run '^$' -bench "$SUSTAINED" -benchtime 1x -benchmem -timeout 30m ./internal/engine
+fi
+if [ -n "$SCALING" ]; then
+	bench go test -run '^$' -bench "$SCALING" -benchtime 1x -benchmem -timeout 60m ./internal/engine
+fi
+if [ -n "$REDUCE_TIME" ]; then
+	bench go test -run '^$' -bench 'BenchmarkSystemReduce$' -benchtime "$REDUCE_TIME" -benchmem .
+fi
 cat "$TMP"
 
 awk '
@@ -64,6 +91,7 @@ function key(unit) {
 	if (unit == "B/op") return "bytes_per_op"
 	if (unit == "allocs/op") return "allocs_per_op"
 	if (unit == "exchanges/s") return "exchanges_per_s"
+	if (unit == "exchanges/s/worker") return "exchanges_per_s_per_worker"
 	if (unit == "ns/exchange") return "ns_per_exchange"
 	if (unit == "allocs/exchange") return "allocs_per_exchange"
 	if (unit == "replies/initiated") return "replies_per_initiated"

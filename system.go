@@ -156,10 +156,11 @@ func WithWaitPolicy(p WaitPolicy) Option {
 	}
 }
 
-// WithMode selects the scheduler for in-memory systems: ModeGoroutine
-// (default, two goroutines per node) or ModeHeap (sharded event-heap
-// worker pool, the 10⁵-nodes-per-process path). Multi-node TCP systems
-// always run the heap runtime.
+// WithMode selects the scheduler for in-memory systems: ModeHeap
+// (default, a parallel sharded event-heap worker pool — the
+// 10⁵-nodes-per-process path) or ModeGoroutine (the legacy two
+// goroutines per node, useful as a scheduling cross-check). Multi-node
+// TCP systems always run the heap runtime.
 func WithMode(m RuntimeMode) Option {
 	return func(c *sysConfig) error {
 		c.mode = m
@@ -391,7 +392,7 @@ func Open(opts ...Option) (*System, error) {
 		cycle:  100 * time.Millisecond,
 		seed:   1,
 		view:   8,
-		mode:   engine.ModeGoroutine,
+		mode:   engine.ModeHeap,
 		ctx:    context.Background(),
 		value:  func(int) float64 { return 0 },
 		schema: NewAverageSchema(),
@@ -582,6 +583,21 @@ func (s *System) Size() int { return len(s.nodes) }
 // Nodes returns per-node handles in index order (point queries,
 // SetValue, Addr).
 func (s *System) Nodes() []*Node { return s.nodes }
+
+// Workers returns the heap scheduler's parallel worker (shard) count,
+// or 0 when the system runs the legacy goroutine-per-node mode or the
+// deployable single-node TCP shape (both schedule without shards).
+func (s *System) Workers() int {
+	switch {
+	case s.rt != nil:
+		return s.rt.Workers()
+	case s.cluster != nil:
+		if rt := s.cluster.Runtime(); rt != nil {
+			return rt.Workers()
+		}
+	}
+	return 0
+}
 
 // Schema returns the gossiped field schema.
 func (s *System) Schema() *Schema { return s.schema }
