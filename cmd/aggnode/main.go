@@ -22,6 +22,16 @@
 //
 //	aggnode -local 10000 -workers 4 -batch 2ms \
 //	        -listen 127.0.0.1:7001 -peers otherhost:7001
+//
+// Observability: -ops ADDR starts the operational HTTP endpoint
+// (Prometheus /metrics, /healthz, /varz, /debug/pprof/), -trace N
+// samples every N-th exchange per shard into a trace ring printed with
+// each report, and the periodic report itself includes completion
+// percentage, the observed convergence factor ρ̂, steal counts and
+// per-worker balance:
+//
+//	aggnode -local 100000 -listen 127.0.0.1:7001 \
+//	        -ops 127.0.0.1:9090 -trace 1000
 package main
 
 import (
@@ -56,6 +66,8 @@ func run() error {
 	local := flag.Int("local", 1, "number of nodes hosted by this process (> 1 uses the event-heap runtime)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "heap runtime: parallel worker pool size")
 	batch := flag.Duration("batch", 0, "heap runtime: message coalescing window (0: flush every scheduler round)")
+	ops := flag.String("ops", "", "ops HTTP listen address serving /metrics, /healthz, /varz and /debug/pprof/ (empty disables)")
+	trace := flag.Int("trace", 0, "record every n-th exchange per shard into the trace ring; each report prints the most recent records (0 disables)")
 	flag.Parse()
 	if *local < 1 {
 		return fmt.Errorf("-local must be ≥ 1, got %d", *local)
@@ -84,6 +96,12 @@ func run() error {
 	if *batch > 0 {
 		opts = append(opts, repro.WithBatchWindow(*batch))
 	}
+	if *ops != "" {
+		opts = append(opts, repro.WithOps(*ops))
+	}
+	if *trace > 0 {
+		opts = append(opts, repro.WithTraceSampling(*trace))
+	}
 	sys, err := repro.Open(opts...)
 	if err != nil {
 		return err
@@ -93,6 +111,9 @@ func run() error {
 	probe := sys.Nodes()[0]
 	fmt.Printf("aggnode hosting %d node(s) on %d worker(s), first endpoint %s (value %g, Δt %v, batch window %v)\n",
 		sys.Size(), max(sys.Workers(), 1), probe.Addr(), *value, *cycle, *batch)
+	if addr := sys.OpsAddr(); addr != "" {
+		fmt.Printf("ops endpoint on http://%s (/metrics /healthz /varz /debug/pprof/)\n", addr)
+	}
 
 	ticker := time.NewTicker(*report)
 	defer ticker.Stop()
@@ -108,16 +129,61 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			s := sys.Stats()
+			tel := sys.Telemetry()
+			s := tel.Stats
 			now := time.Now()
 			rate := float64(s.Initiated-lastInitiated) / now.Sub(lastReport).Seconds()
 			lastInitiated, lastReport = s.Initiated, now
 			perWorker := rate / float64(max(sys.Workers(), 1))
-			fmt.Printf("epoch=%d avg=%.4f min=%.4f max=%.4f exchanges=%d/%d rate=%.0f/s (%.0f/s/worker) timeouts=%d busy=%d\n",
+			fmt.Printf("epoch=%d avg=%.4f min=%.4f max=%.4f exchanges=%d/%d (%s) rate=%.0f/s (%.0f/s/worker) rho=%s timeouts=%d busy=%d steals=%d balance=%s\n",
 				probe.Epoch(), summary.Mean, summary.Min, summary.Max,
-				s.Replies, s.Initiated, rate, perWorker, s.Timeouts, s.PeerBusy)
+				s.Replies, s.Initiated, percent(tel.Completion), rate, perWorker,
+				rho(tel.Rho), s.Timeouts, s.PeerBusy, tel.Steals,
+				balance(tel.ShardInitiated))
+			if *trace > 0 {
+				for _, r := range sys.Trace(3) {
+					fmt.Printf("  trace %s\n", r)
+				}
+			}
 		}
 	}
+}
+
+// percent renders a completion ratio ("—" before the first exchange).
+func percent(v float64) string {
+	if v != v { // NaN
+		return "—"
+	}
+	return fmt.Sprintf("%.1f%%", 100*v)
+}
+
+// rho renders the observed convergence factor ("—" until the tracker
+// has seen two informative cycles).
+func rho(v float64) string {
+	if v != v { // NaN
+		return "—"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// balance summarizes per-worker load as min/max shares of the initiated
+// exchanges ("n/a" for unsharded shapes or before any exchange).
+func balance(shard []uint64) string {
+	if len(shard) == 0 {
+		return "n/a"
+	}
+	var total, lo, hi uint64
+	lo = shard[0]
+	for _, v := range shard {
+		total += v
+		lo = min(lo, v)
+		hi = max(hi, v)
+	}
+	if total == 0 {
+		return "n/a"
+	}
+	mean := float64(total) / float64(len(shard))
+	return fmt.Sprintf("%.2f–%.2f×", float64(lo)/mean, float64(hi)/mean)
 }
 
 // splitPeers parses the -peers flag.

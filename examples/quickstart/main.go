@@ -1,6 +1,7 @@
 // Quickstart: open a live in-memory aggregation system and watch every
 // node's approximation of the global average converge — the Open/Watch
-// front door in its smallest form.
+// front door in its smallest form — then scrape the system's own
+// Prometheus /metrics endpoint.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,7 +9,10 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"strings"
 	"time"
 
 	"repro"
@@ -23,11 +27,14 @@ func main() {
 func run() error {
 	// 32 nodes, node i holding local value i (true average 15.5). Open
 	// assembles and starts the system in one call.
+	// WithOps serves /metrics, /varz, /healthz and pprof for the
+	// system's lifetime; :0 picks a free port (sys.OpsAddr() has it).
 	sys, err := repro.Open(
 		repro.WithSize(32),
 		repro.WithValues(func(i int) float64 { return float64(i) }),
 		repro.WithCycleLength(10*time.Millisecond),
 		repro.WithSeed(1),
+		repro.WithOps("127.0.0.1:0"),
 	)
 	if err != nil {
 		return err
@@ -60,5 +67,26 @@ func run() error {
 	}
 	fmt.Printf("\nconverged: variance=%.3g mean=%.4f across %d nodes (true average is 15.5)\n",
 		final.Variance, final.Mean, final.Nodes)
+
+	// The system exports its runtime counters in Prometheus text
+	// format — scrape it like any monitoring stack would. (The same
+	// numbers are available in-process via sys.Telemetry().)
+	resp, err := http.Get("http://" + sys.OpsAddr() + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nselected /metrics series:")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "repro_engine_nodes") ||
+			strings.HasPrefix(line, "repro_convergence_rho_geo") ||
+			strings.HasPrefix(line, "repro_watch_snapshots_total") {
+			fmt.Println(" ", line)
+		}
+	}
 	return nil
 }

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 // BenchmarkRuntimeExchange measures live-runtime exchange throughput —
@@ -166,6 +168,98 @@ func BenchmarkRuntimeSustainedScaling(b *testing.B) {
 		if speedup := r / base; speedup < minSpeedup {
 			b.Errorf("workers=%d sustained %.0f exchanges/s vs %.0f at workers=1 — %.2f×, want ≥ %.1f× on %d CPUs",
 				w, r, base, speedup, minSpeedup, maxProcs)
+		}
+	}
+}
+
+// BenchmarkRuntimeMetricsOverhead is the telemetry-cost gate: the
+// sustained harness with a registered metrics registry, trace sampling
+// and a live 20 Hz scraper, compared against the bare harness (same
+// ≈ 0 allocs/exchange steady state asserted on both). The engine's
+// series are scrape-time readers over counters the runtime maintains
+// anyway, so the design budget is 2%: six round-granular mirror stores
+// plus a masked sampling gate per exchange.
+//
+// The comparison is built for noisy shared hardware — the dev
+// container's whole-machine throughput swings ±10% run to run in
+// multi-second bursts. The variants run as tightly-paired A/B runs
+// with the order alternated pair to pair, and the ratio is estimated
+// two ways: the median of per-pair ratios (robust to outlier pairs)
+// and best-of/best-of (robust to slow phases, since each side need
+// only land one clean window). A noise burst rarely corrupts both
+// estimators at once, but a real hot-path regression slows every
+// telemetry run and drags both down, so the gate takes the larger of
+// the two, at ≥ 0.95 — the 2% design budget plus the container's
+// noise floor — and retries one fresh round before failing. The
+// variable-modulo trace gate this benchmark flushed out cost 9% and
+// fails both estimators in both rounds; single-burst flukes don't.
+// The measured ratio lands in the BENCH_PR7 perf trajectory.
+func BenchmarkRuntimeMetricsOverhead(b *testing.B) {
+	const n = 10_000
+	const pairs = 7
+	const floor = 0.95
+	run := func(reg *metrics.Registry) float64 {
+		var stop chan struct{}
+		if reg != nil {
+			stop = make(chan struct{})
+			go func() { // a Prometheus scraper, aggressive at 20 Hz
+				ticker := time.NewTicker(50 * time.Millisecond)
+				defer ticker.Stop()
+				var buf []byte
+				for {
+					select {
+					case <-stop:
+						return
+					case <-ticker.C:
+						buf = reg.AppendPrometheus(buf[:0])
+					}
+				}
+			}()
+		}
+		res := runSustained(b, n, 20, 0, 15*time.Minute, func(cfg *ClusterConfig) {
+			if reg != nil {
+				cfg.Metrics = reg
+				cfg.TraceSample = 64
+			}
+		})
+		if stop != nil {
+			close(stop)
+		}
+		assertSustained(b, res, 0.85)
+		return res.PerSecond
+	}
+	round := func() (ratio, meanOff, meanOn float64, ratios []float64) {
+		var bestOff, bestOn, sumOff, sumOn float64
+		for r := 0; r < pairs; r++ {
+			var off, on float64
+			if r%2 == 0 {
+				off = run(nil)
+				on = run(metrics.New())
+			} else {
+				on = run(metrics.New())
+				off = run(nil)
+			}
+			sumOff += off
+			sumOn += on
+			bestOff = max(bestOff, off)
+			bestOn = max(bestOn, on)
+			ratios = append(ratios, on/off)
+		}
+		sort.Float64s(ratios)
+		return max(ratios[len(ratios)/2], bestOn/bestOff), sumOff / pairs, sumOn / pairs, ratios
+	}
+	for i := 0; i < b.N; i++ {
+		ratio, meanOff, meanOn, ratios := round()
+		if ratio < floor {
+			b.Logf("round 1 below the gate (%.3f, pairs %v); retrying against a fresh round", ratio, ratios)
+			ratio, meanOff, meanOn, ratios = round()
+		}
+		b.ReportMetric(meanOff, "base_exchanges/s")
+		b.ReportMetric(meanOn, "telemetry_exchanges/s")
+		b.ReportMetric(ratio, "telemetry_ratio")
+		if ratio < floor {
+			b.Errorf("telemetry costs %.1f%% of sustained throughput (max of pair-median and best-of estimators over %d pairs, %v), want ≈ 0%% within the %.0f%% gate",
+				100*(1-ratio), pairs, ratios, 100*(1-floor))
 		}
 	}
 }

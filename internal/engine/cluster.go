@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/membership"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/transport"
 )
@@ -54,6 +55,14 @@ type ClusterConfig struct {
 	BatchWindow time.Duration
 	// Seed makes the cluster deterministic-ish (scheduling still varies).
 	Seed uint64
+	// Metrics, when non-nil, registers the runtime's instrumentation
+	// (heap mode; goroutine-mode clusters are registered by the caller
+	// over Stats, which is already atomic per node).
+	Metrics *metrics.Registry
+	// TraceSample/TraceRing configure heap-mode exchange tracing; see
+	// RuntimeConfig.
+	TraceSample int
+	TraceRing   int
 }
 
 // Cluster is a set of locally running nodes plus their shared fabric.
@@ -96,6 +105,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Workers:      cfg.Workers,
 			BatchWindow:  cfg.BatchWindow,
 			Seed:         cfg.Seed,
+			Metrics:      cfg.Metrics,
+			TraceSample:  cfg.TraceSample,
+			TraceRing:    cfg.TraceRing,
 		})
 		if err != nil {
 			return nil, err
@@ -239,6 +251,19 @@ func (c *Cluster) ReduceField(field string, fn func(v float64)) error {
 		fn(n.fieldAt(idx))
 	}
 	return nil
+}
+
+// ReduceValues streams every node's local input value through fn in
+// index order — the truth the aggregate should track. Same locking
+// contract as ReduceField.
+func (c *Cluster) ReduceValues(fn func(v float64)) {
+	if c.rt != nil {
+		c.rt.ReduceValues(fn)
+		return
+	}
+	for _, n := range c.nodes {
+		fn(n.Value())
+	}
 }
 
 // Variance returns the cross-node empirical variance of the named field —

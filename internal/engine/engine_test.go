@@ -588,10 +588,17 @@ func TestGossipSamplerIntegration(t *testing.T) {
 				worst = d
 			}
 		}
-		// Concurrent exchanges are not perfectly atomic, so allow a
-		// small residual bias; the property under test is that a
-		// one-seed bootstrap disseminates across the whole network.
-		if worst < 0.05 {
+		// Concurrent goroutine-mode exchanges are not perfectly
+		// atomic: each glitch loses or duplicates up to half a unit
+		// of mass, shifting the converged average by 0.5/size = 0.05
+		// — permanently, so a too-tight threshold fails on the first
+		// glitch no matter the deadline. The property under test is
+		// that a one-seed bootstrap disseminates across the whole
+		// network: an unreached node sits ≥ 0.5 from the true mean
+		// (node 4 or 5 holding its own value is the closest case), so
+		// 0.45 still proves dissemination while tolerating the few
+		// glitches a race-detector run on loaded hardware produces.
+		if worst < 0.45 {
 			return
 		}
 		if time.Now().After(deadline) {

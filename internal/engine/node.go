@@ -289,6 +289,19 @@ func (n *Node) SetValue(v float64) {
 	n.value = v
 }
 
+// Value returns the node's current local attribute a_i.
+func (n *Node) Value() float64 {
+	if n.hrt != nil {
+		s := n.hrt.shardOf(n.hidx)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.nodes[n.hidx-s.lo].value
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.value
+}
+
 // State returns a copy of the node's current approximation vector.
 func (n *Node) State() core.State {
 	if n.hrt != nil {

@@ -71,6 +71,13 @@ type localFree struct {
 	pool *fieldsPool
 	cap  int
 	free [][]float64
+
+	// Traffic counters, plain uint64s bumped under the owner's lock and
+	// published to atomic mirrors once per scheduler round (rshard.pub)
+	// — the metrics layer never adds an atomic to the per-buffer path.
+	gets   uint64 // successful draws from the local tier
+	puts   uint64 // recycles into the local tier
+	misses uint64 // draws that fell through to the shared pool
 }
 
 // newLocalFree sizes a shard-local tier for a shard of n nodes: every
@@ -86,12 +93,14 @@ func newLocalFree(pool *fieldsPool, n int) localFree {
 // pool.
 func (l *localFree) get() []float64 {
 	if n := len(l.free); n > 0 {
+		l.gets++
 		buf := l.free[n-1]
 		l.free[n-1] = nil
 		l.free = l.free[:n-1]
 		poolCheckGet(buf)
 		return buf
 	}
+	l.misses++
 	return l.pool.get()
 }
 
@@ -102,6 +111,7 @@ func (l *localFree) put(buf []float64) {
 		return
 	}
 	if len(l.free) < l.cap {
+		l.puts++
 		poolPoisonPut(buf)
 		l.free = append(l.free, buf)
 		return

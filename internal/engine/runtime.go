@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/membership"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/transport"
 	"repro/internal/xrand"
@@ -122,6 +123,21 @@ type RuntimeConfig struct {
 	MaxBatch int
 	// Seed makes node randomness reproducible.
 	Seed uint64
+	// Metrics, when non-nil, registers the runtime's instrumentation
+	// (per-shard exchange counters, rounds, steals, inbox depth, shard
+	// lag, pool and batcher traffic) as scrape-time readers over the
+	// counters the runtime already maintains — attaching a registry
+	// adds no work to the exchange hot path.
+	Metrics *metrics.Registry
+	// TraceSample records every TraceSample-th initiated exchange into
+	// a per-shard trace ring (drained via Trace), rounded up to the
+	// next power of two so the per-exchange sampling gate is a mask,
+	// not a division. 0 — the default — disables tracing; the hot path
+	// then pays one predictable branch.
+	TraceSample int
+	// TraceRing is the per-shard ring capacity (default 256 when
+	// sampling is enabled).
+	TraceRing int
 }
 
 // withDefaults validates and fills defaults.
@@ -171,6 +187,22 @@ func (c RuntimeConfig) withDefaults() (RuntimeConfig, error) {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 256
 	}
+	if c.TraceSample < 0 {
+		c.TraceSample = 0
+	}
+	if c.TraceSample > 0 {
+		// Round the sampling interval up to a power of two: the gate
+		// runs twice per exchange, and a mask is ~an order of magnitude
+		// cheaper than a 64-bit division on common hardware.
+		p := 1
+		for p < c.TraceSample {
+			p <<= 1
+		}
+		c.TraceSample = p
+		if c.TraceRing <= 0 {
+			c.TraceRing = 256
+		}
+	}
 	return c, nil
 }
 
@@ -205,7 +237,9 @@ type rnode struct {
 	sampler    membership.Sampler
 	observes   bool // sampler wants Observe/Forget feedback (non-directory)
 	initState  func(epochID uint64, value float64) core.State
-	pendingSeq uint64 // nonzero while an exchange is in flight (the busy flag)
+	pendingSeq uint64  // nonzero while an exchange is in flight (the busy flag)
+	pendingAt  float64 // when the in-flight exchange's push was sent
+	pendingDst int32   // traced peer index (-1 remote); only set while tracing
 	stats      Stats
 }
 
@@ -258,6 +292,32 @@ type rshard struct {
 	seq     uint64
 
 	ctr shardCounters
+
+	// trace is the shard's sampled exchange ring (empty when sampling
+	// is off); traceEvery caches the power-of-two sampling interval (0
+	// off) so the twice-per-exchange gate is a load and a mask;
+	// latency, when non-nil, mirrors sampled exchange latencies into a
+	// registry histogram.
+	trace      traceRing
+	traceEvery uint64
+	latency    *metrics.Histogram
+
+	// recv counts inbound messages handled; maintained as a plain
+	// increment under mu and published to pub once per round, so the
+	// per-message cost is an ordinary add, not an atomic.
+	recv uint64
+
+	// pub mirrors round-granular counters (rounds run, messages
+	// received, pool traffic, free-list occupancy) as atomics for
+	// lock-free scraping. Stored once at the end of every round.
+	pub struct {
+		rounds   atomic.Uint64
+		received atomic.Uint64
+		poolGets atomic.Uint64
+		poolPuts atomic.Uint64
+		poolMiss atomic.Uint64
+		poolFree atomic.Int64
+	}
 
 	// nextDue is the float64 bit pattern of the shard's earliest
 	// scheduled event time (+Inf when the heap is empty), published at
@@ -333,6 +393,10 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 			free:    newLocalFree(rt.pool, hi-lo),
 			done:    make(chan struct{}),
 		}
+		if cfg.TraceSample > 0 {
+			s.trace.recs = make([]TraceRecord, cfg.TraceRing)
+			s.traceEvery = uint64(cfg.TraceSample)
+		}
 		s.out = transport.NewBatcher(endpoints[w],
 			transport.WithBatchWindow(cfg.BatchWindow),
 			transport.WithMaxBatch(cfg.MaxBatch),
@@ -374,7 +438,85 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 			rt.nodes[i] = &Node{hrt: rt, hidx: i}
 		}
 	}
+	rt.registerMetrics(cfg.Metrics)
 	return rt, nil
+}
+
+// registerMetrics exposes the runtime through a registry. Every series
+// is a scrape-time reader over state the runtime maintains anyway
+// (shardCounters, published round mirrors, channel lengths), so the
+// exchange hot path is identical with and without a registry; only the
+// sampled-exchange latency histogram is an owned instrument, and it is
+// written solely on the trace-sampling lattice. No-op on nil.
+func (rt *Runtime) registerMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("repro_engine_nodes", "Hosted nodes.",
+		func() float64 { return float64(len(rt.addrs)) })
+	reg.GaugeFunc("repro_engine_workers", "Shard workers.",
+		func() float64 { return float64(len(rt.shards)) })
+	reg.CounterFunc("repro_engine_rounds_stolen_total",
+		"Scheduler rounds run by a non-owner worker.", rt.steals.Load)
+	for _, s := range rt.shards {
+		s := s
+		lbl := metrics.Label{Key: "shard", Value: strconv.Itoa(s.id)}
+		for _, c := range []struct {
+			name, help string
+			v          *atomic.Uint64
+		}{
+			{"repro_engine_exchanges_initiated_total", "Exchanges started by hosted nodes.", &s.ctr.initiated},
+			{"repro_engine_exchanges_completed_total", "Exchanges whose pull reply was merged.", &s.ctr.replies},
+			{"repro_engine_exchange_deadline_missed_total", "Exchanges reaped by the reply deadline.", &s.ctr.timeouts},
+			{"repro_engine_exchanges_nacked_total", "Exchanges declined by a busy peer.", &s.ctr.peerBusy},
+			{"repro_engine_pushes_served_total", "Inbound pushes merged and replied to.", &s.ctr.served},
+			{"repro_engine_pushes_declined_total", "Inbound pushes nacked while busy.", &s.ctr.busyDropped},
+			{"repro_engine_messages_stale_dropped_total", "Messages dropped for an out-of-sync epoch.", &s.ctr.staleDropped},
+			{"repro_engine_epoch_restarts_total", "Node state reinitializations at epoch boundaries.", &s.ctr.epochSwitches},
+			{"repro_engine_send_errors_total", "Sends that failed synchronously or via batch feedback.", &s.ctr.sendErrors},
+			{"repro_engine_rounds_total", "Scheduler rounds run.", &s.pub.rounds},
+			{"repro_engine_messages_received_total", "Inbound messages handled.", &s.pub.received},
+			{"repro_pool_gets_total", "Fields buffers drawn from the shard free list.", &s.pub.poolGets},
+			{"repro_pool_puts_total", "Fields buffers recycled into the shard free list.", &s.pub.poolPuts},
+			{"repro_pool_misses_total", "Buffer draws that fell through to the shared pool.", &s.pub.poolMiss},
+		} {
+			reg.CounterFunc(c.name, c.help, c.v.Load, lbl)
+		}
+		reg.GaugeFunc("repro_pool_local_free", "Buffers resident in the shard free list.",
+			func() float64 { return float64(s.pub.poolFree.Load()) }, lbl)
+		reg.GaugeFunc("repro_engine_inbox_depth", "Messages queued in the shard endpoint inbox.",
+			func() float64 { return float64(len(s.ep.Inbox())) }, lbl)
+		reg.GaugeFunc("repro_engine_shard_lag_seconds",
+			"How far the shard's earliest pending event lies behind the runtime clock (0 when ahead or idle).",
+			func() float64 {
+				lag := rt.now() - s.loadNextDue()
+				if lag < 0 || math.IsInf(lag, 0) || math.IsNaN(lag) {
+					return 0
+				}
+				return lag
+			}, lbl)
+		s.latency = reg.Histogram("repro_engine_exchange_latency_seconds",
+			"Initiate-to-resolution latency of trace-sampled exchanges (empty until trace sampling is enabled).",
+			nil, lbl)
+		reg.CounterFunc("repro_transport_batch_frames_total", "Batch frames flushed to the endpoint.",
+			s.out.FramesSent, lbl)
+		reg.CounterFunc("repro_transport_batch_messages_total", "Messages carried inside batch frames.",
+			s.out.MessagesSent, lbl)
+		reg.CounterFunc("repro_transport_send_failures_total", "Messages whose batch delivery failed.",
+			s.out.SendFailures, lbl)
+		if tcp, ok := s.ep.(*transport.TCPEndpoint); ok {
+			reg.CounterFunc("repro_transport_tcp_dials_total", "Outbound TCP connections established.", tcp.Dials, lbl)
+			reg.CounterFunc("repro_transport_tcp_bytes_sent_total", "Bytes written to TCP peers.", tcp.BytesSent, lbl)
+			reg.CounterFunc("repro_transport_tcp_bytes_received_total", "Bytes read from TCP peers.", tcp.BytesReceived, lbl)
+			reg.CounterFunc("repro_transport_tcp_inbox_dropped_total", "Inbound frames dropped on a full inbox.", tcp.InboxDropped, lbl)
+		}
+	}
+	if rt.fabric != nil {
+		reg.CounterFunc("repro_transport_fabric_loss_dropped_total",
+			"Messages dropped by the fabric loss model or a partition filter.", rt.fabric.LossDropped)
+		reg.CounterFunc("repro_transport_fabric_inbox_dropped_total",
+			"Messages dropped on a full in-memory inbox.", rt.fabric.InboxDropped)
+	}
 }
 
 // initStateFor builds a node's state vector for an epoch.
@@ -513,6 +655,21 @@ func (rt *Runtime) ReduceField(field string, fn func(v float64)) error {
 	return nil
 }
 
+// ReduceValues streams every node's local input value (the attribute
+// the aggregate is computed over) through fn, shard by shard. Same
+// contract as ReduceField: fn runs with the owning shard locked. The
+// telemetry layer folds this into the live true mean so tracking error
+// reflects SetValue drift, not just the values at start.
+func (rt *Runtime) ReduceValues(fn func(v float64)) {
+	for _, s := range rt.shards {
+		s.mu.Lock()
+		for i := range s.nodes {
+			fn(s.nodes[i].value)
+		}
+		s.mu.Unlock()
+	}
+}
+
 // NodeState returns a copy of node i's state vector.
 func (rt *Runtime) NodeState(i int) core.State {
 	s := rt.shardOf(i)
@@ -568,6 +725,16 @@ func (rt *Runtime) Stats() Stats {
 		agg.PeerBusy += s.ctr.peerBusy.Load()
 	}
 	return agg
+}
+
+// ShardInitiated returns each shard's initiated-exchange counter in
+// shard order — the per-worker balance view (lock-free, like Stats).
+func (rt *Runtime) ShardInitiated() []uint64 {
+	out := make([]uint64, len(rt.shards))
+	for i, s := range rt.shards {
+		out[i] = s.ctr.initiated.Load()
+	}
+	return out
 }
 
 // nodeIndex parses the node index out of a sub-address ("ep#17" → 17).
@@ -721,6 +888,14 @@ drain:
 	if drained == 4*budget {
 		sleep = 0 // inbox may still hold messages; come straight back
 	}
+	// Publish the round-granular counter mirrors: six stores per round,
+	// amortized over the whole event budget, keep scrapes lock-free.
+	s.pub.rounds.Add(1)
+	s.pub.received.Store(s.recv)
+	s.pub.poolGets.Store(s.free.gets)
+	s.pub.poolPuts.Store(s.free.puts)
+	s.pub.poolMiss.Store(s.free.misses)
+	s.pub.poolFree.Store(int64(len(s.free.free)))
 	return sleep, true
 }
 
@@ -792,6 +967,9 @@ func (s *rshard) handleEvent(ev sim.Event, now float64) {
 			n.pendingSeq = 0
 			n.stats.Timeouts++
 			s.ctr.timeouts.Add(1)
+			if s.traceSampled(ev.Seq) {
+				s.recordTrace(n, idx, ev.Seq, TraceTimedOut, now)
+			}
 		}
 	case evWake:
 		s.checkClock(n)
@@ -878,6 +1056,15 @@ func (s *rshard) initiate(n *rnode, idx int, now float64) {
 	s.ctr.initiated.Add(1)
 	if !s.rt.cfg.PushOnly {
 		n.pendingSeq = s.seq
+		n.pendingAt = now
+		if s.traceSampled(s.seq) {
+			// The peer index is parsed only on the sampling lattice; with
+			// tracing off initiate does no extra work beyond two stores.
+			n.pendingDst = -1
+			if di, ok := nodeIndex(peer); ok {
+				n.pendingDst = int32(di)
+			}
+		}
 		s.heap.Push(sim.Event{
 			At:   now + s.rt.cfg.ReplyTimeout.Seconds(),
 			Node: int32(idx),
@@ -901,6 +1088,7 @@ func (s *rshard) initiate(n *rnode, idx int, now float64) {
 // sub-address, which bootstraps the remote sampler onto proper
 // sub-addresses.
 func (s *rshard) handleMessage(m transport.Message) {
+	s.recv++
 	idx, ok := nodeIndex(m.To)
 	if !ok {
 		idx = s.lo
@@ -915,7 +1103,7 @@ func (s *rshard) handleMessage(m transport.Message) {
 	case transport.KindPush:
 		s.servePush(n, idx, m)
 	case transport.KindReply, transport.KindNack:
-		s.handleReply(n, m)
+		s.handleReply(n, idx, m)
 	}
 }
 
@@ -988,7 +1176,7 @@ func (s *rshard) servePush(n *rnode, idx int, m transport.Message) {
 // handleReply completes (or aborts, on nack) the node's in-flight
 // exchange. Caller holds s.mu and owns m.Fields, which is recycled on
 // every path once the merge (if any) is done.
-func (s *rshard) handleReply(n *rnode, m transport.Message) {
+func (s *rshard) handleReply(n *rnode, idx int, m transport.Message) {
 	defer s.free.put(m.Fields)
 	if n.pendingSeq == 0 || m.Seq != n.pendingSeq {
 		return // exchange already timed out, or a stray duplicate
@@ -997,7 +1185,13 @@ func (s *rshard) handleReply(n *rnode, m transport.Message) {
 	if m.Kind == transport.KindNack {
 		n.stats.PeerBusy++
 		s.ctr.peerBusy.Add(1)
+		if s.traceSampled(m.Seq) {
+			s.recordTrace(n, idx, m.Seq, TraceNacked, s.rt.now())
+		}
 		return
+	}
+	if s.traceSampled(m.Seq) {
+		s.recordTrace(n, idx, m.Seq, TraceCompleted, s.rt.now())
 	}
 	if n.tracker.Observe(m.Epoch) {
 		s.restart(n)

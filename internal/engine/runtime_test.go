@@ -540,10 +540,12 @@ type sustainedResult struct {
 // the GOMAXPROCS default). The first two cycles' worth of exchanges are
 // a warm-up (pools filling, batch queues growing to steady state); the
 // rest is the measured window, over which steady-state heap mallocs per
-// exchange are accounted with runtime.ReadMemStats.
-func runSustained(tb testing.TB, size, cycles, workers int, deadline time.Duration) sustainedResult {
+// exchange are accounted with runtime.ReadMemStats. opts mutate the
+// cluster config before construction (e.g. attaching a metrics
+// registry for the overhead gate).
+func runSustained(tb testing.TB, size, cycles, workers int, deadline time.Duration, opts ...func(*ClusterConfig)) sustainedResult {
 	tb.Helper()
-	c, err := NewCluster(ClusterConfig{
+	cfg := ClusterConfig{
 		Size:   size,
 		Schema: core.AverageSchema(),
 		// Values ±0/1: true average 0.5, initial variance 0.25.
@@ -553,7 +555,11 @@ func runSustained(tb testing.TB, size, cycles, workers int, deadline time.Durati
 		Mode:         ModeHeap,
 		Workers:      workers,
 		Seed:         42,
-	})
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	c, err := NewCluster(cfg)
 	if err != nil {
 		tb.Fatal(err)
 	}

@@ -1,0 +1,486 @@
+// Package metrics is a dependency-free metrics registry built for the
+// engine's hot path: instruments are cache-line-padded atomics (the
+// shardCounters pattern), updates never allocate or take locks, and a
+// scrape reads only atomics — it can run concurrently with a hundred
+// shard workers without stalling any of them.
+//
+// Two instrument families exist:
+//
+//   - Owned instruments (Counter, Gauge, Histogram) hold their own
+//     padded atomic state. Writers call Inc/Add/Set/Observe directly.
+//   - Func instruments (CounterFunc, GaugeFunc) read a value the code
+//     already maintains — a shardCounters field, an atomic mirror, a
+//     channel length — at scrape time. They add zero work to the hot
+//     path, which is how the engine exposes its per-shard counters
+//     without double-writing them.
+//
+// Registration is get-or-create: asking for a series (name + label set)
+// that already exists returns the existing instrument, so dynamically
+// created components (watch hubs, reopened subsystems) can re-register
+// idempotently. A kind conflict on an existing name panics — that is a
+// programming error, not an operational condition.
+//
+// A nil *Registry is valid everywhere: owned constructors return a
+// working unregistered instrument and func constructors do nothing, so
+// instrumented code runs identically whether or not a registry is
+// attached.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value pair attached to a series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing uint64. The value and its pad
+// fill one cache line so independent counters never false-share.
+type Counter struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down, stored as atomic bits.
+type Gauge struct {
+	bits atomic.Uint64
+	_    [56]byte
+}
+
+// Set stores x.
+func (g *Gauge) Set(x float64) { g.bits.Store(math.Float64bits(x)) }
+
+// Value returns the current value (0 before the first Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Bounds are upper
+// bounds in ascending order; an implicit +Inf bucket catches the rest.
+// Observe is lock-free: one atomic add for the bucket, one for the
+// count, and a CAS loop for the sum (single-writer shards succeed on
+// the first try).
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records x.
+func (h *Histogram) Observe(x float64) {
+	i := 0
+	for i < len(h.bounds) && x > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefBuckets is a latency-flavoured default bucket ladder (seconds),
+// spanning 100µs to ~10s in roughly 3× steps.
+var DefBuckets = []float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1, 3, 10}
+
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+// sample is one series inside a family. Exactly one of the value
+// sources is set, per the family kind.
+type sample struct {
+	labels string // pre-rendered `{k="v",...}` or ""
+	c      *Counter
+	g      *Gauge
+	cf     func() uint64
+	gf     func() float64
+	h      *Histogram
+	// Pre-rendered per-bucket label strings for histograms, including
+	// the le label, so a scrape never formats labels.
+	bucketLabels []string
+}
+
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	samples []*sample
+	index   map[string]*sample // labels → sample
+}
+
+// Registry holds families of series. All methods are safe for
+// concurrent use; scraping holds only a read lock and performs no
+// allocation when the caller's buffer has capacity.
+type Registry struct {
+	mu       sync.RWMutex
+	families []*family
+	byName   map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// lookup returns (family, sample) for name+labels, creating either as
+// needed. Panics on a kind conflict.
+func (r *Registry) lookup(name, help string, k kind, labels []Label) (*family, *sample, bool) {
+	rendered := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, index: make(map[string]*sample)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != k {
+		panic("metrics: " + name + " re-registered with a different kind")
+	}
+	if s, ok := f.index[rendered]; ok {
+		return f, s, false
+	}
+	s := &sample{labels: rendered}
+	f.index[rendered] = s
+	f.samples = append(f.samples, s)
+	return f, s, true
+}
+
+// Counter returns the counter for name+labels, creating it on first
+// use. On a nil registry it returns a working unregistered counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return new(Counter)
+	}
+	_, s, fresh := r.lookup(name, help, kindCounter, labels)
+	if fresh {
+		s.c = new(Counter)
+	}
+	if s.c == nil {
+		panic("metrics: " + name + " already registered as a counter func")
+	}
+	return s.c
+}
+
+// CounterFunc registers a series whose value is read by fn at scrape
+// time. fn must be safe to call concurrently with writers and must not
+// block — typically an atomic load. No-op on a nil registry.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	_, s, _ := r.lookup(name, help, kindCounter, labels)
+	s.cf = fn
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+// On a nil registry it returns a working unregistered gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return new(Gauge)
+	}
+	_, s, fresh := r.lookup(name, help, kindGauge, labels)
+	if fresh {
+		s.g = new(Gauge)
+	}
+	if s.g == nil {
+		panic("metrics: " + name + " already registered as a gauge func")
+	}
+	return s.g
+}
+
+// GaugeFunc registers a gauge series read from fn at scrape time.
+// No-op on a nil registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	_, s, _ := r.lookup(name, help, kindGauge, labels)
+	s.gf = fn
+}
+
+// Histogram returns the histogram for name+labels with the given
+// bucket bounds (DefBuckets when nil), creating it on first use. On a
+// nil registry it returns a working unregistered histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	h := &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+	if r == nil {
+		return h
+	}
+	_, s, fresh := r.lookup(name, help, kindHistogram, labels)
+	if fresh {
+		s.h = h
+		s.bucketLabels = renderBucketLabels(s.labels, bounds)
+	}
+	return s.h
+}
+
+// Names returns the registered family names in sorted order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AppendPrometheus appends the registry in Prometheus text exposition
+// format (version 0.0.4) and returns the extended buffer. When buf has
+// enough capacity the scrape performs zero allocations.
+func (r *Registry) AppendPrometheus(buf []byte) []byte {
+	if r == nil {
+		return buf
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, f := range r.families {
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.help...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, f.name...)
+		switch f.kind {
+		case kindCounter:
+			buf = append(buf, " counter\n"...)
+		case kindGauge:
+			buf = append(buf, " gauge\n"...)
+		case kindHistogram:
+			buf = append(buf, " histogram\n"...)
+		}
+		for _, s := range f.samples {
+			switch f.kind {
+			case kindCounter:
+				buf = append(buf, f.name...)
+				buf = append(buf, s.labels...)
+				buf = append(buf, ' ')
+				buf = strconv.AppendUint(buf, s.counterValue(), 10)
+				buf = append(buf, '\n')
+			case kindGauge:
+				buf = append(buf, f.name...)
+				buf = append(buf, s.labels...)
+				buf = append(buf, ' ')
+				buf = appendFloat(buf, s.gaugeValue())
+				buf = append(buf, '\n')
+			case kindHistogram:
+				buf = s.h.appendPrometheus(buf, f.name, s.labels, s.bucketLabels)
+			}
+		}
+	}
+	return buf
+}
+
+// AppendJSON appends the registry as a flat JSON object mapping
+// "name{labels}" to its numeric value (histograms contribute _count and
+// _sum entries). NaN and ±Inf become null — JSON has no encoding for
+// them. Like AppendPrometheus, it allocates nothing when buf has
+// capacity.
+func (r *Registry) AppendJSON(buf []byte) []byte {
+	if r == nil {
+		return append(buf, "{}"...)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	buf = append(buf, '{')
+	first := true
+	comma := func() {
+		if !first {
+			buf = append(buf, ',')
+		}
+		first = false
+	}
+	for _, f := range r.families {
+		for _, s := range f.samples {
+			switch f.kind {
+			case kindCounter:
+				comma()
+				buf = appendJSONKey(buf, f.name, s.labels, "")
+				buf = strconv.AppendUint(buf, s.counterValue(), 10)
+			case kindGauge:
+				comma()
+				buf = appendJSONKey(buf, f.name, s.labels, "")
+				buf = appendJSONFloat(buf, s.gaugeValue())
+			case kindHistogram:
+				comma()
+				buf = appendJSONKey(buf, f.name, s.labels, "_count")
+				buf = strconv.AppendUint(buf, s.h.Count(), 10)
+				comma()
+				buf = appendJSONKey(buf, f.name, s.labels, "_sum")
+				buf = appendJSONFloat(buf, s.h.Sum())
+			}
+		}
+	}
+	buf = append(buf, '}')
+	return buf
+}
+
+func (s *sample) counterValue() uint64 {
+	if s.cf != nil {
+		return s.cf()
+	}
+	return s.c.Value()
+}
+
+func (s *sample) gaugeValue() float64 {
+	if s.gf != nil {
+		return s.gf()
+	}
+	return s.g.Value()
+}
+
+// appendPrometheus renders one histogram series: cumulative buckets,
+// then _sum and _count.
+func (h *Histogram) appendPrometheus(buf []byte, name, labels string, bucketLabels []string) []byte {
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		buf = append(buf, name...)
+		buf = append(buf, "_bucket"...)
+		buf = append(buf, bucketLabels[i]...)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, cum, 10)
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, name...)
+	buf = append(buf, "_sum"...)
+	buf = append(buf, labels...)
+	buf = append(buf, ' ')
+	buf = appendFloat(buf, h.Sum())
+	buf = append(buf, '\n')
+	buf = append(buf, name...)
+	buf = append(buf, "_count"...)
+	buf = append(buf, labels...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, h.Count(), 10)
+	buf = append(buf, '\n')
+	return buf
+}
+
+func appendFloat(buf []byte, v float64) []byte {
+	switch {
+	case math.IsNaN(v):
+		return append(buf, "NaN"...)
+	case math.IsInf(v, 1):
+		return append(buf, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(buf, "-Inf"...)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+func appendJSONFloat(buf []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(buf, "null"...)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+func appendJSONKey(buf []byte, name, labels, suffix string) []byte {
+	buf = append(buf, '"')
+	buf = append(buf, name...)
+	buf = append(buf, suffix...)
+	// Labels contain double quotes; JSON keys escape them.
+	for i := 0; i < len(labels); i++ {
+		if labels[i] == '"' {
+			buf = append(buf, '\\', '"')
+		} else {
+			buf = append(buf, labels[i])
+		}
+	}
+	buf = append(buf, '"', ':')
+	return buf
+}
+
+// renderLabels renders a label set as `{k="v",k2="v2"}`, sorted by key
+// so equivalent sets are one series. Empty sets render as "".
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	out := make([]byte, 0, 32)
+	out = append(out, '{')
+	for i, l := range ls {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, l.Key...)
+		out = append(out, '=', '"')
+		out = appendEscaped(out, l.Value)
+		out = append(out, '"')
+	}
+	out = append(out, '}')
+	return string(out)
+}
+
+// renderBucketLabels precomputes the per-bucket label strings for a
+// histogram series, merging the series labels with le="bound".
+func renderBucketLabels(labels string, bounds []float64) []string {
+	out := make([]string, len(bounds)+1)
+	for i := 0; i <= len(bounds); i++ {
+		le := "+Inf"
+		if i < len(bounds) {
+			le = strconv.FormatFloat(bounds[i], 'g', -1, 64)
+		}
+		if labels == "" {
+			out[i] = `{le="` + le + `"}`
+		} else {
+			// `{a="b"}` → `{a="b",le="..."}`
+			out[i] = labels[:len(labels)-1] + `,le="` + le + `"}`
+		}
+	}
+	return out
+}
+
+func appendEscaped(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\', '"':
+			buf = append(buf, '\\', s[i])
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, s[i])
+		}
+	}
+	return buf
+}

@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+
+	h := r.Histogram("test_seconds", "a histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	if h.Count() != 3 {
+		t.Fatalf("hist count = %d, want 3", h.Count())
+	}
+	if math.Abs(h.Sum()-5.55) > 1e-12 {
+		t.Fatalf("hist sum = %g, want 5.55", h.Sum())
+	}
+
+	text := string(r.AppendPrometheus(nil))
+	for _, want := range []string{
+		"# TYPE test_total counter\ntest_total 5\n",
+		"# TYPE test_gauge gauge\ntest_gauge 2.5\n",
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 2`,
+		`test_seconds_bucket{le="+Inf"} 3`,
+		"test_seconds_sum 5.55",
+		"test_seconds_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestGetOrCreateAndFuncSeries(t *testing.T) {
+	r := New()
+	a := r.Counter("dup_total", "dup", Label{"shard", "0"})
+	b := r.Counter("dup_total", "dup", Label{"shard", "0"})
+	if a != b {
+		t.Fatal("same series returned distinct counters")
+	}
+	c := r.Counter("dup_total", "dup", Label{"shard", "1"})
+	if a == c {
+		t.Fatal("distinct labels shared a counter")
+	}
+
+	var src atomic.Uint64
+	src.Store(42)
+	r.CounterFunc("fn_total", "func counter", src.Load)
+	r.GaugeFunc("fn_gauge", "func gauge", func() float64 { return 1.25 })
+	text := string(r.AppendPrometheus(nil))
+	if !strings.Contains(text, "fn_total 42\n") || !strings.Contains(text, "fn_gauge 1.25\n") {
+		t.Fatalf("func series not rendered:\n%s", text)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "now a gauge")
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("nil-registry counter does not count")
+	}
+	g := r.Gauge("x_gauge", "")
+	g.Set(3)
+	if g.Value() != 3 {
+		t.Fatal("nil-registry gauge does not hold")
+	}
+	h := r.Histogram("x_seconds", "", nil)
+	h.Observe(1)
+	if h.Count() != 1 {
+		t.Fatal("nil-registry histogram does not observe")
+	}
+	r.CounterFunc("x_fn", "", func() uint64 { return 0 })
+	r.GaugeFunc("x_gfn", "", func() float64 { return 0 })
+	if got := r.AppendPrometheus(nil); len(got) != 0 {
+		t.Fatalf("nil registry rendered %q", got)
+	}
+	if got := r.Names(); got != nil {
+		t.Fatalf("nil registry Names = %v", got)
+	}
+}
+
+func TestLabelsSortedAndEscaped(t *testing.T) {
+	r := New()
+	r.Counter("l_total", "", Label{"z", "1"}, Label{"a", `q"uo\te`})
+	text := string(r.AppendPrometheus(nil))
+	if !strings.Contains(text, `l_total{a="q\"uo\\te",z="1"} 0`) {
+		t.Fatalf("label rendering wrong:\n%s", text)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := New()
+	r.Counter("b_total", "")
+	r.Gauge("a_gauge", "")
+	r.Histogram("c_seconds", "", nil)
+	got := r.Names()
+	want := []string{"a_gauge", "b_total", "c_seconds"}
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAppendJSON(t *testing.T) {
+	r := New()
+	r.Counter("j_total", "", Label{"shard", "0"}).Add(7)
+	r.Gauge("j_gauge", "").Set(math.NaN())
+	h := r.Histogram("j_seconds", "", []float64{1})
+	h.Observe(0.5)
+	got := string(r.AppendJSON(nil))
+	for _, want := range []string{
+		`"j_total{shard=\"0\"}":7`,
+		`"j_gauge":null`,
+		`"j_seconds_count":1`,
+		`"j_seconds_sum":0.5`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("JSON missing %q: %s", want, got)
+		}
+	}
+}
+
+// TestMetricsSteadyStateAllocs pins the hot-path contract: instrument
+// updates and a warm scrape perform zero allocations. The engine leans
+// on this — counters fire per exchange and the ops server scrapes a
+// running system.
+func TestMetricsSteadyStateAllocs(t *testing.T) {
+	r := New()
+	c := r.Counter("alloc_total", "", Label{"shard", "0"})
+	g := r.Gauge("alloc_gauge", "")
+	h := r.Histogram("alloc_seconds", "", nil)
+	var src atomic.Uint64
+	r.CounterFunc("alloc_fn_total", "", src.Load)
+	r.GaugeFunc("alloc_fn_gauge", "", func() float64 { return float64(src.Load()) })
+
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(1.5) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.01) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f/op", n)
+	}
+
+	buf := make([]byte, 0, 64<<10)
+	if n := testing.AllocsPerRun(100, func() { buf = r.AppendPrometheus(buf[:0]) }); n != 0 {
+		t.Errorf("AppendPrometheus allocates %.1f/op with warm buffer", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { buf = r.AppendJSON(buf[:0]) }); n != 0 {
+		t.Errorf("AppendJSON allocates %.1f/op with warm buffer", n)
+	}
+}
+
+// TestConcurrentWritersAndScraper is the -race hammer: shard-like
+// writers pound owned instruments while a scraper renders the registry
+// and a latecomer re-registers existing series. Run under the CI race
+// job (go test -race -short ./...).
+func TestConcurrentWritersAndScraper(t *testing.T) {
+	r := New()
+	const shards = 8
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		lbl := Label{"shard", string(rune('0' + i))}
+		c := r.Counter("hammer_total", "", lbl)
+		g := r.Gauge("hammer_gauge", "", lbl)
+		h := r.Histogram("hammer_seconds", "", nil, lbl)
+		var mirror atomic.Uint64
+		r.CounterFunc("hammer_fn_total", "", mirror.Load, lbl)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; !stop.Load(); j++ {
+				c.Inc()
+				g.Set(float64(j))
+				h.Observe(float64(j%100) / 1000)
+				mirror.Add(1)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 0, 64<<10)
+		for i := 0; i < 200; i++ {
+			buf = r.AppendPrometheus(buf[:0])
+			buf = r.AppendJSON(buf[:0])
+			// Idempotent re-registration racing the scrape.
+			r.Counter("hammer_total", "", Label{"shard", "0"}).Inc()
+		}
+		stop.Store(true)
+	}()
+	wg.Wait()
+	text := string(r.AppendPrometheus(nil))
+	if !strings.Contains(text, "hammer_total{") {
+		t.Fatalf("hammer series missing:\n%s", text)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -192,6 +193,13 @@ type Batcher struct {
 
 	flushMu  sync.Mutex
 	flushing []destQueue // scratch swapped with batches during a flush
+
+	// Traffic counters, maintained at frame granularity (one atomic add
+	// per delivered batch, not per message) and read lock-free by the
+	// metrics layer.
+	frames   atomic.Uint64
+	messages atomic.Uint64
+	failures atomic.Uint64
 }
 
 var _ Endpoint = (*Batcher)(nil)
@@ -316,10 +324,25 @@ func (b *Batcher) deliver(to string, ms []Message) {
 			}
 		}
 	}
-	if err != nil && b.onErr != nil {
-		b.onErr(to, undelivered, err)
+	b.frames.Add(1)
+	b.messages.Add(uint64(len(ms)))
+	if err != nil {
+		b.failures.Add(uint64(len(undelivered)))
+		if b.onErr != nil {
+			b.onErr(to, undelivered, err)
+		}
 	}
 }
+
+// FramesSent returns how many batch frames have been delivered.
+func (b *Batcher) FramesSent() uint64 { return b.frames.Load() }
+
+// MessagesSent returns how many messages those frames carried.
+func (b *Batcher) MessagesSent() uint64 { return b.messages.Load() }
+
+// SendFailures returns how many messages failed delivery (dead peer,
+// closed endpoint); the protocol treats them as message loss.
+func (b *Batcher) SendFailures() uint64 { return b.failures.Load() }
 
 // Pending returns the number of queued, not yet flushed messages.
 func (b *Batcher) Pending() int {

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/xrand"
@@ -52,6 +53,12 @@ type Fabric struct {
 	dropProb  float64
 	inboxSize int
 	nextAddr  int
+
+	// Drop counters, read lock-free by the metrics layer. Both count
+	// rare paths (loss model, partition filter, saturated inbox), so an
+	// atomic add per drop costs nothing on the healthy path.
+	lossDropped  atomic.Uint64
+	inboxDropped atomic.Uint64
 }
 
 // NewFabric returns an empty in-memory network.
@@ -111,10 +118,12 @@ func (f *Fabric) deliver(from, to string, m Message) error {
 	f.mu.Lock()
 	if f.filter != nil && !f.filter(from, to) {
 		f.mu.Unlock()
+		f.lossDropped.Add(1)
 		return nil
 	}
 	if f.dropProb > 0 && f.rng.Bool(f.dropProb) {
 		f.mu.Unlock()
+		f.lossDropped.Add(1)
 		return nil
 	}
 	dst, ok := f.lookup(to)
@@ -152,6 +161,7 @@ func (f *Fabric) deliverBatch(from, to string, ms []Message) error {
 	f.mu.Lock()
 	if f.filter != nil && !f.filter(from, to) {
 		f.mu.Unlock()
+		f.lossDropped.Add(uint64(len(ms)))
 		return nil
 	}
 	dst, ok := f.lookup(to)
@@ -169,6 +179,7 @@ func (f *Fabric) deliverBatch(from, to string, ms []Message) error {
 				survivors = append(survivors, m)
 			}
 		}
+		f.lossDropped.Add(uint64(len(ms) - len(survivors)))
 	}
 	var delay time.Duration
 	if f.latBase > 0 || f.latJitter > 0 {
@@ -208,6 +219,14 @@ func (f *Fabric) lookup(to string) (*memEndpoint, bool) {
 	}
 	return nil, false
 }
+
+// LossDropped returns how many messages the loss model or a partition
+// filter swallowed.
+func (f *Fabric) LossDropped() uint64 { return f.lossDropped.Load() }
+
+// InboxDropped returns how many messages were dropped on a full
+// endpoint inbox (UDP semantics under saturation).
+func (f *Fabric) InboxDropped() uint64 { return f.inboxDropped.Load() }
 
 // detach removes an endpoint from the routing table.
 func (f *Fabric) detach(addr string) {
@@ -287,6 +306,7 @@ func (e *memEndpoint) enqueue(m Message) {
 	select {
 	case e.inbox <- m:
 	default: // inbox overflow: drop, like a saturated socket buffer
+		e.fabric.inboxDropped.Add(1)
 	}
 }
 
@@ -304,6 +324,7 @@ func (e *memEndpoint) enqueueAll(ms []Message) {
 		select {
 		case e.inbox <- m:
 		default: // inbox overflow: drop, like a saturated socket buffer
+			e.fabric.inboxDropped.Add(1)
 		}
 	}
 }

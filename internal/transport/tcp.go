@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -35,6 +36,15 @@ type TCPEndpoint struct {
 	// unbounded write would stall every node of the shard.
 	dialTimeout  time.Duration
 	writeTimeout time.Duration
+
+	// Traffic counters, one atomic add per frame or per rare event,
+	// read lock-free by the metrics layer. dials counts completed
+	// outbound connections, so dials beyond the peer count are
+	// reconnects after evictions.
+	dials     atomic.Uint64
+	bytesSent atomic.Uint64
+	bytesRecv atomic.Uint64
+	inboxDrop atomic.Uint64
 }
 
 // tcpConn is one outbound connection with its own write lock, so a
@@ -151,7 +161,9 @@ func (e *TCPEndpoint) writeFramed(to string, conn *tcpConn, buf []byte, encErr e
 	binary.BigEndian.PutUint32(buf[:4], uint32(payload))
 	err := conn.SetWriteDeadline(time.Now().Add(e.writeTimeout))
 	if err == nil {
-		_, err = conn.Write(buf)
+		var n int
+		n, err = conn.Write(buf)
+		e.bytesSent.Add(uint64(n))
 	}
 	conn.enc = buf[:0]
 	conn.wmu.Unlock()
@@ -181,6 +193,7 @@ func (e *TCPEndpoint) conn(addr string) (*tcpConn, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.dials.Add(1)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -255,6 +268,7 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, frame); err != nil {
 			return
 		}
+		e.bytesRecv.Add(uint64(size + 4))
 		var ms []Message
 		if IsBatchFrame(frame) {
 			batch, err := UnmarshalBatchInto(frame, scratch)
@@ -282,6 +296,7 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 			select {
 			case e.inbox <- ms[i]:
 			default: // inbox overflow: drop, like a saturated socket buffer
+				e.inboxDrop.Add(1)
 			}
 		}
 		// Delivered messages now belong to the inbox's consumer; zero the
@@ -290,6 +305,20 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		clear(ms)
 	}
 }
+
+// Dials returns how many outbound connections have been established;
+// growth beyond the peer count means reconnects after broken links.
+func (e *TCPEndpoint) Dials() uint64 { return e.dials.Load() }
+
+// BytesSent returns the total bytes written, framing included.
+func (e *TCPEndpoint) BytesSent() uint64 { return e.bytesSent.Load() }
+
+// BytesReceived returns the total bytes read, framing included.
+func (e *TCPEndpoint) BytesReceived() uint64 { return e.bytesRecv.Load() }
+
+// InboxDropped returns how many decoded inbound messages were dropped
+// on a full inbox.
+func (e *TCPEndpoint) InboxDropped() uint64 { return e.inboxDrop.Load() }
 
 // Close implements Endpoint: it stops the listener, closes every cached
 // connection, waits for reader goroutines and closes the inbox. It is

@@ -85,6 +85,11 @@ type (
 	RuntimeMode = engine.RuntimeMode
 	// NodeStats is a snapshot of a live node's protocol counters.
 	NodeStats = engine.Stats
+	// TraceRecord is one trace-sampled exchange (see WithTraceSampling
+	// and System.Trace).
+	TraceRecord = engine.TraceRecord
+	// TraceOutcome is how a traced exchange resolved.
+	TraceOutcome = engine.TraceOutcome
 	// Endpoint is a node's transport attachment (see NewTCPEndpoint, or
 	// build an in-memory fabric via NewCluster).
 	Endpoint = transport.Endpoint
@@ -106,6 +111,15 @@ type WaitPolicy = engine.WaitPolicy
 const (
 	ConstantWait    = engine.ConstantWait
 	ExponentialWait = engine.ExponentialWait
+)
+
+// Trace outcomes for TraceRecord.Outcome: the exchange's pull reply
+// was merged, the peer declined while busy, or the reply deadline
+// reaped it.
+const (
+	TraceCompleted = engine.TraceCompleted
+	TraceNacked    = engine.TraceNacked
+	TraceTimedOut  = engine.TraceTimedOut
 )
 
 // Runtime modes for ClusterConfig.Mode and WithMode: the parallel

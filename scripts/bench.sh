@@ -7,7 +7,7 @@
 #	BENCH_MULTICORE=1 ./scripts/bench.sh   # multi-core scaling gate only
 #	BENCH_OUT=custom.json ./scripts/bench.sh
 #
-# The output (default BENCH_PR6.json) is a JSON array with one object
+# The output (default BENCH_PR7.json) is a JSON array with one object
 # per benchmark result: name, n (parsed from the n=… sub-benchmark
 # label, null when absent) and every reported metric — ns/op,
 # allocs/op, exchanges/s, exchanges/s/worker, ns/exchange,
@@ -25,11 +25,14 @@
 #   BenchmarkRuntimeSustainedScaling  — parallel shard workers 1→GOMAXPROCS
 #                                       (asserts near-linear speedup when the
 #                                       host has the cores; multi-core mode)
+#   BenchmarkRuntimeMetricsOverhead   — telemetry-cost gate: registry + trace
+#                                       sampling + live 20 Hz scraper vs bare
+#                                       (asserts the paired throughput ratio)
 #   BenchmarkSystemReduce             — streaming observation fold
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR6.json}"
+OUT="${BENCH_OUT:-BENCH_PR7.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
@@ -41,18 +44,21 @@ if [ "${BENCH_MULTICORE:-0}" = "1" ]; then
 	EXCHANGE=''
 	SUSTAINED=''
 	SCALING='BenchmarkRuntimeSustainedScaling'
+	OVERHEAD=''
 	REDUCE_TIME=''
 elif [ "${BENCH_QUICK:-0}" = "1" ]; then
 	KERNEL='BenchmarkKernelMillionNode/n=10000$'
 	EXCHANGE='BenchmarkRuntimeExchange/mode=heap/n=10000$'
 	SUSTAINED='BenchmarkRuntimeSustained/n=10000$'
 	SCALING=''
+	OVERHEAD='BenchmarkRuntimeMetricsOverhead'
 	REDUCE_TIME='10x'
 else
 	KERNEL='BenchmarkKernelMillionNode'
 	EXCHANGE='BenchmarkRuntimeExchange'
 	SUSTAINED='BenchmarkRuntimeSustained$'
 	SCALING='BenchmarkRuntimeSustainedScaling'
+	OVERHEAD='BenchmarkRuntimeMetricsOverhead'
 	REDUCE_TIME='100x'
 fi
 
@@ -80,6 +86,9 @@ fi
 if [ -n "$SCALING" ]; then
 	bench go test -run '^$' -bench "$SCALING" -benchtime 1x -benchmem -timeout 60m ./internal/engine
 fi
+if [ -n "$OVERHEAD" ]; then
+	bench go test -run '^$' -bench "$OVERHEAD" -benchtime 1x -benchmem -timeout 30m ./internal/engine
+fi
 if [ -n "$REDUCE_TIME" ]; then
 	bench go test -run '^$' -bench 'BenchmarkSystemReduce$' -benchtime "$REDUCE_TIME" -benchmem .
 fi
@@ -97,6 +106,9 @@ function key(unit) {
 	if (unit == "replies/initiated") return "replies_per_initiated"
 	if (unit == "completion") return "completion"
 	if (unit == "steps/cycle") return "steps_per_cycle"
+	if (unit == "base_exchanges/s") return "base_exchanges_per_s"
+	if (unit == "telemetry_exchanges/s") return "telemetry_exchanges_per_s"
+	if (unit == "telemetry_ratio") return "telemetry_ratio"
 	return ""
 }
 BEGIN { print "["; first = 1 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/epoch"
 	"repro/internal/membership"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/transport"
 )
@@ -45,6 +46,12 @@ type Estimate struct {
 	// Mean, Variance, Min and Max reduce the field across nodes. At
 	// convergence every node holds ≈ Mean and Variance ≈ 0.
 	Mean, Variance, Min, Max float64
+	// Dropped counts the snapshots this subscriber has lost to
+	// latest-wins delivery since subscribing: each is an undelivered
+	// snapshot that was replaced in the channel slot because the
+	// receiver lagged a full cycle. Cumulative; a receiver that keeps
+	// up sees it stay constant while Seq advances.
+	Dropped int
 }
 
 // sysConfig is the Option-assembled configuration of Open.
@@ -68,6 +75,12 @@ type sysConfig struct {
 	peers     []string
 	initState func(i int) func(epochID uint64, value float64) core.State
 	ctx       context.Context
+	ops       string
+	trace     int
+
+	// reg is threaded through to the engine layers; assembled by Open,
+	// not an option.
+	reg *metrics.Registry
 }
 
 // replyTimeout resolves the reply deadline: the explicit option when
@@ -264,6 +277,37 @@ func WithContext(ctx context.Context) Option {
 	}
 }
 
+// WithOps starts an operational HTTP server on addr ("127.0.0.1:0"
+// for an ephemeral port, see System.OpsAddr) serving /metrics
+// (Prometheus text exposition), /healthz (liveness plus convergence
+// summary), /varz (flat JSON of telemetry and every metric) and
+// net/http/pprof under /debug/pprof/. Scrapes read only atomics — a
+// busy 10⁵-node system serves /metrics without stalling a worker.
+func WithOps(addr string) Option {
+	return func(c *sysConfig) error {
+		if addr == "" {
+			return fmt.Errorf("repro: WithOps needs a listen address")
+		}
+		c.ops = addr
+		return nil
+	}
+}
+
+// WithTraceSampling records every n-th initiated exchange per shard
+// into a fixed-size trace ring, drained with System.Trace. Sampling
+// costs two stores and one integer parse per sampled exchange and
+// nothing otherwise; n = 0 (the default) disables tracing entirely.
+// Tracing requires the heap runtime (the default mode).
+func WithTraceSampling(n int) Option {
+	return func(c *sysConfig) error {
+		if n < 0 {
+			return fmt.Errorf("repro: WithTraceSampling needs n ≥ 0, got %d", n)
+		}
+		c.trace = n
+		return nil
+	}
+}
+
 // System is a live aggregation service: a set of locally hosted
 // protocol nodes (in-memory cluster, heap runtime, or one deployable
 // TCP node) continuously maintaining every node's approximation of the
@@ -285,15 +329,28 @@ type System struct {
 	hubs        map[string]*watchHub
 	reduceCount atomic.Uint64
 
+	// metrics is the system's registry; every series is a lock-free
+	// read over state the layers maintain anyway. Served by the ops
+	// endpoint and pinned by the metric-name golden test.
+	metrics  *metrics.Registry
+	openedAt time.Time
+
+	// tele is the convergence tracker (telemetry.go); ops the HTTP
+	// server (ops.go), nil unless WithOps was given.
+	tele telemetryState
+	ops  *opsServer
+
 	done      chan struct{}
 	closeOnce sync.Once
 }
 
 // watchSub is one Watch subscriber: a one-slot channel holding the most
 // recent snapshot, and the context whose cancellation unsubscribes it.
+// dropped is written only by the hub goroutine.
 type watchSub struct {
-	ch  chan Estimate
-	ctx context.Context
+	ch      chan Estimate
+	ctx     context.Context
+	dropped int
 }
 
 // watchHub fans one field's per-cycle snapshot out to every subscriber:
@@ -306,12 +363,20 @@ type watchHub struct {
 	field string
 	seq   int
 	subs  []*watchSub
+
+	// Per-field observability: live subscriber count, snapshots taken,
+	// and latest-wins drops summed over subscribers (per-subscriber
+	// counts ride on Estimate.Dropped).
+	subsGauge *metrics.Gauge
+	snaps     *metrics.Counter
+	drops     *metrics.Counter
 }
 
 // add registers a subscriber. Caller holds sys.watchMu.
 func (h *watchHub) add(ctx context.Context) *watchSub {
 	sub := &watchSub{ch: make(chan Estimate, 1), ctx: ctx}
 	h.subs = append(h.subs, sub)
+	h.subsGauge.Set(float64(len(h.subs)))
 	return sub
 }
 
@@ -330,6 +395,7 @@ func (h *watchHub) run() {
 				close(sub.ch)
 			}
 			h.subs = nil
+			h.subsGauge.Set(0)
 			delete(h.sys.hubs, h.field)
 			h.sys.watchMu.Unlock()
 			return
@@ -348,6 +414,7 @@ func (h *watchHub) run() {
 			h.subs[i] = nil
 		}
 		h.subs = live
+		h.subsGauge.Set(float64(len(h.subs)))
 		if len(h.subs) == 0 {
 			delete(h.sys.hubs, h.field)
 			h.sys.watchMu.Unlock()
@@ -361,15 +428,23 @@ func (h *watchHub) run() {
 			continue // transient: the system may be mid-close
 		}
 		h.seq++
+		h.snaps.Inc()
 		for _, sub := range subs {
 			// Latest-wins delivery: replace a stale undelivered snapshot
 			// rather than blocking the hub (and every other subscriber)
-			// on one slow receiver.
+			// on one slow receiver. Each replacement is a drop, counted
+			// per subscriber (stamped on the outgoing snapshot) and per
+			// field (the hub counter) so slow-watcher starvation is
+			// visible instead of silent.
+			est.Dropped = sub.dropped
 			select {
 			case sub.ch <- est:
 			default:
 				select {
 				case <-sub.ch:
+					sub.dropped++
+					h.drops.Inc()
+					est.Dropped = sub.dropped
 				default:
 				}
 				select {
@@ -418,15 +493,25 @@ func Open(opts ...Option) (*System, error) {
 		clock = c
 	}
 
-	sys := &System{schema: cfg.schema, cycle: cfg.cycle, done: make(chan struct{})}
+	reg := metrics.New()
+	cfg.reg = reg
+	sys := &System{
+		schema:   cfg.schema,
+		cycle:    cfg.cycle,
+		metrics:  reg,
+		openedAt: time.Now(),
+		done:     make(chan struct{}),
+	}
+	var tcpEP *transport.TCPEndpoint // single-node shape's endpoint, for metrics
 	switch {
 	case cfg.tcp && cfg.size == 1:
-		node, err := openTCPNode(cfg, clock)
+		node, ep, err := openTCPNode(cfg, clock)
 		if err != nil {
 			return nil, err
 		}
 		sys.node = node
 		sys.nodes = []*Node{node}
+		tcpEP = ep
 		node.Start()
 	case cfg.tcp:
 		rt, err := openTCPRuntime(cfg, clock)
@@ -451,6 +536,8 @@ func Open(opts ...Option) (*System, error) {
 			Workers:      cfg.workers,
 			BatchWindow:  cfg.batch,
 			Seed:         cfg.seed,
+			Metrics:      reg,
+			TraceSample:  cfg.trace,
 		})
 		if err != nil {
 			return nil, err
@@ -458,6 +545,13 @@ func Open(opts ...Option) (*System, error) {
 		sys.cluster = cluster
 		sys.nodes = cluster.Nodes()
 		cluster.Start(cfg.ctx)
+	}
+	sys.registerSystemMetrics(tcpEP)
+	if cfg.ops != "" {
+		if err := sys.startOps(cfg.ops); err != nil {
+			sys.Close()
+			return nil, err
+		}
 	}
 	if cfg.ctx.Done() != nil {
 		// Context cancellation must close the whole System — including
@@ -476,11 +570,12 @@ func Open(opts ...Option) (*System, error) {
 }
 
 // openTCPNode assembles the deployable single-node shape: one TCP
-// endpoint, gossip membership seeded from the configured peers.
-func openTCPNode(cfg sysConfig, clock *epoch.Clock) (*Node, error) {
+// endpoint (returned alongside the node so the system can register its
+// traffic counters), gossip membership seeded from the configured peers.
+func openTCPNode(cfg sysConfig, clock *epoch.Clock) (*Node, *transport.TCPEndpoint, error) {
 	endpoint, err := transport.NewTCPEndpoint(cfg.listen)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	self := endpoint.Addr()
 	seeds := cfg.peers
@@ -493,7 +588,7 @@ func openTCPNode(cfg sysConfig, clock *epoch.Clock) (*Node, error) {
 	sampler, err := membership.NewGossipSampler(self, cfg.view, seeds)
 	if err != nil {
 		_ = endpoint.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	nodeCfg := engine.Config{
 		Schema:       cfg.schema,
@@ -513,9 +608,9 @@ func openTCPNode(cfg sysConfig, clock *epoch.Clock) (*Node, error) {
 	node, err := engine.NewNode(nodeCfg)
 	if err != nil {
 		_ = endpoint.Close()
-		return nil, err
+		return nil, nil, err
 	}
-	return node, nil
+	return node, endpoint, nil
 }
 
 // openTCPRuntime assembles the multi-node TCP shape: the heap runtime
@@ -564,6 +659,8 @@ func openTCPRuntime(cfg sysConfig, clock *epoch.Clock) (*engine.Runtime, error) 
 		Clock:        clock,
 		BatchWindow:  cfg.batch,
 		Seed:         cfg.seed,
+		Metrics:      cfg.reg,
+		TraceSample:  cfg.trace,
 		Samplers: func(i int, self string, local []string) (membership.Sampler, error) {
 			// Bootstrap: the remote seeds plus the next local sibling,
 			// so the local mesh is connected even before any remote
@@ -698,7 +795,17 @@ func (s *System) Watch(ctx context.Context, field string) (<-chan Estimate, erro
 	}
 	hub, ok := s.hubs[field]
 	if !ok {
-		hub = &watchHub{sys: s, field: field}
+		lbl := metrics.Label{Key: "field", Value: field}
+		hub = &watchHub{
+			sys:   s,
+			field: field,
+			subsGauge: s.metrics.Gauge("repro_watch_subscribers",
+				"Live Watch subscribers of the field.", lbl),
+			snaps: s.metrics.Counter("repro_watch_snapshots_total",
+				"Per-cycle snapshots the field's fan-out hub has taken.", lbl),
+			drops: s.metrics.Counter("repro_watch_dropped_total",
+				"Snapshots lost to latest-wins delivery, summed over the field's subscribers.", lbl),
+		}
 		s.hubs[field] = hub
 		go hub.run()
 	}
@@ -737,6 +844,9 @@ func (s *System) WaitConverged(ctx context.Context, field string, tol float64) (
 func (s *System) Close() {
 	s.closeOnce.Do(func() {
 		close(s.done)
+		if s.ops != nil {
+			s.ops.stop()
+		}
 		switch {
 		case s.cluster != nil:
 			s.cluster.Stop()
