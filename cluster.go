@@ -1,0 +1,131 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// ClusterGroup is n single-node TCP systems on the loopback wired into
+// one gossip mesh: the in-process stand-in for an n-process deployment
+// (cmd/aggctl drives the real thing). Every member runs live gossip
+// membership — there is no static directory anywhere — so the group
+// exercises exactly the discovery, digest-piggybacking and
+// failure-detection paths a production deployment would.
+type ClusterGroup struct {
+	systems []*System
+	cycle   time.Duration
+}
+
+// OpenCluster opens a ClusterGroup of n members. Member 0 listens on an
+// ephemeral loopback port with no seeds (it waits to be contacted);
+// members 1..n-1 bootstrap from member 0's address. The options apply
+// to every member, with two derived per member j: the local value is
+// WithValues' f(j) (each member hosts exactly one node), and the seed
+// is offset so members draw independent randomness. WithTCP and
+// WithSize are managed by the group and rejected if passed.
+func OpenCluster(n int, opts ...Option) (*ClusterGroup, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("repro: OpenCluster needs n ≥ 2 members, got %d", n)
+	}
+	// Probe the assembled configuration once to learn the value function
+	// and base seed the members derive from.
+	probe := sysConfig{
+		size:  2,
+		cycle: 100 * time.Millisecond,
+		seed:  1,
+		view:  8,
+		ctx:   context.Background(),
+		value: func(int) float64 { return 0 },
+	}
+	for _, opt := range opts {
+		if err := opt(&probe); err != nil {
+			return nil, err
+		}
+	}
+	if probe.tcp {
+		return nil, fmt.Errorf("repro: OpenCluster manages its members' TCP endpoints; drop WithTCP")
+	}
+	if probe.sizeSet {
+		return nil, fmt.Errorf("repro: OpenCluster members host one node each; drop WithSize (n is the cluster size)")
+	}
+
+	g := &ClusterGroup{cycle: probe.cycle}
+	var seeds []string
+	for j := 0; j < n; j++ {
+		value := probe.value(j)
+		memberOpts := append(append([]Option{}, opts...),
+			WithValue(value),
+			WithSeed(probe.seed+uint64(j)*0x9e3779b97f4a7c15),
+			WithTCP("127.0.0.1:0", seeds...),
+		)
+		sys, err := Open(memberOpts...)
+		if err != nil {
+			g.Close()
+			return nil, fmt.Errorf("repro: cluster member %d: %w", j, err)
+		}
+		g.systems = append(g.systems, sys)
+		if j == 0 {
+			seeds = []string{sys.Nodes()[0].Addr()}
+		}
+	}
+	return g, nil
+}
+
+// Systems returns the member systems in index order.
+func (g *ClusterGroup) Systems() []*System { return g.systems }
+
+// Size returns the member count.
+func (g *ClusterGroup) Size() int { return len(g.systems) }
+
+// Query folds every member's current approximation of the named field
+// into one typed snapshot — the cross-process analogue of
+// System.Query.
+func (g *ClusterGroup) Query(ctx context.Context, field string) (Estimate, error) {
+	var run Running
+	for _, s := range g.systems {
+		if err := s.Reduce(ctx, field, &run); err != nil {
+			return Estimate{}, err
+		}
+	}
+	return Estimate{
+		Field:    field,
+		Time:     time.Now(),
+		Nodes:    run.N(),
+		Mean:     run.Mean(),
+		Variance: run.Variance(),
+		Min:      run.Min(),
+		Max:      run.Max(),
+	}, nil
+}
+
+// WaitConverged polls once per cycle until the field's cross-member
+// variance falls to at most tol, returning the converged snapshot (or
+// the last one taken alongside ctx's error).
+func (g *ClusterGroup) WaitConverged(ctx context.Context, field string, tol float64) (Estimate, error) {
+	ticker := time.NewTicker(g.cycle)
+	defer ticker.Stop()
+	var last Estimate
+	for {
+		est, err := g.Query(ctx, field)
+		if err != nil {
+			return last, err
+		}
+		last = est
+		if est.Variance <= tol {
+			return est, nil
+		}
+		select {
+		case <-ctx.Done():
+			return last, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Close shuts every member down. Idempotent.
+func (g *ClusterGroup) Close() {
+	for _, s := range g.systems {
+		s.Close()
+	}
+}

@@ -1,0 +1,207 @@
+// Command aggctl drives a multi-process aggregation cluster on one
+// machine: it spawns n aggnode processes on loopback — the first as the
+// seed, the rest bootstrapping from the seed's printed endpoint — then
+// watches every process's periodic report until each one's average
+// estimate agrees with the true mean of the injected values. It exits 0
+// on cluster-wide convergence and 1 on timeout, which makes it both a
+// demo harness and the CI smoke test for live gossip membership across
+// real process and socket boundaries:
+//
+//	go build -o /tmp/agg ./cmd/aggnode ./cmd/aggctl
+//	/tmp/agg/aggctl -bin /tmp/agg/aggnode -n 4 -cycle 100ms -timeout 60s
+//
+// Process j is given value 10·(j+1), so the cluster must converge to
+// 5·(n+1) — a fixed point no single process starts at.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aggctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	bin := flag.String("bin", "aggnode", "path to the aggnode binary")
+	n := flag.Int("n", 4, "number of processes to spawn")
+	cycle := flag.Duration("cycle", 100*time.Millisecond, "cycle length Δt passed to every process")
+	report := flag.Duration("report", 500*time.Millisecond, "report interval passed to every process")
+	tol := flag.Float64("tol", 0.05, "absolute tolerance around the true mean")
+	timeout := flag.Duration("timeout", 60*time.Second, "give up after this long")
+	flag.Parse()
+	if *n < 2 {
+		return fmt.Errorf("-n must be ≥ 2, got %d", *n)
+	}
+
+	want := 5 * float64(*n+1) // mean of 10·(j+1), j = 0..n-1
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	tracker := &convergence{latest: make([]float64, *n)}
+	var procs []*exec.Cmd
+	defer func() {
+		// SIGTERM lets the children print their shutdown line; the
+		// context's kill is the backstop.
+		for _, p := range procs {
+			if p.Process != nil {
+				_ = p.Process.Signal(syscall.SIGTERM)
+			}
+		}
+		for _, p := range procs {
+			_ = p.Wait()
+		}
+	}()
+
+	spawn := func(j int, peers string) (*exec.Cmd, *bufio.Scanner, error) {
+		args := []string{
+			"-listen", "127.0.0.1:0",
+			"-value", strconv.FormatFloat(10*float64(j+1), 'g', -1, 64),
+			"-cycle", cycle.String(),
+			"-report", report.String(),
+		}
+		if peers != "" {
+			args = append(args, "-peers", peers)
+		}
+		cmd := exec.CommandContext(ctx, *bin, args...)
+		cmd.Stderr = os.Stderr
+		cmd.WaitDelay = 5 * time.Second
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, nil, fmt.Errorf("spawn process %d: %w", j, err)
+		}
+		return cmd, bufio.NewScanner(out), nil
+	}
+
+	// The seed must print its endpoint before anyone can bootstrap off it.
+	seed, seedOut, err := spawn(0, "")
+	if err != nil {
+		return err
+	}
+	procs = append(procs, seed)
+	seedAddr, err := awaitEndpoint(seedOut)
+	if err != nil {
+		return fmt.Errorf("seed process: %w", err)
+	}
+	fmt.Printf("aggctl: seed on %s, spawning %d more, want mean %g ± %g\n", seedAddr, *n-1, want, *tol)
+	go tracker.watch(0, seedOut)
+
+	for j := 1; j < *n; j++ {
+		p, out, err := spawn(j, seedAddr)
+		if err != nil {
+			return err
+		}
+		procs = append(procs, p)
+		go tracker.watch(j, out)
+	}
+
+	tick := time.NewTicker(*report)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster did not converge within %v: latest estimates %v (want %g ± %g)",
+				*timeout, tracker.snapshot(), want, *tol)
+		case <-tick.C:
+			if est, ok := tracker.converged(want, *tol); ok {
+				fmt.Printf("aggctl: converged, estimates %v\n", est)
+				return nil
+			}
+		}
+	}
+}
+
+// awaitEndpoint reads process stdout until the aggnode banner reveals
+// the listening address.
+func awaitEndpoint(sc *bufio.Scanner) (string, error) {
+	const marker = "first endpoint "
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, marker); i >= 0 {
+			addr := line[i+len(marker):]
+			if j := strings.IndexByte(addr, ' '); j >= 0 {
+				addr = addr[:j]
+			}
+			// Sub-addressed endpoints ("host:port#node") route on the
+			// base address.
+			if j := strings.IndexByte(addr, '#'); j >= 0 {
+				addr = addr[:j]
+			}
+			return addr, nil
+		}
+	}
+	return "", fmt.Errorf("stdout closed before the endpoint banner: %v", sc.Err())
+}
+
+// convergence tracks the latest reported average per process.
+type convergence struct {
+	mu     sync.Mutex
+	latest []float64
+	seen   []bool
+}
+
+// watch scans one process's report stream for "avg=..." tokens.
+func (c *convergence) watch(j int, sc *bufio.Scanner) {
+	for sc.Scan() {
+		line := sc.Text()
+		i := strings.Index(line, "avg=")
+		if i < 0 {
+			continue
+		}
+		tok := line[i+len("avg="):]
+		if k := strings.IndexByte(tok, ' '); k >= 0 {
+			tok = tok[:k]
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		if c.seen == nil {
+			c.seen = make([]bool, len(c.latest))
+		}
+		c.latest[j] = v
+		c.seen[j] = true
+		c.mu.Unlock()
+	}
+}
+
+// converged reports whether every process has reported an average
+// within tol of want, returning the latest estimates either way.
+func (c *convergence) converged(want, tol float64) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	est := append([]float64(nil), c.latest...)
+	if c.seen == nil {
+		return est, false
+	}
+	for j, v := range c.latest {
+		if !c.seen[j] || v < want-tol || v > want+tol {
+			return est, false
+		}
+	}
+	return est, true
+}
+
+// snapshot returns the latest estimates for error reporting.
+func (c *convergence) snapshot() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]float64(nil), c.latest...)
+}

@@ -43,6 +43,16 @@ type ClusterConfig struct {
 	// Clock, when non-nil, drives epoch restarts on every node (§4
 	// adaptivity); nil runs one endless epoch.
 	Clock *epoch.Clock
+	// Samplers, when non-nil, builds node i's membership sampler (self
+	// is the node's address, local the cluster's full address table).
+	// Nil keeps the default: a shared full-membership Directory. This is
+	// how a cluster runs on live gossip membership instead of static
+	// configuration — it is honored by both runtimes.
+	Samplers func(i int, self string, local []string) (membership.Sampler, error)
+	// GossipFanout is how many membership addresses to piggyback per
+	// message when a sampler observes traffic (default 3; negative
+	// disables). Ignored for directory samplers, which gossip nothing.
+	GossipFanout int
 	// Mode selects the runtime: ModeGoroutine (the default, two
 	// goroutines per node) or ModeHeap (a sharded event-heap scheduler
 	// on a small worker pool — the 10⁵-node-per-process path).
@@ -77,9 +87,10 @@ type Cluster struct {
 	ctxStop   chan struct{} // closed by Stop to release the ctx watcher
 }
 
-// NewCluster builds (but does not start) a local cluster. Every node
-// samples peers from a shared full-membership directory, matching the
-// paper's complete-overlay assumption in O(N) total memory.
+// NewCluster builds (but does not start) a local cluster. By default
+// every node samples peers from a shared full-membership directory,
+// matching the paper's complete-overlay assumption in O(N) total
+// memory; set Samplers to run on live gossip membership instead.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Size < 2 {
 		return nil, fmt.Errorf("engine: cluster needs ≥ 2 nodes, got %d", cfg.Size)
@@ -102,6 +113,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			PushOnly:     cfg.PushOnly,
 			InitState:    cfg.InitState,
 			Clock:        cfg.Clock,
+			Samplers:     cfg.Samplers,
+			GossipFanout: cfg.GossipFanout,
 			Workers:      cfg.Workers,
 			BatchWindow:  cfg.BatchWindow,
 			Seed:         cfg.Seed,
@@ -128,7 +141,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 	c := &Cluster{fabric: fabric, schema: cfg.Schema, nodes: make([]*Node, 0, cfg.Size)}
 	for i := 0; i < cfg.Size; i++ {
-		sampler, err := membership.NewDirectory(addrs, i)
+		var sampler membership.Sampler
+		var err error
+		if cfg.Samplers != nil {
+			sampler, err = cfg.Samplers(i, addrs[i], addrs)
+		} else {
+			sampler, err = membership.NewDirectory(addrs, i)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("engine: sampler for node %d: %w", i, err)
 		}
@@ -142,6 +161,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Wait:         cfg.Wait,
 			PushOnly:     cfg.PushOnly,
 			Clock:        cfg.Clock,
+			GossipFanout: cfg.GossipFanout,
 			Seed:         cfg.Seed + uint64(i)*0x9e3779b97f4a7c15,
 		}
 		if cfg.InitState != nil {

@@ -123,6 +123,7 @@ type Stats struct {
 	Initiated     uint64 // exchanges started by the active loop
 	Replies       uint64 // pull replies received and merged
 	Timeouts      uint64 // exchanges abandoned waiting for the reply
+	LateReplies   uint64 // post-timeout replies absorbed to conserve mass
 	Served        uint64 // pushes answered on the passive side
 	EpochSwitches uint64 // restarts (local timer or observed id)
 	StaleDropped  uint64 // messages discarded for carrying an old epoch
@@ -166,7 +167,18 @@ type Node struct {
 
 	replyTimer *time.Timer // reply-deadline timer, reused across exchanges (active loop only)
 
+	// Late-reply absorption (all guarded by mu): when an exchange times
+	// out, the passive peer has already committed its half of the merge,
+	// so dropping the reply loses (S_A−S_B)/2 of total mass. stateVer
+	// counts state mutations; a reply arriving after its deadline is
+	// still merged iff the state is untouched since the push snapshot
+	// (stateVer == lateVer) and no new exchange is in flight.
+	stateVer uint64
+	lateSeq  uint64
+	lateVer  uint64
+
 	initiated, replies, timeouts atomic.Uint64
+	lateReplies                  atomic.Uint64
 	served, epochSwitches        atomic.Uint64
 	staleDropped, sendErrors     atomic.Uint64
 	busyDropped, peerBusy        atomic.Uint64
@@ -360,6 +372,7 @@ func (n *Node) Stats() Stats {
 		Initiated:     n.initiated.Load(),
 		Replies:       n.replies.Load(),
 		Timeouts:      n.timeouts.Load(),
+		LateReplies:   n.lateReplies.Load(),
 		Served:        n.served.Load(),
 		EpochSwitches: n.epochSwitches.Load(),
 		StaleDropped:  n.staleDropped.Load(),
@@ -391,6 +404,12 @@ func (n *Node) activeLoop() {
 		case <-timer.C:
 		}
 		n.checkLocalEpoch()
+		if n.observes {
+			// One gossip round has passed: age the membership view here,
+			// not per message, so view lifetimes are measured in cycles
+			// regardless of traffic volume.
+			n.cfg.Sampler.Tick()
+		}
 		n.initiateExchange()
 		timer.Reset(n.waitDuration())
 	}
@@ -406,6 +425,7 @@ func (n *Node) checkLocalEpoch() {
 	n.mu.Lock()
 	if n.tracker.Observe(now) {
 		n.state = n.initState(n.tracker.Current(), n.value)
+		n.stateVer++
 		n.epochSwitches.Add(1)
 	}
 	n.mu.Unlock()
@@ -419,6 +439,16 @@ func (n *Node) initiateExchange() {
 	peer, ok := n.cfg.Sampler.Sample(n.rngAct)
 	if !ok || peer == n.addr {
 		return
+	}
+	if !n.cfg.PushOnly {
+		// Retire any reply a timed-out exchange left in the slot (its
+		// pendingSeq load raced the timeout's reset). Done before busy is
+		// set so a conserving late merge is still admissible.
+		select {
+		case stale := <-n.replyCh:
+			n.tryAbsorbLate(stale)
+		default:
+		}
 	}
 	fields := n.pool.get()
 	n.mu.Lock()
@@ -439,18 +469,18 @@ func (n *Node) initiateExchange() {
 		Fields: fields,
 	}
 	if n.observes && n.cfg.GossipFanout > 0 {
-		msg.Gossip = n.cfg.Sampler.Digest(n.rngAct, n.cfg.GossipFanout)
+		// The digest slices must be owned by the message: transports and
+		// batchers retain messages by reference, so sender-side scratch
+		// reuse is not possible here (see DESIGN.md "Membership").
+		msg.Gossip, msg.GossipAges = n.cfg.Sampler.AppendDigest(nil, nil, n.rngAct, n.cfg.GossipFanout)
 	}
 
 	if !n.cfg.PushOnly {
-		// Retire any stale reply a timed-out exchange left in the slot,
-		// then publish the new exchange's sequence number — from here on
+		// Publish the new exchange's sequence number — from here on
 		// routeReply admits only this exchange's reply.
-		select {
-		case stale := <-n.replyCh:
-			n.pool.put(stale.Fields)
-		default:
-		}
+		n.mu.Lock()
+		n.lateSeq = 0 // a new exchange supersedes any absorbable late reply
+		n.mu.Unlock()
 		n.pendingSeq.Store(msg.Seq)
 		defer n.pendingSeq.Store(0)
 	}
@@ -492,6 +522,20 @@ func (n *Node) initiateExchange() {
 			return
 		case <-n.replyTimer.C:
 			n.timeouts.Add(1)
+			if n.observes {
+				// Treat the missed deadline as a failure signal: drop the
+				// peer from the view. A live-but-slow peer re-enters the
+				// moment its next message is observed.
+				n.cfg.Sampler.Forget(peer)
+			}
+			// The peer may have committed its half of the merge and the
+			// reply may merely be late. Arm absorption: routeReply will
+			// still merge it as long as our state hasn't moved since the
+			// push snapshot (busy blocked all merges, so stateVer is
+			// still the snapshot's version here).
+			n.mu.Lock()
+			n.lateSeq, n.lateVer = msg.Seq, n.stateVer
+			n.mu.Unlock()
 			return
 		case <-n.stop:
 			return
@@ -507,6 +551,7 @@ func (n *Node) absorb(m transport.Message) {
 	defer n.mu.Unlock()
 	if n.tracker.Observe(m.Epoch) {
 		n.state = n.initState(n.tracker.Current(), n.value)
+		n.stateVer++
 		n.epochSwitches.Add(1)
 		// The reply belongs to the new epoch we just joined; merge it.
 	} else if !n.tracker.InSync(m.Epoch) {
@@ -517,6 +562,7 @@ func (n *Node) absorb(m transport.Message) {
 		return // schema mismatch; drop defensively
 	}
 	n.cfg.Schema.MergeInto(n.state, core.State(m.Fields))
+	n.stateVer++
 }
 
 // dispatch is the protocol's passive thread: it serves pushes and routes
@@ -533,13 +579,12 @@ func (n *Node) dispatch() {
 }
 
 // observe feeds a message's sender and piggybacked gossip to the
-// sampler. Skipped entirely for directory samplers (global knowledge),
-// whose no-op Observe isn't worth the argument-slice allocation.
+// sampler. Skipped entirely for directory samplers (global knowledge).
 func (n *Node) observe(m *transport.Message) {
 	if !n.observes || m.From == "" {
 		return
 	}
-	n.cfg.Sampler.Observe(append([]string{m.From}, m.Gossip...)...)
+	n.cfg.Sampler.Observe(m.From, m.Gossip, m.GossipAges)
 }
 
 // servePush implements the passive half (Figure 1, bottom): reply with
@@ -568,6 +613,7 @@ func (n *Node) servePush(m transport.Message) {
 	}
 	if n.tracker.Observe(m.Epoch) {
 		n.state = n.initState(n.tracker.Current(), n.value)
+		n.stateVer++
 		n.epochSwitches.Add(1)
 	} else if !n.tracker.InSync(m.Epoch) {
 		n.mu.Unlock()
@@ -582,6 +628,7 @@ func (n *Node) servePush(m transport.Message) {
 	}
 	if n.cfg.PushOnly {
 		n.cfg.Schema.MergeInto(n.state, core.State(m.Fields))
+		n.stateVer++
 		n.mu.Unlock()
 		n.served.Add(1)
 		n.pool.put(m.Fields)
@@ -590,6 +637,7 @@ func (n *Node) servePush(m transport.Message) {
 	// One pass, zero copies: the state adopts the merge and the inbound
 	// push buffer becomes the pre-merge reply payload.
 	n.cfg.Schema.MergeExchange(n.state, core.State(m.Fields))
+	n.stateVer++
 	ep := n.tracker.Current()
 	n.mu.Unlock()
 	n.served.Add(1)
@@ -601,7 +649,7 @@ func (n *Node) servePush(m transport.Message) {
 		Fields: m.Fields,
 	}
 	if n.observes && n.cfg.GossipFanout > 0 {
-		reply.Gossip = n.cfg.Sampler.Digest(n.rngDisp, n.cfg.GossipFanout)
+		reply.Gossip, reply.GossipAges = n.cfg.Sampler.AppendDigest(nil, nil, n.rngDisp, n.cfg.GossipFanout)
 	}
 	if err := n.cfg.Endpoint.Send(m.From, reply); err != nil {
 		n.sendErrors.Add(1)
@@ -609,16 +657,60 @@ func (n *Node) servePush(m transport.Message) {
 }
 
 // routeReply hands a reply to the waiting exchange, if still current;
-// stale and surplus replies are retired into the pool.
+// replies whose exchange already timed out go through late absorption,
+// and everything else is retired into the pool.
 func (n *Node) routeReply(m transport.Message) {
 	n.observe(&m)
 	if m.Seq == 0 || m.Seq != n.pendingSeq.Load() {
-		n.pool.put(m.Fields)
-		return // exchange already timed out (seq 0 is never in flight)
+		n.tryAbsorbLate(m) // exchange already timed out (seq 0 is never in flight)
+		return
 	}
 	select {
 	case n.replyCh <- m:
 	default:
 		n.pool.put(m.Fields)
 	}
+}
+
+// tryAbsorbLate merges a pull reply that arrived after its exchange's
+// deadline. The passive peer committed its half of the merge when it
+// served the push, so dropping the reply would lose (S_A−S_B)/2 of the
+// total mass (§3.2) — the root cause of the converged-mean glitches the
+// gossip-membership integration test used to tolerate. The merge is
+// only admissible while it still commutes with the abandoned exchange:
+// our state must be untouched since the push snapshot (stateVer ==
+// lateVer; busy blocked merges during the wait) and no new exchange may
+// be in flight (busy false, lateSeq not superseded).
+func (n *Node) tryAbsorbLate(m transport.Message) {
+	if m.Kind != transport.KindReply || m.Seq == 0 {
+		n.pool.put(m.Fields)
+		return
+	}
+	n.mu.Lock()
+	if m.Seq != n.lateSeq || n.stateVer != n.lateVer || n.busy.Load() {
+		n.mu.Unlock()
+		n.pool.put(m.Fields)
+		return
+	}
+	n.lateSeq = 0
+	if n.tracker.Observe(m.Epoch) {
+		n.state = n.initState(n.tracker.Current(), n.value)
+		n.stateVer++
+		n.epochSwitches.Add(1)
+	} else if !n.tracker.InSync(m.Epoch) {
+		n.mu.Unlock()
+		n.staleDropped.Add(1)
+		n.pool.put(m.Fields)
+		return
+	}
+	if len(m.Fields) != len(n.state) {
+		n.mu.Unlock()
+		n.pool.put(m.Fields)
+		return
+	}
+	n.cfg.Schema.MergeInto(n.state, core.State(m.Fields))
+	n.stateVer++
+	n.mu.Unlock()
+	n.lateReplies.Add(1)
+	n.pool.put(m.Fields)
 }

@@ -240,7 +240,17 @@ type rnode struct {
 	pendingSeq uint64  // nonzero while an exchange is in flight (the busy flag)
 	pendingAt  float64 // when the in-flight exchange's push was sent
 	pendingDst int32   // traced peer index (-1 remote); only set while tracing
-	stats      Stats
+	// pendingPeer is the in-flight exchange's destination, kept so a
+	// missed reply deadline can Forget it (failure detection from
+	// traffic); only maintained when the sampler observes.
+	pendingPeer string
+	// Late-reply absorption state (see rshard.absorbLate): stateVer
+	// counts state mutations; lateSeq/lateVer arm the merge of a reply
+	// that outlived its deadline.
+	stateVer uint64
+	lateSeq  uint64
+	lateVer  uint64
+	stats    Stats
 }
 
 // failure records one undeliverable batch destination for a sender.
@@ -260,13 +270,14 @@ type shardCounters struct {
 	initiated     atomic.Uint64
 	replies       atomic.Uint64
 	timeouts      atomic.Uint64
+	lateReplies   atomic.Uint64
 	served        atomic.Uint64
 	epochSwitches atomic.Uint64
 	staleDropped  atomic.Uint64
 	sendErrors    atomic.Uint64
 	busyDropped   atomic.Uint64
 	peerBusy      atomic.Uint64
-	_             [56]byte // pad 9×8 B of counters to two full cache lines
+	_             [48]byte // pad 10×8 B of counters to two full cache lines
 }
 
 // rshard is one worker's slice of the runtime: a contiguous node range,
@@ -468,6 +479,7 @@ func (rt *Runtime) registerMetrics(reg *metrics.Registry) {
 			{"repro_engine_exchanges_initiated_total", "Exchanges started by hosted nodes.", &s.ctr.initiated},
 			{"repro_engine_exchanges_completed_total", "Exchanges whose pull reply was merged.", &s.ctr.replies},
 			{"repro_engine_exchange_deadline_missed_total", "Exchanges reaped by the reply deadline.", &s.ctr.timeouts},
+			{"repro_engine_late_replies_absorbed_total", "Post-deadline replies still merged to conserve mass.", &s.ctr.lateReplies},
 			{"repro_engine_exchanges_nacked_total", "Exchanges declined by a busy peer.", &s.ctr.peerBusy},
 			{"repro_engine_pushes_served_total", "Inbound pushes merged and replied to.", &s.ctr.served},
 			{"repro_engine_pushes_declined_total", "Inbound pushes nacked while busy.", &s.ctr.busyDropped},
@@ -504,6 +516,44 @@ func (rt *Runtime) registerMetrics(reg *metrics.Registry) {
 			s.out.MessagesSent, lbl)
 		reg.CounterFunc("repro_transport_send_failures_total", "Messages whose batch delivery failed.",
 			s.out.SendFailures, lbl)
+		var gossips []*membership.GossipSampler
+		for i := range s.nodes {
+			if g, ok := s.nodes[i].sampler.(*membership.GossipSampler); ok {
+				gossips = append(gossips, g)
+			}
+		}
+		if len(gossips) > 0 {
+			// The sampler mirrors are atomics, so scrapes stay lock-free
+			// like every other series here.
+			gossips := gossips
+			reg.GaugeFunc("repro_membership_view_entries",
+				"Peer entries across the shard's gossip membership views.",
+				func() float64 {
+					var t float64
+					for _, g := range gossips {
+						t += float64(g.ViewSize())
+					}
+					return t
+				}, lbl)
+			reg.CounterFunc("repro_membership_observed_total",
+				"Messages whose sender and digest fed a membership view.",
+				func() uint64 {
+					var t uint64
+					for _, g := range gossips {
+						t += g.ObservedTotal()
+					}
+					return t
+				}, lbl)
+			reg.CounterFunc("repro_membership_forgotten_total",
+				"Peers dropped from membership views as dead (send failures and missed deadlines).",
+				func() uint64 {
+					var t uint64
+					for _, g := range gossips {
+						t += g.ForgottenTotal()
+					}
+					return t
+				}, lbl)
+		}
 		if tcp, ok := s.ep.(*transport.TCPEndpoint); ok {
 			reg.CounterFunc("repro_transport_tcp_dials_total", "Outbound TCP connections established.", tcp.Dials, lbl)
 			reg.CounterFunc("repro_transport_tcp_bytes_sent_total", "Bytes written to TCP peers.", tcp.BytesSent, lbl)
@@ -717,6 +767,7 @@ func (rt *Runtime) Stats() Stats {
 		agg.Initiated += s.ctr.initiated.Load()
 		agg.Replies += s.ctr.replies.Load()
 		agg.Timeouts += s.ctr.timeouts.Load()
+		agg.LateReplies += s.ctr.lateReplies.Load()
 		agg.Served += s.ctr.served.Load()
 		agg.EpochSwitches += s.ctr.epochSwitches.Load()
 		agg.StaleDropped += s.ctr.staleDropped.Load()
@@ -967,12 +1018,27 @@ func (s *rshard) handleEvent(ev sim.Event, now float64) {
 			n.pendingSeq = 0
 			n.stats.Timeouts++
 			s.ctr.timeouts.Add(1)
+			if n.observes && n.pendingPeer != "" {
+				// Failure detection from traffic: a missed deadline drops
+				// the peer from the view. A live-but-slow peer re-enters
+				// the moment its next message is observed.
+				n.sampler.Forget(n.pendingPeer)
+			}
+			// The peer may have committed its half of the merge; arm
+			// absorption so a merely-late reply still conserves mass
+			// (see absorbLate).
+			n.lateSeq, n.lateVer = ev.Seq, n.stateVer
 			if s.traceSampled(ev.Seq) {
 				s.recordTrace(n, idx, ev.Seq, TraceTimedOut, now)
 			}
 		}
 	case evWake:
 		s.checkClock(n)
+		if n.observes {
+			// One gossip round per wake: view entries age per cycle, not
+			// per message, so lifetimes are independent of traffic rate.
+			n.sampler.Tick()
+		}
 		wait := s.waitSeconds(n)
 		at := ev.At + wait
 		if n.pendingSeq == 0 {
@@ -1023,6 +1089,7 @@ func (s *rshard) checkClock(n *rnode) {
 // current epoch. Caller holds s.mu.
 func (s *rshard) restart(n *rnode) {
 	copy(n.state, s.rt.initStateFor(n, n.tracker.Current()))
+	n.stateVer++
 	n.stats.EpochSwitches++
 	s.ctr.epochSwitches.Add(1)
 }
@@ -1050,13 +1117,21 @@ func (s *rshard) initiate(n *rnode, idx int, now float64) {
 		Fields: fields,
 	}
 	if s.rt.cfg.GossipFanout > 0 && n.observes {
-		msg.Gossip = n.sampler.Digest(n.rng, s.rt.cfg.GossipFanout)
+		// The digest slices must be owned by the message: the batcher
+		// retains it until flush and the fabric delivers by reference, so
+		// sender-side scratch reuse is not possible here (DESIGN.md
+		// "Membership").
+		msg.Gossip, msg.GossipAges = n.sampler.AppendDigest(nil, nil, n.rng, s.rt.cfg.GossipFanout)
 	}
 	n.stats.Initiated++
 	s.ctr.initiated.Add(1)
 	if !s.rt.cfg.PushOnly {
 		n.pendingSeq = s.seq
 		n.pendingAt = now
+		n.lateSeq = 0 // a new exchange supersedes any absorbable late reply
+		if n.observes {
+			n.pendingPeer = peer
+		}
 		if s.traceSampled(s.seq) {
 			// The peer index is parsed only on the sampling lattice; with
 			// tracing off initiate does no extra work beyond two stores.
@@ -1097,7 +1172,7 @@ func (s *rshard) handleMessage(m transport.Message) {
 	}
 	n := &s.nodes[idx-s.lo]
 	if n.observes && m.From != "" {
-		n.sampler.Observe(append([]string{m.From}, m.Gossip...)...)
+		n.sampler.Observe(m.From, m.Gossip, m.GossipAges)
 	}
 	switch m.Kind {
 	case transport.KindPush:
@@ -1147,6 +1222,7 @@ func (s *rshard) servePush(n *rnode, idx int, m transport.Message) {
 	if s.rt.cfg.PushOnly {
 		// No reply to build: merge in place and retire the buffer.
 		s.rt.schema.MergeInto(core.State(n.state), core.State(m.Fields))
+		n.stateVer++
 		n.stats.Served++
 		s.ctr.served.Add(1)
 		s.free.put(m.Fields)
@@ -1155,6 +1231,7 @@ func (s *rshard) servePush(n *rnode, idx int, m transport.Message) {
 	// One pass, zero copies: the state adopts the merge and the inbound
 	// push buffer becomes the pre-merge reply payload.
 	s.rt.schema.MergeExchange(core.State(n.state), core.State(m.Fields))
+	n.stateVer++
 	n.stats.Served++
 	s.ctr.served.Add(1)
 	reply := transport.Message{
@@ -1165,7 +1242,7 @@ func (s *rshard) servePush(n *rnode, idx int, m transport.Message) {
 		Fields: m.Fields,
 	}
 	if s.rt.cfg.GossipFanout > 0 && n.observes {
-		reply.Gossip = n.sampler.Digest(n.rng, s.rt.cfg.GossipFanout)
+		reply.Gossip, reply.GossipAges = n.sampler.AppendDigest(nil, nil, n.rng, s.rt.cfg.GossipFanout)
 	}
 	if err := s.out.Send(m.From, reply); err != nil {
 		n.stats.SendErrors++
@@ -1179,7 +1256,10 @@ func (s *rshard) servePush(n *rnode, idx int, m transport.Message) {
 func (s *rshard) handleReply(n *rnode, idx int, m transport.Message) {
 	defer s.free.put(m.Fields)
 	if n.pendingSeq == 0 || m.Seq != n.pendingSeq {
-		return // exchange already timed out, or a stray duplicate
+		// The exchange already timed out; the reply may still be
+		// absorbable (mass conservation — see absorbLate).
+		s.absorbLate(n, m)
+		return
 	}
 	n.pendingSeq = 0
 	if m.Kind == transport.KindNack {
@@ -1205,6 +1285,38 @@ func (s *rshard) handleReply(n *rnode, idx int, m transport.Message) {
 		return
 	}
 	s.rt.schema.MergeInto(core.State(n.state), core.State(m.Fields))
+	n.stateVer++
 	n.stats.Replies++
 	s.ctr.replies.Add(1)
+}
+
+// absorbLate merges a pull reply that arrived after its exchange's
+// deadline. The passive peer committed its half of the merge when it
+// served the push, so dropping the reply would lose (S_A−S_B)/2 of the
+// total aggregate mass (§3.2). The merge is only admissible while it
+// still commutes with the abandoned exchange: the node's state must be
+// untouched since the deadline armed it (stateVer == lateVer) and no
+// new exchange may be in flight (pendingSeq 0, lateSeq not
+// superseded). Caller holds s.mu; m.Fields is recycled by the caller.
+func (s *rshard) absorbLate(n *rnode, m transport.Message) {
+	if m.Kind != transport.KindReply || m.Seq == 0 ||
+		m.Seq != n.lateSeq || n.stateVer != n.lateVer || n.pendingSeq != 0 {
+		return
+	}
+	n.lateSeq = 0
+	if n.tracker.Observe(m.Epoch) {
+		s.restart(n)
+		// The reply belongs to the new epoch we just joined; merge it.
+	} else if !n.tracker.InSync(m.Epoch) {
+		n.stats.StaleDropped++
+		s.ctr.staleDropped.Add(1)
+		return
+	}
+	if len(m.Fields) != len(n.state) {
+		return
+	}
+	s.rt.schema.MergeInto(core.State(n.state), core.State(m.Fields))
+	n.stateVer++
+	n.stats.LateReplies++
+	s.ctr.lateReplies.Add(1)
 }

@@ -452,9 +452,12 @@ func (h *hubSampler) Sample(rng *xrand.Rand) (string, bool) {
 	return "", false
 }
 
-func (h *hubSampler) Observe(...string)                {}
-func (h *hubSampler) Digest(*xrand.Rand, int) []string { return nil }
-func (h *hubSampler) Forget(string)                    {}
+func (h *hubSampler) Observe(string, []string, []uint32) {}
+func (h *hubSampler) AppendDigest(addrs []string, ages []uint32, _ *xrand.Rand, _ int) ([]string, []uint32) {
+	return addrs, ages
+}
+func (h *hubSampler) Tick()         {}
+func (h *hubSampler) Forget(string) {}
 
 // TestRuntimeSkewedLoadStealRace hammers the cross-shard path under
 // hub skew: four parallel shard workers, 90% of all pushes aimed at

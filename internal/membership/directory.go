@@ -43,11 +43,16 @@ func (d *Directory) Sample(rng *xrand.Rand) (string, bool) {
 }
 
 // Observe implements Sampler (no-op: the table is global knowledge).
-func (d *Directory) Observe(...string) {}
+func (d *Directory) Observe(string, []string, []uint32) {}
 
-// Digest implements Sampler (nothing to gossip: every peer already
-// holds the full table).
-func (d *Directory) Digest(*xrand.Rand, int) []string { return nil }
+// AppendDigest implements Sampler (nothing to gossip: every peer
+// already holds the full table).
+func (d *Directory) AppendDigest(addrs []string, ages []uint32, _ *xrand.Rand, _ int) ([]string, []uint32) {
+	return addrs, ages
+}
+
+// Tick implements Sampler (no-op: directory entries do not age).
+func (d *Directory) Tick() {}
 
 // Forget implements Sampler (no-op: the table is the configuration).
 func (d *Directory) Forget(string) {}

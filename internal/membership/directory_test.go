@@ -54,10 +54,11 @@ func TestDirectoryNoopHooks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d.Observe("x", "y")
+	d.Observe("x", []string{"y"}, nil)
+	d.Tick()
 	d.Forget("b")
-	if got := d.Digest(xrand.New(1), 3); got != nil {
-		t.Fatalf("Digest = %v, want nil", got)
+	if got, gotAges := d.AppendDigest(nil, nil, xrand.New(1), 3); got != nil || gotAges != nil {
+		t.Fatalf("AppendDigest = %v / %v, want nil", got, gotAges)
 	}
 	if addr, ok := d.Sample(xrand.New(2)); !ok || addr != "b" {
 		t.Fatalf("Sample = %q/%v after no-op hooks", addr, ok)

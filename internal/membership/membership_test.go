@@ -133,10 +133,33 @@ func TestStaticSampler(t *testing.T) {
 			t.Fatalf("address %s sampled %d/3000; not uniform", a, counts[a])
 		}
 	}
-	s.Observe("zzz") // no-op
-	s.Forget("a")    // no-op
-	if d := s.Digest(rng, 2); len(d) != 2 {
-		t.Fatalf("digest = %v", d)
+	s.Observe("zzz", nil, nil) // no-op
+	s.Tick()                   // no-op
+	s.Forget("a")              // no-op
+	d, dAges := s.AppendDigest(nil, nil, rng, 2)
+	if len(d) != 2 || len(dAges) != 2 {
+		t.Fatalf("digest = %v / %v", d, dAges)
+	}
+	if d[0] == d[1] {
+		t.Fatal("digest returned duplicates")
+	}
+	if all, _ := s.AppendDigest(nil, nil, rng, 99); len(all) != 3 {
+		t.Fatalf("oversize digest len = %d, want clamped 3", len(all))
+	}
+}
+
+func TestStaticAppendDigestAllocs(t *testing.T) {
+	s, err := NewStatic([]string{"a", "b", "c", "d", "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(7)
+	addrs := make([]string, 0, 8)
+	ages := make([]uint32, 0, 8)
+	if n := testing.AllocsPerRun(1000, func() {
+		addrs, ages = s.AppendDigest(addrs[:0], ages[:0], rng, 3)
+	}); n != 0 {
+		t.Fatalf("AppendDigest allocs = %v, want 0", n)
 	}
 }
 
@@ -178,7 +201,8 @@ func TestGossipSamplerObserveAndForget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g.Observe("p1", "p2", "p3")
+	g.Tick() // a round passes before any traffic arrives
+	g.Observe("p1", []string{"p2", "p3"}, nil)
 	view := g.ViewAddrs()
 	if len(view) != 4 {
 		t.Fatalf("view = %v, want 4 entries", view)
@@ -200,27 +224,70 @@ func TestGossipSamplerEvictsStaleUnderChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Fresh peers keep arriving; the dead seed must age out once the
-	// view fills with younger entries.
+	// One gossip round per fresh arrival: the dead seed is never
+	// refreshed, so it ages every Tick and must lose to the younger
+	// entries once the view fills.
 	for i := 0; i < 10; i++ {
-		g.Observe(fmt.Sprintf("live%d", i))
+		g.Tick()
+		g.Observe(fmt.Sprintf("live%d", i), nil, nil)
 	}
 	for _, a := range g.ViewAddrs() {
 		if a == "dead" {
-			t.Fatal("stale seed survived 10 fresh observations with capacity 3")
+			t.Fatal("stale seed survived 10 rounds of fresh observations with capacity 3")
+		}
+	}
+	if g.ForgottenTotal() != 0 {
+		t.Fatalf("capacity eviction counted as Forget: %d", g.ForgottenTotal())
+	}
+}
+
+func TestGossipSamplerAgesPerRoundNotPerMessage(t *testing.T) {
+	// Regression for the sampler-lifecycle bug: Observe used to call
+	// view.AgeAll() per incoming message, so at heap-runtime rates
+	// (10⁵+ msgs/s) a live peer not mentioned in the last handful of
+	// digests aged out of a capacity-8 view within milliseconds. Aging
+	// is now driven by Tick, once per gossip round.
+	g, err := NewGossipSampler("self", 8, []string{"stable"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	senders := []string{"p0", "p1", "p2"}
+	for i := 0; i < 100000; i++ {
+		g.Observe(senders[i%len(senders)], nil, nil)
+	}
+	// "stable" was seeded at age 0 and never re-observed; with zero
+	// ticks it must still be present at age 0 despite 10⁵ messages.
+	age, found := uint32(0), false
+	for _, e := range g.view.Entries() {
+		if e.Addr == "stable" {
+			age, found = e.Age, true
+		}
+	}
+	if !found {
+		t.Fatal("unrefreshed live peer evicted by message volume alone")
+	}
+	if age != 0 {
+		t.Fatalf("age = %d after 0 ticks, want 0", age)
+	}
+	g.Tick()
+	g.Tick()
+	g.Tick()
+	for _, e := range g.view.Entries() {
+		if e.Addr == "stable" && e.Age != 3 {
+			t.Fatalf("age = %d after 3 ticks, want 3", e.Age)
 		}
 	}
 }
 
-func TestGossipSamplerDigest(t *testing.T) {
+func TestGossipSamplerAppendDigest(t *testing.T) {
 	g, err := NewGossipSampler("self", 8, []string{"a", "b", "c", "d"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	rng := xrand.New(6)
-	d := g.Digest(rng, 3)
-	if len(d) != 3 {
-		t.Fatalf("digest len = %d", len(d))
+	d, dAges := g.AppendDigest(nil, nil, rng, 3)
+	if len(d) != 3 || len(dAges) != 3 {
+		t.Fatalf("digest len = %d/%d", len(d), len(dAges))
 	}
 	seen := map[string]bool{}
 	for _, a := range d {
@@ -228,6 +295,37 @@ func TestGossipSamplerDigest(t *testing.T) {
 			t.Fatal("digest contains duplicates")
 		}
 		seen[a] = true
+	}
+	// Append semantics: existing contents are preserved.
+	d2, ages2 := g.AppendDigest([]string{"keep"}, []uint32{9}, rng, 2)
+	if d2[0] != "keep" || ages2[0] != 9 || len(d2) != 3 {
+		t.Fatalf("append clobbered prefix: %v %v", d2, ages2)
+	}
+}
+
+func TestGossipSamplerHotPathAllocs(t *testing.T) {
+	g, err := NewGossipSampler("self", 8, []string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(42)
+	senders := []string{"p0", "p1", "p2", "p3"}
+	inAddrs := []string{"x", "y"}
+	inAges := []uint32{0, 2}
+	dAddrs := make([]string, 0, 8)
+	dAges := make([]uint32, 0, 8)
+	i := 0
+	step := func() {
+		g.Observe(senders[i%len(senders)], inAddrs, inAges)
+		dAddrs, dAges = g.AppendDigest(dAddrs[:0], dAges[:0], rng, 3)
+		g.Tick()
+		i++
+	}
+	for w := 0; w < 16; w++ {
+		step() // fill the view and grow merge scratch to steady state
+	}
+	if n := testing.AllocsPerRun(1000, step); n != 0 {
+		t.Fatalf("Observe/AppendDigest/Tick allocs = %v, want 0", n)
 	}
 }
 

@@ -3,6 +3,7 @@ package membership
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/xrand"
 )
@@ -15,13 +16,23 @@ type Sampler interface {
 	// Sample returns a uniformly random known peer; ok is false when no
 	// peer is known yet.
 	Sample(rng *xrand.Rand) (addr string, ok bool)
-	// Observe feeds peer addresses learned from incoming messages (the
-	// sender plus its piggybacked digest).
-	Observe(addrs ...string)
-	// Digest returns up to k addresses to piggyback on an outgoing
-	// message.
-	Digest(rng *xrand.Rand, k int) []string
-	// Forget drops an address observed to be dead.
+	// Observe feeds addresses learned from one incoming message: from is
+	// the sender (freshest possible information, age 0) and addrs/ages
+	// its piggybacked digest. ages may be nil or shorter than addrs, in
+	// which case missing entries count as one exchange old. Observe must
+	// not retain addrs or ages and must not allocate in steady state —
+	// it sits on the per-message hot path.
+	Observe(from string, addrs []string, ages []uint32)
+	// AppendDigest appends up to k peers (with their ages) to addrs/ages
+	// and returns the extended slices, in the append-style of the
+	// transport codecs so callers can reuse buffers across exchanges.
+	AppendDigest(addrs []string, ages []uint32, rng *xrand.Rand, k int) ([]string, []uint32)
+	// Tick advances the sampler's notion of time by one gossip round
+	// (one Δt cycle). Entry aging happens here — NOT per message — so
+	// view lifetimes are measured in rounds regardless of message rate.
+	Tick()
+	// Forget drops an address observed to be dead (send failure or
+	// exchange timeout).
 	Forget(addr string)
 }
 
@@ -29,8 +40,8 @@ type Sampler interface {
 var ErrNoPeers = errors.New("membership: no peers")
 
 // Static samples from a fixed peer list — the engine's equivalent of a
-// fixed overlay topology. Observe and Forget are no-ops: the list is the
-// configuration.
+// fixed overlay topology. Observe, Tick and Forget are no-ops: the list
+// is the configuration.
 type Static struct {
 	mu    sync.RWMutex
 	addrs []string
@@ -59,10 +70,11 @@ func (s *Static) Sample(rng *xrand.Rand) (string, bool) {
 }
 
 // Observe implements Sampler (no-op for a static peer list).
-func (s *Static) Observe(...string) {}
+func (s *Static) Observe(string, []string, []uint32) {}
 
-// Digest implements Sampler.
-func (s *Static) Digest(rng *xrand.Rand, k int) []string {
+// AppendDigest implements Sampler. Static entries carry no age
+// information, so every appended age is 0.
+func (s *Static) AppendDigest(addrs []string, ages []uint32, rng *xrand.Rand, k int) ([]string, []uint32) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	n := len(s.addrs)
@@ -70,28 +82,64 @@ func (s *Static) Digest(rng *xrand.Rand, k int) []string {
 		k = n
 	}
 	if k <= 0 {
-		return nil
+		return addrs, ages
 	}
-	idx := rng.SampleDistinct(n, k, -1)
-	out := make([]string, 0, k)
-	for _, i := range idx {
-		out = append(out, s.addrs[i])
+	if k == n {
+		for _, a := range s.addrs {
+			addrs = append(addrs, a)
+			ages = append(ages, 0)
+		}
+		return addrs, ages
 	}
-	return out
+	if n <= 64 {
+		// Rejection sampling over a bitmask: alloc-free for the small
+		// peer lists that ride the hot path (cf. xrand.SampleDistinct,
+		// which allocates its bookkeeping).
+		var picked uint64
+		for c := 0; c < k; {
+			i := rng.Intn(n)
+			if picked&(1<<uint(i)) != 0 {
+				continue
+			}
+			picked |= 1 << uint(i)
+			addrs = append(addrs, s.addrs[i])
+			ages = append(ages, 0)
+			c++
+		}
+		return addrs, ages
+	}
+	for _, i := range rng.SampleDistinct(n, k, -1) {
+		addrs = append(addrs, s.addrs[i])
+		ages = append(ages, 0)
+	}
+	return addrs, ages
 }
+
+// Tick implements Sampler (no-op: static entries do not age).
+func (s *Static) Tick() {}
 
 // Forget implements Sampler (no-op: static configuration is never pruned).
 func (s *Static) Forget(string) {}
 
 // GossipSampler maintains a Newscast-style view fed by piggybacked
-// membership gossip: every observed sender enters at age 0, digests enter
-// at age 1, and each observation round ages existing entries so dead
-// peers wash out of the view.
+// membership gossip: every observed sender enters at age 0, digest
+// entries enter one hop older than the sender knew them, and Tick ages
+// the whole view once per gossip round so dead peers wash out while live
+// peers are continually refreshed by traffic.
 type GossipSampler struct {
 	self string
 
-	mu   sync.Mutex
-	view *View
+	mu      sync.Mutex
+	view    *View
+	scratch []Entry
+
+	// Lock-free mirrors for telemetry scrapes (see engine metrics
+	// registration): the gauge/counter readers must not contend with the
+	// per-message Observe path.
+	viewLen   atomic.Int64
+	observed  atomic.Uint64
+	forgotten atomic.Uint64
+	ticks     atomic.Uint64
 }
 
 var _ Sampler = (*GossipSampler)(nil)
@@ -109,7 +157,9 @@ func NewGossipSampler(self string, capacity int, seeds []string) (*GossipSampler
 	if v.Len() == 0 {
 		return nil, ErrNoPeers
 	}
-	return &GossipSampler{self: self, view: v}, nil
+	g := &GossipSampler{self: self, view: v}
+	g.viewLen.Store(int64(v.Len()))
+	return g, nil
 }
 
 // Sample implements Sampler.
@@ -119,45 +169,72 @@ func (g *GossipSampler) Sample(rng *xrand.Rand) (string, bool) {
 	return g.view.Sample(rng)
 }
 
-// Observe implements Sampler: the first address (the message sender) is
-// inserted fresh, the rest (its digest) one exchange old, and the whole
-// view ages by one round.
-func (g *GossipSampler) Observe(addrs ...string) {
-	if len(addrs) == 0 {
+// Observe implements Sampler: the sender is inserted fresh (age 0) and
+// each digest entry one hop older than the peer advertised it. Aging is
+// Tick's job, not Observe's — at heap-runtime rates (10⁵+ msgs/s) aging
+// per message would push live peers past any capacity-8 view within
+// milliseconds.
+func (g *GossipSampler) Observe(from string, addrs []string, ages []uint32) {
+	if from == "" && len(addrs) == 0 {
 		return
 	}
-	incoming := make([]Entry, 0, len(addrs))
+	g.mu.Lock()
+	inc := g.scratch[:0]
+	if from != "" {
+		inc = append(inc, Entry{Addr: from, Age: 0})
+	}
 	for i, a := range addrs {
 		age := uint32(1)
-		if i == 0 {
-			age = 0
+		if i < len(ages) && ages[i] < ^uint32(0) {
+			age = ages[i] + 1
 		}
-		incoming = append(incoming, Entry{Addr: a, Age: age})
+		inc = append(inc, Entry{Addr: a, Age: age})
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.view.AgeAll()
-	g.view.Merge(g.self, incoming)
+	g.view.Merge(g.self, inc)
+	g.scratch = inc[:0]
+	g.viewLen.Store(int64(g.view.Len()))
+	g.mu.Unlock()
+	g.observed.Add(1)
 }
 
-// Digest implements Sampler.
-func (g *GossipSampler) Digest(rng *xrand.Rand, k int) []string {
+// AppendDigest implements Sampler.
+func (g *GossipSampler) AppendDigest(addrs []string, ages []uint32, rng *xrand.Rand, k int) ([]string, []uint32) {
 	g.mu.Lock()
-	entries := g.view.Digest(rng, k)
+	defer g.mu.Unlock()
+	return g.view.AppendDigest(addrs, ages, rng, k)
+}
+
+// Tick implements Sampler: ages every entry by one gossip round.
+func (g *GossipSampler) Tick() {
+	g.mu.Lock()
+	g.view.AgeAll()
 	g.mu.Unlock()
-	out := make([]string, len(entries))
-	for i, e := range entries {
-		out[i] = e.Addr
-	}
-	return out
+	g.ticks.Add(1)
 }
 
 // Forget implements Sampler.
 func (g *GossipSampler) Forget(addr string) {
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.view.Remove(addr)
+	removed := g.view.Remove(addr)
+	if removed {
+		g.viewLen.Store(int64(g.view.Len()))
+	}
+	g.mu.Unlock()
+	if removed {
+		g.forgotten.Add(1)
+	}
 }
+
+// ViewSize returns the current view occupancy without taking the view
+// lock — safe to call from telemetry scrape paths.
+func (g *GossipSampler) ViewSize() int { return int(g.viewLen.Load()) }
+
+// ObservedTotal returns the number of Observe calls that fed the view
+// (one per incoming message carrying membership information).
+func (g *GossipSampler) ObservedTotal() uint64 { return g.observed.Load() }
+
+// ForgottenTotal returns the number of addresses dropped as dead.
+func (g *GossipSampler) ForgottenTotal() uint64 { return g.forgotten.Load() }
 
 // ViewAddrs returns the current view contents (diagnostics and tests).
 func (g *GossipSampler) ViewAddrs() []string {

@@ -9,7 +9,8 @@
 package membership
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/xrand"
 )
@@ -84,23 +85,22 @@ func (v *View) AgeAll() {
 
 // Merge folds incoming entries into the view: duplicates keep the lower
 // age, then the freshest capacity entries survive. self is excluded so a
-// node never gossips with itself.
+// node never gossips with itself. Merge does not allocate in steady
+// state (the backing array is grown once and reused), which is what lets
+// digests ride the engine's per-message hot path.
 func (v *View) Merge(self string, incoming []Entry) {
-	byAddr := make(map[string]uint32, len(v.entries)+len(incoming))
-	for _, e := range v.entries {
-		byAddr[e.Addr] = e.Age
-	}
 	for _, e := range incoming {
 		if e.Addr == self || e.Addr == "" {
 			continue
 		}
-		if age, ok := byAddr[e.Addr]; !ok || e.Age < age {
-			byAddr[e.Addr] = e.Age
+		if i := v.indexOf(e.Addr); i >= 0 {
+			if e.Age < v.entries[i].Age {
+				v.entries[i].Age = e.Age
+			}
+		} else {
+			// May temporarily exceed capacity; trimmed after the sort.
+			v.entries = append(v.entries, e)
 		}
-	}
-	merged := make([]Entry, 0, len(byAddr))
-	for addr, age := range byAddr {
-		merged = append(merged, Entry{Addr: addr, Age: age})
 	}
 	// Tie-break equal ages by a hash salted with a per-merge nonce: any
 	// fixed order (alphabetic, or even a fixed hash) would evict the same
@@ -108,16 +108,29 @@ func (v *View) Merge(self string, incoming []Entry) {
 	// nodes out of the overlay.
 	v.nonce += 0x9e3779b97f4a7c15
 	salt := v.nonce
-	sort.Slice(merged, func(i, j int) bool {
-		if merged[i].Age != merged[j].Age {
-			return merged[i].Age < merged[j].Age
+	slices.SortFunc(v.entries, func(a, b Entry) int {
+		if a.Age != b.Age {
+			return cmp.Compare(a.Age, b.Age)
 		}
-		return addrHash(merged[i].Addr)^salt < addrHash(merged[j].Addr)^salt
+		return cmp.Compare(addrHash(a.Addr)^salt, addrHash(b.Addr)^salt)
 	})
-	if len(merged) > v.capacity {
-		merged = merged[:v.capacity]
+	if len(v.entries) > v.capacity {
+		tail := v.entries[v.capacity:]
+		clear(tail) // release the evicted address strings
+		v.entries = v.entries[:v.capacity]
 	}
-	v.entries = merged
+}
+
+// indexOf returns addr's position in the view, or -1. Views are small
+// (capacity is typically ≤ 32), so a linear scan beats a map — and
+// unlike a map it costs no allocation.
+func (v *View) indexOf(addr string) int {
+	for i := range v.entries {
+		if v.entries[i].Addr == addr {
+			return i
+		}
+	}
+	return -1
 }
 
 // addrHash is FNV-1a over the address, used only for unbiased age
@@ -141,7 +154,8 @@ func (v *View) Sample(rng *xrand.Rand) (addr string, ok bool) {
 }
 
 // Digest returns up to k random entries (for piggybacking on protocol
-// messages). The returned slice is freshly allocated.
+// messages). The returned slice is freshly allocated; hot paths should
+// use AppendDigest instead.
 func (v *View) Digest(rng *xrand.Rand, k int) []Entry {
 	n := len(v.entries)
 	if k > n {
@@ -156,6 +170,48 @@ func (v *View) Digest(rng *xrand.Rand, k int) []Entry {
 		out = append(out, v.entries[i])
 	}
 	return out
+}
+
+// AppendDigest appends up to k distinct random entries to addrs/ages and
+// returns the extended slices. It does not allocate beyond growing the
+// destination slices, so callers reusing buffers run alloc-free.
+func (v *View) AppendDigest(addrs []string, ages []uint32, rng *xrand.Rand, k int) ([]string, []uint32) {
+	n := len(v.entries)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return addrs, ages
+	}
+	if k == n {
+		for i := range v.entries {
+			addrs = append(addrs, v.entries[i].Addr)
+			ages = append(ages, v.entries[i].Age)
+		}
+		return addrs, ages
+	}
+	if n <= 64 {
+		// Rejection sampling over a bitmask: distinct without the map or
+		// scratch slice xrand.SampleDistinct would allocate. Views are
+		// capacity-bounded, so n ≤ 64 is the only case that matters.
+		var picked uint64
+		for c := 0; c < k; {
+			i := rng.Intn(n)
+			if picked&(1<<uint(i)) != 0 {
+				continue
+			}
+			picked |= 1 << uint(i)
+			addrs = append(addrs, v.entries[i].Addr)
+			ages = append(ages, v.entries[i].Age)
+			c++
+		}
+		return addrs, ages
+	}
+	for _, i := range rng.SampleDistinct(n, k, -1) {
+		addrs = append(addrs, v.entries[i].Addr)
+		ages = append(ages, v.entries[i].Age)
+	}
+	return addrs, ages
 }
 
 // Oldest returns the entry with the highest age (the CYCLON-style gossip

@@ -66,7 +66,16 @@ type Message struct {
 	// Gossip piggybacks a few peer addresses for lightweight membership
 	// dissemination (Newscast-style).
 	Gossip []string
+	// GossipAges carries one logical age per Gossip entry (0 = the
+	// sender heard from that peer this round). Encoded as a single byte,
+	// saturating at MaxGossipAge; a missing or short slice encodes as
+	// age 0.
+	GossipAges []uint32
 }
+
+// MaxGossipAge is the largest age the wire format can carry; older
+// entries saturate. Views evict long before this in practice.
+const MaxGossipAge = 255
 
 // Wire format limits; generous for the protocol's tiny messages while
 // bounding what a malformed frame can make us allocate.
@@ -107,7 +116,7 @@ func (m *Message) wireSize() (int, error) {
 		if len(g) > maxAddrLen {
 			return 0, fmt.Errorf("%w: gossip address %d bytes", ErrMalformedMessage, len(g))
 		}
-		size += 2 + len(g)
+		size += 2 + len(g) + 1
 	}
 	return size, nil
 }
@@ -116,7 +125,7 @@ func (m *Message) wireSize() (int, error) {
 // extended slice, in the layout
 //
 //	kind u8 | epoch u64 | seq u64 | from u16+bytes | to u16+bytes |
-//	nfields u16 + f64s | ngossip u16 + (u16+bytes)*
+//	nfields u16 + f64s | ngossip u16 + (u16+bytes + age u8)*
 //
 // using big-endian integers and IEEE-754 bits for floats. Passing a
 // reused buffer (buf[:0] of a previous call) makes encoding
@@ -137,9 +146,17 @@ func (m *Message) AppendBinary(buf []byte) ([]byte, error) {
 		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(f))
 	}
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Gossip)))
-	for _, g := range m.Gossip {
+	for i, g := range m.Gossip {
 		buf = binary.BigEndian.AppendUint16(buf, uint16(len(g)))
 		buf = append(buf, g...)
+		age := uint32(0)
+		if i < len(m.GossipAges) {
+			age = m.GossipAges[i]
+		}
+		if age > MaxGossipAge {
+			age = MaxGossipAge
+		}
+		buf = append(buf, byte(age))
 	}
 	return buf, nil
 }
@@ -189,12 +206,14 @@ func (m *Message) UnmarshalBinary(b []byte) error {
 		return fmt.Errorf("%w: gossip count %d", ErrMalformedMessage, ng)
 	}
 	m.Gossip = m.Gossip[:0]
+	m.GossipAges = m.GossipAges[:0]
 	for i := 0; i < ng; i++ {
 		gl := int(r.u16())
 		if gl > maxAddrLen {
 			return fmt.Errorf("%w: gossip length %d", ErrMalformedMessage, gl)
 		}
 		m.Gossip = append(m.Gossip, string(r.bytes(gl)))
+		m.GossipAges = append(m.GossipAges, uint32(r.u8()))
 	}
 	if r.failed || r.pos != len(b) {
 		return fmt.Errorf("%w: %d bytes, consumed %d", ErrMalformedMessage, len(b), r.pos)

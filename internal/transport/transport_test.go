@@ -11,12 +11,35 @@ import (
 
 func sampleMessage() Message {
 	return Message{
-		Kind:   KindPush,
-		Epoch:  42,
-		Seq:    7,
-		From:   "node-a",
-		Fields: []float64{1.5, -2.25, math.Pi},
-		Gossip: []string{"node-b", "node-c"},
+		Kind:       KindPush,
+		Epoch:      42,
+		Seq:        7,
+		From:       "node-a",
+		Fields:     []float64{1.5, -2.25, math.Pi},
+		Gossip:     []string{"node-b", "node-c"},
+		GossipAges: []uint32{0, 3},
+	}
+}
+
+func TestCodecGossipAges(t *testing.T) {
+	// Ages saturate at MaxGossipAge on the wire, and a short or missing
+	// GossipAges slice encodes as zeroes.
+	in := Message{
+		Kind: KindPush, From: "a",
+		Gossip:     []string{"p", "q", "r"},
+		GossipAges: []uint32{1000, 2},
+	}
+	buf, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Message
+	if err := out.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{MaxGossipAge, 2, 0}
+	if !reflect.DeepEqual(out.GossipAges, want) {
+		t.Fatalf("ages = %v, want %v", out.GossipAges, want)
 	}
 }
 

@@ -77,6 +77,7 @@ type sysConfig struct {
 	ctx       context.Context
 	ops       string
 	trace     int
+	gossip    bool
 
 	// reg is threaded through to the engine layers; assembled by Open,
 	// not an option.
@@ -229,8 +230,23 @@ func WithPushOnly() Option {
 	}
 }
 
-// WithMembershipView sets the gossip membership view capacity of TCP
-// systems (default 8; in-memory systems use a shared full directory).
+// WithGossipMembership runs an in-memory system on live gossip
+// membership instead of the default shared full directory: each node
+// starts knowing only its ring successor and learns the rest of the
+// population from digests piggybacked on protocol traffic, exactly as
+// TCP systems always do. Costs O(view) memory per node instead of the
+// directory's shared O(N), and exercises join/leave/failure dynamics
+// the directory can't. No effect on TCP systems (already gossip).
+func WithGossipMembership() Option {
+	return func(c *sysConfig) error {
+		c.gossip = true
+		return nil
+	}
+}
+
+// WithMembershipView sets the gossip membership view capacity (default
+// 8). Applies to TCP systems and to in-memory systems opened with
+// WithGossipMembership; directory-backed systems ignore it.
 func WithMembershipView(capacity int) Option {
 	return func(c *sysConfig) error {
 		if capacity < 1 {
@@ -322,6 +338,10 @@ type System struct {
 	rt      *engine.Runtime // multi-node TCP shape
 	node    *engine.Node    // single-node TCP shape
 	nodes   []*Node
+
+	// gsampler is the single TCP node's gossip view, kept for the
+	// membership gauges (other shapes register theirs in the runtime).
+	gsampler *membership.GossipSampler
 
 	// watchMu guards the per-field fan-out hubs; reduceCount counts
 	// snapshot reductions (observability for the fan-out sharing tests).
@@ -505,12 +525,13 @@ func Open(opts ...Option) (*System, error) {
 	var tcpEP *transport.TCPEndpoint // single-node shape's endpoint, for metrics
 	switch {
 	case cfg.tcp && cfg.size == 1:
-		node, ep, err := openTCPNode(cfg, clock)
+		node, ep, sampler, err := openTCPNode(cfg, clock)
 		if err != nil {
 			return nil, err
 		}
 		sys.node = node
 		sys.nodes = []*Node{node}
+		sys.gsampler = sampler
 		tcpEP = ep
 		node.Start()
 	case cfg.tcp:
@@ -522,7 +543,7 @@ func Open(opts ...Option) (*System, error) {
 		sys.nodes = rt.Nodes()
 		rt.Start(cfg.ctx)
 	default:
-		cluster, err := engine.NewCluster(engine.ClusterConfig{
+		clusterCfg := engine.ClusterConfig{
 			Size:         cfg.size,
 			Schema:       cfg.schema,
 			Value:        cfg.value,
@@ -538,7 +559,15 @@ func Open(opts ...Option) (*System, error) {
 			Seed:         cfg.seed,
 			Metrics:      reg,
 			TraceSample:  cfg.trace,
-		})
+		}
+		if cfg.gossip {
+			// Live membership: ring bootstrap, every further peer is
+			// learned from piggybacked digests.
+			clusterCfg.Samplers = func(i int, self string, local []string) (membership.Sampler, error) {
+				return membership.NewGossipSampler(self, cfg.view, []string{local[(i+1)%len(local)]})
+			}
+		}
+		cluster, err := engine.NewCluster(clusterCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -570,12 +599,13 @@ func Open(opts ...Option) (*System, error) {
 }
 
 // openTCPNode assembles the deployable single-node shape: one TCP
-// endpoint (returned alongside the node so the system can register its
-// traffic counters), gossip membership seeded from the configured peers.
-func openTCPNode(cfg sysConfig, clock *epoch.Clock) (*Node, *transport.TCPEndpoint, error) {
+// endpoint and the gossip sampler (both returned alongside the node so
+// the system can register traffic counters and membership gauges),
+// membership seeded from the configured peers.
+func openTCPNode(cfg sysConfig, clock *epoch.Clock) (*Node, *transport.TCPEndpoint, *membership.GossipSampler, error) {
 	endpoint, err := transport.NewTCPEndpoint(cfg.listen)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	self := endpoint.Addr()
 	seeds := cfg.peers
@@ -588,7 +618,7 @@ func openTCPNode(cfg sysConfig, clock *epoch.Clock) (*Node, *transport.TCPEndpoi
 	sampler, err := membership.NewGossipSampler(self, cfg.view, seeds)
 	if err != nil {
 		_ = endpoint.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	nodeCfg := engine.Config{
 		Schema:       cfg.schema,
@@ -608,9 +638,9 @@ func openTCPNode(cfg sysConfig, clock *epoch.Clock) (*Node, *transport.TCPEndpoi
 	node, err := engine.NewNode(nodeCfg)
 	if err != nil {
 		_ = endpoint.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return node, endpoint, nil
+	return node, endpoint, sampler, nil
 }
 
 // openTCPRuntime assembles the multi-node TCP shape: the heap runtime
@@ -711,6 +741,7 @@ func (s *System) Stats() NodeStats {
 		agg.Initiated += st.Initiated
 		agg.Replies += st.Replies
 		agg.Timeouts += st.Timeouts
+		agg.LateReplies += st.LateReplies
 		agg.Served += st.Served
 		agg.EpochSwitches += st.EpochSwitches
 		agg.StaleDropped += st.StaleDropped

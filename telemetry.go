@@ -379,6 +379,7 @@ func (s *System) registerSystemMetrics(tcpEP *transport.TCPEndpoint) {
 		{"repro_engine_exchanges_initiated_total", "Exchanges started by hosted nodes.", func(st NodeStats) uint64 { return st.Initiated }},
 		{"repro_engine_exchanges_completed_total", "Exchanges whose pull reply was merged.", func(st NodeStats) uint64 { return st.Replies }},
 		{"repro_engine_exchange_deadline_missed_total", "Exchanges reaped by the reply deadline.", func(st NodeStats) uint64 { return st.Timeouts }},
+		{"repro_engine_late_replies_absorbed_total", "Post-deadline replies still merged to conserve mass.", func(st NodeStats) uint64 { return st.LateReplies }},
 		{"repro_engine_exchanges_nacked_total", "Exchanges declined by a busy peer.", func(st NodeStats) uint64 { return st.PeerBusy }},
 		{"repro_engine_pushes_served_total", "Inbound pushes merged and replied to.", func(st NodeStats) uint64 { return st.Served }},
 		{"repro_engine_pushes_declined_total", "Inbound pushes nacked while busy.", func(st NodeStats) uint64 { return st.BusyDropped }},
@@ -396,6 +397,12 @@ func (s *System) registerSystemMetrics(tcpEP *transport.TCPEndpoint) {
 			reg.CounterFunc("repro_transport_fabric_inbox_dropped_total",
 				"Messages dropped on a full in-memory inbox.", fab.InboxDropped)
 		}
+	}
+	if g := s.gsampler; g != nil {
+		reg.GaugeFunc("repro_membership_view_entries", "Live entries in the gossip membership view.",
+			func() float64 { return float64(g.ViewSize()) })
+		reg.CounterFunc("repro_membership_observed_total", "Membership observations folded from inbound traffic.", g.ObservedTotal)
+		reg.CounterFunc("repro_membership_forgotten_total", "Peers dropped from the view after failed exchanges.", g.ForgottenTotal)
 	}
 	if tcpEP != nil {
 		reg.CounterFunc("repro_transport_tcp_dials_total", "Outbound TCP connections established.", tcpEP.Dials)

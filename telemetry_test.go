@@ -397,6 +397,7 @@ func TestMetricsNamesGolden(t *testing.T) {
 	sys, err := Open(
 		WithSize(16),
 		WithMode(ModeHeap),
+		WithGossipMembership(),     // registers the membership families too
 		WithCycleLength(time.Hour), // parked: names, not values
 		WithTraceSampling(8),
 		WithSeed(2),
