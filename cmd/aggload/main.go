@@ -1,0 +1,513 @@
+// Command aggload is the serve-layer load harness: it opens K
+// concurrent SSE watchers against an aggregation service (self-hosted
+// or remote), drives a write workload through POST /v1/values, and
+// reports delivery rate, staleness percentiles, latest-wins drop
+// counts and memory — the tool that demonstrates 10⁵ concurrent
+// watchers on one box with bounded memory.
+//
+// Self-hosted (default) it opens an in-process repro.System and serves
+// it; with -inproc the HTTP traffic runs over in-memory pipes instead
+// of TCP sockets, so watcher counts are not limited by file
+// descriptors (every stream is still real HTTP through the full
+// net/http + serve handler stack):
+//
+//	aggload -selfhost 10000 -watchers 100000 -inproc -cycle 1s -duration 60s
+//
+// Against a remote service (aggnode -ops with the serve layer mounted):
+//
+//	aggload -url http://host:9090 -watchers 1000
+//
+// Exit status is non-zero when any watcher saw a hard error (broken
+// stream, bad status — latest-wins skips are not errors) or when the
+// post-load convergence check fails, which makes it CI-smokeable.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/serve"
+)
+
+func main() {
+	var (
+		urlFlag  = flag.String("url", "", "base URL of a remote serve endpoint; empty self-hosts a system in-process")
+		selfhost = flag.Int("selfhost", 10000, "self-hosted system size (nodes)")
+		inproc   = flag.Bool("inproc", false, "self-host over in-memory pipes instead of TCP (no file descriptors per watcher; required beyond ~5k watchers)")
+		cycle    = flag.Duration("cycle", 200*time.Millisecond, "self-hosted system cycle length Δt")
+		watchers = flag.Int("watchers", 1000, "concurrent SSE stream subscribers")
+		field    = flag.String("field", "avg", "field to stream and write")
+		writes   = flag.Float64("writes", 100, "value injections per second (0 disables the write workload)")
+		batch    = flag.Int("batch", 100, "injections per POST /v1/values request")
+		duration = flag.Duration("duration", 30*time.Second, "measurement window after all watchers are up")
+		report   = flag.Duration("report", 5*time.Second, "progress report interval")
+		tol      = flag.Float64("tol", 0.05, "post-load convergence check: require tracking_error ≤ tol (self-hosted only; negative disables)")
+		settle   = flag.Duration("settle", 30*time.Second, "how long the post-load convergence check may take")
+	)
+	flag.Parse()
+
+	var (
+		sys  *repro.System
+		dial func() (net.Conn, error)
+		base = "aggload" // Host header / URL host for self-hosted modes
+	)
+	switch {
+	case *urlFlag != "":
+		u, err := url.Parse(*urlFlag)
+		if err != nil || u.Host == "" {
+			fatalf("bad -url %q: %v", *urlFlag, err)
+		}
+		base = u.Host
+		dial = func() (net.Conn, error) { return net.Dial("tcp", u.Host) }
+	case *inproc:
+		sys = openSystem(*selfhost, *cycle, "")
+		ln := newPipeListener()
+		srv := &http.Server{Handler: serve.New(sys)}
+		go func() { _ = srv.Serve(ln) }()
+		defer func() { _ = srv.Close() }()
+		dial = ln.Dial
+	default:
+		sys = openSystem(*selfhost, *cycle, "127.0.0.1:0")
+		if _, err := serve.Attach(sys); err != nil {
+			fatalf("attach serve: %v", err)
+		}
+		addr := sys.OpsAddr()
+		base = addr
+		dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if sys != nil {
+		defer sys.Close()
+	}
+
+	httpc := &http.Client{Transport: &http.Transport{
+		DialContext: func(context.Context, string, string) (net.Conn, error) { return dial() },
+	}}
+
+	st := &loadStats{}
+	stop := make(chan struct{})
+
+	// Ramp the watchers up. Each is one goroutine holding one HTTP
+	// connection; with -inproc a "connection" is a synchronous in-memory
+	// pipe, so 10⁵ of them cost goroutine stacks and buffers, not file
+	// descriptors.
+	var wg sync.WaitGroup
+	fmt.Printf("aggload: opening %d watchers on %s/v1/stream/%s\n", *watchers, base, *field)
+	rampStart := time.Now()
+	for i := 0; i < *watchers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			watch(dial, base, *field, st, stop)
+		}()
+	}
+	for int(st.streamsUp.Load())+int(st.hardErrors.Load()) < *watchers {
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("aggload: %d watchers up in %.1fs (%d failed to start)\n",
+		st.streamsUp.Load(), time.Since(rampStart).Seconds(), st.hardErrors.Load())
+
+	// Write workload: inject uniform values so the aggregate keeps
+	// moving while the fan-out runs.
+	writersDone := make(chan struct{})
+	if *writes > 0 {
+		go func() {
+			defer close(writersDone)
+			writeLoad(httpc, base, *field, sizeOf(sys, *selfhost), *writes, *batch, st, stop)
+		}()
+	} else {
+		close(writersDone)
+	}
+
+	// Measurement window with periodic reports.
+	start := time.Now()
+	ticker := time.NewTicker(*report)
+	deadline := time.After(*duration)
+	var lastEvents uint64
+	var lastAt = start
+loop:
+	for {
+		select {
+		case <-deadline:
+			ticker.Stop()
+			break loop
+		case <-ticker.C:
+			now := time.Now()
+			ev := st.events.Load()
+			rate := float64(ev-lastEvents) / now.Sub(lastAt).Seconds()
+			lastEvents, lastAt = ev, now
+			p50, p90, p99, maxMS := st.staleness.percentiles()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			fmt.Printf("t=%4.0fs streams=%d events=%d (%.0f/s) soft_drops=%d hard_errors=%d staleness_ms p50=%d p90=%d p99=%d max=%d heap=%dMB goroutines=%d\n",
+				now.Sub(start).Seconds(), st.streamsUp.Load(), ev, rate,
+				st.softDrops.Load(), st.hardErrors.Load(),
+				p50, p90, p99, maxMS,
+				ms.HeapAlloc>>20, runtime.NumGoroutine())
+		}
+	}
+	close(stop)
+	<-writersDone
+
+	// Post-load convergence check: with the writers stopped, the
+	// system's own telemetry must report the estimate tracking the true
+	// mean of everything we injected.
+	converged, trackErr := true, 0.0
+	if *tol >= 0 && sys != nil {
+		converged, trackErr = waitTracking(httpc, base, *tol, *settle)
+	}
+
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	p50, p90, p99, maxMS := st.staleness.percentiles()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	summary := map[string]any{
+		"watchers":       *watchers,
+		"events":         st.events.Load(),
+		"events_per_s":   float64(st.events.Load()) / elapsed,
+		"soft_drops":     st.softDrops.Load(),
+		"hard_errors":    st.hardErrors.Load(),
+		"values_written": st.valuesWritten.Load(),
+		"staleness_ms":   map[string]int64{"p50": p50, "p90": p90, "p99": p99, "max": maxMS},
+		"heap_mb":        ms.HeapAlloc >> 20,
+		"tracking_error": trackErr,
+		"converged":      converged,
+	}
+	out, _ := json.Marshal(summary)
+	fmt.Printf("aggload summary: %s\n", out)
+
+	if st.hardErrors.Load() > 0 {
+		fatalf("%d hard stream errors", st.hardErrors.Load())
+	}
+	if !converged {
+		fatalf("estimate did not track the injected values: tracking_error=%.4f > tol=%.4f after %s",
+			trackErr, *tol, *settle)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aggload: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func openSystem(size int, cycle time.Duration, ops string) *repro.System {
+	opts := []repro.Option{
+		repro.WithSize(size),
+		repro.WithCycleLength(cycle),
+		repro.WithValues(func(i int) float64 { return float64(i % 100) }),
+		repro.WithSeed(1),
+	}
+	if ops != "" {
+		opts = append(opts, repro.WithOps(ops))
+	}
+	sys, err := repro.Open(opts...)
+	if err != nil {
+		fatalf("open system: %v", err)
+	}
+	return sys
+}
+
+func sizeOf(sys *repro.System, fallback int) int {
+	if sys != nil {
+		return sys.Size()
+	}
+	return fallback
+}
+
+// loadStats aggregates the watcher fleet's counters lock-free.
+type loadStats struct {
+	streamsUp     atomic.Int64
+	events        atomic.Uint64
+	softDrops     atomic.Uint64 // latest-wins skips, summed from per-stream dropped cursors
+	hardErrors    atomic.Uint64 // broken streams, bad statuses, oversize lines
+	valuesWritten atomic.Uint64
+	staleness     stalenessHist
+}
+
+// stalenessHist is a power-of-two-bucketed histogram of event staleness
+// in milliseconds (receipt time minus the estimate's timestamp),
+// updated with one atomic add per event.
+type stalenessHist struct {
+	buckets [24]atomic.Uint64 // bucket i counts staleness in [2^i, 2^(i+1)) ms; 0 → < 1 ms
+}
+
+func (h *stalenessHist) record(ms int64) {
+	i := 0
+	for v := ms; v > 0 && i < len(h.buckets)-1; v >>= 1 {
+		i++
+	}
+	h.buckets[i].Add(1)
+}
+
+// percentiles returns p50/p90/p99/max staleness as bucket upper bounds
+// in milliseconds (0 when no events were recorded).
+func (h *stalenessHist) percentiles() (p50, p90, p99, max int64) {
+	var counts [24]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0, 0, 0, 0
+	}
+	bound := func(q float64) int64 {
+		target := uint64(q * float64(total))
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			if cum > target {
+				return 1 << i // upper bound of bucket i in ms
+			}
+		}
+		return 1 << (len(counts) - 1)
+	}
+	for i := len(counts) - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			max = 1 << i
+			break
+		}
+	}
+	return bound(0.50), bound(0.90), bound(0.99), max
+}
+
+// watch opens one SSE stream and consumes it until stop closes or the
+// stream breaks. Per-watcher state is one goroutine, one connection and
+// ~2 KB of buffers; events are parsed with zero allocations on the hot
+// path (ReadSlice into the reader's own buffer).
+func watch(dial func() (net.Conn, error), host, field string, st *loadStats, stop <-chan struct{}) {
+	conn, err := dial()
+	if err != nil {
+		st.hardErrors.Add(1)
+		return
+	}
+	defer conn.Close()
+	// Closing the connection on stop unblocks the blocking read below;
+	// errors after the stop signal are shutdown, not failures.
+	stopped := make(chan struct{})
+	defer close(stopped)
+	go func() {
+		select {
+		case <-stop:
+			conn.Close()
+		case <-stopped:
+		}
+	}()
+	if _, err := fmt.Fprintf(conn, "GET /v1/stream/%s HTTP/1.1\r\nHost: %s\r\n\r\n", field, host); err != nil {
+		st.hardErrors.Add(1)
+		return
+	}
+	br := bufio.NewReaderSize(conn, 1024)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		st.hardErrors.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		st.hardErrors.Add(1)
+		return
+	}
+	st.streamsUp.Add(1)
+	defer st.streamsUp.Add(-1)
+
+	body := bufio.NewReaderSize(resp.Body, 512)
+	var lastDropped int64
+	sawEnd := false
+	for {
+		line, err := body.ReadSlice('\n')
+		if err != nil {
+			select {
+			case <-stop: // shutdown race: the closer beat the end event
+				return
+			default:
+			}
+			if !sawEnd {
+				st.hardErrors.Add(1)
+			}
+			return
+		}
+		switch {
+		case bytes.HasPrefix(line, keyData):
+			if ts, ok := extractInt(line, keyTime); ok {
+				if lag := time.Now().UnixMilli() - ts; lag >= 0 {
+					st.staleness.record(lag)
+				} else {
+					st.staleness.record(0)
+				}
+				st.events.Add(1)
+			}
+			if d, ok := extractInt(line, keyDropped); ok && d > lastDropped {
+				st.softDrops.Add(uint64(d - lastDropped))
+				lastDropped = d
+			}
+		case bytes.HasPrefix(line, keyEnd):
+			sawEnd = true // clean end of stream: server closing, not an error
+		}
+	}
+}
+
+// SSE line markers and JSON keys, precomputed so the per-event parse
+// allocates nothing.
+var (
+	keyData    = []byte("data:")
+	keyEnd     = []byte("event: end")
+	keyTime    = []byte(`"time_unix_ms":`)
+	keyDropped = []byte(`"dropped":`)
+)
+
+// extractInt scans line for key and parses the integer that follows —
+// a few index operations instead of a JSON decode, which matters at
+// 10⁵ watchers × events per second on one box.
+func extractInt(line, key []byte) (int64, bool) {
+	i := bytes.Index(line, key)
+	if i < 0 {
+		return 0, false
+	}
+	i += len(key)
+	neg := false
+	if i < len(line) && line[i] == '-' {
+		neg = true
+		i++
+	}
+	var v int64
+	ok := false
+	for ; i < len(line) && line[i] >= '0' && line[i] <= '9'; i++ {
+		v = v*10 + int64(line[i]-'0')
+		ok = true
+	}
+	if neg {
+		v = -v
+	}
+	return v, ok
+}
+
+// writeLoad drives the injection workload: batches of uniform values to
+// random nodes at the requested aggregate rate, until stop closes.
+func writeLoad(httpc *http.Client, host, field string, size int, perSec float64, batch int, st *loadStats, stop <-chan struct{}) {
+	if batch < 1 {
+		batch = 1
+	}
+	interval := time.Duration(float64(batch) / perSec * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(42))
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var sb strings.Builder
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		sb.Reset()
+		fmt.Fprintf(&sb, `{"field":%q,"values":[`, field)
+		for i := 0; i < batch; i++ {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, `{"node":%d,"value":%.3f}`, rng.Intn(size), rng.Float64()*100)
+		}
+		sb.WriteString("]}")
+		resp, err := httpc.Post("http://"+host+"/v1/values", "application/json", strings.NewReader(sb.String()))
+		if err != nil {
+			st.hardErrors.Add(1)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			st.hardErrors.Add(1)
+		} else {
+			st.valuesWritten.Add(uint64(batch))
+		}
+		resp.Body.Close()
+	}
+}
+
+// waitTracking polls GET /v1/telemetry until tracking_error ≤ tol or
+// the budget runs out.
+func waitTracking(httpc *http.Client, host string, tol float64, budget time.Duration) (bool, float64) {
+	deadline := time.Now().Add(budget)
+	last := -1.0
+	for {
+		var tel struct {
+			TrackingError *float64 `json:"tracking_error"`
+		}
+		resp, err := httpc.Get("http://" + host + "/v1/telemetry")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&tel)
+			resp.Body.Close()
+		}
+		if err == nil && tel.TrackingError != nil {
+			last = *tel.TrackingError
+			if last <= tol {
+				return true, last
+			}
+		}
+		if time.Now().After(deadline) {
+			return false, last
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// pipeListener is a net.Listener over synchronous in-memory pipes: Dial
+// hands the server half to Accept and returns the client half. Zero
+// file descriptors per connection, full net/http semantics on top —
+// how one box holds 10⁵ concurrent SSE "sockets".
+type pipeListener struct {
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+}
+
+func newPipeListener() *pipeListener {
+	return &pipeListener{ch: make(chan net.Conn), done: make(chan struct{})}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *pipeListener) Addr() net.Addr { return pipeAddr{} }
+
+func (l *pipeListener) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "aggload-inproc" }

@@ -24,7 +24,10 @@
 //	        -listen 127.0.0.1:7001 -peers otherhost:7001
 //
 // Observability: -ops ADDR starts the operational HTTP endpoint
-// (Prometheus /metrics, /healthz, /varz, /debug/pprof/), -trace N
+// (Prometheus /metrics, /healthz, /varz, /debug/pprof/) with the
+// aggregation-service API mounted beside it under /v1/ (SSE estimate
+// streams, one-shot queries, value injection, fault injection — see
+// package repro/serve and cmd/aggload), -trace N
 // samples every N-th exchange per shard into a trace ring printed with
 // each report, and the periodic report itself includes completion
 // percentage, the observed convergence factor ρ̂, steal counts and
@@ -46,6 +49,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/serve"
 )
 
 func main() {
@@ -107,12 +111,17 @@ func run() error {
 		return err
 	}
 	defer sys.Close()
+	if *ops != "" {
+		if _, err := serve.Attach(sys); err != nil {
+			return err
+		}
+	}
 
 	probe := sys.Nodes()[0]
 	fmt.Printf("aggnode hosting %d node(s) on %d worker(s), first endpoint %s (value %g, Δt %v, batch window %v)\n",
 		sys.Size(), max(sys.Workers(), 1), probe.Addr(), *value, *cycle, *batch)
 	if addr := sys.OpsAddr(); addr != "" {
-		fmt.Printf("ops endpoint on http://%s (/metrics /healthz /varz /debug/pprof/)\n", addr)
+		fmt.Printf("ops endpoint on http://%s (/metrics /healthz /varz /debug/pprof/ /v1/)\n", addr)
 	}
 
 	ticker := time.NewTicker(*report)

@@ -268,6 +268,9 @@ func (c *Cluster) ReduceField(field string, fn func(v float64)) error {
 		return err
 	}
 	for _, n := range c.nodes {
+		if n.failed.Load() {
+			continue // crashed nodes are not part of the live population
+		}
 		fn(n.fieldAt(idx))
 	}
 	return nil
@@ -282,8 +285,51 @@ func (c *Cluster) ReduceValues(fn func(v float64)) {
 		return
 	}
 	for _, n := range c.nodes {
+		if n.failed.Load() {
+			continue
+		}
 		fn(n.Value())
 	}
+}
+
+// InjectValue updates node i's local attribute and folds the delta into
+// its current approximation of field idx — see Node.InjectValue.
+func (c *Cluster) InjectValue(i, idx int, v float64) {
+	if c.rt != nil {
+		c.rt.InjectValue(i, idx, v)
+		return
+	}
+	c.nodes[i].InjectValue(idx, v)
+}
+
+// FailNode crashes node i until ReviveNode; see Node.Fail.
+func (c *Cluster) FailNode(i int) bool {
+	if c.rt != nil {
+		return c.rt.FailNode(i)
+	}
+	return c.nodes[i].Fail()
+}
+
+// ReviveNode restores a failed node as a fresh joiner; see Node.Revive.
+func (c *Cluster) ReviveNode(i int) bool {
+	if c.rt != nil {
+		return c.rt.ReviveNode(i)
+	}
+	return c.nodes[i].Revive()
+}
+
+// FailedNodes returns how many member nodes are currently failed.
+func (c *Cluster) FailedNodes() int {
+	if c.rt != nil {
+		return c.rt.FailedNodes()
+	}
+	count := 0
+	for _, n := range c.nodes {
+		if n.failed.Load() {
+			count++
+		}
+	}
+	return count
 }
 
 // Variance returns the cross-node empirical variance of the named field —

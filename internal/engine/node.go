@@ -190,6 +190,11 @@ type Node struct {
 	// mass conserved (§3.2).
 	busy atomic.Bool
 
+	// failed marks a scenario-injected crash: the node stops initiating
+	// and drops all inbound traffic until revived. Peers observe only
+	// silence (their exchanges time out), like a real process crash.
+	failed atomic.Bool
+
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
@@ -301,6 +306,85 @@ func (n *Node) SetValue(v float64) {
 	n.value = v
 }
 
+// InjectValue updates the node's local attribute to v and folds the
+// difference into its current approximation of field idx, so the new
+// value enters the aggregate immediately instead of waiting for an
+// epoch restart — the live feed behind System.SetValue.
+//
+// The delta apply is only mass-conserving while no own exchange is in
+// flight: mutating state between the push snapshot and the reply merge
+// loses δ/2 of the injected mass (§3.2). InjectValue waits (bounded)
+// for the busy flag to clear before applying; the stateVer bump also
+// invalidates any armed late-reply absorption, which no longer
+// commutes with the injection.
+func (n *Node) InjectValue(idx int, v float64) {
+	if n.hrt != nil {
+		n.hrt.InjectValue(n.hidx, idx, v)
+		return
+	}
+	deadline := time.Now().Add(injectWait)
+	for {
+		n.mu.Lock()
+		if !n.busy.Load() || n.failed.Load() || !time.Now().Before(deadline) {
+			delta := v - n.value
+			n.value = v
+			if !n.failed.Load() {
+				n.state[idx] += delta
+				n.stateVer++
+			}
+			n.mu.Unlock()
+			return
+		}
+		n.mu.Unlock()
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// Fail silently crashes the node until Revive: it stops initiating and
+// drops all inbound traffic, so peers see only missed reply deadlines.
+// Reports whether the call changed the node's status.
+func (n *Node) Fail() bool {
+	if n.hrt != nil {
+		return n.hrt.FailNode(n.hidx)
+	}
+	if n.failed.Swap(true) {
+		return false
+	}
+	n.mu.Lock()
+	n.lateSeq = 0 // no late absorption may fire into a dead node
+	n.mu.Unlock()
+	return true
+}
+
+// Revive brings a failed node back as a fresh joiner: its state is
+// reinitialized from its current local value (stale pre-crash mass is
+// discarded). Reports whether the call changed the node's status.
+func (n *Node) Revive() bool {
+	if n.hrt != nil {
+		return n.hrt.ReviveNode(n.hidx)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.failed.Load() {
+		return false
+	}
+	n.state = n.initState(n.tracker.Current(), n.value)
+	n.stateVer++
+	n.failed.Store(false)
+	return true
+}
+
+// Failed reports whether the node is currently failed.
+func (n *Node) Failed() bool {
+	if n.hrt != nil {
+		s := n.hrt.shardOf(n.hidx)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.nodes[n.hidx-s.lo].failed
+	}
+	return n.failed.Load()
+}
+
 // Value returns the node's current local attribute a_i.
 func (n *Node) Value() float64 {
 	if n.hrt != nil {
@@ -402,6 +486,12 @@ func (n *Node) activeLoop() {
 		case <-n.stop:
 			return
 		case <-timer.C:
+		}
+		if n.failed.Load() {
+			// Crashed: keep the cadence ticking so a revive resumes
+			// seamlessly, but skip epochs, view aging and initiation.
+			timer.Reset(n.waitDuration())
+			continue
 		}
 		n.checkLocalEpoch()
 		if n.observes {
@@ -569,6 +659,12 @@ func (n *Node) absorb(m transport.Message) {
 // replies until the endpoint closes.
 func (n *Node) dispatch() {
 	for m := range n.cfg.Endpoint.Inbox() {
+		if n.failed.Load() {
+			// A crashed node neither serves nor absorbs: the sender's
+			// exchange times out, as with a real process crash.
+			n.pool.put(m.Fields)
+			continue
+		}
 		switch m.Kind {
 		case transport.KindPush:
 			n.servePush(m)

@@ -226,6 +226,11 @@ type Runtime struct {
 	started    atomic.Bool
 	stopped    atomic.Bool
 	steals     atomic.Uint64 // rounds run by a non-owner worker
+
+	// failedNodes mirrors the number of currently-failed (crashed,
+	// not-yet-revived) hosted nodes for lock-free scraping; maintained
+	// by FailNode/ReviveNode under the owning shard's lock.
+	failedNodes atomic.Int64
 }
 
 // rnode is one hosted node's protocol state, guarded by its shard's mu.
@@ -237,6 +242,7 @@ type rnode struct {
 	sampler    membership.Sampler
 	observes   bool // sampler wants Observe/Forget feedback (non-directory)
 	initState  func(epochID uint64, value float64) core.State
+	failed     bool    // scenario-injected crash: silent until revived
 	pendingSeq uint64  // nonzero while an exchange is in flight (the busy flag)
 	pendingAt  float64 // when the in-flight exchange's push was sent
 	pendingDst int32   // traced peer index (-1 remote); only set while tracing
@@ -467,6 +473,8 @@ func (rt *Runtime) registerMetrics(reg *metrics.Registry) {
 		func() float64 { return float64(len(rt.addrs)) })
 	reg.GaugeFunc("repro_engine_workers", "Shard workers.",
 		func() float64 { return float64(len(rt.shards)) })
+	reg.GaugeFunc("repro_engine_failed_nodes", "Hosted nodes currently failed by scenario injection.",
+		func() float64 { return float64(rt.failedNodes.Load()) })
 	reg.CounterFunc("repro_engine_rounds_stolen_total",
 		"Scheduler rounds run by a non-owner worker.", rt.steals.Load)
 	for _, s := range rt.shards {
@@ -698,6 +706,9 @@ func (rt *Runtime) ReduceField(field string, fn func(v float64)) error {
 	for _, s := range rt.shards {
 		s.mu.Lock()
 		for i := range s.nodes {
+			if s.nodes[i].failed {
+				continue // crashed nodes are not part of the live population
+			}
 			fn(s.nodes[i].state[idx])
 		}
 		s.mu.Unlock()
@@ -714,6 +725,9 @@ func (rt *Runtime) ReduceValues(fn func(v float64)) {
 	for _, s := range rt.shards {
 		s.mu.Lock()
 		for i := range s.nodes {
+			if s.nodes[i].failed {
+				continue
+			}
 			fn(s.nodes[i].value)
 		}
 		s.mu.Unlock()
@@ -754,6 +768,92 @@ func (rt *Runtime) SetValue(i int, v float64) {
 	s.nodes[i-s.lo].value = v
 	s.mu.Unlock()
 }
+
+// injectWait bounds how long InjectValue spins for a node's in-flight
+// exchange to resolve before force-applying the delta anyway. The
+// pending window is normally microseconds (one fabric delivery), so the
+// bound only bites when the sampled peer is dead and the exchange must
+// burn its full reply timeout.
+const injectWait = 10 * time.Millisecond
+
+// InjectValue updates node i's local attribute to v and folds the
+// difference into its current approximation of field idx, so the new
+// value enters the aggregate immediately rather than at the next epoch
+// restart — the dynamic-signals feed behind System.SetValue.
+//
+// The delta apply is only mass-conserving while no exchange is in
+// flight on the node: a push-then-mutate-then-merge interleaving loses
+// δ/2 of the injected mass (§3.2's atomicity argument). InjectValue
+// therefore waits (bounded by injectWait) for pendingSeq to clear
+// before applying; the stateVer bump also invalidates any armed
+// late-reply absorption, which would no longer commute with the
+// injection. Shard-local: one lock acquisition per attempt, no
+// allocations.
+func (rt *Runtime) InjectValue(i, idx int, v float64) {
+	s := rt.shardOf(i)
+	deadline := time.Now().Add(injectWait)
+	for {
+		s.mu.Lock()
+		n := &s.nodes[i-s.lo]
+		if n.pendingSeq == 0 || n.failed || !time.Now().Before(deadline) {
+			delta := v - n.value
+			n.value = v
+			if !n.failed {
+				n.state[idx] += delta
+				n.stateVer++
+			}
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// FailNode silently crashes hosted node i: it stops initiating, drops
+// all inbound traffic, and leaves every reduce (peers observe only a
+// missing reply and time out). Reports whether the call changed the
+// node's status. The node's share of the aggregate mass dies with it,
+// exactly as in the paper's crash model (§3.2): already-merged
+// contributions persist in surviving nodes' states.
+func (rt *Runtime) FailNode(i int) bool {
+	s := rt.shardOf(i)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := &s.nodes[i-s.lo]
+	if n.failed {
+		return false
+	}
+	n.failed = true
+	// Retire any in-flight exchange: its evTimeout and reply become
+	// no-ops, and no late absorption may fire into a dead node.
+	n.pendingSeq = 0
+	n.lateSeq = 0
+	rt.failedNodes.Add(1)
+	return true
+}
+
+// ReviveNode brings a failed node back as a fresh joiner: its state is
+// reinitialized from its current local value (stale pre-crash mass is
+// discarded) and it resumes initiating on its existing wake cadence.
+// Reports whether the call changed the node's status.
+func (rt *Runtime) ReviveNode(i int) bool {
+	s := rt.shardOf(i)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := &s.nodes[i-s.lo]
+	if !n.failed {
+		return false
+	}
+	n.failed = false
+	copy(n.state, rt.initStateFor(n, n.tracker.Current()))
+	n.stateVer++
+	rt.failedNodes.Add(-1)
+	return true
+}
+
+// FailedNodes returns how many hosted nodes are currently failed.
+func (rt *Runtime) FailedNodes() int { return int(rt.failedNodes.Load()) }
 
 // Stats returns the element-wise sum of every hosted node's counters.
 // The fold reads the per-shard atomic counter blocks — O(workers), no
@@ -1033,6 +1133,18 @@ func (s *rshard) handleEvent(ev sim.Event, now float64) {
 			}
 		}
 	case evWake:
+		if n.failed {
+			// A crashed node keeps its wake cadence ticking (so a revive
+			// resumes seamlessly) but is otherwise silent: no epoch
+			// observation, no view aging, no initiation.
+			wait := s.waitSeconds(n)
+			at := ev.At + wait
+			if at <= now {
+				at += math.Floor((now-at)/wait+1) * wait
+			}
+			s.heap.Push(sim.Event{At: at, Node: ev.Node, Kind: evWake})
+			return
+		}
 		s.checkClock(n)
 		if n.observes {
 			// One gossip round per wake: view entries age per cycle, not
@@ -1171,6 +1283,13 @@ func (s *rshard) handleMessage(m transport.Message) {
 		return // misrouted sub-address; drop
 	}
 	n := &s.nodes[idx-s.lo]
+	if n.failed {
+		// A crashed node neither serves nor absorbs: peers see pure
+		// silence (their exchanges time out), exactly like a process
+		// crash on a real network.
+		s.free.put(m.Fields)
+		return
+	}
 	if n.observes && m.From != "" {
 		n.sampler.Observe(m.From, m.Gossip, m.GossipAges)
 	}

@@ -83,6 +83,22 @@ func (f *Fabric) SetFilter(filter func(from, to string) bool) {
 	f.filter = filter
 }
 
+// SetDropProbability changes the loss model on a live fabric — the
+// scenario-injection hook behind the serve layer's POST /v1/scenario.
+// Safe to call while traffic flows; takes effect on the next delivery.
+func (f *Fabric) SetDropProbability(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropProb = p
+}
+
+// DropProbability returns the loss probability currently in force.
+func (f *Fabric) DropProbability() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropProb
+}
+
 // NewEndpoint attaches a new endpoint with a fabric-assigned address.
 func (f *Fabric) NewEndpoint() Endpoint {
 	f.mu.Lock()

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"net"
@@ -19,6 +20,7 @@ import (
 type opsServer struct {
 	ln  net.Listener
 	srv *http.Server
+	mux *http.ServeMux // retained so System.Handle can mount the serve layer
 
 	// bufs recycles scrape buffers so steady-state /metrics and /varz
 	// responses allocate nothing for the exposition itself.
@@ -72,14 +74,42 @@ func (s *System) startOps(addr string) error {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	ops.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ops.mux = mux
 	go func() { _ = ops.srv.Serve(ln) }()
 	s.ops = ops
 	return nil
 }
 
-// stop closes the ops server immediately (in-flight scrapes are cut,
-// which is the right trade for teardown).
-func (o *opsServer) stop() { _ = o.srv.Close() }
+// opsDrainTimeout bounds the graceful drain in stop. Streaming handlers
+// end as soon as their Watch channels close (System.Close closes s.done
+// first), so the bound only bites if a response write wedges.
+const opsDrainTimeout = 5 * time.Second
+
+// stop drains the ops server gracefully: the listener closes at once,
+// and in-flight handlers — scrapes, and the serve layer's SSE streams,
+// whose Watch channels the already-closed s.done has released — finish
+// their final writes so clients see clean ends of stream rather than
+// connection resets. Close is the fallback if the drain exceeds its
+// timeout.
+func (o *opsServer) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), opsDrainTimeout)
+	defer cancel()
+	if err := o.srv.Shutdown(ctx); err != nil {
+		_ = o.srv.Close()
+	}
+}
+
+// Handle mounts h on the ops mux under pattern (net/http ServeMux
+// syntax), beside /metrics, /healthz, /varz and /debug/pprof/. This is
+// how the serve package attaches its /v1/ API to the same listener.
+// Errors when the system was opened without WithOps.
+func (s *System) Handle(pattern string, h http.Handler) error {
+	if s.ops == nil {
+		return fmt.Errorf("repro: Handle requires WithOps")
+	}
+	s.ops.mux.Handle(pattern, h)
+	return nil
+}
 
 // OpsAddr returns the ops HTTP server's bound address ("" when WithOps
 // was not configured) — the base for /metrics, /healthz, /varz and
@@ -110,9 +140,16 @@ func appendHealthJSON(buf []byte, s *System, tel Telemetry) []byte {
 }
 
 // appendTelemetryJSON renders a Telemetry snapshot as one flat JSON
-// object. Hand-built because encoding/json rejects the NaNs that are
-// legitimate "not yet known" values here (they render as null).
+// object.
 func appendTelemetryJSON(buf []byte, tel Telemetry) []byte {
+	return tel.AppendJSON(buf)
+}
+
+// AppendJSON renders the snapshot as one flat JSON object, appended to
+// buf. Hand-built because encoding/json rejects the NaNs that are
+// legitimate "not yet known" values here (they render as null). Used by
+// the /varz handler and the serve layer's GET /v1/telemetry.
+func (tel Telemetry) AppendJSON(buf []byte) []byte {
 	buf = append(buf, `{"field":`...)
 	buf = strconv.AppendQuote(buf, tel.Field)
 	buf = append(buf, `,"seq":`...)
@@ -140,6 +177,10 @@ func appendTelemetryJSON(buf []byte, tel Telemetry) []byte {
 	buf = appendJSONFloat(buf, tel.RhoCycles)
 	buf = append(buf, `,"converged":`...)
 	buf = strconv.AppendBool(buf, tel.Converged)
+	buf = append(buf, `,"serve_streams":`...)
+	buf = strconv.AppendInt(buf, int64(tel.ServeStreams), 10)
+	buf = append(buf, `,"serve_dropped":`...)
+	buf = strconv.AppendUint(buf, tel.ServeDropped, 10)
 	buf = append(buf, `,"steals":`...)
 	buf = strconv.AppendUint(buf, tel.Steals, 10)
 	buf = append(buf, `,"exchanges_initiated":`...)

@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Regenerates api/repro.txt — the checked-in golden of the exported API
-# surface of the public packages (repro and repro/scenario).
+# surface of the public packages (repro, repro/scenario, repro/serve).
 #
 # CI regenerates the file and fails on any diff, so every PR that
 # changes the public API shows the change explicitly in api/repro.txt.
@@ -37,5 +37,7 @@ mkdir -p api
 	surface repro
 	echo ""
 	surface repro/scenario
+	echo ""
+	surface repro/serve
 } >api/repro.txt
 echo "wrote api/repro.txt"

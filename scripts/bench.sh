@@ -7,11 +7,12 @@
 #	BENCH_MULTICORE=1 ./scripts/bench.sh   # multi-core scaling gate only
 #	BENCH_OUT=custom.json ./scripts/bench.sh
 #
-# The output (default BENCH_PR7.json) is a JSON array with one object
+# The output (default BENCH_PR9.json) is a JSON array with one object
 # per benchmark result: name, n (parsed from the n=… sub-benchmark
 # label, null when absent) and every reported metric — ns/op,
 # allocs/op, exchanges/s, exchanges/s/worker, ns/exchange,
-# allocs/exchange, completion, … CI runs the quick subset plus the
+# allocs/exchange, completion, events/s, staleness percentiles, … CI
+# runs the quick subset plus the
 # multi-core scaling gate on every PR and uploads the files as
 # artifacts, so the exchange-rate, allocation and parallel-scaling
 # trajectory of the hot paths is recorded per commit instead of living
@@ -29,10 +30,13 @@
 #                                       sampling + live 20 Hz scraper vs bare
 #                                       (asserts the paired throughput ratio)
 #   BenchmarkSystemReduce             — streaming observation fold
+#   BenchmarkServeFanOut              — SSE watcher fan-out through the
+#                                       serve front end (events/s and
+#                                       staleness percentiles)
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR7.json}"
+OUT="${BENCH_OUT:-BENCH_PR9.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
@@ -46,6 +50,7 @@ if [ "${BENCH_MULTICORE:-0}" = "1" ]; then
 	SCALING='BenchmarkRuntimeSustainedScaling'
 	OVERHEAD=''
 	REDUCE_TIME=''
+	SERVE=''
 elif [ "${BENCH_QUICK:-0}" = "1" ]; then
 	KERNEL='BenchmarkKernelMillionNode/n=10000$'
 	EXCHANGE='BenchmarkRuntimeExchange/mode=heap/n=10000$'
@@ -53,6 +58,7 @@ elif [ "${BENCH_QUICK:-0}" = "1" ]; then
 	SCALING=''
 	OVERHEAD='BenchmarkRuntimeMetricsOverhead'
 	REDUCE_TIME='10x'
+	SERVE='BenchmarkServeFanOut/watchers=100$'
 else
 	KERNEL='BenchmarkKernelMillionNode'
 	EXCHANGE='BenchmarkRuntimeExchange'
@@ -60,6 +66,7 @@ else
 	SCALING='BenchmarkRuntimeSustainedScaling'
 	OVERHEAD='BenchmarkRuntimeMetricsOverhead'
 	REDUCE_TIME='100x'
+	SERVE='BenchmarkServeFanOut'
 fi
 
 # Run every gate even if an earlier one fails its assertions: the JSON
@@ -92,6 +99,9 @@ fi
 if [ -n "$REDUCE_TIME" ]; then
 	bench go test -run '^$' -bench 'BenchmarkSystemReduce$' -benchtime "$REDUCE_TIME" -benchmem .
 fi
+if [ -n "$SERVE" ]; then
+	bench go test -run '^$' -bench "$SERVE" -benchtime 1x -timeout 30m ./serve
+fi
 cat "$TMP"
 
 awk '
@@ -109,6 +119,9 @@ function key(unit) {
 	if (unit == "base_exchanges/s") return "base_exchanges_per_s"
 	if (unit == "telemetry_exchanges/s") return "telemetry_exchanges_per_s"
 	if (unit == "telemetry_ratio") return "telemetry_ratio"
+	if (unit == "events/s") return "events_per_s"
+	if (unit == "staleness_p50_ms") return "staleness_p50_ms"
+	if (unit == "staleness_p99_ms") return "staleness_p99_ms"
 	return ""
 }
 BEGIN { print "["; first = 1 }

@@ -1,0 +1,152 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/serve"
+)
+
+// BenchmarkServeFanOut measures SSE fan-out through the full front end:
+// W concurrent HTTP watchers on one field of a live system, all riding
+// the field's single shared reduce. Reported metrics are the delivered
+// event rate and event staleness (server stamp → client receipt)
+// percentiles — the two numbers that bound how many watchers one box
+// can serve and how fresh their view is. scripts/bench.sh records both
+// in the perf trajectory.
+func BenchmarkServeFanOut(b *testing.B) {
+	for _, watchers := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("watchers=%d", watchers), func(b *testing.B) {
+			benchmarkServeFanOut(b, watchers)
+		})
+	}
+}
+
+func benchmarkServeFanOut(b *testing.B, watchers int) {
+	const cycle = 50 * time.Millisecond
+	sys, err := repro.Open(
+		repro.WithSize(256),
+		repro.WithCycleLength(cycle),
+		repro.WithOps("127.0.0.1:0"),
+		repro.WithSeed(9),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := serve.Attach(sys); err != nil {
+		b.Fatal(err)
+	}
+	url := "http://" + sys.OpsAddr() + "/v1/stream/avg"
+
+	var (
+		events  atomic.Uint64
+		started atomic.Int64
+		hist    [24]atomic.Uint64 // staleness histogram, 2^i ms buckets
+		wg      sync.WaitGroup
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	keyTime := []byte(`"time_unix_ms":`)
+	for i := 0; i < watchers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+			if err != nil {
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			br := bufio.NewReaderSize(resp.Body, 512)
+			first := true
+			for {
+				line, err := br.ReadSlice('\n')
+				if err != nil {
+					return
+				}
+				if !bytes.HasPrefix(line, []byte("data: ")) {
+					continue
+				}
+				if first {
+					first = false
+					started.Add(1)
+				}
+				events.Add(1)
+				if j := bytes.Index(line, keyTime); j >= 0 {
+					rest := line[j+len(keyTime):]
+					k := 0
+					for k < len(rest) && rest[k] >= '0' && rest[k] <= '9' {
+						k++
+					}
+					if ts, err := strconv.ParseInt(string(rest[:k]), 10, 64); err == nil {
+						lag := time.Now().UnixMilli() - ts
+						bucket := 0
+						for b := 0; b < len(hist)-1; b++ {
+							if lag < 1<<b {
+								break
+							}
+							bucket = b + 1
+						}
+						hist[bucket].Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	// Let every stream deliver its first event before timing.
+	for started.Load() < int64(watchers) {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	b.ResetTimer()
+	base := events.Load()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		time.Sleep(2 * time.Second)
+	}
+	delivered := events.Load() - base
+	elapsed := time.Since(start)
+	b.StopTimer()
+	cancel()
+	wg.Wait()
+
+	b.ReportMetric(float64(delivered)/elapsed.Seconds(), "events/s")
+	p50, p99 := histPercentile(&hist, 0.50), histPercentile(&hist, 0.99)
+	b.ReportMetric(p50, "staleness_p50_ms")
+	b.ReportMetric(p99, "staleness_p99_ms")
+}
+
+// histPercentile returns the upper bound (ms) of the bucket holding the
+// q-quantile of the power-of-two staleness histogram.
+func histPercentile(hist *[24]atomic.Uint64, q float64) float64 {
+	var total uint64
+	for i := range hist {
+		total += hist[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	var seen uint64
+	for i := range hist {
+		seen += hist[i].Load()
+		if seen > rank {
+			return float64(uint64(1) << i)
+		}
+	}
+	return float64(uint64(1) << (len(hist) - 1))
+}

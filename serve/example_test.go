@@ -1,0 +1,100 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/serve"
+)
+
+// Example mounts the service front end on a running system's ops
+// listener, streams one estimate over SSE, injects a new value into
+// every node over HTTP, and queries the moved aggregate. Exchanges
+// conserve mass exactly, so with every node set to the same value the
+// streamed and queried means are exact — the output is deterministic.
+func Example() {
+	sys, err := repro.Open(
+		repro.WithSize(16),
+		repro.WithValues(func(int) float64 { return 7 }),
+		repro.WithCycleLength(2*time.Millisecond),
+		repro.WithOps("127.0.0.1:0"),
+		repro.WithSeed(1),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+	if _, err := serve.Attach(sys); err != nil {
+		panic(err)
+	}
+	base := "http://" + sys.OpsAddr()
+
+	// Stream one estimate.
+	resp, err := http.Get(base + "/v1/stream/avg")
+	if err != nil {
+		panic(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			panic(err)
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev struct {
+			Field string  `json:"field"`
+			Nodes int     `json:"nodes"`
+			Mean  float64 `json:"mean"`
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			panic(err)
+		}
+		fmt.Printf("stream %s: %d nodes, mean %g\n", ev.Field, ev.Nodes, ev.Mean)
+		break
+	}
+	resp.Body.Close()
+
+	// Inject a new value into every node, then query the aggregate.
+	var body bytes.Buffer
+	body.WriteString(`{"field":"avg","values":[`)
+	for i := 0; i < 16; i++ {
+		if i > 0 {
+			body.WriteByte(',')
+		}
+		fmt.Fprintf(&body, `{"node":%d,"value":3}`, i)
+	}
+	body.WriteString("]}")
+	post, err := http.Post(base+"/v1/values", "application/json", &body)
+	if err != nil {
+		panic(err)
+	}
+	io.Copy(io.Discard, post.Body)
+	post.Body.Close()
+
+	query, err := http.Get(base + "/v1/query/avg")
+	if err != nil {
+		panic(err)
+	}
+	var q struct {
+		Count int     `json:"count"`
+		Mean  float64 `json:"mean"`
+	}
+	if err := json.NewDecoder(query.Body).Decode(&q); err != nil {
+		panic(err)
+	}
+	query.Body.Close()
+	fmt.Printf("query: %d nodes, mean %g\n", q.Count, q.Mean)
+
+	// Output:
+	// stream avg: 16 nodes, mean 7
+	// query: 16 nodes, mean 3
+}

@@ -3,6 +3,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"math"
 	"net"
 	"runtime"
 	"sync"
@@ -359,6 +360,11 @@ type System struct {
 	// server (ops.go), nil unless WithOps was given.
 	tele telemetryState
 	ops  *opsServer
+
+	// serveStats, when set, reports the service layer's live stream
+	// count and cumulative latest-wins drops for Telemetry stamping
+	// (serve.New installs it; see SetServeStats).
+	serveStats atomic.Pointer[func() (streams int, dropped uint64)]
 
 	done      chan struct{}
 	closeOnce sync.Once
@@ -868,6 +874,111 @@ func (s *System) WaitConverged(ctx context.Context, field string, tol float64) (
 		case <-ticker.C:
 		}
 	}
+}
+
+// SetValue updates node i's local attribute to v and folds the
+// difference into its current approximation of the named field, so the
+// injected value enters the aggregate immediately — the feed API behind
+// the service layer's POST /v1/values and the dynamic-signals workload.
+//
+// The apply is shard-local under the engine's existing round lock and
+// mass-conserving: the engine waits (bounded) for the node's in-flight
+// exchange to resolve before folding the delta, so the converged mean
+// moves to exactly the new population mean (§3.2). Safe to call
+// concurrently with exchanges, reduces and other SetValue calls.
+func (s *System) SetValue(node int, field string, v float64) error {
+	idx, err := s.schema.Index(field)
+	if err != nil {
+		return err
+	}
+	if node < 0 || node >= len(s.nodes) {
+		return fmt.Errorf("repro: SetValue node %d out of range [0,%d)", node, len(s.nodes))
+	}
+	s.nodes[node].InjectValue(idx, v)
+	return nil
+}
+
+// FailNode silently crashes hosted node i until ReviveNode: it stops
+// initiating, drops all inbound traffic, and leaves every reduce —
+// peers observe only missed reply deadlines, exactly like a process
+// crash. Live fault injection for a running system (POST /v1/scenario).
+func (s *System) FailNode(node int) error {
+	if node < 0 || node >= len(s.nodes) {
+		return fmt.Errorf("repro: FailNode node %d out of range [0,%d)", node, len(s.nodes))
+	}
+	s.nodes[node].Fail()
+	return nil
+}
+
+// ReviveNode brings a failed node back as a fresh joiner: its state
+// reinitializes from its current local value and it resumes gossiping
+// on its existing cadence. A no-op for nodes that are not failed.
+func (s *System) ReviveNode(node int) error {
+	if node < 0 || node >= len(s.nodes) {
+		return fmt.Errorf("repro: ReviveNode node %d out of range [0,%d)", node, len(s.nodes))
+	}
+	s.nodes[node].Revive()
+	return nil
+}
+
+// FailedNodes returns how many hosted nodes are currently failed via
+// FailNode.
+func (s *System) FailedNodes() int {
+	switch {
+	case s.cluster != nil:
+		return s.cluster.FailedNodes()
+	case s.rt != nil:
+		return s.rt.FailedNodes()
+	default:
+		if s.node.Failed() {
+			return 1
+		}
+		return 0
+	}
+}
+
+// SetLoss changes the in-memory fabric's message-loss probability on a
+// live system (each message dropped independently with probability p —
+// experiment E6's loss model, injectable at runtime). Errors on the TCP
+// shapes, where the network is real and not simulated.
+func (s *System) SetLoss(p float64) error {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return fmt.Errorf("repro: SetLoss probability %v outside [0,1]", p)
+	}
+	f := s.fabric()
+	if f == nil {
+		return fmt.Errorf("repro: SetLoss requires an in-memory fabric (TCP shapes carry real traffic)")
+	}
+	f.SetDropProbability(p)
+	return nil
+}
+
+// fabric returns the in-memory message fabric, nil on TCP shapes.
+func (s *System) fabric() *transport.Fabric {
+	switch {
+	case s.cluster != nil:
+		return s.cluster.Fabric()
+	case s.rt != nil:
+		return s.rt.Fabric()
+	default:
+		return nil
+	}
+}
+
+// Metrics returns the system's metric registry so module-local layers
+// (the serve package) can register their own series into the same
+// /metrics exposition. The registry accepts registrations at any time.
+func (s *System) Metrics() *metrics.Registry { return s.metrics }
+
+// SetServeStats installs the service layer's stream-count and
+// drop-total readers, stamped into Telemetry snapshots as ServeStreams
+// and ServeDropped. Pass nil to detach.
+func (s *System) SetServeStats(fn func() (streams int, dropped uint64)) {
+	if fn == nil {
+		s.serveStats.Store(nil)
+		return
+	}
+	s.serveStats.Store(&fn)
 }
 
 // Close stops the system (idempotently): live Watch channels close,

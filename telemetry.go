@@ -64,6 +64,12 @@ type Telemetry struct {
 	// per-worker balance view. Both zero/nil for unsharded shapes.
 	Steals         uint64
 	ShardInitiated []uint64
+	// ServeStreams is the service layer's live SSE stream count and
+	// ServeDropped its cumulative latest-wins drops summed over
+	// subscribers; both zero unless serve.New attached to the system
+	// (System.SetServeStats).
+	ServeStreams int
+	ServeDropped uint64
 }
 
 // teleSub is one WatchTelemetry subscriber: a one-slot latest-wins
@@ -269,6 +275,9 @@ func (s *System) buildTelemetry(seq int, at time.Time, nodes int,
 	if rt := s.heapRuntime(); rt != nil {
 		tel.Steals = rt.Steals()
 		tel.ShardInitiated = rt.ShardInitiated()
+	}
+	if fn := s.serveStats.Load(); fn != nil {
+		tel.ServeStreams, tel.ServeDropped = (*fn)()
 	}
 	return tel
 }
