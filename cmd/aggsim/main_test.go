@@ -41,6 +41,37 @@ func TestScenarioModeGoldenCSV(t *testing.T) {
 	}
 }
 
+// TestScenarioAdversaryGoldenCSV pins the adversary axis end to end: a
+// behavior × fraction sweep with the robust countermeasures enabled
+// must be byte-identical run to run (deterministic adversary placement,
+// RNG stream discipline and rejection accounting), with the Corruption
+// and Rejected columns populated.
+func TestScenarioAdversaryGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runScenario(context.Background(), filepath.Join("testdata", "adversary-mini.json"), "csv", "", 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "adversary-mini.golden.csv")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("adversary scenario CSV diverged from golden file;\ngot:\n%s", buf.Bytes())
+	}
+	// Sanity: 2 behaviors × 2 fractions × 2 reps × 4 rows (cycle 0-3)
+	// plus the header.
+	if lines := strings.Count(buf.String(), "\n"); lines != 1+2*2*2*4 {
+		t.Fatalf("got %d lines, want %d", lines, 1+2*2*2*4)
+	}
+}
+
 // TestScenarioModeJSONL smoke-tests the alternate format end to end.
 func TestScenarioModeJSONL(t *testing.T) {
 	var buf bytes.Buffer

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -10,6 +11,8 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/membership"
 	"repro/internal/metrics"
+	"repro/internal/robust"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/transport"
 )
@@ -268,8 +271,8 @@ func (c *Cluster) ReduceField(field string, fn func(v float64)) error {
 		return err
 	}
 	for _, n := range c.nodes {
-		if n.failed.Load() {
-			continue // crashed nodes are not part of the live population
+		if n.failed.Load() || n.isAdversary() {
+			continue // crashed and Byzantine nodes are not honest population
 		}
 		fn(n.fieldAt(idx))
 	}
@@ -285,7 +288,7 @@ func (c *Cluster) ReduceValues(fn func(v float64)) {
 		return
 	}
 	for _, n := range c.nodes {
-		if n.failed.Load() {
+		if n.failed.Load() || n.isAdversary() {
 			continue
 		}
 		fn(n.Value())
@@ -316,6 +319,107 @@ func (c *Cluster) ReviveNode(i int) bool {
 		return c.rt.ReviveNode(i)
 	}
 	return c.nodes[i].Revive()
+}
+
+// SetAdversaries turns the given nodes into Byzantine adversaries of
+// the given behavior (extreme-value reporters pin magnitude, colluding
+// and eclipse reporters pin target, selective droppers ack-then-discard)
+// and restores every other node to honest operation. An empty set
+// clears all adversaries. At least two honest nodes must remain.
+func (c *Cluster) SetAdversaries(behavior sim.AdversaryBehavior, nodes []int, magnitude, target float64) error {
+	if c.rt != nil {
+		return c.rt.SetAdversaries(behavior, nodes, magnitude, target)
+	}
+	mark := make([]bool, len(c.nodes))
+	count := 0
+	for _, i := range nodes {
+		if i < 0 || i >= len(c.nodes) {
+			return fmt.Errorf("engine: adversary index %d out of range [0,%d)", i, len(c.nodes))
+		}
+		if !mark[i] {
+			mark[i] = true
+			count++
+		}
+	}
+	if count > 0 && len(c.nodes)-count < 2 {
+		return fmt.Errorf("engine: %d adversaries leave fewer than 2 honest nodes", count)
+	}
+	// The eclipse flood digest — every adversary address at age 0 — is
+	// shared read-only across all adversaries.
+	var gossip []string
+	var ages []uint32
+	if behavior == sim.AdvEclipse && count > 0 {
+		gossip = make([]string, 0, count)
+		for i, m := range mark {
+			if m {
+				gossip = append(gossip, c.nodes[i].Addr())
+			}
+		}
+		ages = make([]uint32, len(gossip))
+	}
+	for i, n := range c.nodes {
+		if mark[i] {
+			n.setAdversary(behavior, magnitude, target, gossip, ages)
+		} else {
+			n.clearAdversary()
+		}
+	}
+	return nil
+}
+
+// AdversaryCount returns how many nodes are configured as adversaries.
+func (c *Cluster) AdversaryCount() int {
+	if c.rt != nil {
+		return c.rt.AdversaryCount()
+	}
+	count := 0
+	for _, n := range c.nodes {
+		if n.isAdversary() {
+			count++
+		}
+	}
+	return count
+}
+
+// SetRobust installs (or, with a zero Policy, removes) the robust-merge
+// countermeasures on every node. Each node's trim acceptance band is
+// seeded from the honest population's current field-0 spread — a warmup
+// window that accepts everything would itself be a poisoning vector.
+func (c *Cluster) SetRobust(p robust.Policy) {
+	if c.rt != nil {
+		c.rt.SetRobust(p)
+		return
+	}
+	if p.Trim && p.TrimK <= 0 {
+		p.TrimK = 8
+	}
+	var run stats.Running
+	for _, n := range c.nodes {
+		if n.failed.Load() || n.isAdversary() {
+			continue
+		}
+		run.Add(n.fieldAt(0))
+	}
+	seed := robust.TrimState{Scale: math.Sqrt(run.Variance())}
+	if !(seed.Scale > 1e-12) {
+		seed.Scale = 1e-12 // degenerate spread (or NaN): keep the band open a crack
+	}
+	for _, n := range c.nodes {
+		n.setRobust(p, seed)
+	}
+}
+
+// RobustRejected returns the cumulative number of exchange halves the
+// robust trim gate has rejected across all nodes.
+func (c *Cluster) RobustRejected() uint64 {
+	if c.rt != nil {
+		return c.rt.RobustRejected()
+	}
+	var total uint64
+	for _, n := range c.nodes {
+		total += n.robustRejected.Load()
+	}
+	return total
 }
 
 // FailedNodes returns how many member nodes are currently failed.

@@ -20,6 +20,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/membership"
+	"repro/internal/robust"
+	"repro/internal/sim"
 	"repro/internal/transport"
 	"repro/internal/xrand"
 )
@@ -194,6 +196,21 @@ type Node struct {
 	// and drops all inbound traffic until revived. Peers observe only
 	// silence (their exchanges time out), like a real process crash.
 	failed atomic.Bool
+
+	// Adversary and robust-merge state (guarded by mu). adv is 0 for an
+	// honest node, else 1+behavior; an adversary reports its pinned
+	// state and never adopts a merge. robustCfg gates inbound merges
+	// when robustOn; trim is the node's running acceptance band.
+	// advGossip/advAges are the eclipse flood digest, shared read-only
+	// across the cluster's adversaries.
+	adv       uint8
+	trim      robust.TrimState
+	robustCfg robust.Policy
+	robustOn  bool
+	advGossip []string
+	advAges   []uint32
+
+	robustRejected atomic.Uint64
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -374,6 +391,57 @@ func (n *Node) Revive() bool {
 	return true
 }
 
+// setAdversary turns the node into a Byzantine adversary (cluster
+// internal; semantics in DESIGN.md "Adversary model"). Extreme-value
+// reporters pin their value to magnitude, colluding and eclipse
+// reporters to target; selective droppers keep their honest draw and
+// merely stop adopting merges. gossip/ages is the shared eclipse flood
+// digest (nil for other behaviors).
+func (n *Node) setAdversary(behavior sim.AdversaryBehavior, magnitude, target float64, gossip []string, ages []uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.adv = 1 + uint8(behavior)
+	switch behavior {
+	case sim.AdvExtreme:
+		n.value = magnitude
+	case sim.AdvColluding, sim.AdvEclipse:
+		n.value = target
+	}
+	if behavior != sim.AdvSelectiveDrop {
+		n.state = n.initState(n.tracker.Current(), n.value)
+		n.stateVer++
+	}
+	n.advGossip, n.advAges = gossip, ages
+}
+
+// clearAdversary restores honest behavior. The pinned value sticks (the
+// node rejoins the average as whatever it last reported), mirroring the
+// kernel's SetAdversaries(nil) semantics.
+func (n *Node) clearAdversary() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.adv = 0
+	n.advGossip, n.advAges = nil, nil
+}
+
+// setRobust installs the robust-merge policy with a pre-seeded trim
+// acceptance band (cluster internal; the cluster seeds from the honest
+// population's spread).
+func (n *Node) setRobust(p robust.Policy, seed robust.TrimState) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.robustCfg = p
+	n.robustOn = p.Enabled()
+	n.trim = seed
+}
+
+// isAdversary reports whether the node is configured as an adversary.
+func (n *Node) isAdversary() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.adv != 0
+}
+
 // Failed reports whether the node is currently failed.
 func (n *Node) Failed() bool {
 	if n.hrt != nil {
@@ -550,6 +618,7 @@ func (n *Node) initiateExchange() {
 	}
 	ep := n.tracker.Current()
 	copy(fields, n.state)
+	adv, advGossip, advAges := n.adv, n.advGossip, n.advAges
 	n.mu.Unlock()
 
 	msg := transport.Message{
@@ -558,7 +627,12 @@ func (n *Node) initiateExchange() {
 		Seq:    n.seq.Add(1),
 		Fields: fields,
 	}
-	if n.observes && n.cfg.GossipFanout > 0 {
+	if adv == 1+uint8(sim.AdvEclipse) {
+		// Eclipse push: flood the victim's view with adversary addresses
+		// at age 0 (the shared digest is immutable, so the
+		// receiver-must-not-retain contract is moot).
+		msg.Gossip, msg.GossipAges = advGossip, advAges
+	} else if n.observes && n.cfg.GossipFanout > 0 {
 		// The digest slices must be owned by the message: transports and
 		// batchers retain messages by reference, so sender-side scratch
 		// reuse is not possible here (see DESIGN.md "Membership").
@@ -639,6 +713,9 @@ func (n *Node) absorb(m transport.Message) {
 	defer n.pool.put(m.Fields)
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.adv != 0 {
+		return // adversaries never adopt merges
+	}
 	if n.tracker.Observe(m.Epoch) {
 		n.state = n.initState(n.tracker.Current(), n.value)
 		n.stateVer++
@@ -650,6 +727,16 @@ func (n *Node) absorb(m transport.Message) {
 	}
 	if len(m.Fields) != len(n.state) {
 		return // schema mismatch; drop defensively
+	}
+	if n.robustOn {
+		rep := n.robustCfg.ClampValue(m.Fields[0])
+		m.Fields[0] = rep
+		if n.robustCfg.Trim && !n.trim.Admit(rep-n.state[0], n.robustCfg.TrimK) {
+			// Active-side reject: the responder already committed its
+			// half, so we can only drop our own (§3.2 asymmetry).
+			n.robustRejected.Add(1)
+			return
+		}
 	}
 	n.cfg.Schema.MergeInto(n.state, core.State(m.Fields))
 	n.stateVer++
@@ -722,6 +809,55 @@ func (n *Node) servePush(m transport.Message) {
 		n.pool.put(m.Fields)
 		return
 	}
+	if n.adv != 0 {
+		// Byzantine responder: reply with the pinned state, never adopt
+		// the merge (the ack-then-discard of a selective dropper; the
+		// other behaviors additionally pin the reported value).
+		if n.cfg.PushOnly {
+			n.mu.Unlock()
+			n.served.Add(1)
+			n.pool.put(m.Fields)
+			return
+		}
+		copy(m.Fields, n.state)
+		ep := n.tracker.Current()
+		eclipse := n.adv == 1+uint8(sim.AdvEclipse)
+		advGossip, advAges := n.advGossip, n.advAges
+		n.mu.Unlock()
+		n.served.Add(1)
+		reply := transport.Message{
+			Kind:   transport.KindReply,
+			Epoch:  ep,
+			Seq:    m.Seq,
+			Fields: m.Fields,
+		}
+		if eclipse {
+			reply.Gossip, reply.GossipAges = advGossip, advAges
+		}
+		if err := n.cfg.Endpoint.Send(m.From, reply); err != nil {
+			n.sendErrors.Add(1)
+		}
+		return
+	}
+	if n.robustOn {
+		rep := n.robustCfg.ClampValue(m.Fields[0])
+		m.Fields[0] = rep
+		if n.robustCfg.Trim && !n.trim.Admit(rep-n.state[0], n.robustCfg.TrimK) {
+			// Passive-side reject nacks the initiator so neither side
+			// merges — the exchange never happened and mass is conserved.
+			ep := n.tracker.Current()
+			n.mu.Unlock()
+			n.robustRejected.Add(1)
+			n.pool.put(m.Fields)
+			if !n.cfg.PushOnly {
+				nack := transport.Message{Kind: transport.KindNack, Epoch: ep, Seq: m.Seq}
+				if err := n.cfg.Endpoint.Send(m.From, nack); err != nil {
+					n.sendErrors.Add(1)
+				}
+			}
+			return
+		}
+	}
 	if n.cfg.PushOnly {
 		n.cfg.Schema.MergeInto(n.state, core.State(m.Fields))
 		n.stateVer++
@@ -783,7 +919,7 @@ func (n *Node) tryAbsorbLate(m transport.Message) {
 		return
 	}
 	n.mu.Lock()
-	if m.Seq != n.lateSeq || n.stateVer != n.lateVer || n.busy.Load() {
+	if n.adv != 0 || m.Seq != n.lateSeq || n.stateVer != n.lateVer || n.busy.Load() {
 		n.mu.Unlock()
 		n.pool.put(m.Fields)
 		return
@@ -803,6 +939,16 @@ func (n *Node) tryAbsorbLate(m transport.Message) {
 		n.mu.Unlock()
 		n.pool.put(m.Fields)
 		return
+	}
+	if n.robustOn {
+		rep := n.robustCfg.ClampValue(m.Fields[0])
+		m.Fields[0] = rep
+		if n.robustCfg.Trim && !n.trim.Admit(rep-n.state[0], n.robustCfg.TrimK) {
+			n.robustRejected.Add(1)
+			n.mu.Unlock()
+			n.pool.put(m.Fields)
+			return
+		}
 	}
 	n.cfg.Schema.MergeInto(n.state, core.State(m.Fields))
 	n.stateVer++

@@ -15,7 +15,9 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/membership"
 	"repro/internal/metrics"
+	"repro/internal/robust"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/transport"
 	"repro/internal/xrand"
 )
@@ -231,6 +233,10 @@ type Runtime struct {
 	// not-yet-revived) hosted nodes for lock-free scraping; maintained
 	// by FailNode/ReviveNode under the owning shard's lock.
 	failedNodes atomic.Int64
+	// advNodes mirrors the number of currently-Byzantine hosted nodes
+	// for lock-free scraping; maintained by SetAdversaries under the
+	// shard locks.
+	advNodes atomic.Int64
 }
 
 // rnode is one hosted node's protocol state, guarded by its shard's mu.
@@ -256,7 +262,14 @@ type rnode struct {
 	stateVer uint64
 	lateSeq  uint64
 	lateVer  uint64
-	stats    Stats
+	// adv is 0 for an honest node, else 1 + the sim.AdversaryBehavior:
+	// the node answers exchanges with its (pinned) state but never
+	// adopts a merge. Set by SetAdversaries under the shard's mu.
+	adv uint8
+	// trim is the node's robust-merge acceptance band, live while the
+	// shard's robust policy has Trim set (see Runtime.SetRobust).
+	trim  robust.TrimState
+	stats Stats
 }
 
 // failure records one undeliverable batch destination for a sender.
@@ -273,17 +286,18 @@ type failure struct {
 // counters from false-sharing a cache line with whatever the allocator
 // places after the rshard.
 type shardCounters struct {
-	initiated     atomic.Uint64
-	replies       atomic.Uint64
-	timeouts      atomic.Uint64
-	lateReplies   atomic.Uint64
-	served        atomic.Uint64
-	epochSwitches atomic.Uint64
-	staleDropped  atomic.Uint64
-	sendErrors    atomic.Uint64
-	busyDropped   atomic.Uint64
-	peerBusy      atomic.Uint64
-	_             [48]byte // pad 10×8 B of counters to two full cache lines
+	initiated      atomic.Uint64
+	replies        atomic.Uint64
+	timeouts       atomic.Uint64
+	lateReplies    atomic.Uint64
+	served         atomic.Uint64
+	epochSwitches  atomic.Uint64
+	staleDropped   atomic.Uint64
+	sendErrors     atomic.Uint64
+	busyDropped    atomic.Uint64
+	peerBusy       atomic.Uint64
+	robustRejected atomic.Uint64
+	_              [40]byte // pad 11×8 B of counters to two full cache lines
 }
 
 // rshard is one worker's slice of the runtime: a contiguous node range,
@@ -307,6 +321,15 @@ type rshard struct {
 	heap    *sim.EventHeap
 	free    localFree // Fields buffer free list, guarded by mu
 	seq     uint64
+
+	// Adversary/robust state, guarded by mu like the nodes it applies
+	// to. robustOn caches robust.Enabled() so the per-message gate is
+	// one byte load; advGossip/advAges are the shared (read-only)
+	// eclipse flooding digest — every adversary address at age 0.
+	robust    robust.Policy
+	robustOn  bool
+	advGossip []string
+	advAges   []uint32
 
 	ctr shardCounters
 
@@ -475,6 +498,8 @@ func (rt *Runtime) registerMetrics(reg *metrics.Registry) {
 		func() float64 { return float64(len(rt.shards)) })
 	reg.GaugeFunc("repro_engine_failed_nodes", "Hosted nodes currently failed by scenario injection.",
 		func() float64 { return float64(rt.failedNodes.Load()) })
+	reg.GaugeFunc("repro_adversary_nodes", "Hosted nodes currently acting as Byzantine adversaries.",
+		func() float64 { return float64(rt.advNodes.Load()) })
 	reg.CounterFunc("repro_engine_rounds_stolen_total",
 		"Scheduler rounds run by a non-owner worker.", rt.steals.Load)
 	for _, s := range rt.shards {
@@ -491,6 +516,7 @@ func (rt *Runtime) registerMetrics(reg *metrics.Registry) {
 			{"repro_engine_exchanges_nacked_total", "Exchanges declined by a busy peer.", &s.ctr.peerBusy},
 			{"repro_engine_pushes_served_total", "Inbound pushes merged and replied to.", &s.ctr.served},
 			{"repro_engine_pushes_declined_total", "Inbound pushes nacked while busy.", &s.ctr.busyDropped},
+			{"repro_robust_rejected_total", "Exchange halves rejected by the robust trim gate.", &s.ctr.robustRejected},
 			{"repro_engine_messages_stale_dropped_total", "Messages dropped for an out-of-sync epoch.", &s.ctr.staleDropped},
 			{"repro_engine_epoch_restarts_total", "Node state reinitializations at epoch boundaries.", &s.ctr.epochSwitches},
 			{"repro_engine_send_errors_total", "Sends that failed synchronously or via batch feedback.", &s.ctr.sendErrors},
@@ -558,6 +584,15 @@ func (rt *Runtime) registerMetrics(reg *metrics.Registry) {
 					var t uint64
 					for _, g := range gossips {
 						t += g.ForgottenTotal()
+					}
+					return t
+				}, lbl)
+			reg.CounterFunc("repro_membership_digest_dropped_total",
+				"Digest entries refused by the per-sender insertion budget (eclipse hardening).",
+				func() uint64 {
+					var t uint64
+					for _, g := range gossips {
+						t += g.InsertsDroppedTotal()
 					}
 					return t
 				}, lbl)
@@ -706,8 +741,12 @@ func (rt *Runtime) ReduceField(field string, fn func(v float64)) error {
 	for _, s := range rt.shards {
 		s.mu.Lock()
 		for i := range s.nodes {
-			if s.nodes[i].failed {
-				continue // crashed nodes are not part of the live population
+			if s.nodes[i].failed || s.nodes[i].adv != 0 {
+				// Crashed nodes are not part of the live population, and
+				// adversaries' pinned columns are exactly the poison the
+				// observation layer measures the influence of — folding
+				// them in would hide the corruption.
+				continue
 			}
 			fn(s.nodes[i].state[idx])
 		}
@@ -725,7 +764,7 @@ func (rt *Runtime) ReduceValues(fn func(v float64)) {
 	for _, s := range rt.shards {
 		s.mu.Lock()
 		for i := range s.nodes {
-			if s.nodes[i].failed {
+			if s.nodes[i].failed || s.nodes[i].adv != 0 {
 				continue
 			}
 			fn(s.nodes[i].value)
@@ -854,6 +893,128 @@ func (rt *Runtime) ReviveNode(i int) bool {
 
 // FailedNodes returns how many hosted nodes are currently failed.
 func (rt *Runtime) FailedNodes() int { return int(rt.failedNodes.Load()) }
+
+// SetAdversaries marks hosted nodes as Byzantine with the given
+// behavior, mirroring the kernel's semantics (sim.Kernel.SetAdversaries):
+// extreme-value adversaries pin their local value to magnitude,
+// colluding and eclipse adversaries to target, selective droppers keep
+// their honestly drawn value — and none of them ever adopts a merge.
+// Eclipse adversaries additionally answer every exchange with a
+// membership digest listing only adversary addresses at age 0, so
+// gossip-sampled victims' views are captured. Passing no nodes clears
+// the axis. Safe to call on a running runtime (live injection): each
+// shard is updated under its round lock.
+func (rt *Runtime) SetAdversaries(behavior sim.AdversaryBehavior, nodes []int, magnitude, target float64) error {
+	for _, i := range nodes {
+		if i < 0 || i >= len(rt.addrs) {
+			return fmt.Errorf("engine: adversary node %d out of range [0,%d)", i, len(rt.addrs))
+		}
+	}
+	mark := make([]bool, len(rt.addrs))
+	count := 0
+	for _, i := range nodes {
+		if !mark[i] {
+			mark[i] = true
+			count++
+		}
+	}
+	if count > 0 && len(rt.addrs)-count < 2 {
+		return fmt.Errorf("engine: %d adversaries leave fewer than two honest nodes (n=%d)", count, len(rt.addrs))
+	}
+	var gossip []string
+	var ages []uint32
+	if count > 0 && behavior == sim.AdvEclipse {
+		gossip = make([]string, 0, count)
+		for i, m := range mark {
+			if m {
+				gossip = append(gossip, rt.addrs[i])
+			}
+		}
+		ages = make([]uint32, len(gossip))
+	}
+	for _, s := range rt.shards {
+		s.mu.Lock()
+		s.advGossip, s.advAges = gossip, ages
+		for i := s.lo; i < s.hi; i++ {
+			n := &s.nodes[i-s.lo]
+			n.adv = 0
+			if !mark[i] {
+				continue
+			}
+			n.adv = 1 + uint8(behavior)
+			switch behavior {
+			case sim.AdvExtreme:
+				n.value = magnitude
+			case sim.AdvColluding, sim.AdvEclipse:
+				n.value = target
+			}
+			if behavior != sim.AdvSelectiveDrop {
+				copy(n.state, rt.initStateFor(n, n.tracker.Current()))
+				n.stateVer++
+			}
+		}
+		s.mu.Unlock()
+	}
+	rt.advNodes.Store(int64(count))
+	return nil
+}
+
+// AdversaryCount returns how many hosted nodes are currently Byzantine.
+func (rt *Runtime) AdversaryCount() int { return int(rt.advNodes.Load()) }
+
+// SetRobust installs the robust-merge countermeasures on every hosted
+// node (a zero policy disables them). When trimming is enabled, each
+// node's acceptance band is seeded from the honest population's current
+// primary-field spread — center 0, scale max(σ, ε) — exactly as the
+// kernel does, so an adversary gets no free warmup window. Call after
+// SetAdversaries; safe on a running runtime.
+func (rt *Runtime) SetRobust(p robust.Policy) {
+	if p.Trim && p.TrimK <= 0 {
+		p.TrimK = 8
+	}
+	var seed robust.TrimState
+	if p.Enabled() && p.Trim {
+		var run stats.Running
+		for _, s := range rt.shards {
+			s.mu.Lock()
+			for i := range s.nodes {
+				n := &s.nodes[i]
+				if n.adv == 0 && !n.failed {
+					run.Add(n.state[0])
+				}
+			}
+			s.mu.Unlock()
+		}
+		scale := run.StdDev()
+		if scale < 1e-12 {
+			scale = 1e-12
+		}
+		seed = robust.TrimState{Center: 0, Scale: scale}
+	}
+	for _, s := range rt.shards {
+		s.mu.Lock()
+		if p.Enabled() {
+			s.robust, s.robustOn = p, true
+		} else {
+			s.robust, s.robustOn = robust.Policy{}, false
+		}
+		for i := range s.nodes {
+			s.nodes[i].trim = seed
+		}
+		s.mu.Unlock()
+	}
+}
+
+// RobustRejected returns how many exchange halves the robust trim gate
+// has rejected (cumulative across the runtime's lifetime, like every
+// other counter).
+func (rt *Runtime) RobustRejected() uint64 {
+	var t uint64
+	for _, s := range rt.shards {
+		t += s.ctr.robustRejected.Load()
+	}
+	return t
+}
 
 // Stats returns the element-wise sum of every hosted node's counters.
 // The fold reads the per-shard atomic counter blocks — O(workers), no
@@ -1228,7 +1389,12 @@ func (s *rshard) initiate(n *rnode, idx int, now float64) {
 		From:   self,
 		Fields: fields,
 	}
-	if s.rt.cfg.GossipFanout > 0 && n.observes {
+	if n.adv == 1+uint8(sim.AdvEclipse) {
+		// Eclipse push: flood the victim's view with adversary
+		// addresses at age 0 (the shared digest is immutable, so the
+		// receiver-must-not-retain contract is moot).
+		msg.Gossip, msg.GossipAges = s.advGossip, s.advAges
+	} else if s.rt.cfg.GossipFanout > 0 && n.observes {
 		// The digest slices must be owned by the message: the batcher
 		// retains it until flush and the fabric delivers by reference, so
 		// sender-side scratch reuse is not possible here (DESIGN.md
@@ -1338,6 +1504,61 @@ func (s *rshard) servePush(n *rnode, idx int, m transport.Message) {
 		s.free.put(m.Fields) // wrong length: put drops it, GC reclaims
 		return               // schema mismatch; drop defensively
 	}
+	if n.adv != 0 {
+		// Byzantine responder: answer with the (pinned) state so the
+		// initiator faithfully averages the poison in, but never adopt
+		// the merge. Eclipse adversaries flood the reply's membership
+		// digest with adversary addresses at age 0, capturing
+		// gossip-sampled victims' views.
+		if s.rt.cfg.PushOnly {
+			s.free.put(m.Fields)
+			return
+		}
+		copy(m.Fields, n.state)
+		reply := transport.Message{
+			Kind:   transport.KindReply,
+			Epoch:  n.tracker.Current(),
+			Seq:    m.Seq,
+			From:   s.rt.addrs[idx],
+			Fields: m.Fields,
+		}
+		if n.adv == 1+uint8(sim.AdvEclipse) {
+			reply.Gossip, reply.GossipAges = s.advGossip, s.advAges
+		}
+		n.stats.Served++
+		s.ctr.served.Add(1)
+		if err := s.out.Send(m.From, reply); err != nil {
+			n.stats.SendErrors++
+			s.ctr.sendErrors.Add(1)
+		}
+		return
+	}
+	if s.robustOn {
+		// Clamp the peer's primary-field report before it can enter the
+		// merge, then run the trimmed-merge gate: a rejected exchange is
+		// nacked so the initiator keeps its half too — neither side
+		// merges and mass is conserved, exactly the kernel's
+		// passive-side semantics.
+		rep := s.robust.ClampValue(m.Fields[0])
+		m.Fields[0] = rep
+		if s.robust.Trim && !n.trim.Admit(rep-n.state[0], s.robust.TrimK) {
+			s.ctr.robustRejected.Add(1)
+			s.free.put(m.Fields)
+			if !s.rt.cfg.PushOnly {
+				nack := transport.Message{
+					Kind:  transport.KindNack,
+					Epoch: n.tracker.Current(),
+					Seq:   m.Seq,
+					From:  s.rt.addrs[idx],
+				}
+				if err := s.out.Send(m.From, nack); err != nil {
+					n.stats.SendErrors++
+					s.ctr.sendErrors.Add(1)
+				}
+			}
+			return
+		}
+	}
 	if s.rt.cfg.PushOnly {
 		// No reply to build: merge in place and retire the buffer.
 		s.rt.schema.MergeInto(core.State(n.state), core.State(m.Fields))
@@ -1403,6 +1624,24 @@ func (s *rshard) handleReply(n *rnode, idx int, m transport.Message) {
 	if len(m.Fields) != len(n.state) {
 		return
 	}
+	if n.adv != 0 {
+		// Byzantine initiator: the exchange completed, but the merge is
+		// silently discarded — the node's report stays pinned.
+		n.stats.Replies++
+		s.ctr.replies.Add(1)
+		return
+	}
+	if s.robustOn {
+		rep := s.robust.ClampValue(m.Fields[0])
+		m.Fields[0] = rep
+		if s.robust.Trim && !n.trim.Admit(rep-n.state[0], s.robust.TrimK) {
+			// Active-side reject: the responder already committed its
+			// half when it served the push, so only this node's half is
+			// dropped — the kernel's initiator-reject semantics.
+			s.ctr.robustRejected.Add(1)
+			return
+		}
+	}
 	s.rt.schema.MergeInto(core.State(n.state), core.State(m.Fields))
 	n.stateVer++
 	n.stats.Replies++
@@ -1433,6 +1672,17 @@ func (s *rshard) absorbLate(n *rnode, m transport.Message) {
 	}
 	if len(m.Fields) != len(n.state) {
 		return
+	}
+	if n.adv != 0 {
+		return
+	}
+	if s.robustOn {
+		rep := s.robust.ClampValue(m.Fields[0])
+		m.Fields[0] = rep
+		if s.robust.Trim && !n.trim.Admit(rep-n.state[0], s.robust.TrimK) {
+			s.ctr.robustRejected.Add(1)
+			return
+		}
 	}
 	s.rt.schema.MergeInto(core.State(n.state), core.State(m.Fields))
 	n.stateVer++

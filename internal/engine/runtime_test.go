@@ -533,6 +533,7 @@ type sustainedResult struct {
 	AllocsPerExchange float64 // heap mallocs per initiation, steady state
 	Variance          float64 // final cross-node variance of "avg"
 	Mean              float64 // final cross-node mean of "avg"
+	RobustRejected    uint64  // exchange halves refused by the trim gate
 }
 
 // runSustained is the parameterized sustained-throughput harness behind
@@ -547,6 +548,14 @@ type sustainedResult struct {
 // cluster config before construction (e.g. attaching a metrics
 // registry for the overhead gate).
 func runSustained(tb testing.TB, size, cycles, workers int, deadline time.Duration, opts ...func(*ClusterConfig)) sustainedResult {
+	tb.Helper()
+	return runSustainedWith(tb, size, cycles, workers, deadline, nil, opts...)
+}
+
+// runSustainedWith is runSustained plus a post-Start hook — the robust
+// variant uses it to install adversaries and countermeasures on the
+// live cluster before the measured window.
+func runSustainedWith(tb testing.TB, size, cycles, workers int, deadline time.Duration, postStart func(*Cluster), opts ...func(*ClusterConfig)) sustainedResult {
 	tb.Helper()
 	cfg := ClusterConfig{
 		Size:   size,
@@ -568,6 +577,9 @@ func runSustained(tb testing.TB, size, cycles, workers int, deadline time.Durati
 	}
 	c.Start(context.Background())
 	defer c.Stop()
+	if postStart != nil {
+		postStart(c)
+	}
 	rt := c.Runtime()
 	giveUp := time.Now().Add(deadline)
 	// Stats() folds O(workers) atomic counters lock-free, so a tight
@@ -613,6 +625,7 @@ func runSustained(tb testing.TB, size, cycles, workers int, deadline time.Durati
 	}
 	res.Variance = run.Variance()
 	res.Mean = run.Mean()
+	res.RobustRejected = c.RobustRejected()
 	return res
 }
 

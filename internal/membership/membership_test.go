@@ -279,6 +279,62 @@ func TestGossipSamplerAgesPerRoundNotPerMessage(t *testing.T) {
 	}
 }
 
+func TestGossipSamplerEclipseFloodBounded(t *testing.T) {
+	// Regression for the eclipse-hardening budget, at the message rates
+	// of the heap runtime (cf. the per-round aging regression above):
+	// before the per-sender insertion cap, one adversary digest of age-0
+	// colluding addresses replaced the whole capacity-8 view, and 10⁵
+	// such messages between ticks kept it replaced. Now a single sender
+	// may insert at most capacity/2 unknown addresses per round, however
+	// many messages it sends.
+	g, err := NewGossipSampler("self", 8, []string{"h0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		g.Observe(fmt.Sprintf("h%d", i), nil, nil)
+	}
+	g.Tick()
+	evil := make([]string, 20)
+	zero := make([]uint32, 20)
+	for i := range evil {
+		evil[i] = fmt.Sprintf("evil-%d", i)
+	}
+	for i := 0; i < 100000; i++ {
+		g.Observe("evil-sender", evil, zero)
+	}
+	evilCount, honestCount := 0, 0
+	for _, a := range g.ViewAddrs() {
+		if len(a) >= 4 && a[:4] == "evil" {
+			evilCount++
+		} else {
+			honestCount++
+		}
+	}
+	// Sender (first-hand, unbudgeted) + capacity/2 digest insertions.
+	if evilCount > 1+4 {
+		t.Fatalf("eclipse flood captured %d of %d view slots, want ≤ 5", evilCount, 8)
+	}
+	if honestCount < 3 {
+		t.Fatalf("only %d honest entries survived the flood, want ≥ 3", honestCount)
+	}
+	if g.InsertsDroppedTotal() == 0 {
+		t.Fatal("flood rejected no digest entries")
+	}
+	// A new round replenishes the budget — but only one round's worth.
+	g.Tick()
+	g.Observe("evil-sender", evil, zero)
+	evilCount = 0
+	for _, a := range g.ViewAddrs() {
+		if len(a) >= 4 && a[:4] == "evil" {
+			evilCount++
+		}
+	}
+	if evilCount > 1+4+4 {
+		t.Fatalf("second-round flood captured %d slots, want ≤ 9-capped-at-capacity", evilCount)
+	}
+}
+
 func TestGossipSamplerAppendDigest(t *testing.T) {
 	g, err := NewGossipSampler("self", 8, []string{"a", "b", "c", "d"})
 	if err != nil {

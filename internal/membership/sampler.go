@@ -121,25 +121,52 @@ func (s *Static) Tick() {}
 // Forget implements Sampler (no-op: static configuration is never pruned).
 func (s *Static) Forget(string) {}
 
+// maxRoundSenders bounds the per-round sender-budget table. Honest
+// nodes hear from a handful of distinct senders per gossip round;
+// a flood from more addresses than this lands in a shared overflow
+// budget, which is exactly the conservative treatment a spray deserves.
+const maxRoundSenders = 64
+
+// senderBudget tracks how many previously-unknown addresses one sender
+// has inserted into the view this round. Senders are identified by
+// address hash; a collision merely shares a budget (conservative).
+type senderBudget struct {
+	hash uint64
+	used int
+}
+
 // GossipSampler maintains a Newscast-style view fed by piggybacked
 // membership gossip: every observed sender enters at age 0, digest
 // entries enter one hop older than the sender knew them, and Tick ages
 // the whole view once per gossip round so dead peers wash out while live
 // peers are continually refreshed by traffic.
+//
+// Eclipse hardening: a single sender may insert at most capacity/2
+// previously-unknown addresses per gossip round. An attacker flooding
+// age-0 digests of colluding addresses can therefore replace at most
+// half a victim's view per round and per adversary contact, instead of
+// wiping it with one message — honest traffic keeps re-inserting real
+// peers in the meantime. The sender's own address is first-hand
+// evidence and is never budgeted; neither are age refreshes of
+// addresses already in the view.
 type GossipSampler struct {
 	self string
 
-	mu      sync.Mutex
-	view    *View
-	scratch []Entry
+	mu        sync.Mutex
+	view      *View
+	scratch   []Entry
+	insertCap int
+	round     []senderBudget // per-sender budgets, reset by Tick
+	overflow  senderBudget   // shared budget once round is full
 
 	// Lock-free mirrors for telemetry scrapes (see engine metrics
 	// registration): the gauge/counter readers must not contend with the
 	// per-message Observe path.
-	viewLen   atomic.Int64
-	observed  atomic.Uint64
-	forgotten atomic.Uint64
-	ticks     atomic.Uint64
+	viewLen    atomic.Int64
+	observed   atomic.Uint64
+	forgotten  atomic.Uint64
+	ticks      atomic.Uint64
+	overBudget atomic.Uint64
 }
 
 var _ Sampler = (*GossipSampler)(nil)
@@ -157,9 +184,29 @@ func NewGossipSampler(self string, capacity int, seeds []string) (*GossipSampler
 	if v.Len() == 0 {
 		return nil, ErrNoPeers
 	}
-	g := &GossipSampler{self: self, view: v}
+	insertCap := capacity / 2
+	if insertCap < 1 {
+		insertCap = 1
+	}
+	g := &GossipSampler{self: self, view: v, insertCap: insertCap}
 	g.viewLen.Store(int64(v.Len()))
 	return g, nil
+}
+
+// budgetFor returns the round budget for a sender, creating it on first
+// use. Must be called with mu held.
+func (g *GossipSampler) budgetFor(from string) *senderBudget {
+	h := addrHash(from)
+	for i := range g.round {
+		if g.round[i].hash == h {
+			return &g.round[i]
+		}
+	}
+	if len(g.round) < maxRoundSenders {
+		g.round = append(g.round, senderBudget{hash: h})
+		return &g.round[len(g.round)-1]
+	}
+	return &g.overflow
 }
 
 // Sample implements Sampler.
@@ -181,9 +228,27 @@ func (g *GossipSampler) Observe(from string, addrs []string, ages []uint32) {
 	g.mu.Lock()
 	inc := g.scratch[:0]
 	if from != "" {
-		inc = append(inc, Entry{Addr: from, Age: 0})
+		inc = append(inc, Entry{Addr: from, Age: 0}) // first-hand; never budgeted
 	}
+	var budget *senderBudget
+	dropped := uint64(0)
 	for i, a := range addrs {
+		if a == "" || a == g.self {
+			continue
+		}
+		if g.view.indexOf(a) < 0 {
+			// Previously unknown: charge the sender's round budget. The
+			// lookup is lazy so digests that only refresh known peers
+			// (the steady state) never touch the budget table.
+			if budget == nil {
+				budget = g.budgetFor(from)
+			}
+			if budget.used >= g.insertCap {
+				dropped++
+				continue
+			}
+			budget.used++
+		}
 		age := uint32(1)
 		if i < len(ages) && ages[i] < ^uint32(0) {
 			age = ages[i] + 1
@@ -195,6 +260,9 @@ func (g *GossipSampler) Observe(from string, addrs []string, ages []uint32) {
 	g.viewLen.Store(int64(g.view.Len()))
 	g.mu.Unlock()
 	g.observed.Add(1)
+	if dropped != 0 {
+		g.overBudget.Add(dropped)
+	}
 }
 
 // AppendDigest implements Sampler.
@@ -204,10 +272,13 @@ func (g *GossipSampler) AppendDigest(addrs []string, ages []uint32, rng *xrand.R
 	return g.view.AppendDigest(addrs, ages, rng, k)
 }
 
-// Tick implements Sampler: ages every entry by one gossip round.
+// Tick implements Sampler: ages every entry by one gossip round and
+// resets the per-sender insertion budgets.
 func (g *GossipSampler) Tick() {
 	g.mu.Lock()
 	g.view.AgeAll()
+	g.round = g.round[:0]
+	g.overflow.used = 0
 	g.mu.Unlock()
 	g.ticks.Add(1)
 }
@@ -235,6 +306,12 @@ func (g *GossipSampler) ObservedTotal() uint64 { return g.observed.Load() }
 
 // ForgottenTotal returns the number of addresses dropped as dead.
 func (g *GossipSampler) ForgottenTotal() uint64 { return g.forgotten.Load() }
+
+// InsertsDroppedTotal returns the number of digest entries refused
+// because their sender exhausted its per-round insertion budget — a
+// sustained non-zero rate is the signature of a digest-flooding
+// eclipse attempt.
+func (g *GossipSampler) InsertsDroppedTotal() uint64 { return g.overBudget.Load() }
 
 // ViewAddrs returns the current view contents (diagnostics and tests).
 func (g *GossipSampler) ViewAddrs() []string {

@@ -1,0 +1,93 @@
+package robust
+
+// Robust aggregation primitives: the per-exchange countermeasures that
+// bound how far a Byzantine reporter can drag the push-pull average.
+// Plain averaging is maximally fragile — mass conservation (§3.2)
+// faithfully spreads whatever a peer reports — so the engines and the
+// simulation kernel gate each inbound exchange through a Policy
+// before merging. Two mechanisms compose:
+//
+//   - Value-bound clamps: inbound field-0 estimates are clamped into
+//     [ClampMin, ClampMax] before the merge, bounding the worst-case
+//     per-exchange displacement regardless of what a peer claims.
+//   - Trimmed merge: each node keeps a running (center, scale) of the
+//     field-0 deltas it has accepted and rejects any exchange whose
+//     delta falls outside center ± TrimK·scale — a streaming,
+//     allocation-free stand-in for a MAD test that needs no history
+//     buffer.
+//
+// Both act on field 0 (the tracked aggregate) and gate the exchange as
+// a whole, so multi-field schemas stay internally consistent: either
+// every field merges or none does.
+
+// trimAlpha is the EWMA weight of the trim gate's running center and
+// scale. 1/16 remembers ≈ 16 accepted exchanges — long enough that a
+// burst of adversarial deltas cannot quickly re-center the gate onto
+// itself, short enough to track the shrinking honest deltas as the
+// network converges.
+const trimAlpha = 1.0 / 16
+
+// Policy configures the countermeasures. The zero value disables
+// everything (plain merge).
+type Policy struct {
+	// Clamp enables value-bound clamping of inbound field-0 estimates
+	// into [ClampMin, ClampMax].
+	Clamp              bool
+	ClampMin, ClampMax float64
+	// Trim enables the trimmed merge; TrimK is the acceptance band's
+	// half-width in scale units (≈ standard deviations; 8 is a safe
+	// default — honest deltas concentrate well inside it while an
+	// extreme-value report sits orders of magnitude outside).
+	Trim  bool
+	TrimK float64
+}
+
+// Enabled reports whether any countermeasure is active.
+func (p Policy) Enabled() bool { return p.Clamp || p.Trim }
+
+// ClampValue bounds one inbound field-0 estimate. NaN passes through
+// (the schema's merge semantics own NaN handling).
+func (p Policy) ClampValue(v float64) float64 {
+	if !p.Clamp {
+		return v
+	}
+	if v < p.ClampMin {
+		return p.ClampMin
+	}
+	if v > p.ClampMax {
+		return p.ClampMax
+	}
+	return v
+}
+
+// TrimState is one node's running acceptance band for the trimmed
+// merge: an EWMA center of accepted field-0 deltas and an EWMA scale of
+// their absolute deviation. Seed at enable time from the honest
+// population's spread (center 0, scale ≈ σ) — a warmup window that
+// accepts everything would itself be a poisoning vector.
+type TrimState struct {
+	Center, Scale float64
+}
+
+// Admit decides whether an exchange whose field-0 delta (inbound − own,
+// after clamping) is delta may merge, and on acceptance folds the delta
+// into the running band. The scale update tracks mean absolute
+// deviation, which lags the geometric shrink of honest deltas during
+// convergence — so the band tightens as the network agrees, and late
+// poison that would have passed at start-up is still rejected.
+func (t *TrimState) Admit(delta, k float64) bool {
+	d := delta - t.Center
+	if d < 0 {
+		d = -d
+	}
+	if d > k*t.Scale {
+		return false
+	}
+	t.Center += (delta - t.Center) * trimAlpha
+	ad := delta - t.Center
+	if ad < 0 {
+		ad = -ad
+	}
+	t.Scale += (ad - t.Scale) * trimAlpha
+	return true
+}

@@ -1,0 +1,83 @@
+package robust
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPolicyEnabled(t *testing.T) {
+	if (Policy{}).Enabled() {
+		t.Fatal("zero policy reports enabled")
+	}
+	if !(Policy{Clamp: true}).Enabled() || !(Policy{Trim: true}).Enabled() {
+		t.Fatal("single-mechanism policy reports disabled")
+	}
+}
+
+func TestClampValue(t *testing.T) {
+	p := Policy{Clamp: true, ClampMin: -10, ClampMax: 10}
+	for _, tc := range []struct{ in, want float64 }{
+		{0, 0}, {9.5, 9.5}, {-10, -10}, {10, 10},
+		{11, 10}, {-1e9, -10}, {math.Inf(1), 10}, {math.Inf(-1), -10},
+	} {
+		if got := p.ClampValue(tc.in); got != tc.want {
+			t.Errorf("ClampValue(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// NaN passes through: the schema's merge semantics own NaN handling.
+	if got := p.ClampValue(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("ClampValue(NaN) = %v, want NaN", got)
+	}
+	// Disabled clamp is the identity.
+	if got := (Policy{}).ClampValue(1e9); got != 1e9 {
+		t.Errorf("disabled ClampValue(1e9) = %v", got)
+	}
+}
+
+// TestTrimAdmit: honest-scale deltas pass and fold into the band;
+// deltas far outside center ± k·scale are rejected without moving the
+// band, so a rejected burst cannot re-center the gate onto itself.
+func TestTrimAdmit(t *testing.T) {
+	ts := TrimState{Center: 0, Scale: 1}
+	if !ts.Admit(0.5, 8) {
+		t.Fatal("honest delta rejected")
+	}
+	if ts.Center == 0 || ts.Scale == 1 {
+		t.Fatal("accepted delta did not fold into the running band")
+	}
+	before := ts
+	if ts.Admit(1000, 8) {
+		t.Fatal("extreme delta admitted")
+	}
+	if ts != before {
+		t.Fatal("rejected delta mutated the band")
+	}
+}
+
+// TestTrimBandTightens: the band tracks the shrinking honest deltas
+// during convergence, so late poison that would have passed against the
+// start-up scale is still rejected.
+func TestTrimBandTightens(t *testing.T) {
+	ts := TrimState{Center: 0, Scale: 1}
+	const k = 8
+	late := 0.9 * k // would pass against the seed scale of 1
+	for i := 0; i < 200; i++ {
+		if !ts.Admit(0.001, k) {
+			t.Fatalf("converged honest delta rejected at step %d (scale %v)", i, ts.Scale)
+		}
+	}
+	if ts.Admit(late, k) {
+		t.Fatalf("late poison %v admitted after band tightened to scale %v", late, ts.Scale)
+	}
+}
+
+func TestTrimAdmitAllocs(t *testing.T) {
+	ts := TrimState{Scale: 1}
+	p := Policy{Clamp: true, ClampMin: -100, ClampMax: 100}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ts.Admit(p.ClampValue(0.25), 8)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot path allocates: %v allocs/op", allocs)
+	}
+}

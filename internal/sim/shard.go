@@ -179,6 +179,7 @@ func (sh *sharder) generate(w int) {
 		if !ok {
 			continue // isolated node: no partner this cycle
 		}
+		j = k.redirectEclipsed(int(i), j, rng)
 		out := uint8(k.loss.Draw(rng))
 		t := sh.shardOf(int32(j))
 		sh.buckets[w][t] = append(sh.buckets[w][t], step{i: i, j: int32(j), out: out})
@@ -201,6 +202,7 @@ func (sh *sharder) generateRand(w, count int) {
 				break
 			}
 		}
+		j = k.redirectEclipsed(i, j, rng)
 		out := uint8(k.loss.Draw(rng))
 		a, b := sh.shardOf(int32(i)), sh.shardOf(int32(j))
 		sh.rbuckets[w][a][b] = append(sh.rbuckets[w][a][b], step{i: int32(i), j: int32(j), out: out})

@@ -37,7 +37,9 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
+	"repro/internal/robust"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/xrand"
@@ -158,7 +160,51 @@ type Kernel struct {
 
 	shards int
 	sh     *sharder
+
+	// Adversary axis (SetAdversaries): adv marks Byzantine nodes, which
+	// never adopt a merge and always report their current (pinned)
+	// column values; advNodes lists their indices for eclipse
+	// redirection; eclipsed marks honest victims whose partner draws an
+	// eclipse adversary has captured.
+	adv        []uint8
+	advNodes   []int32
+	advEclipse bool
+	eclipsed   []uint8
+
+	// Robust countermeasures (SetRobust): clamp/trim policy, per-node
+	// trim acceptance bands, and the rejected-exchange counter (atomic:
+	// the sharded executor's workers increment it concurrently).
+	robust   robust.Policy
+	robustOn bool
+	trim     []robust.TrimState
+	rejected atomic.Uint64
 }
+
+// AdversaryBehavior selects what a Byzantine node does with the
+// protocol. All behaviors share one mechanic — the adversary never
+// adopts a merge and always reports its current column values — and
+// differ in what those values are pinned to (and, for eclipse, in the
+// membership poison layered on top).
+type AdversaryBehavior uint8
+
+const (
+	// AdvExtreme pins the adversary's field-0 report to an extreme
+	// magnitude — the classical poisoning attack on mass conservation.
+	AdvExtreme AdversaryBehavior = iota
+	// AdvColluding pins every adversary to one shared target value,
+	// dragging the converged estimate toward it without obvious
+	// outliers.
+	AdvColluding
+	// AdvSelectiveDrop keeps the honestly drawn value but acks and
+	// discards every merge: the node looks alive and serves plausible
+	// state, yet leaks mass asymmetry into every exchange it serves.
+	AdvSelectiveDrop
+	// AdvEclipse pins like colluding and additionally captures honest
+	// partners: once a victim exchanges with an eclipse node, the
+	// victim's subsequent partner draws are redirected to uniformly
+	// random adversaries — the kernel model of a flooded gossip view.
+	AdvEclipse
+)
 
 // dynComplete is the complete graph over a kernel's current live node
 // set: Size tracks churn, sampling matches topology.Complete exactly.
@@ -366,6 +412,106 @@ func (k *Kernel) SetValues(f int, vals []float64) error {
 	return nil
 }
 
+// SetAdversaries marks nodes as Byzantine with the given behavior.
+// Extreme-value adversaries pin their field-0 report to magnitude;
+// colluding and eclipse adversaries pin it to target; selective-drop
+// adversaries keep their current (honestly drawn) values. Call after
+// loading values with SetValues and before SetRobust (the trim seed
+// must exclude adversarial values). Passing no nodes clears the axis.
+func (k *Kernel) SetAdversaries(behavior AdversaryBehavior, nodes []int, magnitude, target float64) error {
+	k.adv = nil
+	k.advNodes = k.advNodes[:0]
+	k.advEclipse = false
+	k.eclipsed = nil
+	if len(nodes) == 0 {
+		return nil
+	}
+	k.adv = resizeZeroU8(k.adv, 0, k.n)
+	for _, i := range nodes {
+		if i < 0 || i >= k.n {
+			return fmt.Errorf("sim: adversary node %d out of range [0,%d)", i, k.n)
+		}
+		if k.adv[i] != 0 {
+			continue
+		}
+		k.adv[i] = 1
+		k.advNodes = append(k.advNodes, int32(i))
+	}
+	if len(k.advNodes) >= k.n-1 {
+		return fmt.Errorf("sim: %d adversaries leave fewer than two honest nodes (n=%d)", len(k.advNodes), k.n)
+	}
+	col0 := k.cols[0]
+	switch behavior {
+	case AdvExtreme:
+		for _, i := range k.advNodes {
+			col0[i] = magnitude
+		}
+	case AdvColluding:
+		for _, i := range k.advNodes {
+			col0[i] = target
+		}
+	case AdvEclipse:
+		for _, i := range k.advNodes {
+			col0[i] = target
+		}
+		k.advEclipse = true
+		k.eclipsed = resizeZeroU8(nil, 0, k.n)
+	case AdvSelectiveDrop:
+		// Values stay as drawn: the node is indistinguishable by state,
+		// only by its refusal to converge.
+	default:
+		return fmt.Errorf("sim: unknown adversary behavior %d", behavior)
+	}
+	return nil
+}
+
+// Adversaries returns the Byzantine node indices (nil without an
+// adversary axis; shared — treat as read-only).
+func (k *Kernel) Adversaries() []int32 { return k.advNodes }
+
+// SetRobust installs the robust-merge countermeasures (a zero policy
+// disables them). When trimming is enabled, each node's acceptance band
+// is seeded from the honest population's current field-0 spread —
+// center 0, scale max(σ, ε) — so a converged-looking network starts
+// strict and an adversary gets no free warmup window. Call after
+// SetValues and SetAdversaries.
+func (k *Kernel) SetRobust(p robust.Policy) {
+	k.rejected.Store(0)
+	if !p.Enabled() {
+		k.robust = robust.Policy{}
+		k.robustOn = false
+		k.trim = nil
+		return
+	}
+	if p.Trim && p.TrimK <= 0 {
+		p.TrimK = 8
+	}
+	k.robust = p
+	k.robustOn = true
+	k.trim = nil
+	if p.Trim {
+		var run stats.Running
+		col0 := k.cols[0]
+		for i := 0; i < k.n; i++ {
+			if k.adv == nil || k.adv[i] == 0 {
+				run.Add(col0[i])
+			}
+		}
+		scale := run.StdDev()
+		if scale < 1e-12 {
+			scale = 1e-12
+		}
+		k.trim = make([]robust.TrimState, k.n)
+		for i := range k.trim {
+			k.trim[i] = robust.TrimState{Center: 0, Scale: scale}
+		}
+	}
+}
+
+// RobustRejected returns how many exchange halves the robust trim gate
+// has rejected since SetRobust.
+func (k *Kernel) RobustRejected() uint64 { return k.rejected.Load() }
+
 // PhiCounts returns the per-node selection counts of the most recent
 // cycle (one entry per live node), or nil unless the kernel was built
 // with CountPhi. The slice is reused across cycles; copy it to retain.
@@ -402,6 +548,7 @@ func (k *Kernel) seqCycle() {
 	n := k.n
 	for s := 0; s < n; s++ {
 		i, j := k.sel.NextPair()
+		j = k.redirectEclipsed(i, j, k.rng)
 		if k.phi != nil {
 			k.phi[i]++
 			k.phi[j]++
@@ -416,9 +563,24 @@ func (k *Kernel) seqCycle() {
 	}
 }
 
+// redirectEclipsed maps initiator i's drawn partner j to a uniformly
+// random adversary when i's view has been captured by an eclipse node —
+// the kernel model of a gossip view flooded with adversary addresses.
+// Identity without an eclipse axis.
+func (k *Kernel) redirectEclipsed(i, j int, rng *xrand.Rand) int {
+	if !k.advEclipse || k.eclipsed[i] == 0 {
+		return j
+	}
+	return int(k.advNodes[rng.Intn(len(k.advNodes))])
+}
+
 // mergeFull applies the elementary step to nodes i and j: both adopt
 // the field-wise merge.
 func (k *Kernel) mergeFull(i, j int) {
+	if k.adv != nil || k.robustOn {
+		k.mergeFullGuarded(i, j)
+		return
+	}
 	for f, op := range k.ops {
 		col := k.cols[f]
 		m := op.merge(col[i], col[j])
@@ -427,13 +589,111 @@ func (k *Kernel) mergeFull(i, j int) {
 	}
 }
 
+// mergeFullGuarded is mergeFull with the adversary and robust-merge
+// semantics of the live runtimes: i is the initiator, j the responder.
+// Adversaries never adopt the merge and report their pinned values; an
+// honest responder's trim rejection aborts the whole exchange (the
+// engine's nack), an honest initiator's rejection of the reply drops
+// only its own half (the responder has already committed, exactly as
+// in the live protocol). Safe under the sharded executor: each pair's
+// nodes are worker-disjoint within a round, and the rejected counter is
+// atomic.
+func (k *Kernel) mergeFullGuarded(i, j int) {
+	advI := k.adv != nil && k.adv[i] != 0
+	advJ := k.adv != nil && k.adv[j] != 0
+	if k.advEclipse {
+		if advJ && !advI {
+			k.eclipsed[i] = 1
+		}
+		if advI && !advJ {
+			k.eclipsed[j] = 1
+		}
+	}
+	if advI && advJ {
+		return
+	}
+	col0 := k.cols[0]
+	pre0i, pre0j := col0[i], col0[j]
+	repI, repJ := pre0i, pre0j // field-0 values as received (post clamp)
+	if k.robustOn {
+		repI = k.robust.ClampValue(repI)
+		repJ = k.robust.ClampValue(repJ)
+		if k.robust.Trim {
+			if !advJ && !k.trim[j].Admit(repI-pre0j, k.robust.TrimK) {
+				k.rejected.Add(1)
+				return // passive-side reject: neither half merges
+			}
+		}
+	}
+	mergeI := !advI
+	if mergeI && k.robustOn && k.robust.Trim &&
+		!k.trim[i].Admit(repJ-pre0i, k.robust.TrimK) {
+		k.rejected.Add(1)
+		mergeI = false // active-side reject: responder already committed
+	}
+	for f, op := range k.ops {
+		col := k.cols[f]
+		if f == 0 {
+			if mergeI {
+				col[i] = op.merge(pre0i, repJ)
+			}
+			if !advJ {
+				col[j] = op.merge(repI, pre0j)
+			}
+			continue
+		}
+		m := op.merge(col[i], col[j])
+		if mergeI {
+			col[i] = m
+		}
+		if !advJ {
+			col[j] = m
+		}
+	}
+}
+
 // mergeResponder applies the merge at the responder j only — the
 // deployed protocol's reply-loss outcome, which violates mass
 // conservation (§2).
 func (k *Kernel) mergeResponder(i, j int) {
+	if k.adv != nil || k.robustOn {
+		k.mergeResponderGuarded(i, j)
+		return
+	}
 	for f, op := range k.ops {
 		col := k.cols[f]
 		col[j] = op.merge(col[i], col[j])
+	}
+}
+
+// mergeResponderGuarded is mergeResponder under the adversary and
+// robust axes: the responder's eclipse capture, adversary no-merge and
+// trim gate all apply; the initiator is untouched by construction.
+func (k *Kernel) mergeResponderGuarded(i, j int) {
+	advI := k.adv != nil && k.adv[i] != 0
+	advJ := k.adv != nil && k.adv[j] != 0
+	if k.advEclipse && advI && !advJ {
+		k.eclipsed[j] = 1
+	}
+	if advJ {
+		return
+	}
+	col0 := k.cols[0]
+	rep := col0[i]
+	if k.robustOn {
+		rep = k.robust.ClampValue(rep)
+		if k.robust.Trim && !k.trim[j].Admit(rep-col0[j], k.robust.TrimK) {
+			k.rejected.Add(1)
+			return
+		}
+	}
+	for f, op := range k.ops {
+		col := k.cols[f]
+		in := col[i]
+		if f == 0 {
+			in = rep
+		}
+		col[j] = op.merge(in, col[j])
 	}
 }
 
@@ -498,6 +758,24 @@ func (k *Kernel) RemoveNode(i int) {
 		col := k.cols[f]
 		col[i] = col[last]
 	}
+	if k.adv != nil {
+		k.adv[i] = k.adv[last]
+		// Swapping can move adversary indices; rebuild the list (churn
+		// and adversaries rarely compose — the scenario layer forbids
+		// it — so the O(n) scan is off every hot path).
+		k.advNodes = k.advNodes[:0]
+		for idx := 0; idx < last; idx++ {
+			if k.adv[idx] != 0 {
+				k.advNodes = append(k.advNodes, int32(idx))
+			}
+		}
+	}
+	if k.eclipsed != nil {
+		k.eclipsed[i] = k.eclipsed[last]
+	}
+	if k.trim != nil {
+		k.trim[i] = k.trim[last]
+	}
 	k.n = last
 }
 
@@ -531,6 +809,23 @@ func (k *Kernel) Resize(n int) {
 	for f := range k.cols {
 		k.cols[f] = resizeZero(k.cols[f], k.n, n)
 	}
+	if k.adv != nil {
+		k.adv = resizeZeroU8(k.adv, k.n, n)
+	}
+	if k.eclipsed != nil {
+		k.eclipsed = resizeZeroU8(k.eclipsed, k.n, n)
+	}
+	if k.trim != nil && n > len(k.trim) {
+		// Joiners inherit a fresh band at the seeded scale of node 0
+		// (all bands start identical; accepted traffic specializes them).
+		seed := robust.TrimState{Scale: 1e-12}
+		if len(k.trim) > 0 {
+			seed = robust.TrimState{Center: 0, Scale: k.trim[0].Scale}
+		}
+		for len(k.trim) < n {
+			k.trim = append(k.trim, seed)
+		}
+	}
 	if k.phi != nil && n > len(k.phi) {
 		k.phi = append(k.phi, make([]int, n-len(k.phi))...)
 	}
@@ -540,11 +835,19 @@ func (k *Kernel) Resize(n int) {
 // ReshapeAvg reconfigures the kernel to fields average columns over n
 // nodes, all zero — the epoch-restart primitive of the §4 size
 // estimator (each instance is one indicator column). Storage is
-// reused across epochs.
+// reused across epochs. Any adversary or robust configuration is
+// dropped with the columns it referred to.
 func (k *Kernel) ReshapeAvg(fields, n int) {
 	if !k.dyn {
 		panic("sim: ReshapeAvg needs the dynamic complete overlay (Config.Graph == nil)")
 	}
+	k.adv = nil
+	k.advNodes = k.advNodes[:0]
+	k.advEclipse = false
+	k.eclipsed = nil
+	k.robust = robust.Policy{}
+	k.robustOn = false
+	k.trim = nil
 	if fields < 1 {
 		fields = 1
 	}
@@ -572,6 +875,20 @@ func (k *Kernel) ReshapeAvg(fields, n int) {
 func resizeZero(col []float64, oldN, n int) []float64 {
 	if cap(col) < n {
 		grown := make([]float64, n)
+		copy(grown, col[:oldN])
+		return grown
+	}
+	col = col[:n]
+	if n > oldN {
+		clear(col[oldN:n])
+	}
+	return col
+}
+
+// resizeZeroU8 is resizeZero for byte flag columns.
+func resizeZeroU8(col []uint8, oldN, n int) []uint8 {
+	if cap(col) < n {
+		grown := make([]uint8, n)
 		copy(grown, col[:oldN])
 		return grown
 	}

@@ -154,6 +154,85 @@ func (r *Running) Merge(o Running) {
 	}
 }
 
+// MedianOfMeans is a robust streaming location estimator: observations
+// are dealt round-robin into B bucket accumulators and the estimate is
+// the median of the bucket means. With an adversary fraction f < 1/(2B)
+// of the stream, a majority of buckets stay uncontaminated, so the
+// median ignores the poisoned ones — the classical median-of-means
+// bound. The zero value is unusable; construct with NewMedianOfMeans.
+//
+// Assignment by stream position makes the estimator order-dependent but
+// deterministic for a fixed fold order (System.Reduce folds nodes in
+// index order), and AddAt allows explicit index-based assignment so
+// parallel shards can fold disjoint node ranges and Merge the results.
+type MedianOfMeans struct {
+	buckets []Running
+	next    int
+}
+
+// NewMedianOfMeans returns an estimator with b buckets (b ≥ 1; even
+// counts are rounded up to odd so the median is a single bucket mean).
+func NewMedianOfMeans(b int) *MedianOfMeans {
+	if b < 1 {
+		b = 1
+	}
+	if b%2 == 0 {
+		b++
+	}
+	return &MedianOfMeans{buckets: make([]Running, b)}
+}
+
+// Buckets returns the bucket count.
+func (m *MedianOfMeans) Buckets() int { return len(m.buckets) }
+
+// Add deals one observation into the next bucket (round-robin).
+func (m *MedianOfMeans) Add(x float64) {
+	m.buckets[m.next].Add(x)
+	m.next++
+	if m.next == len(m.buckets) {
+		m.next = 0
+	}
+}
+
+// AddAt folds one observation into the bucket of stream index i (i mod
+// B) — the parallel-shard form of Add, stable under any fold order.
+func (m *MedianOfMeans) AddAt(i int, x float64) {
+	m.buckets[i%len(m.buckets)].Add(x)
+}
+
+// N returns the number of observations folded in so far.
+func (m *MedianOfMeans) N() int {
+	n := 0
+	for i := range m.buckets {
+		n += m.buckets[i].N()
+	}
+	return n
+}
+
+// Merge combines another estimator into m bucket-wise (both must have
+// the same bucket count; mismatches fold o's buckets round-robin).
+func (m *MedianOfMeans) Merge(o *MedianOfMeans) {
+	for i := range o.buckets {
+		m.buckets[i%len(m.buckets)].Merge(o.buckets[i])
+	}
+}
+
+// Estimate returns the median of the non-empty bucket means (NaN when
+// every bucket is empty).
+func (m *MedianOfMeans) Estimate() float64 {
+	means := make([]float64, 0, len(m.buckets))
+	for i := range m.buckets {
+		if m.buckets[i].N() > 0 {
+			means = append(means, m.buckets[i].Mean())
+		}
+	}
+	if len(means) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(means)
+	return QuantileSorted(means, 0.5)
+}
+
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
 // interpolation between closest ranks. xs is not modified.
 func Quantile(xs []float64, q float64) float64 {

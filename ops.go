@@ -166,6 +166,7 @@ func (tel Telemetry) AppendJSON(buf []byte) []byte {
 		{"min", tel.Min}, {"max", tel.Max},
 		{"rho", tel.Rho}, {"rho_geo", tel.RhoGeo},
 		{"true_mean", tel.TrueMean}, {"tracking_error", tel.TrackingError},
+		{"corruption", tel.Corruption},
 		{"completion", tel.Completion},
 	} {
 		buf = append(buf, ',', '"')
@@ -181,6 +182,10 @@ func (tel Telemetry) AppendJSON(buf []byte) []byte {
 	buf = strconv.AppendInt(buf, int64(tel.ServeStreams), 10)
 	buf = append(buf, `,"serve_dropped":`...)
 	buf = strconv.AppendUint(buf, tel.ServeDropped, 10)
+	buf = append(buf, `,"adversary_nodes":`...)
+	buf = strconv.AppendInt(buf, int64(tel.AdversaryNodes), 10)
+	buf = append(buf, `,"robust_rejected":`...)
+	buf = strconv.AppendUint(buf, tel.RobustRejected, 10)
 	buf = append(buf, `,"steals":`...)
 	buf = strconv.AppendUint(buf, tel.Steals, 10)
 	buf = append(buf, `,"exchanges_initiated":`...)

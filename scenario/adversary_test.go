@@ -1,0 +1,187 @@
+package scenario_test
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/scenario"
+)
+
+// advSpec builds the canonical adversary smoke spec: 5% extreme-value
+// reporters in a 400-node population.
+func advSpec(robust *scenario.RobustSpec) scenario.Spec {
+	return scenario.Spec{
+		Name:      "adv",
+		Size:      400,
+		Cycles:    30,
+		Seed:      7,
+		Adversary: &scenario.AdversarySpec{Fraction: 0.05},
+		Robust:    robust,
+	}
+}
+
+// lastRow returns the final row of a materialized run.
+func lastRow(t *testing.T, s scenario.Spec) scenario.Result {
+	t.Helper()
+	res, err := scenario.RunSpec(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Rows[len(res.Rows)-1]
+}
+
+// TestAdversaryCorruptionContained is the adversary smoke contract of
+// ISSUE 10: with 5% extreme-value adversaries the baseline merge
+// corrupts the honest mean by orders of magnitude more than the honest
+// noise floor, while trimmed merge plus clamps keep the corruption
+// within the honest population's own sampling scale.
+func TestAdversaryCorruptionContained(t *testing.T) {
+	baseline := lastRow(t, advSpec(nil))
+	// The clamp bound is deliberately wider than the trim band: a clamp
+	// tight enough to sit inside K·σ would pull the poison into the
+	// acceptance band and legitimize it (see DESIGN.md).
+	robust := lastRow(t, advSpec(&scenario.RobustSpec{
+		Clamp: true, ClampMin: -100, ClampMax: 100,
+		Trim: true,
+	}))
+
+	// The honest noise floor: mass conservation holds the honest mean
+	// of an adversary-free run to within float rounding, so the
+	// meaningful floor is the initial sampling error σ/√N ≈ 0.05.
+	const noiseFloor = 0.05
+	if baseline.Corruption < 10*noiseFloor {
+		t.Fatalf("baseline corruption %g not > 10× noise floor %g", baseline.Corruption, noiseFloor)
+	}
+	if robust.Corruption > 10*noiseFloor {
+		t.Fatalf("robust corruption %g exceeds bound %g", robust.Corruption, 10*noiseFloor)
+	}
+	if baseline.Corruption < 10*robust.Corruption {
+		t.Fatalf("baseline corruption %g not ≥ 10× robust corruption %g", baseline.Corruption, robust.Corruption)
+	}
+	if robust.Rejected == 0 || math.IsNaN(robust.Rejected) {
+		t.Fatalf("robust run rejected no exchanges (Rejected = %v)", robust.Rejected)
+	}
+	if !math.IsNaN(baseline.Rejected) {
+		t.Fatalf("baseline run has Rejected = %v, want NaN", baseline.Rejected)
+	}
+	// Rows reduce the honest population only.
+	if want := 400 - 20; baseline.Size != want {
+		t.Fatalf("row size %d, want honest count %d", baseline.Size, want)
+	}
+}
+
+// TestAdversaryBehaviors runs every behavior end to end: rows must
+// carry a finite corruption and the honest-only population size.
+func TestAdversaryBehaviors(t *testing.T) {
+	for _, b := range []scenario.Behavior{
+		scenario.BehaviorExtreme, scenario.BehaviorColluding,
+		scenario.BehaviorSelectiveDrop, scenario.BehaviorEclipse,
+	} {
+		s := advSpec(nil)
+		s.Adversary.Behavior = b
+		s.Adversary.Target = 5
+		row := lastRow(t, s)
+		if math.IsNaN(row.Corruption) || math.IsInf(row.Corruption, 0) {
+			t.Errorf("%s: corruption %v not finite", b, row.Corruption)
+		}
+		if row.Size != 380 {
+			t.Errorf("%s: row size %d, want 380", b, row.Size)
+		}
+		// Colluding reporters drag the honest mean toward the target.
+		if b == scenario.BehaviorColluding && row.Corruption < 1 {
+			t.Errorf("colluding corruption %g, want ≥ 1 (target 5 vs mean ≈ 0)", row.Corruption)
+		}
+	}
+}
+
+// TestAdversarySharded: the sharded executor honors the axis — robust
+// countermeasures must contain the corruption there too.
+func TestAdversarySharded(t *testing.T) {
+	s := advSpec(&scenario.RobustSpec{Trim: true})
+	s.Shards = 2
+	row := lastRow(t, s)
+	if row.Corruption > 0.5 {
+		t.Fatalf("sharded robust corruption %g, want ≤ 0.5", row.Corruption)
+	}
+	if row.Rejected == 0 || math.IsNaN(row.Rejected) {
+		t.Fatalf("sharded robust run rejected no exchanges (Rejected = %v)", row.Rejected)
+	}
+}
+
+// TestAdversaryKernelReuseIsolated: a pool worker that just ran an
+// adversary spec must hand later specs a clean kernel — the reused
+// kernel's adversary and robust state must not leak across runs.
+func TestAdversaryKernelReuseIsolated(t *testing.T) {
+	clean := scenario.Spec{Name: "clean", Size: 200, Cycles: 5, Seed: 3}
+	run := func(specs []scenario.Spec) []scenario.Result {
+		var col scenario.Collector
+		if err := (scenario.Runner{Workers: 1}).Run(context.Background(), specs, &col); err != nil {
+			t.Fatal(err)
+		}
+		return col.Results()
+	}
+	alone := run([]scenario.Spec{clean})
+	after := run([]scenario.Spec{advSpec(&scenario.RobustSpec{Trim: true}), clean})
+	tail := after[len(after)-len(alone):]
+	for i := range alone {
+		a, b := alone[i], tail[i]
+		// NaN-normalize for DeepEqual.
+		if a.Cell != b.Cell {
+			a.Cell, b.Cell = 0, 0
+		}
+		if !reflect.DeepEqual(nanStripped(a), nanStripped(b)) {
+			t.Fatalf("row %d differs after adversary run on the same worker:\nalone: %+v\nafter: %+v", i, alone[i], tail[i])
+		}
+	}
+}
+
+// nanStripped replaces NaNs with a sentinel so DeepEqual can compare.
+func nanStripped(r scenario.Result) scenario.Result {
+	for _, f := range []*float64{&r.Mean, &r.Variance, &r.Reduction, &r.Min, &r.Max, &r.P10, &r.P50, &r.P90, &r.Corruption, &r.Rejected} {
+		if math.IsNaN(*f) {
+			*f = -424242
+		}
+	}
+	return r
+}
+
+// TestAdversarySpecValidation exercises the axis's composition rules.
+func TestAdversarySpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*scenario.Spec)
+	}{
+		{"fraction-zero", func(s *scenario.Spec) { s.Adversary.Fraction = 0 }},
+		{"fraction-one", func(s *scenario.Spec) { s.Adversary.Fraction = 1 }},
+		{"no-honest", func(s *scenario.Spec) { s.Size = 4; s.Adversary.Fraction = 0.9 }},
+		{"no-adversary", func(s *scenario.Spec) { s.Size = 10; s.Adversary.Fraction = 0.01 }},
+		{"wait-mode", func(s *scenario.Spec) { s.Wait = scenario.WaitConstant }},
+		{"eclipse-pm", func(s *scenario.Spec) {
+			s.Adversary.Behavior = scenario.BehaviorEclipse
+			s.Selector = scenario.SelectorPM
+		}},
+	}
+	for _, tc := range cases {
+		s := advSpec(nil)
+		tc.mut(&s)
+		if _, err := scenario.RunSpec(context.Background(), s); err == nil {
+			t.Errorf("%s: spec validated, want error", tc.name)
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		r    scenario.RobustSpec
+	}{
+		{"empty-robust", scenario.RobustSpec{}},
+		{"clamp-empty-range", scenario.RobustSpec{Clamp: true, ClampMin: 1, ClampMax: 1}},
+		{"negative-trim-k", scenario.RobustSpec{Trim: true, TrimK: -1}},
+	} {
+		s := advSpec(nil)
+		s.Robust = &tc.r
+		if _, err := scenario.RunSpec(context.Background(), s); err == nil {
+			t.Errorf("%s: spec validated, want error", tc.name)
+		}
+	}
+}

@@ -218,6 +218,71 @@ func (l *Loss) UnmarshalJSON(b []byte) error {
 // valid reports whether the value is one of the declared constants.
 func (l Loss) valid() bool { return int(l) < len(lossNames) }
 
+// Behavior names an adversary misbehavior (see AdversarySpec). The
+// zero value defaults to BehaviorExtreme, the canonical poisoning
+// attack on mass-conserving averaging.
+type Behavior uint8
+
+// The adversary behaviors.
+const (
+	// BehaviorDefault leaves the choice to the spec default
+	// (extreme-value).
+	BehaviorDefault Behavior = iota
+	// BehaviorExtreme reports a fixed extreme magnitude every exchange.
+	BehaviorExtreme
+	// BehaviorColluding reports a shared fixed target, dragging the
+	// estimate toward a coordinated value.
+	BehaviorColluding
+	// BehaviorSelectiveDrop acks exchanges but discards every merge,
+	// silently absorbing the peers' correction mass.
+	BehaviorSelectiveDrop
+	// BehaviorEclipse floods victims' peer samples so their future
+	// exchanges land on adversaries.
+	BehaviorEclipse
+)
+
+// behaviorNames is indexed by Behavior; index 0 is the unset marker.
+var behaviorNames = []string{"", "extreme-value", "colluding", "selective-drop", "eclipse"}
+
+// String returns the behavior's wire name ("" for the unset default).
+func (b Behavior) String() string { return enumString(behaviorNames, uint8(b)) }
+
+// ParseBehavior maps a wire name to its Behavior; the empty string is
+// the unset default.
+func ParseBehavior(name string) (Behavior, error) {
+	v, err := enumParse("behavior", behaviorNames, name)
+	return Behavior(v), err
+}
+
+// MarshalJSON implements json.Marshaler.
+func (b Behavior) MarshalJSON() ([]byte, error) {
+	return enumMarshal("behavior", behaviorNames, uint8(b))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (b *Behavior) UnmarshalJSON(data []byte) error {
+	v, err := enumUnmarshal("behavior", behaviorNames, data)
+	*b = Behavior(v)
+	return err
+}
+
+// valid reports whether the value is one of the declared constants.
+func (b Behavior) valid() bool { return int(b) < len(behaviorNames) }
+
+// behavior returns the kernel-side behavior for a normalized value.
+func (b Behavior) behavior() sim.AdversaryBehavior {
+	switch b {
+	case BehaviorColluding:
+		return sim.AdvColluding
+	case BehaviorSelectiveDrop:
+		return sim.AdvSelectiveDrop
+	case BehaviorEclipse:
+		return sim.AdvEclipse
+	default:
+		return sim.AdvExtreme
+	}
+}
+
 // enumString renders value v against its name table.
 func enumString(names []string, v uint8) string {
 	if int(v) < len(names) {

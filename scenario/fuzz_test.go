@@ -38,6 +38,10 @@ func FuzzSpecUnmarshal(f *testing.F) {
 	f.Add([]byte(`{"size":100,"selector":"pm","churn":{"model":"oscillating","min":4,"max":8,"period":3}}`))
 	f.Add([]byte(`{"size":16,"wait":"exponential","loss_prob":0.5,"values":[1e308,-0.0]}`))
 	f.Add([]byte(`{"size":4,"size_estimation":{"epoch_cycles":2},"cycles":6}`))
+	f.Add([]byte(`{"size":100,"adversary":{"fraction":0.05}}`))
+	f.Add([]byte(`{"size":100,"adversary":{"behavior":"colluding","fraction":0.1,"target":42}}`))
+	f.Add([]byte(`{"size":64,"adversary":{"behavior":"eclipse","fraction":0.25},"robust":{"trim":true,"trim_k":6}}`))
+	f.Add([]byte(`{"size":50,"adversary":{"behavior":"selective-drop","fraction":0.2},"robust":{"clamp":true,"clamp_min":-10,"clamp_max":10,"trim":true}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var s Spec

@@ -14,9 +14,10 @@ import (
 // Strings.
 type Axis struct {
 	// Param names the Spec field to sweep: "size", "cycles",
-	// "view_size", "shards" or "repeats" (Ints); "loss_prob" or
-	// "crash_fraction" (Floats); "selector", "topology", "wait" or
-	// "loss" (Strings).
+	// "view_size", "shards" or "repeats" (Ints); "loss_prob",
+	// "crash_fraction" or "adversary_fraction" (Floats); "selector",
+	// "topology", "wait", "loss" or "behavior" (Strings). The adversary
+	// params materialize Spec.Adversary when the base leaves it nil.
 	Param string `json:"param"`
 	// Ints, Floats and Strings carry the swept values; exactly one
 	// must be non-empty.
@@ -47,11 +48,11 @@ func (a Axis) validate() error {
 		if len(a.Ints) == 0 {
 			return fmt.Errorf("scenario: axis %q sweeps an integer param; use ints", a.Param)
 		}
-	case "loss_prob", "crash_fraction":
+	case "loss_prob", "crash_fraction", "adversary_fraction":
 		if len(a.Floats) == 0 {
 			return fmt.Errorf("scenario: axis %q sweeps a float param; use floats", a.Param)
 		}
-	case "selector", "topology", "wait", "loss":
+	case "selector", "topology", "wait", "loss", "behavior":
 		if len(a.Strings) == 0 {
 			return fmt.Errorf("scenario: axis %q sweeps a string param; use strings", a.Param)
 		}
@@ -68,6 +69,8 @@ func (a Axis) validate() error {
 				_, err = ParseWait(v)
 			case "loss":
 				_, err = ParseLoss(v)
+			case "behavior":
+				_, err = ParseBehavior(v)
 			}
 			if err != nil {
 				return fmt.Errorf("scenario: axis %q: %w", a.Param, err)
@@ -105,6 +108,9 @@ func (a Axis) apply(s *Spec, i int) string {
 			s.LossProb = v
 		case "crash_fraction":
 			s.CrashFraction = v
+		case "adversary_fraction":
+			adv := adversary(s)
+			adv.Fraction = v
 		}
 		return a.Param + "=" + strconv.FormatFloat(v, 'g', -1, 64)
 	default:
@@ -121,9 +127,25 @@ func (a Axis) apply(s *Spec, i int) string {
 			s.Wait, _ = ParseWait(v)
 		case "loss":
 			s.Loss, _ = ParseLoss(v)
+		case "behavior":
+			adversary(s).Behavior, _ = ParseBehavior(v)
 		}
 		return a.Param + "=" + v
 	}
+}
+
+// adversary returns the spec's own AdversarySpec for axis mutation,
+// cloning the base's (Expand copies specs shallowly, so writing
+// through an inherited pointer would leak into every other cell) or
+// materializing a fresh one.
+func adversary(s *Spec) *AdversarySpec {
+	if s.Adversary == nil {
+		s.Adversary = &AdversarySpec{}
+	} else {
+		cp := *s.Adversary
+		s.Adversary = &cp
+	}
+	return s.Adversary
 }
 
 // Grid is a base Spec crossed with swept Axes. Expand produces one

@@ -3,6 +3,7 @@ package scenario
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -232,6 +233,8 @@ type worker struct {
 	vbuf []float64   // value-vector scratch
 	cbuf []float64   // crash survivor scratch
 	sbuf []float64   // quantile sort scratch
+	hbuf []float64   // honest-column scratch
+	mbuf []bool      // adversary-mask scratch
 }
 
 // execute runs one (spec, repeat) unit and returns its rows. The
@@ -307,6 +310,20 @@ func (wk *worker) execute(ctx context.Context, s Spec, cell, rep int, cp *captur
 		}
 	}
 
+	// Adversaries are drawn after the kernel is bound so baseline specs
+	// consume exactly the historical random stream; the robust policy is
+	// installed last so its trim bands are seeded from the honest
+	// population only.
+	if a := s.Adversary; a != nil {
+		adv := rng.Perm(n)[:a.count(n)]
+		if err := kern.SetAdversaries(a.Behavior.behavior(), adv, a.Magnitude, a.Target); err != nil {
+			return nil, err
+		}
+	}
+	if s.Robust != nil {
+		kern.SetRobust(s.Robust.policy())
+	}
+
 	if s.Wait != WaitNone {
 		rows, err := wk.runEvents(ctx, s, cell, rep, kern, cp)
 		if err != nil {
@@ -327,8 +344,13 @@ func (wk *worker) execute(ctx context.Context, s Spec, cell, rep int, cp *captur
 		churnSched = sim.Churn(sched)
 	}
 
-	first := wk.row(s, cell, rep, 0, kern.Column(0), nan)
+	// With an adversary axis, rows reduce the honest population only:
+	// the adversaries' pinned columns would otherwise dominate every
+	// statistic and hide exactly the corruption the axis measures.
+	first := wk.row(s, cell, rep, 0, wk.honestColumn(kern), nan)
+	wk.stamp(s, kern, &first, first.Mean)
 	rows = append(rows, first)
+	mean0 := first.Mean
 	var0, prevVar := first.Variance, first.Variance
 	for c := 1; c <= s.Cycles; c++ {
 		if err := ctx.Err(); err != nil {
@@ -340,7 +362,8 @@ func (wk *worker) execute(ctx context.Context, s Spec, cell, rep int, cp *captur
 			kern.Grow(add)
 		}
 		kern.Cycle()
-		row := wk.row(s, cell, rep, c, kern.Column(0), prevVar)
+		row := wk.row(s, cell, rep, c, wk.honestColumn(kern), prevVar)
+		wk.stamp(s, kern, &row, mean0)
 		rows = append(rows, row)
 		prevVar = row.Variance
 		if s.TargetRatio > 0 && row.Variance <= s.TargetRatio*var0 {
@@ -450,24 +473,68 @@ func (wk *worker) runEvents(ctx context.Context, s Spec, cell, rep int, kern *si
 	return rows, nil
 }
 
+// honestColumn returns field 0's column with adversary entries
+// filtered out (the column itself when no adversary axis is active).
+// The returned slice is worker scratch, valid until the next call.
+func (wk *worker) honestColumn(kern *sim.Kernel) []float64 {
+	adv := kern.Adversaries()
+	col := kern.Column(0)
+	if len(adv) == 0 {
+		return col
+	}
+	// The adversary index set is rebuilt every cycle because churn
+	// renumbers nodes (RemoveNode swaps indices around).
+	if cap(wk.mbuf) < len(col) {
+		wk.mbuf = make([]bool, len(col))
+	}
+	mask := wk.mbuf[:len(col)]
+	for i := range mask {
+		mask[i] = false
+	}
+	for _, a := range adv {
+		mask[a] = true
+	}
+	out := resizeBuf(&wk.hbuf, len(col))[:0]
+	for i, v := range col {
+		if !mask[i] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// stamp fills the adversary-axis observables of a freshly reduced row:
+// corruption relative to the initial honest mean and the cumulative
+// robust-merge rejection count.
+func (wk *worker) stamp(s Spec, kern *sim.Kernel, r *Result, mean0 float64) {
+	if s.Adversary != nil {
+		r.Corruption = math.Abs(r.Mean - mean0)
+	}
+	if s.Robust != nil {
+		r.Rejected = float64(kern.RobustRejected())
+	}
+}
+
 // row reduces one column snapshot into a Result.
 func (wk *worker) row(s Spec, cell, rep, cycle int, col []float64, prevVar float64) Result {
 	lo, hi := stats.MinMax(col)
 	r := Result{
-		Scenario:  s.Name,
-		Label:     s.Label,
-		Cell:      cell,
-		Rep:       rep,
-		Cycle:     cycle,
-		Size:      len(col),
-		Mean:      stats.Mean(col),
-		Variance:  stats.Variance(col),
-		Reduction: nan,
-		Min:       lo,
-		Max:       hi,
-		P10:       nan,
-		P50:       nan,
-		P90:       nan,
+		Scenario:   s.Name,
+		Label:      s.Label,
+		Cell:       cell,
+		Rep:        rep,
+		Cycle:      cycle,
+		Size:       len(col),
+		Mean:       stats.Mean(col),
+		Variance:   stats.Variance(col),
+		Reduction:  nan,
+		Min:        lo,
+		Max:        hi,
+		P10:        nan,
+		P50:        nan,
+		P90:        nan,
+		Corruption: nan,
+		Rejected:   nan,
 	}
 	if prevVar > 0 {
 		r.Reduction = r.Variance / prevVar
@@ -500,20 +567,22 @@ func runSizeEstimation(ctx context.Context, s Spec, cell, rep int, seed uint64, 
 	rows := make([]Result, 0, len(reports))
 	for _, rep0 := range reports {
 		rows = append(rows, Result{
-			Scenario:  s.Name,
-			Label:     s.Label,
-			Cell:      cell,
-			Rep:       rep,
-			Cycle:     rep0.EndCycle,
-			Size:      rep0.SizeAtEnd,
-			Mean:      rep0.EstimateMean,
-			Variance:  nan,
-			Reduction: nan,
-			Min:       rep0.EstimateMin,
-			Max:       rep0.EstimateMax,
-			P10:       nan,
-			P50:       nan,
-			P90:       nan,
+			Scenario:   s.Name,
+			Label:      s.Label,
+			Cell:       cell,
+			Rep:        rep,
+			Cycle:      rep0.EndCycle,
+			Size:       rep0.SizeAtEnd,
+			Mean:       rep0.EstimateMean,
+			Variance:   nan,
+			Reduction:  nan,
+			Min:        rep0.EstimateMin,
+			Max:        rep0.EstimateMax,
+			P10:        nan,
+			P50:        nan,
+			P90:        nan,
+			Corruption: nan,
+			Rejected:   nan,
 		})
 	}
 	return rows, nil

@@ -198,7 +198,7 @@ func TestRunnerDeterministicAcrossWorkers(t *testing.T) {
 func stripNaN(rows []scenario.Result) []scenario.Result {
 	out := make([]scenario.Result, len(rows))
 	for i, r := range rows {
-		for _, f := range []*float64{&r.Mean, &r.Variance, &r.Reduction, &r.Min, &r.Max, &r.P10, &r.P50, &r.P90} {
+		for _, f := range []*float64{&r.Mean, &r.Variance, &r.Reduction, &r.Min, &r.Max, &r.P10, &r.P50, &r.P90, &r.Corruption, &r.Rejected} {
 			if math.IsNaN(*f) {
 				*f = -424242
 			}

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/churn"
 	"repro/internal/epoch"
+	"repro/internal/robust"
 	"repro/internal/sim"
 )
 
@@ -98,6 +99,70 @@ type SizeEstimationSpec struct {
 	Instances int `json:"instances,omitempty"`
 }
 
+// DefaultAdversaryMagnitude is the extreme-value report magnitude when
+// none is given — far outside the iid standard-normal start, so one
+// uncontained reporter visibly poisons the mean.
+const DefaultAdversaryMagnitude = 1000
+
+// DefaultTrimK is the trimmed-merge acceptance band width (in running
+// scale units) when none is given.
+const DefaultTrimK = 8
+
+// AdversarySpec converts a fraction of the population to Byzantine
+// behavior. Adversary nodes never adopt merges — they answer every
+// exchange with a pinned report (extreme magnitude, colluding target,
+// or their unchanged draw for selective droppers) while honest peers
+// faithfully average the poison in. Eclipse adversaries additionally
+// capture their victims' peer sampling: once an honest node exchanges
+// with one, its future initiations are redirected to adversaries.
+// Result rows reduce the honest population only, with the Corruption
+// column tracking |honest mean − initial honest mean|.
+type AdversarySpec struct {
+	// Behavior selects the misbehavior (default extreme-value).
+	Behavior Behavior `json:"behavior,omitempty"`
+	// Fraction is the adversarial fraction of the population; it must
+	// place at least one adversary and leave at least two honest nodes.
+	Fraction float64 `json:"fraction"`
+	// Magnitude is the extreme-value report (default 1000).
+	Magnitude float64 `json:"magnitude,omitempty"`
+	// Target is the pinned report of colluding and eclipse adversaries
+	// (default 0).
+	Target float64 `json:"target,omitempty"`
+}
+
+// count returns the adversary count for a population of n.
+func (a *AdversarySpec) count(n int) int {
+	return int(a.Fraction * float64(n))
+}
+
+// RobustSpec enables robust-merge countermeasures. Clamping bounds
+// every peer report to [ClampMin, ClampMax] before it is merged;
+// trimming rejects exchanges whose report deviates from the node's
+// running estimate of the honest delta distribution by more than TrimK
+// scale units (rejections are counted in the Rejected column). At
+// least one countermeasure must be enabled.
+type RobustSpec struct {
+	// Clamp bounds accepted peer reports to [ClampMin, ClampMax].
+	Clamp    bool    `json:"clamp,omitempty"`
+	ClampMin float64 `json:"clamp_min,omitempty"`
+	ClampMax float64 `json:"clamp_max,omitempty"`
+	// Trim rejects exchanges outside the running acceptance band.
+	Trim bool `json:"trim,omitempty"`
+	// TrimK is the acceptance band width in scale units (default 8).
+	TrimK float64 `json:"trim_k,omitempty"`
+}
+
+// policy translates a normalized spec into the kernel's merge policy.
+func (r *RobustSpec) policy() robust.Policy {
+	return robust.Policy{
+		Clamp:    r.Clamp,
+		ClampMin: r.ClampMin,
+		ClampMax: r.ClampMax,
+		Trim:     r.Trim,
+		TrimK:    r.TrimK,
+	}
+}
+
 // Spec describes one concrete scenario. The zero value of every
 // optional field selects the paper's defaults: a single average field
 // on the complete overlay with seq pairing, lossless exchanges, no
@@ -145,6 +210,11 @@ type Spec struct {
 	// SizeEstimation, when non-nil, runs the §4 size estimator instead
 	// of a plain aggregation run.
 	SizeEstimation *SizeEstimationSpec `json:"size_estimation,omitempty"`
+	// Adversary, when non-nil, makes a fraction of nodes Byzantine
+	// (cycle mode only; eclipse needs the seq or rand selector).
+	Adversary *AdversarySpec `json:"adversary,omitempty"`
+	// Robust, when non-nil, enables robust-merge countermeasures.
+	Robust *RobustSpec `json:"robust,omitempty"`
 	// Shards selects the executor: 0 (default) the exact sequential
 	// path, ≥ 2 the sharded tournament executor, AutoShards (-1) one
 	// shard per GOMAXPROCS worker. The sharded executor supports the
@@ -303,6 +373,62 @@ func (s Spec) normalized() (Spec, error) {
 			return s, fmt.Errorf("scenario: %s: target_ratio must be in (0, 1), got %g", s.describe(), s.TargetRatio)
 		}
 	}
+	if a := s.Adversary; a != nil {
+		if !a.Behavior.valid() {
+			return s, fmt.Errorf("scenario: %s: out-of-range adversary behavior value %d", s.describe(), a.Behavior)
+		}
+		norm := *a
+		if norm.Behavior == BehaviorDefault {
+			norm.Behavior = BehaviorExtreme
+		}
+		if norm.Magnitude == 0 {
+			norm.Magnitude = DefaultAdversaryMagnitude
+		}
+		if !(norm.Fraction > 0 && norm.Fraction < 1) {
+			return s, fmt.Errorf("scenario: %s: adversary fraction must be in (0, 1), got %g", s.describe(), norm.Fraction)
+		}
+		// Sizing uses the post-crash population, the one the adversaries
+		// are drawn from.
+		n := s.Size
+		if s.CrashFraction > 0 {
+			n -= int(s.CrashFraction * float64(n))
+		}
+		count := norm.count(n)
+		if count < 1 {
+			return s, fmt.Errorf("scenario: %s: adversary fraction %g places no adversary in %d nodes", s.describe(), norm.Fraction, n)
+		}
+		if n-count < 2 {
+			return s, fmt.Errorf("scenario: %s: adversary fraction %g leaves < 2 honest nodes", s.describe(), norm.Fraction)
+		}
+		if s.Wait != WaitNone {
+			return s, fmt.Errorf("scenario: %s: the adversary axis requires cycle mode", s.describe())
+		}
+		if norm.Behavior == BehaviorEclipse && (s.Selector == SelectorPM || s.Selector == SelectorPMRand) {
+			// Matching-based pair streams fix both endpoints up front, so
+			// eclipse redirection has no initiator draw to capture.
+			return s, fmt.Errorf("scenario: %s: eclipse adversaries need the seq or rand selector, got %s", s.describe(), s.Selector)
+		}
+		s.Adversary = &norm
+	}
+	if r := s.Robust; r != nil {
+		norm := *r
+		if norm.TrimK == 0 {
+			norm.TrimK = DefaultTrimK
+		}
+		if !norm.Clamp && !norm.Trim {
+			return s, fmt.Errorf("scenario: %s: robust spec enables no countermeasure (set clamp and/or trim)", s.describe())
+		}
+		if norm.Clamp && !(norm.ClampMin < norm.ClampMax) {
+			return s, fmt.Errorf("scenario: %s: clamp needs clamp_min < clamp_max, got [%g, %g]", s.describe(), norm.ClampMin, norm.ClampMax)
+		}
+		if norm.Trim && norm.TrimK <= 0 {
+			return s, fmt.Errorf("scenario: %s: trim_k must be > 0, got %g", s.describe(), norm.TrimK)
+		}
+		if s.Wait != WaitNone {
+			return s, fmt.Errorf("scenario: %s: robust merge requires cycle mode", s.describe())
+		}
+		s.Robust = &norm
+	}
 	if se := s.SizeEstimation; se != nil {
 		norm := *se
 		if norm.EpochCycles == 0 {
@@ -318,7 +444,8 @@ func (s Spec) normalized() (Spec, error) {
 			return s, fmt.Errorf("scenario: %s: cycles (%d) shorter than one epoch (%d)", s.describe(), s.Cycles, norm.EpochCycles)
 		}
 		if s.Selector != SelectorSeq || !complete || s.Wait != WaitNone || s.Shards != 0 ||
-			s.CrashFraction > 0 || s.Loss != LossAuto && s.Loss != LossNone || len(s.Ops) > 0 || s.TargetRatio > 0 {
+			s.CrashFraction > 0 || s.Loss != LossAuto && s.Loss != LossNone || len(s.Ops) > 0 || s.TargetRatio > 0 ||
+			s.Adversary != nil || s.Robust != nil {
 			return s, fmt.Errorf("scenario: %s: size estimation composes only with size, cycles, churn, repeats and seed", s.describe())
 		}
 		s.SizeEstimation = &norm

@@ -40,6 +40,14 @@ type Result struct {
 	P10 float64 `json:"p10"`
 	P50 float64 `json:"p50"`
 	P90 float64 `json:"p90"`
+	// Corruption is |honest mean − initial honest mean| when an
+	// adversary axis is active (NaN otherwise). With adversaries
+	// present, Size/Mean/Variance and friends reduce the honest
+	// population only.
+	Corruption float64 `json:"corruption"`
+	// Rejected is the cumulative robust-merge rejection count when
+	// countermeasures are active (NaN otherwise).
+	Rejected float64 `json:"rejected"`
 }
 
 // Writer receives Result rows in deterministic order (cells in batch
@@ -52,7 +60,7 @@ type Writer interface {
 }
 
 // csvColumns is the fixed CSV header.
-const csvColumns = "scenario,label,cell,rep,cycle,size,mean,variance,reduction,min,max,p10,p50,p90"
+const csvColumns = "scenario,label,cell,rep,cycle,size,mean,variance,reduction,min,max,p10,p50,p90,corruption,rejected"
 
 // CSVWriter streams rows as comma-separated values with one header
 // line, full round-trip float precision and empty cells for NaNs —
@@ -83,7 +91,7 @@ func (c *CSVWriter) Write(r Result) error {
 		buf = append(buf, ',')
 		buf = strconv.AppendInt(buf, int64(v), 10)
 	}
-	for _, v := range []float64{r.Mean, r.Variance, r.Reduction, r.Min, r.Max, r.P10, r.P50, r.P90} {
+	for _, v := range []float64{r.Mean, r.Variance, r.Reduction, r.Min, r.Max, r.P10, r.P50, r.P90, r.Corruption, r.Rejected} {
 		buf = append(buf, ',')
 		if !math.IsNaN(v) {
 			buf = appendFloat(buf, v)
@@ -157,6 +165,7 @@ func (j *JSONLWriter) Write(r Result) error {
 	}{
 		{"mean", r.Mean}, {"variance", r.Variance}, {"reduction", r.Reduction},
 		{"min", r.Min}, {"max", r.Max}, {"p10", r.P10}, {"p50", r.P50}, {"p90", r.P90},
+		{"corruption", r.Corruption}, {"rejected", r.Rejected},
 	} {
 		buf = appendJSONField(buf, f.key)
 		if math.IsNaN(f.v) {

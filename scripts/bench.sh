@@ -7,7 +7,7 @@
 #	BENCH_MULTICORE=1 ./scripts/bench.sh   # multi-core scaling gate only
 #	BENCH_OUT=custom.json ./scripts/bench.sh
 #
-# The output (default BENCH_PR9.json) is a JSON array with one object
+# The output (default BENCH_PR10.json) is a JSON array with one object
 # per benchmark result: name, n (parsed from the n=… sub-benchmark
 # label, null when absent) and every reported metric — ns/op,
 # allocs/op, exchanges/s, exchanges/s/worker, ns/exchange,
@@ -23,6 +23,10 @@
 #   BenchmarkRuntimeExchange          — live runtime saturation throughput
 #   BenchmarkRuntimeSustained         — sustained harness (asserts ≈0
 #                                       allocs/exchange and completion floors)
+#   BenchmarkRuntimeSustainedRobust   — sustained harness under 5% extreme-value
+#                                       adversaries with clamp + trimmed merge
+#                                       installed (asserts the same ≈0
+#                                       allocs/exchange with the robust gate hot)
 #   BenchmarkRuntimeSustainedScaling  — parallel shard workers 1→GOMAXPROCS
 #                                       (asserts near-linear speedup when the
 #                                       host has the cores; multi-core mode)
@@ -36,7 +40,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR9.json}"
+OUT="${BENCH_OUT:-BENCH_PR10.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
@@ -47,6 +51,7 @@ if [ "${BENCH_MULTICORE:-0}" = "1" ]; then
 	KERNEL=''
 	EXCHANGE=''
 	SUSTAINED=''
+	ROBUST=''
 	SCALING='BenchmarkRuntimeSustainedScaling'
 	OVERHEAD=''
 	REDUCE_TIME=''
@@ -55,6 +60,7 @@ elif [ "${BENCH_QUICK:-0}" = "1" ]; then
 	KERNEL='BenchmarkKernelMillionNode/n=10000$'
 	EXCHANGE='BenchmarkRuntimeExchange/mode=heap/n=10000$'
 	SUSTAINED='BenchmarkRuntimeSustained/n=10000$'
+	ROBUST='BenchmarkRuntimeSustainedRobust$'
 	SCALING=''
 	OVERHEAD='BenchmarkRuntimeMetricsOverhead'
 	REDUCE_TIME='10x'
@@ -63,6 +69,7 @@ else
 	KERNEL='BenchmarkKernelMillionNode'
 	EXCHANGE='BenchmarkRuntimeExchange'
 	SUSTAINED='BenchmarkRuntimeSustained$'
+	ROBUST='BenchmarkRuntimeSustainedRobust$'
 	SCALING='BenchmarkRuntimeSustainedScaling'
 	OVERHEAD='BenchmarkRuntimeMetricsOverhead'
 	REDUCE_TIME='100x'
@@ -89,6 +96,9 @@ if [ -n "$EXCHANGE" ]; then
 fi
 if [ -n "$SUSTAINED" ]; then
 	bench go test -run '^$' -bench "$SUSTAINED" -benchtime 1x -benchmem -timeout 30m ./internal/engine
+fi
+if [ -n "$ROBUST" ]; then
+	bench go test -run '^$' -bench "$ROBUST" -benchtime 1x -benchmem -timeout 30m ./internal/engine
 fi
 if [ -n "$SCALING" ]; then
 	bench go test -run '^$' -bench "$SCALING" -benchtime 1x -benchmem -timeout 60m ./internal/engine

@@ -13,12 +13,20 @@
 //	                         instead of slowing anyone else down).
 //	GET  /v1/query/{field}   one-shot reduction: count/mean/sum/min/
 //	                         max/variance of the field right now.
+//	                         ?mom=N replaces the mean with a
+//	                         median-of-means estimate over N buckets
+//	                         (robust to Byzantine outliers).
 //	GET  /v1/telemetry       the System.Telemetry() snapshot as JSON.
 //	POST /v1/values          batched value injection via System.SetValue
 //	                         ({"field":"avg","values":[{"node":0,
 //	                         "value":3.5},…]}).
-//	POST /v1/scenario        live fault injection: {"loss":0.05,
-//	                         "fail":[1,2],"revive":[3]} — any subset.
+//	POST /v1/scenario        live fault and adversary injection:
+//	                         {"loss":0.05,"fail":[1,2],"revive":[3],
+//	                         "adversary":{"behavior":"extreme-value",
+//	                         "fraction":0.05,"magnitude":1000},
+//	                         "robust":{"clamp":true,"clamp_min":-100,
+//	                         "clamp_max":100,"trim":true,"trim_k":8}}
+//	                         — any subset.
 //
 // All subscribers of one field share the system's per-field watch hub:
 // however many streams are open, the field is reduced once per cycle,
@@ -170,9 +178,22 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleQuery is GET /v1/query/{field}: one shared-nothing reduction,
-// rendered as count/mean/sum/min/max/variance.
+// rendered as count/mean/sum/min/max/variance. ?mom=N swaps the mean
+// for a median-of-means estimate over N buckets — the robust read path
+// for clients that suspect Byzantine reporters.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	est, err := s.sys.Query(r.Context(), r.PathValue("field"))
+	var est repro.Estimate
+	var err error
+	if momStr := r.URL.Query().Get("mom"); momStr != "" {
+		buckets, perr := strconv.Atoi(momStr)
+		if perr != nil || buckets < 1 {
+			http.Error(w, "mom must be a positive integer bucket count", http.StatusBadRequest)
+			return
+		}
+		est, err = s.sys.QueryRobust(r.Context(), r.PathValue("field"), buckets)
+	} else {
+		est, err = s.sys.Query(r.Context(), r.PathValue("field"))
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -243,6 +264,23 @@ type scenarioRequest struct {
 	// Fail and Revive name node indices to crash / bring back.
 	Fail   []int `json:"fail"`
 	Revive []int `json:"revive"`
+	// Adversary, when present, reconfigures a fraction of the hosted
+	// nodes as Byzantine adversaries (fraction 0 restores honesty).
+	Adversary *struct {
+		Behavior  string  `json:"behavior"`
+		Fraction  float64 `json:"fraction"`
+		Magnitude float64 `json:"magnitude"`
+		Target    float64 `json:"target"`
+	} `json:"adversary"`
+	// Robust, when present, installs (or with a zero value removes) the
+	// robust-merge countermeasures on every hosted node.
+	Robust *struct {
+		Clamp    bool    `json:"clamp"`
+		ClampMin float64 `json:"clamp_min"`
+		ClampMax float64 `json:"clamp_max"`
+		Trim     bool    `json:"trim"`
+		TrimK    float64 `json:"trim_k"`
+	} `json:"robust"`
 }
 
 // handleScenario is POST /v1/scenario: live fault injection against the
@@ -281,9 +319,30 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		}
 		s.scenarioOps.Inc()
 	}
+	// Adversaries before robust countermeasures: the trim gate seeds its
+	// acceptance band from the honest population, which is only known
+	// once the adversaries are marked.
+	if a := req.Adversary; a != nil {
+		if err := s.sys.SetAdversaries(a.Behavior, a.Fraction, a.Magnitude, a.Target); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.scenarioOps.Inc()
+	}
+	if rb := req.Robust; rb != nil {
+		cfg := repro.RobustConfig{
+			Clamp: rb.Clamp, ClampMin: rb.ClampMin, ClampMax: rb.ClampMax,
+			Trim: rb.Trim, TrimK: rb.TrimK,
+		}
+		if err := s.sys.SetRobust(cfg); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.scenarioOps.Inc()
+	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"failed\":%d,\"revived\":%d,\"failed_now\":%d}\n",
-		len(req.Fail), len(req.Revive), s.sys.FailedNodes())
+	fmt.Fprintf(w, "{\"failed\":%d,\"revived\":%d,\"failed_now\":%d,\"adversaries_now\":%d}\n",
+		len(req.Fail), len(req.Revive), s.sys.FailedNodes(), s.sys.AdversaryCount())
 }
 
 // appendEstimateJSON renders one Estimate as a flat JSON object,

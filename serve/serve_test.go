@@ -207,6 +207,94 @@ func TestScenarioEndpoint(t *testing.T) {
 	}
 }
 
+// TestScenarioAdversaryEndpoint: POST /v1/scenario turns a slice of the
+// population Byzantine and installs the robust-merge countermeasures;
+// GET /v1/query?mom= serves the median-of-means read path.
+func TestScenarioAdversaryEndpoint(t *testing.T) {
+	sys, base := openServed(t)
+
+	resp, err := http.Post(base+"/v1/scenario", "application/json",
+		strings.NewReader(`{"adversary":{"behavior":"extreme-value","fraction":0.1,"magnitude":1000},
+			"robust":{"clamp":true,"clamp_min":-100,"clamp_max":100,"trim":true,"trim_k":8}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(out), `"adversaries_now":3`) {
+		t.Fatalf("POST /v1/scenario adversary: %d %s", resp.StatusCode, out)
+	}
+	if got := sys.AdversaryCount(); got != 3 {
+		t.Fatalf("AdversaryCount = %d, want 3", got)
+	}
+
+	// The robust read path: ?mom=N swaps the mean for median-of-means.
+	qresp, err := http.Get(base + "/v1/query/avg?mom=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q struct {
+		Count int      `json:"count"`
+		Mean  *float64 `json:"mean"`
+	}
+	if err := json.NewDecoder(qresp.Body).Decode(&q); err != nil {
+		t.Fatal(err)
+	}
+	qresp.Body.Close()
+	if q.Count != 29 || q.Mean == nil {
+		t.Fatalf("robust query %+v, want 29 honest nodes and a non-null mean", q)
+	}
+
+	// Telemetry reports the attack surface.
+	tresp, err := http.Get(base + "/v1/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbody, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	for _, want := range []string{`"adversary_nodes":3`, `"robust_rejected":`, `"corruption":`} {
+		if !strings.Contains(string(tbody), want) {
+			t.Fatalf("/v1/telemetry missing %s: %s", want, tbody)
+		}
+	}
+
+	// Validation: bad mom values and unknown behaviors are 400s.
+	for _, tc := range []struct{ method, url, body string }{
+		{"GET", base + "/v1/query/avg?mom=0", ""},
+		{"GET", base + "/v1/query/avg?mom=bogus", ""},
+		{"POST", base + "/v1/scenario", `{"adversary":{"behavior":"gaslighting","fraction":0.1}}`},
+		{"POST", base + "/v1/scenario", `{"adversary":{"behavior":"extreme-value","fraction":1.5}}`},
+		{"POST", base + "/v1/scenario", `{"robust":{"clamp":true,"clamp_min":5,"clamp_max":-5}}`},
+	} {
+		var resp *http.Response
+		var err error
+		if tc.method == "GET" {
+			resp, err = http.Get(tc.url)
+		} else {
+			resp, err = http.Post(tc.url, "application/json", strings.NewReader(tc.body))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s %s %s: %d, want 400", tc.method, tc.url, tc.body, resp.StatusCode)
+		}
+	}
+
+	// Fraction 0 restores honesty.
+	resp, err = http.Post(base+"/v1/scenario", "application/json",
+		strings.NewReader(`{"adversary":{"behavior":"extreme-value","fraction":0}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(out), `"adversaries_now":0`) {
+		t.Fatalf("restore response: %s", out)
+	}
+}
+
 // TestErrorCases: unknown fields 404, malformed bodies and out-of-range
 // nodes 400 — and a rejected batch applies nothing.
 func TestErrorCases(t *testing.T) {

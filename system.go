@@ -15,6 +15,8 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/membership"
 	"repro/internal/metrics"
+	"repro/internal/robust"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/transport"
 )
@@ -79,6 +81,14 @@ type sysConfig struct {
 	ops       string
 	trace     int
 	gossip    bool
+
+	advSet       bool
+	advBehavior  string
+	advFraction  float64
+	advMagnitude float64
+	advTarget    float64
+	robust       *RobustConfig
+	momBuckets   int
 
 	// reg is threaded through to the engine layers; assembled by Open,
 	// not an option.
@@ -325,6 +335,109 @@ func WithTraceSampling(n int) Option {
 	}
 }
 
+// RobustConfig selects the robust-merge countermeasures that bound how
+// far a Byzantine reporter can drag the aggregate (see DESIGN.md
+// "Adversary model & robust aggregation"). Both act on the schema's
+// first field and gate the exchange as a whole.
+type RobustConfig struct {
+	// Clamp bounds inbound estimates into [ClampMin, ClampMax] before
+	// merging. Pick bounds wider than the trim band: a clamp tight
+	// enough to sit inside TrimK·σ pulls poison into the trim gate's
+	// acceptance band and legitimizes it.
+	Clamp              bool
+	ClampMin, ClampMax float64
+	// Trim rejects exchanges whose delta falls outside each node's
+	// running acceptance band of TrimK scale units (default 8).
+	Trim  bool
+	TrimK float64
+}
+
+// policy maps the public config onto the engine-internal policy.
+func (c RobustConfig) policy() robust.Policy {
+	return robust.Policy{
+		Clamp: c.Clamp, ClampMin: c.ClampMin, ClampMax: c.ClampMax,
+		Trim: c.Trim, TrimK: c.TrimK,
+	}
+}
+
+// validate rejects configurations the engines would misapply.
+func (c RobustConfig) validate() error {
+	if c.Clamp && !(c.ClampMin < c.ClampMax) {
+		return fmt.Errorf("repro: robust clamp range [%v,%v] is empty", c.ClampMin, c.ClampMax)
+	}
+	if c.Trim && c.TrimK < 0 {
+		return fmt.Errorf("repro: robust trim K %v must not be negative", c.TrimK)
+	}
+	return nil
+}
+
+// adversaryBehavior parses the wire name of an adversary behavior (the
+// same names scenario specs use).
+func adversaryBehavior(name string) (sim.AdversaryBehavior, error) {
+	switch name {
+	case "", "extreme-value":
+		return sim.AdvExtreme, nil
+	case "colluding":
+		return sim.AdvColluding, nil
+	case "selective-drop":
+		return sim.AdvSelectiveDrop, nil
+	case "eclipse":
+		return sim.AdvEclipse, nil
+	}
+	return 0, fmt.Errorf("repro: unknown adversary behavior %q (want extreme-value, colluding, selective-drop or eclipse)", name)
+}
+
+// WithAdversaries opens the system with a fraction of its hosted nodes
+// acting as Byzantine adversaries of the named behavior ("extreme-value"
+// — or empty — reports magnitude; "colluding" and "eclipse" report
+// target; "selective-drop" acks exchanges and discards the merge). The
+// count rounds up to at least one node when fraction > 0. Fault
+// injection for experiments — see System.SetAdversaries for the live
+// equivalent.
+func WithAdversaries(behavior string, fraction, magnitude, target float64) Option {
+	return func(c *sysConfig) error {
+		if _, err := adversaryBehavior(behavior); err != nil {
+			return err
+		}
+		if fraction < 0 || fraction >= 1 || math.IsNaN(fraction) {
+			return fmt.Errorf("repro: adversary fraction %v outside [0,1)", fraction)
+		}
+		c.advSet = true
+		c.advBehavior, c.advFraction = behavior, fraction
+		c.advMagnitude, c.advTarget = magnitude, target
+		return nil
+	}
+}
+
+// WithRobustMerge opens the system with robust-merge countermeasures
+// installed on every hosted node (see RobustConfig).
+func WithRobustMerge(cfg RobustConfig) Option {
+	return func(c *sysConfig) error {
+		if err := cfg.validate(); err != nil {
+			return err
+		}
+		c.robust = &cfg
+		return nil
+	}
+}
+
+// WithMedianOfMeans makes every snapshot (Query, Watch, WaitConverged,
+// the convergence tracker) report the median-of-means of the reduced
+// field instead of the plain mean: values fold round-robin into buckets
+// and the estimate is the median of the bucket means, so a minority of
+// corrupted node states cannot drag the reported aggregate. Variance,
+// min and max still reduce plainly. See also QueryRobust for a
+// per-query override.
+func WithMedianOfMeans(buckets int) Option {
+	return func(c *sysConfig) error {
+		if buckets < 1 {
+			return fmt.Errorf("repro: WithMedianOfMeans needs ≥ 1 bucket, got %d", buckets)
+		}
+		c.momBuckets = buckets
+		return nil
+	}
+}
+
 // System is a live aggregation service: a set of locally hosted
 // protocol nodes (in-memory cluster, heap runtime, or one deployable
 // TCP node) continuously maintaining every node's approximation of the
@@ -334,6 +447,10 @@ func WithTraceSampling(n int) Option {
 type System struct {
 	schema *core.Schema
 	cycle  time.Duration
+
+	// momBuckets, when > 0, switches every snapshot's mean to the
+	// median-of-means estimator (WithMedianOfMeans).
+	momBuckets int
 
 	cluster *engine.Cluster // in-memory shapes
 	rt      *engine.Runtime // multi-node TCP shape
@@ -522,11 +639,12 @@ func Open(opts ...Option) (*System, error) {
 	reg := metrics.New()
 	cfg.reg = reg
 	sys := &System{
-		schema:   cfg.schema,
-		cycle:    cfg.cycle,
-		metrics:  reg,
-		openedAt: time.Now(),
-		done:     make(chan struct{}),
+		schema:     cfg.schema,
+		cycle:      cfg.cycle,
+		momBuckets: cfg.momBuckets,
+		metrics:    reg,
+		openedAt:   time.Now(),
+		done:       make(chan struct{}),
 	}
 	var tcpEP *transport.TCPEndpoint // single-node shape's endpoint, for metrics
 	switch {
@@ -582,6 +700,21 @@ func Open(opts ...Option) (*System, error) {
 		cluster.Start(cfg.ctx)
 	}
 	sys.registerSystemMetrics(tcpEP)
+	// Adversaries before robust countermeasures: the trim gate seeds its
+	// acceptance band from the honest population, which is only known
+	// once the adversaries are marked.
+	if cfg.advSet {
+		if err := sys.SetAdversaries(cfg.advBehavior, cfg.advFraction, cfg.advMagnitude, cfg.advTarget); err != nil {
+			sys.Close()
+			return nil, err
+		}
+	}
+	if cfg.robust != nil {
+		if err := sys.SetRobust(*cfg.robust); err != nil {
+			sys.Close()
+			return nil, err
+		}
+	}
 	if cfg.ops != "" {
 		if err := sys.startOps(cfg.ops); err != nil {
 			sys.Close()
@@ -796,6 +929,9 @@ func (s *System) Query(ctx context.Context, field string) (Estimate, error) {
 
 // snapshot reduces the field into an Estimate stamped with seq.
 func (s *System) snapshot(ctx context.Context, field string, seq int) (Estimate, error) {
+	if s.momBuckets > 0 {
+		return s.snapshotMoM(ctx, field, seq, s.momBuckets)
+	}
 	var run Running
 	if err := s.Reduce(ctx, field, &run); err != nil {
 		return Estimate{}, err
@@ -810,6 +946,53 @@ func (s *System) snapshot(ctx context.Context, field string, seq int) (Estimate,
 		Min:      run.Min(),
 		Max:      run.Max(),
 	}, nil
+}
+
+// momFold feeds one reduce pass into both the moment accumulator (for
+// Nodes/Variance/Min/Max) and a median-of-means sketch (for the robust
+// Mean).
+type momFold struct {
+	run Running
+	mom *stats.MedianOfMeans
+}
+
+func (m *momFold) Add(x float64) {
+	m.run.Add(x)
+	m.mom.Add(x)
+}
+
+// snapshotMoM is snapshot with the Mean replaced by a median-of-means
+// estimate over the requested number of buckets: each of the b buckets
+// averages ~N/b node values and the median bucket mean is reported, so
+// up to half the buckets can be poisoned by outliers without moving the
+// result. Variance/Min/Max stay the raw moments — they describe the
+// population, poison included.
+func (s *System) snapshotMoM(ctx context.Context, field string, seq, buckets int) (Estimate, error) {
+	fold := momFold{mom: stats.NewMedianOfMeans(buckets)}
+	if err := s.Reduce(ctx, field, &fold); err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{
+		Field:    field,
+		Seq:      seq,
+		Time:     time.Now(),
+		Nodes:    fold.run.N(),
+		Mean:     fold.mom.Estimate(),
+		Variance: fold.run.Variance(),
+		Min:      fold.run.Min(),
+		Max:      fold.run.Max(),
+	}, nil
+}
+
+// QueryRobust takes one typed snapshot of the named field with its Mean
+// computed by median-of-means over the given number of buckets,
+// regardless of the system-wide WithMedianOfMeans setting (the
+// per-query escape hatch behind /v1/query's ?mom= parameter).
+func (s *System) QueryRobust(ctx context.Context, field string, buckets int) (Estimate, error) {
+	if buckets < 1 {
+		return Estimate{}, fmt.Errorf("repro: median-of-means needs at least 1 bucket, got %d", buckets)
+	}
+	return s.snapshotMoM(ctx, field, 0, buckets)
 }
 
 // Watch streams one typed snapshot of the named field per cycle (Δt)
@@ -933,6 +1116,92 @@ func (s *System) FailedNodes() int {
 		if s.node.Failed() {
 			return 1
 		}
+		return 0
+	}
+}
+
+// SetAdversaries reconfigures a fraction of the hosted nodes as
+// Byzantine adversaries on the live system (POST /v1/scenario's
+// "adversary" section): behavior names match WithAdversaries, fraction
+// 0 restores every node to honest operation, and adversaries are spread
+// evenly across the node index space (and therefore across shards).
+// Magnitude 0 defaults to 1000. Errors on the single-node TCP shape,
+// which hosts no local population to corrupt.
+func (s *System) SetAdversaries(behavior string, fraction, magnitude, target float64) error {
+	b, err := adversaryBehavior(behavior)
+	if err != nil {
+		return err
+	}
+	if fraction < 0 || fraction >= 1 || math.IsNaN(fraction) {
+		return fmt.Errorf("repro: adversary fraction %v outside [0,1)", fraction)
+	}
+	if magnitude == 0 {
+		magnitude = 1000
+	}
+	n := len(s.nodes)
+	var idx []int
+	if fraction > 0 {
+		count := int(fraction * float64(n))
+		if count < 1 {
+			count = 1
+		}
+		idx = make([]int, count)
+		for i := range idx {
+			idx[i] = i * n / count
+		}
+	}
+	switch {
+	case s.cluster != nil:
+		return s.cluster.SetAdversaries(b, idx, magnitude, target)
+	case s.rt != nil:
+		return s.rt.SetAdversaries(b, idx, magnitude, target)
+	default:
+		return fmt.Errorf("repro: adversary injection needs locally hosted peers (single-node TCP shape has none)")
+	}
+}
+
+// AdversaryCount returns how many hosted nodes currently act as
+// Byzantine adversaries.
+func (s *System) AdversaryCount() int {
+	switch {
+	case s.cluster != nil:
+		return s.cluster.AdversaryCount()
+	case s.rt != nil:
+		return s.rt.AdversaryCount()
+	default:
+		return 0
+	}
+}
+
+// SetRobust installs (or, with a zero config, removes) the robust-merge
+// countermeasures on every hosted node of the live system. Each node's
+// trim acceptance band seeds from the honest population's current
+// spread, so install countermeasures after SetAdversaries, not before.
+// Errors on the single-node TCP shape.
+func (s *System) SetRobust(cfg RobustConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	switch {
+	case s.cluster != nil:
+		s.cluster.SetRobust(cfg.policy())
+	case s.rt != nil:
+		s.rt.SetRobust(cfg.policy())
+	default:
+		return fmt.Errorf("repro: robust merge needs locally hosted peers (single-node TCP shape has none)")
+	}
+	return nil
+}
+
+// RobustRejected returns the cumulative number of exchange halves the
+// robust trim gate has rejected across all hosted nodes.
+func (s *System) RobustRejected() uint64 {
+	switch {
+	case s.cluster != nil:
+		return s.cluster.RobustRejected()
+	case s.rt != nil:
+		return s.rt.RobustRejected()
+	default:
 		return 0
 	}
 }

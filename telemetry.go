@@ -53,6 +53,15 @@ type Telemetry struct {
 	// |Mean − TrueMean|. NaN on TCP shapes, where remote peers hold part
 	// of the truth.
 	TrueMean, TrackingError float64
+	// AdversaryNodes is how many hosted nodes currently act as Byzantine
+	// adversaries (System.SetAdversaries); RobustRejected is the
+	// cumulative count of exchange halves the robust trim gate refused.
+	AdversaryNodes int
+	RobustRejected uint64
+	// Corruption is the adversary-induced estimate error: TrackingError
+	// while adversaries are active, NaN otherwise (so dashboards can
+	// distinguish attack-induced drift from ordinary tracking noise).
+	Corruption float64
 	// Converged reports Variance ≤ 1e-9.
 	Converged bool
 	// Stats sums every hosted node's protocol counters; Completion is
@@ -200,6 +209,9 @@ func (s *System) trackConvergence(ch <-chan Estimate) {
 		if ok {
 			tel.TrueMean = tm
 			tel.TrackingError = math.Abs(est.Mean - tm)
+			if tel.AdversaryNodes > 0 {
+				tel.Corruption = tel.TrackingError
+			}
 		} else {
 			tel.TrueMean = math.NaN()
 			tel.TrackingError = math.NaN()
@@ -267,6 +279,9 @@ func (s *System) buildTelemetry(seq int, at time.Time, nodes int,
 		Stats:    st,
 	}
 	tel.Converged = variance <= convergedTol
+	tel.AdversaryNodes = s.AdversaryCount()
+	tel.RobustRejected = s.RobustRejected()
+	tel.Corruption = math.NaN()
 	if st.Initiated > 0 {
 		tel.Completion = float64(st.Replies) / float64(st.Initiated)
 	} else {
@@ -301,6 +316,9 @@ func (s *System) Telemetry() Telemetry {
 		tel.RhoCycles = cur.RhoCycles
 		tel.TrueMean = cur.TrueMean
 		tel.TrackingError = cur.TrackingError
+		if tel.AdversaryNodes > 0 {
+			tel.Corruption = tel.TrackingError
+		}
 		return tel
 	}
 	s.tele.mu.Unlock()
@@ -320,6 +338,9 @@ func (s *System) Telemetry() Telemetry {
 	if tm, ok := s.trueMean(); ok {
 		tel.TrueMean = tm
 		tel.TrackingError = math.Abs(est.Mean - tm)
+		if tel.AdversaryNodes > 0 {
+			tel.Corruption = tel.TrackingError
+		}
 	}
 	return tel
 }
@@ -381,6 +402,10 @@ func (s *System) registerSystemMetrics(tcpEP *transport.TCPEndpoint) {
 	// the per-node atomics at scrape time.
 	reg.GaugeFunc("repro_engine_nodes", "Hosted nodes.",
 		func() float64 { return float64(len(s.nodes)) })
+	reg.GaugeFunc("repro_adversary_nodes", "Hosted nodes currently acting as Byzantine adversaries.",
+		func() float64 { return float64(s.AdversaryCount()) })
+	reg.CounterFunc("repro_robust_rejected_total",
+		"Exchange halves rejected by the robust trim gate.", s.RobustRejected)
 	for _, c := range []struct {
 		name, help string
 		v          func(NodeStats) uint64
@@ -412,6 +437,7 @@ func (s *System) registerSystemMetrics(tcpEP *transport.TCPEndpoint) {
 			func() float64 { return float64(g.ViewSize()) })
 		reg.CounterFunc("repro_membership_observed_total", "Membership observations folded from inbound traffic.", g.ObservedTotal)
 		reg.CounterFunc("repro_membership_forgotten_total", "Peers dropped from the view after failed exchanges.", g.ForgottenTotal)
+		reg.CounterFunc("repro_membership_digest_dropped_total", "Digest entries refused by the per-sender insertion budget (eclipse hardening).", g.InsertsDroppedTotal)
 	}
 	if tcpEP != nil {
 		reg.CounterFunc("repro_transport_tcp_dials_total", "Outbound TCP connections established.", tcpEP.Dials)
